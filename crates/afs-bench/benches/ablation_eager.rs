@@ -1,0 +1,69 @@
+//! Ablation: eager read injection (§4.2).
+//!
+//! "Given different models of usage, the sentinel process might choose to
+//! eagerly inject data into the read pipe (anticipating read requests
+//! from the user)." The mirror sentinel's `readahead` mode prefetches
+//! double-sized ranges; this bench streams a 64 KiB remote file
+//! sequentially with and without it.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use afs_core::{AfsWorld, SentinelSpec, Strategy};
+use afs_net::Service;
+use afs_remote::FileServer;
+use afs_sim::HardwareProfile;
+use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+
+const TOTAL: usize = 64 * 1024;
+const BLOCK: usize = 1024;
+
+fn setup(readahead: bool) -> (AfsWorld, afs_interpose::ApiHandle, afs_winapi::Handle) {
+    let world = AfsWorld::builder().profile(HardwareProfile::free()).build();
+    afs_sentinels::register_all(world.sentinels());
+    let server = FileServer::new();
+    server.seed("/blob", &vec![3u8; TOTAL]);
+    world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .install_active_file(
+            "/m.af",
+            &SentinelSpec::new("mirror", Strategy::DllThread)
+                .with("service", "files")
+                .with("remote", "/blob")
+                .with("readahead", if readahead { "true" } else { "false" }),
+        )
+        .expect("install");
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    (world, api, h)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_eager");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for eager in [false, true] {
+        let label = if eager { "readahead" } else { "lazy" };
+        let (_world, api, h) = setup(eager);
+        let mut buf = vec![0u8; BLOCK];
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                api.set_file_pointer(h, 0, SeekMethod::Begin).expect("rewind");
+                let mut total = 0;
+                while total < TOTAL {
+                    total += api.read_file(h, &mut buf).expect("read");
+                }
+                total
+            })
+        });
+        api.close_handle(h).expect("close");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Macro-workload ablation: a mixed read/write/seek "legacy application"
+//! trace replayed against each strategy (wall-clock), complementing the
+//! fixed-block microbenchmark of Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afs_bench::workload::Trace;
+use afs_bench::PathKind;
+use afs_core::Strategy;
+use afs_sim::HardwareProfile;
+use afs_winapi::{Access, Disposition, FileApi};
+
+fn bench(c: &mut Criterion) {
+    let trace = Trace::generate(42, 200, 0.7);
+    let mut group = c.benchmark_group("ablation_macro");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+        let (world, file) = afs_bench::build_world_for_bench(
+            PathKind::Memory,
+            strategy,
+            HardwareProfile::free(),
+            trace.extent as usize + 2048,
+        );
+        let api = world.api();
+        let h = api
+            .create_file(file, Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+            b.iter(|| trace.replay(&api, h))
+        });
+        api.close_handle(h).expect("close");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: null-filter active file vs a plain passive file.
+//!
+//! §2.2: "The sentinel can be a null filter, in which case the active
+//! file has the semantics of a passive file." This bench quantifies what
+//! the *mechanism alone* costs for each strategy when the behaviour adds
+//! nothing — the purest measure of the framework overhead the paper
+//! argues is negligible for the DLL-only strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afs_core::{AfsWorld, Backing, SentinelSpec, Strategy};
+use afs_sim::HardwareProfile;
+use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+
+const BLOCK: usize = 512;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_null_vs_passive");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(700));
+
+    // Passive baseline.
+    {
+        let world = AfsWorld::builder().profile(HardwareProfile::free()).build();
+        let api = world.api();
+        let h = api
+            .create_file("/plain", Access::read_write(), Disposition::CreateAlways)
+            .expect("create");
+        api.write_file(h, &vec![1u8; BLOCK]).expect("seed");
+        let mut buf = vec![0u8; BLOCK];
+        group.bench_function(BenchmarkId::new("passive", BLOCK), |b| {
+            b.iter(|| {
+                api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+                api.read_file(h, &mut buf).expect("read")
+            })
+        });
+        api.close_handle(h).expect("close");
+    }
+
+    // Null sentinel under each strategy.
+    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+        let world = AfsWorld::builder().profile(HardwareProfile::free()).build();
+        world
+            .install_active_file(
+                "/null.af",
+                &SentinelSpec::new("null", strategy).backing(Backing::Disk),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/null.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, &vec![1u8; BLOCK]).expect("seed");
+        let mut buf = vec![0u8; BLOCK];
+        group.bench_function(BenchmarkId::new(strategy.label(), BLOCK), |b| {
+            b.iter(|| {
+                api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+                api.read_file(h, &mut buf).expect("read")
+            })
+        });
+        api.close_handle(h).expect("close");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Wall-clock Figure 6 panel (b): sentinel uses the on-disk cache.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_panel(c, afs_bench::PathKind::Disk, "disk");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

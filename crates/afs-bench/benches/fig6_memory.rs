@@ -1,0 +1,12 @@
+//! Wall-clock Figure 6 panel (c): sentinel uses an in-memory cache.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_panel(c, afs_bench::PathKind::Memory, "memory");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Wall-clock Figure 6 panel (a): sentinel reaches a remote source.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    common::bench_panel(c, afs_bench::PathKind::Remote, "remote");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Regenerates Figure 6 of the paper: ReadFile and WriteFile overheads
+//! (µs) of the three active-file implementations across the three
+//! critical caching paths, block sizes 8–2048, 1000 calls each.
+//!
+//! Usage:
+//!
+//! ```text
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--simple-process]
+//! ```
+//!
+//! `--copies` appends the per-operation accounting table (syscalls,
+//! copies, switches) that explains *why* the curves order the way they
+//! do; `--simple-process` adds the §4.1 strategy as an extra series;
+//! `--profile modern` reruns the sweep with present-day constants as an
+//! ablation; `--csv` emits machine-readable rows
+//! (`panel,direction,strategy,block,mean_us`) for plotting.
+
+use afs_bench::{
+    measure, render_panel, run_panel, Direction, PathKind, BLOCK_SIZES, DEFAULT_OPS,
+    FIGURE6_STRATEGIES,
+};
+use afs_core::Strategy;
+use afs_sim::HardwareProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ops = DEFAULT_OPS;
+    let mut profile = HardwareProfile::pentium_ii_300();
+    let mut show_copies = false;
+    let mut simple_process = false;
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => csv = true,
+            "--ops" => {
+                i += 1;
+                ops = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ops needs a number"));
+            }
+            "--profile" => {
+                i += 1;
+                profile = match args.get(i).map(String::as_str) {
+                    Some("pentium") => HardwareProfile::pentium_ii_300(),
+                    Some("modern") => HardwareProfile::modern(),
+                    _ => die("--profile pentium|modern"),
+                };
+            }
+            "--copies" => show_copies = true,
+            "--simple-process" => simple_process = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    if csv {
+        println!("panel,direction,strategy,block,mean_us");
+        for path in PathKind::ALL {
+            for direction in [Direction::Read, Direction::Write] {
+                let dir = if direction == Direction::Read { "read" } else { "write" };
+                let panel = run_panel(path, direction, ops, &profile);
+                for (si, strategy) in FIGURE6_STRATEGIES.iter().enumerate() {
+                    for (bi, block) in BLOCK_SIZES.iter().enumerate() {
+                        println!(
+                            "{},{},{},{},{:.2}",
+                            path.panel(),
+                            dir,
+                            strategy.label(),
+                            block,
+                            panel.rows[si][bi]
+                        );
+                    }
+                }
+                for (bi, block) in BLOCK_SIZES.iter().enumerate() {
+                    println!(
+                        "{},{},baseline,{},{:.2}",
+                        path.panel(),
+                        dir,
+                        block,
+                        panel.baseline[bi]
+                    );
+                }
+            }
+        }
+        return;
+    }
+
+    println!(
+        "Active Files — Figure 6 reproduction ({} profile, {} calls per point)\n",
+        profile.name, ops
+    );
+    for path in PathKind::ALL {
+        for direction in [Direction::Read, Direction::Write] {
+            let panel = run_panel(path, direction, ops, &profile);
+            print!("{}", render_panel(&panel));
+            if simple_process {
+                print!("{:>8}", "block");
+                println!("{:>10}", Strategy::Process.label());
+                for block in BLOCK_SIZES {
+                    let m = measure(path, Strategy::Process, direction, block, ops, profile.clone());
+                    println!("{block:>8}{:>10.1}", m.mean_us());
+                }
+            }
+            println!();
+        }
+    }
+
+    if show_copies {
+        println!("Per-operation accounting at block=2048 (averages over {ops} ops)");
+        println!(
+            "{:>10} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            "strategy", "path", "syscalls", "copies", "copy-bytes", "proc-sw", "thread-sw"
+        );
+        for path in PathKind::ALL {
+            for strategy in FIGURE6_STRATEGIES {
+                let m = measure(path, strategy, Direction::Read, 2048, ops, profile.clone());
+                let per = |v: u64| v as f64 / ops as f64;
+                println!(
+                    "{:>10} {:>8} {:>9.1} {:>9.1} {:>10.0} {:>10.1} {:>10.1}",
+                    strategy.label(),
+                    path.panel(),
+                    per(m.counters.syscalls),
+                    per(m.counters.copies),
+                    per(m.counters.pipe_copy_bytes + m.counters.memcpy_bytes),
+                    per(m.counters.process_switches),
+                    per(m.counters.thread_switches),
+                );
+            }
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("figure6: {msg}");
+    std::process::exit(2);
+}

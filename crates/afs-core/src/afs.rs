@@ -1,0 +1,422 @@
+//! The intercepted file API: active-file detection, sentinel launch, and
+//! per-handle dispatch.
+//!
+//! [`ActiveFileSystem`] wraps any inner [`FileApi`]. Its `create_file`
+//! stub "checks to see if the file name corresponds to an active file or
+//! not … If the file is not an active file, the stub calls the standard
+//! Win32 OpenFile routine" (Appendix A.2). For active files it launches
+//! the sentinel per the spec's strategy and returns a fictitious handle
+//! whose subsequent operations are routed to the sentinel.
+//!
+//! [`ActiveFilesLayer`] packages the whole thing as an
+//! [`afs_interpose::ApiLayer`] so it can be installed into a
+//! [`afs_interpose::MediatingConnector`] at runtime — and securely, so the
+//! application cannot undo it.
+
+use std::sync::Arc;
+
+use afs_interpose::ApiLayer;
+use afs_ipc::SyncRegistry;
+use afs_net::Network;
+use afs_sim::CostModel;
+use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
+use afs_winapi::{
+    Access, ApiResult, DelegateFileApi, Disposition, FileApi, FileInformation, Handle,
+    HandleTable, Layered, SeekMethod, ShareMode, Win32Error,
+};
+
+use crate::registry::SentinelRegistry;
+use crate::spec::{SentinelSpec, Strategy};
+use crate::strategy::{self, ActiveOps};
+use crate::ctx::SentinelCtx;
+
+/// Handle-number base for active handles, disjoint from the passive
+/// layer's range so dispatch is unambiguous.
+const ACTIVE_HANDLE_BASE: u64 = 1 << 32;
+
+struct ActiveEntry {
+    ops: Arc<dyn ActiveOps>,
+    access: Access,
+}
+
+/// The runtime shared by every [`ActiveFileSystem`] layer instance in one
+/// world: file system, network, sentinel registry, sync namespace, cost
+/// model, and the identity of the "current user".
+#[derive(Clone)]
+pub struct ActiveFileSystem {
+    inner: Arc<dyn FileApi>,
+    vfs: Arc<Vfs>,
+    net: Network,
+    registry: SentinelRegistry,
+    sync: SyncRegistry,
+    model: CostModel,
+    user: String,
+    signing_key: Option<u64>,
+    handles: Arc<HandleTable<ActiveEntry>>,
+}
+
+impl std::fmt::Debug for ActiveFileSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveFileSystem")
+            .field("user", &self.user)
+            .field("open_active_handles", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ActiveFileSystem {
+    /// Creates the runtime over `inner` (the passive API used for
+    /// non-active paths and for the data parts).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        inner: Arc<dyn FileApi>,
+        vfs: Arc<Vfs>,
+        net: Network,
+        registry: SentinelRegistry,
+        sync: SyncRegistry,
+        model: CostModel,
+        user: &str,
+    ) -> Self {
+        ActiveFileSystem {
+            inner,
+            vfs,
+            net,
+            registry,
+            sync,
+            model,
+            user: user.to_owned(),
+            signing_key: None,
+            handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
+        }
+    }
+
+    /// Number of currently open active handles (each holds a live
+    /// sentinel).
+    pub fn open_sentinels(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Decides whether `path` names an active file: the file exists and
+    /// carries an `:active` stream holding a spec, and the caller is
+    /// addressing the default (data) stream.
+    fn active_spec(&self, path: &str) -> Option<(VPath, SentinelSpec)> {
+        let vpath = VPath::parse(path).ok()?;
+        if vpath.stream() != afs_vfs::DEFAULT_STREAM {
+            return None;
+        }
+        let active = vpath.with_stream(ACTIVE_STREAM);
+        let bytes = self.vfs.read_stream_to_end(&active).ok()?;
+        if bytes.is_empty() {
+            return None;
+        }
+        SentinelSpec::decode(&bytes).ok().map(|spec| (vpath, spec))
+    }
+
+    fn open_active(
+        &self,
+        vpath: VPath,
+        spec: SentinelSpec,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
+        // Access control: opening is "predicated upon access to the
+        // passive file components" (§2.3).
+        let meta = self.vfs.stat(&vpath.file_path())?;
+        if meta.attributes.readonly && access.write {
+            return Err(Win32Error::AccessDenied);
+        }
+        // Code-signing policy (§2.3 extension): with a signing key set,
+        // only sentinels whose active part verifies may launch.
+        if let Some(key) = self.signing_key {
+            if !crate::security::check_active_file(&self.vfs, &vpath.file_path(), key) {
+                return Err(Win32Error::AccessDenied);
+            }
+        }
+        if let Some(allowed) = spec.config().get("allow_users") {
+            if !allowed.split(',').any(|u| u.trim() == self.user) {
+                return Err(Win32Error::AccessDenied);
+            }
+        }
+        match disposition {
+            Disposition::CreateNew => return Err(Win32Error::FileExists),
+            Disposition::CreateAlways | Disposition::TruncateExisting => {
+                // Directory-level dispositions act on the passive data
+                // part; the active part is untouched.
+                self.vfs.write_stream_replace(&vpath.file_path(), &[])?;
+            }
+            Disposition::OpenExisting | Disposition::OpenAlways => {}
+        }
+        let mut ctx = SentinelCtx::new(
+            vpath.clone(),
+            self.user.clone(),
+            &spec,
+            Arc::clone(&self.vfs),
+            self.net.clone(),
+            self.sync.clone(),
+            self.model.clone(),
+        );
+        // Sentinels see the intercepted API (this layer), so they can
+        // open other active files — §3 composition. Clones share the
+        // handle table, so handles interoperate.
+        ctx.set_api(Arc::new(Layered(self.clone())));
+        let ops: Arc<dyn ActiveOps> = match spec.strategy() {
+            Strategy::Process => {
+                // Prefer a hand-written process sentinel; fall back to the
+                // adapted logic pump.
+                if let Some(raw) = self.registry.instantiate_raw(&spec) {
+                    strategy::process::open_raw(raw, ctx, self.model.clone())
+                } else {
+                    let logic = self
+                        .registry
+                        .instantiate(&spec)
+                        .ok_or(Win32Error::FileNotFound)?;
+                    strategy::process::open_logic(logic, ctx, self.model.clone())?
+                }
+            }
+            Strategy::ProcessControl => {
+                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
+                strategy::control::open(logic, ctx, self.model.clone())?
+            }
+            Strategy::DllThread => {
+                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
+                strategy::thread::open(logic, ctx, self.model.clone())?
+            }
+            Strategy::DllOnly => {
+                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
+                strategy::dll::open(logic, ctx)?
+            }
+        };
+        Ok(self.handles.insert(ActiveEntry { ops, access }))
+    }
+
+    fn active(&self, handle: Handle) -> Option<Arc<ActiveEntry>> {
+        if handle.raw() < ACTIVE_HANDLE_BASE {
+            return None;
+        }
+        self.handles.get(handle).ok()
+    }
+}
+
+impl DelegateFileApi for ActiveFileSystem {
+    fn delegate(&self) -> &dyn FileApi {
+        &*self.inner
+    }
+
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        match self.active_spec(path) {
+            Some((vpath, spec)) => self.open_active(vpath, spec, access, disposition),
+            None => self.delegate().create_file(path, access, disposition),
+        }
+    }
+
+    fn create_file_shared(
+        &self,
+        path: &str,
+        access: Access,
+        share: ShareMode,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
+        match self.active_spec(path) {
+            // Multiple concurrent opens of one active file are the
+            // intended semantics (§2.2: one sentinel per open, sentinels
+            // synchronise among themselves), so share modes do not gate
+            // active opens.
+            Some((vpath, spec)) => self.open_active(vpath, spec, access, disposition),
+            None => self.delegate().create_file_shared(path, access, share, disposition),
+        }
+    }
+
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
+        match self.active(handle) {
+            Some(entry) => {
+                if !entry.access.read {
+                    return Err(Win32Error::AccessDenied);
+                }
+                entry.ops.read(buf)
+            }
+            None => self.delegate().read_file(handle, buf),
+        }
+    }
+
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
+        match self.active(handle) {
+            Some(entry) => {
+                if !entry.access.write {
+                    return Err(Win32Error::AccessDenied);
+                }
+                entry.ops.write(data)
+            }
+            None => self.delegate().write_file(handle, data),
+        }
+    }
+
+    fn close_handle(&self, handle: Handle) -> ApiResult<()> {
+        if handle.raw() >= ACTIVE_HANDLE_BASE {
+            let entry = self.handles.remove(handle)?;
+            return entry.ops.close();
+        }
+        self.delegate().close_handle(handle)
+    }
+
+    fn get_file_size(&self, handle: Handle) -> ApiResult<u64> {
+        match self.active(handle) {
+            Some(entry) => entry.ops.size(),
+            None => self.delegate().get_file_size(handle),
+        }
+    }
+
+    fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
+        match self.active(handle) {
+            Some(entry) => entry.ops.seek(offset, method),
+            None => self.delegate().set_file_pointer(handle, offset, method),
+        }
+    }
+
+    fn read_file_scatter(&self, handle: Handle, bufs: &mut [&mut [u8]]) -> ApiResult<usize> {
+        match self.active(handle) {
+            // "Operations such as ReadFileScatter that do not have direct
+            // correspondence with operations on pipes are simply dropped"
+            // for pipe strategies (Appendix A.2); strategies with control
+            // channels emulate via sequential reads.
+            Some(entry) => {
+                let mut total = 0;
+                for buf in bufs.iter_mut() {
+                    let n = entry.ops.read(buf)?;
+                    total += n;
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Ok(total)
+            }
+            None => self.delegate().read_file_scatter(handle, bufs),
+        }
+    }
+
+    fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize> {
+        match self.active(handle) {
+            Some(entry) => {
+                let mut total = 0;
+                for buf in bufs {
+                    total += entry.ops.write(buf)?;
+                }
+                Ok(total)
+            }
+            None => self.delegate().write_file_gather(handle, bufs),
+        }
+    }
+
+    fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()> {
+        match self.active(handle) {
+            Some(entry) => entry.ops.flush(),
+            None => self.delegate().flush_file_buffers(handle),
+        }
+    }
+
+    fn lock_file(&self, handle: Handle, offset: u64, len: u64, exclusive: bool) -> ApiResult<()> {
+        match self.active(handle) {
+            // Locking an active file is a sentinel-policy matter (the
+            // logging example of §3 locks *inside* the sentinel); the
+            // plain byte-range API is not meaningful against a sentinel.
+            Some(_) => Err(Win32Error::NotSupported),
+            None => self.delegate().lock_file(handle, offset, len, exclusive),
+        }
+    }
+
+    fn unlock_file(&self, handle: Handle, offset: u64, len: u64) -> ApiResult<()> {
+        match self.active(handle) {
+            Some(_) => Err(Win32Error::NotSupported),
+            None => self.delegate().unlock_file(handle, offset, len),
+        }
+    }
+
+    fn get_file_information(&self, handle: Handle) -> ApiResult<FileInformation> {
+        match self.active(handle) {
+            Some(entry) => Ok(FileInformation {
+                size: entry.ops.size().unwrap_or(0),
+                attributes: afs_vfs::FileAttributes::default(),
+                created: 0,
+                modified: 0,
+            }),
+            None => self.delegate().get_file_information(handle),
+        }
+    }
+
+    fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
+        match self.active(handle) {
+            Some(_) => Err(Win32Error::NotSupported),
+            None => self.delegate().set_end_of_file(handle),
+        }
+    }
+}
+
+/// The installable interception layer carrying an [`ActiveFileSystem`]
+/// runtime. All instances produced by [`ApiLayer::wrap`] share one active
+/// handle table, so the layer can report how many sentinels are live.
+pub struct ActiveFilesLayer {
+    vfs: Arc<Vfs>,
+    net: Network,
+    registry: SentinelRegistry,
+    sync: SyncRegistry,
+    model: CostModel,
+    user: String,
+    signing_key: Option<u64>,
+    handles: Arc<HandleTable<ActiveEntry>>,
+}
+
+impl ActiveFilesLayer {
+    /// Creates the layer; `wrap` will build an [`ActiveFileSystem`] over
+    /// whatever API is below it in the chain.
+    pub fn new(
+        vfs: Arc<Vfs>,
+        net: Network,
+        registry: SentinelRegistry,
+        sync: SyncRegistry,
+        model: CostModel,
+        user: &str,
+    ) -> Self {
+        ActiveFilesLayer {
+            vfs,
+            net,
+            registry,
+            sync,
+            model,
+            user: user.to_owned(),
+            signing_key: None,
+            handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
+        }
+    }
+
+    /// Enables the code-signing policy: opens refuse unsigned or
+    /// tampered active parts.
+    pub fn with_signing_key(mut self, key: u64) -> Self {
+        self.signing_key = Some(key);
+        self
+    }
+
+    /// Number of currently open active handles (each holds a live
+    /// sentinel).
+    pub fn open_sentinels(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl ApiLayer for ActiveFilesLayer {
+    fn name(&self) -> &str {
+        "active-files"
+    }
+
+    fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
+        Arc::new(Layered(ActiveFileSystem {
+            inner,
+            vfs: Arc::clone(&self.vfs),
+            net: self.net.clone(),
+            registry: self.registry.clone(),
+            sync: self.sync.clone(),
+            model: self.model.clone(),
+            user: self.user.clone(),
+            signing_key: self.signing_key,
+            handles: Arc::clone(&self.handles),
+        }))
+    }
+}

@@ -1,0 +1,298 @@
+//! The sentinel's local cache — the three critical paths of Figure 5.
+//!
+//! "The data file associated with an active file acts as a local cache"
+//! (§2.2). A [`CacheStore`] gives sentinel logic positioned read/write
+//! over whichever backing the spec selects, and charges the cost model for
+//! the medium:
+//!
+//! * [`Backing::Disk`] — the data part of the active file, charged one
+//!   disk access plus per-byte transfer (the simulated VFS is
+//!   memory-resident, so the disk's cost lives here, at the point where
+//!   the prototype's NTFS file would really be hit);
+//! * [`Backing::Memory`] — a buffer inside the sentinel, charged a
+//!   user-level memcpy;
+//! * [`Backing::None`] — no cache: every access is a sentinel-logic
+//!   decision (usually a remote call), and cache operations fail.
+
+use std::sync::Arc;
+
+use afs_sim::{Cost, CostModel};
+use afs_vfs::{VPath, Vfs};
+
+use crate::logic::{SentinelError, SentinelResult};
+use crate::spec::Backing;
+
+/// Positioned storage for a sentinel's cached data.
+#[derive(Debug)]
+pub enum CacheStore {
+    /// No cache (Figure 5, path 1).
+    None,
+    /// In-memory cache (path 3).
+    Memory {
+        /// The cached bytes.
+        data: Vec<u8>,
+        /// Model charged per access.
+        model: CostModel,
+    },
+    /// On-disk cache in the active file's data part (path 2).
+    Disk {
+        /// The file system holding the data part.
+        vfs: Arc<Vfs>,
+        /// Path of the data part (default stream).
+        path: VPath,
+        /// Model charged per access.
+        model: CostModel,
+    },
+}
+
+impl CacheStore {
+    /// Builds the store selected by `backing`.
+    pub(crate) fn new(backing: Backing, vfs: Arc<Vfs>, path: VPath, model: CostModel) -> Self {
+        match backing {
+            Backing::None => CacheStore::None,
+            Backing::Memory => {
+                // Warm the memory cache from the data part so a
+                // pre-populated active file reads the same under every
+                // backing.
+                let data = vfs.read_stream_to_end(&path).unwrap_or_default();
+                CacheStore::Memory { data, model }
+            }
+            Backing::Disk => CacheStore::Disk { vfs, path, model },
+        }
+    }
+
+    /// `true` if a cache exists.
+    pub fn is_present(&self) -> bool {
+        !matches!(self, CacheStore::None)
+    }
+
+    /// Reads at `offset` into `buf`, returning bytes read (0 at end).
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Memory { data, model } => {
+                let start = (offset as usize).min(data.len());
+                let n = buf.len().min(data.len() - start);
+                buf[..n].copy_from_slice(&data[start..start + n]);
+                model.charge(Cost::Memcpy { bytes: n });
+                Ok(n)
+            }
+            CacheStore::Disk { vfs, path, model } => {
+                model.charge(Cost::Syscall);
+                model.charge(Cost::DiskAccess);
+                let n = vfs.read_stream(path, offset, buf)?;
+                model.charge(Cost::DiskReadBytes { bytes: n });
+                Ok(n)
+            }
+        }
+    }
+
+    /// Writes `data` at `offset`, extending the cache as needed. Returns
+    /// bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn write_at(&mut self, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Memory { data: buf, model } => {
+                let end = offset as usize + data.len();
+                if buf.len() < end {
+                    buf.resize(end, 0);
+                }
+                buf[offset as usize..end].copy_from_slice(data);
+                model.charge(Cost::Memcpy { bytes: data.len() });
+                Ok(data.len())
+            }
+            CacheStore::Disk { vfs, path, model } => {
+                model.charge(Cost::Syscall);
+                let n = vfs.write_stream(path, offset, data)?;
+                model.charge(Cost::DiskWriteBytes { bytes: n });
+                Ok(n)
+            }
+        }
+    }
+
+    /// Current cache length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn len(&self) -> SentinelResult<u64> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Memory { data, .. } => Ok(data.len() as u64),
+            CacheStore::Disk { vfs, path, .. } => Ok(vfs.stream_len(path)?),
+        }
+    }
+
+    /// `true` if the cache holds no bytes (or there is no cache).
+    pub fn is_empty(&self) -> bool {
+        self.len().map(|n| n == 0).unwrap_or(true)
+    }
+
+    /// Truncates or zero-extends the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn set_len(&mut self, len: u64) -> SentinelResult<()> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Memory { data, .. } => {
+                data.resize(len as usize, 0);
+                Ok(())
+            }
+            CacheStore::Disk { vfs, path, model } => {
+                model.charge(Cost::Syscall);
+                vfs.set_stream_len(path, len)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces the entire cache contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn replace(&mut self, contents: &[u8]) -> SentinelResult<()> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Memory { data, model } => {
+                data.clear();
+                data.extend_from_slice(contents);
+                model.charge(Cost::Memcpy { bytes: contents.len() });
+                Ok(())
+            }
+            CacheStore::Disk { vfs, path, model } => {
+                model.charge(Cost::Syscall);
+                vfs.write_stream_replace(path, contents)?;
+                model.charge(Cost::DiskWriteBytes { bytes: contents.len() });
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads the whole cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    pub fn to_vec(&mut self) -> SentinelResult<Vec<u8>> {
+        let len = self.len()? as usize;
+        let mut out = vec![0u8; len];
+        let n = self.read_at(0, &mut out)?;
+        out.truncate(n);
+        Ok(out)
+    }
+
+    /// On close, memory caches are written back to the data part so the
+    /// cached state persists across opens ("writing it to the data part",
+    /// §2.2). Disk caches are already the data part; `None` does nothing.
+    pub(crate) fn persist(&mut self, vfs: &Vfs, path: &VPath) {
+        if let CacheStore::Memory { data, .. } = self {
+            let _ = vfs.write_stream_replace(path, data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::HardwareProfile;
+
+    fn disk_store() -> (Arc<Vfs>, CacheStore, CostModel) {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let store = CacheStore::new(Backing::Disk, Arc::clone(&vfs), path, model.clone());
+        (vfs, store, model)
+    }
+
+    #[test]
+    fn none_backing_rejects_everything() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f").expect("path");
+        let mut store = CacheStore::new(Backing::None, vfs, path, CostModel::free());
+        assert!(!store.is_present());
+        let mut buf = [0u8; 4];
+        assert_eq!(store.read_at(0, &mut buf), Err(SentinelError::NoCache));
+        assert_eq!(store.write_at(0, b"x"), Err(SentinelError::NoCache));
+        assert_eq!(store.len(), Err(SentinelError::NoCache));
+    }
+
+    #[test]
+    fn memory_roundtrip_and_extend() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f").expect("path");
+        let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        store.write_at(2, b"xy").expect("write");
+        assert_eq!(store.len().expect("len"), 4);
+        let mut buf = [0u8; 4];
+        assert_eq!(store.read_at(0, &mut buf).expect("read"), 4);
+        assert_eq!(&buf, &[0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn memory_warms_from_data_part() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        vfs.write_stream(&path, 0, b"warm").expect("seed");
+        let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        assert_eq!(store.to_vec().expect("read"), b"warm");
+    }
+
+    #[test]
+    fn disk_store_hits_the_data_part_and_charges_disk() {
+        let (vfs, mut store, model) = disk_store();
+        store.write_at(0, b"persisted").expect("write");
+        assert_eq!(
+            vfs.read_stream_to_end(&VPath::parse("/f.af").expect("p")).expect("read"),
+            b"persisted"
+        );
+        let mut buf = [0u8; 9];
+        store.read_at(0, &mut buf).expect("read");
+        let snap = model.snapshot();
+        assert_eq!(snap.disk_accesses, 1, "one access per cache read");
+        assert_eq!(snap.disk_bytes, 9 + 9);
+    }
+
+    #[test]
+    fn memory_persists_to_data_part_on_request() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        let mut store =
+            CacheStore::new(Backing::Memory, Arc::clone(&vfs), path.clone(), CostModel::free());
+        store.write_at(0, b"ram").expect("write");
+        store.persist(&vfs, &path);
+        assert_eq!(vfs.read_stream_to_end(&path).expect("read"), b"ram");
+    }
+
+    #[test]
+    fn set_len_truncates_and_extends() {
+        let (_vfs, mut store, _model) = disk_store();
+        store.write_at(0, b"0123456789").expect("write");
+        store.set_len(3).expect("truncate");
+        assert_eq!(store.to_vec().expect("read"), b"012");
+        store.set_len(5).expect("extend");
+        assert_eq!(store.len().expect("len"), 5);
+    }
+
+    #[test]
+    fn replace_overwrites_fully() {
+        let (_vfs, mut store, _model) = disk_store();
+        store.write_at(0, b"long original").expect("write");
+        store.replace(b"new").expect("replace");
+        assert_eq!(store.to_vec().expect("read"), b"new");
+        assert!(!store.is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! The sentinel registry — the stand-in for executables and DLLs on disk.
+//!
+//! The prototype's active part names a real PE image; here the `:active`
+//! stream names an entry in this registry and the runtime instantiates
+//! fresh sentinel state per open ("the sentinel process is started and
+//! terminated when a user process opens and closes the active file",
+//! §2.2).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::logic::SentinelLogic;
+use crate::spec::SentinelSpec;
+use crate::strategy::process::RawProcessSentinel;
+
+/// A factory producing one sentinel-logic instance per open.
+pub type LogicFactory =
+    Arc<dyn Fn(&SentinelSpec) -> Box<dyn SentinelLogic> + Send + Sync + 'static>;
+
+/// A factory producing one raw process sentinel per open (the
+/// hand-written, Figure 2 style programming model for the simple process
+/// strategy).
+pub type RawFactory =
+    Arc<dyn Fn(&SentinelSpec) -> Box<dyn RawProcessSentinel> + Send + Sync + 'static>;
+
+#[derive(Default)]
+struct Entries {
+    logic: HashMap<String, LogicFactory>,
+    raw: HashMap<String, RawFactory>,
+}
+
+/// Name → sentinel-program registry. Cloning shares the registry.
+#[derive(Clone, Default)]
+pub struct SentinelRegistry {
+    entries: Arc<RwLock<Entries>>,
+}
+
+impl std::fmt::Debug for SentinelRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let e = self.entries.read();
+        f.debug_struct("SentinelRegistry")
+            .field("logic", &e.logic.keys().collect::<Vec<_>>())
+            .field("raw", &e.raw.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SentinelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SentinelRegistry::default()
+    }
+
+    /// Registers (or replaces) a strategy-independent sentinel under
+    /// `name`.
+    pub fn register<F>(&self, name: &str, factory: F)
+    where
+        F: Fn(&SentinelSpec) -> Box<dyn SentinelLogic> + Send + Sync + 'static,
+    {
+        self.entries.write().logic.insert(name.to_owned(), Arc::new(factory));
+    }
+
+    /// Registers a hand-written process sentinel (Figure 2 style) under
+    /// `name`; only usable with [`crate::Strategy::Process`].
+    pub fn register_raw<F>(&self, name: &str, factory: F)
+    where
+        F: Fn(&SentinelSpec) -> Box<dyn RawProcessSentinel> + Send + Sync + 'static,
+    {
+        self.entries.write().raw.insert(name.to_owned(), Arc::new(factory));
+    }
+
+    /// Instantiates the named logic for one open.
+    pub fn instantiate(&self, spec: &SentinelSpec) -> Option<Box<dyn SentinelLogic>> {
+        let factory = self.entries.read().logic.get(spec.name()).cloned()?;
+        Some(factory(spec))
+    }
+
+    /// Instantiates the named raw process sentinel for one open.
+    pub fn instantiate_raw(&self, spec: &SentinelSpec) -> Option<Box<dyn RawProcessSentinel>> {
+        let factory = self.entries.read().raw.get(spec.name()).cloned()?;
+        Some(factory(spec))
+    }
+
+    /// `true` if `name` is registered (as either flavour).
+    pub fn contains(&self, name: &str) -> bool {
+        let e = self.entries.read();
+        e.logic.contains_key(name) || e.raw.contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let e = self.entries.read();
+        let mut names: Vec<String> = e.logic.keys().chain(e.raw.keys()).cloned().collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logic::NullSentinel;
+    use crate::spec::Strategy;
+
+    #[test]
+    fn register_and_instantiate() {
+        let reg = SentinelRegistry::new();
+        reg.register("null", |_| Box::new(NullSentinel::new()));
+        let spec = SentinelSpec::new("null", Strategy::DllOnly);
+        assert!(reg.instantiate(&spec).is_some());
+        assert!(reg.contains("null"));
+        assert!(!reg.contains("ghost"));
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let reg = SentinelRegistry::new();
+        let spec = SentinelSpec::new("ghost", Strategy::DllOnly);
+        assert!(reg.instantiate(&spec).is_none());
+    }
+
+    #[test]
+    fn each_instantiation_is_fresh() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let count = Arc::new(AtomicU32::new(0));
+        let reg = SentinelRegistry::new();
+        let c2 = Arc::clone(&count);
+        reg.register("counted", move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Box::new(NullSentinel::new())
+        });
+        let spec = SentinelSpec::new("counted", Strategy::DllOnly);
+        reg.instantiate(&spec);
+        reg.instantiate(&spec);
+        assert_eq!(count.load(Ordering::SeqCst), 2, "one sentinel per open");
+    }
+
+    #[test]
+    fn names_are_sorted_and_deduped() {
+        let reg = SentinelRegistry::new();
+        reg.register("b", |_| Box::new(NullSentinel::new()));
+        reg.register("a", |_| Box::new(NullSentinel::new()));
+        assert_eq!(reg.names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let reg = SentinelRegistry::new();
+        let clone = reg.clone();
+        reg.register("shared", |_| Box::new(NullSentinel::new()));
+        assert!(clone.contains("shared"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Sentinel code signing — the §2.3 extension.
+//!
+//! "In applications with additional security requirements, orthogonal
+//! techniques such as certificates, code signing, and sandboxing can be
+//! used." This module provides the simulation analogue of code signing:
+//! the active part (the encoded [`crate::SentinelSpec`]) is tagged with a
+//! keyed MAC stored in the file's `:signature` stream, and a world built
+//! with [`crate::AfsWorldBuilder::require_signed`] refuses to launch any
+//! sentinel whose tag does not verify.
+//!
+//! The MAC is a mixed-multiply hash — **a simulation stand-in, not
+//! cryptography** — but the *mechanism* (verify before launch, fail the
+//! open on mismatch, tamper-evidence for both the spec and the tag) is
+//! exactly what a real deployment would wire to a certificate store.
+
+use afs_vfs::{VPath, Vfs};
+
+/// Name of the stream holding the signature of the `:active` stream.
+pub const SIGNATURE_STREAM: &str = "signature";
+
+/// Computes the keyed tag over `spec_bytes`.
+pub fn sign(key: u64, spec_bytes: &[u8]) -> u64 {
+    let mut state = key ^ 0x6C62_272E_07BB_0142;
+    for &b in spec_bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        state ^= state >> 29;
+    }
+    // Final avalanche so short specs do not leak the key trivially.
+    state = state.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    state ^ (state >> 32)
+}
+
+/// Verifies `tag` against `spec_bytes` under `key`.
+pub fn verify(key: u64, spec_bytes: &[u8], tag: u64) -> bool {
+    sign(key, spec_bytes) == tag
+}
+
+/// Writes the signature stream for the active file at `path`.
+///
+/// # Errors
+///
+/// VFS errors if the file or its active stream is missing.
+pub fn sign_active_file(vfs: &Vfs, path: &VPath, key: u64) -> afs_vfs::Result<()> {
+    let spec_bytes = vfs.read_stream_to_end(&path.with_stream(afs_vfs::ACTIVE_STREAM))?;
+    let tag = sign(key, &spec_bytes);
+    vfs.write_stream_replace(&path.with_stream(SIGNATURE_STREAM), &tag.to_le_bytes())
+}
+
+/// Checks the signature stream of the active file at `path`. Returns
+/// `true` only if a well-formed tag exists and verifies.
+pub fn check_active_file(vfs: &Vfs, path: &VPath, key: u64) -> bool {
+    let Ok(spec_bytes) = vfs.read_stream_to_end(&path.with_stream(afs_vfs::ACTIVE_STREAM)) else {
+        return false;
+    };
+    let Ok(tag_bytes) = vfs.read_stream_to_end(&path.with_stream(SIGNATURE_STREAM)) else {
+        return false;
+    };
+    let Ok(arr) = <[u8; 8]>::try_from(tag_bytes.as_slice()) else {
+        return false;
+    };
+    verify(key, &spec_bytes, u64::from_le_bytes(arr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let tag = sign(42, b"spec bytes");
+        assert!(verify(42, b"spec bytes", tag));
+        assert!(!verify(43, b"spec bytes", tag), "wrong key");
+        assert!(!verify(42, b"spec byteZ", tag), "tampered spec");
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(sign(1, b"a"), sign(1, b"b"));
+        assert_ne!(sign(1, b"a"), sign(2, b"a"));
+        assert_ne!(sign(1, b""), sign(2, b""), "empty spec still keyed");
+    }
+
+    #[test]
+    fn file_level_sign_and_check() {
+        let vfs = Vfs::new();
+        let path = VPath::parse("/x.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        vfs.write_stream_replace(&path.with_stream(afs_vfs::ACTIVE_STREAM), b"spec")
+            .expect("spec");
+        assert!(!check_active_file(&vfs, &path, 7), "unsigned fails");
+        sign_active_file(&vfs, &path, 7).expect("sign");
+        assert!(check_active_file(&vfs, &path, 7));
+        assert!(!check_active_file(&vfs, &path, 8), "wrong key fails");
+        // Tamper with the spec after signing.
+        vfs.write_stream_replace(&path.with_stream(afs_vfs::ACTIVE_STREAM), b"evil")
+            .expect("tamper");
+        assert!(!check_active_file(&vfs, &path, 7), "tampered spec fails");
+    }
+
+    #[test]
+    fn truncated_tag_fails_closed() {
+        let vfs = Vfs::new();
+        let path = VPath::parse("/x.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        vfs.write_stream_replace(&path.with_stream(afs_vfs::ACTIVE_STREAM), b"spec")
+            .expect("spec");
+        vfs.write_stream_replace(&path.with_stream(SIGNATURE_STREAM), &[1, 2, 3])
+            .expect("bad tag");
+        assert!(!check_active_file(&vfs, &path, 7));
+    }
+}

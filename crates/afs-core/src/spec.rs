@@ -1,0 +1,254 @@
+//! The active part: sentinel specification stored in the `:active` stream.
+//!
+//! On NT the active part is "either an executable (in the process-based
+//! approaches) or a DLL (in the DLL-based approaches)" (Appendix A). We
+//! cannot store native code, so the active part is a [`SentinelSpec`]: the
+//! registered *name* of the sentinel program, the implementation
+//! [`Strategy`], the caching [`Backing`], and free-form configuration.
+//! The spec is wire-encoded into the stream, so copying the file copies
+//! the behaviour — a copy of an active file is another active file.
+
+use std::collections::BTreeMap;
+
+use afs_net::{WireError, WireReader, WireWriter};
+
+/// Which of the four implementation approaches of §4 runs this file's
+/// sentinel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// §4.1: a separate "process" connected by two pipes. Streaming
+    /// semantics only; seek, size, and scatter/gather are unsupported.
+    Process,
+    /// §4.2: process plus a control channel; the full file API works.
+    ProcessControl,
+    /// §4.3: sentinel thread injected into the application, shared-memory
+    /// data transfer.
+    DllThread,
+    /// §4.4: sentinel routines called inline; no domain crossing at all.
+    DllOnly,
+}
+
+impl Strategy {
+    fn tag(self) -> u8 {
+        match self {
+            Strategy::Process => 0,
+            Strategy::ProcessControl => 1,
+            Strategy::DllThread => 2,
+            Strategy::DllOnly => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, WireError> {
+        Ok(match t {
+            0 => Strategy::Process,
+            1 => Strategy::ProcessControl,
+            2 => Strategy::DllThread,
+            3 => Strategy::DllOnly,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// All strategies, in the order the paper presents them. Useful for
+    /// equivalence tests and benchmark sweeps.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Process,
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ];
+
+    /// Short label used in benchmark output ("Process", "Thread", "DLL"),
+    /// matching Figure 6's series names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Process => "SimpleProcess",
+            Strategy::ProcessControl => "Process",
+            Strategy::DllThread => "Thread",
+            Strategy::DllOnly => "DLL",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which caching path (Figure 5) the sentinel's context provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backing {
+    /// Path 1: no cache; the sentinel goes to the remote service for every
+    /// operation.
+    #[default]
+    None,
+    /// Path 3: an in-memory cache inside the sentinel.
+    Memory,
+    /// Path 2: the on-disk cache — the data part of the active file.
+    Disk,
+}
+
+impl Backing {
+    fn tag(self) -> u8 {
+        match self {
+            Backing::None => 0,
+            Backing::Memory => 1,
+            Backing::Disk => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, WireError> {
+        Ok(match t {
+            0 => Backing::None,
+            1 => Backing::Memory,
+            2 => Backing::Disk,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+
+    /// Label used in benchmark output ("remote", "disk", "memory").
+    pub fn label(self) -> &'static str {
+        match self {
+            Backing::None => "remote",
+            Backing::Memory => "memory",
+            Backing::Disk => "disk",
+        }
+    }
+}
+
+/// The serialisable description of an active file's behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentinelSpec {
+    name: String,
+    strategy: Strategy,
+    backing: Backing,
+    config: BTreeMap<String, String>,
+}
+
+impl SentinelSpec {
+    /// Creates a spec for the sentinel registered under `name`, run with
+    /// `strategy` and no cache.
+    pub fn new(name: &str, strategy: Strategy) -> Self {
+        SentinelSpec {
+            name: name.to_owned(),
+            strategy,
+            backing: Backing::None,
+            config: BTreeMap::new(),
+        }
+    }
+
+    /// Sets the caching path.
+    pub fn backing(mut self, backing: Backing) -> Self {
+        self.backing = backing;
+        self
+    }
+
+    /// Adds one configuration entry (builder style).
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.config.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// The registered sentinel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The implementation strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The caching path.
+    pub fn backing_kind(&self) -> Backing {
+        self.backing
+    }
+
+    /// The free-form configuration map.
+    pub fn config(&self) -> &BTreeMap<String, String> {
+        &self.config
+    }
+
+    /// Encodes the spec for storage in the `:active` stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.name).u8(self.strategy.tag()).u8(self.backing.tag()).seq(self.config.len());
+        for (k, v) in &self.config {
+            w.str(k).str(v);
+        }
+        w.finish()
+    }
+
+    /// Decodes a spec from the `:active` stream.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] for truncated or corrupted streams.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let name = r.str()?.to_owned();
+        let strategy = Strategy::from_tag(r.u8()?)?;
+        let backing = Backing::from_tag(r.u8()?)?;
+        let n = r.seq()?;
+        let mut config = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.str()?.to_owned();
+            let v = r.str()?.to_owned();
+            config.insert(k, v);
+        }
+        r.finish()?;
+        Ok(SentinelSpec { name, strategy, backing, config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let spec = SentinelSpec::new("compress", Strategy::DllThread)
+            .backing(Backing::Disk)
+            .with("level", "9")
+            .with("service", "files");
+        let decoded = SentinelSpec::decode(&spec.encode()).expect("decode");
+        assert_eq!(decoded, spec);
+        assert_eq!(decoded.config().get("level").map(String::as_str), Some("9"));
+    }
+
+    #[test]
+    fn empty_config_roundtrip() {
+        let spec = SentinelSpec::new("null", Strategy::Process);
+        assert_eq!(SentinelSpec::decode(&spec.encode()).expect("decode"), spec);
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        assert!(SentinelSpec::decode(&[1, 2, 3]).is_err());
+        let mut good = SentinelSpec::new("x", Strategy::DllOnly).encode();
+        good.push(0xFF);
+        assert!(SentinelSpec::decode(&good).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn bad_strategy_tag_rejected() {
+        let mut w = WireWriter::new();
+        w.str("x").u8(99).u8(0).seq(0);
+        assert_eq!(SentinelSpec::decode(&w.finish()), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn labels_match_figure6_series() {
+        assert_eq!(Strategy::ProcessControl.label(), "Process");
+        assert_eq!(Strategy::DllThread.label(), "Thread");
+        assert_eq!(Strategy::DllOnly.label(), "DLL");
+        assert_eq!(Backing::None.label(), "remote");
+        assert_eq!(Backing::Disk.label(), "disk");
+        assert_eq!(Backing::Memory.label(), "memory");
+    }
+
+    #[test]
+    fn all_lists_every_strategy() {
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+}

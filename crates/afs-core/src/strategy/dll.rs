@@ -1,0 +1,105 @@
+//! §4.4 — the DLL-only strategy.
+//!
+//! "The DLL-only implementation approach eliminates this switch by
+//! directly routing file system API calls to appropriate routines in the
+//! sentinel DLL. … This clearly is the most efficient implementation."
+//! The sentinel's `AF_ReadFile`/`AF_WriteFile`/`AF_Control` routines are
+//! the [`SentinelLogic`] methods called inline on the application thread:
+//! no pipes, no events, no domain crossing — the only costs are whatever
+//! the logic itself does.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_winapi::{SeekMethod, Win32Error};
+
+use crate::ctx::SentinelCtx;
+use crate::logic::SentinelLogic;
+use crate::strategy::{to_win32, ActiveOps};
+
+struct Inline {
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    pointer: u64,
+    closed: bool,
+}
+
+/// The DLL-only handle: sentinel state lives inside the application's
+/// handle and every operation is a direct call.
+pub(crate) struct DllHandle {
+    state: Mutex<Inline>,
+}
+
+/// Builds the DLL-only strategy for one open.
+pub(crate) fn open(
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
+    Ok(Arc::new(DllHandle {
+        state: Mutex::new(Inline { logic, ctx, pointer: 0, closed: false }),
+    }))
+}
+
+impl ActiveOps for DllHandle {
+    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
+        let mut s = self.state.lock();
+        let offset = s.pointer;
+        let Inline { logic, ctx, .. } = &mut *s;
+        let n = logic.read(ctx, offset, buf).map_err(|e| to_win32(&e))?;
+        s.pointer += n as u64;
+        Ok(n)
+    }
+
+    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
+        let mut s = self.state.lock();
+        let offset = s.pointer;
+        let Inline { logic, ctx, .. } = &mut *s;
+        let n = logic.write(ctx, offset, data).map_err(|e| to_win32(&e))?;
+        s.pointer += n as u64;
+        Ok(n)
+    }
+
+    fn seek(&self, offset: i64, method: SeekMethod) -> Result<u64, Win32Error> {
+        let mut s = self.state.lock();
+        let base: i64 = match method {
+            SeekMethod::Begin => 0,
+            SeekMethod::Current => s.pointer as i64,
+            SeekMethod::End => {
+                let Inline { logic, ctx, .. } = &mut *s;
+                logic.len(ctx).map_err(|e| to_win32(&e))? as i64
+            }
+        };
+        let target = base.checked_add(offset).ok_or(Win32Error::InvalidParameter)?;
+        if target < 0 {
+            return Err(Win32Error::InvalidParameter);
+        }
+        s.pointer = target as u64;
+        Ok(s.pointer)
+    }
+
+    fn size(&self) -> Result<u64, Win32Error> {
+        let mut s = self.state.lock();
+        let Inline { logic, ctx, .. } = &mut *s;
+        logic.len(ctx).map_err(|e| to_win32(&e))
+    }
+
+    fn flush(&self) -> Result<(), Win32Error> {
+        let mut s = self.state.lock();
+        let Inline { logic, ctx, .. } = &mut *s;
+        logic.flush(ctx).map_err(|e| to_win32(&e))
+    }
+
+    fn close(&self) -> Result<(), Win32Error> {
+        let mut s = self.state.lock();
+        if s.closed {
+            return Ok(());
+        }
+        s.closed = true;
+        let Inline { logic, ctx, .. } = &mut *s;
+        let result = logic.on_close(ctx).map_err(|e| to_win32(&e));
+        ctx.persist_cache();
+        result
+    }
+}

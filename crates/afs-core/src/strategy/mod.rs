@@ -1,0 +1,268 @@
+//! The four implementation approaches of §4.
+//!
+//! Each submodule builds an `ActiveOps` — the per-open object the
+//! intercepted stubs dispatch `ReadFile`/`WriteFile`/… to — with a
+//! different partitioning of functionality between the application and an
+//! external "process":
+//!
+//! | Module | Paper §| Sentinel runs as | Transport | Crossings/op | Copies/transfer |
+//! |--------|---------|------------------|-----------|--------------|-----------------|
+//! | [`process`] | 4.1 | separate process (thread stand-in) | two pipes | 2 process switches | 2 kernel copies |
+//! | [`control`] | 4.2 | separate process | two pipes + control channel | 2 process switches | 2 kernel copies |
+//! | [`thread`]  | 4.3 | thread in the app | shared memory + events | 2 thread switches | 1 user copy |
+//! | [`dll`]     | 4.4 | inline call | none | 0 | logic's own only |
+//!
+//! The shared command/reply protocol and the sentinel dispatch loop live
+//! here; `control` and `thread` differ only in the transports they plug
+//! in — which is precisely the paper's point that the strategies trade
+//! copies and crossings, not semantics.
+
+pub mod control;
+pub mod dll;
+pub mod process;
+pub mod thread;
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{ControlReceiver, ControlSender, IpcError};
+use afs_sim::{clock, SimTime};
+use afs_winapi::Win32Error;
+
+use crate::ctx::SentinelCtx;
+use crate::logic::{SentinelError, SentinelLogic};
+
+/// Application-side operations on one open active file. The file pointer
+/// lives in the implementing handle; stubs call these.
+pub(crate) trait ActiveOps: Send + Sync {
+    /// Reads at the current pointer, advancing it.
+    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error>;
+    /// Writes at the current pointer, advancing it.
+    fn write(&self, data: &[u8]) -> Result<usize, Win32Error>;
+    /// Moves the pointer; `Err(CallNotImplemented)` where the strategy
+    /// cannot seek (§4.1).
+    fn seek(&self, offset: i64, method: afs_winapi::SeekMethod) -> Result<u64, Win32Error>;
+    /// `GetFileSize`.
+    fn size(&self) -> Result<u64, Win32Error>;
+    /// `FlushFileBuffers`.
+    fn flush(&self) -> Result<(), Win32Error>;
+    /// `CloseHandle`: terminates the sentinel and reaps it.
+    fn close(&self) -> Result<(), Win32Error>;
+}
+
+/// Maps sentinel failures to the Win32 codes the application sees.
+pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
+    match e {
+        SentinelError::Unsupported => Win32Error::NotSupported,
+        SentinelError::NoCache => Win32Error::InvalidParameter,
+        SentinelError::Denied(_) => Win32Error::AccessDenied,
+        SentinelError::Net(_) => Win32Error::NetworkError,
+        SentinelError::Vfs(_) => Win32Error::AccessDenied,
+        SentinelError::Other(_) => Win32Error::InvalidParameter,
+    }
+}
+
+/// Commands carried on the control channel (§4.2: "a 'read 50' command is
+/// sent to the sentinel…", "all other file operations are now passed to
+/// the sentinel process as commands with arguments").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Command {
+    /// Produce `len` bytes at `offset`; data follows on the read pipe.
+    Read { offset: u64, len: u32 },
+    /// Consume `len` bytes at `offset`; data follows on the write pipe.
+    Write { offset: u64, len: u32 },
+    /// Report the logical file size.
+    GetSize,
+    /// Flush pending state.
+    Flush,
+    /// Terminate after running the close hook.
+    Close,
+}
+
+/// Replies (returned "along with the data via the read pipe" in the
+/// prototype; a typed reply channel here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reply {
+    /// `n` bytes follow on the data channel.
+    Read { n: u32 },
+    /// The file size.
+    Size(u64),
+    /// Generic success.
+    Done,
+    /// The operation failed.
+    Failed(SentinelError),
+}
+
+/// Sentinel-side data sink (towards the application).
+pub(crate) trait DataTx: Send {
+    /// Transfers one message of bytes.
+    fn send(&self, data: &[u8]) -> Result<(), IpcError>;
+}
+
+/// Sentinel/application-side data source.
+pub(crate) trait DataRx: Send {
+    /// Receives exactly `buf.len()` bytes (one logical message).
+    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError>;
+}
+
+impl DataTx for afs_ipc::PipeWriter {
+    fn send(&self, data: &[u8]) -> Result<(), IpcError> {
+        self.write(data)
+    }
+}
+
+impl DataRx for afs_ipc::PipeReader {
+    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
+        self.read_exact(buf)
+    }
+}
+
+impl DataTx for afs_ipc::SharedBuffer {
+    fn send(&self, data: &[u8]) -> Result<(), IpcError> {
+        afs_ipc::SharedBuffer::send(self, data)
+    }
+}
+
+impl DataRx for afs_ipc::SharedBuffer {
+    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let n = self.recv_into(buf)?;
+        Ok(n.min(buf.len()))
+    }
+}
+
+/// The sentinel dispatch loop shared by the process-plus-control and
+/// DLL-with-thread strategies ("the thread … runs a dispatch loop using
+/// calls to AF_GetControl", §5.3).
+///
+/// Write failures are parked in `sticky` and surfaced on the next
+/// synchronous operation, because writes are acknowledged eagerly
+/// (write-behind, §6).
+pub(crate) fn dispatch_loop(
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+    commands: ControlReceiver<Command>,
+    replies: ControlSender<Reply>,
+    data_in: impl DataRx,
+    data_out: impl DataTx,
+    sticky: Arc<Mutex<Option<SentinelError>>>,
+) {
+    loop {
+        let command = match commands.recv() {
+            Ok(c) => c,
+            // The application vanished without Close (process killed);
+            // still run the close hook.
+            Err(_) => {
+                let _ = logic.on_close(&mut ctx);
+                ctx.persist_cache();
+                break;
+            }
+        };
+        // A parked write-behind failure pre-empts the next synchronous
+        // command, so the application learns of it deterministically
+        // (commands are processed in order).
+        if !matches!(command, Command::Write { .. } | Command::Close) {
+            if let Some(e) = sticky.lock().take() {
+                if replies.send(Reply::Failed(e)).is_err() {
+                    break;
+                }
+                continue;
+            }
+        }
+        match command {
+            Command::Read { offset, len } => {
+                let mut buf = vec![0u8; len as usize];
+                match logic.read(&mut ctx, offset, &mut buf) {
+                    Ok(n) => {
+                        if replies.send(Reply::Read { n: n as u32 }).is_err() {
+                            break;
+                        }
+                        if n > 0 && data_out.send(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        if replies.send(Reply::Failed(e)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Command::Write { offset, len } => {
+                let mut buf = vec![0u8; len as usize];
+                if data_in.recv_exact(&mut buf).is_err() {
+                    break;
+                }
+                if let Err(e) = logic.write(&mut ctx, offset, &buf) {
+                    *sticky.lock() = Some(e);
+                }
+            }
+            Command::GetSize => {
+                let reply = match logic.len(&mut ctx) {
+                    Ok(n) => Reply::Size(n),
+                    Err(e) => Reply::Failed(e),
+                };
+                if replies.send(reply).is_err() {
+                    break;
+                }
+            }
+            Command::Flush => {
+                let reply = match logic.flush(&mut ctx) {
+                    Ok(()) => Reply::Done,
+                    Err(e) => Reply::Failed(e),
+                };
+                if replies.send(reply).is_err() {
+                    break;
+                }
+            }
+            Command::Close => {
+                let reply = match logic.on_close(&mut ctx) {
+                    Ok(()) => Reply::Done,
+                    Err(e) => Reply::Failed(e),
+                };
+                ctx.persist_cache();
+                let _ = replies.send(reply);
+                break;
+            }
+        }
+    }
+}
+
+/// Spawns a sentinel thread that inherits the opener's virtual clock and
+/// reports its final virtual time, which the closing application joins on
+/// and synchronises to.
+pub(crate) fn spawn_sentinel<F>(name: &str, body: F) -> JoinHandle<SimTime>
+where
+    F: FnOnce() + Send + 'static,
+{
+    let parent_active = clock::is_active();
+    let parent_now = clock::now();
+    std::thread::Builder::new()
+        .name(format!("sentinel-{name}"))
+        .spawn(move || {
+            if parent_active {
+                let _guard = clock::install(parent_now);
+                body();
+                clock::now()
+            } else {
+                body();
+                0
+            }
+        })
+        .expect("spawn sentinel thread")
+}
+
+/// Joins the sentinel on close and folds its final virtual time into the
+/// closing thread's clock (the application waits for sentinel
+/// termination).
+pub(crate) fn reap(join: &Mutex<Option<JoinHandle<SimTime>>>) {
+    if let Some(handle) = join.lock().take() {
+        if let Ok(final_time) = handle.join() {
+            clock::sync_to(final_time);
+        }
+    }
+}

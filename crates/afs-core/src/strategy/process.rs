@@ -1,0 +1,217 @@
+//! §4.1 — the simple process-based strategy.
+//!
+//! "The process-based implementation approach is the simple and intuitive
+//! method, directly reflecting active file semantics": the sentinel runs
+//! as a separate process whose standard input and output are two
+//! anonymous pipes; application reads pull from the read pipe, writes push
+//! into the write pipe. There is no control channel, so the semantics are
+//! purely streaming: "operations such as ReadFileScatter (or seek in
+//! Unix) and GetFileSize cannot be implemented as there is no method of
+//! passing control information", and the client stubs drop them "with an
+//! appropriate return code" (Appendix A.2).
+//!
+//! Two programming models are supported, as in the paper:
+//!
+//! * **Raw** ([`RawProcessSentinel`]) — hand-written, Figure 2 style: the
+//!   sentinel's `main` receives a [`ProcessIo`] with `stdin`, `stdout`,
+//!   and the context, and does whatever it wants (typically two
+//!   threads, one per direction).
+//! * **Adapted** — any [`SentinelLogic`] is pumped through the pipes by a
+//!   generated two-thread sentinel, the "automatic translation" of §5.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{Pipe, PipeReader, PipeWriter};
+use afs_sim::{CostModel, CrossingKind};
+use afs_winapi::{SeekMethod, Win32Error};
+
+use crate::ctx::SentinelCtx;
+use crate::logic::SentinelLogic;
+use crate::strategy::{reap, spawn_sentinel, to_win32, ActiveOps};
+
+/// Buffer size of the Figure 2 pump loops (`char buf[1024]`).
+const PUMP_CHUNK: usize = 1024;
+
+/// What a hand-written process sentinel receives: its standard streams
+/// (already wired to the application's pipes) and the execution context.
+pub struct ProcessIo {
+    /// Data the application writes arrives here (the write pipe).
+    pub stdin: PipeReader,
+    /// Data sent here satisfies application reads (the read pipe).
+    pub stdout: PipeWriter,
+    /// The sentinel's context: cache, network, config, sync.
+    pub ctx: SentinelCtx,
+}
+
+/// A hand-written process sentinel (the Figure 2 programming model):
+/// "the sentinel process can be developed as a standalone executable
+/// independent of its interactions with other processes" (§5.1).
+pub trait RawProcessSentinel: Send {
+    /// The sentinel's `main`. Returning ends the sentinel; the runtime
+    /// closes both pipes afterwards.
+    fn run(&mut self, io: ProcessIo);
+}
+
+/// Application-side handle: two pipe ends, streaming only.
+pub(crate) struct ProcessHandle {
+    to_sentinel: Mutex<Option<PipeWriter>>,
+    from_sentinel: Mutex<Option<PipeReader>>,
+    model: CostModel,
+    join: Mutex<Option<std::thread::JoinHandle<afs_sim::SimTime>>>,
+}
+
+impl ProcessHandle {
+    fn charge_round_trip(&self) {
+        self.model.charge(afs_sim::Cost::Crossing(CrossingKind::InterProcess));
+        self.model.charge(afs_sim::Cost::Crossing(CrossingKind::InterProcess));
+    }
+}
+
+impl ActiveOps for ProcessHandle {
+    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
+        self.charge_round_trip();
+        let guard = self.from_sentinel.lock();
+        let reader = guard.as_ref().ok_or(Win32Error::BrokenPipe)?;
+        reader.read(buf).map_err(|_| Win32Error::BrokenPipe)
+    }
+
+    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
+        self.charge_round_trip();
+        let guard = self.to_sentinel.lock();
+        let writer = guard.as_ref().ok_or(Win32Error::BrokenPipe)?;
+        writer.write(data).map_err(|_| Win32Error::BrokenPipe)?;
+        Ok(data.len())
+    }
+
+    fn seek(&self, _offset: i64, _method: SeekMethod) -> Result<u64, Win32Error> {
+        // "seek in Unix … cannot be implemented" (§4.1).
+        Err(Win32Error::CallNotImplemented)
+    }
+
+    fn size(&self) -> Result<u64, Win32Error> {
+        // "GetFileSize cannot be implemented" (§4.1).
+        Err(Win32Error::CallNotImplemented)
+    }
+
+    fn flush(&self) -> Result<(), Win32Error> {
+        Ok(())
+    }
+
+    fn close(&self) -> Result<(), Win32Error> {
+        // Dropping the write end delivers EOF to the sentinel's stdin, and
+        // dropping the read end breaks any pump blocked on a full read
+        // pipe; the sentinel then finishes and is reaped. "The CloseHandle
+        // call just shuts down the created pipes" (Appendix A.2).
+        self.to_sentinel.lock().take();
+        self.from_sentinel.lock().take();
+        reap(&self.join);
+        Ok(())
+    }
+}
+
+/// Builds the simple process strategy around a hand-written sentinel.
+pub(crate) fn open_raw(
+    mut sentinel: Box<dyn RawProcessSentinel>,
+    ctx: SentinelCtx,
+    model: CostModel,
+) -> Arc<dyn ActiveOps> {
+    let crossing = CrossingKind::InterProcess;
+    let (app_write, sentinel_stdin) = Pipe::anonymous(model.clone(), crossing);
+    let (sentinel_stdout, app_read) = Pipe::anonymous(model.clone(), crossing);
+    let join = spawn_sentinel("process", move || {
+        sentinel.run(ProcessIo { stdin: sentinel_stdin, stdout: sentinel_stdout, ctx });
+    });
+    Arc::new(ProcessHandle {
+        to_sentinel: Mutex::new(Some(app_write)),
+        from_sentinel: Mutex::new(Some(app_read)),
+        model,
+        join: Mutex::new(Some(join)),
+    })
+}
+
+/// Builds the simple process strategy around a strategy-independent
+/// [`SentinelLogic`] by generating the Figure 2 pump sentinel: one thread
+/// streams `logic.read` into stdout, the main loop streams stdin into
+/// `logic.write`.
+pub(crate) fn open_logic(
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+    model: CostModel,
+) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
+    let crossing = CrossingKind::InterProcess;
+    let (app_write, sentinel_stdin) = Pipe::anonymous(model.clone(), crossing);
+    let (sentinel_stdout, app_read) = Pipe::anonymous(model.clone(), crossing);
+    let join = spawn_sentinel("process", move || {
+        pump(logic, ctx, sentinel_stdin, sentinel_stdout);
+    });
+    Ok(Arc::new(ProcessHandle {
+        to_sentinel: Mutex::new(Some(app_write)),
+        from_sentinel: Mutex::new(Some(app_read)),
+        model,
+        join: Mutex::new(Some(join)),
+    }))
+}
+
+/// The generated two-thread sentinel (Figure 2's `RWThrd` pair).
+fn pump(
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    stdin: PipeReader,
+    stdout: PipeWriter,
+) {
+    struct Shared {
+        logic: Box<dyn SentinelLogic>,
+        ctx: SentinelCtx,
+    }
+    let shared = Arc::new(Mutex::new(Shared { logic, ctx }));
+
+    // Read-direction thread: stream the logic's byte sequence into the
+    // read pipe until end-of-data or the application stops listening.
+    let reader_shared = Arc::clone(&shared);
+    let reader = spawn_sentinel("process-read", move || {
+        let mut cursor = 0u64;
+        let mut buf = [0u8; PUMP_CHUNK];
+        loop {
+            let produced = {
+                let mut s = reader_shared.lock();
+                let Shared { logic, ctx } = &mut *s;
+                logic.read(ctx, cursor, &mut buf)
+            };
+            match produced {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    cursor += n as u64;
+                    if stdout.write(&buf[..n]).is_err() {
+                        break; // application closed its read end
+                    }
+                }
+            }
+        }
+    });
+
+    // Write direction on this thread: drain stdin into the logic.
+    let mut cursor = 0u64;
+    let mut buf = [0u8; PUMP_CHUNK];
+    loop {
+        match stdin.read(&mut buf) {
+            Ok(0) | Err(_) => break, // EOF: application closed
+            Ok(n) => {
+                let mut s = shared.lock();
+                let Shared { logic, ctx } = &mut *s;
+                if logic.write(ctx, cursor, &buf[..n]).is_err() {
+                    break;
+                }
+                cursor += n as u64;
+            }
+        }
+    }
+
+    let _ = reader.join();
+    let mut s = shared.lock();
+    let Shared { logic, ctx } = &mut *s;
+    let _ = logic.on_close(ctx);
+    ctx.persist_cache();
+}

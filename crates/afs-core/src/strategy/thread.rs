@@ -1,0 +1,76 @@
+//! §4.3 — the DLL-with-thread strategy.
+//!
+//! "Instead of a stand-alone process, this approach encapsulates sentinel
+//! functionality into a separate DLL … Opening an active file 'injects'
+//! the sentinel DLL associated with the file into the application and
+//! starts a thread for running the orchestration routine." Data moves
+//! through shared memory with event signalling — one user-level copy per
+//! transfer instead of the pipes' two kernel copies, and thread switches
+//! instead of process switches.
+//!
+//! The command protocol is identical to the process-plus-control strategy
+//! (the six `AF_*` library calls of Appendix A.3 map onto it):
+//!
+//! | Appendix A.3 call        | Here                                      |
+//! |--------------------------|-------------------------------------------|
+//! | `AF_SendControl`         | command send on the user-level channel     |
+//! | `AF_GetControl`          | command recv in the dispatch loop          |
+//! | `AF_SendDataToSentinel`  | [`SharedBuffer::send`] app → sentinel      |
+//! | `AF_GetDataFromAppl`     | `recv` in the dispatch loop                |
+//! | `AF_SendDataToAppl`      | [`SharedBuffer::send`] sentinel → app      |
+//! | `AF_GetDataFromSentinel` | `recv_exact` in the dispatch handle        |
+//!
+//! [`SharedBuffer::send`]: afs_ipc::SharedBuffer::send
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{ControlChannel, SharedBuffer};
+use afs_sim::{CostModel, CrossingKind};
+
+use crate::ctx::SentinelCtx;
+use crate::logic::SentinelLogic;
+use crate::strategy::control::DispatchHandle;
+use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Command, Reply};
+
+/// Builds the DLL-with-thread strategy for one open: starts the
+/// `SentinelThrdMain` thread inside the "application process" and wires
+/// shared-memory buffers plus user-level control channels.
+pub(crate) fn open(
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+    model: CostModel,
+) -> Result<Arc<dyn ActiveOps>, afs_winapi::Win32Error> {
+    logic.on_open(&mut ctx).map_err(|e| crate::strategy::to_win32(&e))?;
+    let crossing = CrossingKind::InterThread;
+    let (cmd_tx, cmd_rx) = ControlChannel::user_level::<Command>(model.clone());
+    let (reply_tx, reply_rx) = ControlChannel::user_level::<Reply>(model.clone());
+    let to_sentinel = SharedBuffer::new(model.clone());
+    let to_app = SharedBuffer::new(model.clone());
+    let sticky = Arc::new(Mutex::new(None));
+    let sentinel_sticky = Arc::clone(&sticky);
+    let sentinel_in = to_sentinel.clone();
+    let sentinel_out = to_app.clone();
+    let join = spawn_sentinel("thread", move || {
+        dispatch_loop(
+            logic,
+            ctx,
+            cmd_rx,
+            reply_tx,
+            sentinel_in,
+            sentinel_out,
+            sentinel_sticky,
+        );
+    });
+    Ok(Arc::new(DispatchHandle::new(
+        cmd_tx,
+        reply_rx,
+        to_sentinel,
+        to_app,
+        crossing,
+        model,
+        sticky,
+        join,
+    )))
+}

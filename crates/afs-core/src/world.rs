@@ -1,0 +1,218 @@
+//! World assembly: one call to stand up the whole simulated system.
+//!
+//! An [`AfsWorld`] owns the local file system, the network with its remote
+//! services, the sentinel registry, the named-sync namespace, the cost
+//! model, and a [`MediatingConnector`] with the active-files layer
+//! installed **securely** (the application cannot undo the interception,
+//! §4). Applications, tests, examples, and benches all talk to
+//! [`AfsWorld::api`].
+
+use std::sync::Arc;
+
+use afs_interpose::{ApiLayer, MediatingConnector};
+use afs_ipc::SyncRegistry;
+use afs_net::Network;
+use afs_sim::{CostModel, HardwareProfile};
+use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
+use afs_winapi::{PassiveFileApi, Win32Error};
+
+use crate::afs::ActiveFilesLayer;
+use crate::registry::SentinelRegistry;
+use crate::spec::SentinelSpec;
+
+/// Builder for [`AfsWorld`].
+pub struct AfsWorldBuilder {
+    profile: HardwareProfile,
+    user: String,
+    signing_key: Option<u64>,
+}
+
+impl Default for AfsWorldBuilder {
+    fn default() -> Self {
+        AfsWorldBuilder {
+            profile: HardwareProfile::free(),
+            user: "user".to_owned(),
+            signing_key: None,
+        }
+    }
+}
+
+impl AfsWorldBuilder {
+    /// Selects the hardware profile (default: [`HardwareProfile::free`],
+    /// i.e. semantics-only).
+    pub fn profile(mut self, profile: HardwareProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the user id sentinels run under (§2.3).
+    pub fn user(mut self, user: &str) -> Self {
+        self.user = user.to_owned();
+        self
+    }
+
+    /// Enables the code-signing policy (§2.3 extension): only active
+    /// files whose `:active` stream verifies against `key` may launch
+    /// sentinels. Sign files with [`AfsWorld::sign_active_file`].
+    pub fn require_signed(mut self, key: u64) -> Self {
+        self.signing_key = Some(key);
+        self
+    }
+
+    /// Builds the world.
+    pub fn build(self) -> AfsWorld {
+        let model = CostModel::new(self.profile);
+        let vfs = Arc::new(Vfs::new());
+        let net = Network::new(model.clone());
+        let registry = SentinelRegistry::new();
+        crate::world::register_builtin(&registry);
+        let sync = SyncRegistry::new();
+        let passive = Arc::new(PassiveFileApi::new(Arc::clone(&vfs), model.clone()));
+        let connector = MediatingConnector::new(passive);
+        let mut layer = ActiveFilesLayer::new(
+            Arc::clone(&vfs),
+            net.clone(),
+            registry.clone(),
+            sync.clone(),
+            model.clone(),
+            &self.user,
+        );
+        if let Some(key) = self.signing_key {
+            layer = layer.with_signing_key(key);
+        }
+        let layer = Arc::new(layer);
+        connector
+            .install_secure(Arc::clone(&layer) as Arc<dyn ApiLayer>)
+            .expect("fresh connector accepts the active-files layer");
+        AfsWorld { vfs, net, registry, sync, model, connector, layer, user: self.user }
+    }
+}
+
+/// A fully wired simulated system.
+pub struct AfsWorld {
+    vfs: Arc<Vfs>,
+    net: Network,
+    registry: SentinelRegistry,
+    sync: SyncRegistry,
+    model: CostModel,
+    connector: MediatingConnector,
+    layer: Arc<ActiveFilesLayer>,
+    user: String,
+}
+
+impl std::fmt::Debug for AfsWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AfsWorld")
+            .field("user", &self.user)
+            .field("services", &self.net.services())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registers the sentinels every world knows out of the box.
+fn register_builtin(registry: &SentinelRegistry) {
+    registry.register("null", |_| Box::new(crate::logic::NullSentinel::new()));
+}
+
+impl AfsWorld {
+    /// Starts a builder.
+    pub fn builder() -> AfsWorldBuilder {
+        AfsWorldBuilder::default()
+    }
+
+    /// A semantics-only world (free cost model, default user).
+    pub fn new() -> Self {
+        AfsWorld::builder().build()
+    }
+
+    /// The application's file API — the simulated, already-intercepted
+    /// IAT. Cheap to clone.
+    pub fn api(&self) -> afs_interpose::ApiHandle {
+        self.connector.api()
+    }
+
+    /// The local file system.
+    pub fn vfs(&self) -> &Arc<Vfs> {
+        &self.vfs
+    }
+
+    /// The network; register remote services here.
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// The sentinel registry; register custom sentinels here.
+    pub fn sentinels(&self) -> &SentinelRegistry {
+        &self.registry
+    }
+
+    /// The named-synchronisation namespace.
+    pub fn sync(&self) -> &SyncRegistry {
+        &self.sync
+    }
+
+    /// The cost model shared by every component.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The interception manager (for tests that install extra layers).
+    pub fn connector(&self) -> &MediatingConnector {
+        &self.connector
+    }
+
+    /// The user sentinels run under.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Number of live sentinels (open active handles) in this world.
+    pub fn open_sentinel_count(&self) -> usize {
+        self.layer.open_sentinels()
+    }
+
+    /// Creates an active file at `path`: an empty data part plus the
+    /// encoded `spec` in the `:active` stream. Parent directories are
+    /// created as needed; an existing file gains the active part.
+    ///
+    /// # Errors
+    ///
+    /// [`Win32Error`] on invalid paths or VFS failures.
+    pub fn install_active_file(&self, path: &str, spec: &SentinelSpec) -> Result<(), Win32Error> {
+        let vpath = VPath::parse(path)?;
+        if let Some(parent) = vpath.parent() {
+            self.vfs.create_dir_all(&parent)?;
+        }
+        if !self.vfs.is_file(&vpath.file_path()) {
+            self.vfs.create_file(&vpath.file_path())?;
+        }
+        self.vfs
+            .write_stream_replace(&vpath.with_stream(ACTIVE_STREAM), &spec.encode())?;
+        Ok(())
+    }
+
+    /// Signs the active part of `path` with `key` (see
+    /// [`AfsWorldBuilder::require_signed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Win32Error`] if the path or its active part is missing.
+    pub fn sign_active_file(&self, path: &str, key: u64) -> Result<(), Win32Error> {
+        let vpath = VPath::parse(path)?;
+        crate::security::sign_active_file(&self.vfs, &vpath.file_path(), key)?;
+        Ok(())
+    }
+
+    /// Reads back the spec installed at `path`, if any.
+    pub fn active_spec(&self, path: &str) -> Option<SentinelSpec> {
+        let vpath = VPath::parse(path).ok()?;
+        let bytes = self.vfs.read_stream_to_end(&vpath.with_stream(ACTIVE_STREAM)).ok()?;
+        SentinelSpec::decode(&bytes).ok()
+    }
+}
+
+impl Default for AfsWorld {
+    fn default() -> Self {
+        AfsWorld::new()
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-call accounting layer.
+//!
+//! Installing a [`CountingLayer`] records how many times each instrumented
+//! API entry point was invoked through the chain — the reproduction's
+//! stand-in for the call tracing the Mediating Connectors toolkit offers,
+//! and the mechanism tests use to prove calls really were diverted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use afs_winapi::{
+    Access, ApiResult, DelegateFileApi, Disposition, FileApi, Handle, Layered, SeekMethod,
+};
+
+use crate::connector::ApiLayer;
+
+/// Shared counters, one per instrumented entry point.
+#[derive(Debug, Default)]
+pub struct CallCounters {
+    create_file: AtomicU64,
+    read_file: AtomicU64,
+    write_file: AtomicU64,
+    close_handle: AtomicU64,
+    get_file_size: AtomicU64,
+    set_file_pointer: AtomicU64,
+    other: AtomicU64,
+}
+
+/// A point-in-time copy of [`CallCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// `CreateFile`/`OpenFile` calls.
+    pub create_file: u64,
+    /// `ReadFile` calls.
+    pub read_file: u64,
+    /// `WriteFile` calls.
+    pub write_file: u64,
+    /// `CloseHandle` calls.
+    pub close_handle: u64,
+    /// `GetFileSize` calls.
+    pub get_file_size: u64,
+    /// `SetFilePointer` calls.
+    pub set_file_pointer: u64,
+    /// Every other instrumented call.
+    pub other: u64,
+}
+
+impl CallCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CallCounters::default())
+    }
+
+    /// Copies out the current values.
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            create_file: self.create_file.load(Ordering::Relaxed),
+            read_file: self.read_file.load(Ordering::Relaxed),
+            write_file: self.write_file.load(Ordering::Relaxed),
+            close_handle: self.close_handle.load(Ordering::Relaxed),
+            get_file_size: self.get_file_size.load(Ordering::Relaxed),
+            set_file_pointer: self.set_file_pointer.load(Ordering::Relaxed),
+            other: self.other.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The installable counting layer.
+#[derive(Debug)]
+pub struct CountingLayer {
+    counters: Arc<CallCounters>,
+}
+
+impl CountingLayer {
+    /// Creates a layer recording into `counters`.
+    pub fn new(counters: Arc<CallCounters>) -> Self {
+        CountingLayer { counters }
+    }
+}
+
+impl ApiLayer for CountingLayer {
+    fn name(&self) -> &str {
+        "call-counters"
+    }
+
+    fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
+        Arc::new(Layered(CountingApi { inner, counters: Arc::clone(&self.counters) }))
+    }
+}
+
+struct CountingApi {
+    inner: Arc<dyn FileApi>,
+    counters: Arc<CallCounters>,
+}
+
+impl DelegateFileApi for CountingApi {
+    fn delegate(&self) -> &dyn FileApi {
+        &*self.inner
+    }
+
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        self.counters.create_file.fetch_add(1, Ordering::Relaxed);
+        self.delegate().create_file(path, access, disposition)
+    }
+
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
+        self.counters.read_file.fetch_add(1, Ordering::Relaxed);
+        self.delegate().read_file(handle, buf)
+    }
+
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
+        self.counters.write_file.fetch_add(1, Ordering::Relaxed);
+        self.delegate().write_file(handle, data)
+    }
+
+    fn close_handle(&self, handle: Handle) -> ApiResult<()> {
+        self.counters.close_handle.fetch_add(1, Ordering::Relaxed);
+        self.delegate().close_handle(handle)
+    }
+
+    fn get_file_size(&self, handle: Handle) -> ApiResult<u64> {
+        self.counters.get_file_size.fetch_add(1, Ordering::Relaxed);
+        self.delegate().get_file_size(handle)
+    }
+
+    fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
+        self.counters.set_file_pointer.fetch_add(1, Ordering::Relaxed);
+        self.delegate().set_file_pointer(handle, offset, method)
+    }
+
+    fn delete_file(&self, path: &str) -> ApiResult<()> {
+        self.counters.other.fetch_add(1, Ordering::Relaxed);
+        self.delegate().delete_file(path)
+    }
+
+    fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        self.counters.other.fetch_add(1, Ordering::Relaxed);
+        self.delegate().copy_file(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::MediatingConnector;
+    use afs_sim::CostModel;
+    use afs_vfs::Vfs;
+    use afs_winapi::PassiveFileApi;
+
+    #[test]
+    fn counters_record_diverted_calls() {
+        let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+        let conn = MediatingConnector::new(base);
+        let counters = CallCounters::new();
+        conn.install(Arc::new(CountingLayer::new(Arc::clone(&counters))))
+            .expect("install");
+        let api = conn.api();
+        let h = api
+            .create_file("/f", Access::read_write(), Disposition::CreateAlways)
+            .expect("create");
+        api.write_file(h, b"abc").expect("write");
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+        let mut buf = [0u8; 3];
+        api.read_file(h, &mut buf).expect("read");
+        api.get_file_size(h).expect("size");
+        api.close_handle(h).expect("close");
+        api.copy_file("/f", "/g").expect("copy");
+        let snap = counters.snapshot();
+        assert_eq!(snap.create_file, 1);
+        assert_eq!(snap.write_file, 1);
+        assert_eq!(snap.read_file, 1);
+        assert_eq!(snap.set_file_pointer, 1);
+        assert_eq!(snap.get_file_size, 1);
+        assert_eq!(snap.close_handle, 1);
+        assert_eq!(snap.other, 1);
+    }
+
+    #[test]
+    fn uninstalled_counters_stop_recording() {
+        let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+        let conn = MediatingConnector::new(base);
+        let counters = CallCounters::new();
+        conn.install(Arc::new(CountingLayer::new(Arc::clone(&counters))))
+            .expect("install");
+        conn.uninstall("call-counters").expect("uninstall");
+        let api = conn.api();
+        let h = api
+            .create_file("/f", Access::read_write(), Disposition::CreateAlways)
+            .expect("create");
+        api.close_handle(h).expect("close");
+        assert_eq!(counters.snapshot(), CountersSnapshot::default());
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! User-level API interception, modelling the Mediating Connectors
+//! toolkit.
+//!
+//! The prototype rediverts, at runtime, "the file system API calls
+//! initially intended for the Kernel32 DLL, to stub functions that
+//! implement the features of the active files", using import-address-table
+//! (IAT) patching, and notes that "interception can be done in a secure
+//! fashion such that the application cannot undo it" (§4).
+//!
+//! In this reproduction an application holds an [`ApiHandle`] — the
+//! analogue of its IAT: a stable object whose every [`FileApi`](afs_winapi::FileApi) method
+//! forwards to whatever interception chain is currently installed in the
+//! owning [`MediatingConnector`]. Installing a layer at runtime changes the
+//! behaviour of *already-distributed* handles, exactly as IAT patching
+//! changes the behaviour of already-loaded call sites; the application
+//! cannot tell and does not participate.
+//!
+//! * [`MediatingConnector::install`] pushes an [`ApiLayer`] onto the chain
+//!   (innermost first).
+//! * [`MediatingConnector::uninstall`] removes it — unless the layer was
+//!   installed with [`MediatingConnector::install_secure`], in which case
+//!   removal fails: the secure interception of the paper.
+//! * [`CallCounters`] provides the per-API-call accounting used by tests
+//!   and the benchmark harness to verify who handled which call.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use afs_interpose::{ApiLayer, MediatingConnector};
+//! use afs_winapi::{Access, Disposition, FileApi, PassiveFileApi};
+//! use afs_vfs::Vfs;
+//! use afs_sim::CostModel;
+//!
+//! # fn main() -> Result<(), afs_winapi::Win32Error> {
+//! let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+//! let connector = MediatingConnector::new(base);
+//! let app_api = connector.api(); // the application's "IAT"
+//! let h = app_api.create_file("/f", Access::read_write(), Disposition::CreateAlways)?;
+//! app_api.close_handle(h)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod connector;
+mod counters;
+
+pub use connector::{ApiHandle, ApiLayer, InterposeError, MediatingConnector};
+pub use counters::{CallCounters, CountersSnapshot, CountingLayer};

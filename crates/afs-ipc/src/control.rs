@@ -1,0 +1,259 @@
+//! The control channel of the process-plus-control strategy (§4.2).
+//!
+//! "All API requests from the application are first transmitted to the
+//! sentinel process via the control channel" — a `read 50` or `write 30`
+//! command precedes every data transfer, and every other file operation is
+//! "passed to the sentinel process as commands with arguments".
+//!
+//! A [`ControlChannel`] is a typed, unbounded FIFO of command values. Each
+//! send charges one syscall plus the fixed pipe-message overhead (control
+//! messages are small; their payload cost is negligible next to the data
+//! pipes), and timestamps the message with the sender's virtual clock; the
+//! receiver synchronises forward when it dequeues.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use afs_sim::{clock, Cost, CostModel, SimTime};
+
+use crate::{IpcError, Result};
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<(T, SimTime)>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// How sends are charged: over a kernel pipe (process strategies) or via
+/// user-level events and shared memory (the DLL-with-thread strategy,
+/// Appendix A.3: "these 'messages' are implemented using events and shared
+/// memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    Kernel,
+    UserLevel,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    model: CostModel,
+    transport: Transport,
+    state: Mutex<State<T>>,
+    available: Condvar,
+}
+
+/// Factory for control channel endpoint pairs.
+#[derive(Debug)]
+pub struct ControlChannel;
+
+impl ControlChannel {
+    /// Creates a typed control channel carried over a kernel pipe: each
+    /// send charges one syscall plus the per-message pipe overhead.
+    #[allow(clippy::new_ret_no_self)] // factory for an endpoint pair, like Pipe::anonymous
+    pub fn new<T: Send>(model: CostModel) -> (ControlSender<T>, ControlReceiver<T>) {
+        Self::with_transport(model, Transport::Kernel)
+    }
+
+    /// Creates a typed control channel carried over user-level events and
+    /// shared memory: each send charges only one event signal.
+    pub fn user_level<T: Send>(model: CostModel) -> (ControlSender<T>, ControlReceiver<T>) {
+        Self::with_transport(model, Transport::UserLevel)
+    }
+
+    fn with_transport<T: Send>(
+        model: CostModel,
+        transport: Transport,
+    ) -> (ControlSender<T>, ControlReceiver<T>) {
+        let inner = Arc::new(Inner {
+            model,
+            transport,
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            available: Condvar::new(),
+        });
+        (
+            ControlSender { inner: Arc::clone(&inner) },
+            ControlReceiver { inner },
+        )
+    }
+}
+
+/// Sending half of a control channel.
+#[derive(Debug)]
+pub struct ControlSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send> ControlSender<T> {
+    /// Enqueues a command for the sentinel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::BrokenPipe`] if the receiving end is gone.
+    pub fn send(&self, msg: T) -> Result<()> {
+        let inner = &*self.inner;
+        match inner.transport {
+            Transport::Kernel => {
+                inner.model.charge(Cost::Syscall);
+                inner.model.charge(Cost::PipeMessage);
+            }
+            Transport::UserLevel => {
+                inner.model.charge(Cost::EventSignal);
+            }
+        }
+        let stamp = clock::now();
+        let mut state = inner.state.lock();
+        if state.receivers == 0 {
+            return Err(IpcError::BrokenPipe);
+        }
+        state.queue.push_back((msg, stamp));
+        inner.available.notify_one();
+        Ok(())
+    }
+
+    /// Duplicates the sender handle.
+    pub fn duplicate(&self) -> ControlSender<T> {
+        self.inner.state.lock().senders += 1;
+        ControlSender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for ControlSender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.inner.available.notify_all();
+        }
+    }
+}
+
+/// Receiving half of a control channel.
+#[derive(Debug)]
+pub struct ControlReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Send> ControlReceiver<T> {
+    /// Dequeues the next command, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::Closed`] once all senders are gone and the
+    /// queue is drained — the sentinel's dispatch loop uses this to
+    /// terminate.
+    pub fn recv(&self) -> Result<T> {
+        let inner = &*self.inner;
+        if inner.transport == Transport::Kernel {
+            inner.model.charge(Cost::Syscall);
+        }
+        let mut state = inner.state.lock();
+        loop {
+            if let Some((msg, stamp)) = state.queue.pop_front() {
+                clock::sync_to(stamp);
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(IpcError::Closed);
+            }
+            inner.available.wait(&mut state);
+        }
+    }
+
+    /// Dequeues a command if one is already queued; never blocks.
+    pub fn try_recv(&self) -> Result<Option<T>> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        if let Some((msg, stamp)) = state.queue.pop_front() {
+            clock::sync_to(stamp);
+            return Ok(Some(msg));
+        }
+        if state.senders == 0 {
+            return Err(IpcError::Closed);
+        }
+        Ok(None)
+    }
+}
+
+impl<T> Drop for ControlReceiver<T> {
+    fn drop(&mut self) {
+        self.inner.state.lock().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::HardwareProfile;
+
+    #[test]
+    fn commands_arrive_in_order() {
+        let (tx, rx) = ControlChannel::new::<u32>(CostModel::free());
+        for i in 0..10 {
+            tx.send(i).expect("send");
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().expect("recv"), i);
+        }
+    }
+
+    #[test]
+    fn recv_after_sender_drop_is_closed() {
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::free());
+        tx.send(1).expect("send");
+        drop(tx);
+        assert_eq!(rx.recv().expect("last message"), 1);
+        assert_eq!(rx.recv(), Err(IpcError::Closed));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_is_broken() {
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::free());
+        drop(rx);
+        assert_eq!(tx.send(1), Err(IpcError::BrokenPipe));
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::free());
+        assert_eq!(rx.try_recv().expect("empty"), None);
+        tx.send(9).expect("send");
+        assert_eq!(rx.try_recv().expect("one"), Some(9));
+    }
+
+    #[test]
+    fn timestamps_propagate() {
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::new(HardwareProfile::pentium_ii_300()));
+        std::thread::spawn(move || {
+            let _g = clock::install(5_000_000);
+            tx.send(1).expect("send");
+        })
+        .join()
+        .expect("join");
+        let _g = clock::install(0);
+        rx.recv().expect("recv");
+        assert!(clock::now() >= 5_000_000);
+    }
+
+    #[test]
+    fn duplicated_sender_keeps_channel_open() {
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::free());
+        let tx2 = tx.duplicate();
+        drop(tx);
+        tx2.send(3).expect("send via dup");
+        assert_eq!(rx.recv().expect("recv"), 3);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(IpcError::Closed));
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = ControlChannel::new::<u64>(CostModel::free());
+        let t = std::thread::spawn(move || rx.recv().expect("recv"));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).expect("send");
+        assert_eq!(t.join().expect("join"), 42);
+    }
+}

@@ -1,0 +1,227 @@
+//! NT-style event objects.
+//!
+//! The DLL-with-thread strategy synchronises the application thread and the
+//! in-process sentinel thread with events plus shared memory ("these
+//! 'messages' are implemented using events and shared memory", Appendix
+//! A.3). An [`Event`] supports the two NT reset modes:
+//!
+//! * [`ResetMode::Auto`] — a wait consumes the signal (one waiter released
+//!   per signal),
+//! * [`ResetMode::Manual`] — the event stays signalled until reset.
+//!
+//! Signals carry the signaller's virtual clock; a satisfied wait
+//! synchronises the waiter forward.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use afs_sim::{clock, Cost, CostModel, SimTime};
+
+/// Whether a satisfied wait consumes the signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResetMode {
+    /// The event resets automatically when a single wait is satisfied.
+    Auto,
+    /// The event stays signalled until [`Event::reset`] is called.
+    Manual,
+}
+
+#[derive(Debug)]
+struct State {
+    signalled: bool,
+    stamp: SimTime,
+}
+
+#[derive(Debug)]
+struct Inner {
+    model: CostModel,
+    mode: ResetMode,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// A shareable event object (clones refer to the same event).
+#[derive(Debug, Clone)]
+pub struct Event {
+    inner: Arc<Inner>,
+}
+
+impl Event {
+    /// Creates an event, initially unsignalled.
+    pub fn new(model: CostModel, mode: ResetMode) -> Self {
+        Event {
+            inner: Arc::new(Inner {
+                model,
+                mode,
+                state: Mutex::new(State { signalled: false, stamp: 0 }),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Signals the event (NT `SetEvent`), waking one waiter in auto mode or
+    /// all waiters in manual mode. Charges one event-signal cost.
+    pub fn set(&self) {
+        let inner = &*self.inner;
+        inner.model.charge(Cost::EventSignal);
+        let mut state = inner.state.lock();
+        state.signalled = true;
+        state.stamp = state.stamp.max(clock::now());
+        match inner.mode {
+            ResetMode::Auto => {
+                inner.cond.notify_one();
+            }
+            ResetMode::Manual => {
+                inner.cond.notify_all();
+            }
+        }
+    }
+
+    /// Clears the signal (NT `ResetEvent`). Meaningful for manual-reset
+    /// events; harmless for auto-reset ones.
+    pub fn reset(&self) {
+        self.inner.state.lock().signalled = false;
+    }
+
+    /// Blocks until the event is signalled, then synchronises this thread's
+    /// virtual clock to the signal's timestamp. In auto mode the signal is
+    /// consumed.
+    pub fn wait(&self) {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        while !state.signalled {
+            inner.cond.wait(&mut state);
+        }
+        clock::sync_to(state.stamp);
+        if inner.mode == ResetMode::Auto {
+            state.signalled = false;
+        }
+    }
+
+    /// Returns `true` and consumes the signal (in auto mode) if the event
+    /// is currently signalled; never blocks.
+    pub fn try_wait(&self) -> bool {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        if !state.signalled {
+            return false;
+        }
+        clock::sync_to(state.stamp);
+        if inner.mode == ResetMode::Auto {
+            state.signalled = false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::HardwareProfile;
+
+    #[test]
+    fn auto_reset_consumes_signal() {
+        let e = Event::new(CostModel::free(), ResetMode::Auto);
+        e.set();
+        assert!(e.try_wait());
+        assert!(!e.try_wait());
+    }
+
+    #[test]
+    fn manual_reset_persists_until_reset() {
+        let e = Event::new(CostModel::free(), ResetMode::Manual);
+        e.set();
+        assert!(e.try_wait());
+        assert!(e.try_wait());
+        e.reset();
+        assert!(!e.try_wait());
+    }
+
+    #[test]
+    fn wait_blocks_until_set() {
+        let e = Event::new(CostModel::free(), ResetMode::Auto);
+        let e2 = e.clone();
+        let t = std::thread::spawn(move || e2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        e.set();
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn wait_inherits_signal_time() {
+        let e = Event::new(CostModel::new(HardwareProfile::pentium_ii_300()), ResetMode::Auto);
+        let e2 = e.clone();
+        std::thread::spawn(move || {
+            let _g = clock::install(7_000);
+            e2.set();
+        })
+        .join()
+        .expect("join");
+        let _g = clock::install(0);
+        e.wait();
+        assert!(clock::now() >= 7_000);
+    }
+
+    #[test]
+    fn set_charges_signal_cost() {
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let e = Event::new(model.clone(), ResetMode::Auto);
+        e.set();
+        assert_eq!(model.snapshot().event_signals, 1);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn manual_reset_releases_all_waiters() {
+        let e = Event::new(CostModel::free(), ResetMode::Manual);
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let e = e.clone();
+                std::thread::spawn(move || e.wait())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        e.set();
+        for w in waiters {
+            w.join().expect("all released by one manual set");
+        }
+    }
+
+    #[test]
+    fn auto_reset_releases_exactly_one_per_set() {
+        let e = Event::new(CostModel::free(), ResetMode::Auto);
+        let released = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let e = e.clone();
+                let released = std::sync::Arc::clone(&released);
+                std::thread::spawn(move || {
+                    e.wait();
+                    released.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        e.set();
+        // Eventually exactly one waiter proceeds.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(1);
+        while released.load(std::sync::atomic::Ordering::SeqCst) < 1
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Release the rest.
+        e.set();
+        e.set();
+        for w in waiters {
+            w.join().expect("join");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Named synchronisation objects for sentinel-to-sentinel coordination.
+//!
+//! "If multiple user processes open the same active file, multiple
+//! sentinels are created, which synchronize amongst themselves in a
+//! program-dependent fashion using semaphores, shared memory or other forms
+//! of interprocess communication" (§2.2). The [`SyncRegistry`] plays the
+//! role of the NT named-object namespace: sentinels look up semaphores by
+//! name and block on them across "process" boundaries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::Result;
+
+#[derive(Debug)]
+struct SemState {
+    permits: u64,
+    max: u64,
+}
+
+#[derive(Debug)]
+struct SemInner {
+    state: Mutex<SemState>,
+    cond: Condvar,
+}
+
+/// A counting semaphore obtained from a [`SyncRegistry`].
+#[derive(Debug, Clone)]
+pub struct NamedSemaphore {
+    name: String,
+    inner: Arc<SemInner>,
+}
+
+impl NamedSemaphore {
+    /// The registry name of this semaphore.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Acquires one permit, blocking while none are available.
+    pub fn acquire(&self) {
+        let mut state = self.inner.state.lock();
+        while state.permits == 0 {
+            self.inner.cond.wait(&mut state);
+        }
+        state.permits -= 1;
+    }
+
+    /// Acquires one permit if immediately available.
+    pub fn try_acquire(&self) -> bool {
+        let mut state = self.inner.state.lock();
+        if state.permits == 0 {
+            return false;
+        }
+        state.permits -= 1;
+        true
+    }
+
+    /// Releases one permit, saturating at the semaphore's maximum (NT
+    /// `ReleaseSemaphore` would fail instead; saturating keeps misbehaving
+    /// sentinels from poisoning the experiment while tests assert on
+    /// counts explicitly).
+    pub fn release(&self) {
+        let mut state = self.inner.state.lock();
+        if state.permits < state.max {
+            state.permits += 1;
+        }
+        self.inner.cond.notify_one();
+    }
+
+    /// Runs `f` while holding one permit (mutex-style usage for binary
+    /// semaphores).
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquire();
+        let out = f();
+        self.release();
+        out
+    }
+
+    /// Current number of available permits (diagnostic).
+    pub fn permits(&self) -> u64 {
+        self.inner.state.lock().permits
+    }
+}
+
+/// The named-object namespace shared by every sentinel in a world.
+///
+/// Cloning is cheap and clones share the namespace.
+#[derive(Debug, Clone, Default)]
+pub struct SyncRegistry {
+    objects: Arc<Mutex<HashMap<String, Arc<SemInner>>>>,
+}
+
+impl SyncRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        SyncRegistry::default()
+    }
+
+    /// Opens the named semaphore, creating it with `initial` permits (and
+    /// maximum `max`) on first use — NT `CreateSemaphore` semantics, where
+    /// a second create opens the existing object and ignores the counts.
+    ///
+    /// # Errors
+    ///
+    /// This method currently cannot fail; it returns `Result` for forward
+    /// compatibility with ACL checks.
+    pub fn semaphore(&self, name: &str, initial: u64, max: u64) -> Result<NamedSemaphore> {
+        let mut objects = self.objects.lock();
+        let inner = objects
+            .entry(name.to_owned())
+            .or_insert_with(|| {
+                Arc::new(SemInner {
+                    state: Mutex::new(SemState { permits: initial.min(max), max: max.max(1) }),
+                    cond: Condvar::new(),
+                })
+            })
+            .clone();
+        Ok(NamedSemaphore { name: name.to_owned(), inner })
+    }
+
+    /// Opens a binary semaphore usable as a mutex (one permit).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SyncRegistry::semaphore`].
+    pub fn mutex(&self, name: &str) -> Result<NamedSemaphore> {
+        self.semaphore(name, 1, 1)
+    }
+
+    /// Number of named objects currently registered.
+    pub fn len(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// `true` if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_object() {
+        let reg = SyncRegistry::new();
+        let a = reg.semaphore("log", 1, 1).expect("sem");
+        let b = reg.semaphore("log", 99, 99).expect("sem reopened");
+        assert!(a.try_acquire());
+        assert!(!b.try_acquire(), "second open sees the same permit pool");
+        a.release();
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        let reg = SyncRegistry::new();
+        let m = reg.mutex("m").expect("mutex");
+        let counter = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = m.clone();
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    m.with(|| {
+                        let mut c = counter.lock();
+                        *c += 1;
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(*counter.lock(), 800);
+    }
+
+    #[test]
+    fn release_saturates_at_max() {
+        let reg = SyncRegistry::new();
+        let s = reg.semaphore("s", 0, 2).expect("sem");
+        s.release();
+        s.release();
+        s.release();
+        assert_eq!(s.permits(), 2);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release() {
+        let reg = SyncRegistry::new();
+        let s = reg.semaphore("gate", 0, 1).expect("sem");
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || s2.acquire());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!t.is_finished());
+        s.release();
+        t.join().expect("join");
+    }
+
+    #[test]
+    fn distinct_names_are_independent() {
+        let reg = SyncRegistry::new();
+        let a = reg.mutex("a").expect("a");
+        let b = reg.mutex("b").expect("b");
+        assert!(a.try_acquire());
+        assert!(b.try_acquire());
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn clones_of_registry_share_namespace() {
+        let reg = SyncRegistry::new();
+        let clone = reg.clone();
+        let a = reg.mutex("shared").expect("a");
+        let b = clone.mutex("shared").expect("b");
+        assert!(a.try_acquire());
+        assert!(!b.try_acquire());
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Simulated message network for the Active Files reproduction.
+//!
+//! The paper's sentinels reach "multiple remote sites with varied
+//! authentication and access-control policies" over 100 Mbps Fast Ethernet
+//! (§6). This crate provides the transport those interactions run on:
+//!
+//! * [`Network`] — a registry of named [`Service`]s plus two call shapes:
+//!   [`Network::rpc`] (synchronous request/response, charged one round
+//!   trip plus per-byte streaming both ways) and [`Network::cast`]
+//!   (fire-and-forget, charged only the outbound per-byte cost — the
+//!   "writes are issued without waiting for their completion" path of §6).
+//! * [`wire`] — a small length-prefixed binary codec every service
+//!   protocol in [`afs_remote`](../afs_remote/index.html) is defined in,
+//!   standing in for the FTP/HTTP/POP wire formats the paper mentions.
+//! * [`FaultPlan`] — deterministic fault injection (drop the next N
+//!   messages to a service, or partition a service away) for the failure
+//!   tests.
+//!
+//! Services execute inline on the caller's thread; their compute is free,
+//! which matches the paper's measurement focus on the *client-side*
+//! overheads of reaching them.
+
+pub mod error;
+pub mod net;
+pub mod wire;
+
+pub use error::NetError;
+pub use net::{FaultPlan, Network, NetworkStats, Service};
+pub use wire::{WireError, WireReader, WireWriter};
+
+/// Result alias for network operations.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,323 @@
+//! The network fabric: service registry, RPC/cast calls, cost accounting,
+//! and fault injection.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use afs_sim::{Cost, CostModel};
+
+use crate::{NetError, Result};
+
+/// A remote information source: receives a request payload, returns a
+/// response payload. Implementations live in `afs-remote`.
+pub trait Service: Send + Sync {
+    /// Handles one request.
+    ///
+    /// # Errors
+    ///
+    /// Application-level rejections surface as [`NetError::Rejected`].
+    fn handle(&self, request: &[u8]) -> Result<Vec<u8>>;
+
+    /// Handles a one-way message (default: same as `handle`, response
+    /// discarded).
+    fn handle_cast(&self, request: &[u8]) {
+        let _ = self.handle(request);
+    }
+}
+
+/// Deterministic fault injection for one service.
+#[derive(Debug, Default)]
+struct Faults {
+    /// Drop the next N messages (rpc or cast).
+    drop_next: AtomicU64,
+    /// While `true`, the service is unreachable.
+    partitioned: Mutex<bool>,
+}
+
+/// Handle for configuring faults against one service.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    service: String,
+    faults: Arc<Faults>,
+}
+
+impl FaultPlan {
+    /// Drops the next `n` messages sent to the service.
+    pub fn drop_next(&self, n: u64) {
+        self.faults.drop_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Partitions the service away (or heals it).
+    pub fn set_partitioned(&self, partitioned: bool) {
+        *self.faults.partitioned.lock() = partitioned;
+    }
+
+    /// The service this plan applies to.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Completed request/response calls.
+    pub rpcs: u64,
+    /// Fire-and-forget messages delivered.
+    pub casts: u64,
+    /// Total request bytes accepted.
+    pub bytes_sent: u64,
+    /// Total response bytes returned.
+    pub bytes_received: u64,
+    /// Messages lost to fault injection.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    services: HashMap<String, (Arc<dyn Service>, Arc<Faults>)>,
+}
+
+/// The simulated network connecting sentinels to remote information
+/// sources. Cloning is cheap; clones share the registry and statistics.
+#[derive(Clone)]
+pub struct Network {
+    model: CostModel,
+    registry: Arc<RwLock<Registry>>,
+    rpcs: Arc<AtomicU64>,
+    casts: Arc<AtomicU64>,
+    bytes_sent: Arc<AtomicU64>,
+    bytes_received: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network").field("stats", &self.stats()).finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Creates an empty network charging to `model`.
+    pub fn new(model: CostModel) -> Self {
+        Network {
+            model,
+            registry: Arc::new(RwLock::new(Registry::default())),
+            rpcs: Arc::new(AtomicU64::new(0)),
+            casts: Arc::new(AtomicU64::new(0)),
+            bytes_sent: Arc::new(AtomicU64::new(0)),
+            bytes_received: Arc::new(AtomicU64::new(0)),
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The cost model traffic is charged against.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Registers (or replaces) a service under `name`, returning the fault
+    /// plan for it.
+    pub fn register(&self, name: &str, service: Arc<dyn Service>) -> FaultPlan {
+        let faults = Arc::new(Faults::default());
+        self.registry
+            .write()
+            .services
+            .insert(name.to_owned(), (service, Arc::clone(&faults)));
+        FaultPlan { service: name.to_owned(), faults }
+    }
+
+    /// Removes a service.
+    pub fn unregister(&self, name: &str) {
+        self.registry.write().services.remove(name);
+    }
+
+    /// Names of registered services, sorted.
+    pub fn services(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.registry.read().services.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn lookup(&self, name: &str) -> Result<(Arc<dyn Service>, Arc<Faults>)> {
+        self.registry
+            .read()
+            .services
+            .get(name)
+            .map(|(s, f)| (Arc::clone(s), Arc::clone(f)))
+            .ok_or_else(|| NetError::ServiceNotFound(name.to_owned()))
+    }
+
+    fn check_faults(&self, name: &str, faults: &Faults) -> Result<()> {
+        if *faults.partitioned.lock() {
+            return Err(NetError::Partitioned(name.to_owned()));
+        }
+        // Atomically consume one drop token if any remain.
+        let mut current = faults.drop_next.load(Ordering::SeqCst);
+        while current > 0 {
+            match faults.drop_next.compare_exchange(
+                current,
+                current - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(NetError::Dropped(name.to_owned()));
+                }
+                Err(actual) => current = actual,
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronous request/response to a service.
+    ///
+    /// Charged as: request bytes out + one round trip + response bytes
+    /// back — the read critical path of Figure 5 path 1.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ServiceNotFound`], fault-injection errors, or whatever
+    /// the service rejects with.
+    pub fn rpc(&self, service: &str, request: &[u8]) -> Result<Vec<u8>> {
+        let (svc, faults) = self.lookup(service)?;
+        self.check_faults(service, &faults)?;
+        self.model.charge(Cost::NetBytes { bytes: request.len() });
+        self.model.charge(Cost::NetRoundTrip);
+        let response = svc.handle(request)?;
+        self.model.charge(Cost::NetBytes { bytes: response.len() });
+        self.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(request.len() as u64, Ordering::Relaxed);
+        self.bytes_received.fetch_add(response.len() as u64, Ordering::Relaxed);
+        Ok(response)
+    }
+
+    /// Fire-and-forget message to a service: charged only the outbound
+    /// per-byte streaming cost, no round trip ("writes are issued without
+    /// waiting for their completion", §6).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ServiceNotFound`] and fault-injection errors; delivery
+    /// itself cannot fail.
+    pub fn cast(&self, service: &str, request: &[u8]) -> Result<()> {
+        let (svc, faults) = self.lookup(service)?;
+        self.check_faults(service, &faults)?;
+        self.model.charge(Cost::NetBytes { bytes: request.len() });
+        svc.handle_cast(request);
+        self.casts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(request.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Copies out aggregate statistics.
+    pub fn stats(&self) -> NetworkStats {
+        NetworkStats {
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            casts: self.casts.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::{clock, HardwareProfile};
+
+    /// Echo service used by the tests.
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>> {
+            Ok(request.to_vec())
+        }
+    }
+
+    #[test]
+    fn rpc_reaches_service_and_counts() {
+        let net = Network::new(CostModel::free());
+        net.register("echo", Arc::new(Echo));
+        let out = net.rpc("echo", b"ping").expect("rpc");
+        assert_eq!(out, b"ping");
+        let stats = net.stats();
+        assert_eq!(stats.rpcs, 1);
+        assert_eq!(stats.bytes_sent, 4);
+        assert_eq!(stats.bytes_received, 4);
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let net = Network::new(CostModel::free());
+        assert!(matches!(net.rpc("ghost", b""), Err(NetError::ServiceNotFound(_))));
+        assert!(matches!(net.cast("ghost", b""), Err(NetError::ServiceNotFound(_))));
+    }
+
+    #[test]
+    fn rpc_charges_round_trip_and_bytes() {
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let net = Network::new(model.clone());
+        net.register("echo", Arc::new(Echo));
+        let _g = clock::install(0);
+        net.rpc("echo", &[0u8; 1000]).expect("rpc");
+        let expected = model.price(Cost::NetRoundTrip) + 2 * model.price(Cost::NetBytes { bytes: 1000 });
+        assert_eq!(clock::now(), expected);
+    }
+
+    #[test]
+    fn cast_charges_bandwidth_only() {
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let net = Network::new(model.clone());
+        net.register("echo", Arc::new(Echo));
+        let _g = clock::install(0);
+        net.cast("echo", &[0u8; 1000]).expect("cast");
+        assert_eq!(clock::now(), model.price(Cost::NetBytes { bytes: 1000 }));
+        assert_eq!(net.stats().casts, 1);
+    }
+
+    #[test]
+    fn drop_next_loses_exactly_n_messages() {
+        let net = Network::new(CostModel::free());
+        let plan = net.register("echo", Arc::new(Echo));
+        plan.drop_next(2);
+        assert!(matches!(net.rpc("echo", b"1"), Err(NetError::Dropped(_))));
+        assert!(matches!(net.cast("echo", b"2"), Err(NetError::Dropped(_))));
+        assert!(net.rpc("echo", b"3").is_ok());
+        assert_eq!(net.stats().dropped, 2);
+    }
+
+    #[test]
+    fn partition_blocks_until_healed() {
+        let net = Network::new(CostModel::free());
+        let plan = net.register("echo", Arc::new(Echo));
+        plan.set_partitioned(true);
+        assert!(matches!(net.rpc("echo", b"x"), Err(NetError::Partitioned(_))));
+        plan.set_partitioned(false);
+        assert!(net.rpc("echo", b"x").is_ok());
+    }
+
+    #[test]
+    fn services_listing_is_sorted() {
+        let net = Network::new(CostModel::free());
+        net.register("zeta", Arc::new(Echo));
+        net.register("alpha", Arc::new(Echo));
+        assert_eq!(net.services(), vec!["alpha".to_owned(), "zeta".to_owned()]);
+        net.unregister("alpha");
+        assert_eq!(net.services(), vec!["zeta".to_owned()]);
+    }
+
+    #[test]
+    fn clones_share_registry() {
+        let net = Network::new(CostModel::free());
+        let clone = net.clone();
+        net.register("echo", Arc::new(Echo));
+        assert!(clone.rpc("echo", b"hi").is_ok());
+        assert_eq!(net.stats().rpcs, 1);
+    }
+}

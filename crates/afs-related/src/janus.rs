@@ -1,0 +1,202 @@
+//! The Janus baseline: process-centric sandboxing.
+//!
+//! Janus (Goldberg et al., USENIX Security 1996) is "a secure environment
+//! for untrusted helper applications" that "restricts the set of files a
+//! process can access". The policy belongs to the *process*: one rule
+//! set filters every open the application attempts, regardless of which
+//! file it is. The paper contrasts this with active files'
+//! resource-centric control, where each file carries its own policy.
+
+use std::sync::Arc;
+
+use afs_interpose::ApiLayer;
+use afs_winapi::{Access, ApiResult, DelegateFileApi, Disposition, FileApi, Handle, Layered, Win32Error};
+
+/// One allow rule: a path prefix plus the rights granted beneath it.
+#[derive(Debug, Clone)]
+pub struct JanusRule {
+    /// Paths beginning with this prefix match.
+    pub prefix: String,
+    /// Whether matched paths may be opened for reading.
+    pub allow_read: bool,
+    /// Whether matched paths may be opened for writing.
+    pub allow_write: bool,
+}
+
+/// A deny-by-default policy: an open is permitted only if some rule
+/// grants every requested right.
+#[derive(Debug, Clone, Default)]
+pub struct JanusPolicy {
+    rules: Vec<JanusRule>,
+}
+
+impl JanusPolicy {
+    /// Creates an empty (deny-everything) policy.
+    pub fn new() -> Self {
+        JanusPolicy::default()
+    }
+
+    /// Adds an allow rule (builder style).
+    pub fn allow(mut self, prefix: &str, read: bool, write: bool) -> Self {
+        self.rules.push(JanusRule {
+            prefix: prefix.to_owned(),
+            allow_read: read,
+            allow_write: write,
+        });
+        self
+    }
+
+    /// `true` if the policy permits opening `path` with `access`.
+    pub fn permits(&self, path: &str, access: Access) -> bool {
+        self.rules.iter().any(|rule| {
+            path.starts_with(&rule.prefix)
+                && (!access.read || rule.allow_read)
+                && (!access.write || rule.allow_write)
+        })
+    }
+}
+
+/// The installable Janus layer.
+pub struct JanusLayer {
+    policy: JanusPolicy,
+}
+
+impl JanusLayer {
+    /// Creates the layer enforcing `policy`.
+    pub fn new(policy: JanusPolicy) -> Self {
+        JanusLayer { policy }
+    }
+}
+
+impl ApiLayer for JanusLayer {
+    fn name(&self) -> &str {
+        "janus"
+    }
+
+    fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
+        Arc::new(Layered(JanusApi { inner, policy: self.policy.clone() }))
+    }
+}
+
+struct JanusApi {
+    inner: Arc<dyn FileApi>,
+    policy: JanusPolicy,
+}
+
+impl DelegateFileApi for JanusApi {
+    fn delegate(&self) -> &dyn FileApi {
+        &*self.inner
+    }
+
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        if !self.policy.permits(path, access) {
+            return Err(Win32Error::AccessDenied);
+        }
+        self.delegate().create_file(path, access, disposition)
+    }
+
+    fn delete_file(&self, path: &str) -> ApiResult<()> {
+        if !self.policy.permits(path, Access::write_only()) {
+            return Err(Win32Error::AccessDenied);
+        }
+        self.delegate().delete_file(path)
+    }
+
+    fn move_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        let w = Access::write_only();
+        if !self.policy.permits(from, w) || !self.policy.permits(to, w) {
+            return Err(Win32Error::AccessDenied);
+        }
+        self.delegate().move_file(from, to)
+    }
+
+    fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        if !self.policy.permits(from, Access::read_only())
+            || !self.policy.permits(to, Access::write_only())
+        {
+            return Err(Win32Error::AccessDenied);
+        }
+        self.delegate().copy_file(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::CostModel;
+    use afs_vfs::Vfs;
+    use afs_winapi::PassiveFileApi;
+
+    fn sandboxed(policy: JanusPolicy) -> afs_interpose::ApiHandle {
+        let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+        let connector = afs_interpose::MediatingConnector::new(base);
+        // Seed before the sandbox goes up (the "trusted setup" phase).
+        let api = connector.api();
+        api.create_directory("/etc").expect("mkdir /etc");
+        let h = api
+            .create_file("/etc/passwd", Access::read_write(), Disposition::CreateNew)
+            .expect("seed");
+        api.write_file(h, b"root:x").expect("seed write");
+        api.close_handle(h).expect("close");
+        api.create_directory("/tmp").expect("mkdir");
+        connector
+            .install_secure(Arc::new(JanusLayer::new(policy)))
+            .expect("install janus");
+        connector.api()
+    }
+
+    #[test]
+    fn deny_by_default() {
+        let api = sandboxed(JanusPolicy::new());
+        assert_eq!(
+            api.create_file("/etc/passwd", Access::read_only(), Disposition::OpenExisting),
+            Err(Win32Error::AccessDenied)
+        );
+    }
+
+    #[test]
+    fn rules_grant_prefix_scoped_rights() {
+        let api = sandboxed(
+            JanusPolicy::new()
+                .allow("/tmp", true, true)
+                .allow("/etc", true, false),
+        );
+        // /tmp: full access.
+        let h = api
+            .create_file("/tmp/scratch", Access::read_write(), Disposition::CreateNew)
+            .expect("tmp rw");
+        api.write_file(h, b"ok").expect("write");
+        api.close_handle(h).expect("close");
+        // /etc: read-only.
+        let h = api
+            .create_file("/etc/passwd", Access::read_only(), Disposition::OpenExisting)
+            .expect("etc ro");
+        api.close_handle(h).expect("close");
+        assert_eq!(
+            api.create_file("/etc/passwd", Access::read_write(), Disposition::OpenExisting),
+            Err(Win32Error::AccessDenied)
+        );
+        // Everything else: denied.
+        assert_eq!(
+            api.create_file("/home/secret", Access::read_only(), Disposition::OpenExisting),
+            Err(Win32Error::AccessDenied)
+        );
+    }
+
+    #[test]
+    fn namespace_operations_are_policy_checked() {
+        let api = sandboxed(JanusPolicy::new().allow("/tmp", true, true).allow("/etc", true, false));
+        assert_eq!(api.delete_file("/etc/passwd"), Err(Win32Error::AccessDenied));
+        api.copy_file("/etc/passwd", "/tmp/copy").expect("read + write allowed");
+        assert_eq!(
+            api.copy_file("/tmp/copy", "/etc/clone"),
+            Err(Win32Error::AccessDenied),
+            "write into /etc denied"
+        );
+        assert_eq!(
+            api.move_file("/etc/passwd", "/tmp/moved"),
+            Err(Win32Error::AccessDenied),
+            "moving out requires write on the source"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! Related-work baselines (§7 of the paper), implemented as interception
+//! layers so tests can contrast them with active files directly.
+//!
+//! * [`UfoLayer`] — Ufo \[1\]: "seamless access to remote files" via
+//!   system-call interception, with **hard-coded** fetch-on-open /
+//!   write-back-on-close behaviour applied uniformly to every file under
+//!   a mapped prefix. The contrast the paper draws: "unlike the
+//!   hard-coded functionality of the former, active files are completely
+//!   programmable" — Ufo cannot give two files different behaviours.
+//! * [`JanusLayer`] — Janus \[9\]: a sandbox that "restricts the set of
+//!   files a process can access". **Process-centric** control: one policy
+//!   for the whole application, attached to the API, not to any file.
+//!   Active files invert this into resource-centric control, where "the
+//!   file itself can specify the kind of access control policies".
+//! * [`WatchdogLayer`] — Watchdogs \[3\]: kernel-supported "notification
+//!   about file access". Observers see every operation on guarded paths
+//!   but cannot transform data in flight.
+
+pub mod janus;
+pub mod ufo;
+pub mod watchdog;
+
+pub use janus::{JanusLayer, JanusPolicy, JanusRule};
+pub use ufo::UfoLayer;
+pub use watchdog::{AccessEvent, AccessKind, WatchdogLayer, WatchdogLog};

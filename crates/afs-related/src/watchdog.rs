@@ -1,0 +1,232 @@
+//! The Watchdogs baseline: access notification on guarded paths.
+//!
+//! Watchdogs (Bershad & Pinkerton, USENIX 1988) extend the UNIX file
+//! system with kernel support for "notification about file access". The
+//! paper's critique: "even though an access notification mechanism is
+//! sufficient to implement locking, filtering, and other features, the
+//! heavyweight nature of kernel involvement restricts its applicability."
+//! This baseline provides the observation half — every operation on a
+//! guarded prefix is logged with its acting handle — without any ability
+//! to transform data.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_interpose::ApiLayer;
+use afs_winapi::{Access, ApiResult, DelegateFileApi, Disposition, FileApi, Handle, Layered};
+
+/// What kind of access was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// `CreateFile`/`OpenFile`.
+    Open,
+    /// `ReadFile`.
+    Read,
+    /// `WriteFile`.
+    Write,
+    /// `CloseHandle`.
+    Close,
+    /// `DeleteFile`.
+    Delete,
+}
+
+/// One observed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// What happened.
+    pub kind: AccessKind,
+    /// The path (for open/delete) or the opening path of the handle.
+    pub path: String,
+    /// Bytes moved, where applicable.
+    pub bytes: usize,
+}
+
+/// Shared, inspectable log of observed accesses.
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogLog {
+    events: Arc<Mutex<Vec<AccessEvent>>>,
+}
+
+impl WatchdogLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        WatchdogLog::default()
+    }
+
+    /// Copies out the events observed so far.
+    pub fn events(&self) -> Vec<AccessEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of observed events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// `true` if nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    fn push(&self, event: AccessEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+/// The installable watchdog layer guarding one path prefix.
+pub struct WatchdogLayer {
+    prefix: String,
+    log: WatchdogLog,
+}
+
+impl WatchdogLayer {
+    /// Creates a watchdog over `prefix`, reporting into `log`.
+    pub fn new(prefix: &str, log: WatchdogLog) -> Self {
+        WatchdogLayer { prefix: prefix.to_owned(), log }
+    }
+}
+
+impl ApiLayer for WatchdogLayer {
+    fn name(&self) -> &str {
+        "watchdog"
+    }
+
+    fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
+        Arc::new(Layered(WatchdogApi {
+            inner,
+            prefix: self.prefix.clone(),
+            log: self.log.clone(),
+            watched: Mutex::new(std::collections::HashMap::new()),
+        }))
+    }
+}
+
+struct WatchdogApi {
+    inner: Arc<dyn FileApi>,
+    prefix: String,
+    log: WatchdogLog,
+    watched: Mutex<std::collections::HashMap<Handle, String>>,
+}
+
+impl DelegateFileApi for WatchdogApi {
+    fn delegate(&self) -> &dyn FileApi {
+        &*self.inner
+    }
+
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        let h = self.delegate().create_file(path, access, disposition)?;
+        if path.starts_with(&self.prefix) {
+            self.log.push(AccessEvent { kind: AccessKind::Open, path: path.to_owned(), bytes: 0 });
+            self.watched.lock().insert(h, path.to_owned());
+        }
+        Ok(h)
+    }
+
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
+        let n = self.delegate().read_file(handle, buf)?;
+        if let Some(path) = self.watched.lock().get(&handle) {
+            self.log.push(AccessEvent { kind: AccessKind::Read, path: path.clone(), bytes: n });
+        }
+        Ok(n)
+    }
+
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
+        let n = self.delegate().write_file(handle, data)?;
+        if let Some(path) = self.watched.lock().get(&handle) {
+            self.log.push(AccessEvent { kind: AccessKind::Write, path: path.clone(), bytes: n });
+        }
+        Ok(n)
+    }
+
+    fn close_handle(&self, handle: Handle) -> ApiResult<()> {
+        self.delegate().close_handle(handle)?;
+        if let Some(path) = self.watched.lock().remove(&handle) {
+            self.log.push(AccessEvent { kind: AccessKind::Close, path, bytes: 0 });
+        }
+        Ok(())
+    }
+
+    fn delete_file(&self, path: &str) -> ApiResult<()> {
+        self.delegate().delete_file(path)?;
+        if path.starts_with(&self.prefix) {
+            self.log
+                .push(AccessEvent { kind: AccessKind::Delete, path: path.to_owned(), bytes: 0 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::CostModel;
+    use afs_vfs::Vfs;
+    use afs_winapi::PassiveFileApi;
+
+    fn watched() -> (afs_interpose::ApiHandle, WatchdogLog) {
+        let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+        let connector = afs_interpose::MediatingConnector::new(base);
+        let log = WatchdogLog::new();
+        connector
+            .install(Arc::new(WatchdogLayer::new("/guarded", log.clone())))
+            .expect("install");
+        (connector.api(), log)
+    }
+
+    #[test]
+    fn guarded_accesses_are_observed_in_order() {
+        let (api, log) = watched();
+        api.create_directory("/guarded").expect("mkdir");
+        let h = api
+            .create_file("/guarded/f", Access::read_write(), Disposition::CreateNew)
+            .expect("create");
+        api.write_file(h, b"abc").expect("write");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        let mut buf = [0u8; 3];
+        api.read_file(h, &mut buf).expect("read");
+        api.close_handle(h).expect("close");
+        api.delete_file("/guarded/f").expect("delete");
+        let kinds: Vec<AccessKind> = log.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AccessKind::Open,
+                AccessKind::Write,
+                AccessKind::Read,
+                AccessKind::Close,
+                AccessKind::Delete
+            ]
+        );
+        assert_eq!(log.events()[1].bytes, 3);
+    }
+
+    #[test]
+    fn unguarded_paths_are_invisible() {
+        let (api, log) = watched();
+        let h = api
+            .create_file("/elsewhere", Access::read_write(), Disposition::CreateNew)
+            .expect("create");
+        api.write_file(h, b"x").expect("write");
+        api.close_handle(h).expect("close");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn watchdog_observes_but_cannot_transform() {
+        // The structural limitation: data passes through unchanged; only
+        // the log sees anything.
+        let (api, log) = watched();
+        api.create_directory("/guarded").expect("mkdir");
+        let h = api
+            .create_file("/guarded/f", Access::read_write(), Disposition::CreateNew)
+            .expect("create");
+        api.write_file(h, b"verbatim").expect("write");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        let mut buf = [0u8; 8];
+        api.read_file(h, &mut buf).expect("read");
+        assert_eq!(&buf, b"verbatim");
+        api.close_handle(h).expect("close");
+        assert_eq!(log.len(), 4);
+    }
+}

@@ -1,0 +1,360 @@
+//! POP3-style mailboxes and an SMTP-style relay.
+//!
+//! §3 of the paper: "an inbox file of an E-mail program can be such that
+//! reading it causes new messages to be retrieved possibly from multiple
+//! remote POP servers", and on the distribution side "the outbox-file can
+//! be programmed to send email to a particular recipient, every time some
+//! data is written to it … the sentinel process parses the data written to
+//! the file to extract the 'To' addresses".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_net::{Network, Service, WireWriter};
+
+use crate::{check_status, err_response, ok_response};
+
+const OP_STAT: u8 = 1;
+const OP_LIST: u8 = 2;
+const OP_RETR: u8 = 3;
+const OP_DELE: u8 = 4;
+const OP_SEND: u8 = 10;
+
+/// One stored e-mail message. Plain data; fields are public.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Server-assigned id, unique per store.
+    pub id: u64,
+    /// Sender address.
+    pub from: String,
+    /// Recipient address this copy was delivered to.
+    pub to: String,
+    /// Subject line.
+    pub subject: String,
+    /// Body text.
+    pub body: String,
+}
+
+/// The shared mail store behind one or more POP servers and one SMTP
+/// relay. Cloning shares the store.
+#[derive(Debug, Clone, Default)]
+pub struct MailStore {
+    boxes: Arc<Mutex<HashMap<String, Vec<Message>>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl MailStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MailStore::default()
+    }
+
+    /// Delivers one message copy to `to`'s mailbox, returning its id.
+    pub fn deliver(&self, from: &str, to: &str, subject: &str, body: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.boxes.lock().entry(to.to_owned()).or_default().push(Message {
+            id,
+            from: from.to_owned(),
+            to: to.to_owned(),
+            subject: subject.to_owned(),
+            body: body.to_owned(),
+        });
+        id
+    }
+
+    /// Number of messages waiting for `user`.
+    pub fn count(&self, user: &str) -> usize {
+        self.boxes.lock().get(user).map_or(0, Vec::len)
+    }
+
+    fn with_box<R>(&self, user: &str, f: impl FnOnce(&mut Vec<Message>) -> R) -> R {
+        f(self.boxes.lock().entry(user.to_owned()).or_default())
+    }
+}
+
+/// A POP3-style server over a [`MailStore`].
+pub struct PopServer {
+    store: MailStore,
+}
+
+impl PopServer {
+    /// Creates a server over `store`.
+    pub fn new(store: MailStore) -> Arc<Self> {
+        Arc::new(PopServer { store })
+    }
+}
+
+impl Service for PopServer {
+    fn handle(&self, request: &[u8]) -> afs_net::Result<Vec<u8>> {
+        let mut r = afs_net::WireReader::new(request);
+        let op = r.u8()?;
+        let user = r.str()?.to_owned();
+        Ok(match op {
+            OP_STAT => {
+                let (count, octets) = self.store.with_box(&user, |mbox| {
+                    (mbox.len() as u64, mbox.iter().map(|m| m.body.len() as u64).sum::<u64>())
+                });
+                ok_response(|w| {
+                    w.u64(count).u64(octets);
+                })
+            }
+            OP_LIST => {
+                let ids: Vec<u64> = self.store.with_box(&user, |mbox| mbox.iter().map(|m| m.id).collect());
+                ok_response(|w| {
+                    w.seq(ids.len());
+                    for id in ids {
+                        w.u64(id);
+                    }
+                })
+            }
+            OP_RETR => {
+                let id = r.u64()?;
+                let msg = self
+                    .store
+                    .with_box(&user, |mbox| mbox.iter().find(|m| m.id == id).cloned());
+                match msg {
+                    Some(m) => ok_response(|w| {
+                        w.u64(m.id).str(&m.from).str(&m.to).str(&m.subject).str(&m.body);
+                    }),
+                    None => err_response("no such message"),
+                }
+            }
+            OP_DELE => {
+                let id = r.u64()?;
+                let removed = self.store.with_box(&user, |mbox| {
+                    let before = mbox.len();
+                    mbox.retain(|m| m.id != id);
+                    before != mbox.len()
+                });
+                if removed {
+                    ok_response(|_| {})
+                } else {
+                    err_response("no such message")
+                }
+            }
+            t => err_response(&format!("unknown pop op {t}")),
+        })
+    }
+}
+
+/// An SMTP-style relay delivering into a [`MailStore`].
+pub struct SmtpServer {
+    store: MailStore,
+}
+
+impl SmtpServer {
+    /// Creates a relay over `store`.
+    pub fn new(store: MailStore) -> Arc<Self> {
+        Arc::new(SmtpServer { store })
+    }
+}
+
+impl Service for SmtpServer {
+    fn handle(&self, request: &[u8]) -> afs_net::Result<Vec<u8>> {
+        let mut r = afs_net::WireReader::new(request);
+        let op = r.u8()?;
+        if op != OP_SEND {
+            return Ok(err_response(&format!("unknown smtp op {op}")));
+        }
+        let from = r.str()?.to_owned();
+        let n = r.seq()?;
+        // The count is untrusted wire data: clamp the reservation (a
+        // bogus huge count would abort on capacity overflow); the decode
+        // loop below still fails cleanly when the bytes run out.
+        let mut recipients = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            recipients.push(r.str()?.to_owned());
+        }
+        let subject = r.str()?.to_owned();
+        let body = r.str()?.to_owned();
+        if recipients.is_empty() {
+            return Ok(err_response("no recipients"));
+        }
+        for to in &recipients {
+            self.store.deliver(&from, to, &subject, &body);
+        }
+        Ok(ok_response(|w| {
+            w.u64(recipients.len() as u64);
+        }))
+    }
+}
+
+/// Typed client speaking both POP (to one or more servers) and SMTP.
+#[derive(Debug, Clone)]
+pub struct MailClient {
+    net: Network,
+}
+
+impl MailClient {
+    /// Creates a client over `net`.
+    pub fn new(net: Network) -> Self {
+        MailClient { net }
+    }
+
+    /// POP `STAT`: message count and total octets for `user` on `server`.
+    ///
+    /// # Errors
+    ///
+    /// Network faults or server rejection.
+    pub fn stat(&self, server: &str, user: &str) -> afs_net::Result<(u64, u64)> {
+        let mut w = WireWriter::new();
+        w.u8(OP_STAT).str(user);
+        let resp = self.net.rpc(server, &w.finish())?;
+        let mut r = check_status(&resp)?;
+        Ok((r.u64()?, r.u64()?))
+    }
+
+    /// POP `LIST`: ids of waiting messages.
+    ///
+    /// # Errors
+    ///
+    /// Network faults or server rejection.
+    pub fn list(&self, server: &str, user: &str) -> afs_net::Result<Vec<u64>> {
+        let mut w = WireWriter::new();
+        w.u8(OP_LIST).str(user);
+        let resp = self.net.rpc(server, &w.finish())?;
+        let mut r = check_status(&resp)?;
+        let n = r.seq()?;
+        (0..n).map(|_| Ok(r.u64()?)).collect()
+    }
+
+    /// POP `RETR`: fetches one message.
+    ///
+    /// # Errors
+    ///
+    /// [`afs_net::NetError::Rejected`] for unknown ids.
+    pub fn retrieve(&self, server: &str, user: &str, id: u64) -> afs_net::Result<Message> {
+        let mut w = WireWriter::new();
+        w.u8(OP_RETR).str(user).u64(id);
+        let resp = self.net.rpc(server, &w.finish())?;
+        let mut r = check_status(&resp)?;
+        Ok(Message {
+            id: r.u64()?,
+            from: r.str()?.to_owned(),
+            to: r.str()?.to_owned(),
+            subject: r.str()?.to_owned(),
+            body: r.str()?.to_owned(),
+        })
+    }
+
+    /// POP `DELE`: deletes one message.
+    ///
+    /// # Errors
+    ///
+    /// [`afs_net::NetError::Rejected`] for unknown ids.
+    pub fn delete(&self, server: &str, user: &str, id: u64) -> afs_net::Result<()> {
+        let mut w = WireWriter::new();
+        w.u8(OP_DELE).str(user).u64(id);
+        let resp = self.net.rpc(server, &w.finish())?;
+        check_status(&resp)?;
+        Ok(())
+    }
+
+    /// SMTP send to every recipient; returns copies delivered.
+    ///
+    /// # Errors
+    ///
+    /// [`afs_net::NetError::Rejected`] if the recipient list is empty.
+    pub fn send(
+        &self,
+        server: &str,
+        from: &str,
+        recipients: &[&str],
+        subject: &str,
+        body: &str,
+    ) -> afs_net::Result<u64> {
+        let mut w = WireWriter::new();
+        w.u8(OP_SEND).str(from).seq(recipients.len());
+        for r in recipients {
+            w.str(r);
+        }
+        w.str(subject).str(body);
+        let resp = self.net.rpc(server, &w.finish())?;
+        let mut r = check_status(&resp)?;
+        Ok(r.u64()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::CostModel;
+
+    fn setup() -> (MailStore, MailClient, Network) {
+        let net = Network::new(CostModel::free());
+        let store = MailStore::new();
+        net.register("pop1", PopServer::new(store.clone()) as Arc<dyn Service>);
+        net.register("smtp", SmtpServer::new(store.clone()) as Arc<dyn Service>);
+        (store, MailClient::new(net.clone()), net)
+    }
+
+    #[test]
+    fn send_then_pop_roundtrip() {
+        let (_store, client, _net) = setup();
+        let delivered = client
+            .send("smtp", "alice@example", &["bob@example"], "hi", "hello bob")
+            .expect("send");
+        assert_eq!(delivered, 1);
+        let ids = client.list("pop1", "bob@example").expect("list");
+        assert_eq!(ids.len(), 1);
+        let msg = client.retrieve("pop1", "bob@example", ids[0]).expect("retr");
+        assert_eq!(msg.from, "alice@example");
+        assert_eq!(msg.subject, "hi");
+        assert_eq!(msg.body, "hello bob");
+    }
+
+    #[test]
+    fn multiple_recipients_get_copies() {
+        let (store, client, _net) = setup();
+        client
+            .send("smtp", "a@x", &["b@x", "c@x", "d@x"], "s", "body")
+            .expect("send");
+        assert_eq!(store.count("b@x"), 1);
+        assert_eq!(store.count("c@x"), 1);
+        assert_eq!(store.count("d@x"), 1);
+    }
+
+    #[test]
+    fn stat_counts_messages_and_octets() {
+        let (store, client, _net) = setup();
+        store.deliver("a@x", "u@x", "s1", "12345");
+        store.deliver("a@x", "u@x", "s2", "67");
+        let (count, octets) = client.stat("pop1", "u@x").expect("stat");
+        assert_eq!(count, 2);
+        assert_eq!(octets, 7);
+    }
+
+    #[test]
+    fn delete_removes_message() {
+        let (store, client, _net) = setup();
+        let id = store.deliver("a@x", "u@x", "s", "b");
+        client.delete("pop1", "u@x", id).expect("dele");
+        assert_eq!(store.count("u@x"), 0);
+        assert!(client.delete("pop1", "u@x", id).is_err(), "second delete fails");
+    }
+
+    #[test]
+    fn retrieve_unknown_id_rejected() {
+        let (_store, client, _net) = setup();
+        assert!(client.retrieve("pop1", "u@x", 999).is_err());
+    }
+
+    #[test]
+    fn empty_recipient_list_rejected() {
+        let (_store, client, _net) = setup();
+        assert!(client.send("smtp", "a@x", &[], "s", "b").is_err());
+    }
+
+    #[test]
+    fn multiple_pop_servers_share_nothing_unless_same_store() {
+        let (_store, client, net) = setup();
+        let other = MailStore::new();
+        other.deliver("x@y", "u@z", "s", "b");
+        net.register("pop2", PopServer::new(other) as Arc<dyn Service>);
+        assert_eq!(client.list("pop1", "u@z").expect("pop1").len(), 0);
+        assert_eq!(client.list("pop2", "u@z").expect("pop2").len(), 1);
+    }
+}

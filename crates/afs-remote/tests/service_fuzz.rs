@@ -1,0 +1,49 @@
+//! Robustness property tests: every service must survive arbitrary
+//! request bytes — returning an error payload or a wire error, never
+//! panicking — because in the paper's threat model the sentinel is just
+//! another network client.
+
+use std::sync::Arc;
+
+use afs_net::Service;
+use afs_remote::{DbServer, FileServer, MailStore, PopServer, QuoteServer, RegistryServer, SmtpServer};
+use proptest::prelude::*;
+
+fn services() -> Vec<(&'static str, Arc<dyn Service>)> {
+    let store = MailStore::new();
+    vec![
+        ("file", FileServer::new() as Arc<dyn Service>),
+        ("pop", PopServer::new(store.clone()) as Arc<dyn Service>),
+        ("smtp", SmtpServer::new(store) as Arc<dyn Service>),
+        ("quotes", QuoteServer::new(1, &["A"]) as Arc<dyn Service>),
+        ("registry", RegistryServer::new() as Arc<dyn Service>),
+        ("db", DbServer::new() as Arc<dyn Service>),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn garbage_requests_never_panic_any_service(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        for (name, service) in services() {
+            // Ok(err-response) or Err(wire error) are both fine; a panic
+            // would abort the test.
+            let _ = service.handle(&bytes);
+            let _name = name;
+        }
+    }
+
+    #[test]
+    fn truncated_valid_requests_never_panic(cut in 0usize..32) {
+        // Take a well-formed file-server GET and truncate it at every
+        // prefix length.
+        let mut w = afs_net::WireWriter::new();
+        w.u8(1).str("/some/path").u64(42).u32(100);
+        let valid = w.finish();
+        let end = cut.min(valid.len());
+        for (_, service) in services() {
+            let _ = service.handle(&valid[..end]);
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! Aggregation sentinels (§3).
+//!
+//! "The sentinel can aggregate information from various sources,
+//! presenting it to client applications as a conventional file. Examples
+//! of these sources include other local or remote files, databases,
+//! network connections, or even other processes."
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+use afs_remote::RegistryValue;
+
+/// Seamless access to one remote file: fetched into the local cache on
+/// open, written back on close if modified — "the sentinel accesses the
+/// remote file using a standard protocol (e.g., FTP or HTTP), creates a
+/// local copy, and makes the copy available to the client application"
+/// (§3).
+///
+/// Configuration: `service` (file-server name), `remote` (path on the
+/// server), `writeback` (`true` to push changes on close; default true).
+pub struct RemoteFileSentinel {
+    dirty: bool,
+}
+
+impl RemoteFileSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        RemoteFileSentinel { dirty: false }
+    }
+}
+
+impl Default for RemoteFileSentinel {
+    fn default() -> Self {
+        RemoteFileSentinel::new()
+    }
+}
+
+impl SentinelLogic for RemoteFileSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let service = ctx.require_str("service")?.to_owned();
+        let remote = ctx.require_str("remote")?.to_owned();
+        let client = ctx.file_client(&service);
+        let data = client.get_all(&remote)?;
+        ctx.cache().replace(&data)?;
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let n = ctx.cache().write_at(offset, data)?;
+        self.dirty = true;
+        Ok(n)
+    }
+
+    fn flush(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if self.dirty {
+            let service = ctx.require_str("service")?.to_owned();
+            let remote = ctx.require_str("remote")?.to_owned();
+            let writeback = ctx.config_str("writeback").map(|v| v != "false").unwrap_or(true);
+            if writeback {
+                let data = ctx.cache().to_vec()?;
+                ctx.file_client(&service).replace(&remote, &data)?;
+                self.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        self.flush(ctx)
+    }
+}
+
+/// Merges several remote files into one local view: "the sentinel can
+/// also merge multiple remote files into a single local file" (§3).
+/// Read-only.
+///
+/// Configuration: `service`, `remotes` (comma-separated paths),
+/// `separator` (string inserted between parts; default none).
+pub struct MergeSentinel;
+
+impl MergeSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        MergeSentinel
+    }
+}
+
+impl Default for MergeSentinel {
+    fn default() -> Self {
+        MergeSentinel::new()
+    }
+}
+
+impl SentinelLogic for MergeSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let service = ctx.require_str("service")?.to_owned();
+        let remotes = ctx.require_str("remotes")?.to_owned();
+        let separator = ctx.config_str("separator").unwrap_or("").to_owned();
+        let client = ctx.file_client(&service);
+        let mut merged = Vec::new();
+        for (i, remote) in remotes.split(',').map(str::trim).enumerate() {
+            if i > 0 {
+                merged.extend_from_slice(separator.as_bytes());
+            }
+            merged.extend_from_slice(&client.get_all(remote)?);
+        }
+        ctx.cache().replace(&merged)?;
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(SentinelError::Unsupported)
+    }
+}
+
+/// The POP inbox file: "an inbox file of an E-mail program can be such
+/// that reading it causes new messages to be retrieved possibly from
+/// multiple remote POP servers" (§3). Messages are rendered mbox-style;
+/// retrieved messages are deleted from the servers when `delete=true`.
+///
+/// Configuration: `servers` (comma-separated POP service names), `user`
+/// (mailbox owner; defaults to the opening user), `delete`
+/// (default false).
+pub struct InboxSentinel;
+
+impl InboxSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        InboxSentinel
+    }
+}
+
+impl Default for InboxSentinel {
+    fn default() -> Self {
+        InboxSentinel::new()
+    }
+}
+
+impl SentinelLogic for InboxSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let servers = ctx.require_str("servers")?.to_owned();
+        let user = ctx
+            .config_str("user")
+            .map(str::to_owned)
+            .unwrap_or_else(|| ctx.user().to_owned());
+        let delete = ctx.config_bool("delete");
+        let client = ctx.mail_client();
+        let mut rendered = Vec::new();
+        for server in servers.split(',').map(str::trim) {
+            for id in client.list(server, &user)? {
+                let msg = client.retrieve(server, &user, id)?;
+                rendered.extend_from_slice(
+                    format!("From: {}\nSubject: {}\n\n{}\n\n", msg.from, msg.subject, msg.body)
+                        .as_bytes(),
+                );
+                if delete {
+                    client.delete(server, &user, id)?;
+                }
+            }
+        }
+        ctx.cache().replace(&rendered)?;
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(SentinelError::Unsupported)
+    }
+}
+
+/// The stock-quote file: "an active file that reflects the latest stock
+/// quotes (downloaded by the sentinel from a server) every time the file
+/// is opened" (§3). Renders `SYMBOL<TAB>dollars.cents` lines.
+///
+/// Configuration: `service` (quote service name), `symbols`
+/// (comma-separated tickers).
+pub struct StockTickerSentinel;
+
+impl StockTickerSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        StockTickerSentinel
+    }
+}
+
+impl Default for StockTickerSentinel {
+    fn default() -> Self {
+        StockTickerSentinel::new()
+    }
+}
+
+impl SentinelLogic for StockTickerSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let service = ctx.require_str("service")?.to_owned();
+        let symbols_cfg = ctx.require_str("symbols")?.to_owned();
+        let symbols: Vec<&str> = symbols_cfg.split(',').map(str::trim).collect();
+        let quotes = ctx.quote_client(&service).quotes(&symbols)?;
+        let mut rendered = String::new();
+        for q in &quotes {
+            rendered.push_str(&format!("{}\t{}.{:02}\n", q.symbol, q.cents / 100, q.cents % 100));
+        }
+        ctx.cache().replace(rendered.as_bytes())?;
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(SentinelError::Unsupported)
+    }
+}
+
+/// The registry-as-a-file sentinel: "filtering can also be used to
+/// provide a file-based interface to the Windows system registry …
+/// providing a simplified version (e.g., a plain text file) to the
+/// client application. Any modifications by the client application can
+/// in turn be parsed by the sentinel process and translated into
+/// appropriate registry modifications" (§3).
+///
+/// The rendered text is one `name=value` line per value of the
+/// configured key, sorted by name. Writing the file back applies the
+/// diff: changed/added lines become `SetValue`, removed lines become
+/// `DeleteValue`. String values only (the "simplified version").
+///
+/// Configuration: `service` (registry service name), `key` (key path).
+pub struct RegistryFileSentinel {
+    view: Vec<u8>,
+    dirty: bool,
+}
+
+impl RegistryFileSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        RegistryFileSentinel { view: Vec::new(), dirty: false }
+    }
+
+    fn parse_lines(text: &str) -> Vec<(String, String)> {
+        text.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                if line.is_empty() {
+                    return None;
+                }
+                line.split_once('=').map(|(k, v)| (k.trim().to_owned(), v.trim().to_owned()))
+            })
+            .collect()
+    }
+}
+
+impl Default for RegistryFileSentinel {
+    fn default() -> Self {
+        RegistryFileSentinel::new()
+    }
+}
+
+impl SentinelLogic for RegistryFileSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let service = ctx.require_str("service")?.to_owned();
+        let key = ctx.require_str("key")?.to_owned();
+        let values = ctx.registry_client(&service).enum_values(&key)?;
+        let mut rendered = String::new();
+        for (name, value) in values {
+            let shown = match value {
+                RegistryValue::Str(s) => s,
+                RegistryValue::U32(v) => v.to_string(),
+                RegistryValue::Bin(b) => {
+                    b.iter().map(|byte| format!("{byte:02x}")).collect::<String>()
+                }
+            };
+            rendered.push_str(&format!("{name}={shown}\n"));
+        }
+        self.view = rendered.into_bytes();
+        Ok(())
+    }
+
+    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let start = (offset as usize).min(self.view.len());
+        let n = buf.len().min(self.view.len() - start);
+        buf[..n].copy_from_slice(&self.view[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let end = offset as usize + data.len();
+        if self.view.len() < end {
+            self.view.resize(end, 0);
+        }
+        self.view[offset as usize..end].copy_from_slice(data);
+        self.dirty = true;
+        Ok(data.len())
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        Ok(self.view.len() as u64)
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        let service = ctx.require_str("service")?.to_owned();
+        let key = ctx.require_str("key")?.to_owned();
+        let client = ctx.registry_client(&service);
+        let current: std::collections::BTreeMap<String, String> = client
+            .enum_values(&key)?
+            .into_iter()
+            .map(|(name, value)| {
+                let shown = match value {
+                    RegistryValue::Str(s) => s,
+                    RegistryValue::U32(v) => v.to_string(),
+                    RegistryValue::Bin(b) => {
+                        b.iter().map(|byte| format!("{byte:02x}")).collect::<String>()
+                    }
+                };
+                (name, shown)
+            })
+            .collect();
+        let text = String::from_utf8_lossy(&self.view).into_owned();
+        let edited = Self::parse_lines(&text);
+        let edited_map: std::collections::BTreeMap<_, _> = edited.iter().cloned().collect();
+        // Apply additions and modifications.
+        for (name, value) in &edited_map {
+            if current.get(name) != Some(value) {
+                client.set_value(&key, name, &RegistryValue::Str(value.clone()))?;
+            }
+        }
+        // Apply deletions.
+        for name in current.keys() {
+            if !edited_map.contains_key(name) {
+                client.delete_value(&key, name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Registers `remote-file`, `merge`, `inbox`, `stock-ticker`, and
+/// `registry-file`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("remote-file", |_| Box::new(RemoteFileSentinel::new()));
+    registry.register("merge", |_| Box::new(MergeSentinel::new()));
+    registry.register("inbox", |_| Box::new(InboxSentinel::new()));
+    registry.register("stock-ticker", |_| Box::new(StockTickerSentinel::new()));
+    registry.register("registry-file", |_| Box::new(RegistryFileSentinel::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_net::Service;
+    use afs_remote::{FileServer, MailStore, PopServer, QuoteServer, RegistryServer};
+    use std::sync::Arc;
+
+    #[test]
+    fn remote_file_fetches_and_writes_back() {
+        let world = test_world();
+        let server = FileServer::new();
+        server.seed("/pub/data.txt", b"remote original");
+        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/local.af",
+                &SentinelSpec::new("remote-file", Strategy::ProcessControl)
+                    .backing(Backing::Disk)
+                    .with("service", "files")
+                    .with("remote", "/pub/data.txt"),
+            )
+            .expect("install");
+        assert_eq!(read_active(&world, "/local.af"), b"remote original");
+        // Writing through the active file propagates on close.
+        write_active(&world, "/local.af", b"edited locally!");
+        let client = afs_remote::FileClient::new(world.net().clone(), "files");
+        assert_eq!(client.get_all("/pub/data.txt").expect("get"), b"edited locally!");
+    }
+
+    #[test]
+    fn remote_file_tracks_source_changes_across_opens() {
+        let world = test_world();
+        let server = FileServer::new();
+        server.seed("/doc", b"v1");
+        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/doc.af",
+                &SentinelSpec::new("remote-file", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("service", "files")
+                    .with("remote", "/doc"),
+            )
+            .expect("install");
+        assert_eq!(read_active(&world, "/doc.af"), b"v1");
+        // The source changes behind the intermediary's back; the next open
+        // sees it — the capability §1 says static aggregation lacks.
+        server.seed("/doc", b"v2 fresh");
+        assert_eq!(read_active(&world, "/doc.af"), b"v2 fresh");
+    }
+
+    #[test]
+    fn merge_concatenates_remote_files_with_separator() {
+        let world = test_world();
+        let server = FileServer::new();
+        server.seed("/parts/a", b"alpha");
+        server.seed("/parts/b", b"beta");
+        server.seed("/parts/c", b"gamma");
+        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/all.af",
+                &SentinelSpec::new("merge", Strategy::DllThread)
+                    .backing(Backing::Memory)
+                    .with("service", "files")
+                    .with("remotes", "/parts/a, /parts/b, /parts/c")
+                    .with("separator", "\n--\n"),
+            )
+            .expect("install");
+        assert_eq!(read_active(&world, "/all.af"), b"alpha\n--\nbeta\n--\ngamma");
+    }
+
+    #[test]
+    fn inbox_aggregates_multiple_pop_servers() {
+        let world = test_world();
+        let store1 = MailStore::new();
+        let store2 = MailStore::new();
+        store1.deliver("alice@a", "me@here", "first", "body one");
+        store2.deliver("bob@b", "me@here", "second", "body two");
+        world.net().register("pop1", PopServer::new(store1.clone()) as Arc<dyn Service>);
+        world.net().register("pop2", PopServer::new(store2.clone()) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/inbox.af",
+                &SentinelSpec::new("inbox", Strategy::ProcessControl)
+                    .backing(Backing::Memory)
+                    .with("servers", "pop1, pop2")
+                    .with("user", "me@here"),
+            )
+            .expect("install");
+        let text = String::from_utf8(read_active(&world, "/inbox.af")).expect("utf8");
+        assert!(text.contains("From: alice@a"));
+        assert!(text.contains("Subject: second"));
+        assert!(text.contains("body two"));
+        // delete=false keeps messages on the servers.
+        assert_eq!(store1.count("me@here"), 1);
+    }
+
+    #[test]
+    fn inbox_delete_drains_servers() {
+        let world = test_world();
+        let store = MailStore::new();
+        store.deliver("x@y", "me@here", "s", "b");
+        world.net().register("pop", PopServer::new(store.clone()) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/inbox.af",
+                &SentinelSpec::new("inbox", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("servers", "pop")
+                    .with("user", "me@here")
+                    .with("delete", "true"),
+            )
+            .expect("install");
+        let _ = read_active(&world, "/inbox.af");
+        assert_eq!(store.count("me@here"), 0, "retrieval drained the mailbox");
+    }
+
+    #[test]
+    fn stock_ticker_renders_quotes_and_refreshes_per_open() {
+        let world = test_world();
+        let server = QuoteServer::new(11, &["ACME", "INIT"]);
+        world.net().register("quotes", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/stocks.af",
+                &SentinelSpec::new("stock-ticker", Strategy::DllThread)
+                    .backing(Backing::Memory)
+                    .with("service", "quotes")
+                    .with("symbols", "ACME, INIT"),
+            )
+            .expect("install");
+        let first = String::from_utf8(read_active(&world, "/stocks.af")).expect("utf8");
+        assert!(first.starts_with("ACME\t"));
+        assert_eq!(first.lines().count(), 2);
+        // Market moves; a fresh open downloads the latest quotes.
+        for _ in 0..10 {
+            server.advance();
+        }
+        let second = String::from_utf8(read_active(&world, "/stocks.af")).expect("utf8");
+        assert_ne!(first, second, "file reflects the latest stock quotes on every open");
+    }
+
+    #[test]
+    fn registry_file_round_trips_edits() {
+        let world = test_world();
+        let server = RegistryServer::new();
+        server.set("HKLM/Soft/App", "theme", RegistryValue::Str("dark".into()));
+        server.set("HKLM/Soft/App", "volume", RegistryValue::U32(7));
+        world.net().register("registry", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/config.af",
+                &SentinelSpec::new("registry-file", Strategy::DllOnly)
+                    .with("service", "registry")
+                    .with("key", "HKLM/Soft/App"),
+            )
+            .expect("install");
+        let text = String::from_utf8(read_active(&world, "/config.af")).expect("utf8");
+        assert_eq!(text, "theme=dark\nvolume=7\n");
+
+        // Edit through the file interface: change theme, drop volume, add
+        // a new value — like editing an INI file.
+        {
+            use afs_winapi::{Access, Disposition, FileApi};
+            let api = world.api();
+            let h = api
+                .create_file("/config.af", Access::read_write(), Disposition::OpenExisting)
+                .expect("open");
+            // Overwrite the whole view.
+            let new_text = b"lang=en\ntheme=light\n";
+            api.write_file(h, new_text).expect("write");
+            api.set_end_of_file(h).err(); // not supported on active: ignore
+            api.close_handle(h).expect("close applies the diff");
+        }
+        assert_eq!(server.get("HKLM/Soft/App", "theme"), Some(RegistryValue::Str("light".into())));
+        assert_eq!(server.get("HKLM/Soft/App", "lang"), Some(RegistryValue::Str("en".into())));
+        assert_eq!(server.get("HKLM/Soft/App", "volume"), None, "removed line deletes the value");
+    }
+
+    #[test]
+    fn aggregators_reject_writes() {
+        let world = test_world();
+        let server = FileServer::new();
+        server.seed("/a", b"x");
+        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .install_active_file(
+                "/m.af",
+                &SentinelSpec::new("merge", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("service", "files")
+                    .with("remotes", "/a"),
+            )
+            .expect("install");
+        use afs_winapi::{Access, Disposition, FileApi, Win32Error};
+        let api = world.api();
+        let h = api
+            .create_file("/m.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        assert_eq!(api.write_file(h, b"no"), Err(Win32Error::NotSupported));
+        api.close_handle(h).expect("close");
+    }
+}

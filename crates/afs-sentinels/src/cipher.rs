@@ -1,0 +1,162 @@
+//! Transparent encryption sentinels.
+//!
+//! A filtering use the paper's framework admits directly: the stored data
+//! part is ciphertext, the application reads and writes plaintext without
+//! modification. The cipher is a keyed XOR keystream — **an obfuscation
+//! demo, not cryptography** — chosen because it is position-independent
+//! (byte `i` depends only on the key and `i`), so random-access reads and
+//! writes stay consistent under seeking, unlike a chained cipher.
+
+use afs_core::{SentinelCtx, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// Derives the keystream byte for position `pos` under `key` (an xorshift
+/// mix, deterministic and position-addressable).
+fn keystream(key: u64, pos: u64) -> u8 {
+    let mut x = key ^ pos.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^= x >> 33;
+    (x & 0xFF) as u8
+}
+
+/// XOR-keystream cipher over the cache: ciphertext at rest, plaintext in
+/// flight.
+///
+/// Configuration: `key` (u64; default 0 — still obfuscates, but tests
+/// should set a key).
+pub struct XorCipherSentinel {
+    key: u64,
+}
+
+impl XorCipherSentinel {
+    /// Creates the cipher with `key`.
+    pub fn new(key: u64) -> Self {
+        XorCipherSentinel { key }
+    }
+
+    fn apply(&self, offset: u64, data: &mut [u8]) {
+        for (i, b) in data.iter_mut().enumerate() {
+            *b ^= keystream(self.key, offset + i as u64);
+        }
+    }
+}
+
+impl SentinelLogic for XorCipherSentinel {
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let n = ctx.cache().read_at(offset, buf)?;
+        self.apply(offset, &mut buf[..n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let mut enc = data.to_vec();
+        self.apply(offset, &mut enc);
+        ctx.cache().write_at(offset, &enc)
+    }
+}
+
+/// Registers `xor-cipher` (config: `key`).
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("xor-cipher", |spec| {
+        let key = spec.config().get("key").and_then(|s| s.parse().ok()).unwrap_or(0);
+        Box::new(XorCipherSentinel::new(key))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_vfs::VPath;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plaintext_in_flight_ciphertext_at_rest() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/sec.af",
+                &SentinelSpec::new("xor-cipher", Strategy::DllOnly)
+                    .backing(Backing::Disk)
+                    .with("key", "123456789"),
+            )
+            .expect("install");
+        write_active(&world, "/sec.af", b"top secret payload");
+        assert_eq!(read_active(&world, "/sec.af"), b"top secret payload");
+        let stored = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/sec.af").expect("p"))
+            .expect("read");
+        assert_ne!(stored, b"top secret payload");
+        assert_eq!(stored.len(), 18);
+    }
+
+    #[test]
+    fn random_access_writes_stay_consistent() {
+        use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+        let world = test_world();
+        world
+            .install_active_file(
+                "/ra.af",
+                &SentinelSpec::new("xor-cipher", Strategy::ProcessControl)
+                    .backing(Backing::Memory)
+                    .with("key", "42"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/ra.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, b"AAAAAAAAAA").expect("write");
+        api.set_file_pointer(h, 5, SeekMethod::Begin).expect("seek");
+        api.write_file(h, b"zz").expect("patch");
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+        let mut buf = [0u8; 10];
+        api.read_file(h, &mut buf).expect("read");
+        assert_eq!(&buf, b"AAAAAzzAAA");
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn wrong_key_reads_garbage() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/k.af",
+                &SentinelSpec::new("xor-cipher", Strategy::DllOnly)
+                    .backing(Backing::Disk)
+                    .with("key", "1"),
+            )
+            .expect("install");
+        write_active(&world, "/k.af", b"hello");
+        // Re-point the active file at a different key: the "cipher" no
+        // longer matches the stored bytes.
+        world
+            .install_active_file(
+                "/k.af",
+                &SentinelSpec::new("xor-cipher", Strategy::DllOnly)
+                    .backing(Backing::Disk)
+                    .with("key", "2"),
+            )
+            .expect("reinstall");
+        assert_ne!(read_active(&world, "/k.af"), b"hello");
+    }
+
+    proptest! {
+        #[test]
+        fn cipher_roundtrips_any_data_and_key(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            key in any::<u64>(),
+            offset in 0u64..1024,
+        ) {
+            let cipher = XorCipherSentinel::new(key);
+            let mut buf = data.clone();
+            cipher.apply(offset, &mut buf);
+            cipher.apply(offset, &mut buf);
+            prop_assert_eq!(buf, data);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The compressed-file sentinel (§3).
+//!
+//! "A simple example of such filtering is a compressed file. In this
+//! case, the sentinel process compresses and decompresses the file data
+//! as it is written and read. An advantage of this approach over
+//! compressed file systems is that file compression can be handled on a
+//! per-file basis with different compression algorithms used for
+//! different types of files. … Note that the client application is
+//! completely unaware that it is interacting with a compressed file."
+//!
+//! Two codecs are provided ("different compression algorithms … for
+//! different types of files"): [`Codec::Lzss`], an LZSS dictionary coder
+//! (window 4096, match length 3–18), and [`Codec::Rle`], run-length
+//! encoding for highly repetitive data. Both are self-contained
+//! implementations — no external compression crates.
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// Available compression codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// LZSS: flag-byte framed literals and `(distance, length)` matches.
+    Lzss,
+    /// Byte-level run-length encoding.
+    Rle,
+}
+
+impl Codec {
+    fn id(self) -> u8 {
+        match self {
+            Codec::Lzss => 1,
+            Codec::Rle => 2,
+        }
+    }
+
+    fn from_id(id: u8) -> Option<Codec> {
+        match id {
+            1 => Some(Codec::Lzss),
+            2 => Some(Codec::Rle),
+            _ => None,
+        }
+    }
+}
+
+// ---- LZSS ------------------------------------------------------------------
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+
+/// Compresses `input` with LZSS.
+pub fn lzss_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut pos = 0;
+    while pos < input.len() {
+        // One flag byte governs the next 8 tokens: bit set = literal.
+        let flag_index = out.len();
+        out.push(0);
+        let mut flags = 0u8;
+        for bit in 0..8 {
+            if pos >= input.len() {
+                break;
+            }
+            let (dist, len) = best_match(input, pos);
+            if len >= MIN_MATCH {
+                // Match token: 12-bit distance, 4-bit (len - MIN_MATCH).
+                let token = ((dist as u16) << 4) | ((len - MIN_MATCH) as u16);
+                out.extend_from_slice(&token.to_le_bytes());
+                pos += len;
+            } else {
+                flags |= 1 << bit;
+                out.push(input[pos]);
+                pos += 1;
+            }
+        }
+        out[flag_index] = flags;
+    }
+    out
+}
+
+fn best_match(input: &[u8], pos: usize) -> (usize, usize) {
+    let window_start = pos.saturating_sub(WINDOW - 1);
+    let mut best = (0usize, 0usize);
+    let max_len = MAX_MATCH.min(input.len() - pos);
+    if max_len < MIN_MATCH {
+        return best;
+    }
+    let mut candidate = window_start;
+    while candidate < pos {
+        // Matches may overlap the current position (classic LZ): the
+        // comparison reads bytes the match itself will have produced.
+        let mut len = 0;
+        while len < max_len && input[candidate + len] == input[pos + len] {
+            len += 1;
+        }
+        if len > best.1 {
+            best = (pos - candidate, len);
+            if len == max_len {
+                break;
+            }
+        }
+        candidate += 1;
+    }
+    best
+}
+
+/// Decompresses LZSS output.
+///
+/// # Errors
+///
+/// [`SentinelError::Other`] on truncated or corrupt input.
+pub fn lzss_decompress(input: &[u8]) -> SentinelResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut pos = 0;
+    while pos < input.len() {
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if pos >= input.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(input[pos]);
+                pos += 1;
+            } else {
+                if pos + 2 > input.len() {
+                    return Err(SentinelError::Other("truncated lzss match token".into()));
+                }
+                let token = u16::from_le_bytes([input[pos], input[pos + 1]]);
+                pos += 2;
+                let dist = (token >> 4) as usize;
+                let len = (token & 0xF) as usize + MIN_MATCH;
+                if dist == 0 || dist > out.len() {
+                    return Err(SentinelError::Other("corrupt lzss distance".into()));
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---- RLE -------------------------------------------------------------------
+
+/// Compresses with byte-level RLE: `(count, byte)` pairs.
+pub fn rle_compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = input.iter().peekable();
+    while let Some(&byte) = iter.next() {
+        let mut count: u8 = 1;
+        while count < u8::MAX {
+            match iter.peek() {
+                Some(&&next) if next == byte => {
+                    iter.next();
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        out.push(count);
+        out.push(byte);
+    }
+    out
+}
+
+/// Decompresses RLE output.
+///
+/// # Errors
+///
+/// [`SentinelError::Other`] on odd-length (corrupt) input.
+pub fn rle_decompress(input: &[u8]) -> SentinelResult<Vec<u8>> {
+    if !input.len().is_multiple_of(2) {
+        return Err(SentinelError::Other("corrupt rle stream".into()));
+    }
+    let mut out = Vec::new();
+    for pair in input.chunks_exact(2) {
+        out.extend(std::iter::repeat_n(pair[1], pair[0] as usize));
+    }
+    Ok(out)
+}
+
+// ---- the sentinel ------------------------------------------------------------
+
+/// Stored format: `[codec id: u8][compressed bytes…]`; an empty cache is
+/// an empty file.
+pub struct CompressSentinel {
+    codec: Codec,
+    plain: Vec<u8>,
+    dirty: bool,
+}
+
+impl CompressSentinel {
+    /// Creates the sentinel with the given codec.
+    pub fn new(codec: Codec) -> Self {
+        CompressSentinel { codec, plain: Vec::new(), dirty: false }
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let body = match self.codec {
+            Codec::Lzss => lzss_compress(data),
+            Codec::Rle => rle_compress(data),
+        };
+        let mut out = Vec::with_capacity(body.len() + 1);
+        out.push(self.codec.id());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+impl SentinelLogic for CompressSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let stored = ctx.cache().to_vec()?;
+        if stored.is_empty() {
+            self.plain = Vec::new();
+            return Ok(());
+        }
+        let codec = Codec::from_id(stored[0])
+            .ok_or_else(|| SentinelError::Other("unknown compression codec id".into()))?;
+        self.plain = match codec {
+            Codec::Lzss => lzss_decompress(&stored[1..])?,
+            Codec::Rle => rle_decompress(&stored[1..])?,
+        };
+        Ok(())
+    }
+
+    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let start = (offset as usize).min(self.plain.len());
+        let n = buf.len().min(self.plain.len() - start);
+        buf[..n].copy_from_slice(&self.plain[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let end = offset as usize + data.len();
+        if self.plain.len() < end {
+            self.plain.resize(end, 0);
+        }
+        self.plain[offset as usize..end].copy_from_slice(data);
+        self.dirty = true;
+        Ok(data.len())
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        // The application sees the *decompressed* size.
+        Ok(self.plain.len() as u64)
+    }
+
+    fn flush(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if self.dirty {
+            let stored = self.compress(&self.plain);
+            ctx.cache().replace(&stored)?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        self.flush(ctx)
+    }
+}
+
+/// Registers `compress` (config: `codec` = `lzss` (default) | `rle`).
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("compress", |spec| {
+        let codec = match spec.config().get("codec").map(String::as_str) {
+            Some("rle") => Codec::Rle,
+            _ => Codec::Lzss,
+        };
+        Box::new(CompressSentinel::new(codec))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_vfs::VPath;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lzss_roundtrips_simple_cases() {
+        for case in [
+            &b""[..],
+            b"a",
+            b"abcabcabcabcabc",
+            b"the quick brown fox jumps over the lazy dog",
+            &[0u8; 10_000],
+        ] {
+            let compressed = lzss_compress(case);
+            assert_eq!(lzss_decompress(&compressed).expect("decompress"), case);
+        }
+    }
+
+    #[test]
+    fn lzss_actually_compresses_repetitive_data() {
+        let data = b"abcdefgh".repeat(512);
+        let compressed = lzss_compress(&data);
+        assert!(
+            compressed.len() < data.len() / 2,
+            "expected real compression: {} vs {}",
+            compressed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn rle_roundtrips_and_compresses_runs() {
+        let data = [vec![7u8; 1000], vec![9u8; 3]].concat();
+        let compressed = rle_compress(&data);
+        assert!(compressed.len() < 20);
+        assert_eq!(rle_decompress(&compressed).expect("decompress"), data);
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        assert!(lzss_decompress(&[0b0000_0000, 0x01]).is_err(), "truncated token");
+        assert!(rle_decompress(&[1]).is_err(), "odd rle length");
+        // A match pointing before the start of output.
+        assert!(lzss_decompress(&[0b0000_0000, 0xFF, 0xFF]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn lzss_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let compressed = lzss_compress(&data);
+            prop_assert_eq!(lzss_decompress(&compressed).expect("decompress"), data);
+        }
+
+        #[test]
+        fn rle_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let compressed = rle_compress(&data);
+            prop_assert_eq!(rle_decompress(&compressed).expect("decompress"), data);
+        }
+    }
+
+    #[test]
+    fn application_is_unaware_of_compression() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/doc.af",
+                &SentinelSpec::new("compress", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        let doc = b"compress me, compress me, compress me again and again".repeat(20);
+        write_active(&world, "/doc.af", &doc);
+        assert_eq!(read_active(&world, "/doc.af"), doc);
+        // The stored data part is smaller and starts with the codec id.
+        let stored = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/doc.af").expect("p"))
+            .expect("read");
+        assert!(stored.len() < doc.len() / 2);
+        assert_eq!(stored[0], Codec::Lzss.id());
+    }
+
+    #[test]
+    fn per_file_codecs_differ() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/runs.af",
+                &SentinelSpec::new("compress", Strategy::ProcessControl)
+                    .backing(Backing::Disk)
+                    .with("codec", "rle"),
+            )
+            .expect("install");
+        write_active(&world, "/runs.af", &[42u8; 4096]);
+        let stored = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/runs.af").expect("p"))
+            .expect("read");
+        assert_eq!(stored[0], Codec::Rle.id());
+        assert!(stored.len() < 64);
+        assert_eq!(read_active(&world, "/runs.af"), vec![42u8; 4096]);
+    }
+
+    #[test]
+    fn compressed_file_size_reports_plain_length() {
+        use afs_winapi::{Access, Disposition, FileApi};
+        let world = test_world();
+        world
+            .install_active_file(
+                "/z.af",
+                &SentinelSpec::new("compress", Strategy::DllThread).backing(Backing::Memory),
+            )
+            .expect("install");
+        write_active(&world, "/z.af", &b"x".repeat(500));
+        let api = world.api();
+        let h = api
+            .create_file("/z.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        assert_eq!(api.get_file_size(h).expect("size"), 500);
+        api.close_handle(h).expect("close");
+    }
+}

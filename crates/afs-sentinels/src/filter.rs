@@ -1,0 +1,278 @@
+//! Input/output filtering sentinels (§3).
+//!
+//! "The sentinel can introduce actions on either all or a subset of the
+//! read and write accesses to the active file. This admits a range of
+//! uses, from keeping a log of actions to filtering the data read from
+//! and written into the data file."
+//!
+//! Byte-wise filters compose with any backing and any strategy because
+//! they are pure functions of `(byte)` — the filtered view is consistent
+//! under seeking.
+
+use afs_core::{SentinelCtx, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// A bytewise transformation applied on the read and write directions.
+trait ByteFilter: Send {
+    /// Applied to bytes leaving the file towards the application.
+    fn outbound(&self, b: u8) -> u8;
+    /// Applied to bytes the application writes, before storage.
+    fn inbound(&self, b: u8) -> u8;
+}
+
+/// Generic filter sentinel over the cache.
+struct FilterSentinel<F: ByteFilter> {
+    filter: F,
+}
+
+impl<F: ByteFilter> SentinelLogic for FilterSentinel<F> {
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let n = ctx.cache().read_at(offset, buf)?;
+        for b in &mut buf[..n] {
+            *b = self.filter.outbound(*b);
+        }
+        Ok(n)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let transformed: Vec<u8> = data.iter().map(|&b| self.filter.inbound(b)).collect();
+        ctx.cache().write_at(offset, &transformed)
+    }
+}
+
+struct Upper;
+
+impl ByteFilter for Upper {
+    fn outbound(&self, b: u8) -> u8 {
+        b.to_ascii_uppercase()
+    }
+    fn inbound(&self, b: u8) -> u8 {
+        b
+    }
+}
+
+struct Lower;
+
+impl ByteFilter for Lower {
+    fn outbound(&self, b: u8) -> u8 {
+        b.to_ascii_lowercase()
+    }
+    fn inbound(&self, b: u8) -> u8 {
+        b
+    }
+}
+
+struct Rot13;
+
+fn rot13(b: u8) -> u8 {
+    match b {
+        b'a'..=b'z' => b'a' + (b - b'a' + 13) % 26,
+        b'A'..=b'Z' => b'A' + (b - b'A' + 13) % 26,
+        other => other,
+    }
+}
+
+impl ByteFilter for Rot13 {
+    fn outbound(&self, b: u8) -> u8 {
+        rot13(b)
+    }
+    fn inbound(&self, b: u8) -> u8 {
+        rot13(b)
+    }
+}
+
+/// Uppercases everything the application reads; writes stored verbatim.
+pub struct UppercaseSentinel;
+
+impl UppercaseSentinel {
+    /// Creates the boxed logic.
+    pub fn boxed() -> Box<dyn SentinelLogic> {
+        Box::new(FilterSentinel { filter: Upper })
+    }
+}
+
+/// Lowercases everything the application reads; writes stored verbatim.
+pub struct LowercaseSentinel;
+
+impl LowercaseSentinel {
+    /// Creates the boxed logic.
+    pub fn boxed() -> Box<dyn SentinelLogic> {
+        Box::new(FilterSentinel { filter: Lower })
+    }
+}
+
+/// ROT13 in both directions: the stored file is obfuscated, the
+/// application sees plain text. A self-inverse cipher, so reads and
+/// writes use the same transform.
+pub struct Rot13Sentinel;
+
+impl Rot13Sentinel {
+    /// Creates the boxed logic.
+    pub fn boxed() -> Box<dyn SentinelLogic> {
+        Box::new(FilterSentinel { filter: Rot13 })
+    }
+}
+
+/// Converts stored LF line endings to CRLF on the way out and CRLF back
+/// to LF on the way in — a classic legacy-application shim. Because the
+/// mapping changes lengths, this sentinel presents a *rendered view* and
+/// therefore materialises it on open and rewrites on close; it supports
+/// whole-stream usage (read-all or replace-all), which is what legacy
+/// text viewers do.
+pub struct LineEndingSentinel {
+    rendered: Vec<u8>,
+    dirty: bool,
+}
+
+impl LineEndingSentinel {
+    /// Creates the sentinel (view populated on open).
+    pub fn new() -> Self {
+        LineEndingSentinel { rendered: Vec::new(), dirty: false }
+    }
+}
+
+impl Default for LineEndingSentinel {
+    fn default() -> Self {
+        LineEndingSentinel::new()
+    }
+}
+
+impl SentinelLogic for LineEndingSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let stored = ctx.cache().to_vec()?;
+        self.rendered = Vec::with_capacity(stored.len() + 16);
+        for &b in &stored {
+            if b == b'\n' {
+                self.rendered.push(b'\r');
+            }
+            self.rendered.push(b);
+        }
+        Ok(())
+    }
+
+    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let start = (offset as usize).min(self.rendered.len());
+        let n = buf.len().min(self.rendered.len() - start);
+        buf[..n].copy_from_slice(&self.rendered[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let end = offset as usize + data.len();
+        if self.rendered.len() < end {
+            self.rendered.resize(end, 0);
+        }
+        self.rendered[offset as usize..end].copy_from_slice(data);
+        self.dirty = true;
+        Ok(data.len())
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        Ok(self.rendered.len() as u64)
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if self.dirty {
+            let stored: Vec<u8> = self.rendered.iter().copied().filter(|&b| b != b'\r').collect();
+            ctx.cache().replace(&stored)?;
+        }
+        Ok(())
+    }
+}
+
+/// Registers `uppercase`, `lowercase`, `rot13`, and `line-ending`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("uppercase", |_| UppercaseSentinel::boxed());
+    registry.register("lowercase", |_| LowercaseSentinel::boxed());
+    registry.register("rot13", |_| Rot13Sentinel::boxed());
+    registry.register("line-ending", |_| Box::new(LineEndingSentinel::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_vfs::VPath;
+
+    #[test]
+    fn uppercase_reads_shout_writes_verbatim() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/u.af",
+                &SentinelSpec::new("uppercase", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        write_active(&world, "/u.af", b"Mixed Case");
+        assert_eq!(read_active(&world, "/u.af"), b"MIXED CASE");
+        // Stored data is untouched.
+        assert_eq!(
+            world.vfs().read_stream_to_end(&VPath::parse("/u.af").expect("p")).expect("read"),
+            b"Mixed Case"
+        );
+    }
+
+    #[test]
+    fn rot13_is_transparent_but_obfuscates_storage() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/r.af",
+                &SentinelSpec::new("rot13", Strategy::ProcessControl).backing(Backing::Disk),
+            )
+            .expect("install");
+        write_active(&world, "/r.af", b"Attack at dawn!");
+        assert_eq!(read_active(&world, "/r.af"), b"Attack at dawn!");
+        let stored = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/r.af").expect("p"))
+            .expect("read");
+        assert_eq!(stored, b"Nggnpx ng qnja!", "the client application is unaware");
+    }
+
+    #[test]
+    fn lowercase_filter_works_under_thread_strategy() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/l.af",
+                &SentinelSpec::new("lowercase", Strategy::DllThread).backing(Backing::Memory),
+            )
+            .expect("install");
+        write_active(&world, "/l.af", b"LOUD");
+        assert_eq!(read_active(&world, "/l.af"), b"loud");
+    }
+
+    #[test]
+    fn line_endings_rendered_crlf_stored_lf() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/text.af",
+                &SentinelSpec::new("line-ending", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        let p = VPath::parse("/text.af").expect("p");
+        world.vfs().write_stream(&p, 0, b"one\ntwo\n").expect("seed");
+        assert_eq!(read_active(&world, "/text.af"), b"one\r\ntwo\r\n");
+        // Rewriting the whole document (CreateAlways truncates the data
+        // part) with CRLF stores it as LF.
+        {
+            use afs_winapi::{Access, Disposition, FileApi};
+            let api = world.api();
+            let h = api
+                .create_file("/text.af", Access::read_write(), Disposition::CreateAlways)
+                .expect("truncate open");
+            api.write_file(h, b"a\r\nb\r\n").expect("write");
+            api.close_handle(h).expect("close");
+        }
+        assert_eq!(world.vfs().read_stream_to_end(&p).expect("read"), b"a\nb\n");
+    }
+
+    #[test]
+    fn rot13_function_is_self_inverse() {
+        for b in 0..=255u8 {
+            assert_eq!(rot13(rot13(b)), b);
+        }
+    }
+}

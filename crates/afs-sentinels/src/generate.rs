@@ -1,0 +1,219 @@
+//! Data-generation sentinels.
+//!
+//! "The sentinel process can completely obviate the existence of a
+//! physical (passive) file … An example of such use is when the sentinel
+//! process just contains a random number generator. In this case, the
+//! corresponding active file appears to client programs as a data file
+//! that contains an infinite stream of random numbers" (§3).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// An infinite stream of pseudo-random bytes.
+///
+/// Configuration: `seed` (u64, default 0). The stream is a deterministic
+/// function of `(seed, offset)`, so seeking strategies see a consistent
+/// "file".
+#[derive(Debug)]
+pub struct RandomGenSentinel {
+    seed: u64,
+}
+
+impl RandomGenSentinel {
+    /// Creates the generator with `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomGenSentinel { seed }
+    }
+}
+
+impl SentinelLogic for RandomGenSentinel {
+    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        // Byte at `offset` comes from a block RNG keyed by (seed, block):
+        // deterministic and O(len) per call.
+        const BLOCK: u64 = 64;
+        let mut produced = 0;
+        while produced < buf.len() {
+            let pos = offset + produced as u64;
+            let block_index = pos / BLOCK;
+            let in_block = (pos % BLOCK) as usize;
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ block_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut block = [0u8; BLOCK as usize];
+            rng.fill_bytes(&mut block);
+            let take = (BLOCK as usize - in_block).min(buf.len() - produced);
+            buf[produced..produced + take].copy_from_slice(&block[in_block..in_block + take]);
+            produced += take;
+        }
+        Ok(produced)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(SentinelError::Unsupported)
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        // An infinite stream has no meaningful size.
+        Err(SentinelError::Unsupported)
+    }
+}
+
+/// A bounded stream of decimal numbers, one per line: `start..start+count`.
+///
+/// Configuration: `start` (default 0), `count` (default 100).
+#[derive(Debug)]
+pub struct SequenceSentinel {
+    rendered: Vec<u8>,
+}
+
+impl SequenceSentinel {
+    /// Creates the sequence `[start, start + count)`.
+    pub fn new(start: u64, count: u64) -> Self {
+        let mut rendered = Vec::new();
+        for i in start..start + count {
+            rendered.extend_from_slice(i.to_string().as_bytes());
+            rendered.push(b'\n');
+        }
+        SequenceSentinel { rendered }
+    }
+}
+
+impl SentinelLogic for SequenceSentinel {
+    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let start = (offset as usize).min(self.rendered.len());
+        let n = buf.len().min(self.rendered.len() - start);
+        buf[..n].copy_from_slice(&self.rendered[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(SentinelError::Unsupported)
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        Ok(self.rendered.len() as u64)
+    }
+}
+
+/// Registers `random` and `sequence`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("random", |spec| {
+        let seed = spec.config().get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+        Box::new(RandomGenSentinel::new(seed))
+    });
+    registry.register("sequence", |spec| {
+        let start = spec.config().get("start").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let count = spec.config().get("count").and_then(|s| s.parse().ok()).unwrap_or(100);
+        Box::new(SequenceSentinel::new(start, count))
+    });
+}
+
+// Keep the unused Rng import meaningful for future samplers.
+#[allow(dead_code)]
+fn sample_range(rng: &mut SmallRng, hi: u64) -> u64 {
+    rng.gen_range(0..hi.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::*;
+    use crate::test_world;
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_winapi::{Access, Disposition, FileApi, SeekMethod, Win32Error};
+
+    #[test]
+    fn random_stream_is_deterministic_and_offset_consistent() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/rng.af",
+                &SentinelSpec::new("random", Strategy::DllOnly).with("seed", "7"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/rng.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        let mut first = [0u8; 100];
+        assert_eq!(api.read_file(h, &mut first).expect("read"), 100);
+        // Seek back and re-read: same bytes (the stream is a function of
+        // offset).
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+        let mut again = [0u8; 100];
+        api.read_file(h, &mut again).expect("read");
+        assert_eq!(first, again);
+        // Reading at offset 50 matches the tail of the first read.
+        api.set_file_pointer(h, 50, SeekMethod::Begin).expect("seek");
+        let mut tail = [0u8; 50];
+        api.read_file(h, &mut tail).expect("read");
+        assert_eq!(&first[50..], &tail);
+        // Writing to a generator is rejected.
+        api.close_handle(h).expect("close");
+        let h = api
+            .create_file("/rng.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open rw");
+        assert_eq!(api.write_file(h, b"x"), Err(Win32Error::NotSupported));
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn random_stream_never_ends() {
+        let world = test_world();
+        world
+            .install_active_file("/rng.af", &SentinelSpec::new("random", Strategy::DllOnly))
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/rng.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        api.set_file_pointer(h, 1 << 30, SeekMethod::Begin).expect("far seek");
+        let mut buf = [0u8; 16];
+        assert_eq!(api.read_file(h, &mut buf).expect("read"), 16, "no EOF at 1 GiB");
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn sequence_renders_numbers() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/seq.af",
+                &SentinelSpec::new("sequence", Strategy::ProcessControl)
+                    .backing(Backing::Memory)
+                    .with("start", "5")
+                    .with("count", "3"),
+            )
+            .expect("install");
+        assert_eq!(crate::read_active(&world, "/seq.af"), b"5\n6\n7\n");
+    }
+
+    #[test]
+    fn sequence_reports_size() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/seq.af",
+                &SentinelSpec::new("sequence", Strategy::DllThread).with("count", "2"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/seq.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        assert_eq!(api.get_file_size(h).expect("size"), 4); // "0\n1\n"
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn generator_streams_under_simple_process_strategy() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/seq.af",
+                &SentinelSpec::new("sequence", Strategy::Process).with("count", "4"),
+            )
+            .expect("install");
+        assert_eq!(crate::read_active(&world, "/seq.af"), b"0\n1\n2\n3\n");
+    }
+}

@@ -1,0 +1,267 @@
+//! Guard sentinels: resource-centric policies attached to the file
+//! itself.
+//!
+//! §7: "active files enable resource-centric control: the file itself can
+//! specify the kind of access control policies that need be implemented".
+//! These sentinels make that concrete beyond simple allow-lists:
+//!
+//! * [`QuotaSentinel`] — the file enforces its own size budget, whoever
+//!   writes to it;
+//! * [`ChecksumSentinel`] — the file verifies its own integrity on every
+//!   open and maintains the checksum on close, so corruption of the data
+//!   part is detected at the file, not by the application.
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// Enforces a maximum data-part size. Writes that would exceed the quota
+/// are refused with a policy denial.
+///
+/// Configuration: `limit` (bytes, required).
+pub struct QuotaSentinel {
+    limit: u64,
+}
+
+impl QuotaSentinel {
+    /// Creates the sentinel (limit resolved on open).
+    pub fn new() -> Self {
+        QuotaSentinel { limit: u64::MAX }
+    }
+}
+
+impl Default for QuotaSentinel {
+    fn default() -> Self {
+        QuotaSentinel::new()
+    }
+}
+
+impl SentinelLogic for QuotaSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        self.limit = ctx
+            .config_u64("limit")
+            .ok_or_else(|| SentinelError::Other("quota sentinel needs a `limit`".into()))?;
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let end = offset + data.len() as u64;
+        if end > self.limit {
+            return Err(SentinelError::Denied(format!(
+                "write to {end} exceeds quota of {} bytes",
+                self.limit
+            )));
+        }
+        ctx.cache().write_at(offset, data)
+    }
+}
+
+const CHECKSUM_STREAM_SUFFIX: &str = "checksum";
+
+fn fletcher64(data: &[u8]) -> u64 {
+    let mut a: u64 = 0;
+    let mut b: u64 = 0;
+    for chunk in data.chunks(4) {
+        let mut word = [0u8; 4];
+        word[..chunk.len()].copy_from_slice(chunk);
+        a = (a + u32::from_le_bytes(word) as u64) % 0xFFFF_FFFF;
+        b = (b + a) % 0xFFFF_FFFF;
+    }
+    (b << 32) | a
+}
+
+/// Verifies the data part against a stored checksum on open and refreshes
+/// the checksum on close. A corrupted data part fails the *open* — the
+/// application never sees bad bytes.
+pub struct ChecksumSentinel {
+    dirty: bool,
+}
+
+impl ChecksumSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        ChecksumSentinel { dirty: false }
+    }
+
+    fn checksum_path(ctx: &SentinelCtx) -> afs_vfs::VPath {
+        ctx.path().with_stream(CHECKSUM_STREAM_SUFFIX)
+    }
+}
+
+impl Default for ChecksumSentinel {
+    fn default() -> Self {
+        ChecksumSentinel::new()
+    }
+}
+
+impl SentinelLogic for ChecksumSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let data = ctx.cache().to_vec()?;
+        let path = Self::checksum_path(ctx);
+        match ctx.vfs().read_stream_to_end(&path) {
+            Ok(stored) if stored.len() == 8 => {
+                let tag = u64::from_le_bytes(stored.try_into().expect("8 bytes"));
+                if tag != fletcher64(&data) {
+                    return Err(SentinelError::Denied("data part failed checksum".into()));
+                }
+                Ok(())
+            }
+            // No checksum yet: adopt the current contents.
+            _ => {
+                let tag = fletcher64(&data);
+                ctx.vfs()
+                    .write_stream_replace(&path, &tag.to_le_bytes())
+                    .map_err(SentinelError::from)
+            }
+        }
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        self.dirty = true;
+        ctx.cache().write_at(offset, data)
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if self.dirty {
+            let data = ctx.cache().to_vec()?;
+            let tag = fletcher64(&data);
+            let path = Self::checksum_path(ctx);
+            ctx.vfs()
+                .write_stream_replace(&path, &tag.to_le_bytes())
+                .map_err(SentinelError::from)?;
+        }
+        Ok(())
+    }
+}
+
+/// Registers `quota` and `checksum`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("quota", |_| Box::new(QuotaSentinel::new()));
+    registry.register("checksum", |_| Box::new(ChecksumSentinel::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_winapi::{Access, Disposition, FileApi, Win32Error};
+
+    #[test]
+    fn quota_blocks_oversize_writes() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/q.af",
+                &SentinelSpec::new("quota", Strategy::DllOnly)
+                    .backing(Backing::Disk)
+                    .with("limit", "10"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/q.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        assert_eq!(api.write_file(h, b"12345").expect("within"), 5);
+        assert_eq!(api.write_file(h, b"67890").expect("at limit"), 5);
+        assert_eq!(api.write_file(h, b"x"), Err(Win32Error::AccessDenied));
+        api.close_handle(h).expect("close");
+        assert_eq!(read_active(&world, "/q.af"), b"1234567890");
+    }
+
+    #[test]
+    fn quota_is_resource_centric_every_opener_is_bound() {
+        for user in ["alice", "root"] {
+            let world = afs_core::AfsWorld::builder().user(user).build();
+            crate::register_all(world.sentinels());
+            world
+                .install_active_file(
+                    "/q.af",
+                    &SentinelSpec::new("quota", Strategy::DllThread)
+                        .backing(Backing::Memory)
+                        .with("limit", "4"),
+                )
+                .expect("install");
+            let api = world.api();
+            let h = api
+                .create_file("/q.af", Access::write_only(), Disposition::OpenExisting)
+                .expect("open");
+            api.write_file(h, b"1234").expect("within");
+            // Thread-strategy writes are write-behind (§6): the violation
+            // parks in the sentinel and surfaces on the close.
+            api.write_file(h, b"5").expect("async write itself succeeds");
+            assert_eq!(
+                api.close_handle(h),
+                Err(Win32Error::AccessDenied),
+                "{user} is equally bound: the policy lives in the file"
+            );
+        }
+    }
+
+    #[test]
+    fn quota_requires_limit_config() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/q.af",
+                &SentinelSpec::new("quota", Strategy::DllOnly).backing(Backing::Memory),
+            )
+            .expect("install");
+        let api = world.api();
+        assert!(api
+            .create_file("/q.af", Access::read_write(), Disposition::OpenExisting)
+            .is_err());
+    }
+
+    #[test]
+    fn checksum_adopts_then_detects_corruption() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/c.af",
+                &SentinelSpec::new("checksum", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        write_active(&world, "/c.af", b"precious data");
+        // A clean reopen passes.
+        assert_eq!(read_active(&world, "/c.af"), b"precious data");
+        // Corrupt the data part behind the sentinel's back.
+        world
+            .vfs()
+            .write_stream(&"/c.af".parse().expect("p"), 0, b"X")
+            .expect("corrupt");
+        let api = world.api();
+        assert_eq!(
+            api.create_file("/c.af", Access::read_only(), Disposition::OpenExisting),
+            Err(Win32Error::AccessDenied),
+            "corruption detected at open"
+        );
+    }
+
+    #[test]
+    fn checksum_updates_after_legitimate_writes() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/c.af",
+                &SentinelSpec::new("checksum", Strategy::ProcessControl).backing(Backing::Disk),
+            )
+            .expect("install");
+        write_active(&world, "/c.af", b"v1");
+        write_active(&world, "/c.af", b"v2");
+        assert_eq!(read_active(&world, "/c.af"), b"v2");
+    }
+
+    #[test]
+    fn fletcher_is_sensitive_to_order_and_content() {
+        assert_ne!(fletcher64(b"ab"), fletcher64(b"ba"));
+        assert_ne!(fletcher64(b"a"), fletcher64(b"b"));
+        assert_eq!(fletcher64(b""), 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Logging and locking sentinels (§3).
+//!
+//! Two of the paper's motivating examples:
+//!
+//! * "A file containing sensitive data would like to log every access
+//!   from users, even if these users are trusted users" —
+//!   [`AccessLogSentinel`].
+//! * "Assume that several processes log events using the same log file.
+//!   As the sentinel receives each log record, it locks the file, writes
+//!   the record and unlocks the file. The processes generating the logs
+//!   do not need to know about log file locking" — [`SharedLogSentinel`].
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+use afs_vfs::VPath;
+
+/// Appends every record written to the active file to the shared data
+/// part under a named mutex, so concurrent sentinels never interleave
+/// records. Reads return the whole log.
+///
+/// Configuration: `lock` (mutex name; default `log:<path>`); `rotate`
+/// (bytes — when the log exceeds this, the sentinel trims the oldest
+/// half at the next newline boundary, "the sentinel can perform a
+/// variety of functions in the background such as cleaning up the
+/// logs", §3).
+pub struct SharedLogSentinel;
+
+impl SharedLogSentinel {
+    /// Creates the sentinel.
+    pub fn new() -> Self {
+        SharedLogSentinel
+    }
+
+    fn lock_name(ctx: &SentinelCtx) -> String {
+        match ctx.config_str("lock") {
+            Some(name) => name.to_owned(),
+            None => format!("log:{}", ctx.path()),
+        }
+    }
+
+    /// The §3 "cleaning up the logs" housekeeping: keep the newest half
+    /// when the configured size is exceeded, cutting at a record
+    /// boundary. Runs under the log mutex.
+    fn rotate_if_needed(ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let Some(limit) = ctx.config_u64("rotate") else {
+            return Ok(());
+        };
+        let len = ctx.cache().len()?;
+        if len <= limit {
+            return Ok(());
+        }
+        let contents = ctx.cache().to_vec()?;
+        let half = contents.len() / 2;
+        let cut = contents[half..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| half + i + 1)
+            .unwrap_or(half);
+        ctx.cache().replace(&contents[cut..])?;
+        Ok(())
+    }
+}
+
+impl Default for SharedLogSentinel {
+    fn default() -> Self {
+        SharedLogSentinel::new()
+    }
+}
+
+impl SentinelLogic for SharedLogSentinel {
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let mutex = ctx.mutex(&Self::lock_name(ctx))?;
+        mutex.acquire();
+        let result = ctx.cache().read_at(offset, buf);
+        mutex.release();
+        result
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, _offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        // Log semantics: writes always append, whatever the caller's file
+        // pointer says — the sentinel owns the placement policy.
+        let mutex = ctx.mutex(&Self::lock_name(ctx))?;
+        mutex.acquire();
+        let result = (|| {
+            let end = ctx.cache().len()?;
+            let n = ctx.cache().write_at(end, data)?;
+            Self::rotate_if_needed(ctx)?;
+            Ok(n)
+        })();
+        mutex.release();
+        result
+    }
+}
+
+/// Wraps the data part with an audit trail: every open, read, write, and
+/// close is recorded (with the acting user) into a separate local audit
+/// file.
+///
+/// Configuration: `audit` — path of the audit file (required).
+pub struct AccessLogSentinel {
+    audit: Option<VPath>,
+}
+
+impl AccessLogSentinel {
+    /// Creates the sentinel (audit path resolved on open).
+    pub fn new() -> Self {
+        AccessLogSentinel { audit: None }
+    }
+
+    fn record(&self, ctx: &SentinelCtx, event: &str) -> SentinelResult<()> {
+        let Some(audit) = &self.audit else {
+            return Ok(());
+        };
+        let line = format!("{} {} {}\n", ctx.user(), event, ctx.path());
+        let vfs = ctx.vfs();
+        if !vfs.is_file(audit) {
+            if let Some(parent) = audit.parent() {
+                vfs.create_dir_all(&parent).map_err(SentinelError::from)?;
+            }
+            vfs.create_file(audit).map_err(SentinelError::from)?;
+        }
+        let len = vfs.stream_len(audit).map_err(SentinelError::from)?;
+        vfs.write_stream(audit, len, line.as_bytes()).map_err(SentinelError::from)?;
+        Ok(())
+    }
+}
+
+impl Default for AccessLogSentinel {
+    fn default() -> Self {
+        AccessLogSentinel::new()
+    }
+}
+
+impl SentinelLogic for AccessLogSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let path = ctx.require_str("audit")?;
+        self.audit =
+            Some(VPath::parse(path).map_err(|e| SentinelError::Other(e.to_string()))?);
+        self.record(ctx, "open")
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        self.record(ctx, "read")?;
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        self.record(ctx, "write")?;
+        ctx.cache().write_at(offset, data)
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        self.record(ctx, "close")
+    }
+}
+
+/// Registers `shared-log` and `access-log`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("shared-log", |_| Box::new(SharedLogSentinel::new()));
+    registry.register("access-log", |_| Box::new(AccessLogSentinel::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{read_active, test_world};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_winapi::{Access, Disposition, FileApi};
+
+    #[test]
+    fn concurrent_writers_never_tear_records() {
+        let world = std::sync::Arc::new(test_world());
+        world
+            .install_active_file(
+                "/log.af",
+                &SentinelSpec::new("shared-log", Strategy::DllThread).backing(Backing::Disk),
+            )
+            .expect("install");
+        let mut handles = Vec::new();
+        for writer in 0..4u8 {
+            let world = std::sync::Arc::clone(&world);
+            handles.push(std::thread::spawn(move || {
+                let api = world.api();
+                let h = api
+                    .create_file("/log.af", Access::write_only(), Disposition::OpenExisting)
+                    .expect("open");
+                for i in 0..50 {
+                    let record = format!("w{writer}-{i:03};");
+                    api.write_file(h, record.as_bytes()).expect("append");
+                }
+                api.close_handle(h).expect("close");
+            }));
+        }
+        for t in handles {
+            t.join().expect("join");
+        }
+        let log = String::from_utf8(read_active(&world, "/log.af")).expect("utf8");
+        let records: Vec<&str> = log.split_terminator(';').collect();
+        assert_eq!(records.len(), 200);
+        for r in &records {
+            assert!(r.len() == 6 && r.starts_with('w'), "torn record {r:?}");
+        }
+        // Per-writer order is preserved even though writers interleave.
+        for writer in 0..4u8 {
+            let mine: Vec<&&str> =
+                records.iter().filter(|r| r.starts_with(&format!("w{writer}"))).collect();
+            assert_eq!(mine.len(), 50);
+            for (i, r) in mine.iter().enumerate() {
+                assert_eq!(***r, format!("w{writer}-{i:03}"));
+            }
+        }
+    }
+
+    #[test]
+    fn log_writes_append_regardless_of_pointer() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/log.af",
+                &SentinelSpec::new("shared-log", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/log.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, b"first|").expect("w1");
+        // Rewind; the sentinel still appends.
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.write_file(h, b"second|").expect("w2");
+        api.close_handle(h).expect("close");
+        assert_eq!(read_active(&world, "/log.af"), b"first|second|");
+    }
+
+    #[test]
+    fn access_log_records_every_operation_with_user() {
+        let world = afs_core::AfsWorld::builder().user("carol").build();
+        crate::register_all(world.sentinels());
+        world
+            .install_active_file(
+                "/sensitive.af",
+                &SentinelSpec::new("access-log", Strategy::ProcessControl)
+                    .backing(Backing::Disk)
+                    .with("audit", "/var/audit.log"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/sensitive.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, b"data").expect("write");
+        let mut buf = [0u8; 4];
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.read_file(h, &mut buf).expect("read");
+        api.close_handle(h).expect("close");
+        let audit = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/var/audit.log").expect("p"))
+            .expect("audit exists");
+        let text = String::from_utf8(audit).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "carol open /sensitive.af");
+        assert!(lines.contains(&"carol write /sensitive.af"));
+        assert!(lines.contains(&"carol read /sensitive.af"));
+        assert_eq!(*lines.last().expect("nonempty"), "carol close /sensitive.af");
+    }
+
+    #[test]
+    fn rotation_trims_the_oldest_records() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/rot.af",
+                &SentinelSpec::new("shared-log", Strategy::DllOnly)
+                    .backing(Backing::Disk)
+                    .with("rotate", "100"),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/rot.af", Access::write_only(), Disposition::OpenExisting)
+            .expect("open");
+        for i in 0..30 {
+            api.write_file(h, format!("record-{i:04}\n").as_bytes()).expect("append");
+        }
+        api.close_handle(h).expect("close");
+        let log = String::from_utf8(read_active(&world, "/rot.af")).expect("utf8");
+        assert!(log.len() <= 112, "rotation keeps the log bounded, got {}", log.len());
+        assert!(!log.contains("record-0000"), "oldest records trimmed");
+        assert!(log.contains("record-0029"), "newest records kept");
+        for line in log.lines() {
+            assert!(line.starts_with("record-"), "rotation cuts at record boundaries: {line:?}");
+        }
+    }
+
+    #[test]
+    fn access_log_requires_audit_config() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/bad.af",
+                &SentinelSpec::new("access-log", Strategy::DllOnly).backing(Backing::Memory),
+            )
+            .expect("install");
+        let api = world.api();
+        assert!(
+            api.create_file("/bad.af", Access::read_only(), Disposition::OpenExisting).is_err(),
+            "missing audit config fails the open"
+        );
+    }
+}

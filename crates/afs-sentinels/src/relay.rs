@@ -1,0 +1,201 @@
+//! The relay sentinel: one active file backed by another file *through
+//! the intercepted API* — the composition mechanism of §3 ("larger
+//! applications are constructed by composing these actions in different
+//! ways").
+//!
+//! Because the relay opens its target through the world's intercepted
+//! API, the target may itself be an active file, stacking behaviours:
+//! an uppercase relay over a ROT13 file yields uppercased plaintext over
+//! obfuscated storage, with each behaviour owned by its own file.
+
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+use afs_winapi::{Access, Disposition, Handle, SeekMethod};
+
+/// Relays reads and writes to a target path opened through the
+/// intercepted API.
+///
+/// Configuration: `target` (path, required); `transform` (optional:
+/// `upper` | `lower` applied to bytes read through the relay).
+pub struct RelaySentinel {
+    handle: Option<Handle>,
+    transform: Transform,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transform {
+    None,
+    Upper,
+    Lower,
+}
+
+impl RelaySentinel {
+    /// Creates the sentinel (target resolved on open).
+    pub fn new() -> Self {
+        RelaySentinel { handle: None, transform: Transform::None }
+    }
+
+    fn handle(&self) -> SentinelResult<Handle> {
+        self.handle.ok_or_else(|| SentinelError::Other("relay target not open".into()))
+    }
+}
+
+impl Default for RelaySentinel {
+    fn default() -> Self {
+        RelaySentinel::new()
+    }
+}
+
+impl SentinelLogic for RelaySentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let target = ctx.require_str("target")?.to_owned();
+        if target == ctx.path().to_string() {
+            return Err(SentinelError::Denied("relay must not target itself".into()));
+        }
+        self.transform = match ctx.config_str("transform") {
+            Some("upper") => Transform::Upper,
+            Some("lower") => Transform::Lower,
+            _ => Transform::None,
+        };
+        let api = ctx.api()?;
+        let h = api
+            .create_file(&target, Access::read_write(), Disposition::OpenAlways)
+            .map_err(|e| SentinelError::Other(format!("relay open failed: {e}")))?;
+        self.handle = Some(h);
+        Ok(())
+    }
+
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let h = self.handle()?;
+        let api = ctx.api()?.clone();
+        api.set_file_pointer(h, offset as i64, SeekMethod::Begin)
+            .map_err(|e| SentinelError::Other(e.to_string()))?;
+        let n = api.read_file(h, buf).map_err(|e| SentinelError::Other(e.to_string()))?;
+        match self.transform {
+            Transform::None => {}
+            Transform::Upper => buf[..n].make_ascii_uppercase(),
+            Transform::Lower => buf[..n].make_ascii_lowercase(),
+        }
+        Ok(n)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let h = self.handle()?;
+        let api = ctx.api()?.clone();
+        api.set_file_pointer(h, offset as i64, SeekMethod::Begin)
+            .map_err(|e| SentinelError::Other(e.to_string()))?;
+        api.write_file(h, data).map_err(|e| SentinelError::Other(e.to_string()))
+    }
+
+    fn len(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        let h = self.handle()?;
+        ctx.api()?
+            .get_file_size(h)
+            .map_err(|e| SentinelError::Other(e.to_string()))
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if let Some(h) = self.handle.take() {
+            ctx.api()?
+                .close_handle(h)
+                .map_err(|e| SentinelError::Other(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+/// Registers `relay`.
+pub fn register(registry: &SentinelRegistry) {
+    registry.register("relay", |_| Box::new(RelaySentinel::new()));
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{read_active, test_world, write_active};
+    use afs_core::{Backing, SentinelSpec, Strategy};
+    use afs_vfs::VPath;
+
+    #[test]
+    fn relay_over_a_passive_file() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/view.af",
+                &SentinelSpec::new("relay", Strategy::DllOnly).with("target", "/base.txt"),
+            )
+            .expect("install");
+        write_active(&world, "/view.af", b"through the relay");
+        assert_eq!(read_active(&world, "/view.af"), b"through the relay");
+        assert_eq!(
+            world.vfs().read_stream_to_end(&VPath::parse("/base.txt").expect("p")).expect("read"),
+            b"through the relay"
+        );
+    }
+
+    #[test]
+    fn relay_composes_active_files() {
+        // Stack: /stack.af (relay, uppercase on read) over /inner.af
+        // (rot13 over disk). Writes go plaintext → rot13 storage; reads
+        // come back rot13-decoded then uppercased.
+        let world = test_world();
+        world
+            .install_active_file(
+                "/inner.af",
+                &SentinelSpec::new("rot13", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("inner");
+        world
+            .install_active_file(
+                "/stack.af",
+                &SentinelSpec::new("relay", Strategy::DllOnly)
+                    .with("target", "/inner.af")
+                    .with("transform", "upper"),
+            )
+            .expect("stack");
+        write_active(&world, "/stack.af", b"Attack at dawn");
+        // Storage is obfuscated by the inner sentinel…
+        let stored = world
+            .vfs()
+            .read_stream_to_end(&VPath::parse("/inner.af").expect("p"))
+            .expect("read");
+        assert_eq!(stored, b"Nggnpx ng qnja");
+        // …and the stacked view uppercases the decoded text.
+        assert_eq!(read_active(&world, "/stack.af"), b"ATTACK AT DAWN");
+        // The inner file on its own still reads as plain text.
+        assert_eq!(read_active(&world, "/inner.af"), b"Attack at dawn");
+    }
+
+    #[test]
+    fn relay_refuses_to_target_itself() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/loop.af",
+                &SentinelSpec::new("relay", Strategy::DllOnly).with("target", "/loop.af"),
+            )
+            .expect("install");
+        use afs_winapi::{Access, Disposition, FileApi};
+        let api = world.api();
+        assert!(api
+            .create_file("/loop.af", Access::read_only(), Disposition::OpenExisting)
+            .is_err());
+    }
+
+    #[test]
+    fn relay_works_across_process_boundary_strategies() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/inner.af",
+                &SentinelSpec::new("uppercase", Strategy::DllThread).backing(Backing::Memory),
+            )
+            .expect("inner");
+        world
+            .install_active_file(
+                "/outer.af",
+                &SentinelSpec::new("relay", Strategy::ProcessControl).with("target", "/inner.af"),
+            )
+            .expect("outer");
+        write_active(&world, "/outer.af", b"deep");
+        assert_eq!(read_active(&world, "/outer.af"), b"DEEP");
+    }
+}

@@ -1,0 +1,157 @@
+//! Tiny statistics helpers for the benchmark harness.
+//!
+//! The Figure 6 harness times 1000 operations per configuration (matching
+//! the paper's methodology) and reports summary statistics of the virtual
+//! durations.
+
+/// A collection of per-operation durations (nanoseconds).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    samples: Vec<u64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Series { samples: Vec::new() }
+    }
+
+    /// Creates a series with preallocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        Series { samples: Vec::with_capacity(n) }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Read-only view of the raw samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Computes summary statistics.
+    ///
+    /// Returns a zeroed [`Summary`] for an empty series.
+    pub fn summarize(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let total: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let mean = (total / sorted.len() as u128) as u64;
+        Summary {
+            count: sorted.len(),
+            mean_ns: mean,
+            min_ns: sorted[0],
+            max_ns: *sorted.last().expect("non-empty"),
+            p50_ns: percentile(&sorted, 50),
+            p99_ns: percentile(&sorted, 99),
+        }
+    }
+}
+
+impl FromIterator<u64> for Series {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Series { samples: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<u64> for Series {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    debug_assert!(!sorted.is_empty() && pct <= 100);
+    let rank = (pct * (sorted.len() - 1)).div_euclid(100);
+    sorted[rank]
+}
+
+/// Summary statistics over a [`Series`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, ns.
+    pub mean_ns: u64,
+    /// Minimum, ns.
+    pub min_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+impl Summary {
+    /// Mean in microseconds as a float, the unit Figure 6 is plotted in.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_summarizes_to_zero() {
+        let s = Series::new();
+        assert!(s.is_empty());
+        assert_eq!(s.summarize(), Summary::default());
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s: Series = [10u64, 20, 30, 40].into_iter().collect();
+        let sum = s.summarize();
+        assert_eq!(sum.count, 4);
+        assert_eq!(sum.mean_ns, 25);
+        assert_eq!(sum.min_ns, 10);
+        assert_eq!(sum.max_ns, 40);
+        assert_eq!(sum.p50_ns, 20);
+    }
+
+    #[test]
+    fn mean_us_converts() {
+        let s: Series = [2_000u64, 4_000].into_iter().collect();
+        assert!((s.summarize().mean_us() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let s: Series = (1..=100u64).collect();
+        let sum = s.summarize();
+        assert_eq!(sum.p99_ns, 99);
+        assert_eq!(sum.p50_ns, 50);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Series::with_capacity(3);
+        s.extend([1u64, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.samples(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_mean() {
+        let s: Series = [u64::MAX / 2, u64::MAX / 2].into_iter().collect();
+        assert_eq!(s.summarize().mean_ns, u64::MAX / 2);
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+//! In-memory virtual file system for the Active Files reproduction.
+//!
+//! The paper's prototype stores an active file as a single NTFS file whose
+//! *data part* and *active part* live in separate NTFS streams, "which
+//! exhibits compatible behavior for standard file operations such as
+//! copying and renaming" (Appendix A). This crate provides exactly that
+//! substrate:
+//!
+//! * hierarchical directories and files ([`Vfs`]),
+//! * **named streams** per file (the default stream is the empty name;
+//!   `"/x/report.af:active"` addresses the `active` stream — see
+//!   [`VPath`]),
+//! * whole-file copy/rename/delete that carry *all* streams, which is what
+//!   makes "a copy operation produce a second active file with the same
+//!   data and executable components" (§2.1),
+//! * NT-style byte-range locks ([`Vfs::lock_range`]) checked by the file
+//!   API layer, and
+//! * read-only/hidden attributes plus logical timestamps.
+//!
+//! The VFS is deliberately time-free: simulated disk costs are charged by
+//! the layers that decide whether a particular access models a disk (the
+//! sentinel's on-disk cache) or not.
+//!
+//! # Examples
+//!
+//! ```
+//! use afs_vfs::{Vfs, VPath};
+//!
+//! # fn main() -> Result<(), afs_vfs::VfsError> {
+//! let vfs = Vfs::new();
+//! vfs.create_dir_all(&VPath::parse("/docs")?)?;
+//! let p = VPath::parse("/docs/hello.txt")?;
+//! vfs.create_file(&p)?;
+//! vfs.write_stream(&p, 0, b"hi")?;
+//! assert_eq!(vfs.read_stream_to_end(&p)?, b"hi");
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod node;
+mod path;
+mod vfs;
+
+pub use error::VfsError;
+pub use node::{DirEntry, FileAttributes, Metadata, NodeKind};
+pub use path::VPath;
+pub use vfs::{LockKind, LockOwner, Vfs};
+
+/// Result alias used across this crate.
+pub type Result<T> = std::result::Result<T, VfsError>;
+
+/// Name of the default (anonymous) data stream, matching NTFS's unnamed
+/// `$DATA` stream.
+pub const DEFAULT_STREAM: &str = "";
+
+/// Conventional name of the stream holding an active file's active part.
+pub const ACTIVE_STREAM: &str = "active";

@@ -1,0 +1,110 @@
+//! On-"disk" node representation: directories, files, streams, attributes.
+
+use std::collections::BTreeMap;
+
+/// Whether a directory entry is a file or a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A regular file (possibly with multiple streams).
+    File,
+    /// A directory.
+    Directory,
+}
+
+/// NT-style file attribute bits. Plain data; fields are public.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FileAttributes {
+    /// Writes and deletes are refused.
+    pub readonly: bool,
+    /// Excluded from default directory listings.
+    pub hidden: bool,
+    /// Marked as an operating-system file.
+    pub system: bool,
+}
+
+/// Metadata reported by [`crate::Vfs::stat`]. Plain data; fields are
+/// public.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metadata {
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Length of the default stream in bytes (0 for directories).
+    pub len: u64,
+    /// Sum of all stream lengths in bytes (0 for directories).
+    pub total_len: u64,
+    /// Names of all streams, sorted; empty for directories.
+    pub streams: Vec<String>,
+    /// Attribute bits.
+    pub attributes: FileAttributes,
+    /// Logical creation tick.
+    pub created: u64,
+    /// Logical tick of the last mutation.
+    pub modified: u64,
+}
+
+/// One row of a directory listing. Plain data; fields are public.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Component name within the parent directory.
+    pub name: String,
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Length of the default stream (0 for directories).
+    pub len: u64,
+    /// Attribute bits.
+    pub attributes: FileAttributes,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FileNode {
+    pub(crate) streams: BTreeMap<String, Vec<u8>>,
+    pub(crate) attributes: FileAttributes,
+    pub(crate) created: u64,
+    pub(crate) modified: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct DirNode {
+    pub(crate) children: BTreeMap<String, usize>,
+    pub(crate) created: u64,
+    pub(crate) modified: u64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    File(FileNode),
+    Dir(DirNode),
+}
+
+impl Node {
+    pub(crate) fn kind(&self) -> NodeKind {
+        match self {
+            Node::File(_) => NodeKind::File,
+            Node::Dir(_) => NodeKind::Directory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_report_correctly() {
+        let f = Node::File(FileNode {
+            streams: BTreeMap::new(),
+            attributes: FileAttributes::default(),
+            created: 0,
+            modified: 0,
+        });
+        let d = Node::Dir(DirNode { children: BTreeMap::new(), created: 0, modified: 0 });
+        assert_eq!(f.kind(), NodeKind::File);
+        assert_eq!(d.kind(), NodeKind::Directory);
+    }
+
+    #[test]
+    fn default_attributes_are_clear() {
+        let a = FileAttributes::default();
+        assert!(!a.readonly && !a.hidden && !a.system);
+    }
+}

@@ -1,0 +1,245 @@
+//! Absolute paths with NTFS-style stream suffixes.
+//!
+//! A [`VPath`] is always absolute and normalised. The final component may
+//! carry a `:stream` suffix addressing a named stream of the file, mirroring
+//! NTFS alternate data stream syntax: `/inbox/mail.af:active`.
+
+use std::fmt;
+
+use crate::{Result, VfsError, DEFAULT_STREAM};
+
+/// An absolute, normalised VFS path, optionally naming a stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VPath {
+    components: Vec<String>,
+    stream: String,
+}
+
+impl VPath {
+    /// The root directory.
+    pub fn root() -> Self {
+        VPath { components: Vec::new(), stream: DEFAULT_STREAM.to_owned() }
+    }
+
+    /// Parses an absolute path like `/a/b/c` or `/a/b/c:stream`.
+    ///
+    /// Empty components (`//`), `.` and `..` are rejected rather than
+    /// resolved — the simulated applications always use clean absolute
+    /// paths, and rejecting keeps path handling predictable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if the path is relative, contains
+    /// empty/dot components, contains more than one `:`, or names a stream
+    /// on the root directory.
+    pub fn parse(raw: &str) -> Result<Self> {
+        if !raw.starts_with('/') {
+            return Err(VfsError::InvalidPath(raw.to_owned()));
+        }
+        let (path_part, stream) = match raw.split_once(':') {
+            None => (raw, DEFAULT_STREAM.to_owned()),
+            Some((p, s)) => {
+                if s.is_empty() || s.contains(':') || s.contains('/') {
+                    return Err(VfsError::InvalidPath(raw.to_owned()));
+                }
+                (p, s.to_owned())
+            }
+        };
+        let mut components = Vec::new();
+        for comp in path_part.split('/').skip(1) {
+            if comp.is_empty() {
+                // Allow a single trailing slash on the root ("/").
+                if components.is_empty() && path_part == "/" {
+                    break;
+                }
+                return Err(VfsError::InvalidPath(raw.to_owned()));
+            }
+            if comp == "." || comp == ".." {
+                return Err(VfsError::InvalidPath(raw.to_owned()));
+            }
+            components.push(comp.to_owned());
+        }
+        if components.is_empty() && stream != DEFAULT_STREAM {
+            return Err(VfsError::InvalidPath(raw.to_owned()));
+        }
+        Ok(VPath { components, stream })
+    }
+
+    /// The directory components of this path (no stream).
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// The named stream this path addresses; [`DEFAULT_STREAM`] for the
+    /// default data stream.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// Returns the same file path addressing `stream` instead.
+    pub fn with_stream(&self, stream: &str) -> VPath {
+        VPath { components: self.components.clone(), stream: stream.to_owned() }
+    }
+
+    /// Returns the same path without any stream suffix.
+    pub fn file_path(&self) -> VPath {
+        self.with_stream(DEFAULT_STREAM)
+    }
+
+    /// The final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// The extension of the final component (text after the last `.`),
+    /// if any. Active files are recognised by extension, as in the
+    /// prototype's `OpenFile` stub.
+    pub fn extension(&self) -> Option<&str> {
+        let name = self.file_name()?;
+        let (_, ext) = name.rsplit_once('.')?;
+        if ext.is_empty() { None } else { Some(ext) }
+    }
+
+    /// The parent directory, or `None` for the root.
+    pub fn parent(&self) -> Option<VPath> {
+        if self.components.is_empty() {
+            return None;
+        }
+        Some(VPath {
+            components: self.components[..self.components.len() - 1].to_vec(),
+            stream: DEFAULT_STREAM.to_owned(),
+        })
+    }
+
+    /// Appends a single component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VfsError::InvalidPath`] if `name` is empty or contains
+    /// `/` or `:`.
+    pub fn join(&self, name: &str) -> Result<VPath> {
+        if name.is_empty() || name.contains('/') || name.contains(':') || name == "." || name == ".." {
+            return Err(VfsError::InvalidPath(name.to_owned()));
+        }
+        let mut components = self.components.clone();
+        components.push(name.to_owned());
+        Ok(VPath { components, stream: DEFAULT_STREAM.to_owned() })
+    }
+
+    /// `true` if this is the root directory path.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of components.
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            f.write_str("/")?;
+        } else {
+            for comp in &self.components {
+                write!(f, "/{comp}")?;
+            }
+        }
+        if self.stream != DEFAULT_STREAM {
+            write!(f, ":{}", self.stream)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for VPath {
+    type Err = VfsError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        VPath::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_absolute_path() {
+        let p = VPath::parse("/a/b/c.txt").expect("parse");
+        assert_eq!(p.components(), &["a", "b", "c.txt"]);
+        assert_eq!(p.stream(), DEFAULT_STREAM);
+        assert_eq!(p.to_string(), "/a/b/c.txt");
+    }
+
+    #[test]
+    fn parses_stream_suffix() {
+        let p = VPath::parse("/mail/in.af:active").expect("parse");
+        assert_eq!(p.file_name(), Some("in.af"));
+        assert_eq!(p.stream(), "active");
+        assert_eq!(p.to_string(), "/mail/in.af:active");
+        assert_eq!(p.file_path().to_string(), "/mail/in.af");
+    }
+
+    #[test]
+    fn root_parses_and_displays() {
+        let p = VPath::parse("/").expect("parse");
+        assert!(p.is_root());
+        assert_eq!(p.to_string(), "/");
+        assert_eq!(p.parent(), None);
+        assert_eq!(p.file_name(), None);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        for bad in ["relative", "", "/a//b", "/a/./b", "/a/../b", "/a:b:c", "/:s", "/a/b:", "/a/b:x/y"] {
+            assert!(VPath::parse(bad).is_err(), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn extension_detection() {
+        assert_eq!(VPath::parse("/x/report.af").expect("p").extension(), Some("af"));
+        assert_eq!(VPath::parse("/x/noext").expect("p").extension(), None);
+        assert_eq!(VPath::parse("/x/trailing.").expect("p").extension(), None);
+        assert_eq!(VPath::parse("/x/a.tar.gz").expect("p").extension(), Some("gz"));
+    }
+
+    #[test]
+    fn parent_and_join_are_inverse() {
+        let p = VPath::parse("/a/b").expect("p");
+        let child = p.join("c").expect("join");
+        assert_eq!(child.to_string(), "/a/b/c");
+        assert_eq!(child.parent().expect("parent"), p);
+    }
+
+    #[test]
+    fn join_rejects_bad_components() {
+        let root = VPath::root();
+        for bad in ["", "a/b", "a:b", ".", ".."] {
+            assert!(root.join(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn with_stream_round_trips() {
+        let p = VPath::parse("/f.af").expect("p");
+        let s = p.with_stream("active");
+        assert_eq!(s.stream(), "active");
+        assert_eq!(s.file_path(), p);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a = VPath::parse("/a").expect("a");
+        let b = VPath::parse("/b").expect("b");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn from_str_works() {
+        let p: VPath = "/x/y".parse().expect("fromstr");
+        assert_eq!(p.depth(), 2);
+    }
+}

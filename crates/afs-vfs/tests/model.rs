@@ -1,0 +1,143 @@
+//! Model-based property test: the VFS against a naive in-memory model.
+//!
+//! Random sequences of namespace and stream operations are applied to
+//! both the real `Vfs` and a `HashMap`-based model; observable state must
+//! agree after every step.
+
+use std::collections::HashMap;
+
+use afs_vfs::{VPath, Vfs, VfsError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateFile(u8),
+    Delete(u8),
+    WriteAt(u8, u16, Vec<u8>),
+    Truncate(u8, u16),
+    Copy(u8, u8),
+    Rename(u8, u8),
+}
+
+fn name(i: u8) -> String {
+    format!("/f{}", i % 6)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::CreateFile),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), 0u16..512, proptest::collection::vec(any::<u8>(), 1..32))
+            .prop_map(|(f, o, d)| Op::WriteAt(f, o, d)),
+        (any::<u8>(), 0u16..512).prop_map(|(f, l)| Op::Truncate(f, l)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Copy(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vfs_agrees_with_model(ops in proptest::collection::vec(op(), 1..60)) {
+        let vfs = Vfs::new();
+        let mut model: HashMap<String, Vec<u8>> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::CreateFile(i) => {
+                    let path = name(*i);
+                    let real = vfs.create_file(&VPath::parse(&path).expect("p"));
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(path) {
+                        prop_assert!(real.is_ok());
+                        e.insert(Vec::new());
+                    } else {
+                        prop_assert!(matches!(real, Err(VfsError::AlreadyExists(_))));
+                    }
+                }
+                Op::Delete(i) => {
+                    let path = name(*i);
+                    let real = vfs.delete(&VPath::parse(&path).expect("p"));
+                    if model.remove(&path).is_some() {
+                        prop_assert!(real.is_ok());
+                    } else {
+                        prop_assert!(matches!(real, Err(VfsError::NotFound(_))));
+                    }
+                }
+                Op::WriteAt(i, offset, data) => {
+                    let path = name(*i);
+                    let real = vfs.write_stream(&VPath::parse(&path).expect("p"), *offset as u64, data);
+                    match model.get_mut(&path) {
+                        Some(content) => {
+                            prop_assert!(real.is_ok());
+                            let end = *offset as usize + data.len();
+                            if content.len() < end {
+                                content.resize(end, 0);
+                            }
+                            content[*offset as usize..end].copy_from_slice(data);
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Truncate(i, len) => {
+                    let path = name(*i);
+                    let real = vfs.set_stream_len(&VPath::parse(&path).expect("p"), *len as u64);
+                    match model.get_mut(&path) {
+                        Some(content) => {
+                            prop_assert!(real.is_ok());
+                            content.resize(*len as usize, 0);
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Copy(a, b) => {
+                    let (from, to) = (name(*a), name(*b));
+                    let real = vfs.copy_file(
+                        &VPath::parse(&from).expect("p"),
+                        &VPath::parse(&to).expect("p"),
+                    );
+                    if from == to {
+                        prop_assert!(real.is_err());
+                    } else {
+                        match (model.get(&from).cloned(), model.contains_key(&to)) {
+                            (Some(content), false) => {
+                                prop_assert!(real.is_ok());
+                                model.insert(to, content);
+                            }
+                            _ => prop_assert!(real.is_err()),
+                        }
+                    }
+                }
+                Op::Rename(a, b) => {
+                    let (from, to) = (name(*a), name(*b));
+                    let real = vfs.rename(
+                        &VPath::parse(&from).expect("p"),
+                        &VPath::parse(&to).expect("p"),
+                    );
+                    if from == to {
+                        prop_assert!(real.is_err());
+                    } else {
+                        match (model.contains_key(&from), model.contains_key(&to)) {
+                            (true, false) => {
+                                prop_assert!(real.is_ok());
+                                let content = model.remove(&from).expect("present");
+                                model.insert(to, content);
+                            }
+                            _ => prop_assert!(real.is_err()),
+                        }
+                    }
+                }
+            }
+
+            // Full-state agreement after every step.
+            for (path, content) in &model {
+                let got = vfs
+                    .read_stream_to_end(&VPath::parse(path).expect("p"))
+                    .expect("model file exists in vfs");
+                prop_assert_eq!(&got, content, "content mismatch at {}", path);
+            }
+            let listing = vfs.list_dir(&VPath::root()).expect("list");
+            prop_assert_eq!(listing.len(), model.len(), "entry count mismatch");
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The [`FileApi`] trait — the Win32 file surface applications call.
+
+use crate::{ApiResult, Handle};
+use afs_vfs::{DirEntry, FileAttributes};
+
+/// Requested access rights, the `dwDesiredAccess` argument of
+/// `CreateFile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// `GENERIC_READ`.
+    pub read: bool,
+    /// `GENERIC_WRITE`.
+    pub write: bool,
+}
+
+impl Access {
+    /// Read-only access.
+    pub fn read_only() -> Self {
+        Access { read: true, write: false }
+    }
+
+    /// Write-only access.
+    pub fn write_only() -> Self {
+        Access { read: false, write: true }
+    }
+
+    /// Read-write access.
+    pub fn read_write() -> Self {
+        Access { read: true, write: true }
+    }
+}
+
+/// The `dwCreationDisposition` argument of `CreateFile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Disposition {
+    /// Fail if the file exists (`CREATE_NEW`).
+    CreateNew,
+    /// Create or truncate (`CREATE_ALWAYS`).
+    CreateAlways,
+    /// Fail if the file does not exist (`OPEN_EXISTING`).
+    OpenExisting,
+    /// Open, creating if missing (`OPEN_ALWAYS`).
+    OpenAlways,
+    /// Open and truncate, failing if missing (`TRUNCATE_EXISTING`).
+    TruncateExisting,
+}
+
+/// The `dwMoveMethod` argument of `SetFilePointer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeekMethod {
+    /// From the start of the file (`FILE_BEGIN`).
+    Begin,
+    /// From the current position (`FILE_CURRENT`).
+    Current,
+    /// From the end of the file (`FILE_END`).
+    End,
+}
+
+/// Per-handle information, as from `GetFileInformationByHandle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileInformation {
+    /// File size in bytes.
+    pub size: u64,
+    /// Attribute bits.
+    pub attributes: FileAttributes,
+    /// Logical creation tick.
+    pub created: u64,
+    /// Logical last-modification tick.
+    pub modified: u64,
+}
+
+/// The Win32 file API surface, object-safe so layers can wrap each other
+/// the way intercepted DLL import tables chain on NT.
+///
+/// All path arguments are absolute VFS paths (`/dir/file.ext`), optionally
+/// carrying an NTFS-style `:stream` suffix.
+pub trait FileApi: Send + Sync {
+    /// Opens or creates a file (`CreateFile`/`OpenFile`).
+    ///
+    /// # Errors
+    ///
+    /// Win32-style errors; notably [`crate::Win32Error::FileNotFound`],
+    /// [`crate::Win32Error::FileExists`], and
+    /// [`crate::Win32Error::AccessDenied`].
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle>;
+
+    /// Opens or creates a file with an explicit NT share mode. The
+    /// default implementation ignores the share mode (plain
+    /// [`FileApi::create_file`] behaves as `ShareMode::all()`);
+    /// implementations that track opens enforce it.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileApi::create_file`], plus
+    /// [`crate::Win32Error::SharingViolation`] when the request conflicts
+    /// with an existing open.
+    fn create_file_shared(
+        &self,
+        path: &str,
+        access: Access,
+        share: ShareMode,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
+        let _ = share;
+        self.create_file(path, access, disposition)
+    }
+
+    /// Reads up to `buf.len()` bytes at the current file pointer,
+    /// advancing it (`ReadFile`). Returns 0 at end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`] on unknown handles,
+    /// [`crate::Win32Error::AccessDenied`] for write-only handles.
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize>;
+
+    /// Writes `data` at the current file pointer, advancing it
+    /// (`WriteFile`). Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileApi::read_file`], plus lock violations.
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize>;
+
+    /// Closes a handle (`CloseHandle`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`] if already closed.
+    fn close_handle(&self, handle: Handle) -> ApiResult<()>;
+
+    /// Returns the file size (`GetFileSize`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`]; strategies that cannot answer
+    /// (simple process-based active files) return
+    /// [`crate::Win32Error::CallNotImplemented`] (§4.1).
+    fn get_file_size(&self, handle: Handle) -> ApiResult<u64>;
+
+    /// Moves the file pointer (`SetFilePointer`), returning the new
+    /// absolute position.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidParameter`] for seeks before byte 0.
+    fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64>;
+
+    /// Scatter read into several buffers (`ReadFileScatter`). Returns
+    /// total bytes read.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::NotSupported`] where the strategy has no pipe
+    /// analogue (§4.1/A.2).
+    fn read_file_scatter(&self, handle: Handle, bufs: &mut [&mut [u8]]) -> ApiResult<usize>;
+
+    /// Gather write from several buffers (`WriteFileGather`). Returns
+    /// total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileApi::read_file_scatter`].
+    fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize>;
+
+    /// Flushes buffered data (`FlushFileBuffers`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`].
+    fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()>;
+
+    /// Acquires a byte-range lock (`LockFile`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::LockViolation`] on conflict.
+    fn lock_file(&self, handle: Handle, offset: u64, len: u64, exclusive: bool) -> ApiResult<()>;
+
+    /// Releases a byte-range lock (`UnlockFile`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::LockViolation`] if no matching lock is held.
+    fn unlock_file(&self, handle: Handle, offset: u64, len: u64) -> ApiResult<()>;
+
+    /// Deletes a file (`DeleteFile`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::FileNotFound`],
+    /// [`crate::Win32Error::AccessDenied`] for read-only files.
+    fn delete_file(&self, path: &str) -> ApiResult<()>;
+
+    /// Copies a file with all its streams (`CopyFile`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::AlreadyExists`] if `to` exists.
+    fn copy_file(&self, from: &str, to: &str) -> ApiResult<()>;
+
+    /// Renames/moves a file (`MoveFile`).
+    ///
+    /// # Errors
+    ///
+    /// As [`FileApi::copy_file`].
+    fn move_file(&self, from: &str, to: &str) -> ApiResult<()>;
+
+    /// Returns a path's attributes (`GetFileAttributes`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::FileNotFound`].
+    fn get_file_attributes(&self, path: &str) -> ApiResult<FileAttributes>;
+
+    /// Lists a directory (`FindFirstFile`/`FindNextFile` collapsed into one
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::Directory`] when the path is not a directory.
+    fn find_files(&self, dir: &str) -> ApiResult<Vec<DirEntry>>;
+
+    /// Creates a directory (`CreateDirectory`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::AlreadyExists`].
+    fn create_directory(&self, path: &str) -> ApiResult<()>;
+
+    /// Per-handle metadata (`GetFileInformationByHandle`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`].
+    fn get_file_information(&self, handle: Handle) -> ApiResult<FileInformation>;
+
+    /// Truncates the file at the current file pointer (`SetEndOfFile`).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Win32Error::InvalidHandle`],
+    /// [`crate::Win32Error::AccessDenied`].
+    fn set_end_of_file(&self, handle: Handle) -> ApiResult<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        assert!(Access::read_only().read && !Access::read_only().write);
+        assert!(!Access::write_only().read && Access::write_only().write);
+        assert!(Access::read_write().read && Access::read_write().write);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_api: &dyn FileApi) {}
+    }
+}
+
+/// Boilerplate-free wrapping: implement [`DelegateFileApi`] (just
+/// `delegate()` plus the methods you want to divert) and the blanket impl
+/// forwards everything else to the inner API.
+///
+/// This mirrors how the prototype's injected DLL contains "a set of stubs,
+/// one for each instrumented API call" that mostly pass through
+/// (Appendix A.2).
+pub trait DelegateFileApi: Send + Sync {
+    /// The next API down the chain.
+    fn delegate(&self) -> &dyn FileApi;
+
+    /// See [`FileApi::create_file`].
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        self.delegate().create_file(path, access, disposition)
+    }
+
+    /// See [`FileApi::create_file_shared`].
+    fn create_file_shared(
+        &self,
+        path: &str,
+        access: Access,
+        share: ShareMode,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
+        self.delegate().create_file_shared(path, access, share, disposition)
+    }
+
+    /// See [`FileApi::read_file`].
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
+        self.delegate().read_file(handle, buf)
+    }
+
+    /// See [`FileApi::write_file`].
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
+        self.delegate().write_file(handle, data)
+    }
+
+    /// See [`FileApi::close_handle`].
+    fn close_handle(&self, handle: Handle) -> ApiResult<()> {
+        self.delegate().close_handle(handle)
+    }
+
+    /// See [`FileApi::get_file_size`].
+    fn get_file_size(&self, handle: Handle) -> ApiResult<u64> {
+        self.delegate().get_file_size(handle)
+    }
+
+    /// See [`FileApi::set_file_pointer`].
+    fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
+        self.delegate().set_file_pointer(handle, offset, method)
+    }
+
+    /// See [`FileApi::read_file_scatter`].
+    fn read_file_scatter(&self, handle: Handle, bufs: &mut [&mut [u8]]) -> ApiResult<usize> {
+        self.delegate().read_file_scatter(handle, bufs)
+    }
+
+    /// See [`FileApi::write_file_gather`].
+    fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize> {
+        self.delegate().write_file_gather(handle, bufs)
+    }
+
+    /// See [`FileApi::flush_file_buffers`].
+    fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()> {
+        self.delegate().flush_file_buffers(handle)
+    }
+
+    /// See [`FileApi::lock_file`].
+    fn lock_file(&self, handle: Handle, offset: u64, len: u64, exclusive: bool) -> ApiResult<()> {
+        self.delegate().lock_file(handle, offset, len, exclusive)
+    }
+
+    /// See [`FileApi::unlock_file`].
+    fn unlock_file(&self, handle: Handle, offset: u64, len: u64) -> ApiResult<()> {
+        self.delegate().unlock_file(handle, offset, len)
+    }
+
+    /// See [`FileApi::delete_file`].
+    fn delete_file(&self, path: &str) -> ApiResult<()> {
+        self.delegate().delete_file(path)
+    }
+
+    /// See [`FileApi::copy_file`].
+    fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        self.delegate().copy_file(from, to)
+    }
+
+    /// See [`FileApi::move_file`].
+    fn move_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        self.delegate().move_file(from, to)
+    }
+
+    /// See [`FileApi::get_file_attributes`].
+    fn get_file_attributes(&self, path: &str) -> ApiResult<FileAttributes> {
+        self.delegate().get_file_attributes(path)
+    }
+
+    /// See [`FileApi::find_files`].
+    fn find_files(&self, dir: &str) -> ApiResult<Vec<DirEntry>> {
+        self.delegate().find_files(dir)
+    }
+
+    /// See [`FileApi::create_directory`].
+    fn create_directory(&self, path: &str) -> ApiResult<()> {
+        self.delegate().create_directory(path)
+    }
+
+    /// See [`FileApi::get_file_information`].
+    fn get_file_information(&self, handle: Handle) -> ApiResult<FileInformation> {
+        self.delegate().get_file_information(handle)
+    }
+
+    /// See [`FileApi::set_end_of_file`].
+    fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
+        self.delegate().set_end_of_file(handle)
+    }
+}
+
+/// Adapter turning any [`DelegateFileApi`] into a [`FileApi`].
+///
+/// A blanket `impl FileApi for T: DelegateFileApi` would forbid any type
+/// from implementing `FileApi` directly elsewhere in the workspace, so the
+/// adapter is explicit: wrap your layer in [`Layered`] when registering it.
+#[derive(Debug)]
+pub struct Layered<T>(pub T);
+
+impl<T: DelegateFileApi> FileApi for Layered<T> {
+    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+        DelegateFileApi::create_file(&self.0, path, access, disposition)
+    }
+    fn create_file_shared(
+        &self,
+        path: &str,
+        access: Access,
+        share: ShareMode,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
+        DelegateFileApi::create_file_shared(&self.0, path, access, share, disposition)
+    }
+    fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
+        DelegateFileApi::read_file(&self.0, handle, buf)
+    }
+    fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
+        DelegateFileApi::write_file(&self.0, handle, data)
+    }
+    fn close_handle(&self, handle: Handle) -> ApiResult<()> {
+        DelegateFileApi::close_handle(&self.0, handle)
+    }
+    fn get_file_size(&self, handle: Handle) -> ApiResult<u64> {
+        DelegateFileApi::get_file_size(&self.0, handle)
+    }
+    fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
+        DelegateFileApi::set_file_pointer(&self.0, handle, offset, method)
+    }
+    fn read_file_scatter(&self, handle: Handle, bufs: &mut [&mut [u8]]) -> ApiResult<usize> {
+        DelegateFileApi::read_file_scatter(&self.0, handle, bufs)
+    }
+    fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize> {
+        DelegateFileApi::write_file_gather(&self.0, handle, bufs)
+    }
+    fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()> {
+        DelegateFileApi::flush_file_buffers(&self.0, handle)
+    }
+    fn lock_file(&self, handle: Handle, offset: u64, len: u64, exclusive: bool) -> ApiResult<()> {
+        DelegateFileApi::lock_file(&self.0, handle, offset, len, exclusive)
+    }
+    fn unlock_file(&self, handle: Handle, offset: u64, len: u64) -> ApiResult<()> {
+        DelegateFileApi::unlock_file(&self.0, handle, offset, len)
+    }
+    fn delete_file(&self, path: &str) -> ApiResult<()> {
+        DelegateFileApi::delete_file(&self.0, path)
+    }
+    fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        DelegateFileApi::copy_file(&self.0, from, to)
+    }
+    fn move_file(&self, from: &str, to: &str) -> ApiResult<()> {
+        DelegateFileApi::move_file(&self.0, from, to)
+    }
+    fn get_file_attributes(&self, path: &str) -> ApiResult<FileAttributes> {
+        DelegateFileApi::get_file_attributes(&self.0, path)
+    }
+    fn find_files(&self, dir: &str) -> ApiResult<Vec<DirEntry>> {
+        DelegateFileApi::find_files(&self.0, dir)
+    }
+    fn create_directory(&self, path: &str) -> ApiResult<()> {
+        DelegateFileApi::create_directory(&self.0, path)
+    }
+    fn get_file_information(&self, handle: Handle) -> ApiResult<FileInformation> {
+        DelegateFileApi::get_file_information(&self.0, handle)
+    }
+    fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
+        DelegateFileApi::set_end_of_file(&self.0, handle)
+    }
+}
+
+/// The `dwShareMode` argument of `CreateFile`: which rights *other*
+/// handles may hold or acquire while this one is open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShareMode {
+    /// Others may read (`FILE_SHARE_READ`).
+    pub read: bool,
+    /// Others may write (`FILE_SHARE_WRITE`).
+    pub write: bool,
+    /// Others may delete the file (`FILE_SHARE_DELETE`).
+    pub delete: bool,
+}
+
+impl ShareMode {
+    /// Exclusive access: no other handle may read, write, or delete.
+    pub fn none() -> Self {
+        ShareMode { read: false, write: false, delete: false }
+    }
+
+    /// Others may read but not write or delete.
+    pub fn read_only() -> Self {
+        ShareMode { read: true, write: false, delete: false }
+    }
+
+    /// Others may read and write but not delete.
+    pub fn read_write() -> Self {
+        ShareMode { read: true, write: true, delete: false }
+    }
+
+    /// Fully shared (the behaviour of plain [`FileApi::create_file`]).
+    pub fn all() -> Self {
+        ShareMode { read: true, write: true, delete: true }
+    }
+}
+
+impl Default for ShareMode {
+    fn default() -> Self {
+        ShareMode::all()
+    }
+}

@@ -1,0 +1,151 @@
+//! Handles and the per-API handle table.
+//!
+//! The prototype returns a "fictitious handle" for active files and keeps
+//! "an association … between the dummy handle and the two or three pipe
+//! handles" (Appendix A.2). [`HandleTable`] provides exactly that
+//! association: opaque [`Handle`] values mapped to arbitrary per-open
+//! state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{ApiResult, Win32Error};
+
+/// An opaque file handle, as returned by `CreateFile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(u64);
+
+impl Handle {
+    /// The invalid handle value (`INVALID_HANDLE_VALUE`).
+    pub const INVALID: Handle = Handle(u64::MAX);
+
+    /// The raw handle number (diagnostic).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle({})", self.0)
+    }
+}
+
+/// A concurrent map from [`Handle`] to per-open state `T`.
+///
+/// Handle values are never reused within one table, mirroring the
+/// practical uniqueness guarantees applications rely on.
+#[derive(Debug)]
+pub struct HandleTable<T> {
+    next: AtomicU64,
+    entries: Mutex<HashMap<u64, Arc<T>>>,
+}
+
+impl<T> Default for HandleTable<T> {
+    fn default() -> Self {
+        HandleTable::new()
+    }
+}
+
+impl<T> HandleTable<T> {
+    /// Creates an empty table. The first issued handle is 16, leaving room
+    /// below for well-known pseudo-handles.
+    pub fn new() -> Self {
+        HandleTable::with_start(16)
+    }
+
+    /// Creates an empty table whose first handle is `start`. Layered APIs
+    /// use disjoint ranges so a handle can be routed to the layer that
+    /// issued it.
+    pub fn with_start(start: u64) -> Self {
+        HandleTable { next: AtomicU64::new(start), entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// Registers `state` and returns its new handle.
+    pub fn insert(&self, state: T) -> Handle {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(id, Arc::new(state));
+        Handle(id)
+    }
+
+    /// Looks up the state for `handle`.
+    ///
+    /// # Errors
+    ///
+    /// [`Win32Error::InvalidHandle`] if the handle is unknown or closed.
+    pub fn get(&self, handle: Handle) -> ApiResult<Arc<T>> {
+        self.entries
+            .lock()
+            .get(&handle.0)
+            .cloned()
+            .ok_or(Win32Error::InvalidHandle)
+    }
+
+    /// Removes the handle, returning its state.
+    ///
+    /// # Errors
+    ///
+    /// [`Win32Error::InvalidHandle`] if the handle is unknown or already
+    /// closed.
+    pub fn remove(&self, handle: Handle) -> ApiResult<Arc<T>> {
+        self.entries
+            .lock()
+            .remove(&handle.0)
+            .ok_or(Win32Error::InvalidHandle)
+    }
+
+    /// Number of open handles.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// `true` if no handles are open.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_lifecycle() {
+        let table: HandleTable<String> = HandleTable::new();
+        let h = table.insert("state".to_owned());
+        assert_ne!(h, Handle::INVALID);
+        assert_eq!(*table.get(h).expect("get"), "state");
+        assert_eq!(table.len(), 1);
+        table.remove(h).expect("remove");
+        assert_eq!(table.get(h), Err(Win32Error::InvalidHandle));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn handles_are_unique_and_not_reused() {
+        let table: HandleTable<u32> = HandleTable::new();
+        let a = table.insert(1);
+        table.remove(a).expect("remove");
+        let b = table.insert(2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn double_close_is_invalid_handle() {
+        let table: HandleTable<u32> = HandleTable::new();
+        let h = table.insert(1);
+        table.remove(h).expect("first close");
+        assert_eq!(table.remove(h), Err(Win32Error::InvalidHandle));
+    }
+
+    #[test]
+    fn invalid_constant_never_collides() {
+        let table: HandleTable<u32> = HandleTable::new();
+        for _ in 0..1000 {
+            assert_ne!(table.insert(0), Handle::INVALID);
+        }
+    }
+}

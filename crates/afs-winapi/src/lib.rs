@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! A Win32-shaped file API over the simulated VFS.
+//!
+//! The legacy applications the paper integrates "assume a traditional
+//! file-based interface" — concretely, the Win32 calls `CreateFile`,
+//! `OpenFile`, `ReadFile`, `WriteFile`, `CloseHandle`, `GetFileSize`,
+//! `SetFilePointer`, `ReadFileScatter`, and friends (§2.1). This crate
+//! reproduces that surface as the object-safe [`FileApi`] trait so that:
+//!
+//! * simulated legacy applications can be written once against [`FileApi`]
+//!   and run unchanged over passive files or active files, and
+//! * the interception layer (`afs-interpose`) can divert the calls the
+//!   way Mediating Connectors diverts the real IAT entries.
+//!
+//! [`PassiveFileApi`] is the direct, uninstrumented implementation — the
+//! baseline the paper compares against ("the baseline costs for directly
+//! accessing these paths is indistinguishable from the DLL-only case",
+//! Figure 6 caption). Errors carry Win32 error codes ([`Win32Error`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use afs_winapi::{Access, Disposition, FileApi, PassiveFileApi};
+//! use afs_vfs::Vfs;
+//! use afs_sim::CostModel;
+//!
+//! # fn main() -> Result<(), afs_winapi::Win32Error> {
+//! let api = PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free());
+//! let h = api.create_file("/hello.txt", Access::read_write(), Disposition::CreateAlways)?;
+//! api.write_file(h, b"hi")?;
+//! api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)?;
+//! let mut buf = [0u8; 2];
+//! assert_eq!(api.read_file(h, &mut buf)?, 2);
+//! api.close_handle(h)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod api;
+mod error;
+mod handle;
+mod passive;
+
+pub use api::{Access, DelegateFileApi, Disposition, FileApi, FileInformation, Layered, SeekMethod, ShareMode};
+pub use error::Win32Error;
+pub use handle::{Handle, HandleTable};
+pub use passive::PassiveFileApi;
+
+/// Result alias carrying Win32-style errors.
+pub type ApiResult<T> = std::result::Result<T, Win32Error>;

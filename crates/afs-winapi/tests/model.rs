@@ -1,0 +1,110 @@
+//! Model-based property test of the Win32-shaped API: the file pointer
+//! and read/write semantics against a cursor-over-Vec model.
+
+use std::sync::Arc;
+
+use afs_sim::CostModel;
+use afs_vfs::Vfs;
+use afs_winapi::{Access, Disposition, FileApi, PassiveFileApi, SeekMethod, Win32Error};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    Read(usize),
+    Seek(i64, u8), // method selector 0..3
+    SetEof,
+    Size,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..48).prop_map(Op::Write),
+        (1usize..48).prop_map(Op::Read),
+        (-64i64..256, 0u8..3).prop_map(|(o, m)| Op::Seek(o, m)),
+        Just(Op::SetEof),
+        Just(Op::Size),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn file_pointer_semantics_match_model(ops in proptest::collection::vec(op(), 1..40)) {
+        let api = PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free());
+        let h = api
+            .create_file("/m", Access::read_write(), Disposition::CreateNew)
+            .expect("create");
+        let mut content: Vec<u8> = Vec::new();
+        let mut pos: u64 = 0;
+
+        for op in &ops {
+            match op {
+                Op::Write(data) => {
+                    let n = api.write_file(h, data).expect("write");
+                    prop_assert_eq!(n, data.len());
+                    let end = pos as usize + data.len();
+                    if content.len() < end {
+                        content.resize(end, 0);
+                    }
+                    content[pos as usize..end].copy_from_slice(data);
+                    pos += data.len() as u64;
+                }
+                Op::Read(len) => {
+                    let mut buf = vec![0u8; *len];
+                    let n = api.read_file(h, &mut buf).expect("read");
+                    let start = (pos as usize).min(content.len());
+                    let expect = (*len).min(content.len() - start);
+                    prop_assert_eq!(n, expect);
+                    prop_assert_eq!(&buf[..n], &content[start..start + n]);
+                    pos += n as u64;
+                }
+                Op::Seek(offset, method) => {
+                    let (method, base) = match method {
+                        0 => (SeekMethod::Begin, 0i64),
+                        1 => (SeekMethod::Current, pos as i64),
+                        _ => (SeekMethod::End, content.len() as i64),
+                    };
+                    let target = base + offset;
+                    let real = api.set_file_pointer(h, *offset, method);
+                    if target < 0 {
+                        prop_assert_eq!(real, Err(Win32Error::InvalidParameter));
+                    } else {
+                        prop_assert_eq!(real.expect("seek"), target as u64);
+                        pos = target as u64;
+                    }
+                }
+                Op::SetEof => {
+                    api.set_end_of_file(h).expect("set eof");
+                    content.resize(pos as usize, 0);
+                }
+                Op::Size => {
+                    prop_assert_eq!(api.get_file_size(h).expect("size"), content.len() as u64);
+                }
+            }
+        }
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn scatter_gather_equals_flat_io(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..6)
+    ) {
+        let api = PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free());
+        let h = api
+            .create_file("/sg", Access::read_write(), Disposition::CreateNew)
+            .expect("create");
+        let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
+        let flat: Vec<u8> = chunks.concat();
+        let n = api.write_file_gather(h, &refs).expect("gather");
+        prop_assert_eq!(n, flat.len());
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+        let mut bufs: Vec<Vec<u8>> = chunks.iter().map(|c| vec![0u8; c.len()]).collect();
+        let mut views: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+        let n = api.read_file_scatter(h, &mut views).expect("scatter");
+        prop_assert_eq!(n, flat.len());
+        prop_assert_eq!(bufs.concat(), flat);
+        api.close_handle(h).expect("close");
+    }
+}

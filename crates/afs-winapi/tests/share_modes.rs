@@ -1,0 +1,113 @@
+//! NT share-mode semantics: `dwShareMode` admission against live opens.
+
+use std::sync::Arc;
+
+use afs_sim::CostModel;
+use afs_vfs::Vfs;
+use afs_winapi::{
+    Access, Disposition, FileApi, PassiveFileApi, ShareMode, Win32Error,
+};
+
+fn api() -> PassiveFileApi {
+    let api = PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free());
+    let h = api
+        .create_file("/f", Access::read_write(), Disposition::CreateNew)
+        .expect("seed");
+    api.write_file(h, b"content").expect("seed write");
+    api.close_handle(h).expect("close");
+    api
+}
+
+#[test]
+fn exclusive_open_blocks_everyone() {
+    let api = api();
+    let h = api
+        .create_file_shared("/f", Access::read_write(), ShareMode::none(), Disposition::OpenExisting)
+        .expect("exclusive open");
+    assert_eq!(
+        api.create_file_shared("/f", Access::read_only(), ShareMode::all(), Disposition::OpenExisting),
+        Err(Win32Error::SharingViolation)
+    );
+    api.close_handle(h).expect("close");
+    // After close the file is free again.
+    let h = api
+        .create_file("/f", Access::read_only(), Disposition::OpenExisting)
+        .expect("open after close");
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn share_read_allows_readers_blocks_writers() {
+    let api = api();
+    let h = api
+        .create_file_shared("/f", Access::read_only(), ShareMode::read_only(), Disposition::OpenExisting)
+        .expect("open share-read");
+    let r = api
+        .create_file_shared("/f", Access::read_only(), ShareMode::read_only(), Disposition::OpenExisting)
+        .expect("concurrent reader fine");
+    assert_eq!(
+        api.create_file_shared("/f", Access::write_only(), ShareMode::all(), Disposition::OpenExisting),
+        Err(Win32Error::SharingViolation),
+        "writer denied by the readers' share mode"
+    );
+    api.close_handle(h).expect("close");
+    api.close_handle(r).expect("close");
+}
+
+#[test]
+fn new_open_must_share_back() {
+    let api = api();
+    // First open: read access, fully sharing.
+    let h = api
+        .create_file_shared("/f", Access::read_only(), ShareMode::all(), Disposition::OpenExisting)
+        .expect("first");
+    // Second open refuses to share read — but the first open reads.
+    assert_eq!(
+        api.create_file_shared(
+            "/f",
+            Access::write_only(),
+            ShareMode { read: false, write: true, delete: true },
+            Disposition::OpenExisting
+        ),
+        Err(Win32Error::SharingViolation)
+    );
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn delete_requires_share_delete_from_all_opens() {
+    let api = api();
+    let h = api
+        .create_file_shared("/f", Access::read_only(), ShareMode::read_write(), Disposition::OpenExisting)
+        .expect("open without share-delete");
+    assert_eq!(api.delete_file("/f"), Err(Win32Error::SharingViolation));
+    api.close_handle(h).expect("close");
+    api.delete_file("/f").expect("deletable after close");
+}
+
+#[test]
+fn plain_create_file_is_fully_shared() {
+    let api = api();
+    let a = api
+        .create_file("/f", Access::read_write(), Disposition::OpenExisting)
+        .expect("a");
+    let b = api
+        .create_file("/f", Access::read_write(), Disposition::OpenExisting)
+        .expect("b — default opens never conflict");
+    api.close_handle(a).expect("close");
+    api.close_handle(b).expect("close");
+}
+
+#[test]
+fn sharing_is_per_file() {
+    let api = api();
+    let h = api
+        .create_file_shared("/f", Access::read_write(), ShareMode::none(), Disposition::OpenExisting)
+        .expect("exclusive on /f");
+    // A different file is unaffected.
+    let g = api
+        .create_file("/g", Access::read_write(), Disposition::CreateNew)
+        .expect("independent file");
+    api.close_handle(h).expect("close");
+    api.close_handle(g).expect("close");
+}

@@ -1,0 +1,78 @@
+//! A legacy word-count utility running over distributed sources.
+//!
+//! The paper's motivating scenario: "most of the end applications that
+//! view and manipulate data from these sources … assume a traditional
+//! file-based interface" (§1). `wc` here is written purely against the
+//! file API — it has no idea the "file" it counts is three documents
+//! merged from a remote file server on every open.
+//!
+//! Run with: `cargo run --example legacy_wordcount`
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{FileServer, Handle, Service};
+
+/// The legacy application: counts lines, words, and bytes of a file it is
+/// given by name. Nothing in here mentions active files.
+fn wc(api: &dyn FileApi, path: &str) -> Result<(usize, usize, usize), Win32Error> {
+    let h: Handle = api.create_file(path, Access::read_only(), Disposition::OpenExisting)?;
+    let mut bytes = Vec::new();
+    let mut buf = [0u8; 256];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        bytes.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let lines = text.lines().count();
+    let words = text.split_whitespace().count();
+    Ok((lines, words, bytes.len()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+
+    // A remote file server hosts three report fragments.
+    let server = FileServer::new();
+    server.seed("/reports/q1.txt", b"Q1 revenue rose beyond every forecast.\n");
+    server.seed("/reports/q2.txt", b"Q2 was flat but costs fell sharply.\n");
+    server.seed("/reports/q3.txt", b"Q3 brought two new regions online.\n");
+    world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+
+    // One active file aggregates all three fragments.
+    world.install_active_file(
+        "/annual.af",
+        &SentinelSpec::new("merge", Strategy::ProcessControl)
+            .backing(Backing::Memory)
+            .with("service", "files")
+            .with("remotes", "/reports/q1.txt, /reports/q2.txt, /reports/q3.txt"),
+    )?;
+
+    let api = world.api();
+    let (lines, words, bytes) = wc(&api, "/annual.af")?;
+    println!("annual report: {lines} lines, {words} words, {bytes} bytes");
+    assert_eq!(lines, 3);
+
+    // The remote source changes; the same legacy binary, re-run, sees it
+    // immediately — no re-aggregation step, no stale intermediary file.
+    server.seed("/reports/q4.txt", b"Q4 set an all-time record.\n");
+    world.install_active_file(
+        "/annual.af",
+        &SentinelSpec::new("merge", Strategy::ProcessControl)
+            .backing(Backing::Memory)
+            .with("service", "files")
+            .with(
+                "remotes",
+                "/reports/q1.txt, /reports/q2.txt, /reports/q3.txt, /reports/q4.txt",
+            ),
+    )?;
+    let (lines, words, bytes) = wc(&api, "/annual.af")?;
+    println!("after Q4 lands: {lines} lines, {words} words, {bytes} bytes");
+    assert_eq!(lines, 4);
+    Ok(())
+}

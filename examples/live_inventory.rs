@@ -1,0 +1,85 @@
+//! The paper's §1 motivating example: a search application over
+//! distributed databases that, behind a static intermediary, "cannot see
+//! changes in these databases" — versus an active file that keeps the
+//! view live while the application holds it open.
+//!
+//! Run with: `cargo run --example live_inventory`
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{DbServer, Service};
+
+/// The legacy "search" application: greps an open file for a keyword —
+/// repeatedly, as a monitoring loop would.
+fn grep(api: &dyn FileApi, h: activefiles::Handle, needle: &str) -> Result<Vec<String>, Win32Error> {
+    api.set_file_pointer(h, 0, SeekMethod::Begin)?;
+    let mut text = Vec::new();
+    let mut buf = [0u8; 128];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        text.extend_from_slice(&buf[..n]);
+    }
+    Ok(String::from_utf8_lossy(&text)
+        .lines()
+        .filter(|l| l.contains(needle))
+        .map(str::to_owned)
+        .collect())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+
+    // Two "distributed databases" (two services, one logical inventory).
+    let warehouse = DbServer::new();
+    warehouse.put("wh:screws", b"9000");
+    warehouse.put("wh:nails", b"120");
+    world.net().register("warehouse-db", Arc::clone(&warehouse) as Arc<dyn Service>);
+
+    // The live view: tracks the database through the open handle.
+    world.install_active_file(
+        "/inventory.af",
+        &SentinelSpec::new("live-query", Strategy::DllThread)
+            .with("service", "warehouse-db")
+            .with("prefix", "wh:"),
+    )?;
+    // The decoupled intermediary of §1, for contrast: same query, no
+    // tracking.
+    world.install_active_file(
+        "/inventory-stale.af",
+        &SentinelSpec::new("live-query", Strategy::DllThread)
+            .with("service", "warehouse-db")
+            .with("prefix", "wh:")
+            .with("track", "false"),
+    )?;
+
+    let api = world.api();
+    let live = api.create_file("/inventory.af", Access::read_only(), Disposition::OpenExisting)?;
+    let stale =
+        api.create_file("/inventory-stale.af", Access::read_only(), Disposition::OpenExisting)?;
+
+    println!("initial scan (both agree):");
+    println!("  live : {:?}", grep(&api, live, "screws")?);
+    println!("  stale: {:?}", grep(&api, stale, "screws")?);
+
+    // A shipment arrives while the monitors are running.
+    warehouse.put("wh:screws", b"15000");
+    warehouse.put("wh:bolts", b"800");
+
+    println!("after the database changes:");
+    let live_hits = grep(&api, live, "screws")?;
+    let stale_hits = grep(&api, stale, "screws")?;
+    println!("  live : {live_hits:?}");
+    println!("  stale: {stale_hits:?}");
+    assert_eq!(live_hits, vec!["wh:screws=15000".to_owned()]);
+    assert_eq!(stale_hits, vec!["wh:screws=9000".to_owned()]);
+    println!("the active file saw the update; the static intermediary did not (§1)");
+
+    api.close_handle(live)?;
+    api.close_handle(stale)?;
+    Ok(())
+}

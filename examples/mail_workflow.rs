@@ -1,0 +1,81 @@
+//! The e-mail scenario of §3, end to end.
+//!
+//! Writing a message into `outbox.af` sends it (the sentinel parses the
+//! `To:` header and relays via SMTP); reading `inbox.af` retrieves
+//! waiting messages from two POP servers. The "mail client" below is a
+//! legacy program that only reads and writes files.
+//!
+//! Run with: `cargo run --example mail_workflow`
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{MailStore, PopServer, Service, SmtpServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = AfsWorld::builder().user("alice@wonder.land").build();
+    register_standard_sentinels(&world);
+
+    // Two independent mail providers plus one relay.
+    let provider_a = MailStore::new();
+    let provider_b = MailStore::new();
+    world
+        .net()
+        .register("pop-a", PopServer::new(provider_a.clone()) as Arc<dyn Service>);
+    world
+        .net()
+        .register("pop-b", PopServer::new(provider_b.clone()) as Arc<dyn Service>);
+    // The relay delivers into provider A (where bob's mailbox lives).
+    world
+        .net()
+        .register("smtp", SmtpServer::new(provider_a.clone()) as Arc<dyn Service>);
+
+    // Seed some incoming mail on both providers.
+    provider_a.deliver("bob@a", "alice@wonder.land", "lunch?", "noon at the cafe");
+    provider_b.deliver("carol@b", "alice@wonder.land", "review", "please look at PR 7");
+
+    world.install_active_file(
+        "/mail/outbox.af",
+        &SentinelSpec::new("outbox", Strategy::ProcessControl).with("service", "smtp"),
+    )?;
+    world.install_active_file(
+        "/mail/inbox.af",
+        &SentinelSpec::new("inbox", Strategy::ProcessControl)
+            .backing(Backing::Memory)
+            .with("servers", "pop-a, pop-b")
+            .with("user", "alice@wonder.land"),
+    )?;
+
+    let api = world.api();
+
+    // Send: write a plain text message to the outbox and close it.
+    let h = api.create_file("/mail/outbox.af", Access::write_only(), Disposition::OpenExisting)?;
+    api.write_file(
+        h,
+        b"To: bob@a\nSubject: re: lunch?\n\nnoon works. see you there.",
+    )?;
+    api.close_handle(h)?; // closing flushes: the message is on its way
+    println!("sent 1 message via /mail/outbox.af");
+
+    // Receive: read the inbox like a file.
+    let h = api.create_file("/mail/inbox.af", Access::read_only(), Disposition::OpenExisting)?;
+    let mut inbox = Vec::new();
+    let mut buf = [0u8; 128];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        inbox.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+    let text = String::from_utf8_lossy(&inbox);
+    println!("--- /mail/inbox.af ---\n{text}");
+    assert!(text.contains("Subject: lunch?"));
+    assert!(text.contains("Subject: review"), "aggregated from the second POP server");
+
+    // Bob's POP mailbox received alice's reply.
+    assert_eq!(provider_a.count("bob@a"), 1);
+    println!("bob has {} message(s) waiting", provider_a.count("bob@a"));
+    Ok(())
+}

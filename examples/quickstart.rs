@@ -1,0 +1,39 @@
+//! Quickstart: create an active file and watch a "legacy" application use
+//! it like any other file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use activefiles::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A world = local VFS + network + sentinel registry + intercepted API.
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+
+    // Install an active file: to any application it is "/notes.af", but a
+    // ROT13 sentinel sits between the application and the stored bytes.
+    world.install_active_file(
+        "/notes.af",
+        &SentinelSpec::new("rot13", Strategy::DllThread).backing(Backing::Disk),
+    )?;
+
+    // The "legacy application": it only knows the ordinary file API.
+    let api = world.api();
+    let h = api.create_file("/notes.af", Access::read_write(), Disposition::OpenExisting)?;
+    api.write_file(h, b"Meet me at the old mill.")?;
+    api.set_file_pointer(h, 0, SeekMethod::Begin)?;
+    let mut buf = [0u8; 24];
+    let n = api.read_file(h, &mut buf)?;
+    println!("application reads : {}", String::from_utf8_lossy(&buf[..n]));
+    api.close_handle(h)?;
+
+    // What actually hit the disk is obfuscated.
+    let stored = world.vfs().read_stream_to_end(&"/notes.af".parse()?)?;
+    println!("stored on disk    : {}", String::from_utf8_lossy(&stored));
+
+    // The application could not tell the difference — and it cannot
+    // uninstall the interception either (it was installed securely).
+    assert!(world.connector().uninstall("active-files").is_err());
+    println!("interception is secure: the application cannot undo it");
+    Ok(())
+}

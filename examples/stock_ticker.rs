@@ -1,0 +1,53 @@
+//! The stock-quote file of §3: "an active file that reflects the latest
+//! stock quotes (downloaded by the sentinel from a server) every time the
+//! file is opened".
+//!
+//! Run with: `cargo run --example stock_ticker`
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{QuoteServer, Service};
+
+fn read_whole(api: &dyn FileApi, path: &str) -> Result<String, Win32Error> {
+    let h = api.create_file(path, Access::read_only(), Disposition::OpenExisting)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 64];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+    Ok(String::from_utf8_lossy(&out).into_owned())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+
+    let market = QuoteServer::new(2026, &["ACME", "GLOBEX", "INITECH"]);
+    world.net().register("nyse", Arc::clone(&market) as Arc<dyn Service>);
+
+    world.install_active_file(
+        "/ticker.af",
+        &SentinelSpec::new("stock-ticker", Strategy::DllThread)
+            .backing(Backing::Memory)
+            .with("service", "nyse")
+            .with("symbols", "ACME, GLOBEX, INITECH"),
+    )?;
+
+    let api = world.api();
+    for session in 1..=3 {
+        println!("--- trading session {session} ---");
+        print!("{}", read_whole(&api, "/ticker.af")?);
+        // The market moves between opens.
+        for _ in 0..5 {
+            market.advance();
+        }
+    }
+    println!("(each open downloaded fresh quotes — no stale intermediary file)");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Concurrent, intelligent logging (§3): many writer processes append to
+//! one log file, and the sentinel — not the writers — owns the locking
+//! protocol. "The processes generating the logs do not need to know about
+//! log file locking."
+//!
+//! Run with: `cargo run --example team_log`
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+
+const WRITERS: usize = 6;
+const RECORDS_PER_WRITER: usize = 40;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = Arc::new(AfsWorld::new());
+    register_standard_sentinels(&world);
+
+    world.install_active_file(
+        "/var/team.log.af",
+        &SentinelSpec::new("shared-log", Strategy::DllThread).backing(Backing::Disk),
+    )?;
+
+    // Six "processes" hammer the log concurrently. Each open gets its own
+    // sentinel; the sentinels serialise appends through a named mutex.
+    let mut handles = Vec::new();
+    for id in 0..WRITERS {
+        let world = Arc::clone(&world);
+        handles.push(std::thread::spawn(move || {
+            let api = world.api();
+            let h = api
+                .create_file("/var/team.log.af", Access::write_only(), Disposition::OpenExisting)
+                .expect("open log");
+            for seq in 0..RECORDS_PER_WRITER {
+                let record = format!("[worker-{id} event-{seq:03}]\n");
+                api.write_file(h, record.as_bytes()).expect("append");
+            }
+            api.close_handle(h).expect("close");
+        }));
+    }
+    for t in handles {
+        t.join().expect("writer thread");
+    }
+
+    // Read the log back through the same active file.
+    let api = world.api();
+    let h = api.create_file("/var/team.log.af", Access::read_only(), Disposition::OpenExisting)?;
+    let mut log = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        log.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+
+    let text = String::from_utf8(log)?;
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), WRITERS * RECORDS_PER_WRITER);
+    for line in &lines {
+        assert!(
+            line.starts_with("[worker-") && line.ends_with(']'),
+            "torn record: {line:?}"
+        );
+    }
+    println!(
+        "{} writers x {} records = {} intact log lines, zero torn records",
+        WRITERS,
+        RECORDS_PER_WRITER,
+        lines.len()
+    );
+    println!("first: {}", lines.first().expect("nonempty"));
+    println!("last : {}", lines.last().expect("nonempty"));
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! `afsh` — the Active Files shell.
+//!
+//! Reads commands from stdin (or a script file given as the first
+//! argument) and executes them against a fresh simulated world. Try:
+//!
+//! ```text
+//! $ cargo run --bin afsh
+//! afsh> demo
+//! afsh> install /motd.af remote-file dll memory service=files remote=/pub/motd
+//! afsh> cat /motd.af
+//! ```
+
+use std::io::{BufRead, Write};
+
+use activefiles::shell::Shell;
+
+fn main() {
+    let mut shell = Shell::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(script_path) = args.first() {
+        let script = match std::fs::read_to_string(script_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("afsh: cannot read {script_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match shell.run_script(&script) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                eprintln!("afsh: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    let interactive = args.is_empty();
+    if interactive {
+        println!("afsh — active files shell (try `help`, `demo`)");
+        print!("afsh> ");
+        std::io::stdout().flush().expect("flush");
+    }
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        match shell.run(&line) {
+            Ok(out) => print!("{out}"),
+            Err(e) => eprintln!("afsh: {e}"),
+        }
+        if interactive {
+            print!("afsh> ");
+            std::io::stdout().flush().expect("flush");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! A tiny scriptable shell over the simulated world — the repository's
+//! "legacy application" playground.
+//!
+//! Every command goes through the plain [`FileApi`]; the shell neither
+//! knows nor cares which files are active. `install` and `demo` are the
+//! only world-aware commands (they play the role of the administrator who
+//! sets active files up).
+//!
+//! Used by the `afsh` binary (`cargo run --bin afsh`) and by integration
+//! tests, which feed scripts through [`Shell::run_script`].
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use afs_core::{AfsWorld, Backing, SentinelSpec, Strategy};
+use afs_net::Service;
+use afs_remote::{FileServer, MailStore, PopServer, QuoteServer, SmtpServer};
+use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+
+/// Shell errors carry the failing command and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellError {
+    /// The command that failed.
+    pub command: String,
+    /// Why.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.command, self.message)
+    }
+}
+
+impl std::error::Error for ShellError {}
+
+/// The shell session: a world plus its API handle.
+pub struct Shell {
+    world: AfsWorld,
+    api: afs_interpose::ApiHandle,
+    demo_files: Option<Arc<FileServer>>,
+}
+
+impl Shell {
+    /// Creates a shell over a fresh world with the standard sentinels
+    /// registered.
+    pub fn new() -> Self {
+        let world = AfsWorld::new();
+        afs_sentinels::register_all(world.sentinels());
+        let api = world.api();
+        Shell { world, api, demo_files: None }
+    }
+
+    /// The underlying world (tests use this to inspect state).
+    pub fn world(&self) -> &AfsWorld {
+        &self.world
+    }
+
+    /// Runs one command line, returning its output text.
+    ///
+    /// # Errors
+    ///
+    /// [`ShellError`] describing the failing command.
+    pub fn run(&mut self, line: &str) -> Result<String, ShellError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let cmd = parts.next().expect("non-empty line");
+        let rest = parts.next().unwrap_or("").trim();
+        let fail = |message: String| ShellError { command: cmd.to_owned(), message };
+        match cmd {
+            "help" => Ok(HELP.to_owned()),
+            "mkdir" => {
+                self.api.create_directory(rest).map_err(|e| fail(e.to_string()))?;
+                Ok(String::new())
+            }
+            "ls" => {
+                let dir = if rest.is_empty() { "/" } else { rest };
+                let entries = self.api.find_files(dir).map_err(|e| fail(e.to_string()))?;
+                let mut out = String::new();
+                for e in entries {
+                    let kind = match e.kind {
+                        afs_vfs::NodeKind::Directory => "dir ",
+                        afs_vfs::NodeKind::File => "file",
+                    };
+                    writeln!(out, "{kind} {:>8}  {}", e.len, e.name).expect("write to string");
+                }
+                Ok(out)
+            }
+            "cat" => {
+                let h = self
+                    .api
+                    .create_file(rest, Access::read_only(), Disposition::OpenExisting)
+                    .map_err(|e| fail(e.to_string()))?;
+                let mut out = Vec::new();
+                let mut buf = [0u8; 256];
+                loop {
+                    let n = self.api.read_file(h, &mut buf).map_err(|e| fail(e.to_string()))?;
+                    if n == 0 {
+                        break;
+                    }
+                    out.extend_from_slice(&buf[..n]);
+                    if out.len() > 1 << 20 {
+                        break; // generators can be infinite
+                    }
+                }
+                self.api.close_handle(h).map_err(|e| fail(e.to_string()))?;
+                Ok(String::from_utf8_lossy(&out).into_owned())
+            }
+            "write" | "append" => {
+                let (path, text) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| fail("usage: write <path> <text>".into()))?;
+                let disposition = if cmd == "write" {
+                    Disposition::CreateAlways
+                } else {
+                    Disposition::OpenAlways
+                };
+                let h = self
+                    .api
+                    .create_file(path, Access::read_write(), disposition)
+                    .map_err(|e| fail(e.to_string()))?;
+                if cmd == "append" {
+                    self.api
+                        .set_file_pointer(h, 0, SeekMethod::End)
+                        .map_err(|e| fail(e.to_string()))?;
+                }
+                // Shell convention: "\n" in the text is a newline.
+                let text = text.replace("\\n", "\n");
+                self.api.write_file(h, text.as_bytes()).map_err(|e| fail(e.to_string()))?;
+                self.api.close_handle(h).map_err(|e| fail(e.to_string()))?;
+                Ok(String::new())
+            }
+            "cp" | "mv" => {
+                let (from, to) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| fail(format!("usage: {cmd} <from> <to>")))?;
+                let result = if cmd == "cp" {
+                    self.api.copy_file(from.trim(), to.trim())
+                } else {
+                    self.api.move_file(from.trim(), to.trim())
+                };
+                result.map_err(|e| fail(e.to_string()))?;
+                Ok(String::new())
+            }
+            "rm" => {
+                self.api.delete_file(rest).map_err(|e| fail(e.to_string()))?;
+                Ok(String::new())
+            }
+            "stat" => {
+                let h = self
+                    .api
+                    .create_file(rest, Access::read_only(), Disposition::OpenExisting)
+                    .map_err(|e| fail(e.to_string()))?;
+                let size = self.api.get_file_size(h);
+                self.api.close_handle(h).map_err(|e| fail(e.to_string()))?;
+                let mut out = String::new();
+                match size {
+                    Ok(n) => writeln!(out, "size: {n}").expect("write to string"),
+                    Err(e) => writeln!(out, "size: unavailable ({e})").expect("write to string"),
+                }
+                match self.world.active_spec(rest) {
+                    Some(spec) => writeln!(
+                        out,
+                        "active: {} ({}, {})",
+                        spec.name(),
+                        spec.strategy().label(),
+                        spec.backing_kind().label()
+                    )
+                    .expect("write to string"),
+                    None => writeln!(out, "active: no").expect("write to string"),
+                }
+                Ok(out)
+            }
+            "install" => {
+                // install <path> <sentinel> <strategy> <backing> [k=v ...]
+                let mut args = rest.split_whitespace();
+                let path = args.next().ok_or_else(|| fail("missing path".into()))?;
+                let name = args.next().ok_or_else(|| fail("missing sentinel name".into()))?;
+                let strategy = match args.next().unwrap_or("dll") {
+                    "process" => Strategy::Process,
+                    "control" => Strategy::ProcessControl,
+                    "thread" => Strategy::DllThread,
+                    "dll" => Strategy::DllOnly,
+                    other => return Err(fail(format!("unknown strategy {other}"))),
+                };
+                let backing = match args.next().unwrap_or("none") {
+                    "none" => Backing::None,
+                    "memory" => Backing::Memory,
+                    "disk" => Backing::Disk,
+                    other => return Err(fail(format!("unknown backing {other}"))),
+                };
+                let mut spec = SentinelSpec::new(name, strategy).backing(backing);
+                for kv in args {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| fail(format!("bad config `{kv}` (want k=v)")))?;
+                    spec = spec.with(k, v);
+                }
+                self.world
+                    .install_active_file(path, &spec)
+                    .map_err(|e| fail(e.to_string()))?;
+                Ok(String::new())
+            }
+            "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
+            "services" => Ok(self.world.net().services().join("\n") + "\n"),
+            "demo" => {
+                // Stand up demo remote services so scripts have sources.
+                let files = FileServer::new();
+                files.seed("/pub/motd", b"welcome to the active files demo\n");
+                files.seed("/pub/data.csv", b"region,units\neast,120\nwest,80\n");
+                self.world
+                    .net()
+                    .register("files", Arc::clone(&files) as Arc<dyn Service>);
+                self.demo_files = Some(files);
+                let quotes = QuoteServer::new(7, &["ACME", "GLOBEX"]);
+                self.world.net().register("quotes", quotes as Arc<dyn Service>);
+                let mail = MailStore::new();
+                mail.deliver("demo@system", &format!("{}@local", self.world.user()), "hello", "demo message");
+                self.world
+                    .net()
+                    .register("pop", PopServer::new(mail.clone()) as Arc<dyn Service>);
+                self.world
+                    .net()
+                    .register("smtp", SmtpServer::new(mail) as Arc<dyn Service>);
+                Ok("demo services registered: files, quotes, pop, smtp\n".to_owned())
+            }
+            other => Err(ShellError {
+                command: other.to_owned(),
+                message: "unknown command (try `help`)".to_owned(),
+            }),
+        }
+    }
+
+    /// Runs a multi-line script, concatenating outputs. Stops at the
+    /// first error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ShellError`], annotated with the line number.
+    pub fn run_script(&mut self, script: &str) -> Result<String, ShellError> {
+        let mut out = String::new();
+        for (i, line) in script.lines().enumerate() {
+            match self.run(line) {
+                Ok(text) => out.push_str(&text),
+                Err(e) => {
+                    return Err(ShellError {
+                        command: e.command,
+                        message: format!("line {}: {}", i + 1, e.message),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+/// `help` text.
+pub const HELP: &str = "\
+commands:
+  mkdir <dir>                          create a directory
+  ls [dir]                             list a directory
+  cat <path>                           print a file (active or passive)
+  write <path> <text>                  create/replace a file with text
+  append <path> <text>                 append text to a file
+  cp <from> <to> | mv <from> <to>      copy / rename
+  rm <path>                            delete
+  stat <path>                          size + active-file info
+  install <path> <sentinel> <strategy> <backing> [k=v ...]
+                                       make <path> an active file
+                                       strategy: process|control|thread|dll
+                                       backing:  none|memory|disk
+  sentinels | services                 list registered names
+  demo                                 register demo remote services
+  help                                 this text
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_cat_roundtrip() {
+        let mut sh = Shell::new();
+        sh.run("write /hello.txt hi there").expect("write");
+        assert_eq!(sh.run("cat /hello.txt").expect("cat"), "hi there");
+    }
+
+    #[test]
+    fn install_makes_cat_see_the_sentinel() {
+        let mut sh = Shell::new();
+        sh.run("install /loud.af uppercase dll disk").expect("install");
+        sh.run("append /loud.af quiet words").expect("append");
+        assert_eq!(sh.run("cat /loud.af").expect("cat"), "QUIET WORDS");
+        let stat = sh.run("stat /loud.af").expect("stat");
+        assert!(stat.contains("active: uppercase (DLL, disk)"));
+    }
+
+    #[test]
+    fn demo_services_feed_aggregators() {
+        let mut sh = Shell::new();
+        sh.run("demo").expect("demo");
+        sh.run("install /motd.af remote-file dll memory service=files remote=/pub/motd")
+            .expect("install");
+        let motd = sh.run("cat /motd.af").expect("cat");
+        assert!(motd.contains("welcome"));
+    }
+
+    #[test]
+    fn scripts_stop_at_first_error_with_line_number() {
+        let mut sh = Shell::new();
+        let err = sh
+            .run_script("write /a one\nbogus command\nwrite /b two")
+            .expect_err("must fail");
+        assert_eq!(err.command, "bogus");
+        assert!(err.message.starts_with("line 2"));
+        // Line 3 never ran.
+        assert!(sh.run("cat /b").is_err());
+    }
+
+    #[test]
+    fn ls_and_namespace_commands() {
+        let mut sh = Shell::new();
+        sh.run_script("mkdir /d\nwrite /d/a aa\ncp /d/a /d/b\nmv /d/b /d/c\nrm /d/a")
+            .expect("script");
+        let listing = sh.run("ls /d").expect("ls");
+        assert!(listing.contains("c"));
+        assert!(!listing.contains(" a\n"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let mut sh = Shell::new();
+        let out = sh.run_script("# a comment\n\nwrite /x 1\n# done").expect("script");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn newline_escape_expands() {
+        let mut sh = Shell::new();
+        sh.run("write /multi line1\\nline2").expect("write");
+        assert_eq!(sh.run("cat /multi").expect("cat"), "line1\nline2");
+    }
+}

@@ -1,0 +1,155 @@
+//! The central transparency claim: "from the perspective of the
+//! end-application, active files are indistinguishable from non-active
+//! files. There is no reprogramming, or recompilation necessary" (§1).
+//!
+//! A small "legacy application suite" is written once against the plain
+//! file API and run against (a) a passive file and (b) a null-filter
+//! active file under every strategy that supports the operations it uses.
+//! Byte-for-byte identical observable behaviour is required.
+
+use activefiles::prelude::*;
+use activefiles::{Handle, Win32Error};
+
+/// A legacy "record store" application: fixed-size records, seek-based
+/// update-in-place, sequential scan. Returns every observable value so
+/// the test can compare runs.
+fn record_store_app(api: &dyn FileApi, path: &str) -> Result<Vec<u8>, Win32Error> {
+    const RECORD: usize = 16;
+    let h: Handle = api.create_file(path, Access::read_write(), Disposition::OpenExisting)?;
+    // Write 8 records.
+    for i in 0..8u8 {
+        let mut rec = [i; RECORD];
+        rec[0] = b'R';
+        api.write_file(h, &rec)?;
+    }
+    // Update record 3 in place.
+    api.set_file_pointer(h, (3 * RECORD) as i64, SeekMethod::Begin)?;
+    api.write_file(h, &[b'X'; RECORD])?;
+    // Check the size.
+    let size = api.get_file_size(h)?;
+    assert_eq!(size, (8 * RECORD) as u64);
+    // Sequential scan from the top.
+    api.set_file_pointer(h, 0, SeekMethod::Begin)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 24]; // deliberately unaligned with RECORD
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+    Ok(out)
+}
+
+/// A legacy "text appender": open, append, close, repeat; then read all.
+fn appender_app(api: &dyn FileApi, path: &str) -> Result<Vec<u8>, Win32Error> {
+    for word in ["alpha ", "beta ", "gamma"] {
+        let h = api.create_file(path, Access::read_write(), Disposition::OpenExisting)?;
+        api.set_file_pointer(h, 0, SeekMethod::End)?;
+        api.write_file(h, word.as_bytes())?;
+        api.close_handle(h)?;
+    }
+    let h = api.create_file(path, Access::read_only(), Disposition::OpenExisting)?;
+    let mut out = Vec::new();
+    let mut buf = [0u8; 7];
+    loop {
+        let n = api.read_file(h, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h)?;
+    Ok(out)
+}
+
+fn passive_run(app: impl Fn(&dyn FileApi, &str) -> Result<Vec<u8>, Win32Error>) -> Vec<u8> {
+    let world = AfsWorld::new();
+    let api = world.api();
+    let h = api
+        .create_file("/data.bin", Access::read_write(), Disposition::CreateNew)
+        .expect("create passive");
+    api.close_handle(h).expect("close");
+    app(&api, "/data.bin").expect("passive run")
+}
+
+fn active_run(
+    strategy: Strategy,
+    backing: Backing,
+    app: impl Fn(&dyn FileApi, &str) -> Result<Vec<u8>, Win32Error>,
+) -> Vec<u8> {
+    let world = AfsWorld::new();
+    world
+        .install_active_file("/data.af", &SentinelSpec::new("null", strategy).backing(backing))
+        .expect("install");
+    let api = world.api();
+    app(&api, "/data.af").expect("active run")
+}
+
+#[test]
+fn record_store_behaves_identically_on_active_files() {
+    let reference = passive_run(record_store_app);
+    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+        for backing in [Backing::Memory, Backing::Disk] {
+            let active = active_run(strategy, backing, record_store_app);
+            assert_eq!(
+                active, reference,
+                "{strategy:?}/{backing:?} must be indistinguishable from the passive file"
+            );
+        }
+    }
+}
+
+#[test]
+fn appender_behaves_identically_on_active_files() {
+    let reference = passive_run(appender_app);
+    assert_eq!(reference, b"alpha beta gamma");
+    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+        for backing in [Backing::Memory, Backing::Disk] {
+            let active = active_run(strategy, backing, appender_app);
+            assert_eq!(active, reference, "{strategy:?}/{backing:?}");
+        }
+    }
+}
+
+#[test]
+fn directory_operations_treat_active_files_as_files() {
+    // §2.1: "Directory operations such as creating, copying, and deleting
+    // result in corresponding operations on the passive components."
+    let world = AfsWorld::new();
+    world
+        .install_active_file(
+            "/dir/a.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Disk),
+        )
+        .expect("install");
+    let api = world.api();
+    // The active file shows up in listings like any file.
+    let listing = api.find_files("/dir").expect("list");
+    assert_eq!(listing.len(), 1);
+    assert_eq!(listing[0].name, "a.af");
+    // Copy, move, delete.
+    api.copy_file("/dir/a.af", "/dir/b.af").expect("copy");
+    api.move_file("/dir/b.af", "/dir/c.af").expect("move");
+    assert_eq!(api.find_files("/dir").expect("list").len(), 2);
+    api.delete_file("/dir/c.af").expect("delete");
+    assert_eq!(api.find_files("/dir").expect("list").len(), 1);
+    // The copy that was moved kept its active part the whole way.
+    assert!(world.active_spec("/dir/a.af").is_some());
+}
+
+#[test]
+fn get_file_attributes_works_on_active_paths() {
+    let world = AfsWorld::new();
+    world
+        .install_active_file(
+            "/f.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Disk),
+        )
+        .expect("install");
+    let api = world.api();
+    let attrs = api.get_file_attributes("/f.af").expect("attrs");
+    assert!(!attrs.readonly);
+}

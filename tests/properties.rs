@@ -1,0 +1,226 @@
+//! Property-based tests over the whole stack.
+//!
+//! The strongest property the paper claims is *indistinguishability*: a
+//! null-filter active file must behave exactly like a passive file for
+//! **any** sequence of operations. We drive random operation sequences
+//! against a passive reference and each strategy/backing combination and
+//! require identical observable results.
+
+use activefiles::prelude::*;
+use activefiles::Handle;
+// `afs_core::Strategy` (glob above) collides with proptest's `Strategy`
+// trait; disambiguate both sides explicitly.
+use activefiles::Strategy;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+/// An application-visible file operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(Vec<u8>),
+    Read(usize),
+    SeekBegin(u64),
+    SeekEnd(i64),
+    Size,
+}
+
+fn op_strategy() -> impl PropStrategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..64).prop_map(Op::Write),
+        (1usize..64).prop_map(Op::Read),
+        (0u64..256).prop_map(Op::SeekBegin),
+        (-32i64..0).prop_map(Op::SeekEnd),
+        Just(Op::Size),
+    ]
+}
+
+/// Observable outcome of one op (reads capture the bytes; everything
+/// captures Ok/Err and returned values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Wrote(usize),
+    ReadBytes(Vec<u8>),
+    Pos(u64),
+    Size(u64),
+    Error(u32),
+}
+
+fn apply(api: &dyn FileApi, h: Handle, op: &Op) -> Outcome {
+    match op {
+        Op::Write(data) => match api.write_file(h, data) {
+            Ok(n) => Outcome::Wrote(n),
+            Err(e) => Outcome::Error(e.code()),
+        },
+        Op::Read(len) => {
+            let mut buf = vec![0u8; *len];
+            match api.read_file(h, &mut buf) {
+                Ok(n) => {
+                    buf.truncate(n);
+                    Outcome::ReadBytes(buf)
+                }
+                Err(e) => Outcome::Error(e.code()),
+            }
+        }
+        Op::SeekBegin(offset) => match api.set_file_pointer(h, *offset as i64, SeekMethod::Begin) {
+            Ok(p) => Outcome::Pos(p),
+            Err(e) => Outcome::Error(e.code()),
+        },
+        Op::SeekEnd(offset) => match api.set_file_pointer(h, *offset, SeekMethod::End) {
+            Ok(p) => Outcome::Pos(p),
+            Err(e) => Outcome::Error(e.code()),
+        },
+        Op::Size => match api.get_file_size(h) {
+            Ok(n) => Outcome::Size(n),
+            Err(e) => Outcome::Error(e.code()),
+        },
+    }
+}
+
+fn run_passive(ops: &[Op]) -> Vec<Outcome> {
+    let world = AfsWorld::new();
+    let api = world.api();
+    let h = api
+        .create_file("/ref.bin", Access::read_write(), Disposition::CreateNew)
+        .expect("create");
+    let out = ops.iter().map(|op| apply(&api, h, op)).collect();
+    api.close_handle(h).expect("close");
+    out
+}
+
+fn run_active(ops: &[Op], strategy: Strategy, backing: Backing) -> Vec<Outcome> {
+    let world = AfsWorld::new();
+    world
+        .install_active_file("/t.af", &SentinelSpec::new("null", strategy).backing(backing))
+        .expect("install");
+    let api = world.api();
+    let h = api
+        .create_file("/t.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open");
+    let out = ops.iter().map(|op| apply(&api, h, op)).collect();
+    api.close_handle(h).expect("close");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn null_active_file_is_indistinguishable_from_passive(
+        ops in proptest::collection::vec(op_strategy(), 1..24)
+    ) {
+        let reference = run_passive(&ops);
+        for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+            for backing in [Backing::Memory, Backing::Disk] {
+                let active = run_active(&ops, strategy, backing);
+                prop_assert_eq!(
+                    &active,
+                    &reference,
+                    "strategy {:?} backing {:?} diverged on {:?}",
+                    strategy,
+                    backing,
+                    ops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_with_each_other(
+        ops in proptest::collection::vec(op_strategy(), 1..16)
+    ) {
+        // §5's translation claim from the other side: one logic, four
+        // runtimes, identical semantics (excluding the streaming-only
+        // simple process strategy).
+        let base = run_active(&ops, Strategy::DllOnly, Backing::Memory);
+        for strategy in [Strategy::ProcessControl, Strategy::DllThread] {
+            let other = run_active(&ops, strategy, Backing::Memory);
+            prop_assert_eq!(&other, &base, "{:?} diverged", strategy);
+        }
+    }
+
+    #[test]
+    fn compress_sentinel_preserves_any_content(
+        data in proptest::collection::vec(any::<u8>(), 0..2000)
+    ) {
+        let world = AfsWorld::new();
+        register_standard_sentinels(&world);
+        world
+            .install_active_file(
+                "/z.af",
+                &SentinelSpec::new("compress", Strategy::DllOnly).backing(Backing::Disk),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/z.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, &data).expect("write");
+        api.close_handle(h).expect("close");
+        let h = api
+            .create_file("/z.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("reopen");
+        let mut out = Vec::new();
+        let mut buf = [0u8; 128];
+        loop {
+            let n = api.read_file(h, &mut buf).expect("read");
+            if n == 0 { break; }
+            out.extend_from_slice(&buf[..n]);
+        }
+        api.close_handle(h).expect("close");
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cipher_roundtrips_under_random_access(
+        writes in proptest::collection::vec((0u64..128, proptest::collection::vec(any::<u8>(), 1..32)), 1..12),
+        key in any::<u64>(),
+    ) {
+        // Model: apply the same positioned writes to a Vec; the ciphered
+        // active file must read back the same final image.
+        let world = AfsWorld::new();
+        register_standard_sentinels(&world);
+        world
+            .install_active_file(
+                "/c.af",
+                &SentinelSpec::new("xor-cipher", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("key", &key.to_string()),
+            )
+            .expect("install");
+        let api = world.api();
+        let h = api
+            .create_file("/c.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        let mut model: Vec<u8> = Vec::new();
+        let mut written: Vec<bool> = Vec::new();
+        for (offset, data) in &writes {
+            api.set_file_pointer(h, *offset as i64, SeekMethod::Begin).expect("seek");
+            api.write_file(h, data).expect("write");
+            let end = *offset as usize + data.len();
+            if model.len() < end {
+                model.resize(end, 0);
+                written.resize(end, false);
+            }
+            model[*offset as usize..end].copy_from_slice(data);
+            written[*offset as usize..end].fill(true);
+        }
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("rewind");
+        let mut out = vec![0u8; model.len()];
+        let mut total = 0;
+        while total < out.len() {
+            let n = api.read_file(h, &mut out[total..]).expect("read");
+            if n == 0 { break; }
+            total += n;
+        }
+        api.close_handle(h).expect("close");
+        // Only bytes the application wrote are meaningful: unwritten gaps
+        // in a position-keyed stream cipher decode to keystream noise (a
+        // genuine property of the design, not a bug).
+        prop_assert_eq!(total, model.len());
+        for (i, (&got, &want)) in out.iter().zip(model.iter()).enumerate() {
+            if written[i] {
+                prop_assert_eq!(got, want, "mismatch at written offset {}", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! §7's comparisons, executable: what Ufo, Janus, and Watchdogs can and
+//! cannot do next to active files.
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{FileServer, Service};
+use afs_related::{JanusLayer, JanusPolicy, UfoLayer, WatchdogLayer, WatchdogLog};
+
+/// "In contrast to the hard-coded functionality of these approaches,
+/// active files are completely programmable": under Ufo every mapped file
+/// behaves the same; with active files two neighbouring files carry
+/// different per-file behaviours.
+#[test]
+fn ufo_is_uniform_active_files_are_per_file() {
+    // --- Ufo side: one layer, one behaviour for everything under /remote.
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+    let server = FileServer::new();
+    server.seed("/pub/a.txt", b"alpha");
+    server.seed("/pub/b.txt", b"beta");
+    world.net().register("nfs", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .connector()
+        .install(Arc::new(UfoLayer::new(world.net().clone(), "nfs", "/remote", "/pub")))
+        .expect("install ufo");
+    let api = world.api();
+    for (path, expect) in [("/remote/a.txt", &b"alpha"[..]), ("/remote/b.txt", &b"beta"[..])] {
+        let h = api
+            .create_file(path, Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        let mut buf = [0u8; 8];
+        let n = api.read_file(h, &mut buf).expect("read");
+        assert_eq!(&buf[..n], expect, "ufo fetches, identically for every file");
+        api.close_handle(h).expect("close");
+    }
+
+    // --- Active files side: same two sources, *different* per-file
+    // behaviour (one plain mirror, one uppercasing aggregate).
+    world
+        .install_active_file(
+            "/af/a.af",
+            &SentinelSpec::new("mirror", Strategy::DllOnly)
+                .with("service", "nfs")
+                .with("remote", "/pub/a.txt"),
+        )
+        .expect("a");
+    world
+        .install_active_file(
+            "/af/b.af",
+            &SentinelSpec::new("remote-file", Strategy::DllOnly)
+                .backing(Backing::Memory)
+                .with("service", "nfs")
+                .with("remote", "/pub/b.txt")
+                .with("writeback", "false"),
+        )
+        .expect("b");
+    let read = |path: &str| {
+        let h = api
+            .create_file(path, Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        let mut buf = [0u8; 8];
+        let n = api.read_file(h, &mut buf).expect("read");
+        api.close_handle(h).expect("close");
+        buf[..n].to_vec()
+    };
+    assert_eq!(read("/af/a.af"), b"alpha");
+    assert_eq!(read("/af/b.af"), b"beta");
+    // The behaviours are independently *reprogrammable* per file — swap
+    // one spec without touching the other.
+    world
+        .install_active_file(
+            "/af/a.af",
+            &SentinelSpec::new("sequence", Strategy::DllOnly).with("count", "2"),
+        )
+        .expect("reprogram a");
+    assert_eq!(read("/af/a.af"), b"0\n1\n");
+    assert_eq!(read("/af/b.af"), b"beta", "b is untouched");
+}
+
+/// "Unlike both these systems that implement process-centric control,
+/// active files enable resource-centric control."
+#[test]
+fn janus_polices_the_process_active_files_police_the_resource() {
+    // Janus: the policy follows the API (the process). A file reachable
+    // under one sandbox is invisible under another — the file has no say.
+    let base_world = AfsWorld::new();
+    let api_setup = base_world.api();
+    api_setup.create_directory("/data").expect("mkdir");
+    let h = api_setup
+        .create_file("/data/x", Access::read_write(), Disposition::CreateNew)
+        .expect("create");
+    api_setup.write_file(h, b"payload").expect("write");
+    api_setup.close_handle(h).expect("close");
+    base_world
+        .connector()
+        .install(Arc::new(JanusLayer::new(JanusPolicy::new().allow("/tmp", true, true))))
+        .expect("sandbox");
+    let sandboxed = base_world.api();
+    assert_eq!(
+        sandboxed.create_file("/data/x", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied),
+        "process-centric: this process may not read /data at all"
+    );
+
+    // Active files: the *file* carries the policy, and it applies to any
+    // process (any user) by its own terms.
+    let world = AfsWorld::builder().user("intern").build();
+    world
+        .install_active_file(
+            "/hr/salaries.af",
+            &SentinelSpec::new("null", Strategy::DllOnly)
+                .backing(Backing::Memory)
+                .with("allow_users", "cfo"),
+        )
+        .expect("install");
+    let api = world.api();
+    assert_eq!(
+        api.create_file("/hr/salaries.af", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied),
+        "resource-centric: the file itself refuses this user"
+    );
+}
+
+/// Watchdogs can observe everything but transform nothing; an active
+/// file's sentinel does both with the same interposition point.
+#[test]
+fn watchdogs_observe_active_files_transform() {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+    let log = WatchdogLog::new();
+    world
+        .connector()
+        .install(Arc::new(WatchdogLayer::new("/plain", log.clone())))
+        .expect("watchdog");
+    let api = world.api();
+    api.create_directory("/plain").expect("mkdir");
+    let h = api
+        .create_file("/plain/f", Access::read_write(), Disposition::CreateNew)
+        .expect("create");
+    api.write_file(h, b"lowercase").expect("write");
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    let mut buf = [0u8; 9];
+    api.read_file(h, &mut buf).expect("read");
+    api.close_handle(h).expect("close");
+    assert_eq!(&buf, b"lowercase", "watchdog saw it but could not change it");
+    assert!(log.len() >= 4, "…and it did see every operation");
+
+    // The active file both observes (via its sentinel) and transforms.
+    world
+        .install_active_file(
+            "/loud.af",
+            &SentinelSpec::new("uppercase", Strategy::DllOnly).backing(Backing::Disk),
+        )
+        .expect("install");
+    let h = api
+        .create_file("/loud.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open");
+    api.write_file(h, b"lowercase").expect("write");
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("read");
+    assert_eq!(&buf, b"LOWERCASE");
+    api.close_handle(h).expect("close");
+}
+
+/// Layers compose: a Janus sandbox *around* active files still lets the
+/// sandboxed application use permitted active files — the approaches are
+/// complementary, as §2.3 suggests for sandboxing.
+#[test]
+fn janus_and_active_files_compose() {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+    world
+        .install_active_file(
+            "/tmp/ok.af",
+            &SentinelSpec::new("null", Strategy::DllThread).backing(Backing::Memory),
+        )
+        .expect("allowed active file");
+    world
+        .install_active_file(
+            "/secret/no.af",
+            &SentinelSpec::new("null", Strategy::DllThread).backing(Backing::Memory),
+        )
+        .expect("forbidden active file");
+    world
+        .connector()
+        .install(Arc::new(JanusLayer::new(JanusPolicy::new().allow("/tmp", true, true))))
+        .expect("sandbox on top");
+    let api = world.api();
+    let h = api
+        .create_file("/tmp/ok.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("permitted active file works through the sandbox");
+    api.write_file(h, b"x").expect("write");
+    api.close_handle(h).expect("close");
+    assert_eq!(
+        api.create_file("/secret/no.af", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied)
+    );
+}

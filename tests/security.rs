@@ -1,0 +1,151 @@
+//! Security semantics (§2.3): sentinels run under the opener's user id,
+//! opening is gated on access to the passive parts, and the code-signing
+//! extension refuses unsigned or tampered active parts.
+
+use activefiles::prelude::*;
+use activefiles::{SentinelCtx, SentinelLogic, SentinelResult};
+
+const SIGNING_KEY: u64 = 0xDEAD_BEEF_CAFE_F00D;
+
+fn signed_world() -> AfsWorld {
+    let world = AfsWorld::builder().require_signed(SIGNING_KEY).build();
+    register_standard_sentinels(&world);
+    world
+}
+
+#[test]
+fn unsigned_sentinel_refused_under_signing_policy() {
+    let world = signed_world();
+    world
+        .install_active_file(
+            "/u.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Memory),
+        )
+        .expect("install");
+    let api = world.api();
+    assert_eq!(
+        api.create_file("/u.af", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied),
+        "unsigned active part must not launch"
+    );
+}
+
+#[test]
+fn signed_sentinel_launches_and_tampering_revokes_it() {
+    let world = signed_world();
+    world
+        .install_active_file(
+            "/s.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Memory),
+        )
+        .expect("install");
+    world.sign_active_file("/s.af", SIGNING_KEY).expect("sign");
+    let api = world.api();
+    let h = api
+        .create_file("/s.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("signed file opens");
+    api.write_file(h, b"ok").expect("write");
+    api.close_handle(h).expect("close");
+
+    // Swap the spec after signing — the "virus" scenario: the signature
+    // no longer verifies and the sentinel is refused.
+    world
+        .install_active_file(
+            "/s.af",
+            &SentinelSpec::new("random", Strategy::DllOnly).with("seed", "666"),
+        )
+        .expect("tamper");
+    assert_eq!(
+        api.create_file("/s.af", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied)
+    );
+}
+
+#[test]
+fn signature_signed_with_wrong_key_is_refused() {
+    let world = signed_world();
+    world
+        .install_active_file(
+            "/w.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Memory),
+        )
+        .expect("install");
+    world.sign_active_file("/w.af", SIGNING_KEY ^ 1).expect("sign with wrong key");
+    let api = world.api();
+    assert_eq!(
+        api.create_file("/w.af", Access::read_only(), Disposition::OpenExisting),
+        Err(Win32Error::AccessDenied)
+    );
+}
+
+#[test]
+fn worlds_without_the_policy_do_not_require_signatures() {
+    let world = AfsWorld::new();
+    world
+        .install_active_file(
+            "/free.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Memory),
+        )
+        .expect("install");
+    let api = world.api();
+    let h = api
+        .create_file("/free.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open without signature");
+    api.close_handle(h).expect("close");
+}
+
+/// A sentinel that records who ran it.
+struct WhoAmI;
+
+impl SentinelLogic for WhoAmI {
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let user = ctx.user().as_bytes();
+        let start = (offset as usize).min(user.len());
+        let n = buf.len().min(user.len() - start);
+        buf[..n].copy_from_slice(&user[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+        Err(activefiles::SentinelError::Unsupported)
+    }
+}
+
+#[test]
+fn sentinel_runs_under_the_openers_user_id() {
+    // §2.3: the sentinel "launches a program under the user-id of the
+    // application that opened the file".
+    let world = AfsWorld::builder().user("eve@corp").build();
+    world.sentinels().register("whoami", |_| Box::new(WhoAmI));
+    world
+        .install_active_file("/id.af", &SentinelSpec::new("whoami", Strategy::ProcessControl))
+        .expect("install");
+    let api = world.api();
+    let h = api
+        .create_file("/id.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 32];
+    let n = api.read_file(h, &mut buf).expect("read");
+    assert_eq!(&buf[..n], b"eve@corp");
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn copying_a_signed_active_file_carries_the_signature() {
+    // Streams travel with the file, so a copy of a signed active file is
+    // still signed (same key, same spec bytes).
+    let world = signed_world();
+    world
+        .install_active_file(
+            "/a.af",
+            &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Disk),
+        )
+        .expect("install");
+    world.sign_active_file("/a.af", SIGNING_KEY).expect("sign");
+    let api = world.api();
+    api.copy_file("/a.af", "/b.af").expect("copy");
+    let h = api
+        .create_file("/b.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("copy is signed too");
+    api.close_handle(h).expect("close");
+}

@@ -1,0 +1,161 @@
+//! End-to-end shell-script scenarios plus concurrency over shared active
+//! handles and virtual-clock propagation through the full stack.
+
+use activefiles::prelude::*;
+use activefiles::shell::Shell;
+use std::sync::Arc;
+
+#[test]
+fn shell_script_full_workflow() {
+    let mut sh = Shell::new();
+    let out = sh
+        .run_script(
+            "demo\n\
+             mkdir /work\n\
+             install /work/report.af merge control memory service=files remotes=/pub/motd,/pub/data.csv separator=---\\n\n\
+             cat /work/report.af\n\
+             install /work/notes.af compress dll disk\n\
+             append /work/notes.af the quick brown fox\n\
+             cat /work/notes.af\n\
+             stat /work/notes.af\n",
+        )
+        .expect("script runs");
+    assert!(out.contains("welcome to the active files demo"));
+    assert!(out.contains("region,units"));
+    assert!(out.contains("the quick brown fox"));
+    assert!(out.contains("active: compress"));
+}
+
+#[test]
+fn shell_copy_of_active_file_stays_active() {
+    let mut sh = Shell::new();
+    sh.run_script("install /a.af uppercase dll disk\nappend /a.af abc\ncp /a.af /b.af")
+        .expect("script");
+    assert_eq!(sh.run("cat /b.af").expect("cat"), "ABC");
+    assert!(sh.run("stat /b.af").expect("stat").contains("active: uppercase"));
+}
+
+#[test]
+fn concurrent_threads_share_one_active_handle_safely() {
+    // The per-handle op lock must serialise concurrent callers over one
+    // handle: every write lands fully, no reply/data desynchronisation.
+    let world = Arc::new(AfsWorld::new());
+    register_standard_sentinels(&world);
+    world
+        .install_active_file(
+            "/shared.af",
+            &SentinelSpec::new("shared-log", Strategy::ProcessControl).backing(Backing::Disk),
+        )
+        .expect("install");
+    let api = world.api();
+    let h = api
+        .create_file("/shared.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open once");
+    let mut threads = Vec::new();
+    for t in 0..6u8 {
+        let api = api.clone();
+        threads.push(std::thread::spawn(move || {
+            for i in 0..40 {
+                let rec = format!("({t}:{i:02})");
+                api.write_file(h, rec.as_bytes()).expect("write");
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("join");
+    }
+    // Ask the sentinel for the size — also drains/synchronises writes.
+    let size = api.get_file_size(h).expect("size");
+    assert_eq!(size, 6 * 40 * 6, "every 6-byte record landed exactly once");
+    api.close_handle(h).expect("close");
+    // Verify no torn records.
+    let api = world.api();
+    let h = api
+        .create_file("/shared.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("reopen");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 256];
+    loop {
+        let n = api.read_file(h, &mut buf).expect("read");
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    api.close_handle(h).expect("close");
+    let text = String::from_utf8(out).expect("utf8");
+    assert_eq!(text.matches('(').count(), 240);
+    for record in text.split_inclusive(')') {
+        assert!(
+            record.len() == 6 && record.starts_with('(') && record.ends_with(')'),
+            "torn record {record:?}"
+        );
+    }
+}
+
+#[test]
+fn virtual_time_flows_through_open_use_close() {
+    use activefiles::{clock, HardwareProfile};
+    let world = AfsWorld::builder().profile(HardwareProfile::pentium_ii_300()).build();
+    register_standard_sentinels(&world);
+    world
+        .install_active_file(
+            "/t.af",
+            &SentinelSpec::new("null", Strategy::ProcessControl).backing(Backing::Disk),
+        )
+        .expect("install");
+    let api = world.api();
+    let _guard = clock::install(0);
+    let h = api
+        .create_file("/t.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open");
+    let after_open = clock::now();
+    api.write_file(h, &[7u8; 1024]).expect("write");
+    let after_write = clock::now();
+    assert!(after_write > after_open, "writes cost virtual time");
+    let mut buf = [0u8; 1024];
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("read");
+    let after_read = clock::now();
+    // The read must include the sentinel's disk access (250 µs at least).
+    assert!(
+        after_read - after_write >= 250_000,
+        "read must carry the sentinel's disk latency, got {} ns",
+        after_read - after_write
+    );
+    api.close_handle(h).expect("close");
+    assert!(clock::now() >= after_read, "close joins the sentinel's final clock");
+}
+
+#[test]
+fn many_sequential_opens_do_not_leak_sentinels() {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+    world
+        .install_active_file(
+            "/cycle.af",
+            &SentinelSpec::new("null", Strategy::DllThread).backing(Backing::Memory),
+        )
+        .expect("install");
+    let api = world.api();
+    for i in 0..200 {
+        let h = api
+            .create_file("/cycle.af", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        api.write_file(h, format!("{i}").as_bytes()).expect("write");
+        api.close_handle(h).expect("close");
+    }
+    assert_eq!(world.open_sentinel_count(), 0, "every sentinel reaped");
+}
+
+#[test]
+fn bundled_demo_script_runs_clean() {
+    let script = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("scripts/demo.afsh"),
+    )
+    .expect("demo script present");
+    let mut sh = Shell::new();
+    let out = sh.run_script(&script).expect("demo script runs without error");
+    assert!(out.contains("welcome to the active files demo"));
+    assert!(out.contains("active: compress"));
+}
