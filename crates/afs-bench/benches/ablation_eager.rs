@@ -24,7 +24,9 @@ fn setup(readahead: bool) -> (AfsWorld, afs_interpose::ApiHandle, afs_winapi::Ha
     afs_sentinels::register_all(world.sentinels());
     let server = FileServer::new();
     server.seed("/blob", &vec![3u8; TOTAL]);
-    world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
     world
         .install_active_file(
             "/m.af",
@@ -52,7 +54,8 @@ fn bench(c: &mut Criterion) {
         let mut buf = vec![0u8; BLOCK];
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
-                api.set_file_pointer(h, 0, SeekMethod::Begin).expect("rewind");
+                api.set_file_pointer(h, 0, SeekMethod::Begin)
+                    .expect("rewind");
                 let mut total = 0;
                 while total < TOTAL {
                     total += api.read_file(h, &mut buf).expect("read");

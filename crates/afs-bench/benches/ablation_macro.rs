@@ -15,7 +15,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_macro");
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_millis(900));
-    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
         let (world, file) = afs_bench::build_world_for_bench(
             PathKind::Memory,
             strategy,

@@ -38,7 +38,11 @@ fn bench(c: &mut Criterion) {
     }
 
     // Null sentinel under each strategy.
-    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
         let world = AfsWorld::builder().profile(HardwareProfile::free()).build();
         world
             .install_active_file(

@@ -19,29 +19,34 @@ fn bench(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(TOTAL as u64));
     group.sample_size(20);
     for capacity in [1 << 10, 4 << 10, 16 << 10, 64 << 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, &cap| {
-            b.iter(|| {
-                let (tx, rx) = Pipe::with_capacity(CostModel::free(), CrossingKind::InterProcess, cap);
-                let consumer = std::thread::spawn(move || {
-                    let mut buf = [0u8; CHUNK];
-                    let mut total = 0usize;
-                    loop {
-                        match rx.read(&mut buf) {
-                            Ok(0) => break,
-                            Ok(n) => total += n,
-                            Err(_) => break,
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let (tx, rx) =
+                        Pipe::with_capacity(CostModel::free(), CrossingKind::InterProcess, cap);
+                    let consumer = std::thread::spawn(move || {
+                        let mut buf = [0u8; CHUNK];
+                        let mut total = 0usize;
+                        loop {
+                            match rx.read(&mut buf) {
+                                Ok(0) => break,
+                                Ok(n) => total += n,
+                                Err(_) => break,
+                            }
                         }
+                        total
+                    });
+                    let chunk = [0xAAu8; CHUNK];
+                    for _ in 0..TOTAL / CHUNK {
+                        tx.write(&chunk).expect("write");
                     }
-                    total
-                });
-                let chunk = [0xAAu8; CHUNK];
-                for _ in 0..TOTAL / CHUNK {
-                    tx.write(&chunk).expect("write");
-                }
-                drop(tx);
-                assert_eq!(consumer.join().expect("join"), TOTAL);
-            })
-        });
+                    drop(tx);
+                    assert_eq!(consumer.join().expect("join"), TOTAL);
+                })
+            },
+        );
     }
     group.finish();
 }

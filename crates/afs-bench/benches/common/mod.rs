@@ -24,8 +24,11 @@ pub const BLOCKS: [usize; 3] = [8, 128, 2048];
 
 /// Strategies with seek support (the wall-clock loop rewinds between
 /// reads).
-pub const STRATEGIES: [Strategy; 3] =
-    [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly];
+pub const STRATEGIES: [Strategy; 3] = [
+    Strategy::ProcessControl,
+    Strategy::DllThread,
+    Strategy::DllOnly,
+];
 
 /// Builds a world + open handle for one configuration.
 pub fn setup(
@@ -40,7 +43,9 @@ pub fn setup(
         PathKind::Remote => {
             let server = FileServer::new();
             server.seed("/blob", &vec![7u8; bytes]);
-            world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+            world
+                .net()
+                .register("files", Arc::clone(&server) as Arc<dyn Service>);
             world
                 .install_active_file(
                     file,
@@ -51,9 +56,16 @@ pub fn setup(
                 .expect("install");
         }
         PathKind::Disk | PathKind::Memory => {
-            let backing = if path == PathKind::Disk { Backing::Disk } else { Backing::Memory };
+            let backing = if path == PathKind::Disk {
+                Backing::Disk
+            } else {
+                Backing::Memory
+            };
             world
-                .install_active_file(file, &SentinelSpec::new("mirror", strategy).backing(backing))
+                .install_active_file(
+                    file,
+                    &SentinelSpec::new("mirror", strategy).backing(backing),
+                )
                 .expect("install");
             world
                 .vfs()
@@ -78,16 +90,12 @@ pub fn bench_panel(c: &mut Criterion, path: PathKind, panel_name: &str) {
         for block in BLOCKS {
             let (_world, api, h) = setup(path, strategy, block.max(64));
             let mut buf = vec![0u8; block];
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), block),
-                &block,
-                |b, _| {
-                    b.iter(|| {
-                        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
-                        api.read_file(h, &mut buf).expect("read")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), block), &block, |b, _| {
+                b.iter(|| {
+                    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+                    api.read_file(h, &mut buf).expect("read")
+                })
+            });
             api.close_handle(h).expect("close");
         }
     }
@@ -101,16 +109,12 @@ pub fn bench_panel(c: &mut Criterion, path: PathKind, panel_name: &str) {
         for block in BLOCKS {
             let (_world, api, h) = setup(path, strategy, block.max(64));
             let buf = vec![0u8; block];
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), block),
-                &block,
-                |b, _| {
-                    b.iter(|| {
-                        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
-                        api.write_file(h, &buf).expect("write")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), block), &block, |b, _| {
+                b.iter(|| {
+                    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+                    api.write_file(h, &buf).expect("write")
+                })
+            });
             api.close_handle(h).expect("close");
         }
     }

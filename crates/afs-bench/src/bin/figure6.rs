@@ -5,19 +5,21 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--simple-process]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
 //! copies, switches) that explains *why* the curves order the way they
-//! do; `--simple-process` adds the §4.1 strategy as an extra series;
-//! `--profile modern` reruns the sweep with present-day constants as an
-//! ablation; `--csv` emits machine-readable rows
+//! do; `--trace` appends the per-op [`afs_sim::OpTrace`] summary — the
+//! live §4 cost profile (crossings/copies per op) as the strategy handles
+//! recorded it; `--simple-process` adds the §4.1 strategy as an extra
+//! series; `--profile modern` reruns the sweep with present-day constants
+//! as an ablation; `--csv` emits machine-readable rows
 //! (`panel,direction,strategy,block,mean_us`) for plotting.
 
 use afs_bench::{
-    measure, render_panel, run_panel, Direction, PathKind, BLOCK_SIZES, DEFAULT_OPS,
-    FIGURE6_STRATEGIES,
+    measure, measure_traced, render_panel, run_panel, Direction, PathKind, BLOCK_SIZES,
+    DEFAULT_OPS, FIGURE6_STRATEGIES,
 };
 use afs_core::Strategy;
 use afs_sim::HardwareProfile;
@@ -27,6 +29,7 @@ fn main() {
     let mut ops = DEFAULT_OPS;
     let mut profile = HardwareProfile::pentium_ii_300();
     let mut show_copies = false;
+    let mut show_trace = false;
     let mut simple_process = false;
     let mut csv = false;
     let mut i = 0;
@@ -49,6 +52,7 @@ fn main() {
                 };
             }
             "--copies" => show_copies = true,
+            "--trace" => show_trace = true,
             "--simple-process" => simple_process = true,
             other => die(&format!("unknown flag {other}")),
         }
@@ -59,7 +63,11 @@ fn main() {
         println!("panel,direction,strategy,block,mean_us");
         for path in PathKind::ALL {
             for direction in [Direction::Read, Direction::Write] {
-                let dir = if direction == Direction::Read { "read" } else { "write" };
+                let dir = if direction == Direction::Read {
+                    "read"
+                } else {
+                    "write"
+                };
                 let panel = run_panel(path, direction, ops, &profile);
                 for (si, strategy) in FIGURE6_STRATEGIES.iter().enumerate() {
                     for (bi, block) in BLOCK_SIZES.iter().enumerate() {
@@ -99,7 +107,14 @@ fn main() {
                 print!("{:>8}", "block");
                 println!("{:>10}", Strategy::Process.label());
                 for block in BLOCK_SIZES {
-                    let m = measure(path, Strategy::Process, direction, block, ops, profile.clone());
+                    let m = measure(
+                        path,
+                        Strategy::Process,
+                        direction,
+                        block,
+                        ops,
+                        profile.clone(),
+                    );
                     println!("{block:>8}{:>10.1}", m.mean_us());
                 }
             }
@@ -126,6 +141,37 @@ fn main() {
                     per(m.counters.pipe_copy_bytes + m.counters.memcpy_bytes),
                     per(m.counters.process_switches),
                     per(m.counters.thread_switches),
+                );
+            }
+        }
+    }
+
+    if show_trace {
+        println!();
+        println!("Per-op trace at block=2048, memory path ({ops} reads per strategy)");
+        println!(
+            "{:>14} {:>8} {:>6} {:>10} {:>9} {:>10} {:>9}",
+            "strategy", "op", "count", "bytes/op", "us/op", "cross/op", "copies/op"
+        );
+        for strategy in FIGURE6_STRATEGIES {
+            let (_, summary) = measure_traced(
+                PathKind::Memory,
+                strategy,
+                Direction::Read,
+                2048,
+                ops,
+                profile.clone(),
+            );
+            for row in summary {
+                println!(
+                    "{:>14} {:>8} {:>6} {:>10.1} {:>9.2} {:>10.2} {:>9.2}",
+                    row.strategy,
+                    row.op.label(),
+                    row.count,
+                    row.bytes_per_op(),
+                    row.micros_per_op(),
+                    row.crossings_per_op(),
+                    row.copies_per_op(),
                 );
             }
         }

@@ -32,8 +32,11 @@ pub const DEFAULT_OPS: usize = 1000;
 /// The three implementation series of Figure 6 (the simple process
 /// strategy of §4.1 is not plotted in the paper; the harness can still
 /// run it for the ablation).
-pub const FIGURE6_STRATEGIES: [Strategy; 3] =
-    [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly];
+pub const FIGURE6_STRATEGIES: [Strategy; 3] = [
+    Strategy::ProcessControl,
+    Strategy::DllThread,
+    Strategy::DllOnly,
+];
 
 /// The critical path the sentinel exercises (Figure 5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,7 +100,12 @@ impl Measurement {
 
 /// Builds a world configured for one Figure 6 cell and returns the active
 /// file path to drive.
-pub(crate) fn build_world(path: PathKind, strategy: Strategy, profile: HardwareProfile, total_bytes: usize) -> (AfsWorld, &'static str) {
+pub(crate) fn build_world(
+    path: PathKind,
+    strategy: Strategy,
+    profile: HardwareProfile,
+    total_bytes: usize,
+) -> (AfsWorld, &'static str) {
     let world = AfsWorld::builder().profile(profile).build();
     afs_sentinels::register_all(world.sentinels());
     let file = "/bench.af";
@@ -105,7 +113,9 @@ pub(crate) fn build_world(path: PathKind, strategy: Strategy, profile: HardwareP
         PathKind::Remote => {
             let server = FileServer::new();
             server.seed("/blob", &vec![0xA5u8; total_bytes]);
-            world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+            world
+                .net()
+                .register("files", Arc::clone(&server) as Arc<dyn Service>);
             world
                 .install_active_file(
                     file,
@@ -116,9 +126,16 @@ pub(crate) fn build_world(path: PathKind, strategy: Strategy, profile: HardwareP
                 .expect("install mirror");
         }
         PathKind::Disk | PathKind::Memory => {
-            let backing = if path == PathKind::Disk { Backing::Disk } else { Backing::Memory };
+            let backing = if path == PathKind::Disk {
+                Backing::Disk
+            } else {
+                Backing::Memory
+            };
             world
-                .install_active_file(file, &SentinelSpec::new("mirror", strategy).backing(backing))
+                .install_active_file(
+                    file,
+                    &SentinelSpec::new("mirror", strategy).backing(backing),
+                )
                 .expect("install mirror");
             // Pre-populate the data part so reads have bytes to return
             // (the memory cache warms from it on open).
@@ -159,6 +176,35 @@ pub fn measure(
 ) -> Measurement {
     let total = block * ops;
     let (world, file) = build_world(path, strategy, profile, total);
+    run_cell(&world, file, direction, block, ops)
+}
+
+/// Like [`measure`], but also returns the world's per-op trace summary —
+/// the observed §4 cost profile (crossings and copies per operation) for
+/// the cell, straight from the [`afs_sim::OpTrace`] ring.
+pub fn measure_traced(
+    path: PathKind,
+    strategy: Strategy,
+    direction: Direction,
+    block: usize,
+    ops: usize,
+    profile: HardwareProfile,
+) -> (Measurement, Vec<afs_sim::OpSummary>) {
+    let total = block * ops;
+    let (world, file) = build_world(path, strategy, profile, total);
+    let m = run_cell(&world, file, direction, block, ops);
+    (m, world.trace().summary())
+}
+
+/// Drives `ops` operations of `block` bytes against an already-built
+/// world's active file, timing each under a fresh virtual clock.
+fn run_cell(
+    world: &AfsWorld,
+    file: &str,
+    direction: Direction,
+    block: usize,
+    ops: usize,
+) -> Measurement {
     let api = world.api();
     let model = world.model().clone();
 
@@ -215,7 +261,9 @@ pub fn measure_baseline(
         PathKind::Remote => {
             let server = FileServer::new();
             server.seed("/blob", &vec![0xA5u8; total]);
-            world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+            world
+                .net()
+                .register("files", Arc::clone(&server) as Arc<dyn Service>);
             let client = FileClient::new(world.net().clone(), "files");
             let payload = vec![0u8; block];
             for i in 0..ops {
@@ -244,7 +292,8 @@ pub fn measure_baseline(
                 .create_file(vpath, Access::read_write(), Disposition::CreateAlways)
                 .expect("create");
             api.write_file(h, &vec![0xA5u8; total]).expect("seed");
-            api.set_file_pointer(h, 0, SeekMethod::Begin).expect("rewind");
+            api.set_file_pointer(h, 0, SeekMethod::Begin)
+                .expect("rewind");
             let payload = vec![0u8; block];
             let mut buf = vec![0u8; block];
             for _ in 0..ops {
@@ -296,7 +345,12 @@ pub struct Panel {
 }
 
 /// Runs one full panel of Figure 6.
-pub fn run_panel(path: PathKind, direction: Direction, ops: usize, profile: &HardwareProfile) -> Panel {
+pub fn run_panel(
+    path: PathKind,
+    direction: Direction,
+    ops: usize,
+    profile: &HardwareProfile,
+) -> Panel {
     let mut rows = Vec::new();
     for strategy in FIGURE6_STRATEGIES {
         let mut row = Vec::new();
@@ -309,7 +363,12 @@ pub fn run_panel(path: PathKind, direction: Direction, ops: usize, profile: &Har
         .iter()
         .map(|&block| measure_baseline(path, direction, block, ops, profile.clone()).mean_us())
         .collect();
-    Panel { path, direction, rows, baseline }
+    Panel {
+        path,
+        direction,
+        rows,
+        baseline,
+    }
 }
 
 /// Renders a panel as the text table the `figure6` binary prints.

@@ -51,7 +51,9 @@ impl Trace {
                 trace.push(TraceOp::Seek(pointer));
                 continue;
             }
-            let len = *[64usize, 256, 1024].get(rng.gen_range(0..3)).expect("index");
+            let len = *[64usize, 256, 1024]
+                .get(rng.gen_range(0..3))
+                .expect("index");
             if rng.gen_bool(read_fraction) {
                 trace.push(TraceOp::Read(len));
             } else {
@@ -60,7 +62,10 @@ impl Trace {
             pointer += len as u64;
             extent = extent.max(pointer);
         }
-        Trace { ops: trace, extent: extent.max(WINDOW) }
+        Trace {
+            ops: trace,
+            extent: extent.max(WINDOW),
+        }
     }
 
     /// The operations.
@@ -135,7 +140,12 @@ mod tests {
     fn read_fraction_biases_the_mix() {
         let heavy_read = Trace::generate(1, 400, 0.95);
         let heavy_write = Trace::generate(1, 400, 0.05);
-        let reads = |t: &Trace| t.ops().iter().filter(|o| matches!(o, TraceOp::Read(_))).count();
+        let reads = |t: &Trace| {
+            t.ops()
+                .iter()
+                .filter(|o| matches!(o, TraceOp::Read(_)))
+                .count()
+        };
         assert!(reads(&heavy_read) > 3 * reads(&heavy_write));
     }
 
@@ -143,8 +153,18 @@ mod tests {
     fn macro_replay_preserves_strategy_ordering() {
         let trace = Trace::generate(7, 120, 0.6);
         let profile = HardwareProfile::pentium_ii_300();
-        let process = replay_virtual_time(&trace, PathKind::Memory, Strategy::ProcessControl, profile.clone());
-        let thread = replay_virtual_time(&trace, PathKind::Memory, Strategy::DllThread, profile.clone());
+        let process = replay_virtual_time(
+            &trace,
+            PathKind::Memory,
+            Strategy::ProcessControl,
+            profile.clone(),
+        );
+        let thread = replay_virtual_time(
+            &trace,
+            PathKind::Memory,
+            Strategy::DllThread,
+            profile.clone(),
+        );
         let dll = replay_virtual_time(&trace, PathKind::Memory, Strategy::DllOnly, profile);
         assert!(
             process > thread && thread > dll,

@@ -91,11 +91,32 @@ fn writes_are_cheaper_than_reads_on_latency_paths() {
 fn disk_reads_are_the_most_expensive_panel() {
     // The paper's (b) read axis tops 720 µs versus 560 µs for (a) and
     // 210 µs for (c).
-    let remote = mean(PathKind::Remote, Strategy::ProcessControl, Direction::Read, 2048);
-    let disk = mean(PathKind::Disk, Strategy::ProcessControl, Direction::Read, 2048);
-    let memory = mean(PathKind::Memory, Strategy::ProcessControl, Direction::Read, 2048);
-    assert!(disk > remote, "disk ({disk:.1}) must exceed remote ({remote:.1})");
-    assert!(remote > memory, "remote ({remote:.1}) must exceed memory ({memory:.1})");
+    let remote = mean(
+        PathKind::Remote,
+        Strategy::ProcessControl,
+        Direction::Read,
+        2048,
+    );
+    let disk = mean(
+        PathKind::Disk,
+        Strategy::ProcessControl,
+        Direction::Read,
+        2048,
+    );
+    let memory = mean(
+        PathKind::Memory,
+        Strategy::ProcessControl,
+        Direction::Read,
+        2048,
+    );
+    assert!(
+        disk > remote,
+        "disk ({disk:.1}) must exceed remote ({remote:.1})"
+    );
+    assert!(
+        remote > memory,
+        "remote ({remote:.1}) must exceed memory ({memory:.1})"
+    );
 }
 
 #[test]
@@ -123,7 +144,12 @@ fn simple_process_strategy_is_at_least_as_slow_as_process_control_reads() {
     // league as the process-plus-control strategy (same copies, same
     // crossings).
     let simple = mean(PathKind::Memory, Strategy::Process, Direction::Read, 512);
-    let control = mean(PathKind::Memory, Strategy::ProcessControl, Direction::Read, 512);
+    let control = mean(
+        PathKind::Memory,
+        Strategy::ProcessControl,
+        Direction::Read,
+        512,
+    );
     assert!(
         simple > control * 0.3 && simple < control * 3.0,
         "simple process ({simple:.1}) should be within 3x of process-control ({control:.1})"
@@ -144,6 +170,10 @@ fn framework_itself_adds_no_cost_beyond_its_mechanics() {
             50,
             HardwareProfile::free(),
         );
-        assert_eq!(m.series.summarize().max_ns, 0, "{strategy:?} charged time on a free profile");
+        assert_eq!(
+            m.series.summarize().max_ns,
+            0,
+            "{strategy:?} charged time on a free profile"
+        );
     }
 }

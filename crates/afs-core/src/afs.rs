@@ -18,17 +18,17 @@ use std::sync::Arc;
 use afs_interpose::ApiLayer;
 use afs_ipc::SyncRegistry;
 use afs_net::Network;
-use afs_sim::CostModel;
+use afs_sim::{CostModel, OpTrace};
 use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
 use afs_winapi::{
-    Access, ApiResult, DelegateFileApi, Disposition, FileApi, FileInformation, Handle,
-    HandleTable, Layered, SeekMethod, ShareMode, Win32Error,
+    Access, ApiResult, DelegateFileApi, Disposition, FileApi, FileInformation, Handle, HandleTable,
+    Layered, SeekMethod, ShareMode, Win32Error,
 };
 
+use crate::ctx::SentinelCtx;
 use crate::registry::SentinelRegistry;
 use crate::spec::{SentinelSpec, Strategy};
 use crate::strategy::{self, ActiveOps};
-use crate::ctx::SentinelCtx;
 
 /// Handle-number base for active handles, disjoint from the passive
 /// layer's range so dispatch is unambiguous.
@@ -50,6 +50,7 @@ pub struct ActiveFileSystem {
     registry: SentinelRegistry,
     sync: SyncRegistry,
     model: CostModel,
+    trace: Arc<OpTrace>,
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
@@ -84,6 +85,7 @@ impl ActiveFileSystem {
             registry,
             sync,
             model,
+            trace: Arc::new(OpTrace::new()),
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
@@ -94,6 +96,12 @@ impl ActiveFileSystem {
     /// sentinel).
     pub fn open_sentinels(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The per-world observability ring: every operation on every active
+    /// handle records strategy, kind, bytes, time, crossings, and copies.
+    pub fn trace(&self) -> &Arc<OpTrace> {
+        &self.trace
     }
 
     /// Decides whether `path` names an active file: the file exists and
@@ -164,26 +172,45 @@ impl ActiveFileSystem {
                 // Prefer a hand-written process sentinel; fall back to the
                 // adapted logic pump.
                 if let Some(raw) = self.registry.instantiate_raw(&spec) {
-                    strategy::process::open_raw(raw, ctx, self.model.clone())
+                    strategy::process::open_raw(
+                        raw,
+                        ctx,
+                        self.model.clone(),
+                        Arc::clone(&self.trace),
+                    )
                 } else {
                     let logic = self
                         .registry
                         .instantiate(&spec)
                         .ok_or(Win32Error::FileNotFound)?;
-                    strategy::process::open_logic(logic, ctx, self.model.clone())?
+                    strategy::process::open_logic(
+                        logic,
+                        ctx,
+                        self.model.clone(),
+                        Arc::clone(&self.trace),
+                    )?
                 }
             }
             Strategy::ProcessControl => {
-                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
-                strategy::control::open(logic, ctx, self.model.clone())?
+                let logic = self
+                    .registry
+                    .instantiate(&spec)
+                    .ok_or(Win32Error::FileNotFound)?;
+                strategy::control::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
             }
             Strategy::DllThread => {
-                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
-                strategy::thread::open(logic, ctx, self.model.clone())?
+                let logic = self
+                    .registry
+                    .instantiate(&spec)
+                    .ok_or(Win32Error::FileNotFound)?;
+                strategy::thread::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
             }
             Strategy::DllOnly => {
-                let logic = self.registry.instantiate(&spec).ok_or(Win32Error::FileNotFound)?;
-                strategy::dll::open(logic, ctx)?
+                let logic = self
+                    .registry
+                    .instantiate(&spec)
+                    .ok_or(Win32Error::FileNotFound)?;
+                strategy::dll::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
             }
         };
         Ok(self.handles.insert(ActiveEntry { ops, access }))
@@ -202,7 +229,12 @@ impl DelegateFileApi for ActiveFileSystem {
         &*self.inner
     }
 
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         match self.active_spec(path) {
             Some((vpath, spec)) => self.open_active(vpath, spec, access, disposition),
             None => self.delegate().create_file(path, access, disposition),
@@ -222,7 +254,9 @@ impl DelegateFileApi for ActiveFileSystem {
             // synchronise among themselves), so share modes do not gate
             // active opens.
             Some((vpath, spec)) => self.open_active(vpath, spec, access, disposition),
-            None => self.delegate().create_file_shared(path, access, share, disposition),
+            None => self
+                .delegate()
+                .create_file_shared(path, access, share, disposition),
         }
     }
 
@@ -277,17 +311,12 @@ impl DelegateFileApi for ActiveFileSystem {
             // "Operations such as ReadFileScatter that do not have direct
             // correspondence with operations on pipes are simply dropped"
             // for pipe strategies (Appendix A.2); strategies with control
-            // channels emulate via sequential reads.
+            // channels run it as one protocol round trip.
             Some(entry) => {
-                let mut total = 0;
-                for buf in bufs.iter_mut() {
-                    let n = entry.ops.read(buf)?;
-                    total += n;
-                    if n < buf.len() {
-                        break;
-                    }
+                if !entry.access.read {
+                    return Err(Win32Error::AccessDenied);
                 }
-                Ok(total)
+                entry.ops.read_scatter(bufs)
             }
             None => self.delegate().read_file_scatter(handle, bufs),
         }
@@ -348,6 +377,16 @@ impl DelegateFileApi for ActiveFileSystem {
             None => self.delegate().set_end_of_file(handle),
         }
     }
+
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        match self.active(handle) {
+            // The control lane of §4.2/A.3: the request travels to the
+            // sentinel's `control` hook over the strategy's command
+            // channel.
+            Some(entry) => entry.ops.control(code, input),
+            None => self.delegate().device_io_control(handle, code, input),
+        }
+    }
 }
 
 /// The installable interception layer carrying an [`ActiveFileSystem`]
@@ -359,6 +398,7 @@ pub struct ActiveFilesLayer {
     registry: SentinelRegistry,
     sync: SyncRegistry,
     model: CostModel,
+    trace: Arc<OpTrace>,
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
@@ -381,10 +421,17 @@ impl ActiveFilesLayer {
             registry,
             sync,
             model,
+            trace: Arc::new(OpTrace::new()),
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
         }
+    }
+
+    /// The layer-wide observability ring shared by every
+    /// [`ActiveFileSystem`] instance this layer wraps.
+    pub fn trace(&self) -> &Arc<OpTrace> {
+        &self.trace
     }
 
     /// Enables the code-signing policy: opens refuse unsigned or
@@ -414,6 +461,7 @@ impl ApiLayer for ActiveFilesLayer {
             registry: self.registry.clone(),
             sync: self.sync.clone(),
             model: self.model.clone(),
+            trace: Arc::clone(&self.trace),
             user: self.user.clone(),
             signing_key: self.signing_key,
             handles: Arc::clone(&self.handles),

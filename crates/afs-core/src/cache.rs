@@ -167,13 +167,17 @@ impl CacheStore {
             CacheStore::Memory { data, model } => {
                 data.clear();
                 data.extend_from_slice(contents);
-                model.charge(Cost::Memcpy { bytes: contents.len() });
+                model.charge(Cost::Memcpy {
+                    bytes: contents.len(),
+                });
                 Ok(())
             }
             CacheStore::Disk { vfs, path, model } => {
                 model.charge(Cost::Syscall);
                 vfs.write_stream_replace(path, contents)?;
-                model.charge(Cost::DiskWriteBytes { bytes: contents.len() });
+                model.charge(Cost::DiskWriteBytes {
+                    bytes: contents.len(),
+                });
                 Ok(())
             }
         }
@@ -255,7 +259,8 @@ mod tests {
         let (vfs, mut store, model) = disk_store();
         store.write_at(0, b"persisted").expect("write");
         assert_eq!(
-            vfs.read_stream_to_end(&VPath::parse("/f.af").expect("p")).expect("read"),
+            vfs.read_stream_to_end(&VPath::parse("/f.af").expect("p"))
+                .expect("read"),
             b"persisted"
         );
         let mut buf = [0u8; 9];
@@ -270,8 +275,12 @@ mod tests {
         let vfs = Arc::new(Vfs::new());
         let path = VPath::parse("/f.af").expect("path");
         vfs.create_file(&path).expect("create");
-        let mut store =
-            CacheStore::new(Backing::Memory, Arc::clone(&vfs), path.clone(), CostModel::free());
+        let mut store = CacheStore::new(
+            Backing::Memory,
+            Arc::clone(&vfs),
+            path.clone(),
+            CostModel::free(),
+        );
         store.write_at(0, b"ram").expect("write");
         store.persist(&vfs, &path);
         assert_eq!(vfs.read_stream_to_end(&path).expect("read"), b"ram");

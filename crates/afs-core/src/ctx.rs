@@ -11,10 +11,10 @@ use std::sync::Arc;
 
 use afs_ipc::{NamedSemaphore, SyncRegistry};
 use afs_net::Network;
-use afs_winapi::FileApi;
 use afs_remote::{DbClient, FileClient, MailClient, QuoteClient, RegistryClient};
 use afs_sim::CostModel;
 use afs_vfs::{VPath, Vfs};
+use afs_winapi::FileApi;
 
 use crate::cache::CacheStore;
 use crate::logic::{SentinelError, SentinelResult};
@@ -269,7 +269,9 @@ mod tests {
         c.cache().write_at(0, b"keep").expect("write");
         c.persist_cache();
         assert_eq!(
-            c.vfs().read_stream_to_end(&VPath::parse("/t.af").expect("p")).expect("read"),
+            c.vfs()
+                .read_stream_to_end(&VPath::parse("/t.af").expect("p"))
+                .expect("read"),
             b"keep"
         );
     }

@@ -95,7 +95,8 @@ pub trait SentinelLogic: Send {
     /// # Errors
     ///
     /// Any [`SentinelError`]; surfaced to the application's `ReadFile`.
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize>;
+    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8])
+        -> SentinelResult<usize>;
 
     /// Consumes `data` written at `offset`; returns bytes accepted.
     ///
@@ -114,6 +115,26 @@ pub trait SentinelLogic: Send {
     /// [`SentinelError::Unsupported`].
     fn len(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<u64> {
         ctx.cache().len()
+    }
+
+    /// Backs `DeviceIoControl`: an out-of-band request identified by
+    /// `code` with an opaque `payload`, returning opaque response bytes.
+    /// This is the paper's `AF_Control`/"control information" lane (§4.2,
+    /// Appendix A.3); sentinels use it for knobs that are not reads or
+    /// writes (e.g. toggling readahead).
+    ///
+    /// # Errors
+    ///
+    /// Default: [`SentinelError::Unsupported`] — most sentinels have no
+    /// control surface.
+    fn control(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        code: u32,
+        payload: &[u8],
+    ) -> SentinelResult<Vec<u8>> {
+        let _ = (ctx, code, payload);
+        Err(SentinelError::Unsupported)
     }
 
     /// Backs `FlushFileBuffers`; write-behind sentinels push pending data
@@ -156,7 +177,12 @@ impl NullSentinel {
 }
 
 impl SentinelLogic for NullSentinel {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 

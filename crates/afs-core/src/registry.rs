@@ -59,7 +59,10 @@ impl SentinelRegistry {
     where
         F: Fn(&SentinelSpec) -> Box<dyn SentinelLogic> + Send + Sync + 'static,
     {
-        self.entries.write().logic.insert(name.to_owned(), Arc::new(factory));
+        self.entries
+            .write()
+            .logic
+            .insert(name.to_owned(), Arc::new(factory));
     }
 
     /// Registers a hand-written process sentinel (Figure 2 style) under
@@ -68,7 +71,10 @@ impl SentinelRegistry {
     where
         F: Fn(&SentinelSpec) -> Box<dyn RawProcessSentinel> + Send + Sync + 'static,
     {
-        self.entries.write().raw.insert(name.to_owned(), Arc::new(factory));
+        self.entries
+            .write()
+            .raw
+            .insert(name.to_owned(), Arc::new(factory));
     }
 
     /// Instantiates the named logic for one open.

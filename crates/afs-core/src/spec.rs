@@ -172,7 +172,10 @@ impl SentinelSpec {
     /// Encodes the spec for storage in the `:active` stream.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.str(&self.name).u8(self.strategy.tag()).u8(self.backing.tag()).seq(self.config.len());
+        w.str(&self.name)
+            .u8(self.strategy.tag())
+            .u8(self.backing.tag())
+            .seq(self.config.len());
         for (k, v) in &self.config {
             w.str(k).str(v);
         }
@@ -197,7 +200,12 @@ impl SentinelSpec {
             config.insert(k, v);
         }
         r.finish()?;
-        Ok(SentinelSpec { name, strategy, backing, config })
+        Ok(SentinelSpec {
+            name,
+            strategy,
+            backing,
+            config,
+        })
     }
 }
 
@@ -227,14 +235,20 @@ mod tests {
         assert!(SentinelSpec::decode(&[1, 2, 3]).is_err());
         let mut good = SentinelSpec::new("x", Strategy::DllOnly).encode();
         good.push(0xFF);
-        assert!(SentinelSpec::decode(&good).is_err(), "trailing bytes rejected");
+        assert!(
+            SentinelSpec::decode(&good).is_err(),
+            "trailing bytes rejected"
+        );
     }
 
     #[test]
     fn bad_strategy_tag_rejected() {
         let mut w = WireWriter::new();
         w.str("x").u8(99).u8(0).seq(0);
-        assert_eq!(SentinelSpec::decode(&w.finish()), Err(WireError::BadTag(99)));
+        assert_eq!(
+            SentinelSpec::decode(&w.finish()),
+            Err(WireError::BadTag(99))
+        );
     }
 
     #[test]

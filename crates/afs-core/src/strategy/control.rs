@@ -6,187 +6,25 @@
 //! 'read 50' command is sent to the sentinel, and then 50 bytes are read
 //! from the read pipe."
 //!
-//! The application-side `DispatchHandle` here is shared with the
-//! DLL-with-thread strategy (§4.3), which plugs in shared-memory
-//! transports instead of pipes — the protocol is identical, only the
-//! boundary (and therefore the charged crossings and copies) changes.
+//! The wiring is [`PairTransport::kernel`]: kernel control channels plus
+//! two anonymous pipes across the process boundary, driven by the same
+//! [`StrategyHandle`] as every other strategy — the DLL-with-thread
+//! strategy (§4.3) plugs in shared-memory transports instead, which is
+//! precisely the paper's point that the strategies trade copies and
+//! crossings, not semantics.
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use afs_ipc::{ControlChannel, ControlReceiver, ControlSender, Pipe};
-use afs_sim::{CostModel, CrossingKind, SimTime};
-use afs_winapi::{SeekMethod, Win32Error};
+use afs_ipc::PairTransport;
+use afs_sim::{CostModel, OpTrace};
+use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
-use crate::logic::{SentinelError, SentinelLogic};
-use crate::strategy::{
-    dispatch_loop, reap, spawn_sentinel, to_win32, ActiveOps, Command, DataRx, DataTx, Reply,
-};
-
-/// Application-side handle implementing the command/reply protocol over
-/// arbitrary data transports.
-pub(crate) struct DispatchHandle<Tx: DataTx + Sync, Rx: DataRx + Sync> {
-    commands: ControlSender<Command>,
-    replies: ControlReceiver<Reply>,
-    data_to_sentinel: Tx,
-    data_from_sentinel: Rx,
-    crossing: CrossingKind,
-    model: CostModel,
-    pointer: Mutex<u64>,
-    op_lock: Mutex<()>,
-    sticky: Arc<Mutex<Option<SentinelError>>>,
-    join: Mutex<Option<JoinHandle<SimTime>>>,
-}
-
-impl<Tx: DataTx + Sync, Rx: DataRx + Sync> DispatchHandle<Tx, Rx> {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        commands: ControlSender<Command>,
-        replies: ControlReceiver<Reply>,
-        data_to_sentinel: Tx,
-        data_from_sentinel: Rx,
-        crossing: CrossingKind,
-        model: CostModel,
-        sticky: Arc<Mutex<Option<SentinelError>>>,
-        join: JoinHandle<SimTime>,
-    ) -> Self {
-        DispatchHandle {
-            commands,
-            replies,
-            data_to_sentinel,
-            data_from_sentinel,
-            crossing,
-            model,
-            pointer: Mutex::new(0),
-            op_lock: Mutex::new(()),
-            sticky,
-            join: Mutex::new(Some(join)),
-        }
-    }
-
-    fn charge_round_trip(&self) {
-        for _ in 0..self.crossing.round_trip_switches() {
-            self.model.charge(afs_sim::Cost::Crossing(self.crossing));
-        }
-    }
-
-    fn check_sticky(&self) -> Result<(), Win32Error> {
-        match self.sticky.lock().take() {
-            Some(e) => Err(to_win32(&e)),
-            None => Ok(()),
-        }
-    }
-
-    fn recv_reply(&self) -> Result<Reply, Win32Error> {
-        self.replies.recv().map_err(|_| Win32Error::BrokenPipe)
-    }
-}
-
-impl<Tx: DataTx + Sync, Rx: DataRx + Sync> ActiveOps for DispatchHandle<Tx, Rx> {
-    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
-        let _op = self.op_lock.lock();
-        self.check_sticky()?;
-        self.charge_round_trip();
-        let mut pointer = self.pointer.lock();
-        self.commands
-            .send(Command::Read { offset: *pointer, len: buf.len() as u32 })
-            .map_err(|_| Win32Error::BrokenPipe)?;
-        match self.recv_reply()? {
-            Reply::Read { n } => {
-                let n = n as usize;
-                if n > 0 {
-                    self.data_from_sentinel
-                        .recv_exact(&mut buf[..n])
-                        .map_err(|_| Win32Error::BrokenPipe)?;
-                }
-                *pointer += n as u64;
-                Ok(n)
-            }
-            Reply::Failed(e) => Err(to_win32(&e)),
-            _ => Err(Win32Error::BrokenPipe),
-        }
-    }
-
-    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
-        let _op = self.op_lock.lock();
-        self.check_sticky()?;
-        self.charge_round_trip();
-        let mut pointer = self.pointer.lock();
-        self.commands
-            .send(Command::Write { offset: *pointer, len: data.len() as u32 })
-            .map_err(|_| Win32Error::BrokenPipe)?;
-        if !data.is_empty() {
-            self.data_to_sentinel
-                .send(data)
-                .map_err(|_| Win32Error::BrokenPipe)?;
-        }
-        *pointer += data.len() as u64;
-        Ok(data.len())
-    }
-
-    fn seek(&self, offset: i64, method: SeekMethod) -> Result<u64, Win32Error> {
-        // Seeks are resolved application-side: commands carry absolute
-        // offsets, so moving the pointer costs nothing remote — except
-        // End-relative seeks, which need the size.
-        let base: i64 = match method {
-            SeekMethod::Begin => 0,
-            SeekMethod::Current => *self.pointer.lock() as i64,
-            SeekMethod::End => self.size()? as i64,
-        };
-        let target = base.checked_add(offset).ok_or(Win32Error::InvalidParameter)?;
-        if target < 0 {
-            return Err(Win32Error::InvalidParameter);
-        }
-        *self.pointer.lock() = target as u64;
-        Ok(target as u64)
-    }
-
-    fn size(&self) -> Result<u64, Win32Error> {
-        let _op = self.op_lock.lock();
-        self.check_sticky()?;
-        self.charge_round_trip();
-        self.commands.send(Command::GetSize).map_err(|_| Win32Error::BrokenPipe)?;
-        match self.recv_reply()? {
-            Reply::Size(n) => Ok(n),
-            Reply::Failed(e) => Err(to_win32(&e)),
-            _ => Err(Win32Error::BrokenPipe),
-        }
-    }
-
-    fn flush(&self) -> Result<(), Win32Error> {
-        let _op = self.op_lock.lock();
-        self.check_sticky()?;
-        self.charge_round_trip();
-        self.commands.send(Command::Flush).map_err(|_| Win32Error::BrokenPipe)?;
-        match self.recv_reply()? {
-            Reply::Done => Ok(()),
-            Reply::Failed(e) => Err(to_win32(&e)),
-            _ => Err(Win32Error::BrokenPipe),
-        }
-    }
-
-    fn close(&self) -> Result<(), Win32Error> {
-        let result = {
-            let _op = self.op_lock.lock();
-            self.charge_round_trip();
-            match self.commands.send(Command::Close) {
-                Ok(()) => match self.recv_reply() {
-                    Ok(Reply::Done) => Ok(()),
-                    Ok(Reply::Failed(e)) => Err(to_win32(&e)),
-                    _ => Err(Win32Error::BrokenPipe),
-                },
-                // Sentinel already gone; close is idempotent.
-                Err(_) => Ok(()),
-            }
-        };
-        reap(&self.join);
-        let sticky = self.check_sticky();
-        result.and(sticky)
-    }
-}
+use crate::logic::SentinelLogic;
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{dispatch_loop, spawn_sentinel, to_win32, ActiveOps, Op, OpReply};
 
 /// Builds the process-plus-control strategy for one open: runs the open
 /// hook, spawns the sentinel "process", wires two data pipes plus the
@@ -195,34 +33,21 @@ pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
     model: CostModel,
+    trace: Arc<OpTrace>,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
-    let crossing = CrossingKind::InterProcess;
-    let (cmd_tx, cmd_rx) = ControlChannel::new::<Command>(model.clone());
-    let (reply_tx, reply_rx) = ControlChannel::new::<Reply>(model.clone());
-    let (write_pipe_tx, write_pipe_rx) = Pipe::anonymous(model.clone(), crossing);
-    let (read_pipe_tx, read_pipe_rx) = Pipe::anonymous(model.clone(), crossing);
+    let (transport, port) = PairTransport::<Op, OpReply>::kernel(model.clone());
     let sticky = Arc::new(Mutex::new(None));
     let sentinel_sticky = Arc::clone(&sticky);
     let join = spawn_sentinel("control", move || {
-        dispatch_loop(
-            logic,
-            ctx,
-            cmd_rx,
-            reply_tx,
-            write_pipe_rx,
-            read_pipe_tx,
-            sentinel_sticky,
-        );
+        dispatch_loop(logic, ctx, port, sentinel_sticky);
     });
-    Ok(Arc::new(DispatchHandle::new(
-        cmd_tx,
-        reply_rx,
-        write_pipe_tx,
-        read_pipe_rx,
-        crossing,
+    Ok(Arc::new(StrategyHandle::new(
+        transport,
         model,
+        trace,
+        "Process",
         sticky,
-        join,
+        Some(join),
     )))
 }

@@ -7,99 +7,161 @@
 //! the [`SentinelLogic`] methods called inline on the application thread:
 //! no pipes, no events, no domain crossing — the only costs are whatever
 //! the logic itself does.
+//!
+//! Rather than a bespoke handle, the strategy implements the
+//! [`Transport`] protocol *inline*: [`InlineTransport`] runs each command
+//! through the same [`execute_op`] the dispatch loop uses, at the moment
+//! the shared [`StrategyHandle`](super::handle::StrategyHandle) "sends"
+//! it. Its [`CrossingKind::None`] boundary makes the handle charge zero
+//! crossings, so the §4.4 cost profile falls out of the wiring.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use afs_winapi::{SeekMethod, Win32Error};
+use afs_ipc::{BufferPool, IpcError, Transport};
+use afs_sim::{CostModel, CrossingKind, OpTrace};
+use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
-use crate::logic::SentinelLogic;
-use crate::strategy::{to_win32, ActiveOps};
+use crate::logic::{SentinelError, SentinelLogic};
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{execute_op, to_win32, ActiveOps, Op, OpReply};
 
-struct Inline {
+struct InlineState {
     logic: Box<dyn SentinelLogic>,
     ctx: SentinelCtx,
-    pointer: u64,
+    /// A `Write` command waiting for its payload (the protocol sends the
+    /// command first, then the bytes).
+    pending_write: Option<Op>,
+    reply: Option<OpReply>,
+    outbound: Vec<u8>,
+    outbound_pos: usize,
     closed: bool,
 }
 
-/// The DLL-only handle: sentinel state lives inside the application's
-/// handle and every operation is a direct call.
-pub(crate) struct DllHandle {
-    state: Mutex<Inline>,
+/// The §4.4 "wiring": no boundary at all. Commands execute on the calling
+/// thread inside `send_cmd`/`send_data`; replies and read data are handed
+/// straight back from per-handle staging.
+pub(crate) struct InlineTransport {
+    state: Mutex<InlineState>,
+    /// Shared with the handle: write failures park here, exactly like the
+    /// dispatch loop's write-behind semantics.
+    sticky: Arc<Mutex<Option<SentinelError>>>,
+    pool: BufferPool,
+}
+
+impl InlineTransport {
+    fn run(&self, state: &mut InlineState, op: Op, payload: &[u8]) {
+        let InlineState { logic, ctx, .. } = state;
+        let (reply, data) = execute_op(logic.as_mut(), ctx, op, payload, &self.pool);
+        state.reply = Some(reply);
+        let drained = std::mem::replace(&mut state.outbound, data.unwrap_or_default());
+        state.outbound_pos = 0;
+        self.pool.put(drained);
+    }
+}
+
+impl Transport for InlineTransport {
+    type Cmd = Op;
+    type Reply = OpReply;
+
+    fn crossing(&self) -> CrossingKind {
+        CrossingKind::None
+    }
+
+    fn supports_control(&self) -> bool {
+        true
+    }
+
+    fn send_cmd(&self, op: Op) -> Result<(), IpcError> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err(IpcError::Closed);
+        }
+        match op {
+            Op::Write { len, .. } if len > 0 => {
+                state.pending_write = Some(op);
+            }
+            Op::Write { .. } => {
+                // Zero-length write: no payload will follow; run it now.
+                let InlineState { logic, ctx, .. } = &mut *state;
+                let (reply, _) = execute_op(logic.as_mut(), ctx, op, &[], &self.pool);
+                if let OpReply::Failed(e) = reply {
+                    *self.sticky.lock() = Some(e);
+                }
+            }
+            Op::Close => {
+                self.run(&mut state, op, &[]);
+                state.closed = true;
+            }
+            other => self.run(&mut state, other, &[]),
+        }
+        Ok(())
+    }
+
+    fn recv_reply(&self) -> Result<OpReply, IpcError> {
+        self.state.lock().reply.take().ok_or(IpcError::Closed)
+    }
+
+    fn send_data(&self, data: &[u8]) -> Result<(), IpcError> {
+        let mut state = self.state.lock();
+        let Some(op) = state.pending_write.take() else {
+            return Err(IpcError::BrokenPipe);
+        };
+        let InlineState { logic, ctx, .. } = &mut *state;
+        let (reply, _) = execute_op(logic.as_mut(), ctx, op, data, &self.pool);
+        if let OpReply::Failed(e) = reply {
+            *self.sticky.lock() = Some(e);
+        }
+        Ok(())
+    }
+
+    fn recv_data(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
+        self.recv_data_exact(buf)
+    }
+
+    fn recv_data_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
+        let mut state = self.state.lock();
+        let available = state.outbound.len() - state.outbound_pos;
+        let take = buf.len().min(available);
+        let from = state.outbound_pos;
+        buf[..take].copy_from_slice(&state.outbound[from..from + take]);
+        state.outbound_pos += take;
+        if state.outbound_pos >= state.outbound.len() {
+            let drained = std::mem::take(&mut state.outbound);
+            state.outbound_pos = 0;
+            self.pool.put(drained);
+        }
+        Ok(take)
+    }
+
+    fn shutdown(&self) {}
 }
 
 /// Builds the DLL-only strategy for one open.
 pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
+    model: CostModel,
+    trace: Arc<OpTrace>,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
-    Ok(Arc::new(DllHandle {
-        state: Mutex::new(Inline { logic, ctx, pointer: 0, closed: false }),
-    }))
-}
-
-impl ActiveOps for DllHandle {
-    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
-        let mut s = self.state.lock();
-        let offset = s.pointer;
-        let Inline { logic, ctx, .. } = &mut *s;
-        let n = logic.read(ctx, offset, buf).map_err(|e| to_win32(&e))?;
-        s.pointer += n as u64;
-        Ok(n)
-    }
-
-    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
-        let mut s = self.state.lock();
-        let offset = s.pointer;
-        let Inline { logic, ctx, .. } = &mut *s;
-        let n = logic.write(ctx, offset, data).map_err(|e| to_win32(&e))?;
-        s.pointer += n as u64;
-        Ok(n)
-    }
-
-    fn seek(&self, offset: i64, method: SeekMethod) -> Result<u64, Win32Error> {
-        let mut s = self.state.lock();
-        let base: i64 = match method {
-            SeekMethod::Begin => 0,
-            SeekMethod::Current => s.pointer as i64,
-            SeekMethod::End => {
-                let Inline { logic, ctx, .. } = &mut *s;
-                logic.len(ctx).map_err(|e| to_win32(&e))? as i64
-            }
-        };
-        let target = base.checked_add(offset).ok_or(Win32Error::InvalidParameter)?;
-        if target < 0 {
-            return Err(Win32Error::InvalidParameter);
-        }
-        s.pointer = target as u64;
-        Ok(s.pointer)
-    }
-
-    fn size(&self) -> Result<u64, Win32Error> {
-        let mut s = self.state.lock();
-        let Inline { logic, ctx, .. } = &mut *s;
-        logic.len(ctx).map_err(|e| to_win32(&e))
-    }
-
-    fn flush(&self) -> Result<(), Win32Error> {
-        let mut s = self.state.lock();
-        let Inline { logic, ctx, .. } = &mut *s;
-        logic.flush(ctx).map_err(|e| to_win32(&e))
-    }
-
-    fn close(&self) -> Result<(), Win32Error> {
-        let mut s = self.state.lock();
-        if s.closed {
-            return Ok(());
-        }
-        s.closed = true;
-        let Inline { logic, ctx, .. } = &mut *s;
-        let result = logic.on_close(ctx).map_err(|e| to_win32(&e));
-        ctx.persist_cache();
-        result
-    }
+    let sticky = Arc::new(Mutex::new(None));
+    let transport = InlineTransport {
+        state: Mutex::new(InlineState {
+            logic,
+            ctx,
+            pending_write: None,
+            reply: None,
+            outbound: Vec::new(),
+            outbound_pos: 0,
+            closed: false,
+        }),
+        sticky: Arc::clone(&sticky),
+        pool: BufferPool::new(),
+    };
+    Ok(Arc::new(StrategyHandle::new(
+        transport, model, trace, "DLL", sticky, None,
+    )))
 }

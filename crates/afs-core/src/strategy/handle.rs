@@ -1,0 +1,393 @@
+//! The one application-side handle behind all four strategies.
+//!
+//! A [`StrategyHandle`] drives the [`Op`]/[`OpReply`] protocol over any
+//! [`Transport`]: kernel pipes plus a control channel (§4.2), shared
+//! memory plus user-level events (§4.3), the inline call path (§4.4), or —
+//! when the transport has no control lane (§4.1) — plain streaming with
+//! every command-shaped operation failing as the paper prescribes
+//! ("operations such as ReadFileScatter … cannot be implemented as there
+//! is no method of passing control information").
+//!
+//! Every operation is recorded in an [`OpTrace`]: virtual elapsed time,
+//! payload bytes, and the protection-domain crossings and buffer copies
+//! charged while it ran, so a run can be audited against the per-strategy
+//! cost table of §4. One caveat: writes are acknowledged eagerly
+//! (write-behind), so sentinel-side charges for a write may land in a
+//! *later* operation's record — per-op write costs are eventual, while
+//! totals stay exact.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{BufferPool, Transport};
+use afs_sim::{clock, Cost, CostModel, CrossingKind, OpKind, OpTrace, SimTime, TraceRecord};
+use afs_winapi::{SeekMethod, Win32Error};
+
+use crate::logic::SentinelError;
+use crate::strategy::{reap, to_win32, ActiveOps, Op, OpReply};
+
+/// Application-side handle: one implementation of the full `ActiveOps`
+/// surface, generic over where the sentinel lives.
+pub(crate) struct StrategyHandle<T: Transport<Cmd = Op, Reply = OpReply>> {
+    transport: T,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    strategy: &'static str,
+    pointer: Mutex<u64>,
+    op_lock: Mutex<()>,
+    sticky: Arc<Mutex<Option<SentinelError>>>,
+    join: Mutex<Option<JoinHandle<SimTime>>>,
+    /// Scratch buffers for scatter reassembly.
+    pool: BufferPool,
+}
+
+impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
+    pub(crate) fn new(
+        transport: T,
+        model: CostModel,
+        trace: Arc<OpTrace>,
+        strategy: &'static str,
+        sticky: Arc<Mutex<Option<SentinelError>>>,
+        join: Option<JoinHandle<SimTime>>,
+    ) -> Self {
+        StrategyHandle {
+            transport,
+            model,
+            trace,
+            strategy,
+            pointer: Mutex::new(0),
+            op_lock: Mutex::new(()),
+            sticky,
+            join: Mutex::new(join),
+            pool: BufferPool::new(),
+        }
+    }
+
+    /// Runs one operation under trace: the closure returns the result plus
+    /// the payload byte count, and the wrapper attributes the virtual time
+    /// and the cost-counter deltas that accrued meanwhile.
+    fn traced<R>(
+        &self,
+        op: OpKind,
+        f: impl FnOnce() -> (Result<R, Win32Error>, u64),
+    ) -> Result<R, Win32Error> {
+        let started = clock::now();
+        let before = self.model.snapshot();
+        let (result, bytes) = f();
+        let delta = self.model.snapshot().since(&before);
+        self.trace.record(TraceRecord {
+            strategy: self.strategy,
+            op,
+            bytes,
+            elapsed_ns: clock::now().saturating_sub(started),
+            crossings: delta.process_switches + delta.thread_switches,
+            copies: delta.copies,
+        });
+        result
+    }
+
+    fn charge_round_trip(&self) {
+        let crossing = self.transport.crossing();
+        for _ in 0..crossing.round_trip_switches() {
+            self.model.charge(Cost::Crossing(crossing));
+        }
+    }
+
+    fn check_sticky(&self) -> Result<(), Win32Error> {
+        match self.sticky.lock().take() {
+            Some(e) => Err(to_win32(&e)),
+            None => Ok(()),
+        }
+    }
+
+    fn recv_reply(&self) -> Result<OpReply, Win32Error> {
+        self.transport
+            .recv_reply()
+            .map_err(|_| Win32Error::BrokenPipe)
+    }
+
+    /// The command-protocol read shared by `read` and `read_scatter`:
+    /// sends `op`, receives the reply, and pulls `n` bytes into the
+    /// buffer `fill` returns for them.
+    fn command_read(
+        &self,
+        op: Op,
+        mut fill: impl FnMut(usize) -> Result<usize, Win32Error>,
+    ) -> Result<usize, Win32Error> {
+        self.transport
+            .send_cmd(op)
+            .map_err(|_| Win32Error::BrokenPipe)?;
+        match self.recv_reply()? {
+            OpReply::Read { n } => fill(n as usize),
+            OpReply::Failed(e) => Err(to_win32(&e)),
+            _ => Err(Win32Error::BrokenPipe),
+        }
+    }
+}
+
+impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
+    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
+        if !self.transport.supports_control() {
+            // §4.1 streaming: no commands, no pointer, no op serialisation
+            // (a blocked read must not stall a concurrent write).
+            return self.traced(OpKind::Read, || {
+                self.charge_round_trip();
+                let r = self
+                    .transport
+                    .recv_data(buf)
+                    .map_err(|_| Win32Error::BrokenPipe);
+                let n = *r.as_ref().unwrap_or(&0) as u64;
+                (r, n)
+            });
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::Read, || {
+            self.charge_round_trip();
+            let mut pointer = self.pointer.lock();
+            let result = self.command_read(
+                Op::Read {
+                    offset: *pointer,
+                    len: buf.len() as u32,
+                },
+                |n| {
+                    if n > 0 {
+                        self.transport
+                            .recv_data_exact(&mut buf[..n])
+                            .map_err(|_| Win32Error::BrokenPipe)?;
+                    }
+                    Ok(n)
+                },
+            );
+            if let Ok(n) = result {
+                *pointer += n as u64;
+            }
+            let n = *result.as_ref().unwrap_or(&0) as u64;
+            (result, n)
+        })
+    }
+
+    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
+        if !self.transport.supports_control() {
+            return self.traced(OpKind::Write, || {
+                self.charge_round_trip();
+                let r = self
+                    .transport
+                    .send_data(data)
+                    .map(|()| data.len())
+                    .map_err(|_| Win32Error::BrokenPipe);
+                (r, data.len() as u64)
+            });
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::Write, || {
+            self.charge_round_trip();
+            let mut pointer = self.pointer.lock();
+            let result = (|| {
+                self.transport
+                    .send_cmd(Op::Write {
+                        offset: *pointer,
+                        len: data.len() as u32,
+                    })
+                    .map_err(|_| Win32Error::BrokenPipe)?;
+                if !data.is_empty() {
+                    self.transport
+                        .send_data(data)
+                        .map_err(|_| Win32Error::BrokenPipe)?;
+                }
+                if self.transport.crossing() == CrossingKind::None {
+                    // §4.4: the sentinel routine ran inline on this call,
+                    // so its error is already known — surface it now
+                    // rather than write-behind style on a later op.
+                    self.check_sticky()?;
+                }
+                *pointer += data.len() as u64;
+                Ok(data.len())
+            })();
+            (result, data.len() as u64)
+        })
+    }
+
+    fn seek(&self, offset: i64, method: SeekMethod) -> Result<u64, Win32Error> {
+        if !self.transport.supports_control() {
+            // "seek in Unix … cannot be implemented" (§4.1).
+            return Err(Win32Error::CallNotImplemented);
+        }
+        // Seeks are resolved application-side: commands carry absolute
+        // offsets, so moving the pointer costs nothing remote — except
+        // End-relative seeks, which need the size.
+        let base: i64 = match method {
+            SeekMethod::Begin => 0,
+            SeekMethod::Current => *self.pointer.lock() as i64,
+            SeekMethod::End => self.size()? as i64,
+        };
+        let target = base
+            .checked_add(offset)
+            .ok_or(Win32Error::InvalidParameter)?;
+        if target < 0 {
+            return Err(Win32Error::InvalidParameter);
+        }
+        *self.pointer.lock() = target as u64;
+        Ok(target as u64)
+    }
+
+    fn size(&self) -> Result<u64, Win32Error> {
+        if !self.transport.supports_control() {
+            // "GetFileSize cannot be implemented" (§4.1).
+            return Err(Win32Error::CallNotImplemented);
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::Size, || {
+            self.charge_round_trip();
+            let r = (|| {
+                self.transport
+                    .send_cmd(Op::GetSize)
+                    .map_err(|_| Win32Error::BrokenPipe)?;
+                match self.recv_reply() {
+                    Ok(OpReply::Size(n)) => Ok(n),
+                    Ok(OpReply::Failed(e)) => Err(to_win32(&e)),
+                    _ => Err(Win32Error::BrokenPipe),
+                }
+            })();
+            (r, 0)
+        })
+    }
+
+    fn read_scatter(&self, bufs: &mut [&mut [u8]]) -> Result<usize, Win32Error> {
+        if !self.transport.supports_control() {
+            // "Operations such as ReadFileScatter … cannot be implemented"
+            // (§4.1).
+            return Err(Win32Error::CallNotImplemented);
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::ReadScatter, || {
+            self.charge_round_trip();
+            let mut pointer = self.pointer.lock();
+            let lens: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
+            let result = self.command_read(
+                Op::ReadScatter {
+                    offset: *pointer,
+                    lens,
+                },
+                |n| {
+                    if n == 0 {
+                        return Ok(0);
+                    }
+                    // The sentinel produced one contiguous message; pull
+                    // it into pooled scratch, then deal it out to the
+                    // caller's buffers in order. The deal-out is pointer
+                    // shuffling inside the application, not a transfer, so
+                    // it is not charged.
+                    let mut scratch = self.pool.take(n);
+                    self.transport
+                        .recv_data_exact(&mut scratch)
+                        .map_err(|_| Win32Error::BrokenPipe)?;
+                    let mut offset = 0;
+                    for buf in bufs.iter_mut() {
+                        if offset >= n {
+                            break;
+                        }
+                        let take = buf.len().min(n - offset);
+                        buf[..take].copy_from_slice(&scratch[offset..offset + take]);
+                        offset += take;
+                    }
+                    self.pool.put(scratch);
+                    Ok(n)
+                },
+            );
+            if let Ok(n) = result {
+                *pointer += n as u64;
+            }
+            let n = *result.as_ref().unwrap_or(&0) as u64;
+            (result, n)
+        })
+    }
+
+    fn control(&self, code: u32, payload: &[u8]) -> Result<Vec<u8>, Win32Error> {
+        if !self.transport.supports_control() {
+            // "There is no method of passing control information" (§4.1).
+            return Err(Win32Error::CallNotImplemented);
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::Control, || {
+            self.charge_round_trip();
+            if self
+                .transport
+                .send_cmd(Op::Control {
+                    code,
+                    payload: payload.to_vec(),
+                })
+                .is_err()
+            {
+                return (Err(Win32Error::BrokenPipe), payload.len() as u64);
+            }
+            match self.recv_reply() {
+                Ok(OpReply::Control { payload: response }) => {
+                    let bytes = (payload.len() + response.len()) as u64;
+                    (Ok(response), bytes)
+                }
+                Ok(OpReply::Failed(e)) => (Err(to_win32(&e)), payload.len() as u64),
+                _ => (Err(Win32Error::BrokenPipe), payload.len() as u64),
+            }
+        })
+    }
+
+    fn flush(&self) -> Result<(), Win32Error> {
+        if !self.transport.supports_control() {
+            // Nothing to command; the stream itself is the flush.
+            return Ok(());
+        }
+        let _op = self.op_lock.lock();
+        self.check_sticky()?;
+        self.traced(OpKind::Flush, || {
+            self.charge_round_trip();
+            let r = (|| {
+                self.transport
+                    .send_cmd(Op::Flush)
+                    .map_err(|_| Win32Error::BrokenPipe)?;
+                match self.recv_reply()? {
+                    OpReply::Done => Ok(()),
+                    OpReply::Failed(e) => Err(to_win32(&e)),
+                    _ => Err(Win32Error::BrokenPipe),
+                }
+            })();
+            (r, 0)
+        })
+    }
+
+    fn close(&self) -> Result<(), Win32Error> {
+        if !self.transport.supports_control() {
+            return self.traced(OpKind::Close, || {
+                // "The CloseHandle call just shuts down the created pipes"
+                // (Appendix A.2); the sentinel sees EOF, finishes, and is
+                // reaped.
+                self.transport.shutdown();
+                reap(&self.join);
+                (Ok(()), 0)
+            });
+        }
+        let result = self.traced(OpKind::Close, || {
+            let _op = self.op_lock.lock();
+            self.charge_round_trip();
+            let r = match self.transport.send_cmd(Op::Close) {
+                Ok(()) => match self.recv_reply() {
+                    Ok(OpReply::Done) => Ok(()),
+                    Ok(OpReply::Failed(e)) => Err(to_win32(&e)),
+                    _ => Err(Win32Error::BrokenPipe),
+                },
+                // Sentinel already gone; close is idempotent.
+                Err(_) => Ok(()),
+            };
+            (r, 0)
+        });
+        reap(&self.join);
+        let sticky = self.check_sticky();
+        result.and(sticky)
+    }
+}

@@ -12,13 +12,19 @@
 //! | [`thread`]  | 4.3 | thread in the app | shared memory + events | 2 thread switches | 1 user copy |
 //! | [`dll`]     | 4.4 | inline call | none | 0 | logic's own only |
 //!
-//! The shared command/reply protocol and the sentinel dispatch loop live
-//! here; `control` and `thread` differ only in the transports they plug
-//! in — which is precisely the paper's point that the strategies trade
-//! copies and crossings, not semantics.
+//! Since the strategies trade copies and crossings — not semantics — the
+//! whole hot path is unified behind one protocol: the [`Op`]/[`OpReply`]
+//! command set here, executed by [`execute_op`] wherever the sentinel
+//! lives (the [`dispatch_loop`] thread for §4.2/§4.3, inline for §4.4),
+//! and driven application-side by one generic
+//! [`StrategyHandle`](handle::StrategyHandle) over an
+//! [`afs_ipc::Transport`]. Per-command payload staging goes through an
+//! [`afs_ipc::BufferPool`] so a settled sentinel allocates nothing per
+//! operation.
 
 pub mod control;
 pub mod dll;
+pub(crate) mod handle;
 pub mod process;
 pub mod thread;
 
@@ -27,7 +33,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
-use afs_ipc::{ControlReceiver, ControlSender, IpcError};
+use afs_ipc::{BufferPool, PairPort};
 use afs_sim::{clock, SimTime};
 use afs_winapi::Win32Error;
 
@@ -46,6 +52,12 @@ pub(crate) trait ActiveOps: Send + Sync {
     fn seek(&self, offset: i64, method: afs_winapi::SeekMethod) -> Result<u64, Win32Error>;
     /// `GetFileSize`.
     fn size(&self) -> Result<u64, Win32Error>;
+    /// `ReadFileScatter`: one round trip fills the buffers in order,
+    /// advancing the pointer by the total read.
+    fn read_scatter(&self, bufs: &mut [&mut [u8]]) -> Result<usize, Win32Error>;
+    /// `DeviceIoControl`: a sentinel-defined control exchange (the
+    /// `AF_Control` entry point of §4.4).
+    fn control(&self, code: u32, payload: &[u8]) -> Result<Vec<u8>, Win32Error>;
     /// `FlushFileBuffers`.
     fn flush(&self) -> Result<(), Win32Error>;
     /// `CloseHandle`: terminates the sentinel and reaps it.
@@ -66,17 +78,25 @@ pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
 
 /// Commands carried on the control channel (§4.2: "a 'read 50' command is
 /// sent to the sentinel…", "all other file operations are now passed to
-/// the sentinel process as commands with arguments").
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Command {
-    /// Produce `len` bytes at `offset`; data follows on the read pipe.
+/// the sentinel process as commands with arguments"). This is the full
+/// `ActiveOps` surface: one protocol for every strategy that can carry
+/// commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Produce `len` bytes at `offset`; data follows on the read lane.
     Read { offset: u64, len: u32 },
-    /// Consume `len` bytes at `offset`; data follows on the write pipe.
+    /// Produce the concatenation of the scatter segments starting at
+    /// `offset`; data follows on the read lane in one message.
+    ReadScatter { offset: u64, lens: Vec<u32> },
+    /// Consume `len` bytes at `offset`; data follows on the write lane.
     Write { offset: u64, len: u32 },
     /// Report the logical file size.
     GetSize,
     /// Flush pending state.
     Flush,
+    /// A sentinel-defined control exchange; the request payload rides the
+    /// command itself (control payloads are small, like the commands).
+    Control { code: u32, payload: Vec<u8> },
     /// Terminate after running the close hook.
     Close,
 }
@@ -84,75 +104,122 @@ pub(crate) enum Command {
 /// Replies (returned "along with the data via the read pipe" in the
 /// prototype; a typed reply channel here).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum Reply {
-    /// `n` bytes follow on the data channel.
+pub(crate) enum OpReply {
+    /// `n` bytes follow on the data lane (also the scatter reply).
     Read { n: u32 },
     /// The file size.
     Size(u64),
+    /// The control exchange's response payload.
+    Control { payload: Vec<u8> },
     /// Generic success.
     Done,
     /// The operation failed.
     Failed(SentinelError),
 }
 
-/// Sentinel-side data sink (towards the application).
-pub(crate) trait DataTx: Send {
-    /// Transfers one message of bytes.
-    fn send(&self, data: &[u8]) -> Result<(), IpcError>;
-}
-
-/// Sentinel/application-side data source.
-pub(crate) trait DataRx: Send {
-    /// Receives exactly `buf.len()` bytes (one logical message).
-    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError>;
-}
-
-impl DataTx for afs_ipc::PipeWriter {
-    fn send(&self, data: &[u8]) -> Result<(), IpcError> {
-        self.write(data)
-    }
-}
-
-impl DataRx for afs_ipc::PipeReader {
-    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
-        self.read_exact(buf)
-    }
-}
-
-impl DataTx for afs_ipc::SharedBuffer {
-    fn send(&self, data: &[u8]) -> Result<(), IpcError> {
-        afs_ipc::SharedBuffer::send(self, data)
-    }
-}
-
-impl DataRx for afs_ipc::SharedBuffer {
-    fn recv_exact(&self, buf: &mut [u8]) -> Result<usize, IpcError> {
-        if buf.is_empty() {
-            return Ok(0);
+/// Executes one protocol command against the sentinel logic, wherever the
+/// sentinel runs: the dispatch loop (§4.2, §4.3) and the inline DLL-only
+/// transport (§4.4) both funnel through here, so all four strategies share
+/// operation semantics by construction.
+///
+/// Returns the reply plus, for reads, the produced bytes (a pooled buffer
+/// the caller returns to `pool` after sending). `payload` carries the
+/// bytes of a `Write`; other commands ignore it. A `Write` failure comes
+/// back as `Failed` — the caller decides whether to park it (write-behind)
+/// or surface it.
+pub(crate) fn execute_op(
+    logic: &mut dyn SentinelLogic,
+    ctx: &mut SentinelCtx,
+    op: Op,
+    payload: &[u8],
+    pool: &BufferPool,
+) -> (OpReply, Option<Vec<u8>>) {
+    match op {
+        Op::Read { offset, len } => {
+            let mut buf = pool.take(len as usize);
+            match logic.read(ctx, offset, &mut buf) {
+                Ok(n) => {
+                    buf.truncate(n);
+                    (OpReply::Read { n: n as u32 }, Some(buf))
+                }
+                Err(e) => {
+                    pool.put(buf);
+                    (OpReply::Failed(e), None)
+                }
+            }
         }
-        let n = self.recv_into(buf)?;
-        Ok(n.min(buf.len()))
+        Op::ReadScatter { offset, lens } => {
+            let total: usize = lens.iter().map(|&l| l as usize).sum();
+            let mut buf = pool.take(total);
+            let mut filled = 0usize;
+            let mut cursor = offset;
+            for &len in &lens {
+                if len == 0 {
+                    continue;
+                }
+                match logic.read(ctx, cursor, &mut buf[filled..filled + len as usize]) {
+                    Ok(n) => {
+                        filled += n;
+                        cursor += n as u64;
+                        if n < len as usize {
+                            break; // end of data mid-scatter
+                        }
+                    }
+                    Err(e) => {
+                        pool.put(buf);
+                        return (OpReply::Failed(e), None);
+                    }
+                }
+            }
+            buf.truncate(filled);
+            (OpReply::Read { n: filled as u32 }, Some(buf))
+        }
+        Op::Write { offset, .. } => match logic.write(ctx, offset, payload) {
+            Ok(_) => (OpReply::Done, None),
+            Err(e) => (OpReply::Failed(e), None),
+        },
+        Op::GetSize => match logic.len(ctx) {
+            Ok(n) => (OpReply::Size(n), None),
+            Err(e) => (OpReply::Failed(e), None),
+        },
+        Op::Flush => match logic.flush(ctx) {
+            Ok(()) => (OpReply::Done, None),
+            Err(e) => (OpReply::Failed(e), None),
+        },
+        Op::Control {
+            code,
+            payload: request,
+        } => match logic.control(ctx, code, &request) {
+            Ok(response) => (OpReply::Control { payload: response }, None),
+            Err(e) => (OpReply::Failed(e), None),
+        },
+        Op::Close => {
+            let reply = match logic.on_close(ctx) {
+                Ok(()) => OpReply::Done,
+                Err(e) => OpReply::Failed(e),
+            };
+            ctx.persist_cache();
+            (reply, None)
+        }
     }
 }
 
 /// The sentinel dispatch loop shared by the process-plus-control and
 /// DLL-with-thread strategies ("the thread … runs a dispatch loop using
-/// calls to AF_GetControl", §5.3).
+/// calls to AF_GetControl", §5.3), draining one [`PairPort`].
 ///
 /// Write failures are parked in `sticky` and surfaced on the next
 /// synchronous operation, because writes are acknowledged eagerly
-/// (write-behind, §6).
+/// (write-behind, §6). Payloads are staged in the port's buffer pool, so a
+/// settled loop performs no per-command allocation.
 pub(crate) fn dispatch_loop(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
-    commands: ControlReceiver<Command>,
-    replies: ControlSender<Reply>,
-    data_in: impl DataRx,
-    data_out: impl DataTx,
+    port: PairPort<Op, OpReply>,
     sticky: Arc<Mutex<Option<SentinelError>>>,
 ) {
     loop {
-        let command = match commands.recv() {
+        let op = match port.recv_cmd() {
             Ok(c) => c,
             // The application vanished without Close (process killed);
             // still run the close hook.
@@ -165,68 +232,42 @@ pub(crate) fn dispatch_loop(
         // A parked write-behind failure pre-empts the next synchronous
         // command, so the application learns of it deterministically
         // (commands are processed in order).
-        if !matches!(command, Command::Write { .. } | Command::Close) {
+        if !matches!(op, Op::Write { .. } | Op::Close) {
             if let Some(e) = sticky.lock().take() {
-                if replies.send(Reply::Failed(e)).is_err() {
+                if port.send_reply(OpReply::Failed(e)).is_err() {
                     break;
                 }
                 continue;
             }
         }
-        match command {
-            Command::Read { offset, len } => {
-                let mut buf = vec![0u8; len as usize];
-                match logic.read(&mut ctx, offset, &mut buf) {
-                    Ok(n) => {
-                        if replies.send(Reply::Read { n: n as u32 }).is_err() {
-                            break;
-                        }
-                        if n > 0 && data_out.send(&buf[..n]).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) => {
-                        if replies.send(Reply::Failed(e)).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            Command::Write { offset, len } => {
-                let mut buf = vec![0u8; len as usize];
-                if data_in.recv_exact(&mut buf).is_err() {
+        match op {
+            Op::Write { len, .. } => {
+                let mut buf = port.pool().take(len as usize);
+                if len > 0 && port.recv_data_exact(&mut buf).is_err() {
                     break;
                 }
-                if let Err(e) = logic.write(&mut ctx, offset, &buf) {
+                let (reply, _) = execute_op(logic.as_mut(), &mut ctx, op, &buf, port.pool());
+                if let OpReply::Failed(e) = reply {
                     *sticky.lock() = Some(e);
                 }
+                port.pool().put(buf);
             }
-            Command::GetSize => {
-                let reply = match logic.len(&mut ctx) {
-                    Ok(n) => Reply::Size(n),
-                    Err(e) => Reply::Failed(e),
-                };
-                if replies.send(reply).is_err() {
-                    break;
-                }
-            }
-            Command::Flush => {
-                let reply = match logic.flush(&mut ctx) {
-                    Ok(()) => Reply::Done,
-                    Err(e) => Reply::Failed(e),
-                };
-                if replies.send(reply).is_err() {
-                    break;
-                }
-            }
-            Command::Close => {
-                let reply = match logic.on_close(&mut ctx) {
-                    Ok(()) => Reply::Done,
-                    Err(e) => Reply::Failed(e),
-                };
-                ctx.persist_cache();
-                let _ = replies.send(reply);
+            Op::Close => {
+                let (reply, _) = execute_op(logic.as_mut(), &mut ctx, op, &[], port.pool());
+                let _ = port.send_reply(reply);
                 break;
+            }
+            other => {
+                let (reply, data) = execute_op(logic.as_mut(), &mut ctx, other, &[], port.pool());
+                if port.send_reply(reply).is_err() {
+                    break;
+                }
+                if let Some(data) = data {
+                    if !data.is_empty() && port.send_data(&data).is_err() {
+                        break;
+                    }
+                    port.pool().put(data);
+                }
             }
         }
     }

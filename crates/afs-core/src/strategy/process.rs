@@ -8,7 +8,9 @@
 //! purely streaming: "operations such as ReadFileScatter (or seek in
 //! Unix) and GetFileSize cannot be implemented as there is no method of
 //! passing control information", and the client stubs drop them "with an
-//! appropriate return code" (Appendix A.2).
+//! appropriate return code" (Appendix A.2). The wiring is
+//! [`StreamTransport`], whose missing control lane is exactly what makes
+//! the shared [`StrategyHandle`] fail those operations.
 //!
 //! Two programming models are supported, as in the paper:
 //!
@@ -18,18 +20,21 @@
 //!   threads, one per direction).
 //! * **Adapted** — any [`SentinelLogic`] is pumped through the pipes by a
 //!   generated two-thread sentinel, the "automatic translation" of §5.
+//!
+//! [`StrategyHandle`]: crate::strategy::handle::StrategyHandle
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use afs_ipc::{Pipe, PipeReader, PipeWriter};
-use afs_sim::{CostModel, CrossingKind};
-use afs_winapi::{SeekMethod, Win32Error};
+use afs_ipc::{PipeReader, PipeWriter, StreamTransport};
+use afs_sim::{CostModel, OpTrace};
+use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
-use crate::strategy::{reap, spawn_sentinel, to_win32, ActiveOps};
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{spawn_sentinel, to_win32, ActiveOps, Op, OpReply};
 
 /// Buffer size of the Figure 2 pump loops (`char buf[1024]`).
 const PUMP_CHUNK: usize = 1024;
@@ -54,61 +59,24 @@ pub trait RawProcessSentinel: Send {
     fn run(&mut self, io: ProcessIo);
 }
 
-/// Application-side handle: two pipe ends, streaming only.
-pub(crate) struct ProcessHandle {
-    to_sentinel: Mutex<Option<PipeWriter>>,
-    from_sentinel: Mutex<Option<PipeReader>>,
+fn wire(
     model: CostModel,
-    join: Mutex<Option<std::thread::JoinHandle<afs_sim::SimTime>>>,
-}
-
-impl ProcessHandle {
-    fn charge_round_trip(&self) {
-        self.model.charge(afs_sim::Cost::Crossing(CrossingKind::InterProcess));
-        self.model.charge(afs_sim::Cost::Crossing(CrossingKind::InterProcess));
-    }
-}
-
-impl ActiveOps for ProcessHandle {
-    fn read(&self, buf: &mut [u8]) -> Result<usize, Win32Error> {
-        self.charge_round_trip();
-        let guard = self.from_sentinel.lock();
-        let reader = guard.as_ref().ok_or(Win32Error::BrokenPipe)?;
-        reader.read(buf).map_err(|_| Win32Error::BrokenPipe)
-    }
-
-    fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
-        self.charge_round_trip();
-        let guard = self.to_sentinel.lock();
-        let writer = guard.as_ref().ok_or(Win32Error::BrokenPipe)?;
-        writer.write(data).map_err(|_| Win32Error::BrokenPipe)?;
-        Ok(data.len())
-    }
-
-    fn seek(&self, _offset: i64, _method: SeekMethod) -> Result<u64, Win32Error> {
-        // "seek in Unix … cannot be implemented" (§4.1).
-        Err(Win32Error::CallNotImplemented)
-    }
-
-    fn size(&self) -> Result<u64, Win32Error> {
-        // "GetFileSize cannot be implemented" (§4.1).
-        Err(Win32Error::CallNotImplemented)
-    }
-
-    fn flush(&self) -> Result<(), Win32Error> {
-        Ok(())
-    }
-
-    fn close(&self) -> Result<(), Win32Error> {
-        // Dropping the write end delivers EOF to the sentinel's stdin, and
-        // dropping the read end breaks any pump blocked on a full read
-        // pipe; the sentinel then finishes and is reaped. "The CloseHandle
-        // call just shuts down the created pipes" (Appendix A.2).
-        self.to_sentinel.lock().take();
-        self.from_sentinel.lock().take();
-        reap(&self.join);
-        Ok(())
-    }
+    trace: Arc<OpTrace>,
+    sentinel: impl FnOnce(PipeReader, PipeWriter) + Send + 'static,
+) -> Arc<dyn ActiveOps> {
+    let (transport, sentinel_stdin, sentinel_stdout) =
+        StreamTransport::<Op, OpReply>::new(model.clone());
+    let join = spawn_sentinel("process", move || {
+        sentinel(sentinel_stdin, sentinel_stdout);
+    });
+    Arc::new(StrategyHandle::new(
+        transport,
+        model,
+        trace,
+        "SimpleProcess",
+        Arc::new(Mutex::new(None)),
+        Some(join),
+    ))
 }
 
 /// Builds the simple process strategy around a hand-written sentinel.
@@ -116,18 +84,10 @@ pub(crate) fn open_raw(
     mut sentinel: Box<dyn RawProcessSentinel>,
     ctx: SentinelCtx,
     model: CostModel,
+    trace: Arc<OpTrace>,
 ) -> Arc<dyn ActiveOps> {
-    let crossing = CrossingKind::InterProcess;
-    let (app_write, sentinel_stdin) = Pipe::anonymous(model.clone(), crossing);
-    let (sentinel_stdout, app_read) = Pipe::anonymous(model.clone(), crossing);
-    let join = spawn_sentinel("process", move || {
-        sentinel.run(ProcessIo { stdin: sentinel_stdin, stdout: sentinel_stdout, ctx });
-    });
-    Arc::new(ProcessHandle {
-        to_sentinel: Mutex::new(Some(app_write)),
-        from_sentinel: Mutex::new(Some(app_read)),
-        model,
-        join: Mutex::new(Some(join)),
+    wire(model, trace, move |stdin, stdout| {
+        sentinel.run(ProcessIo { stdin, stdout, ctx });
     })
 }
 
@@ -139,29 +99,16 @@ pub(crate) fn open_logic(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
     model: CostModel,
+    trace: Arc<OpTrace>,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
-    let crossing = CrossingKind::InterProcess;
-    let (app_write, sentinel_stdin) = Pipe::anonymous(model.clone(), crossing);
-    let (sentinel_stdout, app_read) = Pipe::anonymous(model.clone(), crossing);
-    let join = spawn_sentinel("process", move || {
-        pump(logic, ctx, sentinel_stdin, sentinel_stdout);
-    });
-    Ok(Arc::new(ProcessHandle {
-        to_sentinel: Mutex::new(Some(app_write)),
-        from_sentinel: Mutex::new(Some(app_read)),
-        model,
-        join: Mutex::new(Some(join)),
+    Ok(wire(model, trace, move |stdin, stdout| {
+        pump(logic, ctx, stdin, stdout);
     }))
 }
 
 /// The generated two-thread sentinel (Figure 2's `RWThrd` pair).
-fn pump(
-    logic: Box<dyn SentinelLogic>,
-    ctx: SentinelCtx,
-    stdin: PipeReader,
-    stdout: PipeWriter,
-) {
+fn pump(logic: Box<dyn SentinelLogic>, ctx: SentinelCtx, stdin: PipeReader, stdout: PipeWriter) {
     struct Shared {
         logic: Box<dyn SentinelLogic>,
         ctx: SentinelCtx,

@@ -8,8 +8,9 @@
 //! transfer instead of the pipes' two kernel copies, and thread switches
 //! instead of process switches.
 //!
-//! The command protocol is identical to the process-plus-control strategy
-//! (the six `AF_*` library calls of Appendix A.3 map onto it):
+//! The wiring is [`PairTransport::shared`]; the command protocol is
+//! identical to the process-plus-control strategy (the six `AF_*` library
+//! calls of Appendix A.3 map onto it):
 //!
 //! | Appendix A.3 call        | Here                                      |
 //! |--------------------------|-------------------------------------------|
@@ -18,7 +19,7 @@
 //! | `AF_SendDataToSentinel`  | [`SharedBuffer::send`] app → sentinel      |
 //! | `AF_GetDataFromAppl`     | `recv` in the dispatch loop                |
 //! | `AF_SendDataToAppl`      | [`SharedBuffer::send`] sentinel → app      |
-//! | `AF_GetDataFromSentinel` | `recv_exact` in the dispatch handle        |
+//! | `AF_GetDataFromSentinel` | `recv_data_exact` in the strategy handle   |
 //!
 //! [`SharedBuffer::send`]: afs_ipc::SharedBuffer::send
 
@@ -26,13 +27,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use afs_ipc::{ControlChannel, SharedBuffer};
-use afs_sim::{CostModel, CrossingKind};
+use afs_ipc::PairTransport;
+use afs_sim::{CostModel, OpTrace};
 
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
-use crate::strategy::control::DispatchHandle;
-use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Command, Reply};
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Op, OpReply};
 
 /// Builds the DLL-with-thread strategy for one open: starts the
 /// `SentinelThrdMain` thread inside the "application process" and wires
@@ -41,36 +42,23 @@ pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
     model: CostModel,
+    trace: Arc<OpTrace>,
 ) -> Result<Arc<dyn ActiveOps>, afs_winapi::Win32Error> {
-    logic.on_open(&mut ctx).map_err(|e| crate::strategy::to_win32(&e))?;
-    let crossing = CrossingKind::InterThread;
-    let (cmd_tx, cmd_rx) = ControlChannel::user_level::<Command>(model.clone());
-    let (reply_tx, reply_rx) = ControlChannel::user_level::<Reply>(model.clone());
-    let to_sentinel = SharedBuffer::new(model.clone());
-    let to_app = SharedBuffer::new(model.clone());
+    logic
+        .on_open(&mut ctx)
+        .map_err(|e| crate::strategy::to_win32(&e))?;
+    let (transport, port) = PairTransport::<Op, OpReply>::shared(model.clone());
     let sticky = Arc::new(Mutex::new(None));
     let sentinel_sticky = Arc::clone(&sticky);
-    let sentinel_in = to_sentinel.clone();
-    let sentinel_out = to_app.clone();
     let join = spawn_sentinel("thread", move || {
-        dispatch_loop(
-            logic,
-            ctx,
-            cmd_rx,
-            reply_tx,
-            sentinel_in,
-            sentinel_out,
-            sentinel_sticky,
-        );
+        dispatch_loop(logic, ctx, port, sentinel_sticky);
     });
-    Ok(Arc::new(DispatchHandle::new(
-        cmd_tx,
-        reply_rx,
-        to_sentinel,
-        to_app,
-        crossing,
+    Ok(Arc::new(StrategyHandle::new(
+        transport,
         model,
+        trace,
+        "Thread",
         sticky,
-        join,
+        Some(join),
     )))
 }

@@ -84,7 +84,16 @@ impl AfsWorldBuilder {
         connector
             .install_secure(Arc::clone(&layer) as Arc<dyn ApiLayer>)
             .expect("fresh connector accepts the active-files layer");
-        AfsWorld { vfs, net, registry, sync, model, connector, layer, user: self.user }
+        AfsWorld {
+            vfs,
+            net,
+            registry,
+            sync,
+            model,
+            connector,
+            layer,
+            user: self.user,
+        }
     }
 }
 
@@ -156,6 +165,14 @@ impl AfsWorld {
         &self.model
     }
 
+    /// The observability ring: every operation on every active handle in
+    /// this world records strategy, op kind, bytes, elapsed simulated
+    /// time, domain crossings, and data copies. Drive I/O, then inspect
+    /// [`afs_sim::OpTrace::summary`] to see the §4 cost profiles live.
+    pub fn trace(&self) -> &Arc<afs_sim::OpTrace> {
+        self.layer.trace()
+    }
+
     /// The interception manager (for tests that install extra layers).
     pub fn connector(&self) -> &MediatingConnector {
         &self.connector
@@ -206,7 +223,10 @@ impl AfsWorld {
     /// Reads back the spec installed at `path`, if any.
     pub fn active_spec(&self, path: &str) -> Option<SentinelSpec> {
         let vpath = VPath::parse(path).ok()?;
-        let bytes = self.vfs.read_stream_to_end(&vpath.with_stream(ACTIVE_STREAM)).ok()?;
+        let bytes = self
+            .vfs
+            .read_stream_to_end(&vpath.with_stream(ACTIVE_STREAM))
+            .ok()?;
         SentinelSpec::decode(&bytes).ok()
     }
 }

@@ -2,7 +2,10 @@
 //! the same file to the application under every implementation approach,
 //! and the approach-specific limitations of §4.1 must hold.
 
-use afs_core::{AfsWorld, Backing, ProcessIo, RawProcessSentinel, SentinelSpec, Strategy};
+use afs_core::{
+    AfsWorld, Backing, ProcessIo, RawProcessSentinel, SentinelCtx, SentinelError, SentinelLogic,
+    SentinelResult, SentinelSpec, Strategy,
+};
 use afs_winapi::{Access, Disposition, FileApi, SeekMethod, Win32Error};
 
 fn open_rw(world: &AfsWorld, path: &str) -> (afs_interpose::ApiHandle, afs_winapi::Handle) {
@@ -80,7 +83,10 @@ fn seek_and_size_work_everywhere_except_simple_process() {
             assert_eq!(api.read_file(h, &mut buf).expect("read"), 3);
             assert_eq!(&buf, b"456", "{strategy:?}");
             // End-relative seek.
-            assert_eq!(api.set_file_pointer(h, -2, SeekMethod::End).expect("seek"), 8);
+            assert_eq!(
+                api.set_file_pointer(h, -2, SeekMethod::End).expect("seek"),
+                8
+            );
         }
         api.close_handle(h).expect("close");
     }
@@ -139,7 +145,10 @@ fn copying_an_active_file_copies_the_behaviour() {
     let api = world.api();
     api.copy_file("/orig.af", "/copy.af").expect("copy");
     assert_eq!(
-        world.active_spec("/copy.af").expect("copy carries the spec").name(),
+        world
+            .active_spec("/copy.af")
+            .expect("copy carries the spec")
+            .name(),
         "null"
     );
     let (api, h) = open_rw(&world, "/copy.af");
@@ -160,10 +169,18 @@ fn sentinel_lifecycle_tracks_open_close() {
     let (api, h) = open_rw(&world, "/l.af");
     assert_eq!(world.open_sentinel_count(), 1, "sentinel started on open");
     let (api2, h2) = open_rw(&world, "/l.af");
-    assert_eq!(world.open_sentinel_count(), 2, "multiple opens, multiple sentinels");
+    assert_eq!(
+        world.open_sentinel_count(),
+        2,
+        "multiple opens, multiple sentinels"
+    );
     api.close_handle(h).expect("close 1");
     api2.close_handle(h2).expect("close 2");
-    assert_eq!(world.open_sentinel_count(), 0, "sentinels terminated on close");
+    assert_eq!(
+        world.open_sentinel_count(),
+        0,
+        "sentinels terminated on close"
+    );
 }
 
 #[test]
@@ -282,7 +299,9 @@ impl RawProcessSentinel for ShoutingSentinel {
 #[test]
 fn raw_process_sentinel_runs_figure2_style() {
     let world = AfsWorld::new();
-    world.sentinels().register_raw("shout", |_| Box::new(ShoutingSentinel));
+    world
+        .sentinels()
+        .register_raw("shout", |_| Box::new(ShoutingSentinel));
     world
         .install_active_file(
             "/shout.af",
@@ -292,7 +311,11 @@ fn raw_process_sentinel_runs_figure2_style() {
     // Seed the data part directly.
     world
         .vfs()
-        .write_stream(&afs_vfs::VPath::parse("/shout.af").expect("p"), 0, b"quiet words")
+        .write_stream(
+            &afs_vfs::VPath::parse("/shout.af").expect("p"),
+            0,
+            b"quiet words",
+        )
         .expect("seed");
     let (api, h) = open_rw(&world, "/shout.af");
     assert_eq!(read_to_end(&api, h), b"QUIET WORDS");
@@ -307,9 +330,227 @@ fn raw_process_sentinel_runs_figure2_style() {
     );
 }
 
+/// A logic with a control surface: code 7 echoes the payload reversed;
+/// anything else is unsupported. Reads and writes hit the cache.
+struct EchoControl;
+
+impl SentinelLogic for EchoControl {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
+        ctx.cache().read_at(offset, buf)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        ctx.cache().write_at(offset, data)
+    }
+
+    fn control(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        code: u32,
+        payload: &[u8],
+    ) -> SentinelResult<Vec<u8>> {
+        match code {
+            7 => Ok(payload.iter().rev().copied().collect()),
+            _ => Err(SentinelError::Unsupported),
+        }
+    }
+}
+
+#[test]
+fn control_round_trips_under_every_strategy() {
+    for strategy in Strategy::ALL {
+        let world = AfsWorld::new();
+        world
+            .sentinels()
+            .register("echo-ctl", |_| Box::new(EchoControl));
+        world
+            .install_active_file(
+                "/c.af",
+                &SentinelSpec::new("echo-ctl", strategy).backing(Backing::Memory),
+            )
+            .expect("install");
+        let (api, h) = open_rw(&world, "/c.af");
+        if strategy == Strategy::Process {
+            assert_eq!(
+                api.device_io_control(h, 7, b"abc"),
+                Err(Win32Error::CallNotImplemented),
+                "§4.1: no method of passing control information"
+            );
+        } else {
+            assert_eq!(
+                api.device_io_control(h, 7, b"abc").expect("control"),
+                b"cba".to_vec(),
+                "{strategy:?}: control must reach the sentinel and return its reply"
+            );
+            assert_eq!(
+                api.device_io_control(h, 99, b""),
+                Err(Win32Error::NotSupported),
+                "{strategy:?}: unknown codes surface the sentinel's refusal"
+            );
+        }
+        api.close_handle(h).expect("close");
+    }
+}
+
+#[test]
+fn sentinels_without_control_refuse_the_op() {
+    let world = AfsWorld::new();
+    world
+        .install_active_file(
+            "/n.af",
+            &SentinelSpec::new("null", Strategy::DllThread).backing(Backing::Memory),
+        )
+        .expect("install");
+    let (api, h) = open_rw(&world, "/n.af");
+    assert_eq!(
+        api.device_io_control(h, 1, b""),
+        Err(Win32Error::NotSupported),
+        "the default SentinelLogic::control is Unsupported"
+    );
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn scatter_reads_are_equivalent_across_strategies() {
+    for strategy in Strategy::ALL {
+        let world = AfsWorld::new();
+        world
+            .install_active_file(
+                "/sc.af",
+                &SentinelSpec::new("null", strategy).backing(Backing::Memory),
+            )
+            .expect("install");
+        let (api, h) = open_rw(&world, "/sc.af");
+        api.write_file(h, b"0123456789abcdef").expect("write");
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 6];
+        let mut c = [0u8; 9];
+        let mut bufs: Vec<&mut [u8]> = vec![&mut a, &mut b, &mut c];
+        if strategy == Strategy::Process {
+            assert_eq!(
+                api.read_file_scatter(h, &mut bufs),
+                Err(Win32Error::CallNotImplemented),
+                "§4.1/A.2: ReadFileScatter is dropped without a control channel"
+            );
+        } else {
+            api.set_file_pointer(h, 0, SeekMethod::Begin)
+                .expect("rewind");
+            let n = api.read_file_scatter(h, &mut bufs).expect("scatter");
+            assert_eq!(n, 16, "{strategy:?}");
+            assert_eq!(&a, b"0123", "{strategy:?}");
+            assert_eq!(&b, b"456789", "{strategy:?}");
+            assert_eq!(
+                &c[..6],
+                b"abcdef",
+                "{strategy:?}: short tail fills partially"
+            );
+            // The pointer advanced past everything read, exactly like a
+            // sequence of plain reads would have left it.
+            let mut rest = [0u8; 4];
+            assert_eq!(
+                api.read_file(h, &mut rest).expect("tail"),
+                0,
+                "{strategy:?}"
+            );
+        }
+        api.close_handle(h).expect("close");
+    }
+}
+
+/// The §4 cost table, asserted from live traces: per read, the
+/// process-based strategy pays two kernel-boundary crossings and two
+/// pipe copies more than DLL-only; the thread strategy pays two thread
+/// crossings and one user-level copy more; DLL-only crosses nothing.
+#[test]
+fn traces_reproduce_the_section4_cost_table() {
+    let mut per_strategy = std::collections::HashMap::new();
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
+        let world = AfsWorld::new();
+        world
+            .install_active_file(
+                "/t.af",
+                &SentinelSpec::new("null", strategy).backing(Backing::Memory),
+            )
+            .expect("install");
+        let (api, h) = open_rw(&world, "/t.af");
+        api.write_file(h, &[0x5A; 256]).expect("write");
+        // Writes are acknowledged eagerly, so the sentinel-side cost of
+        // the write is still in flight; a GetFileSize round trip drains
+        // the command channel so those charges cannot bleed into the
+        // read records below.
+        api.get_file_size(h).expect("size barrier");
+        api.set_file_pointer(h, 0, SeekMethod::Begin)
+            .expect("rewind");
+        let mut buf = [0u8; 64];
+        for _ in 0..4 {
+            api.read_file(h, &mut buf).expect("read");
+        }
+        api.close_handle(h).expect("close");
+        let summary = world.trace().summary();
+        let read = summary
+            .iter()
+            .find(|row| row.op == afs_sim::OpKind::Read)
+            .expect("read row traced")
+            .clone();
+        assert_eq!(read.count, 4);
+        assert_eq!(read.bytes, 4 * 64);
+        per_strategy.insert(strategy, read);
+    }
+    let process = &per_strategy[&Strategy::ProcessControl];
+    let thread = &per_strategy[&Strategy::DllThread];
+    let dll = &per_strategy[&Strategy::DllOnly];
+    assert_eq!(process.strategy, "Process");
+    assert_eq!(thread.strategy, "Thread");
+    assert_eq!(dll.strategy, "DLL");
+    // Crossings: two per round trip for both boundary strategies
+    // (request over, reply back), none inline.
+    assert_eq!(
+        process.crossings_per_op(),
+        2.0,
+        "§4.2: two process switches per op"
+    );
+    assert_eq!(
+        thread.crossings_per_op(),
+        2.0,
+        "§4.3: two thread switches per op"
+    );
+    assert_eq!(
+        dll.crossings_per_op(),
+        0.0,
+        "§4.4: no domain crossing at all"
+    );
+    // Copies, relative to the DLL-only floor (the logic's own cache
+    // memcpy is common to all three): pipes cost two kernel copies per
+    // transfer, shared memory one user-level copy, inline zero.
+    let floor = dll.copies_per_op();
+    assert_eq!(
+        process.copies_per_op() - floor,
+        2.0,
+        "§4.2: 2 kernel copies per transfer"
+    );
+    assert_eq!(
+        thread.copies_per_op() - floor,
+        1.0,
+        "§4.3: 1 user copy per transfer"
+    );
+}
+
 #[test]
 fn write_then_read_same_handle_sees_own_writes() {
-    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
         let world = AfsWorld::new();
         world
             .install_active_file(

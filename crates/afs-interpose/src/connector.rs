@@ -6,10 +6,10 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use afs_vfs::{DirEntry, FileAttributes};
 use afs_winapi::{
     Access, ApiResult, Disposition, FileApi, FileInformation, Handle, SeekMethod, ShareMode,
 };
-use afs_vfs::{DirEntry, FileAttributes};
 
 /// A single interception layer: given the next implementation down the
 /// chain, produce the diverted implementation.
@@ -67,14 +67,22 @@ pub struct MediatingConnector {
 impl MediatingConnector {
     /// Creates a connector whose initial chain is just `base`.
     pub fn new(base: Arc<dyn FileApi>) -> Self {
-        let state = State { layers: Vec::new(), chain: Arc::clone(&base) };
-        MediatingConnector { base, state: Arc::new(RwLock::new(state)) }
+        let state = State {
+            layers: Vec::new(),
+            chain: Arc::clone(&base),
+        };
+        MediatingConnector {
+            base,
+            state: Arc::new(RwLock::new(state)),
+        }
     }
 
     /// Returns the application-side dispatch handle (the simulated IAT).
     /// Cheap to clone; all clones observe chain changes.
     pub fn api(&self) -> ApiHandle {
-        ApiHandle { state: Arc::clone(&self.state) }
+        ApiHandle {
+            state: Arc::clone(&self.state),
+        }
     }
 
     /// Installs `layer` as the new outermost diversion.
@@ -168,7 +176,12 @@ impl fmt::Debug for ApiHandle {
 }
 
 impl FileApi for ApiHandle {
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         self.chain().create_file(path, access, disposition)
     }
 
@@ -179,7 +192,8 @@ impl FileApi for ApiHandle {
         share: ShareMode,
         disposition: Disposition,
     ) -> ApiResult<Handle> {
-        self.chain().create_file_shared(path, access, share, disposition)
+        self.chain()
+            .create_file_shared(path, access, share, disposition)
     }
 
     fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
@@ -252,6 +266,10 @@ impl FileApi for ApiHandle {
 
     fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
         self.chain().set_end_of_file(handle)
+    }
+
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        self.chain().device_io_control(handle, code, input)
     }
 }
 
@@ -406,7 +424,8 @@ mod tests {
     #[test]
     fn secure_layer_cannot_be_removed() {
         let conn = connector();
-        conn.install_secure(Arc::new(Shout)).expect("secure install");
+        conn.install_secure(Arc::new(Shout))
+            .expect("secure install");
         assert_eq!(
             conn.uninstall("shout").expect_err("secured"),
             InterposeError::SecuredLayer("shout".into())

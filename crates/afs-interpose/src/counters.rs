@@ -84,7 +84,10 @@ impl ApiLayer for CountingLayer {
     }
 
     fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
-        Arc::new(Layered(CountingApi { inner, counters: Arc::clone(&self.counters) }))
+        Arc::new(Layered(CountingApi {
+            inner,
+            counters: Arc::clone(&self.counters),
+        }))
     }
 }
 
@@ -98,7 +101,12 @@ impl DelegateFileApi for CountingApi {
         &*self.inner
     }
 
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         self.counters.create_file.fetch_add(1, Ordering::Relaxed);
         self.delegate().create_file(path, access, disposition)
     }
@@ -124,7 +132,9 @@ impl DelegateFileApi for CountingApi {
     }
 
     fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
-        self.counters.set_file_pointer.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .set_file_pointer
+            .fetch_add(1, Ordering::Relaxed);
         self.delegate().set_file_pointer(handle, offset, method)
     }
 
@@ -136,6 +146,11 @@ impl DelegateFileApi for CountingApi {
     fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
         self.counters.other.fetch_add(1, Ordering::Relaxed);
         self.delegate().copy_file(from, to)
+    }
+
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        self.counters.other.fetch_add(1, Ordering::Relaxed);
+        self.delegate().device_io_control(handle, code, input)
     }
 }
 

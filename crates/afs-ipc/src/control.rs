@@ -32,7 +32,7 @@ struct State<T> {
 /// Appendix A.3: "these 'messages' are implemented using events and shared
 /// memory").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Transport {
+enum ChannelKind {
     Kernel,
     UserLevel,
 }
@@ -40,7 +40,7 @@ enum Transport {
 #[derive(Debug)]
 struct Inner<T> {
     model: CostModel,
-    transport: Transport,
+    kind: ChannelKind,
     state: Mutex<State<T>>,
     available: Condvar,
 }
@@ -54,27 +54,33 @@ impl ControlChannel {
     /// send charges one syscall plus the per-message pipe overhead.
     #[allow(clippy::new_ret_no_self)] // factory for an endpoint pair, like Pipe::anonymous
     pub fn new<T: Send>(model: CostModel) -> (ControlSender<T>, ControlReceiver<T>) {
-        Self::with_transport(model, Transport::Kernel)
+        Self::with_kind(model, ChannelKind::Kernel)
     }
 
     /// Creates a typed control channel carried over user-level events and
     /// shared memory: each send charges only one event signal.
     pub fn user_level<T: Send>(model: CostModel) -> (ControlSender<T>, ControlReceiver<T>) {
-        Self::with_transport(model, Transport::UserLevel)
+        Self::with_kind(model, ChannelKind::UserLevel)
     }
 
-    fn with_transport<T: Send>(
+    fn with_kind<T: Send>(
         model: CostModel,
-        transport: Transport,
+        kind: ChannelKind,
     ) -> (ControlSender<T>, ControlReceiver<T>) {
         let inner = Arc::new(Inner {
             model,
-            transport,
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            kind,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             available: Condvar::new(),
         });
         (
-            ControlSender { inner: Arc::clone(&inner) },
+            ControlSender {
+                inner: Arc::clone(&inner),
+            },
             ControlReceiver { inner },
         )
     }
@@ -94,12 +100,12 @@ impl<T: Send> ControlSender<T> {
     /// Returns [`IpcError::BrokenPipe`] if the receiving end is gone.
     pub fn send(&self, msg: T) -> Result<()> {
         let inner = &*self.inner;
-        match inner.transport {
-            Transport::Kernel => {
+        match inner.kind {
+            ChannelKind::Kernel => {
                 inner.model.charge(Cost::Syscall);
                 inner.model.charge(Cost::PipeMessage);
             }
-            Transport::UserLevel => {
+            ChannelKind::UserLevel => {
                 inner.model.charge(Cost::EventSignal);
             }
         }
@@ -116,7 +122,9 @@ impl<T: Send> ControlSender<T> {
     /// Duplicates the sender handle.
     pub fn duplicate(&self) -> ControlSender<T> {
         self.inner.state.lock().senders += 1;
-        ControlSender { inner: Arc::clone(&self.inner) }
+        ControlSender {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -146,7 +154,7 @@ impl<T: Send> ControlReceiver<T> {
     /// terminate.
     pub fn recv(&self) -> Result<T> {
         let inner = &*self.inner;
-        if inner.transport == Transport::Kernel {
+        if inner.kind == ChannelKind::Kernel {
             inner.model.charge(Cost::Syscall);
         }
         let mut state = inner.state.lock();

@@ -16,6 +16,9 @@ pub enum IpcError {
     /// A named synchronisation object already exists with a conflicting
     /// configuration.
     AlreadyExists,
+    /// The operation is not supported on this transport (e.g. sending a
+    /// command over the bare pipe pair of §4.1).
+    Unsupported,
 }
 
 impl fmt::Display for IpcError {
@@ -25,6 +28,7 @@ impl fmt::Display for IpcError {
             IpcError::Closed => "channel closed",
             IpcError::NotFound => "named object not found",
             IpcError::AlreadyExists => "named object already exists",
+            IpcError::Unsupported => "operation not supported on this transport",
         };
         f.write_str(msg)
     }
@@ -43,6 +47,7 @@ mod tests {
             IpcError::Closed,
             IpcError::NotFound,
             IpcError::AlreadyExists,
+            IpcError::Unsupported,
         ] {
             let msg = e.to_string();
             assert!(!msg.is_empty());

@@ -54,7 +54,10 @@ impl Event {
             inner: Arc::new(Inner {
                 model,
                 mode,
-                state: Mutex::new(State { signalled: false, stamp: 0 }),
+                state: Mutex::new(State {
+                    signalled: false,
+                    stamp: 0,
+                }),
                 cond: Condvar::new(),
             }),
         }
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn wait_inherits_signal_time() {
-        let e = Event::new(CostModel::new(HardwareProfile::pentium_ii_300()), ResetMode::Auto);
+        let e = Event::new(
+            CostModel::new(HardwareProfile::pentium_ii_300()),
+            ResetMode::Auto,
+        );
         let e2 = e.clone();
         std::thread::spawn(move || {
             let _g = clock::install(7_000);
@@ -217,9 +223,16 @@ mod more_tests {
         }
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 1);
-        // Release the rest.
-        e.set();
-        e.set();
+        // Release the rest one at a time, waiting for each signal to be
+        // consumed: setting an auto-reset event again before a released
+        // waiter consumes the signal coalesces the two sets into one (the
+        // signal is a flag, not a counter) and would strand a waiter.
+        for expected in 2..=3 {
+            e.set();
+            while released.load(std::sync::atomic::Ordering::SeqCst) < expected {
+                std::thread::yield_now();
+            }
+        }
         for w in waiters {
             w.join().expect("join");
         }

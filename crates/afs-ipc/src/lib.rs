@@ -23,6 +23,12 @@
 //!   multiple sentinels on the same active file use to synchronise
 //!   "amongst themselves in a program-dependent fashion" (§2.2).
 //!
+//! On top of the primitives, [`transport::Transport`] packages one
+//! strategy's complete wiring (typed command/reply lanes plus a data lane)
+//! behind a single trait, and [`pool::BufferPool`] recycles the staging
+//! buffers all of them use, so the hot path settles into a steady state
+//! with no per-operation allocation.
+//!
 //! All primitives work identically with or without a virtual clock
 //! installed, so the same code paths serve both the Figure 6 simulation and
 //! wall-clock Criterion benches.
@@ -31,15 +37,19 @@ pub mod control;
 pub mod error;
 pub mod event;
 pub mod pipe;
+pub mod pool;
 pub mod shared_buf;
 pub mod sync;
+pub mod transport;
 
 pub use control::{ControlChannel, ControlReceiver, ControlSender};
 pub use error::IpcError;
 pub use event::{Event, ResetMode};
 pub use pipe::{Pipe, PipeReader, PipeWriter};
+pub use pool::BufferPool;
 pub use shared_buf::SharedBuffer;
 pub use sync::{NamedSemaphore, SyncRegistry};
+pub use transport::{DataRx, DataTx, PairPort, PairTransport, StreamTransport, Transport};
 
 /// Result alias used across this crate.
 pub type Result<T> = std::result::Result<T, IpcError>;

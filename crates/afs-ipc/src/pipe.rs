@@ -27,6 +27,7 @@ use parking_lot::{Condvar, Mutex};
 
 use afs_sim::{clock, Cost, CostModel, CrossingKind, SimTime};
 
+use crate::pool::BufferPool;
 use crate::{IpcError, Result};
 
 /// Default pipe capacity, matching the small in-kernel buffer of NT
@@ -62,6 +63,10 @@ struct Inner {
     model: CostModel,
     crossing: CrossingKind,
     capacity: usize,
+    /// Recycles segment buffers: the reader returns fully-consumed
+    /// segments, the writer reuses them for subsequent chunks. Purely an
+    /// allocation optimisation — charges are identical either way.
+    pool: Arc<BufferPool>,
     state: Mutex<State>,
     readable: Condvar,
     writable: Condvar,
@@ -91,11 +96,28 @@ impl Pipe {
         crossing: CrossingKind,
         capacity: usize,
     ) -> (PipeWriter, PipeReader) {
+        Pipe::with_pool(model, crossing, capacity, Arc::new(BufferPool::new()))
+    }
+
+    /// Creates an anonymous pipe staging its segments in `pool`, so
+    /// several pipes can share one free list (and tests can observe
+    /// reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_pool(
+        model: CostModel,
+        crossing: CrossingKind,
+        capacity: usize,
+        pool: Arc<BufferPool>,
+    ) -> (PipeWriter, PipeReader) {
         assert!(capacity > 0, "pipe capacity must be positive");
         let inner = Arc::new(Inner {
             model,
             crossing,
             capacity,
+            pool,
             state: Mutex::new(State {
                 segments: VecDeque::new(),
                 buffered: 0,
@@ -107,7 +129,9 @@ impl Pipe {
             writable: Condvar::new(),
         });
         (
-            PipeWriter { inner: Arc::clone(&inner) },
+            PipeWriter {
+                inner: Arc::clone(&inner),
+            },
             PipeReader { inner },
         )
     }
@@ -143,7 +167,11 @@ impl PipeWriter {
         inner.model.charge(Cost::PipeMessage);
         if buf.is_empty() {
             let state = inner.state.lock();
-            return if state.readers == 0 { Err(IpcError::BrokenPipe) } else { Ok(()) };
+            return if state.readers == 0 {
+                Err(IpcError::BrokenPipe)
+            } else {
+                Ok(())
+            };
         }
         let mut offset = 0;
         while offset < buf.len() {
@@ -167,10 +195,15 @@ impl PipeWriter {
             // Space is reserved by holding the lock through the enqueue;
             // the copy is the user→kernel copy of this chunk.
             inner.model.charge(Cost::PipeCopy { bytes: take });
-            let chunk = buf[offset..offset + take].to_vec();
+            let mut chunk = inner.pool.take_capacity(take);
+            chunk.extend_from_slice(&buf[offset..offset + take]);
             let ready = clock::now();
             state.buffered += take;
-            state.segments.push_back(Segment { data: chunk, pos: 0, ready });
+            state.segments.push_back(Segment {
+                data: chunk,
+                pos: 0,
+                ready,
+            });
             offset += take;
             inner.readable.notify_one();
         }
@@ -186,7 +219,9 @@ impl PipeWriter {
     /// stays writable until every writer handle is dropped.
     pub fn duplicate(&self) -> PipeWriter {
         self.inner.state.lock().writers += 1;
-        PipeWriter { inner: Arc::clone(&self.inner) }
+        PipeWriter {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -223,14 +258,18 @@ impl PipeReader {
         let mut copied = 0;
         let mut newest: SimTime = 0;
         while copied < buf.len() {
-            let Some(front) = state.segments.front_mut() else { break };
+            let Some(front) = state.segments.front_mut() else {
+                break;
+            };
             let take = front.remaining().min(buf.len() - copied);
             buf[copied..copied + take].copy_from_slice(&front.data[front.pos..front.pos + take]);
             front.pos += take;
             copied += take;
             newest = newest.max(front.ready);
             if front.remaining() == 0 {
-                state.segments.pop_front();
+                if let Some(spent) = state.segments.pop_front() {
+                    inner.pool.put(spent.data);
+                }
             }
         }
         state.buffered -= copied;
@@ -268,7 +307,9 @@ impl PipeReader {
     /// only after every reader handle is dropped.
     pub fn duplicate(&self) -> PipeReader {
         self.inner.state.lock().readers += 1;
-        PipeReader { inner: Arc::clone(&self.inner) }
+        PipeReader {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -430,6 +471,43 @@ mod tests {
     }
 
     #[test]
+    fn segments_recycle_through_the_pool() {
+        let pool = Arc::new(BufferPool::new());
+        let (w, r) = Pipe::with_pool(
+            CostModel::free(),
+            CrossingKind::InterProcess,
+            64,
+            Arc::clone(&pool),
+        );
+        let mut buf = [0u8; 16];
+        for _ in 0..10 {
+            w.write(&[3u8; 16]).expect("write");
+            assert_eq!(r.read(&mut buf).expect("read"), 16);
+        }
+        assert_eq!(pool.allocations(), 1, "only the first chunk allocates");
+        assert_eq!(pool.reuses(), 9);
+    }
+
+    #[test]
+    fn pooling_does_not_change_charges() {
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let (w, r) = Pipe::anonymous(model.clone(), CrossingKind::InterProcess);
+        let mut buf = [0u8; 64];
+        w.write(&[7u8; 64]).expect("warm write");
+        r.read(&mut buf).expect("warm read");
+        let before = model.snapshot();
+        w.write(&[7u8; 64]).expect("pooled write");
+        r.read(&mut buf).expect("pooled read");
+        let delta = model.snapshot().since(&before);
+        assert_eq!(
+            delta.pipe_copy_bytes, 128,
+            "reused buffer still charges both copies"
+        );
+        assert_eq!(delta.copies, 2);
+        assert_eq!(delta.syscalls, 2);
+    }
+
+    #[test]
     fn many_threads_interleave_without_loss() {
         let (w, r) = Pipe::with_capacity(CostModel::free(), CrossingKind::InterThread, 64);
         let writers: Vec<_> = (0..4)
@@ -450,7 +528,10 @@ mod tests {
             if n == 0 {
                 break;
             }
-            assert_eq!(n, 16, "pipe writes of one segment never interleave mid-chunk");
+            assert_eq!(
+                n, 16,
+                "pipe writes of one segment never interleave mid-chunk"
+            );
             counts[buf[0] as usize] += 1;
         }
         assert_eq!(counts, [100; 4]);

@@ -1,0 +1,142 @@
+//! Reusable buffer pool backing the transport hot path.
+//!
+//! Every data transfer in the original runtime needs a staging buffer: the
+//! pipe stages each chunk on its way through the "kernel", the shared
+//! buffer stages the single user-level copy, and the sentinel dispatch
+//! loop stages each command's payload. Allocating those buffers per
+//! operation is pure overhead that the paper's prototype — which reused a
+//! fixed shared-memory region and the kernel's pipe buffer — never paid.
+//! A [`BufferPool`] recycles them: `take` hands out a cleared buffer
+//! (reusing a previously returned allocation when possible) and `put`
+//! returns it.
+//!
+//! Pooling is an allocator-level concern only: it never touches the cost
+//! model, so the charged copies, syscalls, and crossings are identical
+//! with and without it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Buffers retained at most; excess `put`s drop their buffer.
+const MAX_POOLED: usize = 32;
+
+/// Individual buffers larger than this are not retained, bounding the
+/// pool's worst-case footprint.
+const MAX_POOLED_CAPACITY: usize = 1 << 20;
+
+/// A free-list of `Vec<u8>` buffers. Cheap to share behind an `Arc`.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    reuses: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Returns a zero-filled buffer of exactly `len` bytes, reusing a
+    /// pooled allocation when one is available.
+    pub fn take(&self, len: usize) -> Vec<u8> {
+        let mut buf = self.take_capacity(len);
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns an empty buffer with at least `capacity` bytes reserved,
+    /// reusing a pooled allocation when one is available.
+    pub fn take_capacity(&self, capacity: usize) -> Vec<u8> {
+        let recycled = self.free.lock().pop();
+        match recycled {
+            Some(mut buf) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Oversized buffers and
+    /// buffers beyond the retention limit are dropped.
+    pub fn put(&self, buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > MAX_POOLED_CAPACITY {
+            return;
+        }
+        let mut free = self.free.lock();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+    }
+
+    /// How many `take`s were satisfied from the free list.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// How many `take`s had to allocate fresh.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_take_reuses_the_allocation() {
+        let pool = BufferPool::new();
+        let buf = pool.take(64);
+        assert_eq!(buf.len(), 64);
+        assert!(buf.iter().all(|&b| b == 0));
+        pool.put(buf);
+        let again = pool.take(16);
+        assert_eq!(again.len(), 16);
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.allocations(), 1);
+    }
+
+    #[test]
+    fn reused_buffers_are_zeroed() {
+        let pool = BufferPool::new();
+        let mut buf = pool.take(8);
+        buf.copy_from_slice(b"ABCDEFGH");
+        pool.put(buf);
+        let clean = pool.take(8);
+        assert_eq!(clean, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = BufferPool::new();
+        pool.put(vec![0u8; MAX_POOLED_CAPACITY + 1]);
+        let _ = pool.take(1);
+        assert_eq!(pool.reuses(), 0);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BufferPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.put(vec![0u8; 8]);
+        }
+        assert_eq!(pool.free.lock().len(), MAX_POOLED);
+    }
+
+    #[test]
+    fn take_capacity_returns_empty_buffers() {
+        let pool = BufferPool::new();
+        let buf = pool.take_capacity(128);
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 128);
+    }
+}

@@ -21,6 +21,7 @@ use parking_lot::{Condvar, Mutex};
 
 use afs_sim::{clock, Cost, CostModel, SimTime};
 
+use crate::pool::BufferPool;
 use crate::{IpcError, Result};
 
 #[derive(Debug)]
@@ -37,6 +38,10 @@ struct State {
 #[derive(Debug)]
 struct Inner {
     model: CostModel,
+    /// Recycles slot buffers between transfers, mirroring the fixed
+    /// shared-memory region of the prototype. Allocation-only; charges are
+    /// unaffected.
+    pool: BufferPool,
     state: Mutex<State>,
     filled: Condvar,
     emptied: Condvar,
@@ -54,7 +59,12 @@ impl SharedBuffer {
         SharedBuffer {
             inner: Arc::new(Inner {
                 model,
-                state: Mutex::new(State { slot: None, closed: false, last_take: 0 }),
+                pool: BufferPool::new(),
+                state: Mutex::new(State {
+                    slot: None,
+                    closed: false,
+                    last_take: 0,
+                }),
                 filled: Condvar::new(),
                 emptied: Condvar::new(),
             }),
@@ -82,7 +92,9 @@ impl SharedBuffer {
         }
         inner.model.charge(Cost::Memcpy { bytes: data.len() });
         inner.model.charge(Cost::EventSignal);
-        state.slot = Some((data.to_vec(), clock::now()));
+        let mut staged = inner.pool.take_capacity(data.len());
+        staged.extend_from_slice(data);
+        state.slot = Some((staged, clock::now()));
         inner.filled.notify_one();
         Ok(())
     }
@@ -106,9 +118,11 @@ impl SharedBuffer {
                 clock::sync_to(stamp);
                 let n = data.len().min(buf.len());
                 buf[..n].copy_from_slice(&data[..n]);
+                let len = data.len();
+                inner.pool.put(data);
                 state.last_take = state.last_take.max(clock::now());
                 inner.emptied.notify_one();
-                return Ok(data.len());
+                return Ok(len);
             }
             if state.closed {
                 return Err(IpcError::Closed);
@@ -185,6 +199,18 @@ mod tests {
         assert_eq!(snap.memcpy_bytes, 256);
         assert_eq!(snap.copies, 1, "shared memory transfer is single-copy");
         assert_eq!(snap.pipe_copy_bytes, 0);
+    }
+
+    #[test]
+    fn slot_buffers_recycle_through_the_pool() {
+        let b = SharedBuffer::new(CostModel::free());
+        let mut buf = [0u8; 8];
+        for _ in 0..5 {
+            b.send(&[9u8; 8]).expect("send");
+            b.recv_into(&mut buf).expect("recv");
+        }
+        assert_eq!(b.inner.pool.allocations(), 1);
+        assert_eq!(b.inner.pool.reuses(), 4);
     }
 
     #[test]

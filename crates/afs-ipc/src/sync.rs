@@ -113,12 +113,18 @@ impl SyncRegistry {
             .entry(name.to_owned())
             .or_insert_with(|| {
                 Arc::new(SemInner {
-                    state: Mutex::new(SemState { permits: initial.min(max), max: max.max(1) }),
+                    state: Mutex::new(SemState {
+                        permits: initial.min(max),
+                        max: max.max(1),
+                    }),
                     cond: Condvar::new(),
                 })
             })
             .clone();
-        Ok(NamedSemaphore { name: name.to_owned(), inner })
+        Ok(NamedSemaphore {
+            name: name.to_owned(),
+            inner,
+        })
     }
 
     /// Opens a binary semaphore usable as a mutex (one permit).

@@ -96,7 +96,9 @@ pub struct Network {
 
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Network").field("stats", &self.stats()).finish_non_exhaustive()
+        f.debug_struct("Network")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
     }
 }
 
@@ -127,7 +129,10 @@ impl Network {
             .write()
             .services
             .insert(name.to_owned(), (service, Arc::clone(&faults)));
-        FaultPlan { service: name.to_owned(), faults }
+        FaultPlan {
+            service: name.to_owned(),
+            faults,
+        }
     }
 
     /// Removes a service.
@@ -186,13 +191,19 @@ impl Network {
     pub fn rpc(&self, service: &str, request: &[u8]) -> Result<Vec<u8>> {
         let (svc, faults) = self.lookup(service)?;
         self.check_faults(service, &faults)?;
-        self.model.charge(Cost::NetBytes { bytes: request.len() });
+        self.model.charge(Cost::NetBytes {
+            bytes: request.len(),
+        });
         self.model.charge(Cost::NetRoundTrip);
         let response = svc.handle(request)?;
-        self.model.charge(Cost::NetBytes { bytes: response.len() });
+        self.model.charge(Cost::NetBytes {
+            bytes: response.len(),
+        });
         self.rpcs.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(request.len() as u64, Ordering::Relaxed);
-        self.bytes_received.fetch_add(response.len() as u64, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(request.len() as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(response.len() as u64, Ordering::Relaxed);
         Ok(response)
     }
 
@@ -207,10 +218,13 @@ impl Network {
     pub fn cast(&self, service: &str, request: &[u8]) -> Result<()> {
         let (svc, faults) = self.lookup(service)?;
         self.check_faults(service, &faults)?;
-        self.model.charge(Cost::NetBytes { bytes: request.len() });
+        self.model.charge(Cost::NetBytes {
+            bytes: request.len(),
+        });
         svc.handle_cast(request);
         self.casts.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(request.len() as u64, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(request.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -255,8 +269,14 @@ mod tests {
     #[test]
     fn unknown_service_errors() {
         let net = Network::new(CostModel::free());
-        assert!(matches!(net.rpc("ghost", b""), Err(NetError::ServiceNotFound(_))));
-        assert!(matches!(net.cast("ghost", b""), Err(NetError::ServiceNotFound(_))));
+        assert!(matches!(
+            net.rpc("ghost", b""),
+            Err(NetError::ServiceNotFound(_))
+        ));
+        assert!(matches!(
+            net.cast("ghost", b""),
+            Err(NetError::ServiceNotFound(_))
+        ));
     }
 
     #[test]
@@ -266,7 +286,8 @@ mod tests {
         net.register("echo", Arc::new(Echo));
         let _g = clock::install(0);
         net.rpc("echo", &[0u8; 1000]).expect("rpc");
-        let expected = model.price(Cost::NetRoundTrip) + 2 * model.price(Cost::NetBytes { bytes: 1000 });
+        let expected =
+            model.price(Cost::NetRoundTrip) + 2 * model.price(Cost::NetBytes { bytes: 1000 });
         assert_eq!(clock::now(), expected);
     }
 
@@ -297,7 +318,10 @@ mod tests {
         let net = Network::new(CostModel::free());
         let plan = net.register("echo", Arc::new(Echo));
         plan.set_partitioned(true);
-        assert!(matches!(net.rpc("echo", b"x"), Err(NetError::Partitioned(_))));
+        assert!(matches!(
+            net.rpc("echo", b"x"),
+            Err(NetError::Partitioned(_))
+        ));
         plan.set_partitioned(false);
         assert!(net.rpc("echo", b"x").is_ok());
     }

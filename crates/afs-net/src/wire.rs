@@ -164,7 +164,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError::UnexpectedEnd`].
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `u64`.
@@ -173,7 +175,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError::UnexpectedEnd`].
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `i64`.
@@ -182,7 +186,9 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError::UnexpectedEnd`].
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a bool.
@@ -234,7 +240,11 @@ impl<'a> WireReader<'a> {
     /// [`WireError::TrailingBytes`] if data remains.
     pub fn finish(self) -> Result<(), WireError> {
         let rest = self.buf.len() - self.pos;
-        if rest == 0 { Ok(()) } else { Err(WireError::TrailingBytes(rest)) }
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(rest))
+        }
     }
 
     /// Bytes not yet consumed.
@@ -250,7 +260,13 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let mut w = WireWriter::new();
-        w.u8(7).u32(1_000).u64(1 << 40).i64(-9).bool(true).bytes(b"\x00\xff").str("naïve");
+        w.u8(7)
+            .u32(1_000)
+            .u64(1 << 40)
+            .i64(-9)
+            .bool(true)
+            .bytes(b"\x00\xff")
+            .str("naïve");
         let bytes = w.finish();
         let mut r = WireReader::new(&bytes);
         assert_eq!(r.u8().expect("u8"), 7);

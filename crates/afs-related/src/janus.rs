@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use afs_interpose::ApiLayer;
-use afs_winapi::{Access, ApiResult, DelegateFileApi, Disposition, FileApi, Handle, Layered, Win32Error};
+use afs_winapi::{
+    Access, ApiResult, DelegateFileApi, Disposition, FileApi, Handle, Layered, Win32Error,
+};
 
 /// One allow rule: a path prefix plus the rights granted beneath it.
 #[derive(Debug, Clone)]
@@ -74,7 +76,10 @@ impl ApiLayer for JanusLayer {
     }
 
     fn wrap(&self, inner: Arc<dyn FileApi>) -> Arc<dyn FileApi> {
-        Arc::new(Layered(JanusApi { inner, policy: self.policy.clone() }))
+        Arc::new(Layered(JanusApi {
+            inner,
+            policy: self.policy.clone(),
+        }))
     }
 }
 
@@ -88,7 +93,12 @@ impl DelegateFileApi for JanusApi {
         &*self.inner
     }
 
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         if !self.policy.permits(path, access) {
             return Err(Win32Error::AccessDenied);
         }
@@ -149,7 +159,11 @@ mod tests {
     fn deny_by_default() {
         let api = sandboxed(JanusPolicy::new());
         assert_eq!(
-            api.create_file("/etc/passwd", Access::read_only(), Disposition::OpenExisting),
+            api.create_file(
+                "/etc/passwd",
+                Access::read_only(),
+                Disposition::OpenExisting
+            ),
             Err(Win32Error::AccessDenied)
         );
     }
@@ -169,25 +183,45 @@ mod tests {
         api.close_handle(h).expect("close");
         // /etc: read-only.
         let h = api
-            .create_file("/etc/passwd", Access::read_only(), Disposition::OpenExisting)
+            .create_file(
+                "/etc/passwd",
+                Access::read_only(),
+                Disposition::OpenExisting,
+            )
             .expect("etc ro");
         api.close_handle(h).expect("close");
         assert_eq!(
-            api.create_file("/etc/passwd", Access::read_write(), Disposition::OpenExisting),
+            api.create_file(
+                "/etc/passwd",
+                Access::read_write(),
+                Disposition::OpenExisting
+            ),
             Err(Win32Error::AccessDenied)
         );
         // Everything else: denied.
         assert_eq!(
-            api.create_file("/home/secret", Access::read_only(), Disposition::OpenExisting),
+            api.create_file(
+                "/home/secret",
+                Access::read_only(),
+                Disposition::OpenExisting
+            ),
             Err(Win32Error::AccessDenied)
         );
     }
 
     #[test]
     fn namespace_operations_are_policy_checked() {
-        let api = sandboxed(JanusPolicy::new().allow("/tmp", true, true).allow("/etc", true, false));
-        assert_eq!(api.delete_file("/etc/passwd"), Err(Win32Error::AccessDenied));
-        api.copy_file("/etc/passwd", "/tmp/copy").expect("read + write allowed");
+        let api = sandboxed(
+            JanusPolicy::new()
+                .allow("/tmp", true, true)
+                .allow("/etc", true, false),
+        );
+        assert_eq!(
+            api.delete_file("/etc/passwd"),
+            Err(Win32Error::AccessDenied)
+        );
+        api.copy_file("/etc/passwd", "/tmp/copy")
+            .expect("read + write allowed");
         assert_eq!(
             api.copy_file("/tmp/copy", "/etc/clone"),
             Err(Win32Error::AccessDenied),

@@ -83,7 +83,12 @@ impl DelegateFileApi for UfoApi {
         &*self.inner
     }
 
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         let Some(remote) = self.map(path) else {
             return self.delegate().create_file(path, access, disposition);
         };
@@ -99,15 +104,22 @@ impl DelegateFileApi for UfoApi {
             }
         };
         let local = format!("/.ufo{}", path.replace('/', "_"));
-        let h = self
-            .delegate()
-            .create_file(&local, Access::read_write(), Disposition::CreateAlways)?;
+        let h =
+            self.delegate()
+                .create_file(&local, Access::read_write(), Disposition::CreateAlways)?;
         if !data.is_empty() {
             self.delegate().write_file(h, &data)?;
             self.delegate()
                 .set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)?;
         }
-        self.opens.lock().insert(h, OpenState { remote, dirty: false, local });
+        self.opens.lock().insert(
+            h,
+            OpenState {
+                remote,
+                dirty: false,
+                local,
+            },
+        );
         Ok(h)
     }
 
@@ -167,7 +179,12 @@ mod tests {
         let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
         let connector = afs_interpose::MediatingConnector::new(base);
         connector
-            .install(Arc::new(UfoLayer::new(net.clone(), "nfs", "/remote", "/home/user")))
+            .install(Arc::new(UfoLayer::new(
+                net.clone(),
+                "nfs",
+                "/remote",
+                "/home/user",
+            )))
             .expect("install ufo");
         (connector.api(), server, net)
     }
@@ -176,7 +193,11 @@ mod tests {
     fn mapped_paths_read_remote_content() {
         let (api, _server, _net) = setup();
         let h = api
-            .create_file("/remote/doc.txt", Access::read_only(), Disposition::OpenExisting)
+            .create_file(
+                "/remote/doc.txt",
+                Access::read_only(),
+                Disposition::OpenExisting,
+            )
             .expect("open");
         let mut buf = [0u8; 32];
         let n = api.read_file(h, &mut buf).expect("read");
@@ -188,13 +209,20 @@ mod tests {
     fn writes_flow_back_on_close() {
         let (api, server, _net) = setup();
         let h = api
-            .create_file("/remote/doc.txt", Access::read_write(), Disposition::OpenExisting)
+            .create_file(
+                "/remote/doc.txt",
+                Access::read_write(),
+                Disposition::OpenExisting,
+            )
             .expect("open");
         api.set_file_pointer(h, 0, SeekMethod::End).expect("seek");
         api.write_file(h, b" + edits").expect("write");
         api.close_handle(h).expect("close writes back");
         assert_eq!(
-            server.vfs().read_stream_to_end(&"/home/user/doc.txt".parse().expect("p")).expect("read"),
+            server
+                .vfs()
+                .read_stream_to_end(&"/home/user/doc.txt".parse().expect("p"))
+                .expect("read"),
             b"remote document + edits"
         );
     }
@@ -213,7 +241,11 @@ mod tests {
     fn missing_remote_file_fails_the_open() {
         let (api, _server, _net) = setup();
         assert_eq!(
-            api.create_file("/remote/ghost", Access::read_only(), Disposition::OpenExisting),
+            api.create_file(
+                "/remote/ghost",
+                Access::read_only(),
+                Disposition::OpenExisting
+            ),
             Err(Win32Error::FileNotFound)
         );
     }

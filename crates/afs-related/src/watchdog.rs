@@ -83,7 +83,10 @@ pub struct WatchdogLayer {
 impl WatchdogLayer {
     /// Creates a watchdog over `prefix`, reporting into `log`.
     pub fn new(prefix: &str, log: WatchdogLog) -> Self {
-        WatchdogLayer { prefix: prefix.to_owned(), log }
+        WatchdogLayer {
+            prefix: prefix.to_owned(),
+            log,
+        }
     }
 }
 
@@ -114,10 +117,19 @@ impl DelegateFileApi for WatchdogApi {
         &*self.inner
     }
 
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         let h = self.delegate().create_file(path, access, disposition)?;
         if path.starts_with(&self.prefix) {
-            self.log.push(AccessEvent { kind: AccessKind::Open, path: path.to_owned(), bytes: 0 });
+            self.log.push(AccessEvent {
+                kind: AccessKind::Open,
+                path: path.to_owned(),
+                bytes: 0,
+            });
             self.watched.lock().insert(h, path.to_owned());
         }
         Ok(h)
@@ -126,7 +138,11 @@ impl DelegateFileApi for WatchdogApi {
     fn read_file(&self, handle: Handle, buf: &mut [u8]) -> ApiResult<usize> {
         let n = self.delegate().read_file(handle, buf)?;
         if let Some(path) = self.watched.lock().get(&handle) {
-            self.log.push(AccessEvent { kind: AccessKind::Read, path: path.clone(), bytes: n });
+            self.log.push(AccessEvent {
+                kind: AccessKind::Read,
+                path: path.clone(),
+                bytes: n,
+            });
         }
         Ok(n)
     }
@@ -134,7 +150,11 @@ impl DelegateFileApi for WatchdogApi {
     fn write_file(&self, handle: Handle, data: &[u8]) -> ApiResult<usize> {
         let n = self.delegate().write_file(handle, data)?;
         if let Some(path) = self.watched.lock().get(&handle) {
-            self.log.push(AccessEvent { kind: AccessKind::Write, path: path.clone(), bytes: n });
+            self.log.push(AccessEvent {
+                kind: AccessKind::Write,
+                path: path.clone(),
+                bytes: n,
+            });
         }
         Ok(n)
     }
@@ -142,7 +162,11 @@ impl DelegateFileApi for WatchdogApi {
     fn close_handle(&self, handle: Handle) -> ApiResult<()> {
         self.delegate().close_handle(handle)?;
         if let Some(path) = self.watched.lock().remove(&handle) {
-            self.log.push(AccessEvent { kind: AccessKind::Close, path, bytes: 0 });
+            self.log.push(AccessEvent {
+                kind: AccessKind::Close,
+                path,
+                bytes: 0,
+            });
         }
         Ok(())
     }
@@ -150,8 +174,11 @@ impl DelegateFileApi for WatchdogApi {
     fn delete_file(&self, path: &str) -> ApiResult<()> {
         self.delegate().delete_file(path)?;
         if path.starts_with(&self.prefix) {
-            self.log
-                .push(AccessEvent { kind: AccessKind::Delete, path: path.to_owned(), bytes: 0 });
+            self.log.push(AccessEvent {
+                kind: AccessKind::Delete,
+                path: path.to_owned(),
+                bytes: 0,
+            });
         }
         Ok(())
     }
@@ -182,7 +209,8 @@ mod tests {
             .create_file("/guarded/f", Access::read_write(), Disposition::CreateNew)
             .expect("create");
         api.write_file(h, b"abc").expect("write");
-        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)
+            .expect("seek");
         let mut buf = [0u8; 3];
         api.read_file(h, &mut buf).expect("read");
         api.close_handle(h).expect("close");
@@ -222,7 +250,8 @@ mod tests {
             .create_file("/guarded/f", Access::read_write(), Disposition::CreateNew)
             .expect("create");
         api.write_file(h, b"verbatim").expect("write");
-        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)
+            .expect("seek");
         let mut buf = [0u8; 8];
         api.read_file(h, &mut buf).expect("read");
         assert_eq!(&buf, b"verbatim");

@@ -65,7 +65,11 @@ impl DbServer {
         let mut state = self.state.lock();
         state.data.insert(key.to_owned(), value.to_vec());
         let seq = state.log.len() as u64 + 1;
-        state.log.push(DbEvent { seq, op: DbOp::Put, key: key.to_owned() });
+        state.log.push(DbEvent {
+            seq,
+            op: DbOp::Put,
+            key: key.to_owned(),
+        });
     }
 
     /// Deletes directly; `true` if the key existed.
@@ -75,7 +79,11 @@ impl DbServer {
             return false;
         }
         let seq = state.log.len() as u64 + 1;
-        state.log.push(DbEvent { seq, op: DbOp::Delete, key: key.to_owned() });
+        state.log.push(DbEvent {
+            seq,
+            op: DbOp::Delete,
+            key: key.to_owned(),
+        });
         true
     }
 
@@ -139,8 +147,12 @@ impl Service for DbServer {
             OP_CHANGES => {
                 let since = r.u64()?;
                 let state = self.state.lock();
-                let events: Vec<DbEvent> =
-                    state.log.iter().filter(|e| e.seq > since).cloned().collect();
+                let events: Vec<DbEvent> = state
+                    .log
+                    .iter()
+                    .filter(|e| e.seq > since)
+                    .cloned()
+                    .collect();
                 ok_response(|w| {
                     w.seq(events.len());
                     for e in &events {
@@ -170,7 +182,10 @@ pub struct DbClient {
 impl DbClient {
     /// Creates a client for `service` over `net`.
     pub fn new(net: Network, service: &str) -> Self {
-        DbClient { net, service: service.to_owned() }
+        DbClient {
+            net,
+            service: service.to_owned(),
+        }
     }
 
     /// Inserts or updates a key; returns the new change sequence.

@@ -46,7 +46,10 @@ pub struct FileServer {
 impl FileServer {
     /// Creates an empty server.
     pub fn new() -> Arc<Self> {
-        Arc::new(FileServer { vfs: Arc::new(Vfs::new()), versions: Mutex::new(HashMap::new()) })
+        Arc::new(FileServer {
+            vfs: Arc::new(Vfs::new()),
+            versions: Mutex::new(HashMap::new()),
+        })
     }
 
     /// Direct (out-of-band) access to the server's file system, used by
@@ -70,7 +73,9 @@ impl FileServer {
         if !self.vfs.is_file(&vpath) {
             self.vfs.create_file(&vpath).expect("seed create");
         }
-        self.vfs.write_stream_replace(&vpath, data).expect("seed write");
+        self.vfs
+            .write_stream_replace(&vpath, data)
+            .expect("seed write");
         self.bump(path);
     }
 
@@ -92,7 +97,9 @@ impl FileServer {
             return Ok(());
         }
         if let Some(parent) = vpath.parent() {
-            self.vfs.create_dir_all(&parent).map_err(|e| e.to_string())?;
+            self.vfs
+                .create_dir_all(&parent)
+                .map_err(|e| e.to_string())?;
         }
         self.vfs.create_file(vpath).map_err(|e| e.to_string())
     }
@@ -129,7 +136,9 @@ impl FileServer {
                 let data = r.bytes()?.to_vec();
                 match Self::parse(&path).and_then(|vp| {
                     self.ensure_file(&vp)?;
-                    self.vfs.write_stream(&vp, offset, &data).map_err(|e| e.to_string())
+                    self.vfs
+                        .write_stream(&vp, offset, &data)
+                        .map_err(|e| e.to_string())
                 }) {
                     Ok(n) => {
                         self.bump(&path);
@@ -146,7 +155,9 @@ impl FileServer {
                 match Self::parse(&path).and_then(|vp| {
                     self.ensure_file(&vp)?;
                     let len = self.vfs.stream_len(&vp).map_err(|e| e.to_string())?;
-                    self.vfs.write_stream(&vp, len, &data).map_err(|e| e.to_string())
+                    self.vfs
+                        .write_stream(&vp, len, &data)
+                        .map_err(|e| e.to_string())
                 }) {
                     Ok(n) => {
                         self.bump(&path);
@@ -162,7 +173,9 @@ impl FileServer {
                 let data = r.bytes()?.to_vec();
                 match Self::parse(&path).and_then(|vp| {
                     self.ensure_file(&vp)?;
-                    self.vfs.write_stream_replace(&vp, &data).map_err(|e| e.to_string())
+                    self.vfs
+                        .write_stream_replace(&vp, &data)
+                        .map_err(|e| e.to_string())
                 }) {
                     Ok(()) => {
                         self.bump(&path);
@@ -193,7 +206,9 @@ impl FileServer {
                     Ok(entries) => ok_response(|w| {
                         w.seq(entries.len());
                         for e in &entries {
-                            w.str(&e.name).bool(e.kind == afs_vfs::NodeKind::Directory).u64(e.len);
+                            w.str(&e.name)
+                                .bool(e.kind == afs_vfs::NodeKind::Directory)
+                                .u64(e.len);
                         }
                     }),
                     Err(e) => err_response(&e),
@@ -201,7 +216,8 @@ impl FileServer {
             }
             OP_DELETE => {
                 let path = r.str()?.to_owned();
-                match Self::parse(&path).and_then(|vp| self.vfs.delete(&vp).map_err(|e| e.to_string()))
+                match Self::parse(&path)
+                    .and_then(|vp| self.vfs.delete(&vp).map_err(|e| e.to_string()))
                 {
                     Ok(()) => {
                         self.bump(&path);
@@ -218,7 +234,10 @@ impl FileServer {
 
 impl Default for FileServer {
     fn default() -> Self {
-        FileServer { vfs: Arc::new(Vfs::new()), versions: Mutex::new(HashMap::new()) }
+        FileServer {
+            vfs: Arc::new(Vfs::new()),
+            versions: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -238,7 +257,10 @@ pub struct FileClient {
 impl FileClient {
     /// Creates a client talking to `service` over `net`.
     pub fn new(net: Network, service: &str) -> Self {
-        FileClient { net, service: service.to_owned() }
+        FileClient {
+            net,
+            service: service.to_owned(),
+        }
     }
 
     /// The service name this client targets.
@@ -344,7 +366,10 @@ impl FileClient {
         w.u8(OP_STAT).str(path);
         let resp = self.net.rpc(&self.service, &w.finish())?;
         let mut r = check_status(&resp)?;
-        Ok(RemoteStat { len: r.u64()?, version: r.u64()? })
+        Ok(RemoteStat {
+            len: r.u64()?,
+            version: r.u64()?,
+        })
     }
 
     /// Lists a directory: `(name, is_dir, len)` triples.
@@ -398,14 +423,20 @@ mod tests {
     fn get_after_seed() {
         let (server, client) = setup();
         server.seed("/pub/readme.txt", b"remote content");
-        assert_eq!(client.get_all("/pub/readme.txt").expect("get"), b"remote content");
+        assert_eq!(
+            client.get_all("/pub/readme.txt").expect("get"),
+            b"remote content"
+        );
         assert_eq!(client.get("/pub/readme.txt", 7, 4).expect("range"), b"cont");
     }
 
     #[test]
     fn get_missing_is_rejected() {
         let (_server, client) = setup();
-        assert!(matches!(client.get("/nope", 0, 4), Err(NetError::Rejected(_))));
+        assert!(matches!(
+            client.get("/nope", 0, 4),
+            Err(NetError::Rejected(_))
+        ));
     }
 
     #[test]
@@ -453,10 +484,15 @@ mod tests {
     #[test]
     fn put_async_is_delivered() {
         let (server, client) = setup();
-        client.put_async("/bg", 0, b"fire-and-forget").expect("cast");
+        client
+            .put_async("/bg", 0, b"fire-and-forget")
+            .expect("cast");
         // Cast delivers synchronously in simulation; check server state.
         assert_eq!(
-            server.vfs().read_stream_to_end(&VPath::parse("/bg").expect("p")).expect("read"),
+            server
+                .vfs()
+                .read_stream_to_end(&VPath::parse("/bg").expect("p"))
+                .expect("read"),
             b"fire-and-forget"
         );
     }
@@ -468,6 +504,9 @@ mod tests {
         let v1 = client.stat("/shared").expect("stat").version;
         server.seed("/shared", b"v2");
         let v2 = client.stat("/shared").expect("stat").version;
-        assert!(v2 > v1, "sentinels can track changes in the original source");
+        assert!(
+            v2 > v1,
+            "sentinels can track changes in the original source"
+        );
     }
 }

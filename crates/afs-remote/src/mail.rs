@@ -55,13 +55,17 @@ impl MailStore {
     /// Delivers one message copy to `to`'s mailbox, returning its id.
     pub fn deliver(&self, from: &str, to: &str, subject: &str, body: &str) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.boxes.lock().entry(to.to_owned()).or_default().push(Message {
-            id,
-            from: from.to_owned(),
-            to: to.to_owned(),
-            subject: subject.to_owned(),
-            body: body.to_owned(),
-        });
+        self.boxes
+            .lock()
+            .entry(to.to_owned())
+            .or_default()
+            .push(Message {
+                id,
+                from: from.to_owned(),
+                to: to.to_owned(),
+                subject: subject.to_owned(),
+                body: body.to_owned(),
+            });
         id
     }
 
@@ -95,14 +99,19 @@ impl Service for PopServer {
         Ok(match op {
             OP_STAT => {
                 let (count, octets) = self.store.with_box(&user, |mbox| {
-                    (mbox.len() as u64, mbox.iter().map(|m| m.body.len() as u64).sum::<u64>())
+                    (
+                        mbox.len() as u64,
+                        mbox.iter().map(|m| m.body.len() as u64).sum::<u64>(),
+                    )
                 });
                 ok_response(|w| {
                     w.u64(count).u64(octets);
                 })
             }
             OP_LIST => {
-                let ids: Vec<u64> = self.store.with_box(&user, |mbox| mbox.iter().map(|m| m.id).collect());
+                let ids: Vec<u64> = self
+                    .store
+                    .with_box(&user, |mbox| mbox.iter().map(|m| m.id).collect());
                 ok_response(|w| {
                     w.seq(ids.len());
                     for id in ids {
@@ -117,7 +126,11 @@ impl Service for PopServer {
                     .with_box(&user, |mbox| mbox.iter().find(|m| m.id == id).cloned());
                 match msg {
                     Some(m) => ok_response(|w| {
-                        w.u64(m.id).str(&m.from).str(&m.to).str(&m.subject).str(&m.body);
+                        w.u64(m.id)
+                            .str(&m.from)
+                            .str(&m.to)
+                            .str(&m.subject)
+                            .str(&m.body);
                     }),
                     None => err_response("no such message"),
                 }
@@ -300,7 +313,9 @@ mod tests {
         assert_eq!(delivered, 1);
         let ids = client.list("pop1", "bob@example").expect("list");
         assert_eq!(ids.len(), 1);
-        let msg = client.retrieve("pop1", "bob@example", ids[0]).expect("retr");
+        let msg = client
+            .retrieve("pop1", "bob@example", ids[0])
+            .expect("retr");
         assert_eq!(msg.from, "alice@example");
         assert_eq!(msg.subject, "hi");
         assert_eq!(msg.body, "hello bob");
@@ -333,7 +348,10 @@ mod tests {
         let id = store.deliver("a@x", "u@x", "s", "b");
         client.delete("pop1", "u@x", id).expect("dele");
         assert_eq!(store.count("u@x"), 0);
-        assert!(client.delete("pop1", "u@x", id).is_err(), "second delete fails");
+        assert!(
+            client.delete("pop1", "u@x", id).is_err(),
+            "second delete fails"
+        );
     }
 
     #[test]

@@ -125,7 +125,10 @@ pub struct QuoteClient {
 impl QuoteClient {
     /// Creates a client for `service` over `net`.
     pub fn new(net: Network, service: &str) -> Self {
-        QuoteClient { net, service: service.to_owned() }
+        QuoteClient {
+            net,
+            service: service.to_owned(),
+        }
     }
 
     /// Fetches current quotes for `symbols`.
@@ -147,7 +150,11 @@ impl QuoteClient {
         for _ in 0..n {
             let symbol = r.str()?.to_owned();
             let cents = r.u64()?;
-            out.push(Quote { symbol, cents, tick });
+            out.push(Quote {
+                symbol,
+                cents,
+                tick,
+            });
         }
         Ok(out)
     }

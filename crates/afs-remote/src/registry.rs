@@ -103,7 +103,9 @@ pub struct RegistryServer {
 impl RegistryServer {
     /// Creates an empty registry.
     pub fn new() -> Arc<Self> {
-        Arc::new(RegistryServer { root: Mutex::new(Key::default()) })
+        Arc::new(RegistryServer {
+            root: Mutex::new(Key::default()),
+        })
     }
 
     /// Sets a value directly (experiment setup).
@@ -115,7 +117,10 @@ impl RegistryServer {
 
     /// Reads a value directly (test/diagnostic access).
     pub fn get(&self, key: &str, name: &str) -> Option<RegistryValue> {
-        self.root.lock().walk(key).and_then(|k| k.values.get(name).cloned())
+        self.root
+            .lock()
+            .walk(key)
+            .and_then(|k| k.values.get(name).cloned())
     }
 }
 
@@ -136,7 +141,9 @@ impl Service for RegistryServer {
             OP_SET_VALUE => {
                 let name = r.str()?.to_owned();
                 let value = RegistryValue::decode(&mut r)?;
-                let key = root.walk_mut(&key_path, true).expect("create walks infallibly");
+                let key = root
+                    .walk_mut(&key_path, true)
+                    .expect("create walks infallibly");
                 key.values.insert(name, value);
                 ok_response(|_| {})
             }
@@ -209,7 +216,10 @@ pub struct RegistryClient {
 impl RegistryClient {
     /// Creates a client for `service` over `net`.
     pub fn new(net: Network, service: &str) -> Self {
-        RegistryClient { net, service: service.to_owned() }
+        RegistryClient {
+            net,
+            service: service.to_owned(),
+        }
     }
 
     /// Reads one value.
@@ -333,8 +343,13 @@ mod tests {
             ("d", RegistryValue::U32(7)),
             ("b", RegistryValue::Bin(vec![1, 2, 3])),
         ] {
-            client.set_value("HKLM/Software/Afs", name, &value).expect("set");
-            assert_eq!(client.get_value("HKLM/Software/Afs", name).expect("get"), value);
+            client
+                .set_value("HKLM/Software/Afs", name, &value)
+                .expect("set");
+            assert_eq!(
+                client.get_value("HKLM/Software/Afs", name).expect("get"),
+                value
+            );
         }
     }
 
@@ -349,7 +364,10 @@ mod tests {
         let (server, client) = setup();
         server.set("HKLM/A", "v1", RegistryValue::U32(1));
         server.set("HKLM/B", "v2", RegistryValue::U32(2));
-        assert_eq!(client.enum_keys("HKLM").expect("keys"), vec!["A".to_owned(), "B".to_owned()]);
+        assert_eq!(
+            client.enum_keys("HKLM").expect("keys"),
+            vec!["A".to_owned(), "B".to_owned()]
+        );
         let values = client.enum_values("HKLM/A").expect("values");
         assert_eq!(values, vec![("v1".to_owned(), RegistryValue::U32(1))]);
     }
@@ -368,7 +386,10 @@ mod tests {
     fn create_key_makes_empty_key_visible() {
         let (_server, client) = setup();
         client.create_key("HKCU/Deep/Nested/Key").expect("create");
-        assert_eq!(client.enum_keys("HKCU/Deep/Nested").expect("keys"), vec!["Key".to_owned()]);
+        assert_eq!(
+            client.enum_keys("HKCU/Deep/Nested").expect("keys"),
+            vec!["Key".to_owned()]
+        );
     }
 
     #[test]

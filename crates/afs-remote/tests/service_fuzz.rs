@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use afs_net::Service;
-use afs_remote::{DbServer, FileServer, MailStore, PopServer, QuoteServer, RegistryServer, SmtpServer};
+use afs_remote::{
+    DbServer, FileServer, MailStore, PopServer, QuoteServer, RegistryServer, SmtpServer,
+};
 use proptest::prelude::*;
 
 fn services() -> Vec<(&'static str, Arc<dyn Service>)> {

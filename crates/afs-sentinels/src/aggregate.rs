@@ -43,7 +43,12 @@ impl SentinelLogic for RemoteFileSentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
@@ -57,7 +62,10 @@ impl SentinelLogic for RemoteFileSentinel {
         if self.dirty {
             let service = ctx.require_str("service")?.to_owned();
             let remote = ctx.require_str("remote")?.to_owned();
-            let writeback = ctx.config_str("writeback").map(|v| v != "false").unwrap_or(true);
+            let writeback = ctx
+                .config_str("writeback")
+                .map(|v| v != "false")
+                .unwrap_or(true);
             if writeback {
                 let data = ctx.cache().to_vec()?;
                 ctx.file_client(&service).replace(&remote, &data)?;
@@ -110,11 +118,21 @@ impl SentinelLogic for MergeSentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 }
@@ -156,8 +174,11 @@ impl SentinelLogic for InboxSentinel {
             for id in client.list(server, &user)? {
                 let msg = client.retrieve(server, &user, id)?;
                 rendered.extend_from_slice(
-                    format!("From: {}\nSubject: {}\n\n{}\n\n", msg.from, msg.subject, msg.body)
-                        .as_bytes(),
+                    format!(
+                        "From: {}\nSubject: {}\n\n{}\n\n",
+                        msg.from, msg.subject, msg.body
+                    )
+                    .as_bytes(),
                 );
                 if delete {
                     client.delete(server, &user, id)?;
@@ -168,11 +189,21 @@ impl SentinelLogic for InboxSentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 }
@@ -206,17 +237,32 @@ impl SentinelLogic for StockTickerSentinel {
         let quotes = ctx.quote_client(&service).quotes(&symbols)?;
         let mut rendered = String::new();
         for q in &quotes {
-            rendered.push_str(&format!("{}\t{}.{:02}\n", q.symbol, q.cents / 100, q.cents % 100));
+            rendered.push_str(&format!(
+                "{}\t{}.{:02}\n",
+                q.symbol,
+                q.cents / 100,
+                q.cents % 100
+            ));
         }
         ctx.cache().replace(rendered.as_bytes())?;
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 }
@@ -242,7 +288,10 @@ pub struct RegistryFileSentinel {
 impl RegistryFileSentinel {
     /// Creates the sentinel.
     pub fn new() -> Self {
-        RegistryFileSentinel { view: Vec::new(), dirty: false }
+        RegistryFileSentinel {
+            view: Vec::new(),
+            dirty: false,
+        }
     }
 
     fn parse_lines(text: &str) -> Vec<(String, String)> {
@@ -252,7 +301,8 @@ impl RegistryFileSentinel {
                 if line.is_empty() {
                     return None;
                 }
-                line.split_once('=').map(|(k, v)| (k.trim().to_owned(), v.trim().to_owned()))
+                line.split_once('=')
+                    .map(|(k, v)| (k.trim().to_owned(), v.trim().to_owned()))
             })
             .collect()
     }
@@ -274,9 +324,10 @@ impl SentinelLogic for RegistryFileSentinel {
             let shown = match value {
                 RegistryValue::Str(s) => s,
                 RegistryValue::U32(v) => v.to_string(),
-                RegistryValue::Bin(b) => {
-                    b.iter().map(|byte| format!("{byte:02x}")).collect::<String>()
-                }
+                RegistryValue::Bin(b) => b
+                    .iter()
+                    .map(|byte| format!("{byte:02x}"))
+                    .collect::<String>(),
             };
             rendered.push_str(&format!("{name}={shown}\n"));
         }
@@ -284,7 +335,12 @@ impl SentinelLogic for RegistryFileSentinel {
         Ok(())
     }
 
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let start = (offset as usize).min(self.view.len());
         let n = buf.len().min(self.view.len() - start);
         buf[..n].copy_from_slice(&self.view[start..start + n]);
@@ -319,9 +375,10 @@ impl SentinelLogic for RegistryFileSentinel {
                 let shown = match value {
                     RegistryValue::Str(s) => s,
                     RegistryValue::U32(v) => v.to_string(),
-                    RegistryValue::Bin(b) => {
-                        b.iter().map(|byte| format!("{byte:02x}")).collect::<String>()
-                    }
+                    RegistryValue::Bin(b) => b
+                        .iter()
+                        .map(|byte| format!("{byte:02x}"))
+                        .collect::<String>(),
                 };
                 (name, shown)
             })
@@ -369,7 +426,9 @@ mod tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/pub/data.txt", b"remote original");
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/local.af",
@@ -383,7 +442,10 @@ mod tests {
         // Writing through the active file propagates on close.
         write_active(&world, "/local.af", b"edited locally!");
         let client = afs_remote::FileClient::new(world.net().clone(), "files");
-        assert_eq!(client.get_all("/pub/data.txt").expect("get"), b"edited locally!");
+        assert_eq!(
+            client.get_all("/pub/data.txt").expect("get"),
+            b"edited locally!"
+        );
     }
 
     #[test]
@@ -391,7 +453,9 @@ mod tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/doc", b"v1");
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/doc.af",
@@ -415,7 +479,9 @@ mod tests {
         server.seed("/parts/a", b"alpha");
         server.seed("/parts/b", b"beta");
         server.seed("/parts/c", b"gamma");
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/all.af",
@@ -426,7 +492,10 @@ mod tests {
                     .with("separator", "\n--\n"),
             )
             .expect("install");
-        assert_eq!(read_active(&world, "/all.af"), b"alpha\n--\nbeta\n--\ngamma");
+        assert_eq!(
+            read_active(&world, "/all.af"),
+            b"alpha\n--\nbeta\n--\ngamma"
+        );
     }
 
     #[test]
@@ -436,8 +505,12 @@ mod tests {
         let store2 = MailStore::new();
         store1.deliver("alice@a", "me@here", "first", "body one");
         store2.deliver("bob@b", "me@here", "second", "body two");
-        world.net().register("pop1", PopServer::new(store1.clone()) as Arc<dyn Service>);
-        world.net().register("pop2", PopServer::new(store2.clone()) as Arc<dyn Service>);
+        world
+            .net()
+            .register("pop1", PopServer::new(store1.clone()) as Arc<dyn Service>);
+        world
+            .net()
+            .register("pop2", PopServer::new(store2.clone()) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/inbox.af",
@@ -460,7 +533,9 @@ mod tests {
         let world = test_world();
         let store = MailStore::new();
         store.deliver("x@y", "me@here", "s", "b");
-        world.net().register("pop", PopServer::new(store.clone()) as Arc<dyn Service>);
+        world
+            .net()
+            .register("pop", PopServer::new(store.clone()) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/inbox.af",
@@ -479,7 +554,9 @@ mod tests {
     fn stock_ticker_renders_quotes_and_refreshes_per_open() {
         let world = test_world();
         let server = QuoteServer::new(11, &["ACME", "INIT"]);
-        world.net().register("quotes", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("quotes", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/stocks.af",
@@ -497,7 +574,10 @@ mod tests {
             server.advance();
         }
         let second = String::from_utf8(read_active(&world, "/stocks.af")).expect("utf8");
-        assert_ne!(first, second, "file reflects the latest stock quotes on every open");
+        assert_ne!(
+            first, second,
+            "file reflects the latest stock quotes on every open"
+        );
     }
 
     #[test]
@@ -506,7 +586,9 @@ mod tests {
         let server = RegistryServer::new();
         server.set("HKLM/Soft/App", "theme", RegistryValue::Str("dark".into()));
         server.set("HKLM/Soft/App", "volume", RegistryValue::U32(7));
-        world.net().register("registry", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("registry", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/config.af",
@@ -524,7 +606,11 @@ mod tests {
             use afs_winapi::{Access, Disposition, FileApi};
             let api = world.api();
             let h = api
-                .create_file("/config.af", Access::read_write(), Disposition::OpenExisting)
+                .create_file(
+                    "/config.af",
+                    Access::read_write(),
+                    Disposition::OpenExisting,
+                )
                 .expect("open");
             // Overwrite the whole view.
             let new_text = b"lang=en\ntheme=light\n";
@@ -532,9 +618,19 @@ mod tests {
             api.set_end_of_file(h).err(); // not supported on active: ignore
             api.close_handle(h).expect("close applies the diff");
         }
-        assert_eq!(server.get("HKLM/Soft/App", "theme"), Some(RegistryValue::Str("light".into())));
-        assert_eq!(server.get("HKLM/Soft/App", "lang"), Some(RegistryValue::Str("en".into())));
-        assert_eq!(server.get("HKLM/Soft/App", "volume"), None, "removed line deletes the value");
+        assert_eq!(
+            server.get("HKLM/Soft/App", "theme"),
+            Some(RegistryValue::Str("light".into()))
+        );
+        assert_eq!(
+            server.get("HKLM/Soft/App", "lang"),
+            Some(RegistryValue::Str("en".into()))
+        );
+        assert_eq!(
+            server.get("HKLM/Soft/App", "volume"),
+            None,
+            "removed line deletes the value"
+        );
     }
 
     #[test]
@@ -542,7 +638,9 @@ mod tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/a", b"x");
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/m.af",

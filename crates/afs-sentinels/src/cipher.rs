@@ -44,7 +44,12 @@ impl XorCipherSentinel {
 }
 
 impl SentinelLogic for XorCipherSentinel {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let n = ctx.cache().read_at(offset, buf)?;
         self.apply(offset, &mut buf[..n]);
         Ok(n)
@@ -60,7 +65,11 @@ impl SentinelLogic for XorCipherSentinel {
 /// Registers `xor-cipher` (config: `key`).
 pub fn register(registry: &SentinelRegistry) {
     registry.register("xor-cipher", |spec| {
-        let key = spec.config().get("key").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let key = spec
+            .config()
+            .get("key")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         Box::new(XorCipherSentinel::new(key))
     });
 }

@@ -196,7 +196,11 @@ pub struct CompressSentinel {
 impl CompressSentinel {
     /// Creates the sentinel with the given codec.
     pub fn new(codec: Codec) -> Self {
-        CompressSentinel { codec, plain: Vec::new(), dirty: false }
+        CompressSentinel {
+            codec,
+            plain: Vec::new(),
+            dirty: false,
+        }
     }
 
     fn compress(&self, data: &[u8]) -> Vec<u8> {
@@ -227,7 +231,12 @@ impl SentinelLogic for CompressSentinel {
         Ok(())
     }
 
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let start = (offset as usize).min(self.plain.len());
         let n = buf.len().min(self.plain.len() - start);
         buf[..n].copy_from_slice(&self.plain[start..start + n]);
@@ -318,7 +327,10 @@ mod tests {
 
     #[test]
     fn corrupt_streams_are_rejected() {
-        assert!(lzss_decompress(&[0b0000_0000, 0x01]).is_err(), "truncated token");
+        assert!(
+            lzss_decompress(&[0b0000_0000, 0x01]).is_err(),
+            "truncated token"
+        );
         assert!(rle_decompress(&[1]).is_err(), "odd rle length");
         // A match pointing before the start of output.
         assert!(lzss_decompress(&[0b0000_0000, 0xFF, 0xFF]).is_err());

@@ -26,7 +26,11 @@ pub struct LiveQuerySentinel {
 impl LiveQuerySentinel {
     /// Creates the sentinel.
     pub fn new() -> Self {
-        LiveQuerySentinel { view: Vec::new(), seen_seq: 0, track: true }
+        LiveQuerySentinel {
+            view: Vec::new(),
+            seen_seq: 0,
+            track: true,
+        }
     }
 
     fn render(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
@@ -69,11 +73,19 @@ impl Default for LiveQuerySentinel {
 
 impl SentinelLogic for LiveQuerySentinel {
     fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
-        self.track = ctx.config_str("track").map(|v| v != "false").unwrap_or(true);
+        self.track = ctx
+            .config_str("track")
+            .map(|v| v != "false")
+            .unwrap_or(true);
         self.render(ctx)
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         self.refresh_if_stale(ctx)?;
         let start = (offset as usize).min(self.view.len());
         let n = buf.len().min(self.view.len() - start);
@@ -81,7 +93,12 @@ impl SentinelLogic for LiveQuerySentinel {
         Ok(n)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 
@@ -111,7 +128,9 @@ mod tests {
         db.put("user:1", b"alice");
         db.put("user:2", b"bob");
         db.put("group:1", b"admins");
-        world.net().register("db", Arc::clone(&db) as Arc<dyn Service>);
+        world
+            .net()
+            .register("db", Arc::clone(&db) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/q.af",
@@ -127,7 +146,10 @@ mod tests {
     #[test]
     fn renders_prefix_scan_as_text() {
         let (world, _db) = setup(true);
-        assert_eq!(crate::read_active(&world, "/q.af"), b"user:1=alice\nuser:2=bob\n");
+        assert_eq!(
+            crate::read_active(&world, "/q.af"),
+            b"user:1=alice\nuser:2=bob\n"
+        );
     }
 
     #[test]

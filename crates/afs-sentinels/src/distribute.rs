@@ -50,13 +50,19 @@ impl OutboxSentinel {
                 continue;
             }
             if let Some(rest) = line.strip_prefix("To:") {
-                recipients.extend(rest.split(',').map(|r| r.trim().to_owned()).filter(|r| !r.is_empty()));
+                recipients.extend(
+                    rest.split(',')
+                        .map(|r| r.trim().to_owned())
+                        .filter(|r| !r.is_empty()),
+                );
             } else if let Some(rest) = line.strip_prefix("Subject:") {
                 subject = rest.trim().to_owned();
             }
         }
         if recipients.is_empty() {
-            return Err(SentinelError::Other("outbox message has no To: header".into()));
+            return Err(SentinelError::Other(
+                "outbox message has no To: header".into(),
+            ));
         }
         Ok((recipients, subject, body_lines.join("\n")))
     }
@@ -69,7 +75,12 @@ impl Default for OutboxSentinel {
 }
 
 impl SentinelLogic for OutboxSentinel {
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         // Reading the outbox shows what is queued, like a draft.
         let start = (offset as usize).min(self.buffer.len());
         let n = buf.len().min(self.buffer.len() - start);
@@ -102,7 +113,8 @@ impl SentinelLogic for OutboxSentinel {
         let text = String::from_utf8_lossy(&self.buffer).into_owned();
         let (recipients, subject, body) = Self::parse(&text)?;
         let refs: Vec<&str> = recipients.iter().map(String::as_str).collect();
-        ctx.mail_client().send(&service, &from, &refs, &subject, &body)?;
+        ctx.mail_client()
+            .send(&service, &from, &refs, &subject, &body)?;
         self.buffer.clear();
         Ok(())
     }
@@ -132,7 +144,12 @@ impl Default for FanOutSentinel {
 }
 
 impl SentinelLogic for FanOutSentinel {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
@@ -190,7 +207,12 @@ impl SentinelLogic for NotifySentinel {
         Self::notify(ctx, "open")
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         Self::notify(ctx, "read")?;
         ctx.cache().read_at(offset, buf)
     }
@@ -227,8 +249,12 @@ mod tests {
     fn outbox_parses_recipients_and_delivers() {
         let world = test_world();
         let store = MailStore::new();
-        world.net().register("smtp", SmtpServer::new(store.clone()) as Arc<dyn Service>);
-        world.net().register("pop", PopServer::new(store.clone()) as Arc<dyn Service>);
+        world
+            .net()
+            .register("smtp", SmtpServer::new(store.clone()) as Arc<dyn Service>);
+        world
+            .net()
+            .register("pop", PopServer::new(store.clone()) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/outbox.af",
@@ -257,7 +283,9 @@ mod tests {
         use afs_winapi::{Access, Disposition, FileApi};
         let world = test_world();
         let store = MailStore::new();
-        world.net().register("smtp", SmtpServer::new(store) as Arc<dyn Service>);
+        world
+            .net()
+            .register("smtp", SmtpServer::new(store) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/outbox.af",
@@ -266,17 +294,27 @@ mod tests {
             .expect("install");
         let api = world.api();
         let h = api
-            .create_file("/outbox.af", Access::write_only(), Disposition::OpenExisting)
+            .create_file(
+                "/outbox.af",
+                Access::write_only(),
+                Disposition::OpenExisting,
+            )
             .expect("open");
-        api.write_file(h, b"Subject: no recipients\n\nbody").expect("write");
-        assert!(api.close_handle(h).is_err(), "missing To: surfaces at close");
+        api.write_file(h, b"Subject: no recipients\n\nbody")
+            .expect("write");
+        assert!(
+            api.close_handle(h).is_err(),
+            "missing To: surfaces at close"
+        );
     }
 
     #[test]
     fn fan_out_replicates_writes_to_all_targets() {
         let world = test_world();
         let server = FileServer::new();
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/pub.af",
@@ -314,7 +352,9 @@ mod tests {
     fn notify_fires_selected_events() {
         let world = test_world();
         let sink = Arc::new(Sink::default());
-        world.net().register("audit", Arc::clone(&sink) as Arc<dyn Service>);
+        world
+            .net()
+            .register("audit", Arc::clone(&sink) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/watched.af",
@@ -335,7 +375,9 @@ mod tests {
     fn notify_defaults_to_all_events() {
         let world = test_world();
         let sink = Arc::new(Sink::default());
-        world.net().register("audit", Arc::clone(&sink) as Arc<dyn Service>);
+        world
+            .net()
+            .register("audit", Arc::clone(&sink) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/w.af",
@@ -346,7 +388,12 @@ mod tests {
             .expect("install");
         write_active(&world, "/w.af", b"x");
         let _ = crate::read_active(&world, "/w.af");
-        let kinds: Vec<String> = sink.events.lock().iter().map(|(e, _, _)| e.clone()).collect();
+        let kinds: Vec<String> = sink
+            .events
+            .lock()
+            .iter()
+            .map(|(e, _, _)| e.clone())
+            .collect();
         assert!(kinds.contains(&"open".to_owned()));
         assert!(kinds.contains(&"write".to_owned()));
         assert!(kinds.contains(&"read".to_owned()));

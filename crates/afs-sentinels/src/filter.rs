@@ -25,7 +25,12 @@ struct FilterSentinel<F: ByteFilter> {
 }
 
 impl<F: ByteFilter> SentinelLogic for FilterSentinel<F> {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let n = ctx.cache().read_at(offset, buf)?;
         for b in &mut buf[..n] {
             *b = self.filter.outbound(*b);
@@ -126,7 +131,10 @@ pub struct LineEndingSentinel {
 impl LineEndingSentinel {
     /// Creates the sentinel (view populated on open).
     pub fn new() -> Self {
-        LineEndingSentinel { rendered: Vec::new(), dirty: false }
+        LineEndingSentinel {
+            rendered: Vec::new(),
+            dirty: false,
+        }
     }
 }
 
@@ -149,7 +157,12 @@ impl SentinelLogic for LineEndingSentinel {
         Ok(())
     }
 
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let start = (offset as usize).min(self.rendered.len());
         let n = buf.len().min(self.rendered.len() - start);
         buf[..n].copy_from_slice(&self.rendered[start..start + n]);
@@ -172,7 +185,12 @@ impl SentinelLogic for LineEndingSentinel {
 
     fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
         if self.dirty {
-            let stored: Vec<u8> = self.rendered.iter().copied().filter(|&b| b != b'\r').collect();
+            let stored: Vec<u8> = self
+                .rendered
+                .iter()
+                .copied()
+                .filter(|&b| b != b'\r')
+                .collect();
             ctx.cache().replace(&stored)?;
         }
         Ok(())
@@ -207,7 +225,10 @@ mod tests {
         assert_eq!(read_active(&world, "/u.af"), b"MIXED CASE");
         // Stored data is untouched.
         assert_eq!(
-            world.vfs().read_stream_to_end(&VPath::parse("/u.af").expect("p")).expect("read"),
+            world
+                .vfs()
+                .read_stream_to_end(&VPath::parse("/u.af").expect("p"))
+                .expect("read"),
             b"Mixed Case"
         );
     }
@@ -227,7 +248,10 @@ mod tests {
             .vfs()
             .read_stream_to_end(&VPath::parse("/r.af").expect("p"))
             .expect("read");
-        assert_eq!(stored, b"Nggnpx ng qnja!", "the client application is unaware");
+        assert_eq!(
+            stored, b"Nggnpx ng qnja!",
+            "the client application is unaware"
+        );
     }
 
     #[test]
@@ -253,7 +277,10 @@ mod tests {
             )
             .expect("install");
         let p = VPath::parse("/text.af").expect("p");
-        world.vfs().write_stream(&p, 0, b"one\ntwo\n").expect("seed");
+        world
+            .vfs()
+            .write_stream(&p, 0, b"one\ntwo\n")
+            .expect("seed");
         assert_eq!(read_active(&world, "/text.af"), b"one\r\ntwo\r\n");
         // Rewriting the whole document (CreateAlways truncates the data
         // part) with CRLF stores it as LF.

@@ -29,7 +29,12 @@ impl RandomGenSentinel {
 }
 
 impl SentinelLogic for RandomGenSentinel {
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         // Byte at `offset` comes from a block RNG keyed by (seed, block):
         // deterministic and O(len) per call.
         const BLOCK: u64 = 64;
@@ -38,7 +43,9 @@ impl SentinelLogic for RandomGenSentinel {
             let pos = offset + produced as u64;
             let block_index = pos / BLOCK;
             let in_block = (pos % BLOCK) as usize;
-            let mut rng = SmallRng::seed_from_u64(self.seed ^ block_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = SmallRng::seed_from_u64(
+                self.seed ^ block_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let mut block = [0u8; BLOCK as usize];
             rng.fill_bytes(&mut block);
             let take = (BLOCK as usize - in_block).min(buf.len() - produced);
@@ -48,7 +55,12 @@ impl SentinelLogic for RandomGenSentinel {
         Ok(produced)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 
@@ -79,14 +91,24 @@ impl SequenceSentinel {
 }
 
 impl SentinelLogic for SequenceSentinel {
-    fn read(&mut self, _ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let start = (offset as usize).min(self.rendered.len());
         let n = buf.len().min(self.rendered.len() - start);
         buf[..n].copy_from_slice(&self.rendered[start..start + n]);
         Ok(n)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(SentinelError::Unsupported)
     }
 
@@ -98,12 +120,24 @@ impl SentinelLogic for SequenceSentinel {
 /// Registers `random` and `sequence`.
 pub fn register(registry: &SentinelRegistry) {
     registry.register("random", |spec| {
-        let seed = spec.config().get("seed").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let seed = spec
+            .config()
+            .get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
         Box::new(RandomGenSentinel::new(seed))
     });
     registry.register("sequence", |spec| {
-        let start = spec.config().get("start").and_then(|s| s.parse().ok()).unwrap_or(0);
-        let count = spec.config().get("count").and_then(|s| s.parse().ok()).unwrap_or(100);
+        let start = spec
+            .config()
+            .get("start")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let count = spec
+            .config()
+            .get("count")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(100);
         Box::new(SequenceSentinel::new(start, count))
     });
 }
@@ -144,7 +178,8 @@ mod tests {
         api.read_file(h, &mut again).expect("read");
         assert_eq!(first, again);
         // Reading at offset 50 matches the tail of the first read.
-        api.set_file_pointer(h, 50, SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 50, SeekMethod::Begin)
+            .expect("seek");
         let mut tail = [0u8; 50];
         api.read_file(h, &mut tail).expect("read");
         assert_eq!(&first[50..], &tail);
@@ -167,9 +202,14 @@ mod tests {
         let h = api
             .create_file("/rng.af", Access::read_only(), Disposition::OpenExisting)
             .expect("open");
-        api.set_file_pointer(h, 1 << 30, SeekMethod::Begin).expect("far seek");
+        api.set_file_pointer(h, 1 << 30, SeekMethod::Begin)
+            .expect("far seek");
         let mut buf = [0u8; 16];
-        assert_eq!(api.read_file(h, &mut buf).expect("read"), 16, "no EOF at 1 GiB");
+        assert_eq!(
+            api.read_file(h, &mut buf).expect("read"),
+            16,
+            "no EOF at 1 GiB"
+        );
         api.close_handle(h).expect("close");
     }
 

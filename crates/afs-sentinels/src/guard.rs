@@ -42,7 +42,12 @@ impl SentinelLogic for QuotaSentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
@@ -118,7 +123,12 @@ impl SentinelLogic for ChecksumSentinel {
         }
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         ctx.cache().read_at(offset, buf)
     }
 
@@ -195,7 +205,8 @@ mod tests {
             api.write_file(h, b"1234").expect("within");
             // Thread-strategy writes are write-behind (§6): the violation
             // parks in the sentinel and surfaces on the close.
-            api.write_file(h, b"5").expect("async write itself succeeds");
+            api.write_file(h, b"5")
+                .expect("async write itself succeeds");
             assert_eq!(
                 api.close_handle(h),
                 Err(Win32Error::AccessDenied),

@@ -67,7 +67,12 @@ impl Default for SharedLogSentinel {
 }
 
 impl SentinelLogic for SharedLogSentinel {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let mutex = ctx.mutex(&Self::lock_name(ctx))?;
         mutex.acquire();
         let result = ctx.cache().read_at(offset, buf);
@@ -119,7 +124,8 @@ impl AccessLogSentinel {
             vfs.create_file(audit).map_err(SentinelError::from)?;
         }
         let len = vfs.stream_len(audit).map_err(SentinelError::from)?;
-        vfs.write_stream(audit, len, line.as_bytes()).map_err(SentinelError::from)?;
+        vfs.write_stream(audit, len, line.as_bytes())
+            .map_err(SentinelError::from)?;
         Ok(())
     }
 }
@@ -133,12 +139,16 @@ impl Default for AccessLogSentinel {
 impl SentinelLogic for AccessLogSentinel {
     fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
         let path = ctx.require_str("audit")?;
-        self.audit =
-            Some(VPath::parse(path).map_err(|e| SentinelError::Other(e.to_string()))?);
+        self.audit = Some(VPath::parse(path).map_err(|e| SentinelError::Other(e.to_string()))?);
         self.record(ctx, "open")
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         self.record(ctx, "read")?;
         ctx.cache().read_at(offset, buf)
     }
@@ -201,8 +211,10 @@ mod tests {
         }
         // Per-writer order is preserved even though writers interleave.
         for writer in 0..4u8 {
-            let mine: Vec<&&str> =
-                records.iter().filter(|r| r.starts_with(&format!("w{writer}"))).collect();
+            let mine: Vec<&&str> = records
+                .iter()
+                .filter(|r| r.starts_with(&format!("w{writer}")))
+                .collect();
             assert_eq!(mine.len(), 50);
             for (i, r) in mine.iter().enumerate() {
                 assert_eq!(***r, format!("w{writer}-{i:03}"));
@@ -225,7 +237,8 @@ mod tests {
             .expect("open");
         api.write_file(h, b"first|").expect("w1");
         // Rewind; the sentinel still appends.
-        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)
+            .expect("seek");
         api.write_file(h, b"second|").expect("w2");
         api.close_handle(h).expect("close");
         assert_eq!(read_active(&world, "/log.af"), b"first|second|");
@@ -245,11 +258,16 @@ mod tests {
             .expect("install");
         let api = world.api();
         let h = api
-            .create_file("/sensitive.af", Access::read_write(), Disposition::OpenExisting)
+            .create_file(
+                "/sensitive.af",
+                Access::read_write(),
+                Disposition::OpenExisting,
+            )
             .expect("open");
         api.write_file(h, b"data").expect("write");
         let mut buf = [0u8; 4];
-        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 0, afs_winapi::SeekMethod::Begin)
+            .expect("seek");
         api.read_file(h, &mut buf).expect("read");
         api.close_handle(h).expect("close");
         let audit = world
@@ -261,7 +279,10 @@ mod tests {
         assert_eq!(lines[0], "carol open /sensitive.af");
         assert!(lines.contains(&"carol write /sensitive.af"));
         assert!(lines.contains(&"carol read /sensitive.af"));
-        assert_eq!(*lines.last().expect("nonempty"), "carol close /sensitive.af");
+        assert_eq!(
+            *lines.last().expect("nonempty"),
+            "carol close /sensitive.af"
+        );
     }
 
     #[test]
@@ -280,15 +301,23 @@ mod tests {
             .create_file("/rot.af", Access::write_only(), Disposition::OpenExisting)
             .expect("open");
         for i in 0..30 {
-            api.write_file(h, format!("record-{i:04}\n").as_bytes()).expect("append");
+            api.write_file(h, format!("record-{i:04}\n").as_bytes())
+                .expect("append");
         }
         api.close_handle(h).expect("close");
         let log = String::from_utf8(read_active(&world, "/rot.af")).expect("utf8");
-        assert!(log.len() <= 112, "rotation keeps the log bounded, got {}", log.len());
+        assert!(
+            log.len() <= 112,
+            "rotation keeps the log bounded, got {}",
+            log.len()
+        );
         assert!(!log.contains("record-0000"), "oldest records trimmed");
         assert!(log.contains("record-0029"), "newest records kept");
         for line in log.lines() {
-            assert!(line.starts_with("record-"), "rotation cuts at record boundaries: {line:?}");
+            assert!(
+                line.starts_with("record-"),
+                "rotation cuts at record boundaries: {line:?}"
+            );
         }
     }
 
@@ -303,7 +332,8 @@ mod tests {
             .expect("install");
         let api = world.api();
         assert!(
-            api.create_file("/bad.af", Access::read_only(), Disposition::OpenExisting).is_err(),
+            api.create_file("/bad.af", Access::read_only(), Disposition::OpenExisting)
+                .is_err(),
             "missing audit config fails the open"
         );
     }

@@ -12,7 +12,15 @@
 //! * without a remote, it reads/writes the cache selected by the spec's
 //!   [`Backing`](afs_core::Backing) — disk or memory.
 
-use afs_core::{SentinelCtx, SentinelLogic, SentinelRegistry, SentinelResult};
+use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
+
+/// `DeviceIoControl` code: set readahead from the first payload byte
+/// (non-zero = on); the reply is the *previous* setting as one byte.
+pub const CTL_SET_READAHEAD: u32 = 1;
+
+/// `DeviceIoControl` code: query readahead; the reply is one byte,
+/// `1` when on.
+pub const CTL_GET_READAHEAD: u32 = 2;
 
 /// The Figure 6 workload sentinel. See the module docs.
 ///
@@ -31,7 +39,11 @@ pub struct MirrorSentinel {
 impl MirrorSentinel {
     /// Creates a cache-backed mirror.
     pub fn new() -> Self {
-        MirrorSentinel { remote: None, readahead: false, prefetched: None }
+        MirrorSentinel {
+            remote: None,
+            readahead: false,
+            prefetched: None,
+        }
     }
 
     fn serve_prefetch(&mut self, offset: u64, buf: &mut [u8]) -> Option<usize> {
@@ -66,7 +78,12 @@ impl SentinelLogic for MirrorSentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let Some((service, remote)) = self.remote.clone() else {
             return ctx.cache().read_at(offset, buf);
         };
@@ -109,6 +126,26 @@ impl SentinelLogic for MirrorSentinel {
             None => ctx.cache().len(),
         }
     }
+
+    fn control(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        code: u32,
+        payload: &[u8],
+    ) -> SentinelResult<Vec<u8>> {
+        match code {
+            CTL_SET_READAHEAD => {
+                let previous = self.readahead;
+                self.readahead = payload.first().copied().unwrap_or(0) != 0;
+                if !self.readahead {
+                    self.prefetched = None;
+                }
+                Ok(vec![u8::from(previous)])
+            }
+            CTL_GET_READAHEAD => Ok(vec![u8::from(self.readahead)]),
+            _ => Err(SentinelError::Unsupported),
+        }
+    }
 }
 
 /// Registers `mirror`.
@@ -131,7 +168,9 @@ mod tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/blob", b"0123456789abcdef");
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/m.af",
@@ -152,7 +191,9 @@ mod tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/blob", &[0u8; 321]);
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/m.af",
@@ -192,7 +233,9 @@ mod tests {
         crate::register_all(world.sentinels());
         let server = FileServer::new();
         server.seed("/blob", &[0u8; 4096]);
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/m.af",
@@ -213,7 +256,10 @@ mod tests {
         // At minimum one network round trip plus the response bytes.
         let floor = world.model().profile().net_round_trip_ns
             + 2048 * world.model().profile().net_ns_per_byte;
-        assert!(elapsed >= floor, "read {elapsed} ns must include the network, floor {floor}");
+        assert!(
+            elapsed >= floor,
+            "read {elapsed} ns must include the network, floor {floor}"
+        );
         api.close_handle(h).expect("close");
     }
 }
@@ -230,7 +276,9 @@ mod readahead_tests {
         let world = test_world();
         let server = FileServer::new();
         server.seed("/blob", &(0..=255u8).collect::<Vec<u8>>().repeat(8));
-        world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+        world
+            .net()
+            .register("files", Arc::clone(&server) as Arc<dyn Service>);
         world
             .install_active_file(
                 "/m.af",
@@ -270,6 +318,46 @@ mod readahead_tests {
     }
 
     #[test]
+    fn control_toggles_readahead_at_runtime() {
+        use afs_winapi::{Access, Disposition, FileApi, Win32Error};
+        let (world, net) = world_with_blob(false);
+        let api = world.api();
+        let h = api
+            .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        // Query, then flip on via DeviceIoControl, then confirm the
+        // round-trip saving shows up in live traffic.
+        assert_eq!(
+            api.device_io_control(h, super::CTL_GET_READAHEAD, &[])
+                .expect("get"),
+            vec![0]
+        );
+        assert_eq!(
+            api.device_io_control(h, super::CTL_SET_READAHEAD, &[1])
+                .expect("set"),
+            vec![0],
+            "reply is the previous setting"
+        );
+        assert_eq!(
+            api.device_io_control(h, super::CTL_GET_READAHEAD, &[])
+                .expect("get"),
+            vec![1]
+        );
+        let before = net.stats().rpcs;
+        let mut buf = [0u8; 64];
+        api.read_file(h, &mut buf).expect("read primes prefetch");
+        api.read_file(h, &mut buf)
+            .expect("sequential read hits prefetch");
+        assert_eq!(net.stats().rpcs - before, 1, "two reads, one fetch");
+        assert_eq!(
+            api.device_io_control(h, 999, &[]),
+            Err(Win32Error::NotSupported),
+            "unknown codes are refused"
+        );
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
     fn writes_invalidate_the_readahead_window() {
         use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
         let (world, _) = world_with_blob(true);
@@ -280,9 +368,11 @@ mod readahead_tests {
         let mut buf = [0u8; 64];
         api.read_file(h, &mut buf).expect("read primes prefetch");
         // Overwrite the region the prefetch covers.
-        api.set_file_pointer(h, 64, SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h, 64, SeekMethod::Begin)
+            .expect("seek");
         api.write_file(h, &[0xEE; 64]).expect("write");
-        api.set_file_pointer(h, 64, SeekMethod::Begin).expect("seek back");
+        api.set_file_pointer(h, 64, SeekMethod::Begin)
+            .expect("seek back");
         api.read_file(h, &mut buf).expect("read");
         assert_eq!(buf, [0xEE; 64], "stale prefetch must not be served");
         api.close_handle(h).expect("close");

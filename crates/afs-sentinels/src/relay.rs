@@ -31,11 +31,15 @@ enum Transform {
 impl RelaySentinel {
     /// Creates the sentinel (target resolved on open).
     pub fn new() -> Self {
-        RelaySentinel { handle: None, transform: Transform::None }
+        RelaySentinel {
+            handle: None,
+            transform: Transform::None,
+        }
     }
 
     fn handle(&self) -> SentinelResult<Handle> {
-        self.handle.ok_or_else(|| SentinelError::Other("relay target not open".into()))
+        self.handle
+            .ok_or_else(|| SentinelError::Other("relay target not open".into()))
     }
 }
 
@@ -64,12 +68,19 @@ impl SentinelLogic for RelaySentinel {
         Ok(())
     }
 
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let h = self.handle()?;
         let api = ctx.api()?.clone();
         api.set_file_pointer(h, offset as i64, SeekMethod::Begin)
             .map_err(|e| SentinelError::Other(e.to_string()))?;
-        let n = api.read_file(h, buf).map_err(|e| SentinelError::Other(e.to_string()))?;
+        let n = api
+            .read_file(h, buf)
+            .map_err(|e| SentinelError::Other(e.to_string()))?;
         match self.transform {
             Transform::None => {}
             Transform::Upper => buf[..n].make_ascii_uppercase(),
@@ -83,7 +94,8 @@ impl SentinelLogic for RelaySentinel {
         let api = ctx.api()?.clone();
         api.set_file_pointer(h, offset as i64, SeekMethod::Begin)
             .map_err(|e| SentinelError::Other(e.to_string()))?;
-        api.write_file(h, data).map_err(|e| SentinelError::Other(e.to_string()))
+        api.write_file(h, data)
+            .map_err(|e| SentinelError::Other(e.to_string()))
     }
 
     fn len(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<u64> {
@@ -126,7 +138,10 @@ mod tests {
         write_active(&world, "/view.af", b"through the relay");
         assert_eq!(read_active(&world, "/view.af"), b"through the relay");
         assert_eq!(
-            world.vfs().read_stream_to_end(&VPath::parse("/base.txt").expect("p")).expect("read"),
+            world
+                .vfs()
+                .read_stream_to_end(&VPath::parse("/base.txt").expect("p"))
+                .expect("read"),
             b"through the relay"
         );
     }

@@ -258,7 +258,9 @@ impl CostSnapshot {
     pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
         CostSnapshot {
             syscalls: self.syscalls.saturating_sub(earlier.syscalls),
-            process_switches: self.process_switches.saturating_sub(earlier.process_switches),
+            process_switches: self
+                .process_switches
+                .saturating_sub(earlier.process_switches),
             thread_switches: self.thread_switches.saturating_sub(earlier.thread_switches),
             memcpy_bytes: self.memcpy_bytes.saturating_sub(earlier.memcpy_bytes),
             pipe_copy_bytes: self.pipe_copy_bytes.saturating_sub(earlier.pipe_copy_bytes),
@@ -396,7 +398,10 @@ mod tests {
     fn prices_follow_profile() {
         let p = HardwareProfile::pentium_ii_300();
         assert_eq!(p.price(Cost::Syscall), p.syscall_ns);
-        assert_eq!(p.price(Cost::Memcpy { bytes: 10 }), 10 * p.memcpy_ns_per_byte);
+        assert_eq!(
+            p.price(Cost::Memcpy { bytes: 10 }),
+            10 * p.memcpy_ns_per_byte
+        );
         assert_eq!(
             p.price(Cost::Crossing(CrossingKind::InterProcess)),
             p.process_switch_ns

@@ -48,7 +48,9 @@
 pub mod clock;
 pub mod cost;
 pub mod stats;
+pub mod trace;
 
 pub use clock::{ClockGuard, SimTime};
 pub use cost::{Cost, CostModel, CostSnapshot, CrossingKind, HardwareProfile};
 pub use stats::{Series, Summary};
+pub use trace::{OpKind, OpSummary, OpTrace, TraceRecord};

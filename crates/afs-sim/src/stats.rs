@@ -13,12 +13,16 @@ pub struct Series {
 impl Series {
     /// Creates an empty series.
     pub fn new() -> Self {
-        Series { samples: Vec::new() }
+        Series {
+            samples: Vec::new(),
+        }
     }
 
     /// Creates a series with preallocated capacity.
     pub fn with_capacity(n: usize) -> Self {
-        Series { samples: Vec::with_capacity(n) }
+        Series {
+            samples: Vec::with_capacity(n),
+        }
     }
 
     /// Appends one sample.
@@ -65,7 +69,9 @@ impl Series {
 
 impl FromIterator<u64> for Series {
     fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
-        Series { samples: iter.into_iter().collect() }
+        Series {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,0 +1,292 @@
+//! Per-operation observability: the [`OpTrace`] ring.
+//!
+//! The paper's §4 analysis reasons about each strategy in terms of *what
+//! one operation costs*: how many protection-domain crossings, how many
+//! buffer copies, how many bytes moved. The [`CostModel`](crate::CostModel)
+//! counters aggregate those quantities globally; an [`OpTrace`] attributes
+//! them to individual application-visible operations, so a run can be
+//! audited against the paper's table (process strategies: 2 kernel copies
+//! and 2 process switches per transfer; DLL-with-thread: 1 user copy and
+//! 2 thread switches; DLL-only: nothing).
+//!
+//! The strategy handles record one [`TraceRecord`] per completed
+//! operation. Records land in a bounded ring (old entries drop) *and* in a
+//! cumulative per-(strategy, op) aggregate, so long benchmark runs keep
+//! exact totals while interactive tools can still inspect recent history.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// Which application-visible operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// `ReadFile`.
+    Read,
+    /// `ReadFileScatter`.
+    ReadScatter,
+    /// `WriteFile` (and each buffer of `WriteFileGather`).
+    Write,
+    /// `GetFileSize`.
+    Size,
+    /// `FlushFileBuffers`.
+    Flush,
+    /// `DeviceIoControl`.
+    Control,
+    /// `CloseHandle`.
+    Close,
+}
+
+impl OpKind {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::ReadScatter => "scatter",
+            OpKind::Write => "write",
+            OpKind::Size => "size",
+            OpKind::Flush => "flush",
+            OpKind::Control => "control",
+            OpKind::Close => "close",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One completed operation, as observed at the application-side handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Strategy label (e.g. `"Process"`, `"Thread"`, `"DLL"`).
+    pub strategy: &'static str,
+    /// What the operation was.
+    pub op: OpKind,
+    /// Payload bytes moved by this operation.
+    pub bytes: u64,
+    /// Virtual nanoseconds the operation took on the calling thread.
+    pub elapsed_ns: u64,
+    /// Protection-domain crossings (process + thread switches) charged
+    /// while the operation ran.
+    pub crossings: u64,
+    /// Buffer copies (kernel pipe copies + user memcpys) charged while the
+    /// operation ran.
+    pub copies: u64,
+}
+
+/// Cumulative totals for one (strategy, op) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSummary {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Number of operations recorded.
+    pub count: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Total virtual nanoseconds.
+    pub elapsed_ns: u64,
+    /// Total crossings.
+    pub crossings: u64,
+    /// Total copies.
+    pub copies: u64,
+}
+
+impl OpSummary {
+    /// Mean payload bytes per operation.
+    pub fn bytes_per_op(&self) -> f64 {
+        self.per(self.bytes)
+    }
+
+    /// Mean virtual microseconds per operation.
+    pub fn micros_per_op(&self) -> f64 {
+        self.per(self.elapsed_ns) / 1_000.0
+    }
+
+    /// Mean domain crossings per operation.
+    pub fn crossings_per_op(&self) -> f64 {
+        self.per(self.crossings)
+    }
+
+    /// Mean buffer copies per operation.
+    pub fn copies_per_op(&self) -> f64 {
+        self.per(self.copies)
+    }
+
+    fn per(&self, total: u64) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            total as f64 / self.count as f64
+        }
+    }
+}
+
+/// Default number of recent records the ring retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct TraceState {
+    ring: VecDeque<TraceRecord>,
+    totals: Vec<OpSummary>,
+}
+
+/// A bounded ring of recent [`TraceRecord`]s plus exact cumulative
+/// per-(strategy, op) totals. Cheap to share behind an `Arc`; recording is
+/// one short mutex hold.
+#[derive(Debug)]
+pub struct OpTrace {
+    capacity: usize,
+    state: Mutex<TraceState>,
+}
+
+impl OpTrace {
+    /// Creates a trace retaining [`DEFAULT_TRACE_CAPACITY`] recent records.
+    pub fn new() -> Self {
+        OpTrace::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a trace retaining up to `capacity` recent records (totals
+    /// are always exact regardless of capacity).
+    pub fn with_capacity(capacity: usize) -> Self {
+        OpTrace {
+            capacity: capacity.max(1),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    /// Appends one record, evicting the oldest if the ring is full.
+    pub fn record(&self, record: TraceRecord) {
+        let mut state = self.state.lock();
+        if let Some(total) = state
+            .totals
+            .iter_mut()
+            .find(|t| t.strategy == record.strategy && t.op == record.op)
+        {
+            total.count += 1;
+            total.bytes += record.bytes;
+            total.elapsed_ns += record.elapsed_ns;
+            total.crossings += record.crossings;
+            total.copies += record.copies;
+        } else {
+            state.totals.push(OpSummary {
+                strategy: record.strategy,
+                op: record.op,
+                count: 1,
+                bytes: record.bytes,
+                elapsed_ns: record.elapsed_ns,
+                crossings: record.crossings,
+                copies: record.copies,
+            });
+        }
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(record);
+    }
+
+    /// Copies out the retained recent records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.state.lock().ring.iter().cloned().collect()
+    }
+
+    /// Cumulative per-(strategy, op) totals, ordered by strategy then op.
+    pub fn summary(&self) -> Vec<OpSummary> {
+        let mut totals = self.state.lock().totals.clone();
+        totals.sort_by(|a, b| a.strategy.cmp(b.strategy).then(a.op.cmp(&b.op)));
+        totals
+    }
+
+    /// Total number of operations ever recorded.
+    pub fn len(&self) -> u64 {
+        self.state.lock().totals.iter().map(|t| t.count).sum()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all records and totals.
+    pub fn clear(&self) {
+        let mut state = self.state.lock();
+        state.ring.clear();
+        state.totals.clear();
+    }
+}
+
+impl Default for OpTrace {
+    fn default() -> Self {
+        OpTrace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(strategy: &'static str, op: OpKind, bytes: u64) -> TraceRecord {
+        TraceRecord {
+            strategy,
+            op,
+            bytes,
+            elapsed_ns: 1_000,
+            crossings: 2,
+            copies: 2,
+        }
+    }
+
+    #[test]
+    fn records_and_summarises() {
+        let trace = OpTrace::new();
+        trace.record(rec("Process", OpKind::Read, 100));
+        trace.record(rec("Process", OpKind::Read, 300));
+        trace.record(rec("Thread", OpKind::Write, 50));
+        assert_eq!(trace.len(), 3);
+        let summary = trace.summary();
+        assert_eq!(summary.len(), 2);
+        let reads = &summary[0];
+        assert_eq!(
+            (reads.strategy, reads.op, reads.count),
+            ("Process", OpKind::Read, 2)
+        );
+        assert_eq!(reads.bytes, 400);
+        assert!((reads.bytes_per_op() - 200.0).abs() < f64::EPSILON);
+        assert!((reads.crossings_per_op() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ring_is_bounded_but_totals_are_exact() {
+        let trace = OpTrace::with_capacity(4);
+        for i in 0..10 {
+            trace.record(rec("DLL", OpKind::Read, i));
+        }
+        assert_eq!(trace.records().len(), 4);
+        assert_eq!(trace.records()[0].bytes, 6, "oldest records evicted");
+        assert_eq!(trace.summary()[0].count, 10, "totals survive eviction");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let trace = OpTrace::new();
+        trace.record(rec("DLL", OpKind::Close, 0));
+        assert!(!trace.is_empty());
+        trace.clear();
+        assert!(trace.is_empty());
+        assert!(trace.records().is_empty());
+    }
+
+    #[test]
+    fn micros_per_op_divides() {
+        let trace = OpTrace::new();
+        trace.record(rec("Thread", OpKind::Read, 8));
+        trace.record(rec("Thread", OpKind::Read, 8));
+        let s = trace.summary();
+        assert!((s[0].micros_per_op() - 1.0).abs() < f64::EPSILON);
+    }
+}

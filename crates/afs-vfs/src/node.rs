@@ -97,7 +97,11 @@ mod tests {
             created: 0,
             modified: 0,
         });
-        let d = Node::Dir(DirNode { children: BTreeMap::new(), created: 0, modified: 0 });
+        let d = Node::Dir(DirNode {
+            children: BTreeMap::new(),
+            created: 0,
+            modified: 0,
+        });
         assert_eq!(f.kind(), NodeKind::File);
         assert_eq!(d.kind(), NodeKind::Directory);
     }

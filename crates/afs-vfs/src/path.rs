@@ -18,7 +18,10 @@ pub struct VPath {
 impl VPath {
     /// The root directory.
     pub fn root() -> Self {
-        VPath { components: Vec::new(), stream: DEFAULT_STREAM.to_owned() }
+        VPath {
+            components: Vec::new(),
+            stream: DEFAULT_STREAM.to_owned(),
+        }
     }
 
     /// Parses an absolute path like `/a/b/c` or `/a/b/c:stream`.
@@ -78,7 +81,10 @@ impl VPath {
 
     /// Returns the same file path addressing `stream` instead.
     pub fn with_stream(&self, stream: &str) -> VPath {
-        VPath { components: self.components.clone(), stream: stream.to_owned() }
+        VPath {
+            components: self.components.clone(),
+            stream: stream.to_owned(),
+        }
     }
 
     /// Returns the same path without any stream suffix.
@@ -97,7 +103,11 @@ impl VPath {
     pub fn extension(&self) -> Option<&str> {
         let name = self.file_name()?;
         let (_, ext) = name.rsplit_once('.')?;
-        if ext.is_empty() { None } else { Some(ext) }
+        if ext.is_empty() {
+            None
+        } else {
+            Some(ext)
+        }
     }
 
     /// The parent directory, or `None` for the root.
@@ -118,12 +128,20 @@ impl VPath {
     /// Returns [`VfsError::InvalidPath`] if `name` is empty or contains
     /// `/` or `:`.
     pub fn join(&self, name: &str) -> Result<VPath> {
-        if name.is_empty() || name.contains('/') || name.contains(':') || name == "." || name == ".." {
+        if name.is_empty()
+            || name.contains('/')
+            || name.contains(':')
+            || name == "."
+            || name == ".."
+        {
             return Err(VfsError::InvalidPath(name.to_owned()));
         }
         let mut components = self.components.clone();
         components.push(name.to_owned());
-        Ok(VPath { components, stream: DEFAULT_STREAM.to_owned() })
+        Ok(VPath {
+            components,
+            stream: DEFAULT_STREAM.to_owned(),
+        })
     }
 
     /// `true` if this is the root directory path.
@@ -193,17 +211,25 @@ mod tests {
 
     #[test]
     fn rejects_bad_paths() {
-        for bad in ["relative", "", "/a//b", "/a/./b", "/a/../b", "/a:b:c", "/:s", "/a/b:", "/a/b:x/y"] {
+        for bad in [
+            "relative", "", "/a//b", "/a/./b", "/a/../b", "/a:b:c", "/:s", "/a/b:", "/a/b:x/y",
+        ] {
             assert!(VPath::parse(bad).is_err(), "{bad:?} should be invalid");
         }
     }
 
     #[test]
     fn extension_detection() {
-        assert_eq!(VPath::parse("/x/report.af").expect("p").extension(), Some("af"));
+        assert_eq!(
+            VPath::parse("/x/report.af").expect("p").extension(),
+            Some("af")
+        );
         assert_eq!(VPath::parse("/x/noext").expect("p").extension(), None);
         assert_eq!(VPath::parse("/x/trailing.").expect("p").extension(), None);
-        assert_eq!(VPath::parse("/x/a.tar.gz").expect("p").extension(), Some("gz"));
+        assert_eq!(
+            VPath::parse("/x/a.tar.gz").expect("p").extension(),
+            Some("gz")
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 
 use crate::node::{DirNode, FileNode, Node};
-use crate::{DirEntry, FileAttributes, Metadata, NodeKind, Result, VPath, VfsError, DEFAULT_STREAM};
+use crate::{
+    DirEntry, FileAttributes, Metadata, NodeKind, Result, VPath, VfsError, DEFAULT_STREAM,
+};
 
 /// Identifies the holder of byte-range locks (a handle, in the file API
 /// layer).
@@ -64,7 +66,11 @@ impl Default for Vfs {
 impl Vfs {
     /// Creates an empty file system containing only the root directory.
     pub fn new() -> Self {
-        let root = Node::Dir(DirNode { children: Default::default(), created: 0, modified: 0 });
+        let root = Node::Dir(DirNode {
+            children: Default::default(),
+            created: 0,
+            modified: 0,
+        });
         Vfs {
             inner: RwLock::new(Inner {
                 nodes: vec![Some(root)],
@@ -157,7 +163,11 @@ impl Vfs {
         }
         let idx = Self::alloc(
             &mut inner,
-            Node::Dir(DirNode { children: Default::default(), created: tick, modified: tick }),
+            Node::Dir(DirNode {
+                children: Default::default(),
+                created: tick,
+                modified: tick,
+            }),
         );
         let name = name.to_owned();
         if let Node::Dir(dir) = inner.nodes[parent].as_mut().expect("live node") {
@@ -630,7 +640,9 @@ impl Vfs {
         let locks = inner.locks.entry(idx).or_default();
         let pos = locks
             .iter()
-            .position(|l| l.owner == owner && l.stream == path.stream() && l.start == start && l.end == end)
+            .position(|l| {
+                l.owner == owner && l.stream == path.stream() && l.start == start && l.end == end
+            })
             .ok_or_else(|| VfsError::LockConflict(path.to_string()))?;
         locks.remove(pos);
         Ok(())
@@ -699,15 +711,22 @@ mod tests {
     #[test]
     fn create_read_write_roundtrip() {
         let vfs = vfs_with_file("/a/b/f.txt");
-        vfs.write_stream(&p("/a/b/f.txt"), 0, b"hello").expect("write");
-        assert_eq!(vfs.read_stream_to_end(&p("/a/b/f.txt")).expect("read"), b"hello");
+        vfs.write_stream(&p("/a/b/f.txt"), 0, b"hello")
+            .expect("write");
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/a/b/f.txt")).expect("read"),
+            b"hello"
+        );
     }
 
     #[test]
     fn offset_write_zero_fills_gap() {
         let vfs = vfs_with_file("/f");
         vfs.write_stream(&p("/f"), 4, b"xy").expect("write");
-        assert_eq!(vfs.read_stream_to_end(&p("/f")).expect("read"), vec![0, 0, 0, 0, b'x', b'y']);
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/f")).expect("read"),
+            vec![0, 0, 0, 0, b'x', b'y']
+        );
     }
 
     #[test]
@@ -723,10 +742,18 @@ mod tests {
     #[test]
     fn named_streams_are_independent() {
         let vfs = vfs_with_file("/x.af");
-        vfs.write_stream(&p("/x.af"), 0, b"data part").expect("write data");
-        vfs.write_stream(&p("/x.af:active"), 0, b"active part").expect("write active");
-        assert_eq!(vfs.read_stream_to_end(&p("/x.af")).expect("read"), b"data part");
-        assert_eq!(vfs.read_stream_to_end(&p("/x.af:active")).expect("read"), b"active part");
+        vfs.write_stream(&p("/x.af"), 0, b"data part")
+            .expect("write data");
+        vfs.write_stream(&p("/x.af:active"), 0, b"active part")
+            .expect("write active");
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/x.af")).expect("read"),
+            b"data part"
+        );
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/x.af:active")).expect("read"),
+            b"active part"
+        );
         let meta = vfs.stat(&p("/x.af")).expect("stat");
         assert_eq!(meta.streams, vec![String::new(), "active".to_owned()]);
         assert_eq!(meta.len, 9);
@@ -737,9 +764,13 @@ mod tests {
     fn copy_carries_all_streams() {
         let vfs = vfs_with_file("/orig.af");
         vfs.write_stream(&p("/orig.af"), 0, b"d").expect("w");
-        vfs.write_stream(&p("/orig.af:active"), 0, b"sentinel-spec").expect("w");
+        vfs.write_stream(&p("/orig.af:active"), 0, b"sentinel-spec")
+            .expect("w");
         vfs.copy_file(&p("/orig.af"), &p("/copy.af")).expect("copy");
-        assert_eq!(vfs.read_stream_to_end(&p("/copy.af:active")).expect("read"), b"sentinel-spec");
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/copy.af:active")).expect("read"),
+            b"sentinel-spec"
+        );
         // Independent after copy.
         vfs.write_stream(&p("/copy.af"), 0, b"X").expect("w");
         assert_eq!(vfs.read_stream_to_end(&p("/orig.af")).expect("read"), b"d");
@@ -751,7 +782,10 @@ mod tests {
         vfs.write_stream(&p("/a.af:active"), 0, b"s").expect("w");
         vfs.rename(&p("/a.af"), &p("/b.af")).expect("rename");
         assert!(!vfs.exists(&p("/a.af")));
-        assert_eq!(vfs.read_stream_to_end(&p("/b.af:active")).expect("read"), b"s");
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/b.af:active")).expect("read"),
+            b"s"
+        );
     }
 
     #[test]
@@ -769,10 +803,17 @@ mod tests {
     fn readonly_blocks_writes_and_delete() {
         let vfs = vfs_with_file("/ro");
         vfs.set_readonly(&p("/ro"), true).expect("set ro");
-        assert!(matches!(vfs.write_stream(&p("/ro"), 0, b"x"), Err(VfsError::AccessDenied(_))));
-        assert!(matches!(vfs.delete(&p("/ro")), Err(VfsError::AccessDenied(_))));
+        assert!(matches!(
+            vfs.write_stream(&p("/ro"), 0, b"x"),
+            Err(VfsError::AccessDenied(_))
+        ));
+        assert!(matches!(
+            vfs.delete(&p("/ro")),
+            Err(VfsError::AccessDenied(_))
+        ));
         vfs.set_readonly(&p("/ro"), false).expect("clear ro");
-        vfs.write_stream(&p("/ro"), 0, b"x").expect("write after clear");
+        vfs.write_stream(&p("/ro"), 0, b"x")
+            .expect("write after clear");
     }
 
     #[test]
@@ -797,7 +838,10 @@ mod tests {
             vfs.delete(&path).expect("delete");
         }
         let inner = vfs.inner.read();
-        assert!(inner.nodes.len() < 10, "free list should bound arena growth");
+        assert!(
+            inner.nodes.len() < 10,
+            "free list should bound arena growth"
+        );
     }
 
     #[test]
@@ -805,15 +849,18 @@ mod tests {
         let vfs = vfs_with_file("/log");
         let a = LockOwner(1);
         let b = LockOwner(2);
-        vfs.lock_range(&p("/log"), a, 0, 10, LockKind::Exclusive).expect("lock a");
+        vfs.lock_range(&p("/log"), a, 0, 10, LockKind::Exclusive)
+            .expect("lock a");
         assert!(matches!(
             vfs.lock_range(&p("/log"), b, 5, 10, LockKind::Exclusive),
             Err(VfsError::LockConflict(_))
         ));
         // Non-overlapping is fine.
-        vfs.lock_range(&p("/log"), b, 10, 5, LockKind::Exclusive).expect("lock b disjoint");
+        vfs.lock_range(&p("/log"), b, 10, 5, LockKind::Exclusive)
+            .expect("lock b disjoint");
         // Same owner may re-lock.
-        vfs.lock_range(&p("/log"), a, 0, 10, LockKind::Exclusive).expect("re-lock a");
+        vfs.lock_range(&p("/log"), a, 0, 10, LockKind::Exclusive)
+            .expect("re-lock a");
     }
 
     #[test]
@@ -821,9 +868,13 @@ mod tests {
         let vfs = vfs_with_file("/f");
         let a = LockOwner(1);
         let b = LockOwner(2);
-        vfs.lock_range(&p("/f"), a, 0, 100, LockKind::Shared).expect("shared a");
-        vfs.lock_range(&p("/f"), b, 0, 100, LockKind::Shared).expect("shared b");
-        assert!(vfs.check_access(&p("/f"), b, 0, 10, LockKind::Shared).is_ok());
+        vfs.lock_range(&p("/f"), a, 0, 100, LockKind::Shared)
+            .expect("shared a");
+        vfs.lock_range(&p("/f"), b, 0, 100, LockKind::Shared)
+            .expect("shared b");
+        assert!(vfs
+            .check_access(&p("/f"), b, 0, 10, LockKind::Shared)
+            .is_ok());
         assert!(matches!(
             vfs.check_access(&p("/f"), b, 0, 10, LockKind::Exclusive),
             Err(VfsError::LockConflict(_))
@@ -834,10 +885,15 @@ mod tests {
     fn unlock_and_unlock_all() {
         let vfs = vfs_with_file("/f");
         let a = LockOwner(1);
-        vfs.lock_range(&p("/f"), a, 0, 10, LockKind::Exclusive).expect("lock");
-        assert!(vfs.unlock_range(&p("/f"), a, 0, 5).is_err(), "coordinates must match");
+        vfs.lock_range(&p("/f"), a, 0, 10, LockKind::Exclusive)
+            .expect("lock");
+        assert!(
+            vfs.unlock_range(&p("/f"), a, 0, 5).is_err(),
+            "coordinates must match"
+        );
         vfs.unlock_range(&p("/f"), a, 0, 10).expect("unlock");
-        vfs.lock_range(&p("/f"), a, 0, 10, LockKind::Exclusive).expect("relock");
+        vfs.lock_range(&p("/f"), a, 0, 10, LockKind::Exclusive)
+            .expect("relock");
         vfs.unlock_all(&p("/f"), a);
         assert!(vfs
             .check_access(&p("/f"), LockOwner(2), 0, 10, LockKind::Exclusive)
@@ -847,7 +903,8 @@ mod tests {
     #[test]
     fn locks_vanish_with_the_file() {
         let vfs = vfs_with_file("/f");
-        vfs.lock_range(&p("/f"), LockOwner(1), 0, 10, LockKind::Exclusive).expect("lock");
+        vfs.lock_range(&p("/f"), LockOwner(1), 0, 10, LockKind::Exclusive)
+            .expect("lock");
         vfs.delete(&p("/f")).expect("delete");
         vfs.create_file(&p("/f")).expect("recreate");
         vfs.check_access(&p("/f"), LockOwner(2), 0, 10, LockKind::Exclusive)
@@ -862,14 +919,20 @@ mod tests {
         vfs.set_stream_len(&p("/f"), 4).expect("truncate");
         assert_eq!(vfs.read_stream_to_end(&p("/f")).expect("read"), b"0123");
         vfs.set_stream_len(&p("/f"), 6).expect("extend");
-        assert_eq!(vfs.read_stream_to_end(&p("/f")).expect("read"), vec![b'0', b'1', b'2', b'3', 0, 0]);
+        assert_eq!(
+            vfs.read_stream_to_end(&p("/f")).expect("read"),
+            vec![b'0', b'1', b'2', b'3', 0, 0]
+        );
     }
 
     #[test]
     fn delete_stream_rules() {
         let vfs = vfs_with_file("/f");
         vfs.write_stream(&p("/f:meta"), 0, b"m").expect("w");
-        assert!(vfs.delete_stream(&p("/f")).is_err(), "default stream protected");
+        assert!(
+            vfs.delete_stream(&p("/f")).is_err(),
+            "default stream protected"
+        );
         vfs.delete_stream(&p("/f:meta")).expect("drop stream");
         assert!(matches!(
             vfs.read_stream_to_end(&p("/f:meta")),

@@ -27,7 +27,11 @@ fn op() -> impl Strategy<Value = Op> {
     prop_oneof![
         any::<u8>().prop_map(Op::CreateFile),
         any::<u8>().prop_map(Op::Delete),
-        (any::<u8>(), 0u16..512, proptest::collection::vec(any::<u8>(), 1..32))
+        (
+            any::<u8>(),
+            0u16..512,
+            proptest::collection::vec(any::<u8>(), 1..32)
+        )
             .prop_map(|(f, o, d)| Op::WriteAt(f, o, d)),
         (any::<u8>(), 0u16..512).prop_map(|(f, l)| Op::Truncate(f, l)),
         (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Copy(a, b)),

@@ -16,17 +16,26 @@ pub struct Access {
 impl Access {
     /// Read-only access.
     pub fn read_only() -> Self {
-        Access { read: true, write: false }
+        Access {
+            read: true,
+            write: false,
+        }
     }
 
     /// Write-only access.
     pub fn write_only() -> Self {
-        Access { read: false, write: true }
+        Access {
+            read: false,
+            write: true,
+        }
     }
 
     /// Read-write access.
     pub fn read_write() -> Self {
-        Access { read: true, write: true }
+        Access {
+            read: true,
+            write: true,
+        }
     }
 }
 
@@ -82,7 +91,12 @@ pub trait FileApi: Send + Sync {
     /// Win32-style errors; notably [`crate::Win32Error::FileNotFound`],
     /// [`crate::Win32Error::FileExists`], and
     /// [`crate::Win32Error::AccessDenied`].
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle>;
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle>;
 
     /// Opens or creates a file with an explicit NT share mode. The
     /// default implementation ignores the share mode (plain
@@ -242,6 +256,20 @@ pub trait FileApi: Send + Sync {
     /// [`crate::Win32Error::InvalidHandle`],
     /// [`crate::Win32Error::AccessDenied`].
     fn set_end_of_file(&self, handle: Handle) -> ApiResult<()>;
+
+    /// Sends an out-of-band control request to the object behind `handle`
+    /// (`DeviceIoControl`): an implementation-defined `code` plus opaque
+    /// `input` bytes, returning opaque response bytes. Active files route
+    /// this to the sentinel's control surface.
+    ///
+    /// # Errors
+    ///
+    /// Default: [`crate::Win32Error::NotSupported`] — passive files have
+    /// no control surface.
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        let _ = (handle, code, input);
+        Err(crate::Win32Error::NotSupported)
+    }
 }
 
 #[cfg(test)]
@@ -273,7 +301,12 @@ pub trait DelegateFileApi: Send + Sync {
     fn delegate(&self) -> &dyn FileApi;
 
     /// See [`FileApi::create_file`].
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         self.delegate().create_file(path, access, disposition)
     }
 
@@ -285,7 +318,8 @@ pub trait DelegateFileApi: Send + Sync {
         share: ShareMode,
         disposition: Disposition,
     ) -> ApiResult<Handle> {
-        self.delegate().create_file_shared(path, access, share, disposition)
+        self.delegate()
+            .create_file_shared(path, access, share, disposition)
     }
 
     /// See [`FileApi::read_file`].
@@ -377,6 +411,11 @@ pub trait DelegateFileApi: Send + Sync {
     fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
         self.delegate().set_end_of_file(handle)
     }
+
+    /// See [`FileApi::device_io_control`].
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        self.delegate().device_io_control(handle, code, input)
+    }
 }
 
 /// Adapter turning any [`DelegateFileApi`] into a [`FileApi`].
@@ -388,7 +427,12 @@ pub trait DelegateFileApi: Send + Sync {
 pub struct Layered<T>(pub T);
 
 impl<T: DelegateFileApi> FileApi for Layered<T> {
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         DelegateFileApi::create_file(&self.0, path, access, disposition)
     }
     fn create_file_shared(
@@ -454,6 +498,9 @@ impl<T: DelegateFileApi> FileApi for Layered<T> {
     fn set_end_of_file(&self, handle: Handle) -> ApiResult<()> {
         DelegateFileApi::set_end_of_file(&self.0, handle)
     }
+    fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
+        DelegateFileApi::device_io_control(&self.0, handle, code, input)
+    }
 }
 
 /// The `dwShareMode` argument of `CreateFile`: which rights *other*
@@ -471,22 +518,38 @@ pub struct ShareMode {
 impl ShareMode {
     /// Exclusive access: no other handle may read, write, or delete.
     pub fn none() -> Self {
-        ShareMode { read: false, write: false, delete: false }
+        ShareMode {
+            read: false,
+            write: false,
+            delete: false,
+        }
     }
 
     /// Others may read but not write or delete.
     pub fn read_only() -> Self {
-        ShareMode { read: true, write: false, delete: false }
+        ShareMode {
+            read: true,
+            write: false,
+            delete: false,
+        }
     }
 
     /// Others may read and write but not delete.
     pub fn read_write() -> Self {
-        ShareMode { read: true, write: true, delete: false }
+        ShareMode {
+            read: true,
+            write: true,
+            delete: false,
+        }
     }
 
     /// Fully shared (the behaviour of plain [`FileApi::create_file`]).
     pub fn all() -> Self {
-        ShareMode { read: true, write: true, delete: true }
+        ShareMode {
+            read: true,
+            write: true,
+            delete: true,
+        }
     }
 }
 

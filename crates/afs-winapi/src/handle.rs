@@ -61,7 +61,10 @@ impl<T> HandleTable<T> {
     /// use disjoint ranges so a handle can be routed to the layer that
     /// issued it.
     pub fn with_start(start: u64) -> Self {
-        HandleTable { next: AtomicU64::new(start), entries: Mutex::new(HashMap::new()) }
+        HandleTable {
+            next: AtomicU64::new(start),
+            entries: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Registers `state` and returns its new handle.

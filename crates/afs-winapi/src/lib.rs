@@ -42,7 +42,9 @@ mod error;
 mod handle;
 mod passive;
 
-pub use api::{Access, DelegateFileApi, Disposition, FileApi, FileInformation, Layered, SeekMethod, ShareMode};
+pub use api::{
+    Access, DelegateFileApi, Disposition, FileApi, FileInformation, Layered, SeekMethod, ShareMode,
+};
 pub use error::Win32Error;
 pub use handle::{Handle, HandleTable};
 pub use passive::PassiveFileApi;

@@ -88,7 +88,12 @@ impl PassiveFileApi {
 }
 
 impl FileApi for PassiveFileApi {
-    fn create_file(&self, path: &str, access: Access, disposition: Disposition) -> ApiResult<Handle> {
+    fn create_file(
+        &self,
+        path: &str,
+        access: Access,
+        disposition: Disposition,
+    ) -> ApiResult<Handle> {
         self.create_file_shared(path, access, ShareMode::all(), disposition)
     }
 
@@ -157,7 +162,11 @@ impl FileApi for PassiveFileApi {
             pos: Mutex::new(0),
             lock_owner: owner,
         });
-        entries.push(ShareEntry { handle, access, share });
+        entries.push(ShareEntry {
+            handle,
+            access,
+            share,
+        });
         Ok(handle)
     }
 
@@ -168,8 +177,13 @@ impl FileApi for PassiveFileApi {
             return Err(Win32Error::AccessDenied);
         }
         let mut pos = open.pos.lock();
-        self.vfs
-            .check_access(&open.path, open.lock_owner, *pos, buf.len() as u64, LockKind::Shared)?;
+        self.vfs.check_access(
+            &open.path,
+            open.lock_owner,
+            *pos,
+            buf.len() as u64,
+            LockKind::Shared,
+        )?;
         let n = self.vfs.read_stream(&open.path, *pos, buf)?;
         self.model.charge(Cost::Memcpy { bytes: n });
         *pos += n as u64;
@@ -226,7 +240,9 @@ impl FileApi for PassiveFileApi {
             SeekMethod::Current => *pos as i64,
             SeekMethod::End => self.vfs.stream_len(&open.path).unwrap_or(0) as i64,
         };
-        let target = base.checked_add(offset).ok_or(Win32Error::InvalidParameter)?;
+        let target = base
+            .checked_add(offset)
+            .ok_or(Win32Error::InvalidParameter)?;
         if target < 0 {
             return Err(Win32Error::InvalidParameter);
         }
@@ -262,7 +278,11 @@ impl FileApi for PassiveFileApi {
     fn lock_file(&self, handle: Handle, offset: u64, len: u64, exclusive: bool) -> ApiResult<()> {
         self.model.charge(Cost::Syscall);
         let open = self.handles.get(handle)?;
-        let kind = if exclusive { LockKind::Exclusive } else { LockKind::Shared };
+        let kind = if exclusive {
+            LockKind::Exclusive
+        } else {
+            LockKind::Shared
+        };
         self.vfs
             .lock_range(&open.path, open.lock_owner, offset, len, kind)
             .map_err(Win32Error::from)
@@ -288,7 +308,9 @@ impl FileApi for PassiveFileApi {
                 }
             }
         }
-        self.vfs.delete(&vpath.file_path()).map_err(Win32Error::from)
+        self.vfs
+            .delete(&vpath.file_path())
+            .map_err(Win32Error::from)
     }
 
     fn copy_file(&self, from: &str, to: &str) -> ApiResult<()> {
@@ -350,7 +372,9 @@ impl FileApi for PassiveFileApi {
             return Err(Win32Error::AccessDenied);
         }
         let pos = *open.pos.lock();
-        self.vfs.set_stream_len(&open.path, pos).map_err(Win32Error::from)
+        self.vfs
+            .set_stream_len(&open.path, pos)
+            .map_err(Win32Error::from)
     }
 }
 
@@ -436,8 +460,15 @@ mod tests {
             .create_file("/f", Access::read_write(), Disposition::CreateNew)
             .expect("create");
         api.write_file(h, b"0123456789").expect("write");
-        assert_eq!(api.set_file_pointer(h, -3, SeekMethod::End).expect("end-3"), 7);
-        assert_eq!(api.set_file_pointer(h, 1, SeekMethod::Current).expect("cur+1"), 8);
+        assert_eq!(
+            api.set_file_pointer(h, -3, SeekMethod::End).expect("end-3"),
+            7
+        );
+        assert_eq!(
+            api.set_file_pointer(h, 1, SeekMethod::Current)
+                .expect("cur+1"),
+            8
+        );
         assert_eq!(
             api.set_file_pointer(h, -20, SeekMethod::Current),
             Err(Win32Error::InvalidParameter)
@@ -451,7 +482,8 @@ mod tests {
         let h = api
             .create_file("/f", Access::read_write(), Disposition::CreateNew)
             .expect("create");
-        api.write_file_gather(h, &[b"ab", b"cd", b"ef"]).expect("gather");
+        api.write_file_gather(h, &[b"ab", b"cd", b"ef"])
+            .expect("gather");
         api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
         let mut b1 = [0u8; 3];
         let mut b2 = [0u8; 3];
@@ -474,7 +506,8 @@ mod tests {
             .create_file("/f", Access::read_write(), Disposition::OpenExisting)
             .expect("h2");
         api.lock_file(h1, 0, 5, true).expect("lock");
-        api.set_file_pointer(h2, 0, SeekMethod::Begin).expect("seek");
+        api.set_file_pointer(h2, 0, SeekMethod::Begin)
+            .expect("seek");
         assert_eq!(api.write_file(h2, b"XX"), Err(Win32Error::LockViolation));
         // Reads under an exclusive lock by another handle also fail.
         let mut buf = [0u8; 2];
@@ -512,7 +545,11 @@ mod tests {
         let h = api
             .create_file("/f.af", Access::read_only(), Disposition::OpenExisting)
             .expect("default stream");
-        assert_eq!(api.get_file_size(h).expect("size"), 0, "default stream untouched");
+        assert_eq!(
+            api.get_file_size(h).expect("size"),
+            0,
+            "default stream untouched"
+        );
         api.close_handle(h).expect("close");
     }
 

@@ -4,9 +4,7 @@ use std::sync::Arc;
 
 use afs_sim::CostModel;
 use afs_vfs::Vfs;
-use afs_winapi::{
-    Access, Disposition, FileApi, PassiveFileApi, ShareMode, Win32Error,
-};
+use afs_winapi::{Access, Disposition, FileApi, PassiveFileApi, ShareMode, Win32Error};
 
 fn api() -> PassiveFileApi {
     let api = PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free());
@@ -22,10 +20,20 @@ fn api() -> PassiveFileApi {
 fn exclusive_open_blocks_everyone() {
     let api = api();
     let h = api
-        .create_file_shared("/f", Access::read_write(), ShareMode::none(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_write(),
+            ShareMode::none(),
+            Disposition::OpenExisting,
+        )
         .expect("exclusive open");
     assert_eq!(
-        api.create_file_shared("/f", Access::read_only(), ShareMode::all(), Disposition::OpenExisting),
+        api.create_file_shared(
+            "/f",
+            Access::read_only(),
+            ShareMode::all(),
+            Disposition::OpenExisting
+        ),
         Err(Win32Error::SharingViolation)
     );
     api.close_handle(h).expect("close");
@@ -40,13 +48,28 @@ fn exclusive_open_blocks_everyone() {
 fn share_read_allows_readers_blocks_writers() {
     let api = api();
     let h = api
-        .create_file_shared("/f", Access::read_only(), ShareMode::read_only(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_only(),
+            ShareMode::read_only(),
+            Disposition::OpenExisting,
+        )
         .expect("open share-read");
     let r = api
-        .create_file_shared("/f", Access::read_only(), ShareMode::read_only(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_only(),
+            ShareMode::read_only(),
+            Disposition::OpenExisting,
+        )
         .expect("concurrent reader fine");
     assert_eq!(
-        api.create_file_shared("/f", Access::write_only(), ShareMode::all(), Disposition::OpenExisting),
+        api.create_file_shared(
+            "/f",
+            Access::write_only(),
+            ShareMode::all(),
+            Disposition::OpenExisting
+        ),
         Err(Win32Error::SharingViolation),
         "writer denied by the readers' share mode"
     );
@@ -59,14 +82,23 @@ fn new_open_must_share_back() {
     let api = api();
     // First open: read access, fully sharing.
     let h = api
-        .create_file_shared("/f", Access::read_only(), ShareMode::all(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_only(),
+            ShareMode::all(),
+            Disposition::OpenExisting,
+        )
         .expect("first");
     // Second open refuses to share read — but the first open reads.
     assert_eq!(
         api.create_file_shared(
             "/f",
             Access::write_only(),
-            ShareMode { read: false, write: true, delete: true },
+            ShareMode {
+                read: false,
+                write: true,
+                delete: true
+            },
             Disposition::OpenExisting
         ),
         Err(Win32Error::SharingViolation)
@@ -78,7 +110,12 @@ fn new_open_must_share_back() {
 fn delete_requires_share_delete_from_all_opens() {
     let api = api();
     let h = api
-        .create_file_shared("/f", Access::read_only(), ShareMode::read_write(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_only(),
+            ShareMode::read_write(),
+            Disposition::OpenExisting,
+        )
         .expect("open without share-delete");
     assert_eq!(api.delete_file("/f"), Err(Win32Error::SharingViolation));
     api.close_handle(h).expect("close");
@@ -102,7 +139,12 @@ fn plain_create_file_is_fully_shared() {
 fn sharing_is_per_file() {
     let api = api();
     let h = api
-        .create_file_shared("/f", Access::read_write(), ShareMode::none(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/f",
+            Access::read_write(),
+            ShareMode::none(),
+            Disposition::OpenExisting,
+        )
         .expect("exclusive on /f");
     // A different file is unaffected.
     let g = api

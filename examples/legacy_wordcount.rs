@@ -39,10 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A remote file server hosts three report fragments.
     let server = FileServer::new();
-    server.seed("/reports/q1.txt", b"Q1 revenue rose beyond every forecast.\n");
+    server.seed(
+        "/reports/q1.txt",
+        b"Q1 revenue rose beyond every forecast.\n",
+    );
     server.seed("/reports/q2.txt", b"Q2 was flat but costs fell sharply.\n");
     server.seed("/reports/q3.txt", b"Q3 brought two new regions online.\n");
-    world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
 
     // One active file aggregates all three fragments.
     world.install_active_file(
@@ -50,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &SentinelSpec::new("merge", Strategy::ProcessControl)
             .backing(Backing::Memory)
             .with("service", "files")
-            .with("remotes", "/reports/q1.txt, /reports/q2.txt, /reports/q3.txt"),
+            .with(
+                "remotes",
+                "/reports/q1.txt, /reports/q2.txt, /reports/q3.txt",
+            ),
     )?;
 
     let api = world.api();

@@ -12,7 +12,11 @@ use activefiles::{DbServer, Service};
 
 /// The legacy "search" application: greps an open file for a keyword —
 /// repeatedly, as a monitoring loop would.
-fn grep(api: &dyn FileApi, h: activefiles::Handle, needle: &str) -> Result<Vec<String>, Win32Error> {
+fn grep(
+    api: &dyn FileApi,
+    h: activefiles::Handle,
+    needle: &str,
+) -> Result<Vec<String>, Win32Error> {
     api.set_file_pointer(h, 0, SeekMethod::Begin)?;
     let mut text = Vec::new();
     let mut buf = [0u8; 128];
@@ -38,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let warehouse = DbServer::new();
     warehouse.put("wh:screws", b"9000");
     warehouse.put("wh:nails", b"120");
-    world.net().register("warehouse-db", Arc::clone(&warehouse) as Arc<dyn Service>);
+    world
+        .net()
+        .register("warehouse-db", Arc::clone(&warehouse) as Arc<dyn Service>);
 
     // The live view: tracks the database through the open handle.
     world.install_active_file(
@@ -58,9 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let api = world.api();
-    let live = api.create_file("/inventory.af", Access::read_only(), Disposition::OpenExisting)?;
-    let stale =
-        api.create_file("/inventory-stale.af", Access::read_only(), Disposition::OpenExisting)?;
+    let live = api.create_file(
+        "/inventory.af",
+        Access::read_only(),
+        Disposition::OpenExisting,
+    )?;
+    let stale = api.create_file(
+        "/inventory-stale.af",
+        Access::read_only(),
+        Disposition::OpenExisting,
+    )?;
 
     println!("initial scan (both agree):");
     println!("  live : {:?}", grep(&api, live, "screws")?);

@@ -19,20 +19,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two independent mail providers plus one relay.
     let provider_a = MailStore::new();
     let provider_b = MailStore::new();
-    world
-        .net()
-        .register("pop-a", PopServer::new(provider_a.clone()) as Arc<dyn Service>);
-    world
-        .net()
-        .register("pop-b", PopServer::new(provider_b.clone()) as Arc<dyn Service>);
+    world.net().register(
+        "pop-a",
+        PopServer::new(provider_a.clone()) as Arc<dyn Service>,
+    );
+    world.net().register(
+        "pop-b",
+        PopServer::new(provider_b.clone()) as Arc<dyn Service>,
+    );
     // The relay delivers into provider A (where bob's mailbox lives).
-    world
-        .net()
-        .register("smtp", SmtpServer::new(provider_a.clone()) as Arc<dyn Service>);
+    world.net().register(
+        "smtp",
+        SmtpServer::new(provider_a.clone()) as Arc<dyn Service>,
+    );
 
     // Seed some incoming mail on both providers.
     provider_a.deliver("bob@a", "alice@wonder.land", "lunch?", "noon at the cafe");
-    provider_b.deliver("carol@b", "alice@wonder.land", "review", "please look at PR 7");
+    provider_b.deliver(
+        "carol@b",
+        "alice@wonder.land",
+        "review",
+        "please look at PR 7",
+    );
 
     world.install_active_file(
         "/mail/outbox.af",
@@ -49,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let api = world.api();
 
     // Send: write a plain text message to the outbox and close it.
-    let h = api.create_file("/mail/outbox.af", Access::write_only(), Disposition::OpenExisting)?;
+    let h = api.create_file(
+        "/mail/outbox.af",
+        Access::write_only(),
+        Disposition::OpenExisting,
+    )?;
     api.write_file(
         h,
         b"To: bob@a\nSubject: re: lunch?\n\nnoon works. see you there.",
@@ -58,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sent 1 message via /mail/outbox.af");
 
     // Receive: read the inbox like a file.
-    let h = api.create_file("/mail/inbox.af", Access::read_only(), Disposition::OpenExisting)?;
+    let h = api.create_file(
+        "/mail/inbox.af",
+        Access::read_only(),
+        Disposition::OpenExisting,
+    )?;
     let mut inbox = Vec::new();
     let mut buf = [0u8; 128];
     loop {
@@ -72,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let text = String::from_utf8_lossy(&inbox);
     println!("--- /mail/inbox.af ---\n{text}");
     assert!(text.contains("Subject: lunch?"));
-    assert!(text.contains("Subject: review"), "aggregated from the second POP server");
+    assert!(
+        text.contains("Subject: review"),
+        "aggregated from the second POP server"
+    );
 
     // Bob's POP mailbox received alice's reply.
     assert_eq!(provider_a.count("bob@a"), 1);

@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     register_standard_sentinels(&world);
 
     let market = QuoteServer::new(2026, &["ACME", "GLOBEX", "INITECH"]);
-    world.net().register("nyse", Arc::clone(&market) as Arc<dyn Service>);
+    world
+        .net()
+        .register("nyse", Arc::clone(&market) as Arc<dyn Service>);
 
     world.install_active_file(
         "/ticker.af",

@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         handles.push(std::thread::spawn(move || {
             let api = world.api();
             let h = api
-                .create_file("/var/team.log.af", Access::write_only(), Disposition::OpenExisting)
+                .create_file(
+                    "/var/team.log.af",
+                    Access::write_only(),
+                    Disposition::OpenExisting,
+                )
                 .expect("open log");
             for seq in 0..RECORDS_PER_WRITER {
                 let record = format!("[worker-{id} event-{seq:03}]\n");
@@ -44,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Read the log back through the same active file.
     let api = world.api();
-    let h = api.create_file("/var/team.log.af", Access::read_only(), Disposition::OpenExisting)?;
+    let h = api.create_file(
+        "/var/team.log.af",
+        Access::read_only(),
+        Disposition::OpenExisting,
+    )?;
     let mut log = Vec::new();
     let mut buf = [0u8; 512];
     loop {

@@ -58,13 +58,18 @@ pub use afs_core::{
     SentinelRegistry, SentinelResult, SentinelSpec, Strategy, ACTIVE_EXTENSION,
 };
 pub use afs_interpose::{ApiHandle, ApiLayer, CallCounters, CountingLayer, MediatingConnector};
-pub use afs_ipc::{ControlChannel, Event, Pipe, ResetMode, SharedBuffer, SyncRegistry};
+pub use afs_ipc::{
+    BufferPool, ControlChannel, Event, Pipe, ResetMode, SharedBuffer, SyncRegistry, Transport,
+};
 pub use afs_net::{NetError, Network, Service};
 pub use afs_remote::{
     DbClient, DbServer, FileClient, FileServer, MailClient, MailStore, PopServer, QuoteClient,
     QuoteServer, RegistryClient, RegistryServer, RegistryValue, SmtpServer,
 };
-pub use afs_sim::{clock, Cost, CostModel, CrossingKind, HardwareProfile, Series, Summary};
+pub use afs_sim::{
+    clock, Cost, CostModel, CrossingKind, HardwareProfile, OpKind, OpSummary, OpTrace, Series,
+    Summary, TraceRecord,
+};
 pub use afs_vfs::{VPath, Vfs, VfsError};
 pub use afs_winapi::{
     Access, Disposition, FileApi, Handle, PassiveFileApi, SeekMethod, ShareMode, Win32Error,

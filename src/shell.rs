@@ -48,7 +48,11 @@ impl Shell {
         let world = AfsWorld::new();
         afs_sentinels::register_all(world.sentinels());
         let api = world.api();
-        Shell { world, api, demo_files: None }
+        Shell {
+            world,
+            api,
+            demo_files: None,
+        }
     }
 
     /// The underlying world (tests use this to inspect state).
@@ -69,11 +73,16 @@ impl Shell {
         let mut parts = line.splitn(2, char::is_whitespace);
         let cmd = parts.next().expect("non-empty line");
         let rest = parts.next().unwrap_or("").trim();
-        let fail = |message: String| ShellError { command: cmd.to_owned(), message };
+        let fail = |message: String| ShellError {
+            command: cmd.to_owned(),
+            message,
+        };
         match cmd {
             "help" => Ok(HELP.to_owned()),
             "mkdir" => {
-                self.api.create_directory(rest).map_err(|e| fail(e.to_string()))?;
+                self.api
+                    .create_directory(rest)
+                    .map_err(|e| fail(e.to_string()))?;
                 Ok(String::new())
             }
             "ls" => {
@@ -97,7 +106,10 @@ impl Shell {
                 let mut out = Vec::new();
                 let mut buf = [0u8; 256];
                 loop {
-                    let n = self.api.read_file(h, &mut buf).map_err(|e| fail(e.to_string()))?;
+                    let n = self
+                        .api
+                        .read_file(h, &mut buf)
+                        .map_err(|e| fail(e.to_string()))?;
                     if n == 0 {
                         break;
                     }
@@ -129,7 +141,9 @@ impl Shell {
                 }
                 // Shell convention: "\n" in the text is a newline.
                 let text = text.replace("\\n", "\n");
-                self.api.write_file(h, text.as_bytes()).map_err(|e| fail(e.to_string()))?;
+                self.api
+                    .write_file(h, text.as_bytes())
+                    .map_err(|e| fail(e.to_string()))?;
                 self.api.close_handle(h).map_err(|e| fail(e.to_string()))?;
                 Ok(String::new())
             }
@@ -146,7 +160,9 @@ impl Shell {
                 Ok(String::new())
             }
             "rm" => {
-                self.api.delete_file(rest).map_err(|e| fail(e.to_string()))?;
+                self.api
+                    .delete_file(rest)
+                    .map_err(|e| fail(e.to_string()))?;
                 Ok(String::new())
             }
             "stat" => {
@@ -178,7 +194,9 @@ impl Shell {
                 // install <path> <sentinel> <strategy> <backing> [k=v ...]
                 let mut args = rest.split_whitespace();
                 let path = args.next().ok_or_else(|| fail("missing path".into()))?;
-                let name = args.next().ok_or_else(|| fail("missing sentinel name".into()))?;
+                let name = args
+                    .next()
+                    .ok_or_else(|| fail("missing sentinel name".into()))?;
                 let strategy = match args.next().unwrap_or("dll") {
                     "process" => Strategy::Process,
                     "control" => Strategy::ProcessControl,
@@ -204,6 +222,34 @@ impl Shell {
                     .map_err(|e| fail(e.to_string()))?;
                 Ok(String::new())
             }
+            "stats" => {
+                let summary = self.world.trace().summary();
+                if summary.is_empty() {
+                    return Ok("no active-file operations recorded yet\n".to_owned());
+                }
+                let mut out = String::new();
+                writeln!(
+                    out,
+                    "{:<14} {:<8} {:>6} {:>10} {:>9} {:>10} {:>8}",
+                    "strategy", "op", "count", "bytes/op", "us/op", "cross/op", "copies/op"
+                )
+                .expect("write to string");
+                for row in summary {
+                    writeln!(
+                        out,
+                        "{:<14} {:<8} {:>6} {:>10.1} {:>9.2} {:>10.2} {:>8.2}",
+                        row.strategy,
+                        row.op.label(),
+                        row.count,
+                        row.bytes_per_op(),
+                        row.micros_per_op(),
+                        row.crossings_per_op(),
+                        row.copies_per_op(),
+                    )
+                    .expect("write to string");
+                }
+                Ok(out)
+            }
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
             "demo" => {
@@ -216,9 +262,16 @@ impl Shell {
                     .register("files", Arc::clone(&files) as Arc<dyn Service>);
                 self.demo_files = Some(files);
                 let quotes = QuoteServer::new(7, &["ACME", "GLOBEX"]);
-                self.world.net().register("quotes", quotes as Arc<dyn Service>);
+                self.world
+                    .net()
+                    .register("quotes", quotes as Arc<dyn Service>);
                 let mail = MailStore::new();
-                mail.deliver("demo@system", &format!("{}@local", self.world.user()), "hello", "demo message");
+                mail.deliver(
+                    "demo@system",
+                    &format!("{}@local", self.world.user()),
+                    "hello",
+                    "demo message",
+                );
                 self.world
                     .net()
                     .register("pop", PopServer::new(mail.clone()) as Arc<dyn Service>);
@@ -279,6 +332,8 @@ commands:
                                        strategy: process|control|thread|dll
                                        backing:  none|memory|disk
   sentinels | services                 list registered names
+  stats                                per-strategy/per-op cost table
+                                       (crossings, copies, bytes, time)
   demo                                 register demo remote services
   help                                 this text
 ";
@@ -297,7 +352,8 @@ mod tests {
     #[test]
     fn install_makes_cat_see_the_sentinel() {
         let mut sh = Shell::new();
-        sh.run("install /loud.af uppercase dll disk").expect("install");
+        sh.run("install /loud.af uppercase dll disk")
+            .expect("install");
         sh.run("append /loud.af quiet words").expect("append");
         assert_eq!(sh.run("cat /loud.af").expect("cat"), "QUIET WORDS");
         let stat = sh.run("stat /loud.af").expect("stat");
@@ -339,8 +395,26 @@ mod tests {
     #[test]
     fn comments_and_blank_lines_are_ignored() {
         let mut sh = Shell::new();
-        let out = sh.run_script("# a comment\n\nwrite /x 1\n# done").expect("script");
+        let out = sh
+            .run_script("# a comment\n\nwrite /x 1\n# done")
+            .expect("script");
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_reports_per_strategy_ops() {
+        let mut sh = Shell::new();
+        assert!(sh
+            .run("stats")
+            .expect("empty stats")
+            .contains("no active-file operations"));
+        sh.run("install /s.af null dll disk").expect("install");
+        sh.run("append /s.af abc").expect("append");
+        sh.run("cat /s.af").expect("cat");
+        let stats = sh.run("stats").expect("stats");
+        assert!(stats.contains("DLL"), "strategy column present: {stats}");
+        assert!(stats.contains("read"), "read row present: {stats}");
+        assert!(stats.contains("write"), "write row present: {stats}");
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn flush_pushes_write_behind_state_out() {
     let w = world();
     let server = FileServer::new();
     server.seed("/doc", b"orig");
-    w.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+    w.net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
     w.install_active_file(
         "/doc.af",
         &SentinelSpec::new("remote-file", Strategy::DllThread)
@@ -55,7 +56,11 @@ fn truncate_existing_clears_the_data_part_only() {
     let h = api
         .create_file("/t.af", Access::read_write(), Disposition::TruncateExisting)
         .expect("truncating open");
-    assert_eq!(api.get_file_size(h).expect("size"), 0, "data part truncated");
+    assert_eq!(
+        api.get_file_size(h).expect("size"),
+        0,
+        "data part truncated"
+    );
     api.close_handle(h).expect("close");
     // The active part survived: the file still runs its sentinel.
     assert!(w.active_spec("/t.af").is_some());
@@ -73,7 +78,8 @@ fn scatter_gather_work_on_seekable_active_files() {
     let h = api
         .create_file("/sg.af", Access::read_write(), Disposition::OpenExisting)
         .expect("open");
-    api.write_file_gather(h, &[b"ab", b"cdef", b"g"]).expect("gather");
+    api.write_file_gather(h, &[b"ab", b"cdef", b"g"])
+        .expect("gather");
     api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
     let mut a = [0u8; 3];
     let mut b = [0u8; 4];
@@ -174,7 +180,11 @@ fn hidden_attribute_round_trips_through_listing() {
         .set_hidden(&"/d/h.txt".parse::<activefiles::VPath>().expect("p"), true)
         .expect("hide");
     let listing = api.find_files("/d").expect("list");
-    assert_eq!(listing.len(), 1, "hidden files are listed (filtering is caller policy)");
+    assert_eq!(
+        listing.len(),
+        1,
+        "hidden files are listed (filtering is caller policy)"
+    );
     assert!(listing[0].attributes.hidden);
     assert!(api.get_file_attributes("/d/h.txt").expect("attrs").hidden);
 }
@@ -189,7 +199,12 @@ fn share_modes_flow_through_the_interception_chain() {
         .expect("create");
     api.close_handle(h).expect("close");
     let h = api
-        .create_file_shared("/excl.txt", Access::read_write(), ShareMode::none(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/excl.txt",
+            Access::read_write(),
+            ShareMode::none(),
+            Disposition::OpenExisting,
+        )
         .expect("exclusive through the chain");
     assert_eq!(
         api.create_file("/excl.txt", Access::read_only(), Disposition::OpenExisting),
@@ -212,10 +227,20 @@ fn active_files_permit_concurrent_opens_regardless_of_share_mode() {
     // §2.2: multiple opens mean multiple sentinels; share modes do not
     // gate active files (coordination is the sentinels' job).
     let a = api
-        .create_file_shared("/multi.af", Access::write_only(), ShareMode::none(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/multi.af",
+            Access::write_only(),
+            ShareMode::none(),
+            Disposition::OpenExisting,
+        )
         .expect("first");
     let b = api
-        .create_file_shared("/multi.af", Access::write_only(), ShareMode::none(), Disposition::OpenExisting)
+        .create_file_shared(
+            "/multi.af",
+            Access::write_only(),
+            ShareMode::none(),
+            Disposition::OpenExisting,
+        )
         .expect("second despite exclusive request");
     api.close_handle(a).expect("close");
     api.close_handle(b).expect("close");

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 
 use activefiles::prelude::*;
-use activefiles::{
-    DbServer, FileServer, MailStore, PopServer, QuoteServer, Service, SmtpServer,
-};
+use activefiles::{DbServer, FileServer, MailStore, PopServer, QuoteServer, Service, SmtpServer};
 
 fn read_all(api: &dyn FileApi, path: &str) -> Vec<u8> {
     let h = api
@@ -35,19 +33,29 @@ fn one_world_many_sources_many_active_files() {
     let files = FileServer::new();
     files.seed("/reports/east", b"east: 120 units\n");
     files.seed("/reports/west", b"west: 80 units\n");
-    world.net().register("files", Arc::clone(&files) as Arc<dyn Service>);
+    world
+        .net()
+        .register("files", Arc::clone(&files) as Arc<dyn Service>);
 
     let quotes = QuoteServer::new(5, &["ACME"]);
-    world.net().register("quotes", Arc::clone(&quotes) as Arc<dyn Service>);
+    world
+        .net()
+        .register("quotes", Arc::clone(&quotes) as Arc<dyn Service>);
 
     let db = DbServer::new();
     db.put("inv:screws", b"9000");
     db.put("inv:nails", b"120");
-    world.net().register("db", Arc::clone(&db) as Arc<dyn Service>);
+    world
+        .net()
+        .register("db", Arc::clone(&db) as Arc<dyn Service>);
 
     let mail = MailStore::new();
-    world.net().register("smtp", SmtpServer::new(mail.clone()) as Arc<dyn Service>);
-    world.net().register("pop", PopServer::new(mail.clone()) as Arc<dyn Service>);
+    world
+        .net()
+        .register("smtp", SmtpServer::new(mail.clone()) as Arc<dyn Service>);
+    world
+        .net()
+        .register("pop", PopServer::new(mail.clone()) as Arc<dyn Service>);
 
     // Four active files over four different source kinds.
     world
@@ -96,7 +104,11 @@ fn one_world_many_sources_many_active_files() {
 
     // Compose: write a summary mail through the outbox.
     let h = api
-        .create_file("/outbox.af", Access::write_only(), Disposition::OpenExisting)
+        .create_file(
+            "/outbox.af",
+            Access::write_only(),
+            Disposition::OpenExisting,
+        )
         .expect("open outbox");
     let body = format!("To: boss@hq\nSubject: daily\n\n{sales}{ticker}{inventory}");
     api.write_file(h, body.as_bytes()).expect("write");
@@ -114,7 +126,9 @@ fn cache_consistency_with_remote_updates() {
     register_standard_sentinels(&world);
     let db = DbServer::new();
     db.put("cfg:mode", b"slow");
-    world.net().register("db", Arc::clone(&db) as Arc<dyn Service>);
+    world
+        .net()
+        .register("db", Arc::clone(&db) as Arc<dyn Service>);
     world
         .install_active_file(
             "/cfg.af",
@@ -133,7 +147,11 @@ fn cache_consistency_with_remote_updates() {
     db.put("cfg:mode", b"fast");
     api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
     let n = api.read_file(h, &mut buf).expect("read");
-    assert_eq!(&buf[..n], b"cfg:mode=fast\n", "update visible without reopening");
+    assert_eq!(
+        &buf[..n],
+        b"cfg:mode=fast\n",
+        "update visible without reopening"
+    );
     api.close_handle(h).expect("close");
 }
 

@@ -12,7 +12,9 @@ fn world_with_server() -> (AfsWorld, Arc<FileServer>, activefiles::Network) {
     register_standard_sentinels(&world);
     let server = FileServer::new();
     server.seed("/blob", b"remote data bytes");
-    world.net().register("files", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
     let net = world.net().clone();
     (world, server, net)
 }
@@ -116,10 +118,15 @@ fn dropped_write_surfaces_as_sticky_error_on_later_operation() {
         .create_file("/m.af", Access::read_write(), Disposition::OpenExisting)
         .expect("open");
     plan.drop_next(1);
-    api.write_file(h, b"lost").expect("async write returns success");
+    api.write_file(h, b"lost")
+        .expect("async write returns success");
     // The failure parks in the sentinel and surfaces on the next op.
     let result = api.get_file_size(h);
-    assert_eq!(result, Err(Win32Error::NetworkError), "sticky error surfaces");
+    assert_eq!(
+        result,
+        Err(Win32Error::NetworkError),
+        "sticky error surfaces"
+    );
     // After surfacing once the handle is usable again.
     api.get_file_size(h).expect("recovered");
     api.close_handle(h).expect("close");

@@ -18,8 +18,16 @@ struct Fig2NullFilter;
 
 impl RawProcessSentinel for Fig2NullFilter {
     fn run(&mut self, mut io: ProcessIo) {
-        let service = io.ctx.require_str("service").expect("service config").to_owned();
-        let remote = io.ctx.require_str("remote").expect("remote config").to_owned();
+        let service = io
+            .ctx
+            .require_str("service")
+            .expect("service config")
+            .to_owned();
+        let remote = io
+            .ctx
+            .require_str("remote")
+            .expect("remote config")
+            .to_owned();
         let client = io.ctx.file_client(&service);
 
         // Thread 1 (dir == READ in the paper): remote -> cache + stdout.
@@ -61,11 +69,15 @@ impl RawProcessSentinel for Fig2NullFilter {
 #[test]
 fn figure2_sentinel_mirrors_remote_source_both_directions() {
     let world = AfsWorld::new();
-    world.sentinels().register_raw("fig2-null", |_| Box::new(Fig2NullFilter));
+    world
+        .sentinels()
+        .register_raw("fig2-null", |_| Box::new(Fig2NullFilter));
 
     let server = FileServer::new();
     server.seed("/src/data", b"bytes that live on a remote machine");
-    world.net().register("ftp", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("ftp", Arc::clone(&server) as Arc<dyn Service>);
 
     world
         .install_active_file(
@@ -110,16 +122,23 @@ fn figure2_sentinel_mirrors_remote_source_both_directions() {
         .vfs()
         .read_stream_to_end(&"/proxy.af".parse::<activefiles::VPath>().expect("path"))
         .expect("cache");
-    assert_eq!(cached, b"bytes that live on a remote machine + local additions");
+    assert_eq!(
+        cached,
+        b"bytes that live on a remote machine + local additions"
+    );
 }
 
 #[test]
 fn figure2_streaming_semantics_reject_seek_and_size() {
     let world = AfsWorld::new();
-    world.sentinels().register_raw("fig2-null", |_| Box::new(Fig2NullFilter));
+    world
+        .sentinels()
+        .register_raw("fig2-null", |_| Box::new(Fig2NullFilter));
     let server = FileServer::new();
     server.seed("/s", b"x");
-    world.net().register("ftp", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("ftp", Arc::clone(&server) as Arc<dyn Service>);
     world
         .install_active_file(
             "/p.af",

@@ -82,7 +82,10 @@ fn active_run(
 ) -> Vec<u8> {
     let world = AfsWorld::new();
     world
-        .install_active_file("/data.af", &SentinelSpec::new("null", strategy).backing(backing))
+        .install_active_file(
+            "/data.af",
+            &SentinelSpec::new("null", strategy).backing(backing),
+        )
         .expect("install");
     let api = world.api();
     app(&api, "/data.af").expect("active run")
@@ -91,7 +94,11 @@ fn active_run(
 #[test]
 fn record_store_behaves_identically_on_active_files() {
     let reference = passive_run(record_store_app);
-    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
         for backing in [Backing::Memory, Backing::Disk] {
             let active = active_run(strategy, backing, record_store_app);
             assert_eq!(
@@ -106,7 +113,11 @@ fn record_store_behaves_identically_on_active_files() {
 fn appender_behaves_identically_on_active_files() {
     let reference = passive_run(appender_app);
     assert_eq!(reference, b"alpha beta gamma");
-    for strategy in [Strategy::ProcessControl, Strategy::DllThread, Strategy::DllOnly] {
+    for strategy in [
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ] {
         for backing in [Backing::Memory, Backing::Disk] {
             let active = active_run(strategy, backing, appender_app);
             assert_eq!(active, reference, "{strategy:?}/{backing:?}");

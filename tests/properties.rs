@@ -19,6 +19,11 @@ use proptest::strategy::Strategy as PropStrategy;
 enum Op {
     Write(Vec<u8>),
     Read(usize),
+    /// One `ReadFileScatter` call with the given buffer lengths.
+    Scatter(Vec<usize>),
+    /// One `DeviceIoControl` call (the null sentinel refuses every code,
+    /// exactly like a passive file — so outcomes still must agree).
+    Control(u32),
     SeekBegin(u64),
     SeekEnd(i64),
     Size,
@@ -28,6 +33,8 @@ fn op_strategy() -> impl PropStrategy<Value = Op> {
     prop_oneof![
         proptest::collection::vec(any::<u8>(), 1..64).prop_map(Op::Write),
         (1usize..64).prop_map(Op::Read),
+        proptest::collection::vec(1usize..24, 1..4).prop_map(Op::Scatter),
+        (0u32..8).prop_map(Op::Control),
         (0u64..256).prop_map(Op::SeekBegin),
         (-32i64..0).prop_map(Op::SeekEnd),
         Just(Op::Size),
@@ -61,6 +68,22 @@ fn apply(api: &dyn FileApi, h: Handle, op: &Op) -> Outcome {
                 Err(e) => Outcome::Error(e.code()),
             }
         }
+        Op::Scatter(lens) => {
+            let mut bufs: Vec<Vec<u8>> = lens.iter().map(|&len| vec![0u8; len]).collect();
+            let mut views: Vec<&mut [u8]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+            match api.read_file_scatter(h, &mut views) {
+                Ok(n) => {
+                    let mut joined: Vec<u8> = bufs.concat();
+                    joined.truncate(n);
+                    Outcome::ReadBytes(joined)
+                }
+                Err(e) => Outcome::Error(e.code()),
+            }
+        }
+        Op::Control(code) => match api.device_io_control(h, *code, b"probe") {
+            Ok(reply) => Outcome::ReadBytes(reply),
+            Err(e) => Outcome::Error(e.code()),
+        },
         Op::SeekBegin(offset) => match api.set_file_pointer(h, *offset as i64, SeekMethod::Begin) {
             Ok(p) => Outcome::Pos(p),
             Err(e) => Outcome::Error(e.code()),
@@ -90,7 +113,10 @@ fn run_passive(ops: &[Op]) -> Vec<Outcome> {
 fn run_active(ops: &[Op], strategy: Strategy, backing: Backing) -> Vec<Outcome> {
     let world = AfsWorld::new();
     world
-        .install_active_file("/t.af", &SentinelSpec::new("null", strategy).backing(backing))
+        .install_active_file(
+            "/t.af",
+            &SentinelSpec::new("null", strategy).backing(backing),
+        )
         .expect("install");
     let api = world.api();
     let h = api

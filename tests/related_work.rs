@@ -19,13 +19,23 @@ fn ufo_is_uniform_active_files_are_per_file() {
     let server = FileServer::new();
     server.seed("/pub/a.txt", b"alpha");
     server.seed("/pub/b.txt", b"beta");
-    world.net().register("nfs", Arc::clone(&server) as Arc<dyn Service>);
+    world
+        .net()
+        .register("nfs", Arc::clone(&server) as Arc<dyn Service>);
     world
         .connector()
-        .install(Arc::new(UfoLayer::new(world.net().clone(), "nfs", "/remote", "/pub")))
+        .install(Arc::new(UfoLayer::new(
+            world.net().clone(),
+            "nfs",
+            "/remote",
+            "/pub",
+        )))
         .expect("install ufo");
     let api = world.api();
-    for (path, expect) in [("/remote/a.txt", &b"alpha"[..]), ("/remote/b.txt", &b"beta"[..])] {
+    for (path, expect) in [
+        ("/remote/a.txt", &b"alpha"[..]),
+        ("/remote/b.txt", &b"beta"[..]),
+    ] {
         let h = api
             .create_file(path, Access::read_only(), Disposition::OpenExisting)
             .expect("open");
@@ -94,7 +104,9 @@ fn janus_polices_the_process_active_files_police_the_resource() {
     api_setup.close_handle(h).expect("close");
     base_world
         .connector()
-        .install(Arc::new(JanusLayer::new(JanusPolicy::new().allow("/tmp", true, true))))
+        .install(Arc::new(JanusLayer::new(
+            JanusPolicy::new().allow("/tmp", true, true),
+        )))
         .expect("sandbox");
     let sandboxed = base_world.api();
     assert_eq!(
@@ -116,7 +128,11 @@ fn janus_polices_the_process_active_files_police_the_resource() {
         .expect("install");
     let api = world.api();
     assert_eq!(
-        api.create_file("/hr/salaries.af", Access::read_only(), Disposition::OpenExisting),
+        api.create_file(
+            "/hr/salaries.af",
+            Access::read_only(),
+            Disposition::OpenExisting
+        ),
         Err(Win32Error::AccessDenied),
         "resource-centric: the file itself refuses this user"
     );
@@ -143,7 +159,10 @@ fn watchdogs_observe_active_files_transform() {
     let mut buf = [0u8; 9];
     api.read_file(h, &mut buf).expect("read");
     api.close_handle(h).expect("close");
-    assert_eq!(&buf, b"lowercase", "watchdog saw it but could not change it");
+    assert_eq!(
+        &buf, b"lowercase",
+        "watchdog saw it but could not change it"
+    );
     assert!(log.len() >= 4, "…and it did see every operation");
 
     // The active file both observes (via its sentinel) and transforms.
@@ -184,16 +203,26 @@ fn janus_and_active_files_compose() {
         .expect("forbidden active file");
     world
         .connector()
-        .install(Arc::new(JanusLayer::new(JanusPolicy::new().allow("/tmp", true, true))))
+        .install(Arc::new(JanusLayer::new(
+            JanusPolicy::new().allow("/tmp", true, true),
+        )))
         .expect("sandbox on top");
     let api = world.api();
     let h = api
-        .create_file("/tmp/ok.af", Access::read_write(), Disposition::OpenExisting)
+        .create_file(
+            "/tmp/ok.af",
+            Access::read_write(),
+            Disposition::OpenExisting,
+        )
         .expect("permitted active file works through the sandbox");
     api.write_file(h, b"x").expect("write");
     api.close_handle(h).expect("close");
     assert_eq!(
-        api.create_file("/secret/no.af", Access::read_only(), Disposition::OpenExisting),
+        api.create_file(
+            "/secret/no.af",
+            Access::read_only(),
+            Disposition::OpenExisting
+        ),
         Err(Win32Error::AccessDenied)
     );
 }

@@ -70,7 +70,9 @@ fn signature_signed_with_wrong_key_is_refused() {
             &SentinelSpec::new("null", Strategy::DllOnly).backing(Backing::Memory),
         )
         .expect("install");
-    world.sign_active_file("/w.af", SIGNING_KEY ^ 1).expect("sign with wrong key");
+    world
+        .sign_active_file("/w.af", SIGNING_KEY ^ 1)
+        .expect("sign with wrong key");
     let api = world.api();
     assert_eq!(
         api.create_file("/w.af", Access::read_only(), Disposition::OpenExisting),
@@ -98,7 +100,12 @@ fn worlds_without_the_policy_do_not_require_signatures() {
 struct WhoAmI;
 
 impl SentinelLogic for WhoAmI {
-    fn read(&mut self, ctx: &mut SentinelCtx, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+    fn read(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
         let user = ctx.user().as_bytes();
         let start = (offset as usize).min(user.len());
         let n = buf.len().min(user.len() - start);
@@ -106,7 +113,12 @@ impl SentinelLogic for WhoAmI {
         Ok(n)
     }
 
-    fn write(&mut self, _ctx: &mut SentinelCtx, _offset: u64, _data: &[u8]) -> SentinelResult<usize> {
+    fn write(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        _offset: u64,
+        _data: &[u8],
+    ) -> SentinelResult<usize> {
         Err(activefiles::SentinelError::Unsupported)
     }
 }
@@ -118,7 +130,10 @@ fn sentinel_runs_under_the_openers_user_id() {
     let world = AfsWorld::builder().user("eve@corp").build();
     world.sentinels().register("whoami", |_| Box::new(WhoAmI));
     world
-        .install_active_file("/id.af", &SentinelSpec::new("whoami", Strategy::ProcessControl))
+        .install_active_file(
+            "/id.af",
+            &SentinelSpec::new("whoami", Strategy::ProcessControl),
+        )
         .expect("install");
     let api = world.api();
     let h = api

@@ -32,7 +32,10 @@ fn shell_copy_of_active_file_stays_active() {
     sh.run_script("install /a.af uppercase dll disk\nappend /a.af abc\ncp /a.af /b.af")
         .expect("script");
     assert_eq!(sh.run("cat /b.af").expect("cat"), "ABC");
-    assert!(sh.run("stat /b.af").expect("stat").contains("active: uppercase"));
+    assert!(sh
+        .run("stat /b.af")
+        .expect("stat")
+        .contains("active: uppercase"));
 }
 
 #[test]
@@ -49,7 +52,11 @@ fn concurrent_threads_share_one_active_handle_safely() {
         .expect("install");
     let api = world.api();
     let h = api
-        .create_file("/shared.af", Access::read_write(), Disposition::OpenExisting)
+        .create_file(
+            "/shared.af",
+            Access::read_write(),
+            Disposition::OpenExisting,
+        )
         .expect("open once");
     let mut threads = Vec::new();
     for t in 0..6u8 {
@@ -96,7 +103,9 @@ fn concurrent_threads_share_one_active_handle_safely() {
 #[test]
 fn virtual_time_flows_through_open_use_close() {
     use activefiles::{clock, HardwareProfile};
-    let world = AfsWorld::builder().profile(HardwareProfile::pentium_ii_300()).build();
+    let world = AfsWorld::builder()
+        .profile(HardwareProfile::pentium_ii_300())
+        .build();
     register_standard_sentinels(&world);
     world
         .install_active_file(
@@ -124,7 +133,10 @@ fn virtual_time_flows_through_open_use_close() {
         after_read - after_write
     );
     api.close_handle(h).expect("close");
-    assert!(clock::now() >= after_read, "close joins the sentinel's final clock");
+    assert!(
+        clock::now() >= after_read,
+        "close joins the sentinel's final clock"
+    );
 }
 
 #[test]
@@ -155,7 +167,9 @@ fn bundled_demo_script_runs_clean() {
     )
     .expect("demo script present");
     let mut sh = Shell::new();
-    let out = sh.run_script(&script).expect("demo script runs without error");
+    let out = sh
+        .run_script(&script)
+        .expect("demo script runs without error");
     assert!(out.contains("welcome to the active files demo"));
     assert!(out.contains("active: compress"));
 }

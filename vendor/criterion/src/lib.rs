@@ -1,0 +1,231 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — implemented as a simple wall-clock harness:
+//! each benchmark is warmed up briefly, then timed for the configured
+//! measurement window, and the mean iteration time is printed. No statistics,
+//! HTML reports, or regression tracking.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+pub struct Bencher {
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Short warm-up so one-time setup does not dominate tiny windows.
+        let warm_until = Instant::now() + self.measurement / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+
+        let start = Instant::now();
+        let deadline = start + self.measurement;
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let _ = &self.criterion;
+        if bencher.iters == 0 {
+            println!("{}/{}: no iterations recorded", self.name, id);
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+        let rate = match &self.throughput {
+            Some(Throughput::Bytes(bytes)) if per_iter > 0 => {
+                let bytes_per_sec = u128::from(*bytes) * 1_000_000_000 / per_iter;
+                format!("  ({:.1} MiB/s)", bytes_per_sec as f64 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0 => {
+                let per_sec = u128::from(*n) * 1_000_000_000 / per_iter;
+                format!("  ({per_sec} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {} iters, {} ns/iter{}",
+            self.name, id, bencher.iters, per_iter, rate
+        );
+    }
+}
+
+/// Top-level bench driver. Honours `--measurement-time-ms` and ignores the
+/// rest of criterion's CLI surface (`--bench`, filters) for compatibility
+/// with `cargo bench`.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let measurement = self.measurement;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            measurement,
+            throughput: None,
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

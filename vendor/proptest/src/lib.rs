@@ -1,0 +1,463 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small, deterministic property-testing engine exposing the subset of the
+//! proptest API its tests use: the `proptest!` / `prop_oneof!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, `any::<T>()`, `Just`, integer
+//! ranges, tuples, `collection::vec`, `prop_map`, simple `[class]{m,n}`
+//! string patterns, and `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - no shrinking — a failing case panics with the assertion message;
+//! - inputs derive from a fixed per-test seed, so runs are reproducible
+//!   (rerunning cannot find new inputs, but also cannot flake).
+
+pub mod test_runner {
+    /// Deterministic xorshift64* generator seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, then splitmix64 to spread it.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self {
+                state: if z == 0 { 1 } else { z },
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Per-test configuration. Only `cases` is modelled.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; a strategy
+    /// simply produces a value from the deterministic test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between heterogeneous strategies sharing a value type;
+    /// built by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    /// Helper used by `prop_oneof!` to coerce each arm to a boxed strategy.
+    pub fn union_arm<S>(s: S) -> BoxedStrategy<S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mostly ASCII with an occasional higher code point.
+            match rng.below(8) {
+                0 => char::from_u32(0x20 + rng.below(0x60) as u32).unwrap_or('?'),
+                _ => char::from_u32(rng.below(0xD800) as u32).unwrap_or('?'),
+            }
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Integer types usable as range strategies.
+    pub trait RangeValue: Copy {
+        fn widen(self) -> i128;
+        fn narrow(v: i128) -> Self;
+    }
+
+    macro_rules! impl_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn widen(self) -> i128 {
+                    self as i128
+                }
+                fn narrow(v: i128) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl<T: RangeValue> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (low, high) = (self.start.widen(), self.end.widen());
+            assert!(low < high, "cannot sample from empty range");
+            let span = (high - low) as u128;
+            T::narrow(low + ((rng.next_u64() as u128) % span) as i128)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (low, high) = (self.start().widen(), self.end().widen() + 1);
+            let span = (high - low) as u128;
+            T::narrow(low + ((rng.next_u64() as u128) % span) as i128)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&str` patterns of the form `[class]{m,n}` generate strings over the
+    /// character class (supports `a-z` ranges and literal characters,
+    /// including multi-byte ones). Anything fancier is unsupported and
+    /// panics, loudly, at generation time.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern {self:?}: expected `[class]{{m,n}}`")
+            });
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| class[rng.below(class.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class_src: Vec<char> = rest[..close].chars().collect();
+        let counts = rest[close + 1..]
+            .strip_prefix('{')?
+            .strip_suffix('}')?
+            .split_once(',')?;
+        let (min, max) = (counts.0.trim().parse().ok()?, counts.1.trim().parse().ok()?);
+        if min > max {
+            return None;
+        }
+
+        let mut class = Vec::new();
+        let mut i = 0;
+        while i < class_src.len() {
+            if i + 2 < class_src.len() && class_src[i + 1] == '-' {
+                let (lo, hi) = (class_src[i] as u32, class_src[i + 2] as u32);
+                for c in lo..=hi {
+                    class.extend(char::from_u32(c));
+                }
+                i += 3;
+            } else {
+                class.push(class_src[i]);
+                i += 1;
+            }
+        }
+        if class.is_empty() {
+            return None;
+        }
+        Some((class, min, max))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `elem`-generated values with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+/// Each case uses a deterministic RNG seeded from the test name, so failures
+/// reproduce exactly on rerun.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategy arms that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_arm($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_generates_within_class() {
+        let strat = "[a-c9 é]{2,5}";
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "bad length {n}");
+            assert!(s.chars().all(|c| "abc9 é".contains(c)), "bad char in {s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_draws_respect_ranges(
+            x in 1usize..10,
+            v in crate::collection::vec(any::<u8>(), 0..4),
+            choice in prop_oneof![Just(0u8), 1u8..4, any::<u8>().prop_map(|b| b / 2)],
+        ) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 4);
+            prop_assert!(choice <= 127 || choice >= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(pair in (any::<bool>(), -3i64..=3)) {
+            let (_b, v) = pair;
+            prop_assert!((-3..=3).contains(&v), "v={}", v);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset the workspace uses — `SmallRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}`, `RngCore::fill_bytes` — with a fixed
+//! xorshift64* generator so seeded streams stay deterministic across
+//! platforms and rebuilds (which the workload/quote/generator code relies
+//! on). Not cryptographic, and deliberately so: every consumer in this
+//! repository wants reproducible pseudo-randomness.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of raw random words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            let len = rest.len();
+            rest.copy_from_slice(&word[..len]);
+        }
+    }
+}
+
+/// Integer types uniformly sampleable by [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    fn widen(self) -> i128;
+    fn narrow(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn widen(self) -> i128 {
+                self as i128
+            }
+            fn narrow(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range forms accepted by [`Rng::gen_range`], reduced to half-open
+/// `[low, high)` bounds in `i128` space.
+pub trait SampleRange<T> {
+    /// Returns `(low, high_exclusive)`.
+    fn bounds(self) -> (i128, i128);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (i128, i128) {
+        (self.start.widen(), self.end.widen())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (i128, i128) {
+        (self.start().widen(), self.end().widen() + 1)
+    }
+}
+
+/// Convenience methods layered over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`. Panics on an empty range, like rand.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (low, high) = range.bounds();
+        assert!(low < high, "cannot sample from empty range");
+        let span = (high - low) as u128;
+        let offset = (self.next_u64() as u128) % span;
+        T::narrow(low + offset as i128)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (xorshift64* with a splitmix64
+    /// seed scrambler, so nearby seeds give unrelated streams).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 finalizer; also guards against the all-zero state
+            // xorshift cannot leave.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            Self {
+                state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = rng.gen_range(1usize..4);
+            assert!((1..4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
