@@ -1,0 +1,45 @@
+//! Telemetry-overhead ablation: the same read loop through the cheapest
+//! strategy (§4.4 DLL-only, memory cache, free cost model) with the
+//! telemetry hub disabled vs enabled. The disabled case is the per-op
+//! hot path the acceptance bar holds to "no added allocation"; the
+//! enabled case prices the spans + histograms it buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afs_bench::PathKind;
+use afs_core::Strategy;
+use afs_sim::HardwareProfile;
+use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+
+fn bench(c: &mut Criterion) {
+    const BLOCK: usize = 512;
+    let mut group = c.benchmark_group("ablation_telemetry");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    for enabled in [false, true] {
+        let (world, file) = afs_bench::build_world_for_bench(
+            PathKind::Memory,
+            Strategy::DllOnly,
+            HardwareProfile::free(),
+            BLOCK * 4,
+        );
+        world.telemetry().set_enabled(enabled);
+        let api = world.api();
+        let h = api
+            .create_file(file, Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        let mut buf = vec![0u8; BLOCK];
+        let label = if enabled { "enabled" } else { "disabled" };
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+                api.read_file(h, &mut buf).expect("read")
+            })
+        });
+        api.close_handle(h).expect("close");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--spans FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -15,7 +15,10 @@
 //! recorded it; `--simple-process` adds the §4.1 strategy as an extra
 //! series; `--profile modern` reruns the sweep with present-day constants
 //! as an ablation; `--csv` emits machine-readable rows
-//! (`panel,direction,strategy,block,mean_us`) for plotting.
+//! (`panel,direction,strategy,block,mean_us`) for plotting;
+//! `--spans FILE` skips the sweep and instead records a telemetry span
+//! trace of `--ops` reads per strategy, written as chrome://tracing JSON
+//! (open in `chrome://tracing` or Perfetto).
 
 use afs_bench::{
     measure, measure_traced, render_panel, run_panel, Direction, PathKind, BLOCK_SIZES,
@@ -32,6 +35,7 @@ fn main() {
     let mut show_trace = false;
     let mut simple_process = false;
     let mut csv = false;
+    let mut spans_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -54,9 +58,24 @@ fn main() {
             "--copies" => show_copies = true,
             "--trace" => show_trace = true,
             "--simple-process" => simple_process = true,
+            "--spans" => {
+                i += 1;
+                spans_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--spans needs an output path")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+
+    if let Some(out) = spans_out {
+        let json = afs_bench::span_trace(ops, profile);
+        std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        eprintln!("figure6: wrote chrome-trace span JSON to {out}");
+        return;
     }
 
     if csv {

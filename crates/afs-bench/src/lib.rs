@@ -196,6 +196,38 @@ pub fn measure_traced(
     (m, world.trace().summary())
 }
 
+/// Runs a small sequential-read workload through all four §4 strategies
+/// with telemetry enabled and renders every collected span as one
+/// chrome://tracing JSON document (one trace-viewer "process" per
+/// strategy). Backs `figure6 --spans out.json`.
+pub fn span_trace(ops: usize, profile: HardwareProfile) -> String {
+    const BLOCK: usize = 128;
+    let strategies = [
+        Strategy::Process,
+        Strategy::ProcessControl,
+        Strategy::DllThread,
+        Strategy::DllOnly,
+    ];
+    let mut groups: Vec<(&str, Vec<afs_telemetry::SpanRecord>)> = Vec::new();
+    for strategy in strategies {
+        let (world, file) = build_world(PathKind::Memory, strategy, profile.clone(), BLOCK * ops);
+        world.telemetry().set_enabled(true);
+        let api = world.api();
+        let _guard = clock::install(0);
+        let h = api
+            .create_file(file, Access::read_only(), Disposition::OpenExisting)
+            .expect("open bench file");
+        let mut buf = vec![0u8; BLOCK];
+        for _ in 0..ops {
+            let n = api.read_file(h, &mut buf).expect("read");
+            assert_eq!(n, BLOCK, "seeded file must satisfy full blocks");
+        }
+        api.close_handle(h).expect("close");
+        groups.push((strategy.label(), world.telemetry().spans()));
+    }
+    afs_telemetry::chrome_trace(&groups)
+}
+
 /// Drives `ops` operations of `block` bytes against an already-built
 /// world's active file, timing each under a fresh virtual clock.
 fn run_cell(

@@ -102,7 +102,10 @@ impl Trace {
 }
 
 /// Replays a trace against a fresh world per strategy and returns the
-/// total virtual time consumed (ns).
+/// total virtual time consumed (ns), read back from the telemetry
+/// latency histograms: every strategy-layer operation records its virtual
+/// duration into the per-(strategy, op) histogram, and the histogram sums
+/// are exact — no ad-hoc clock arithmetic around the replay loop.
 pub fn replay_virtual_time(
     trace: &Trace,
     path: crate::PathKind,
@@ -110,16 +113,15 @@ pub fn replay_virtual_time(
     profile: HardwareProfile,
 ) -> u64 {
     let (world, file) = crate::build_world(path, strategy, profile, trace.extent as usize + 2048);
+    world.telemetry().set_enabled(true);
     let api = world.api();
     let _guard = clock::install(0);
     let h = api
         .create_file(file, Access::read_write(), Disposition::OpenExisting)
         .expect("open");
-    let before = clock::now();
     trace.replay(&api, h);
-    let after = clock::now();
     api.close_handle(h).expect("close");
-    after - before
+    world.telemetry().strategy_elapsed_total_ns()
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use afs_interpose::ApiLayer;
 use afs_ipc::SyncRegistry;
 use afs_net::Network;
 use afs_sim::{CostModel, OpTrace};
+use afs_telemetry::{Layer, SpanGuard, Telemetry};
 use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
 use afs_winapi::{
     Access, ApiResult, DelegateFileApi, Disposition, FileApi, FileInformation, Handle, HandleTable,
@@ -28,7 +29,7 @@ use afs_winapi::{
 use crate::ctx::SentinelCtx;
 use crate::registry::SentinelRegistry;
 use crate::spec::{SentinelSpec, Strategy};
-use crate::strategy::{self, ActiveOps};
+use crate::strategy::{self, ActiveOps, Instruments};
 
 /// Handle-number base for active handles, disjoint from the passive
 /// layer's range so dispatch is unambiguous.
@@ -51,6 +52,7 @@ pub struct ActiveFileSystem {
     sync: SyncRegistry,
     model: CostModel,
     trace: Arc<OpTrace>,
+    telemetry: Arc<Telemetry>,
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
@@ -86,6 +88,7 @@ impl ActiveFileSystem {
             sync,
             model,
             trace: Arc::new(OpTrace::new()),
+            telemetry: Telemetry::new(),
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
@@ -102,6 +105,19 @@ impl ActiveFileSystem {
     /// handle records strategy, kind, bytes, time, crossings, and copies.
     pub fn trace(&self) -> &Arc<OpTrace> {
         &self.trace
+    }
+
+    /// The telemetry hub shared by every layer this runtime spans: spans,
+    /// latency histograms, and queue gauges. Disabled (and free) by
+    /// default; see [`Telemetry::set_enabled`].
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Opens the root [`Layer::Interpose`] span for one intercepted call
+    /// against an active handle (no-op while telemetry is disabled).
+    fn interpose_span(&self, name: &'static str) -> Option<SpanGuard> {
+        self.telemetry.span(Layer::Interpose, name)
     }
 
     /// Decides whether `path` names an active file: the file exists and
@@ -167,6 +183,7 @@ impl ActiveFileSystem {
         // open other active files — §3 composition. Clones share the
         // handle table, so handles interoperate.
         ctx.set_api(Arc::new(Layered(self.clone())));
+        let instr = Instruments::new(Arc::clone(&self.telemetry), spec.name());
         let ops: Arc<dyn ActiveOps> = match spec.strategy() {
             Strategy::Process => {
                 // Prefer a hand-written process sentinel; fall back to the
@@ -177,6 +194,7 @@ impl ActiveFileSystem {
                         ctx,
                         self.model.clone(),
                         Arc::clone(&self.trace),
+                        instr,
                     )
                 } else {
                     let logic = self
@@ -188,6 +206,7 @@ impl ActiveFileSystem {
                         ctx,
                         self.model.clone(),
                         Arc::clone(&self.trace),
+                        instr,
                     )?
                 }
             }
@@ -196,21 +215,39 @@ impl ActiveFileSystem {
                     .registry
                     .instantiate(&spec)
                     .ok_or(Win32Error::FileNotFound)?;
-                strategy::control::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
+                strategy::control::open(
+                    logic,
+                    ctx,
+                    self.model.clone(),
+                    Arc::clone(&self.trace),
+                    instr,
+                )?
             }
             Strategy::DllThread => {
                 let logic = self
                     .registry
                     .instantiate(&spec)
                     .ok_or(Win32Error::FileNotFound)?;
-                strategy::thread::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
+                strategy::thread::open(
+                    logic,
+                    ctx,
+                    self.model.clone(),
+                    Arc::clone(&self.trace),
+                    instr,
+                )?
             }
             Strategy::DllOnly => {
                 let logic = self
                     .registry
                     .instantiate(&spec)
                     .ok_or(Win32Error::FileNotFound)?;
-                strategy::dll::open(logic, ctx, self.model.clone(), Arc::clone(&self.trace))?
+                strategy::dll::open(
+                    logic,
+                    ctx,
+                    self.model.clone(),
+                    Arc::clone(&self.trace),
+                    instr,
+                )?
             }
         };
         Ok(self.handles.insert(ActiveEntry { ops, access }))
@@ -266,6 +303,7 @@ impl DelegateFileApi for ActiveFileSystem {
                 if !entry.access.read {
                     return Err(Win32Error::AccessDenied);
                 }
+                let _op = self.interpose_span("ReadFile");
                 entry.ops.read(buf)
             }
             None => self.delegate().read_file(handle, buf),
@@ -278,6 +316,7 @@ impl DelegateFileApi for ActiveFileSystem {
                 if !entry.access.write {
                     return Err(Win32Error::AccessDenied);
                 }
+                let _op = self.interpose_span("WriteFile");
                 entry.ops.write(data)
             }
             None => self.delegate().write_file(handle, data),
@@ -287,6 +326,7 @@ impl DelegateFileApi for ActiveFileSystem {
     fn close_handle(&self, handle: Handle) -> ApiResult<()> {
         if handle.raw() >= ACTIVE_HANDLE_BASE {
             let entry = self.handles.remove(handle)?;
+            let _op = self.interpose_span("CloseHandle");
             return entry.ops.close();
         }
         self.delegate().close_handle(handle)
@@ -294,14 +334,20 @@ impl DelegateFileApi for ActiveFileSystem {
 
     fn get_file_size(&self, handle: Handle) -> ApiResult<u64> {
         match self.active(handle) {
-            Some(entry) => entry.ops.size(),
+            Some(entry) => {
+                let _op = self.interpose_span("GetFileSize");
+                entry.ops.size()
+            }
             None => self.delegate().get_file_size(handle),
         }
     }
 
     fn set_file_pointer(&self, handle: Handle, offset: i64, method: SeekMethod) -> ApiResult<u64> {
         match self.active(handle) {
-            Some(entry) => entry.ops.seek(offset, method),
+            Some(entry) => {
+                let _op = self.interpose_span("SetFilePointer");
+                entry.ops.seek(offset, method)
+            }
             None => self.delegate().set_file_pointer(handle, offset, method),
         }
     }
@@ -316,6 +362,7 @@ impl DelegateFileApi for ActiveFileSystem {
                 if !entry.access.read {
                     return Err(Win32Error::AccessDenied);
                 }
+                let _op = self.interpose_span("ReadFileScatter");
                 entry.ops.read_scatter(bufs)
             }
             None => self.delegate().read_file_scatter(handle, bufs),
@@ -325,6 +372,9 @@ impl DelegateFileApi for ActiveFileSystem {
     fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize> {
         match self.active(handle) {
             Some(entry) => {
+                // One visible call, one interpose span; the per-buffer
+                // strategy spans all nest under it.
+                let _op = self.interpose_span("WriteFileGather");
                 let mut total = 0;
                 for buf in bufs {
                     total += entry.ops.write(buf)?;
@@ -337,7 +387,10 @@ impl DelegateFileApi for ActiveFileSystem {
 
     fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()> {
         match self.active(handle) {
-            Some(entry) => entry.ops.flush(),
+            Some(entry) => {
+                let _op = self.interpose_span("FlushFileBuffers");
+                entry.ops.flush()
+            }
             None => self.delegate().flush_file_buffers(handle),
         }
     }
@@ -383,7 +436,10 @@ impl DelegateFileApi for ActiveFileSystem {
             // The control lane of §4.2/A.3: the request travels to the
             // sentinel's `control` hook over the strategy's command
             // channel.
-            Some(entry) => entry.ops.control(code, input),
+            Some(entry) => {
+                let _op = self.interpose_span("DeviceIoControl");
+                entry.ops.control(code, input)
+            }
             None => self.delegate().device_io_control(handle, code, input),
         }
     }
@@ -399,6 +455,7 @@ pub struct ActiveFilesLayer {
     sync: SyncRegistry,
     model: CostModel,
     trace: Arc<OpTrace>,
+    telemetry: Arc<Telemetry>,
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
@@ -422,6 +479,7 @@ impl ActiveFilesLayer {
             sync,
             model,
             trace: Arc::new(OpTrace::new()),
+            telemetry: Telemetry::new(),
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
@@ -432,6 +490,12 @@ impl ActiveFilesLayer {
     /// [`ActiveFileSystem`] instance this layer wraps.
     pub fn trace(&self) -> &Arc<OpTrace> {
         &self.trace
+    }
+
+    /// The layer-wide telemetry hub shared by every [`ActiveFileSystem`]
+    /// instance this layer wraps.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Enables the code-signing policy: opens refuse unsigned or
@@ -462,6 +526,7 @@ impl ApiLayer for ActiveFilesLayer {
             sync: self.sync.clone(),
             model: self.model.clone(),
             trace: Arc::clone(&self.trace),
+            telemetry: Arc::clone(&self.telemetry),
             user: self.user.clone(),
             signing_key: self.signing_key,
             handles: Arc::clone(&self.handles),

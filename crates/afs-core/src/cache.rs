@@ -17,6 +17,7 @@
 use std::sync::Arc;
 
 use afs_sim::{Cost, CostModel};
+use afs_telemetry::backend_span;
 use afs_vfs::{VPath, Vfs};
 
 use crate::logic::{SentinelError, SentinelResult};
@@ -72,6 +73,7 @@ impl CacheStore {
     ///
     /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
     pub fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> SentinelResult<usize> {
+        let _bk = backend_span("cache-read");
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
             CacheStore::Memory { data, model } => {
@@ -98,6 +100,7 @@ impl CacheStore {
     ///
     /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        let _bk = backend_span("cache-write");
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
             CacheStore::Memory { data: buf, model } => {
@@ -162,6 +165,7 @@ impl CacheStore {
     ///
     /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
     pub fn replace(&mut self, contents: &[u8]) -> SentinelResult<()> {
+        let _bk = backend_span("cache-replace");
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
             CacheStore::Memory { data, model } => {

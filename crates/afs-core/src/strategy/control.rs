@@ -13,6 +13,7 @@
 //! precisely the paper's point that the strategies trade copies and
 //! crossings, not semantics.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -24,7 +25,9 @@ use afs_winapi::Win32Error;
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{dispatch_loop, spawn_sentinel, to_win32, ActiveOps, Op, OpReply};
+use crate::strategy::{
+    dispatch_loop, spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply,
+};
 
 /// Builds the process-plus-control strategy for one open: runs the open
 /// hook, spawns the sentinel "process", wires two data pipes plus the
@@ -34,13 +37,19 @@ pub(crate) fn open(
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: Instruments,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
-    let (transport, port) = PairTransport::<Op, OpReply>::kernel(model.clone());
+    let (transport, port) = PairTransport::<Op, OpReply>::kernel_observed(
+        model.clone(),
+        Arc::clone(instr.tel.gauges()),
+    );
     let sticky = Arc::new(Mutex::new(None));
     let sentinel_sticky = Arc::clone(&sticky);
+    let scope = Arc::new(AtomicU64::new(0));
+    let side = instr.sentinel_side("Process", Arc::clone(&scope));
     let join = spawn_sentinel("control", move || {
-        dispatch_loop(logic, ctx, port, sentinel_sticky);
+        dispatch_loop(logic, ctx, port, sentinel_sticky, side);
     });
     Ok(Arc::new(StrategyHandle::new(
         transport,
@@ -49,5 +58,6 @@ pub(crate) fn open(
         "Process",
         sticky,
         Some(join),
+        instr.app_side(scope),
     )))
 }

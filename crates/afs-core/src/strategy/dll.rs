@@ -15,6 +15,7 @@
 //! it. Its [`CrossingKind::None`] boundary makes the handle charge zero
 //! crossings, so the §4.4 cost profile falls out of the wiring.
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -26,7 +27,9 @@ use afs_winapi::Win32Error;
 use crate::ctx::SentinelCtx;
 use crate::logic::{SentinelError, SentinelLogic};
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{execute_op, to_win32, ActiveOps, Op, OpReply};
+use crate::strategy::{
+    execute_op, op_name, to_win32, ActiveOps, Instruments, Op, OpReply, SentinelSide,
+};
 
 struct InlineState {
     logic: Box<dyn SentinelLogic>,
@@ -49,12 +52,18 @@ pub(crate) struct InlineTransport {
     /// dispatch loop's write-behind semantics.
     sticky: Arc<Mutex<Option<SentinelError>>>,
     pool: BufferPool,
+    /// Sentinel-side telemetry; the inline sentinel's spans nest under the
+    /// calling thread's open transport span.
+    side: SentinelSide,
 }
 
 impl InlineTransport {
     fn run(&self, state: &mut InlineState, op: Op, payload: &[u8]) {
+        let name = op_name(&op);
         let InlineState { logic, ctx, .. } = state;
-        let (reply, data) = execute_op(logic.as_mut(), ctx, op, payload, &self.pool);
+        let (reply, data) = self.side.observe_inline(name, || {
+            execute_op(logic.as_mut(), ctx, op, payload, &self.pool)
+        });
         state.reply = Some(reply);
         let drained = std::mem::replace(&mut state.outbound, data.unwrap_or_default());
         state.outbound_pos = 0;
@@ -86,7 +95,9 @@ impl Transport for InlineTransport {
             Op::Write { .. } => {
                 // Zero-length write: no payload will follow; run it now.
                 let InlineState { logic, ctx, .. } = &mut *state;
-                let (reply, _) = execute_op(logic.as_mut(), ctx, op, &[], &self.pool);
+                let (reply, _) = self.side.observe_inline("write", || {
+                    execute_op(logic.as_mut(), ctx, op, &[], &self.pool)
+                });
                 if let OpReply::Failed(e) = reply {
                     *self.sticky.lock() = Some(e);
                 }
@@ -110,7 +121,9 @@ impl Transport for InlineTransport {
             return Err(IpcError::BrokenPipe);
         };
         let InlineState { logic, ctx, .. } = &mut *state;
-        let (reply, _) = execute_op(logic.as_mut(), ctx, op, data, &self.pool);
+        let (reply, _) = self.side.observe_inline("write", || {
+            execute_op(logic.as_mut(), ctx, op, data, &self.pool)
+        });
         if let OpReply::Failed(e) = reply {
             *self.sticky.lock() = Some(e);
         }
@@ -145,9 +158,11 @@ pub(crate) fn open(
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: Instruments,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
     let sticky = Arc::new(Mutex::new(None));
+    let scope = Arc::new(AtomicU64::new(0));
     let transport = InlineTransport {
         state: Mutex::new(InlineState {
             logic,
@@ -159,9 +174,16 @@ pub(crate) fn open(
             closed: false,
         }),
         sticky: Arc::clone(&sticky),
-        pool: BufferPool::new(),
+        pool: BufferPool::observed(Arc::clone(instr.tel.gauges())),
+        side: instr.sentinel_side("DLL", Arc::clone(&scope)),
     };
     Ok(Arc::new(StrategyHandle::new(
-        transport, model, trace, "DLL", sticky, None,
+        transport,
+        model,
+        trace,
+        "DLL",
+        sticky,
+        None,
+        instr.app_side(scope),
     )))
 }

@@ -16,6 +16,7 @@
 //! *later* operation's record — per-op write costs are eventual, while
 //! totals stay exact.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -23,10 +24,34 @@ use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, Transport};
 use afs_sim::{clock, Cost, CostModel, CrossingKind, OpKind, OpTrace, SimTime, TraceRecord};
+use afs_telemetry::{now_ns, LatencyHistogram, Layer, SpanGuard, Telemetry};
 use afs_winapi::{SeekMethod, Win32Error};
 
 use crate::logic::SentinelError;
-use crate::strategy::{reap, to_win32, ActiveOps, Op, OpReply};
+use crate::strategy::{reap, to_win32, ActiveOps, Op, OpObserver, OpReply};
+
+/// Every [`OpKind`] in [`op_index`] order, for the per-op histogram cache.
+const OP_KINDS: [OpKind; 7] = [
+    OpKind::Read,
+    OpKind::ReadScatter,
+    OpKind::Write,
+    OpKind::Size,
+    OpKind::Flush,
+    OpKind::Control,
+    OpKind::Close,
+];
+
+fn op_index(op: OpKind) -> usize {
+    match op {
+        OpKind::Read => 0,
+        OpKind::ReadScatter => 1,
+        OpKind::Write => 2,
+        OpKind::Size => 3,
+        OpKind::Flush => 4,
+        OpKind::Control => 5,
+        OpKind::Close => 6,
+    }
+}
 
 /// Application-side handle: one implementation of the full `ActiveOps`
 /// surface, generic over where the sentinel lives.
@@ -41,6 +66,12 @@ pub(crate) struct StrategyHandle<T: Transport<Cmd = Op, Reply = OpReply>> {
     join: Mutex<Option<JoinHandle<SimTime>>>,
     /// Scratch buffers for scatter reassembly.
     pool: BufferPool,
+    tel: Arc<Telemetry>,
+    /// Publishes the in-flight strategy-span id so the sentinel thread can
+    /// parent its spans to the op it is serving.
+    scope: Arc<AtomicU64>,
+    /// Per-(strategy, op) latency histograms, resolved once at open.
+    hists: [Arc<LatencyHistogram>; 7],
 }
 
 impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
@@ -51,7 +82,9 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
         strategy: &'static str,
         sticky: Arc<Mutex<Option<SentinelError>>>,
         join: Option<JoinHandle<SimTime>>,
+        obs: OpObserver,
     ) -> Self {
+        let hists = OP_KINDS.map(|kind| obs.tel.strategy_hist(strategy, kind.label()));
         StrategyHandle {
             transport,
             model,
@@ -62,17 +95,41 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
             sticky,
             join: Mutex::new(join),
             pool: BufferPool::new(),
+            tel: obs.tel,
+            scope: obs.scope,
+            hists,
         }
+    }
+
+    /// Opens a [`Layer::Transport`] span for the wire exchange of the
+    /// current op (no-op while telemetry is disabled).
+    fn transport_span(&self, name: &'static str) -> Option<SpanGuard> {
+        self.tel.span_tagged(Layer::Transport, name, self.strategy)
     }
 
     /// Runs one operation under trace: the closure returns the result plus
     /// the payload byte count, and the wrapper attributes the virtual time
-    /// and the cost-counter deltas that accrued meanwhile.
+    /// and the cost-counter deltas that accrued meanwhile. With telemetry
+    /// enabled it additionally opens the op's [`Layer::Strategy`] span
+    /// (published through `scope` for sentinel-side parenting) and records
+    /// the latency histogram for `(strategy, op)`.
     fn traced<R>(
         &self,
         op: OpKind,
         f: impl FnOnce() -> (Result<R, Win32Error>, u64),
     ) -> Result<R, Win32Error> {
+        let tel_on = self.tel.enabled();
+        let mut span = None;
+        let mut tel_started = 0;
+        if tel_on {
+            span = self
+                .tel
+                .span_tagged(Layer::Strategy, op.label(), self.strategy);
+            if let Some(sp) = &span {
+                self.scope.store(sp.id(), Ordering::Relaxed);
+            }
+            tel_started = now_ns();
+        }
         let started = clock::now();
         let before = self.model.snapshot();
         let (result, bytes) = f();
@@ -85,6 +142,12 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
             crossings: delta.process_switches + delta.thread_switches,
             copies: delta.copies,
         });
+        if tel_on {
+            self.hists[op_index(op)].record(now_ns().saturating_sub(tel_started));
+            if let Some(sp) = span.as_mut() {
+                sp.set_bytes(bytes);
+            }
+        }
         result
     }
 
@@ -133,6 +196,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
             // §4.1 streaming: no commands, no pointer, no op serialisation
             // (a blocked read must not stall a concurrent write).
             return self.traced(OpKind::Read, || {
+                let _wire = self.transport_span("stream-recv");
                 self.charge_round_trip();
                 let r = self
                     .transport
@@ -145,6 +209,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::Read, || {
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             let mut pointer = self.pointer.lock();
             let result = self.command_read(
@@ -172,6 +237,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
     fn write(&self, data: &[u8]) -> Result<usize, Win32Error> {
         if !self.transport.supports_control() {
             return self.traced(OpKind::Write, || {
+                let _wire = self.transport_span("stream-send");
                 self.charge_round_trip();
                 let r = self
                     .transport
@@ -184,6 +250,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::Write, || {
+            let _wire = self.transport_span("send");
             self.charge_round_trip();
             let mut pointer = self.pointer.lock();
             let result = (|| {
@@ -242,6 +309,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::Size, || {
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             let r = (|| {
                 self.transport
@@ -266,6 +334,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::ReadScatter, || {
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             let mut pointer = self.pointer.lock();
             let lens: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
@@ -316,6 +385,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::Control, || {
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             if self
                 .transport
@@ -346,6 +416,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         let _op = self.op_lock.lock();
         self.check_sticky()?;
         self.traced(OpKind::Flush, || {
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             let r = (|| {
                 self.transport
@@ -367,6 +438,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
                 // "The CloseHandle call just shuts down the created pipes"
                 // (Appendix A.2); the sentinel sees EOF, finishes, and is
                 // reaped.
+                let _wire = self.transport_span("shutdown");
                 self.transport.shutdown();
                 reap(&self.join);
                 (Ok(()), 0)
@@ -374,6 +446,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         }
         let result = self.traced(OpKind::Close, || {
             let _op = self.op_lock.lock();
+            let _wire = self.transport_span("round-trip");
             self.charge_round_trip();
             let r = match self.transport.send_cmd(Op::Close) {
                 Ok(()) => match self.recv_reply() {

@@ -28,6 +28,7 @@ pub(crate) mod handle;
 pub mod process;
 pub mod thread;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -35,10 +36,130 @@ use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, PairPort};
 use afs_sim::{clock, SimTime};
+use afs_telemetry::{intern, now_ns, LatencyHistogram, Layer, Telemetry};
 use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
 use crate::logic::{SentinelError, SentinelLogic};
+
+/// Telemetry wiring handed to a strategy `open`: the hub plus the interned
+/// name of the sentinel being opened.
+#[derive(Clone)]
+pub(crate) struct Instruments {
+    pub(crate) tel: Arc<Telemetry>,
+    pub(crate) sentinel: &'static str,
+}
+
+impl Instruments {
+    pub(crate) fn new(tel: Arc<Telemetry>, sentinel: &str) -> Self {
+        Instruments {
+            tel,
+            sentinel: intern(sentinel),
+        }
+    }
+
+    /// The application-side observation bundle for the strategy handle.
+    /// `scope` is the shared cell the handle publishes the in-flight
+    /// strategy-span id in.
+    pub(crate) fn app_side(&self, scope: Arc<AtomicU64>) -> OpObserver {
+        OpObserver {
+            tel: Arc::clone(&self.tel),
+            scope,
+        }
+    }
+
+    /// The sentinel-side observation bundle: reads `scope` to parent its
+    /// spans to the operation in flight on the application side.
+    pub(crate) fn sentinel_side(
+        &self,
+        strategy: &'static str,
+        scope: Arc<AtomicU64>,
+    ) -> SentinelSide {
+        SentinelSide {
+            hist: self.tel.sentinel_hist(self.sentinel),
+            tel: Arc::clone(&self.tel),
+            scope,
+            strategy,
+        }
+    }
+}
+
+/// Application-side telemetry for one [`StrategyHandle`](handle::StrategyHandle).
+pub(crate) struct OpObserver {
+    pub(crate) tel: Arc<Telemetry>,
+    pub(crate) scope: Arc<AtomicU64>,
+}
+
+/// Sentinel-side telemetry: span creation (parented across threads via the
+/// shared scope cell) plus the per-sentinel latency histogram.
+#[derive(Clone)]
+pub(crate) struct SentinelSide {
+    tel: Arc<Telemetry>,
+    hist: Arc<LatencyHistogram>,
+    scope: Arc<AtomicU64>,
+    strategy: &'static str,
+}
+
+impl SentinelSide {
+    /// Runs one sentinel-side op execution under a [`Layer::Sentinel`] span
+    /// parented to the application's in-flight strategy span, recording the
+    /// execution latency in the per-sentinel histogram.
+    pub(crate) fn observe<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        if !self.tel.enabled() {
+            return f();
+        }
+        let parent = self.scope.load(Ordering::Relaxed);
+        let _span = self
+            .tel
+            .span_with_parent(Layer::Sentinel, name, self.strategy, parent);
+        let started = now_ns();
+        let result = f();
+        self.hist.record(now_ns().saturating_sub(started));
+        result
+    }
+
+    /// Like [`SentinelSide::observe`], but parents to the innermost open
+    /// span on this thread — the §4.4 inline case, where the sentinel runs
+    /// under the application's transport span.
+    pub(crate) fn observe_inline<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        if !self.tel.enabled() {
+            return f();
+        }
+        let _span = self.tel.span_tagged(Layer::Sentinel, name, self.strategy);
+        let started = now_ns();
+        let result = f();
+        self.hist.record(now_ns().saturating_sub(started));
+        result
+    }
+
+    /// Like [`SentinelSide::observe`], but as a root span — the §4.1 pump,
+    /// whose streaming chunks are not tied to any one application op.
+    pub(crate) fn observe_root<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        if !self.tel.enabled() {
+            return f();
+        }
+        let _span = self
+            .tel
+            .span_with_parent(Layer::Sentinel, name, self.strategy, 0);
+        let started = now_ns();
+        let result = f();
+        self.hist.record(now_ns().saturating_sub(started));
+        result
+    }
+}
+
+/// Span name for one protocol command (matches [`afs_sim::OpKind::label`]).
+pub(crate) fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Read { .. } => "read",
+        Op::ReadScatter { .. } => "scatter",
+        Op::Write { .. } => "write",
+        Op::GetSize => "size",
+        Op::Flush => "flush",
+        Op::Control { .. } => "control",
+        Op::Close => "close",
+    }
+}
 
 /// Application-side operations on one open active file. The file pointer
 /// lives in the implementing handle; stubs call these.
@@ -217,6 +338,7 @@ pub(crate) fn dispatch_loop(
     mut ctx: SentinelCtx,
     port: PairPort<Op, OpReply>,
     sticky: Arc<Mutex<Option<SentinelError>>>,
+    side: SentinelSide,
 ) {
     loop {
         let op = match port.recv_cmd() {
@@ -246,19 +368,26 @@ pub(crate) fn dispatch_loop(
                 if len > 0 && port.recv_data_exact(&mut buf).is_err() {
                     break;
                 }
-                let (reply, _) = execute_op(logic.as_mut(), &mut ctx, op, &buf, port.pool());
+                let (reply, _) = side.observe("write", || {
+                    execute_op(logic.as_mut(), &mut ctx, op, &buf, port.pool())
+                });
                 if let OpReply::Failed(e) = reply {
                     *sticky.lock() = Some(e);
                 }
                 port.pool().put(buf);
             }
             Op::Close => {
-                let (reply, _) = execute_op(logic.as_mut(), &mut ctx, op, &[], port.pool());
+                let (reply, _) = side.observe("close", || {
+                    execute_op(logic.as_mut(), &mut ctx, op, &[], port.pool())
+                });
                 let _ = port.send_reply(reply);
                 break;
             }
             other => {
-                let (reply, data) = execute_op(logic.as_mut(), &mut ctx, other, &[], port.pool());
+                let name = op_name(&other);
+                let (reply, data) = side.observe(name, || {
+                    execute_op(logic.as_mut(), &mut ctx, other, &[], port.pool())
+                });
                 if port.send_reply(reply).is_err() {
                     break;
                 }

@@ -23,6 +23,7 @@
 //!
 //! [`StrategyHandle`]: crate::strategy::handle::StrategyHandle
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,7 +35,9 @@ use afs_winapi::Win32Error;
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{spawn_sentinel, to_win32, ActiveOps, Op, OpReply};
+use crate::strategy::{
+    spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply, SentinelSide,
+};
 
 /// Buffer size of the Figure 2 pump loops (`char buf[1024]`).
 const PUMP_CHUNK: usize = 1024;
@@ -62,10 +65,11 @@ pub trait RawProcessSentinel: Send {
 fn wire(
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: &Instruments,
     sentinel: impl FnOnce(PipeReader, PipeWriter) + Send + 'static,
 ) -> Arc<dyn ActiveOps> {
     let (transport, sentinel_stdin, sentinel_stdout) =
-        StreamTransport::<Op, OpReply>::new(model.clone());
+        StreamTransport::<Op, OpReply>::new_observed(model.clone(), Arc::clone(instr.tel.gauges()));
     let join = spawn_sentinel("process", move || {
         sentinel(sentinel_stdin, sentinel_stdout);
     });
@@ -76,6 +80,7 @@ fn wire(
         "SimpleProcess",
         Arc::new(Mutex::new(None)),
         Some(join),
+        instr.app_side(Arc::new(AtomicU64::new(0))),
     ))
 }
 
@@ -85,8 +90,9 @@ pub(crate) fn open_raw(
     ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: Instruments,
 ) -> Arc<dyn ActiveOps> {
-    wire(model, trace, move |stdin, stdout| {
+    wire(model, trace, &instr, move |stdin, stdout| {
         sentinel.run(ProcessIo { stdin, stdout, ctx });
     })
 }
@@ -100,15 +106,25 @@ pub(crate) fn open_logic(
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: Instruments,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
-    Ok(wire(model, trace, move |stdin, stdout| {
-        pump(logic, ctx, stdin, stdout);
+    // The pump's streaming chunks are not tied to any single application
+    // op, so its spans are roots and the scope cell goes unused.
+    let side = instr.sentinel_side("SimpleProcess", Arc::new(AtomicU64::new(0)));
+    Ok(wire(model, trace, &instr, move |stdin, stdout| {
+        pump(logic, ctx, stdin, stdout, side);
     }))
 }
 
 /// The generated two-thread sentinel (Figure 2's `RWThrd` pair).
-fn pump(logic: Box<dyn SentinelLogic>, ctx: SentinelCtx, stdin: PipeReader, stdout: PipeWriter) {
+fn pump(
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    stdin: PipeReader,
+    stdout: PipeWriter,
+    side: SentinelSide,
+) {
     struct Shared {
         logic: Box<dyn SentinelLogic>,
         ctx: SentinelCtx,
@@ -118,15 +134,16 @@ fn pump(logic: Box<dyn SentinelLogic>, ctx: SentinelCtx, stdin: PipeReader, stdo
     // Read-direction thread: stream the logic's byte sequence into the
     // read pipe until end-of-data or the application stops listening.
     let reader_shared = Arc::clone(&shared);
+    let reader_side = side.clone();
     let reader = spawn_sentinel("process-read", move || {
         let mut cursor = 0u64;
         let mut buf = [0u8; PUMP_CHUNK];
         loop {
-            let produced = {
+            let produced = reader_side.observe_root("stream-read", || {
                 let mut s = reader_shared.lock();
                 let Shared { logic, ctx } = &mut *s;
                 logic.read(ctx, cursor, &mut buf)
-            };
+            });
             match produced {
                 Ok(0) | Err(_) => break,
                 Ok(n) => {
@@ -146,9 +163,12 @@ fn pump(logic: Box<dyn SentinelLogic>, ctx: SentinelCtx, stdin: PipeReader, stdo
         match stdin.read(&mut buf) {
             Ok(0) | Err(_) => break, // EOF: application closed
             Ok(n) => {
-                let mut s = shared.lock();
-                let Shared { logic, ctx } = &mut *s;
-                if logic.write(ctx, cursor, &buf[..n]).is_err() {
+                let accepted = side.observe_root("stream-write", || {
+                    let mut s = shared.lock();
+                    let Shared { logic, ctx } = &mut *s;
+                    logic.write(ctx, cursor, &buf[..n]).is_ok()
+                });
+                if !accepted {
                     break;
                 }
                 cursor += n as u64;

@@ -23,6 +23,7 @@
 //!
 //! [`SharedBuffer::send`]: afs_ipc::SharedBuffer::send
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -33,7 +34,7 @@ use afs_sim::{CostModel, OpTrace};
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Op, OpReply};
+use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Instruments, Op, OpReply};
 
 /// Builds the DLL-with-thread strategy for one open: starts the
 /// `SentinelThrdMain` thread inside the "application process" and wires
@@ -43,15 +44,21 @@ pub(crate) fn open(
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
+    instr: Instruments,
 ) -> Result<Arc<dyn ActiveOps>, afs_winapi::Win32Error> {
     logic
         .on_open(&mut ctx)
         .map_err(|e| crate::strategy::to_win32(&e))?;
-    let (transport, port) = PairTransport::<Op, OpReply>::shared(model.clone());
+    let (transport, port) = PairTransport::<Op, OpReply>::shared_observed(
+        model.clone(),
+        Arc::clone(instr.tel.gauges()),
+    );
     let sticky = Arc::new(Mutex::new(None));
     let sentinel_sticky = Arc::clone(&sticky);
+    let scope = Arc::new(AtomicU64::new(0));
+    let side = instr.sentinel_side("Thread", Arc::clone(&scope));
     let join = spawn_sentinel("thread", move || {
-        dispatch_loop(logic, ctx, port, sentinel_sticky);
+        dispatch_loop(logic, ctx, port, sentinel_sticky, side);
     });
     Ok(Arc::new(StrategyHandle::new(
         transport,
@@ -60,5 +67,6 @@ pub(crate) fn open(
         "Thread",
         sticky,
         Some(join),
+        instr.app_side(scope),
     )))
 }

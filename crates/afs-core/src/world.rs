@@ -12,7 +12,8 @@ use std::sync::Arc;
 use afs_interpose::{ApiLayer, MediatingConnector};
 use afs_ipc::SyncRegistry;
 use afs_net::Network;
-use afs_sim::{CostModel, HardwareProfile};
+use afs_sim::{CostModel, HardwareProfile, OpTrace};
+use afs_telemetry::{Metric, MetricsRegistry, Telemetry};
 use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
 use afs_winapi::{PassiveFileApi, Win32Error};
 
@@ -84,6 +85,13 @@ impl AfsWorldBuilder {
         connector
             .install_secure(Arc::clone(&layer) as Arc<dyn ApiLayer>)
             .expect("fresh connector accepts the active-files layer");
+        let metrics = MetricsRegistry::new();
+        register_world_collectors(
+            &metrics,
+            model.clone(),
+            Arc::clone(layer.trace()),
+            Arc::clone(layer.telemetry()),
+        );
         AfsWorld {
             vfs,
             net,
@@ -92,9 +100,108 @@ impl AfsWorldBuilder {
             model,
             connector,
             layer,
+            metrics,
             user: self.user,
         }
     }
+}
+
+/// Registers the world's standard collectors: cost-model counters, the
+/// per-(strategy, op) trace aggregates, the telemetry latency summaries,
+/// and the shared queue/pool gauges.
+fn register_world_collectors(
+    metrics: &MetricsRegistry,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    telemetry: Arc<Telemetry>,
+) {
+    metrics.register(move |out| {
+        let snap = model.snapshot();
+        out.push(Metric::counter("afs_cost_syscalls_total", snap.syscalls));
+        out.push(Metric::counter(
+            "afs_cost_process_switches_total",
+            snap.process_switches,
+        ));
+        out.push(Metric::counter(
+            "afs_cost_thread_switches_total",
+            snap.thread_switches,
+        ));
+        out.push(Metric::counter("afs_cost_copies_total", snap.copies));
+        out.push(Metric::counter(
+            "afs_cost_memcpy_bytes_total",
+            snap.memcpy_bytes,
+        ));
+        out.push(Metric::counter(
+            "afs_cost_pipe_copy_bytes_total",
+            snap.pipe_copy_bytes,
+        ));
+        out.push(Metric::counter(
+            "afs_cost_pipe_messages_total",
+            snap.pipe_messages,
+        ));
+        out.push(Metric::counter(
+            "afs_cost_event_signals_total",
+            snap.event_signals,
+        ));
+        out.push(Metric::counter(
+            "afs_cost_net_round_trips_total",
+            snap.net_round_trips,
+        ));
+        out.push(Metric::counter("afs_cost_net_bytes_total", snap.net_bytes));
+        out.push(Metric::counter(
+            "afs_cost_disk_accesses_total",
+            snap.disk_accesses,
+        ));
+    });
+    metrics.register(move |out| {
+        for row in trace.summary() {
+            let tag = |m: Metric| {
+                m.label("strategy", row.strategy)
+                    .label("op", row.op.label())
+            };
+            out.push(tag(Metric::counter("afs_ops_total", row.count)));
+            out.push(tag(Metric::counter("afs_op_bytes_total", row.bytes)));
+            out.push(tag(Metric::counter(
+                "afs_op_virtual_ns_total",
+                row.elapsed_ns,
+            )));
+            out.push(tag(Metric::counter(
+                "afs_op_crossings_total",
+                row.crossings,
+            )));
+            out.push(tag(Metric::counter("afs_op_copies_total", row.copies)));
+        }
+    });
+    metrics.register(move |out| {
+        out.push(Metric::counter("afs_spans_total", telemetry.span_count()));
+        for ((strategy, op), snap) in telemetry.strategy_hist_snapshots() {
+            out.push(
+                Metric::summary("afs_op_latency_ns", snap)
+                    .label("strategy", strategy)
+                    .label("op", op),
+            );
+        }
+        for (sentinel, snap) in telemetry.sentinel_hist_snapshots() {
+            out.push(Metric::summary("afs_sentinel_latency_ns", snap).label("sentinel", sentinel));
+        }
+        let g = telemetry.gauges().snapshot();
+        out.push(Metric::gauge("afs_pipe_buffered_bytes", g.pipe_buffered));
+        out.push(Metric::gauge(
+            "afs_pipe_buffered_peak_bytes",
+            g.pipe_buffered_peak,
+        ));
+        out.push(Metric::counter(
+            "afs_pipe_queue_messages_total",
+            g.pipe_messages,
+        ));
+        out.push(Metric::gauge("afs_shm_pending_slots", g.shm_pending));
+        out.push(Metric::counter("afs_shm_messages_total", g.shm_messages));
+        out.push(Metric::counter("afs_pool_reuses_total", g.pool_reuses));
+        out.push(Metric::counter(
+            "afs_pool_allocations_total",
+            g.pool_allocations,
+        ));
+    });
 }
 
 /// A fully wired simulated system.
@@ -106,6 +213,7 @@ pub struct AfsWorld {
     model: CostModel,
     connector: MediatingConnector,
     layer: Arc<ActiveFilesLayer>,
+    metrics: Arc<MetricsRegistry>,
     user: String,
 }
 
@@ -171,6 +279,21 @@ impl AfsWorld {
     /// [`afs_sim::OpTrace::summary`] to see the §4 cost profiles live.
     pub fn trace(&self) -> &Arc<afs_sim::OpTrace> {
         self.layer.trace()
+    }
+
+    /// The telemetry hub: spans across the interposition chain, latency
+    /// histograms, and queue gauges. Disabled (and free on the hot path)
+    /// until [`Telemetry::set_enabled`] is called.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        self.layer.telemetry()
+    }
+
+    /// The metrics registry: one snapshot API over the cost model, the op
+    /// trace, and the telemetry hub. Feed the snapshot to
+    /// [`afs_telemetry::prometheus_text`] or [`afs_telemetry::json_snapshot`]
+    /// to export it.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// The interception manager (for tests that install extra layers).

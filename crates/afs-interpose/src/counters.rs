@@ -23,6 +23,10 @@ pub struct CallCounters {
     close_handle: AtomicU64,
     get_file_size: AtomicU64,
     set_file_pointer: AtomicU64,
+    flush_file_buffers: AtomicU64,
+    device_io_control: AtomicU64,
+    read_file_scatter: AtomicU64,
+    write_file_gather: AtomicU64,
     other: AtomicU64,
 }
 
@@ -41,6 +45,14 @@ pub struct CountersSnapshot {
     pub get_file_size: u64,
     /// `SetFilePointer` calls.
     pub set_file_pointer: u64,
+    /// `FlushFileBuffers` calls.
+    pub flush_file_buffers: u64,
+    /// `DeviceIoControl` calls.
+    pub device_io_control: u64,
+    /// `ReadFileScatter` calls.
+    pub read_file_scatter: u64,
+    /// `WriteFileGather` calls.
+    pub write_file_gather: u64,
     /// Every other instrumented call.
     pub other: u64,
 }
@@ -60,6 +72,10 @@ impl CallCounters {
             close_handle: self.close_handle.load(Ordering::Relaxed),
             get_file_size: self.get_file_size.load(Ordering::Relaxed),
             set_file_pointer: self.set_file_pointer.load(Ordering::Relaxed),
+            flush_file_buffers: self.flush_file_buffers.load(Ordering::Relaxed),
+            device_io_control: self.device_io_control.load(Ordering::Relaxed),
+            read_file_scatter: self.read_file_scatter.load(Ordering::Relaxed),
+            write_file_gather: self.write_file_gather.load(Ordering::Relaxed),
             other: self.other.load(Ordering::Relaxed),
         }
     }
@@ -149,8 +165,31 @@ impl DelegateFileApi for CountingApi {
     }
 
     fn device_io_control(&self, handle: Handle, code: u32, input: &[u8]) -> ApiResult<Vec<u8>> {
-        self.counters.other.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .device_io_control
+            .fetch_add(1, Ordering::Relaxed);
         self.delegate().device_io_control(handle, code, input)
+    }
+
+    fn flush_file_buffers(&self, handle: Handle) -> ApiResult<()> {
+        self.counters
+            .flush_file_buffers
+            .fetch_add(1, Ordering::Relaxed);
+        self.delegate().flush_file_buffers(handle)
+    }
+
+    fn read_file_scatter(&self, handle: Handle, bufs: &mut [&mut [u8]]) -> ApiResult<usize> {
+        self.counters
+            .read_file_scatter
+            .fetch_add(1, Ordering::Relaxed);
+        self.delegate().read_file_scatter(handle, bufs)
+    }
+
+    fn write_file_gather(&self, handle: Handle, bufs: &[&[u8]]) -> ApiResult<usize> {
+        self.counters
+            .write_file_gather
+            .fetch_add(1, Ordering::Relaxed);
+        self.delegate().write_file_gather(handle, bufs)
     }
 }
 
@@ -188,6 +227,33 @@ mod tests {
         assert_eq!(snap.get_file_size, 1);
         assert_eq!(snap.close_handle, 1);
         assert_eq!(snap.other, 1);
+    }
+
+    #[test]
+    fn dedicated_counters_cover_the_formerly_lumped_calls() {
+        let base = Arc::new(PassiveFileApi::new(Arc::new(Vfs::new()), CostModel::free()));
+        let conn = MediatingConnector::new(base);
+        let counters = CallCounters::new();
+        conn.install(Arc::new(CountingLayer::new(Arc::clone(&counters))))
+            .expect("install");
+        let api = conn.api();
+        let h = api
+            .create_file("/f", Access::read_write(), Disposition::CreateAlways)
+            .expect("create");
+        api.write_file_gather(h, &[b"ab", b"cd"]).expect("gather");
+        api.flush_file_buffers(h).expect("flush");
+        api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+        let (mut a, mut b) = ([0u8; 2], [0u8; 2]);
+        api.read_file_scatter(h, &mut [&mut a, &mut b])
+            .expect("scatter");
+        let _ = api.device_io_control(h, 7, b"");
+        api.close_handle(h).expect("close");
+        let snap = counters.snapshot();
+        assert_eq!(snap.write_file_gather, 1);
+        assert_eq!(snap.flush_file_buffers, 1);
+        assert_eq!(snap.read_file_scatter, 1);
+        assert_eq!(snap.device_io_control, 1);
+        assert_eq!(snap.other, 0, "nothing left in the catch-all bucket");
     }
 
     #[test]

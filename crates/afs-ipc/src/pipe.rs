@@ -26,6 +26,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use afs_sim::{clock, Cost, CostModel, CrossingKind, SimTime};
+use afs_telemetry::QueueGauges;
 
 use crate::pool::BufferPool;
 use crate::{IpcError, Result};
@@ -67,6 +68,8 @@ struct Inner {
     /// segments, the writer reuses them for subsequent chunks. Purely an
     /// allocation optimisation — charges are identical either way.
     pool: Arc<BufferPool>,
+    /// Optional queue-depth gauges; always-on relaxed atomics when present.
+    gauges: Option<Arc<QueueGauges>>,
     state: Mutex<State>,
     readable: Condvar,
     writable: Condvar,
@@ -84,6 +87,21 @@ impl Pipe {
     /// of context switch.
     pub fn anonymous(model: CostModel, crossing: CrossingKind) -> (PipeWriter, PipeReader) {
         Pipe::with_capacity(model, crossing, DEFAULT_CAPACITY)
+    }
+
+    /// Like [`Pipe::anonymous`], but reports queue depth to `gauges`.
+    pub fn anonymous_observed(
+        model: CostModel,
+        crossing: CrossingKind,
+        gauges: Arc<QueueGauges>,
+    ) -> (PipeWriter, PipeReader) {
+        Pipe::build(
+            model,
+            crossing,
+            DEFAULT_CAPACITY,
+            Arc::new(BufferPool::new()),
+            Some(gauges),
+        )
     }
 
     /// Creates an anonymous pipe with an explicit buffer capacity.
@@ -112,12 +130,23 @@ impl Pipe {
         capacity: usize,
         pool: Arc<BufferPool>,
     ) -> (PipeWriter, PipeReader) {
+        Pipe::build(model, crossing, capacity, pool, None)
+    }
+
+    fn build(
+        model: CostModel,
+        crossing: CrossingKind,
+        capacity: usize,
+        pool: Arc<BufferPool>,
+        gauges: Option<Arc<QueueGauges>>,
+    ) -> (PipeWriter, PipeReader) {
         assert!(capacity > 0, "pipe capacity must be positive");
         let inner = Arc::new(Inner {
             model,
             crossing,
             capacity,
             pool,
+            gauges,
             state: Mutex::new(State {
                 segments: VecDeque::new(),
                 buffered: 0,
@@ -204,6 +233,9 @@ impl PipeWriter {
                 pos: 0,
                 ready,
             });
+            if let Some(gauges) = &inner.gauges {
+                gauges.pipe_enqueued(take as u64);
+            }
             offset += take;
             inner.readable.notify_one();
         }
@@ -273,6 +305,9 @@ impl PipeReader {
             }
         }
         state.buffered -= copied;
+        if let Some(gauges) = &inner.gauges {
+            gauges.pipe_drained(copied as u64);
+        }
         // The data cannot be in the reader's hands before the writer put it
         // in the pipe.
         clock::sync_to(newest);
@@ -505,6 +540,24 @@ mod tests {
         );
         assert_eq!(delta.copies, 2);
         assert_eq!(delta.syscalls, 2);
+    }
+
+    #[test]
+    fn observed_pipe_reports_queue_depth() {
+        let gauges = Arc::new(QueueGauges::default());
+        let (w, r) = Pipe::anonymous_observed(
+            CostModel::free(),
+            CrossingKind::InterProcess,
+            Arc::clone(&gauges),
+        );
+        w.write(&[1u8; 32]).expect("write");
+        assert_eq!(gauges.snapshot().pipe_buffered, 32);
+        let mut buf = [0u8; 32];
+        r.read(&mut buf).expect("read");
+        let snap = gauges.snapshot();
+        assert_eq!(snap.pipe_buffered, 0);
+        assert_eq!(snap.pipe_buffered_peak, 32);
+        assert_eq!(snap.pipe_messages, 1);
     }
 
     #[test]

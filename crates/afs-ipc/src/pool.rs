@@ -15,7 +15,9 @@
 //! with and without it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use afs_telemetry::QueueGauges;
 use parking_lot::Mutex;
 
 /// Buffers retained at most; excess `put`s drop their buffer.
@@ -31,12 +33,22 @@ pub struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
     reuses: AtomicU64,
     allocations: AtomicU64,
+    /// Optional mirror of the reuse/allocation counters into shared gauges.
+    gauges: Option<Arc<QueueGauges>>,
 }
 
 impl BufferPool {
     /// Creates an empty pool.
     pub fn new() -> Self {
         BufferPool::default()
+    }
+
+    /// Creates an empty pool mirroring its counters into `gauges`.
+    pub fn observed(gauges: Arc<QueueGauges>) -> Self {
+        BufferPool {
+            gauges: Some(gauges),
+            ..BufferPool::default()
+        }
     }
 
     /// Returns a zero-filled buffer of exactly `len` bytes, reusing a
@@ -54,12 +66,18 @@ impl BufferPool {
         match recycled {
             Some(mut buf) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
+                if let Some(gauges) = &self.gauges {
+                    gauges.pool_reuse();
+                }
                 buf.clear();
                 buf.reserve(capacity);
                 buf
             }
             None => {
                 self.allocations.fetch_add(1, Ordering::Relaxed);
+                if let Some(gauges) = &self.gauges {
+                    gauges.pool_alloc();
+                }
                 Vec::with_capacity(capacity)
             }
         }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use parking_lot::{Condvar, Mutex};
 
 use afs_sim::{clock, Cost, CostModel, SimTime};
+use afs_telemetry::QueueGauges;
 
 use crate::pool::BufferPool;
 use crate::{IpcError, Result};
@@ -42,6 +43,8 @@ struct Inner {
     /// shared-memory region of the prototype. Allocation-only; charges are
     /// unaffected.
     pool: BufferPool,
+    /// Optional slot-occupancy gauges.
+    gauges: Option<Arc<QueueGauges>>,
     state: Mutex<State>,
     filled: Condvar,
     emptied: Condvar,
@@ -56,10 +59,20 @@ pub struct SharedBuffer {
 impl SharedBuffer {
     /// Creates an empty buffer.
     pub fn new(model: CostModel) -> Self {
+        SharedBuffer::build(model, None)
+    }
+
+    /// Like [`SharedBuffer::new`], but reports slot occupancy to `gauges`.
+    pub fn observed(model: CostModel, gauges: Arc<QueueGauges>) -> Self {
+        SharedBuffer::build(model, Some(gauges))
+    }
+
+    fn build(model: CostModel, gauges: Option<Arc<QueueGauges>>) -> Self {
         SharedBuffer {
             inner: Arc::new(Inner {
                 model,
                 pool: BufferPool::new(),
+                gauges,
                 state: Mutex::new(State {
                     slot: None,
                     closed: false,
@@ -95,6 +108,9 @@ impl SharedBuffer {
         let mut staged = inner.pool.take_capacity(data.len());
         staged.extend_from_slice(data);
         state.slot = Some((staged, clock::now()));
+        if let Some(gauges) = &inner.gauges {
+            gauges.shm_filled();
+        }
         inner.filled.notify_one();
         Ok(())
     }
@@ -121,6 +137,9 @@ impl SharedBuffer {
                 let len = data.len();
                 inner.pool.put(data);
                 state.last_take = state.last_take.max(clock::now());
+                if let Some(gauges) = &inner.gauges {
+                    gauges.shm_taken();
+                }
                 inner.emptied.notify_one();
                 return Ok(len);
             }
@@ -143,6 +162,9 @@ impl SharedBuffer {
             if let Some((data, stamp)) = state.slot.take() {
                 clock::sync_to(stamp);
                 state.last_take = state.last_take.max(clock::now());
+                if let Some(gauges) = &inner.gauges {
+                    gauges.shm_taken();
+                }
                 inner.emptied.notify_one();
                 return Ok(data);
             }
@@ -246,6 +268,18 @@ mod tests {
         b.close();
         assert_eq!(b.recv().expect("drain"), b"last".to_vec());
         assert_eq!(b.recv(), Err(IpcError::Closed));
+    }
+
+    #[test]
+    fn observed_buffer_reports_slot_occupancy() {
+        let gauges = Arc::new(QueueGauges::default());
+        let b = SharedBuffer::observed(CostModel::free(), Arc::clone(&gauges));
+        b.send(b"m").expect("send");
+        assert_eq!(gauges.snapshot().shm_pending, 1);
+        b.recv().expect("recv");
+        let snap = gauges.snapshot();
+        assert_eq!(snap.shm_pending, 0);
+        assert_eq!(snap.shm_messages, 1);
     }
 
     #[test]

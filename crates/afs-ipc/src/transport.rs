@@ -22,6 +22,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use afs_sim::{CostModel, CrossingKind};
+use afs_telemetry::QueueGauges;
 
 use crate::pool::BufferPool;
 use crate::{
@@ -147,11 +148,35 @@ impl<C: Send + 'static, R: Send + 'static> PairTransport<C, R> {
     /// pipes across the process boundary. Every transfer costs the pipes'
     /// two kernel copies and the round trip two process switches.
     pub fn kernel(model: CostModel) -> (PairTransport<C, R>, PairPort<C, R>) {
+        PairTransport::kernel_build(model, None)
+    }
+
+    /// Like [`PairTransport::kernel`], but reports pipe depth and pool
+    /// reuse to `gauges`.
+    pub fn kernel_observed(
+        model: CostModel,
+        gauges: Arc<QueueGauges>,
+    ) -> (PairTransport<C, R>, PairPort<C, R>) {
+        PairTransport::kernel_build(model, Some(gauges))
+    }
+
+    fn kernel_build(
+        model: CostModel,
+        gauges: Option<Arc<QueueGauges>>,
+    ) -> (PairTransport<C, R>, PairPort<C, R>) {
         let crossing = CrossingKind::InterProcess;
         let (cmd_tx, cmd_rx) = ControlChannel::new::<C>(model.clone());
         let (reply_tx, reply_rx) = ControlChannel::new::<R>(model.clone());
-        let (to_sentinel_tx, to_sentinel_rx) = Pipe::anonymous(model.clone(), crossing);
-        let (to_app_tx, to_app_rx) = Pipe::anonymous(model, crossing);
+        let pipe = |model: CostModel| match &gauges {
+            Some(g) => Pipe::anonymous_observed(model, crossing, Arc::clone(g)),
+            None => Pipe::anonymous(model, crossing),
+        };
+        let (to_sentinel_tx, to_sentinel_rx) = pipe(model.clone());
+        let (to_app_tx, to_app_rx) = pipe(model);
+        let pool = match gauges {
+            Some(g) => Arc::new(BufferPool::observed(g)),
+            None => Arc::new(BufferPool::new()),
+        };
         (
             PairTransport {
                 commands: cmd_tx,
@@ -165,7 +190,7 @@ impl<C: Send + 'static, R: Send + 'static> PairTransport<C, R> {
                 replies: reply_tx,
                 data_rx: Box::new(to_sentinel_rx),
                 data_tx: Box::new(to_app_tx),
-                pool: Arc::new(BufferPool::new()),
+                pool,
             },
         )
     }
@@ -174,11 +199,35 @@ impl<C: Send + 'static, R: Send + 'static> PairTransport<C, R> {
     /// buffer per direction inside the process. Every transfer costs one
     /// user-level copy and the round trip two thread switches.
     pub fn shared(model: CostModel) -> (PairTransport<C, R>, PairPort<C, R>) {
+        PairTransport::shared_build(model, None)
+    }
+
+    /// Like [`PairTransport::shared`], but reports slot occupancy and pool
+    /// reuse to `gauges`.
+    pub fn shared_observed(
+        model: CostModel,
+        gauges: Arc<QueueGauges>,
+    ) -> (PairTransport<C, R>, PairPort<C, R>) {
+        PairTransport::shared_build(model, Some(gauges))
+    }
+
+    fn shared_build(
+        model: CostModel,
+        gauges: Option<Arc<QueueGauges>>,
+    ) -> (PairTransport<C, R>, PairPort<C, R>) {
         let crossing = CrossingKind::InterThread;
         let (cmd_tx, cmd_rx) = ControlChannel::user_level::<C>(model.clone());
         let (reply_tx, reply_rx) = ControlChannel::user_level::<R>(model.clone());
-        let to_sentinel = SharedBuffer::new(model.clone());
-        let to_app = SharedBuffer::new(model);
+        let buffer = |model: CostModel| match &gauges {
+            Some(g) => SharedBuffer::observed(model, Arc::clone(g)),
+            None => SharedBuffer::new(model),
+        };
+        let to_sentinel = buffer(model.clone());
+        let to_app = buffer(model);
+        let pool = match gauges {
+            Some(g) => Arc::new(BufferPool::observed(g)),
+            None => Arc::new(BufferPool::new()),
+        };
         (
             PairTransport {
                 commands: cmd_tx,
@@ -192,7 +241,7 @@ impl<C: Send + 'static, R: Send + 'static> PairTransport<C, R> {
                 replies: reply_tx,
                 data_rx: Box::new(to_sentinel),
                 data_tx: Box::new(to_app),
-                pool: Arc::new(BufferPool::new()),
+                pool,
             },
         )
     }
@@ -278,9 +327,28 @@ impl<C: Send + 'static, R: Send + 'static> StreamTransport<C, R> {
     /// `stdin` reader and `stdout` writer (the two anonymous pipes of
     /// Figure 2).
     pub fn new(model: CostModel) -> (StreamTransport<C, R>, PipeReader, PipeWriter) {
+        StreamTransport::build(model, None)
+    }
+
+    /// Like [`StreamTransport::new`], but reports pipe depth to `gauges`.
+    pub fn new_observed(
+        model: CostModel,
+        gauges: Arc<QueueGauges>,
+    ) -> (StreamTransport<C, R>, PipeReader, PipeWriter) {
+        StreamTransport::build(model, Some(gauges))
+    }
+
+    fn build(
+        model: CostModel,
+        gauges: Option<Arc<QueueGauges>>,
+    ) -> (StreamTransport<C, R>, PipeReader, PipeWriter) {
         let crossing = CrossingKind::InterProcess;
-        let (app_write, sentinel_stdin) = Pipe::anonymous(model.clone(), crossing);
-        let (sentinel_stdout, app_read) = Pipe::anonymous(model, crossing);
+        let pipe = |model: CostModel| match &gauges {
+            Some(g) => Pipe::anonymous_observed(model, crossing, Arc::clone(g)),
+            None => Pipe::anonymous(model, crossing),
+        };
+        let (app_write, sentinel_stdin) = pipe(model.clone());
+        let (sentinel_stdout, app_read) = pipe(model);
         (
             StreamTransport {
                 to_sentinel: Mutex::new(Some(app_write)),

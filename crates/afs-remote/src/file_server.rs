@@ -13,6 +13,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use afs_net::{NetError, Network, Service, WireWriter};
+use afs_telemetry::backend_span;
 use afs_vfs::{VPath, Vfs};
 
 use crate::{check_status, err_response, ok_response};
@@ -275,6 +276,7 @@ impl FileClient {
     ///
     /// Network faults, or [`NetError::Rejected`] if the file is missing.
     pub fn get(&self, path: &str, offset: u64, len: usize) -> afs_net::Result<Vec<u8>> {
+        let _bk = backend_span("remote-get");
         let mut w = WireWriter::new();
         w.u8(OP_GET).str(path).u64(offset).u32(len as u32);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -310,6 +312,7 @@ impl FileClient {
     ///
     /// Network faults or server rejection.
     pub fn put(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<u64> {
+        let _bk = backend_span("remote-put");
         let mut w = WireWriter::new();
         w.u8(OP_PUT).str(path).u64(offset).bytes(data);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -325,6 +328,7 @@ impl FileClient {
     ///
     /// Only local faults (unknown service, injected drops).
     pub fn put_async(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<()> {
+        let _bk = backend_span("remote-put-async");
         let mut w = WireWriter::new();
         w.u8(OP_PUT).str(path).u64(offset).bytes(data);
         self.net.cast(&self.service, &w.finish())
@@ -336,6 +340,7 @@ impl FileClient {
     ///
     /// Network faults or server rejection.
     pub fn append(&self, path: &str, data: &[u8]) -> afs_net::Result<u64> {
+        let _bk = backend_span("remote-append");
         let mut w = WireWriter::new();
         w.u8(OP_APPEND).str(path).bytes(data);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -349,6 +354,7 @@ impl FileClient {
     ///
     /// Network faults or server rejection.
     pub fn replace(&self, path: &str, data: &[u8]) -> afs_net::Result<()> {
+        let _bk = backend_span("remote-replace");
         let mut w = WireWriter::new();
         w.u8(OP_REPLACE).str(path).bytes(data);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -362,6 +368,7 @@ impl FileClient {
     ///
     /// [`NetError::Rejected`] if the file is missing.
     pub fn stat(&self, path: &str) -> afs_net::Result<RemoteStat> {
+        let _bk = backend_span("remote-stat");
         let mut w = WireWriter::new();
         w.u8(OP_STAT).str(path);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -378,6 +385,7 @@ impl FileClient {
     ///
     /// Network faults or server rejection.
     pub fn list(&self, dir: &str) -> afs_net::Result<Vec<(String, bool, u64)>> {
+        let _bk = backend_span("remote-list");
         let mut w = WireWriter::new();
         w.u8(OP_LIST).str(dir);
         let resp = self.net.rpc(&self.service, &w.finish())?;
@@ -399,6 +407,7 @@ impl FileClient {
     ///
     /// Network faults or server rejection.
     pub fn delete(&self, path: &str) -> afs_net::Result<()> {
+        let _bk = backend_span("remote-delete");
         let mut w = WireWriter::new();
         w.u8(OP_DELETE).str(path);
         let resp = self.net.rpc(&self.service, &w.finish())?;

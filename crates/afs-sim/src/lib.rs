@@ -53,4 +53,4 @@ pub mod trace;
 pub use clock::{ClockGuard, SimTime};
 pub use cost::{Cost, CostModel, CostSnapshot, CrossingKind, HardwareProfile};
 pub use stats::{Series, Summary};
-pub use trace::{OpKind, OpSummary, OpTrace, TraceRecord};
+pub use trace::{OpKind, OpSummary, OpTrace, TraceRecord, DEFAULT_TRACE_CAPACITY};

@@ -1,0 +1,419 @@
+//! Exporters: Prometheus-style text, JSON snapshot, and chrome-trace JSON.
+//!
+//! All three are hand-rolled string builders (no serde dependency). The
+//! chrome-trace output follows the `trace_event` "JSON Array Format" with
+//! complete (`"ph": "X"`) events plus one `process_name` metadata event per
+//! group, so a `figure6 --spans out.json` file loads directly in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use std::fmt::Write as _;
+
+use crate::registry::{Metric, MetricValue};
+use crate::span::SpanRecord;
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            let mut escaped = String::new();
+            escape_json(v, &mut escaped);
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders metrics in Prometheus text exposition format. Summaries become
+/// `quantile`-labelled samples plus `_count`, `_sum`, and `_max` series.
+pub fn prometheus_text(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for metric in metrics {
+        match &metric.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {v}",
+                    metric.name,
+                    label_block(&metric.labels, None)
+                );
+            }
+            MetricValue::Summary(snap) => {
+                for (q, v) in [
+                    ("0.5", snap.p50_ns()),
+                    ("0.9", snap.p90_ns()),
+                    ("0.99", snap.p99_ns()),
+                ] {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {v}",
+                        metric.name,
+                        label_block(&metric.labels, Some(("quantile", q)))
+                    );
+                }
+                let plain = label_block(&metric.labels, None);
+                let _ = writeln!(out, "{}_count{plain} {}", metric.name, snap.count);
+                let _ = writeln!(out, "{}_sum{plain} {}", metric.name, snap.sum_ns);
+                let _ = writeln!(out, "{}_max{plain} {}", metric.name, snap.max_ns);
+            }
+        }
+    }
+    out
+}
+
+/// Renders metrics as a JSON object: `{"metrics": [...]}`.
+pub fn json_snapshot(metrics: &[Metric]) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, metric) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&metric.name, &mut out);
+        out.push_str("\",\"labels\":{");
+        for (j, (k, v)) in metric.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":\"");
+            escape_json(v, &mut out);
+            out.push('"');
+        }
+        out.push_str("},");
+        match &metric.value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "\"type\":\"gauge\",\"value\":{v}");
+            }
+            MetricValue::Summary(s) => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"summary\",\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"mean_ns\":{}",
+                    s.count,
+                    s.sum_ns,
+                    s.p50_ns(),
+                    s.p90_ns(),
+                    s.p99_ns(),
+                    s.max_ns,
+                    s.mean_ns()
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders span groups as chrome-trace (`trace_event`) JSON. Each group is
+/// `(process label, spans)`; the group index becomes the trace `pid` and a
+/// `process_name` metadata event names it, so the four strategies show up
+/// as four labelled process lanes in a viewer.
+pub fn chrome_trace(groups: &[(&str, Vec<SpanRecord>)]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (pid, (label, spans)) in groups.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(out, "{pid},\"tid\":0,\"args\":{{\"name\":\"");
+        escape_json(label, &mut out);
+        out.push_str("\"}}");
+        for span in spans {
+            out.push_str(",{\"name\":\"");
+            escape_json(span.name, &mut out);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"strategy\":\"",
+                span.layer.label(),
+                span.start as f64 / 1_000.0,
+                span.duration_ns() as f64 / 1_000.0,
+                span.thread,
+                span.id,
+                span.parent
+            );
+            escape_json(span.strategy, &mut out);
+            let _ = write!(out, "\",\"bytes\":{}}}}}", span.bytes);
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Minimal JSON validity check (recursive descent over the full grammar).
+/// Used by tests to guard the exporters against schema rot without pulling
+/// in a JSON dependency.
+pub fn json_is_valid(input: &str) -> bool {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let ok = parse_value(bytes, &mut pos);
+    skip_ws(bytes, &mut pos);
+    ok && pos == bytes.len()
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> bool {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(_) => parse_number(bytes, pos),
+        None => false,
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') || !parse_string(bytes, pos) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(bytes, pos) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(bytes, pos) {
+            return false;
+        }
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // consume opening quote
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if bytes.len() < *pos + 5
+                            || !bytes[*pos + 1..*pos + 5]
+                                .iter()
+                                .all(|b| b.is_ascii_hexdigit())
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_start = *pos;
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == int_start {
+        return false;
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::span::Layer;
+
+    fn sample_span(id: u64, parent: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            layer: Layer::Strategy,
+            name: "read",
+            strategy: "Process",
+            start: 1_000,
+            end: 5_500,
+            bytes: 512,
+            thread: 1,
+        }
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        assert!(json_is_valid("{}"));
+        assert!(json_is_valid("[]"));
+        assert!(json_is_valid(r#"{"a":[1,2.5,-3e2],"b":"x\n","c":null}"#));
+        assert!(json_is_valid("  [true, false]  "));
+        assert!(!json_is_valid(""));
+        assert!(!json_is_valid("{"));
+        assert!(!json_is_valid("[1,]"));
+        assert!(!json_is_valid(r#"{"a":}"#));
+        assert!(!json_is_valid("[1] trailing"));
+        assert!(!json_is_valid(r#"{"a" 1}"#));
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let hist = LatencyHistogram::new();
+        hist.record(1_000);
+        hist.record(2_000);
+        let metrics = vec![
+            Metric::counter("afs_ops_total", 2).label("strategy", "Process"),
+            Metric::gauge("afs_pipe_depth", 7),
+            Metric::summary("afs_op_latency_ns", hist.snapshot()).label("op", "read"),
+        ];
+        let text = prometheus_text(&metrics);
+        assert!(text.contains("afs_ops_total{strategy=\"Process\"} 2"));
+        assert!(text.contains("afs_pipe_depth 7"));
+        assert!(text.contains("afs_op_latency_ns{op=\"read\",quantile=\"0.5\"}"));
+        assert!(text.contains("afs_op_latency_ns_count{op=\"read\"} 2"));
+        assert!(text.contains("afs_op_latency_ns_sum{op=\"read\"} 3000"));
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_json() {
+        let hist = LatencyHistogram::new();
+        hist.record(123);
+        let metrics = vec![
+            Metric::counter("a_total", 1).label("k", "v\"quoted\""),
+            Metric::summary("lat_ns", hist.snapshot()),
+        ];
+        let json = json_snapshot(&metrics);
+        assert!(json_is_valid(&json), "invalid JSON: {json}");
+        assert!(json.contains("\"type\":\"summary\""));
+    }
+
+    #[test]
+    fn chrome_trace_emits_metadata_and_complete_events() {
+        let groups = vec![
+            ("Process", vec![sample_span(1, 0), sample_span(2, 1)]),
+            ("DLL", vec![sample_span(3, 0)]),
+        ];
+        let json = chrome_trace(&groups);
+        assert!(json_is_valid(&json), "invalid JSON: {json}");
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"cat\":\"strategy\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"dur\":4.500"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_groups_is_valid() {
+        assert!(json_is_valid(&chrome_trace(&[])));
+        assert!(json_is_valid(&chrome_trace(&[("x", Vec::new())])));
+    }
+}

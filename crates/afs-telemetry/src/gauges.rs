@@ -1,0 +1,119 @@
+//! Queue-depth and pool gauges fed by the IPC layer.
+//!
+//! These are always-on relaxed atomics — cheap enough that the transports
+//! update them unconditionally, independent of span recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live depth/throughput gauges for pipes, shared buffers, and buffer
+/// pools.
+#[derive(Debug, Default)]
+pub struct QueueGauges {
+    pipe_buffered: AtomicU64,
+    pipe_peak: AtomicU64,
+    pipe_messages: AtomicU64,
+    shm_pending: AtomicU64,
+    shm_messages: AtomicU64,
+    pool_reuses: AtomicU64,
+    pool_allocations: AtomicU64,
+}
+
+impl QueueGauges {
+    /// Records `bytes` enqueued into a pipe (one message segment).
+    pub fn pipe_enqueued(&self, bytes: u64) {
+        let now = self.pipe_buffered.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.pipe_peak.fetch_max(now, Ordering::Relaxed);
+        self.pipe_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `bytes` drained from a pipe.
+    pub fn pipe_drained(&self, bytes: u64) {
+        self.pipe_buffered.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one message placed in a shared-buffer slot.
+    pub fn shm_filled(&self) {
+        self.shm_pending.fetch_add(1, Ordering::Relaxed);
+        self.shm_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one message taken from a shared-buffer slot.
+    pub fn shm_taken(&self) {
+        self.shm_pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a buffer handed out from a pool free list.
+    pub fn pool_reuse(&self) {
+        self.pool_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a fresh buffer allocation by a pool.
+    pub fn pool_alloc(&self) {
+        self.pool_allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> GaugesSnapshot {
+        GaugesSnapshot {
+            pipe_buffered: self.pipe_buffered.load(Ordering::Relaxed),
+            pipe_buffered_peak: self.pipe_peak.load(Ordering::Relaxed),
+            pipe_messages: self.pipe_messages.load(Ordering::Relaxed),
+            shm_pending: self.shm_pending.load(Ordering::Relaxed),
+            shm_messages: self.shm_messages.load(Ordering::Relaxed),
+            pool_reuses: self.pool_reuses.load(Ordering::Relaxed),
+            pool_allocations: self.pool_allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`QueueGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugesSnapshot {
+    /// Bytes currently buffered across observed pipes.
+    pub pipe_buffered: u64,
+    /// High-water mark of buffered pipe bytes.
+    pub pipe_buffered_peak: u64,
+    /// Total pipe message segments enqueued.
+    pub pipe_messages: u64,
+    /// Shared-buffer slots currently holding an unread message.
+    pub shm_pending: u64,
+    /// Total shared-buffer messages sent.
+    pub shm_messages: u64,
+    /// Buffers served from a pool free list.
+    pub pool_reuses: u64,
+    /// Buffers freshly allocated by a pool.
+    pub pool_allocations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_gauges_track_depth_and_peak() {
+        let g = QueueGauges::default();
+        g.pipe_enqueued(100);
+        g.pipe_enqueued(50);
+        g.pipe_drained(120);
+        let s = g.snapshot();
+        assert_eq!(s.pipe_buffered, 30);
+        assert_eq!(s.pipe_buffered_peak, 150);
+        assert_eq!(s.pipe_messages, 2);
+    }
+
+    #[test]
+    fn shm_and_pool_gauges_count() {
+        let g = QueueGauges::default();
+        g.shm_filled();
+        g.shm_filled();
+        g.shm_taken();
+        g.pool_alloc();
+        g.pool_reuse();
+        g.pool_reuse();
+        let s = g.snapshot();
+        assert_eq!(s.shm_pending, 1);
+        assert_eq!(s.shm_messages, 2);
+        assert_eq!(s.pool_allocations, 1);
+        assert_eq!(s.pool_reuses, 2);
+    }
+}

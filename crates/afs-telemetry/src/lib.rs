@@ -1,0 +1,42 @@
+//! End-to-end telemetry for the Active Files runtime.
+//!
+//! The paper's §4 argument is a cost-accounting exercise: protection-domain
+//! crossings, buffer copies, and switches *per operation*. The
+//! [`OpTrace`](afs_sim) ring aggregates those costs after the fact; this
+//! crate makes one operation followable end to end:
+//!
+//! * **Spans** ([`Telemetry`], [`SpanGuard`], [`Layer`]) — every
+//!   application-visible op produces a span tree covering
+//!   interpose → strategy handle → transport → sentinel → backend, stamped
+//!   in virtual [`SimClock`](afs_sim::clock) time when a clock is installed
+//!   (wall time otherwise, so the interactive shell still gets real data).
+//! * **Latency histograms** ([`LatencyHistogram`]) — fixed log2 buckets,
+//!   lock-free recording, p50/p90/p99/max without retaining raw samples.
+//! * **Queue gauges** ([`QueueGauges`]) — pipe/shared-memory depths and
+//!   buffer-pool reuse, fed by the `afs-ipc` transports.
+//! * **Metrics registry** ([`MetricsRegistry`]) — one snapshot API over the
+//!   scattered counters (`CostModel`, `CallCounters`, histograms, gauges).
+//! * **Exporters** ([`prometheus_text`], [`json_snapshot`],
+//!   [`chrome_trace`]) — text metrics plus `trace_event` JSON loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! Telemetry is **off by default** and adds no allocation to the per-op hot
+//! path: a single relaxed atomic load gates span creation, and the span
+//! ring is preallocated when telemetry is enabled (BufferPool-style reuse).
+
+#![warn(missing_docs)]
+
+mod export;
+mod gauges;
+mod hist;
+mod registry;
+mod span;
+
+pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
+pub use gauges::{GaugesSnapshot, QueueGauges};
+pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
+pub use registry::{Metric, MetricValue, MetricsRegistry};
+pub use span::{
+    backend_span, intern, now_ns, Layer, SlowOp, SpanGuard, SpanRecord, Telemetry,
+    DEFAULT_SPAN_CAPACITY,
+};

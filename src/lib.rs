@@ -70,6 +70,11 @@ pub use afs_sim::{
     clock, Cost, CostModel, CrossingKind, HardwareProfile, OpKind, OpSummary, OpTrace, Series,
     Summary, TraceRecord,
 };
+pub use afs_telemetry::{
+    chrome_trace, json_is_valid, json_snapshot, prometheus_text, GaugesSnapshot, HistogramSnapshot,
+    LatencyHistogram, Layer, Metric, MetricValue, MetricsRegistry, QueueGauges, SlowOp, SpanRecord,
+    Telemetry,
+};
 pub use afs_vfs::{VPath, Vfs, VfsError};
 pub use afs_winapi::{
     Access, Disposition, FileApi, Handle, PassiveFileApi, SeekMethod, ShareMode, Win32Error,

@@ -13,8 +13,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use afs_core::{AfsWorld, Backing, SentinelSpec, Strategy};
+use afs_interpose::{CallCounters, CountingLayer};
 use afs_net::Service;
 use afs_remote::{FileServer, MailStore, PopServer, QuoteServer, SmtpServer};
+use afs_telemetry::{json_snapshot, prometheus_text, Metric, SpanRecord};
 use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
 
 /// Shell errors carry the failing command and a message.
@@ -39,19 +41,45 @@ pub struct Shell {
     world: AfsWorld,
     api: afs_interpose::ApiHandle,
     demo_files: Option<Arc<FileServer>>,
+    counters: Arc<CallCounters>,
 }
 
 impl Shell {
     /// Creates a shell over a fresh world with the standard sentinels
-    /// registered.
+    /// registered, telemetry enabled, and a call-counting layer installed
+    /// (the shell is an interactive observability surface, so it pays for
+    /// the instrumentation up front).
     pub fn new() -> Self {
         let world = AfsWorld::new();
         afs_sentinels::register_all(world.sentinels());
+        world.telemetry().set_enabled(true);
+        let counters = CallCounters::new();
+        world
+            .connector()
+            .install(Arc::new(CountingLayer::new(Arc::clone(&counters))))
+            .expect("fresh connector accepts the counting layer");
+        let c = Arc::clone(&counters);
+        world.metrics().register(move |out| {
+            let snap = c.snapshot();
+            let call = |name, v| Metric::counter("afs_calls_total", v).label("call", name);
+            out.push(call("create_file", snap.create_file));
+            out.push(call("read_file", snap.read_file));
+            out.push(call("write_file", snap.write_file));
+            out.push(call("close_handle", snap.close_handle));
+            out.push(call("get_file_size", snap.get_file_size));
+            out.push(call("set_file_pointer", snap.set_file_pointer));
+            out.push(call("flush_file_buffers", snap.flush_file_buffers));
+            out.push(call("device_io_control", snap.device_io_control));
+            out.push(call("read_file_scatter", snap.read_file_scatter));
+            out.push(call("write_file_gather", snap.write_file_gather));
+            out.push(call("other", snap.other));
+        });
         let api = world.api();
         Shell {
             world,
             api,
             demo_files: None,
+            counters,
         }
     }
 
@@ -223,6 +251,9 @@ impl Shell {
                 Ok(String::new())
             }
             "stats" => {
+                // Rendered from the trace's exact cumulative aggregates,
+                // not the bounded ring of recent records — the table stays
+                // correct after the ring wraps on long sessions.
                 let summary = self.world.trace().summary();
                 if summary.is_empty() {
                     return Ok("no active-file operations recorded yet\n".to_owned());
@@ -234,7 +265,11 @@ impl Shell {
                     "strategy", "op", "count", "bytes/op", "us/op", "cross/op", "copies/op"
                 )
                 .expect("write to string");
+                let (mut ops, mut bytes, mut elapsed) = (0u64, 0u64, 0u64);
                 for row in summary {
+                    ops += row.count;
+                    bytes += row.bytes;
+                    elapsed += row.elapsed_ns;
                     writeln!(
                         out,
                         "{:<14} {:<8} {:>6} {:>10.1} {:>9.2} {:>10.2} {:>8.2}",
@@ -248,7 +283,51 @@ impl Shell {
                     )
                     .expect("write to string");
                 }
+                writeln!(
+                    out,
+                    "total: {ops} ops, {bytes} bytes, {:.2} virtual ms",
+                    elapsed as f64 / 1_000_000.0
+                )
+                .expect("write to string");
                 Ok(out)
+            }
+            "top" => Ok(self.render_top()),
+            "spans" => Ok(self.render_spans()),
+            "metrics" => {
+                let snapshot = self.world.metrics().snapshot();
+                match rest {
+                    "" | "prometheus" => Ok(prometheus_text(&snapshot)),
+                    "json" => Ok(json_snapshot(&snapshot)),
+                    other => Err(fail(format!(
+                        "unknown format {other} (want prometheus|json)"
+                    ))),
+                }
+            }
+            "telemetry" => {
+                let tel = self.world.telemetry();
+                match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
+                    ["on"] => {
+                        tel.set_enabled(true);
+                        Ok("telemetry on\n".to_owned())
+                    }
+                    ["off"] => {
+                        tel.set_enabled(false);
+                        Ok("telemetry off\n".to_owned())
+                    }
+                    ["slow", ns] => {
+                        let ns: u64 = ns
+                            .parse()
+                            .map_err(|_| fail("telemetry slow <nanoseconds>".into()))?;
+                        tel.set_slow_threshold_ns(ns);
+                        Ok(format!("slow-op threshold set to {ns} ns\n"))
+                    }
+                    [] => Ok(format!(
+                        "telemetry {} ({} spans recorded)\n",
+                        if tel.enabled() { "on" } else { "off" },
+                        tel.span_count()
+                    )),
+                    _ => Err(fail("usage: telemetry [on|off|slow <ns>]".into())),
+                }
             }
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
@@ -287,6 +366,112 @@ impl Shell {
         }
     }
 
+    /// Renders the `top` table: per-(strategy, op) latency percentiles
+    /// from the telemetry histograms, per-sentinel service latencies, and
+    /// the call counters.
+    fn render_top(&self) -> String {
+        let tel = self.world.telemetry();
+        let strategy_rows = tel.strategy_hist_snapshots();
+        if strategy_rows.is_empty() {
+            return "no telemetry recorded yet (is telemetry on?)\n".to_owned();
+        }
+        let us = |ns: u64| ns as f64 / 1000.0;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{:<14} {:<8} {:>6} {:>9} {:>9} {:>9} {:>9}",
+            "strategy", "op", "count", "p50 us", "p90 us", "p99 us", "max us"
+        )
+        .expect("write to string");
+        for ((strategy, op), h) in strategy_rows {
+            writeln!(
+                out,
+                "{strategy:<14} {op:<8} {:>6} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+                h.count,
+                us(h.p50_ns()),
+                us(h.p90_ns()),
+                us(h.p99_ns()),
+                us(h.max_ns),
+            )
+            .expect("write to string");
+        }
+        let sentinel_rows = tel.sentinel_hist_snapshots();
+        if !sentinel_rows.is_empty() {
+            writeln!(
+                out,
+                "\n{:<14} {:>6} {:>9} {:>9} {:>9}",
+                "sentinel", "count", "p50 us", "p90 us", "max us"
+            )
+            .expect("write to string");
+            for (sentinel, h) in sentinel_rows {
+                writeln!(
+                    out,
+                    "{sentinel:<14} {:>6} {:>9.2} {:>9.2} {:>9.2}",
+                    h.count,
+                    us(h.p50_ns()),
+                    us(h.p90_ns()),
+                    us(h.max_ns),
+                )
+                .expect("write to string");
+            }
+        }
+        let calls = self.counters.snapshot();
+        writeln!(
+            out,
+            "\ncalls: create={} read={} write={} close={} size={} seek={} \
+             flush={} ioctl={} scatter={} gather={} other={}",
+            calls.create_file,
+            calls.read_file,
+            calls.write_file,
+            calls.close_handle,
+            calls.get_file_size,
+            calls.set_file_pointer,
+            calls.flush_file_buffers,
+            calls.device_io_control,
+            calls.read_file_scatter,
+            calls.write_file_gather,
+            calls.other,
+        )
+        .expect("write to string");
+        out
+    }
+
+    /// Renders the `spans` view: the most recent complete span trees
+    /// (indented by depth), then any recorded slow operations with their
+    /// ancestor chains.
+    fn render_spans(&self) -> String {
+        const MAX_ROOTS: usize = 8;
+        let tel = self.world.telemetry();
+        let spans = tel.spans();
+        if spans.is_empty() {
+            return "no spans recorded yet (is telemetry on?)\n".to_owned();
+        }
+        let mut out = String::new();
+        let roots: Vec<&SpanRecord> = spans.iter().filter(|s| s.parent == 0).collect();
+        let skipped = roots.len().saturating_sub(MAX_ROOTS);
+        if skipped > 0 {
+            writeln!(out, "... {skipped} earlier root spans omitted").expect("write to string");
+        }
+        for root in roots.iter().rev().take(MAX_ROOTS).rev() {
+            render_span_tree(&mut out, &spans, root, 0);
+        }
+        let slow = tel.slow_ops();
+        if !slow.is_empty() {
+            writeln!(out, "\nslow ops:").expect("write to string");
+            for op in slow {
+                writeln!(
+                    out,
+                    "  {} ({:.2} us) via {}",
+                    op.record.name,
+                    op.record.duration_ns() as f64 / 1000.0,
+                    op.ancestry,
+                )
+                .expect("write to string");
+            }
+        }
+        out
+    }
+
     /// Runs a multi-line script, concatenating outputs. Stops at the
     /// first error.
     ///
@@ -316,6 +501,30 @@ impl Default for Shell {
     }
 }
 
+/// Prints `span` and its descendants from `spans`, indented by depth.
+fn render_span_tree(out: &mut String, spans: &[SpanRecord], span: &SpanRecord, depth: usize) {
+    let strategy = if span.strategy.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", span.strategy)
+    };
+    writeln!(
+        out,
+        "{:indent$}{} {}{} ({:.2} us, {} bytes)",
+        "",
+        span.layer.label(),
+        span.name,
+        strategy,
+        span.duration_ns() as f64 / 1000.0,
+        span.bytes,
+        indent = depth * 2,
+    )
+    .expect("write to string");
+    for child in spans.iter().filter(|s| s.parent == span.id) {
+        render_span_tree(out, spans, child, depth + 1);
+    }
+}
+
 /// `help` text.
 pub const HELP: &str = "\
 commands:
@@ -334,6 +543,14 @@ commands:
   sentinels | services                 list registered names
   stats                                per-strategy/per-op cost table
                                        (crossings, copies, bytes, time)
+  top                                  latency percentiles per strategy/op
+                                       and per sentinel, plus call counts
+  spans                                recent span trees across the chain
+                                       (interpose > strategy > transport >
+                                       sentinel > backend) and slow ops
+  metrics [prometheus|json]            export the full metrics snapshot
+  telemetry [on|off|slow <ns>]         toggle span/histogram recording or
+                                       set the slow-op report threshold
   demo                                 register demo remote services
   help                                 this text
 ";
@@ -415,6 +632,91 @@ mod tests {
         assert!(stats.contains("DLL"), "strategy column present: {stats}");
         assert!(stats.contains("read"), "read row present: {stats}");
         assert!(stats.contains("write"), "write row present: {stats}");
+    }
+
+    #[test]
+    fn stats_totals_survive_ring_wrap() {
+        let mut sh = Shell::new();
+        sh.run("install /w.af null dll memory").expect("install");
+        sh.run("append /w.af x").expect("seed");
+        // Drive well past the trace ring's capacity; the stats table must
+        // keep exact counts because it renders cumulative aggregates.
+        let ops = afs_sim::DEFAULT_TRACE_CAPACITY + 200;
+        let h = sh
+            .api
+            .create_file("/w.af", Access::read_only(), Disposition::OpenExisting)
+            .expect("open");
+        let mut buf = [0u8; 1];
+        for _ in 0..ops {
+            sh.api
+                .set_file_pointer(h, 0, SeekMethod::Begin)
+                .expect("seek");
+            sh.api.read_file(h, &mut buf).expect("read");
+        }
+        sh.api.close_handle(h).expect("close");
+        assert!(
+            sh.world.trace().records().len() < ops,
+            "the ring must actually have wrapped for this test to bite"
+        );
+        let stats = sh.run("stats").expect("stats");
+        let read_row = stats
+            .lines()
+            .find(|l| l.contains("read"))
+            .expect("read row");
+        assert!(
+            read_row.contains(&format!("{ops}")),
+            "exact read count rendered past ring wrap: {read_row}"
+        );
+        assert!(stats.contains("total:"), "totals footer present: {stats}");
+    }
+
+    #[test]
+    fn top_and_spans_render_telemetry() {
+        let mut sh = Shell::new();
+        sh.run("install /t.af null thread memory").expect("install");
+        sh.run("append /t.af payload").expect("append");
+        sh.run("cat /t.af").expect("cat");
+        let top = sh.run("top").expect("top");
+        assert!(top.contains("Thread"), "strategy row present: {top}");
+        assert!(top.contains("p99 us"), "percentile header present: {top}");
+        assert!(top.contains("calls:"), "call counters present: {top}");
+        let spans = sh.run("spans").expect("spans");
+        assert!(spans.contains("interpose ReadFile"), "root span: {spans}");
+        assert!(spans.contains("strategy read"), "strategy span: {spans}");
+        assert!(spans.contains("transport"), "transport span: {spans}");
+    }
+
+    #[test]
+    fn metrics_export_in_both_formats() {
+        let mut sh = Shell::new();
+        sh.run("install /m.af null dll memory").expect("install");
+        sh.run("append /m.af data").expect("append");
+        sh.run("cat /m.af").expect("cat");
+        let prom = sh.run("metrics").expect("prometheus");
+        assert!(prom.contains("afs_ops_total"), "trace metrics: {prom}");
+        assert!(prom.contains("afs_calls_total"), "call counters: {prom}");
+        let json = sh.run("metrics json").expect("json");
+        assert!(afs_telemetry::json_is_valid(&json), "valid JSON: {json}");
+        assert!(sh.run("metrics yaml").is_err(), "unknown format rejected");
+    }
+
+    #[test]
+    fn telemetry_toggle_and_slow_threshold() {
+        let mut sh = Shell::new();
+        assert!(sh.run("telemetry").expect("status").contains("on"));
+        sh.run("telemetry off").expect("off");
+        sh.run("install /q.af null dll memory").expect("install");
+        sh.run("append /q.af data").expect("append");
+        assert_eq!(sh.world.telemetry().span_count(), 0, "off records nothing");
+        sh.run("telemetry on").expect("on");
+        sh.run("telemetry slow 1").expect("threshold");
+        sh.run("cat /q.af").expect("cat");
+        assert!(sh.world.telemetry().span_count() > 0);
+        let spans = sh.run("spans").expect("spans");
+        assert!(
+            spans.contains("slow ops:"),
+            "1 ns threshold flags ops: {spans}"
+        );
     }
 
     #[test]
