@@ -1,0 +1,77 @@
+//! The CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--threshold-pct N]
+//! ```
+//!
+//! Both files are `figure6 --json` documents. Exits non-zero if any
+//! strategy's p99 latency in the current run exceeds the baseline's by
+//! more than the threshold (default 30%), or if a baseline strategy is
+//! missing from the current run.
+
+use std::process::ExitCode;
+
+use afs_bench::{compare, parse_bench_doc};
+
+fn die(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    eprintln!("usage: bench_gate <baseline.json> <current.json> [--threshold-pct N]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 30.0f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threshold-pct" => {
+                let Some(value) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    return die("--threshold-pct needs a numeric value");
+                };
+                threshold_pct = value;
+            }
+            other if other.starts_with("--") => {
+                return die(&format!("unknown flag {other}"));
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return die("expected exactly two file arguments");
+    };
+
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse_bench_doc(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let baseline = match load(baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => return die(&e),
+    };
+    let current = match load(current_path) {
+        Ok(doc) => doc,
+        Err(e) => return die(&e),
+    };
+
+    let violations = compare(&baseline, &current, threshold_pct);
+    for (label, cur) in &current.strategies {
+        match baseline.strategies.get(label) {
+            Some(base) => println!(
+                "{label}: p99 {} ns (baseline {} ns, limit +{threshold_pct}%)",
+                cur.p99_ns, base.p99_ns
+            ),
+            None => println!("{label}: p99 {} ns (no baseline entry)", cur.p99_ns),
+        }
+    }
+    if violations.is_empty() {
+        println!("bench gate: PASS ({} strategies)", current.strategies.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench gate: REGRESSION — {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

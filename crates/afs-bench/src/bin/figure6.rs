@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--spans FILE]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--spans FILE] [--json FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -18,7 +18,9 @@
 //! (`panel,direction,strategy,block,mean_us`) for plotting;
 //! `--spans FILE` skips the sweep and instead records a telemetry span
 //! trace of `--ops` reads per strategy, written as chrome://tracing JSON
-//! (open in `chrome://tracing` or Perfetto).
+//! (open in `chrome://tracing` or Perfetto); `--json FILE` skips the
+//! sweep and writes the per-strategy latency summary the CI bench gate
+//! compares against `BENCH_baseline.json` (see the `bench_gate` binary).
 
 use afs_bench::{
     measure, measure_traced, render_panel, run_panel, Direction, PathKind, BLOCK_SIZES,
@@ -36,6 +38,7 @@ fn main() {
     let mut simple_process = false;
     let mut csv = false;
     let mut spans_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,9 +69,24 @@ fn main() {
                         .unwrap_or_else(|| die("--spans needs an output path")),
                 );
             }
+            "--json" => {
+                i += 1;
+                json_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs an output path")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+
+    if let Some(out) = json_out {
+        let json = afs_bench::bench_json(ops, profile);
+        std::fs::write(&out, &json).unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        eprintln!("figure6: wrote bench-gate summary JSON to {out}");
+        return;
     }
 
     if let Some(out) = spans_out {

@@ -1,0 +1,440 @@
+//! The bench-regression gate: machine-readable Figure 6 summaries and the
+//! comparison CI runs against the committed baseline.
+//!
+//! [`bench_json`] measures the per-strategy read latency distribution
+//! (memory path, 128-byte blocks — the cheapest cell that still exercises
+//! every strategy's full hot path) and renders it as a small JSON
+//! document. Because every sample is *virtual* time from the calibrated
+//! cost model, the numbers are bit-for-bit reproducible across machines,
+//! so CI can hold them to a tight threshold without flakiness.
+//!
+//! [`parse_bench_doc`] + [`compare`] implement the gate itself, used by
+//! the `bench_gate` binary against the committed `BENCH_baseline.json`.
+
+use std::collections::BTreeMap;
+
+use afs_core::Strategy;
+use afs_sim::HardwareProfile;
+
+use crate::{measure, Direction, PathKind};
+
+/// Schema version stamped into the document.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// The strategies the gate tracks — all four of §4.
+pub const GATE_STRATEGIES: [Strategy; 4] = [
+    Strategy::Process,
+    Strategy::ProcessControl,
+    Strategy::DllThread,
+    Strategy::DllOnly,
+];
+
+/// Per-strategy latency summary, ns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyStats {
+    /// Mean per-op latency.
+    pub mean_ns: f64,
+    /// Median per-op latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-op latency — the gated number.
+    pub p99_ns: u64,
+}
+
+/// A parsed bench document: ops count plus per-strategy summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDoc {
+    /// Calls measured per strategy.
+    pub ops: u64,
+    /// Summaries keyed by strategy label.
+    pub strategies: BTreeMap<String, StrategyStats>,
+}
+
+/// Measures every gate strategy (memory path, 128-byte sequential reads,
+/// `ops` calls each) and renders the result as JSON.
+pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
+    const BLOCK: usize = 128;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"ops\": {ops},\n  \"profile\": \"{}\",\n  \"strategies\": {{\n",
+        profile.name
+    ));
+    for (i, strategy) in GATE_STRATEGIES.iter().enumerate() {
+        let m = measure(
+            PathKind::Memory,
+            *strategy,
+            Direction::Read,
+            BLOCK,
+            ops,
+            profile.clone(),
+        );
+        let s = m.series.summarize();
+        out.push_str(&format!(
+            "    \"{}\": {{\"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            strategy.label(),
+            s.mean_ns,
+            s.p50_ns,
+            s.p99_ns,
+            if i + 1 < GATE_STRATEGIES.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parses a [`bench_json`] document.
+///
+/// The parser is deliberately strict about the fields the gate needs
+/// (`ops`, `strategies.*.{mean_ns,p50_ns,p99_ns}`) and tolerant of
+/// anything extra.
+///
+/// # Errors
+///
+/// A human-readable message naming what is malformed or missing.
+pub fn parse_bench_doc(text: &str) -> Result<BenchDoc, String> {
+    let root = json::parse(text)?;
+    let obj = root.as_object().ok_or("top level must be an object")?;
+    let ops = obj
+        .get("ops")
+        .and_then(json::Value::as_u64)
+        .ok_or("missing numeric `ops`")?;
+    let strategies_val = obj.get("strategies").ok_or("missing `strategies`")?;
+    let strategies_obj = strategies_val
+        .as_object()
+        .ok_or("`strategies` must be an object")?;
+    let mut strategies = BTreeMap::new();
+    for (label, entry) in strategies_obj {
+        let entry = entry
+            .as_object()
+            .ok_or_else(|| format!("strategy `{label}` must be an object"))?;
+        let field = |name: &str| {
+            entry
+                .get(name)
+                .and_then(json::Value::as_f64)
+                .ok_or_else(|| format!("strategy `{label}` missing numeric `{name}`"))
+        };
+        strategies.insert(
+            label.clone(),
+            StrategyStats {
+                mean_ns: field("mean_ns")?,
+                p50_ns: field("p50_ns")? as u64,
+                p99_ns: field("p99_ns")? as u64,
+            },
+        );
+    }
+    if strategies.is_empty() {
+        return Err("no strategies in document".to_owned());
+    }
+    Ok(BenchDoc { ops, strategies })
+}
+
+/// Compares `current` against `baseline`: any strategy whose p99 exceeds
+/// the baseline's by more than `threshold_pct` percent is a regression.
+/// Strategies present in the baseline but missing from the current run
+/// are regressions too (a silently dropped series must not pass the
+/// gate). Returns one message per violation; empty means the gate passes.
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, threshold_pct: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (label, base) in &baseline.strategies {
+        let Some(cur) = current.strategies.get(label) else {
+            violations.push(format!("{label}: missing from current run"));
+            continue;
+        };
+        let limit = base.p99_ns as f64 * (1.0 + threshold_pct / 100.0);
+        if cur.p99_ns as f64 > limit {
+            violations.push(format!(
+                "{label}: p99 {} ns exceeds baseline {} ns by more than {threshold_pct}% \
+                 (limit {:.0} ns)",
+                cur.p99_ns, base.p99_ns, limit
+            ));
+        }
+    }
+    violations
+}
+
+/// A minimal JSON reader — just enough structure for the bench documents
+/// and the chrome-trace span validation in `tests/telemetry.rs` (objects,
+/// arrays, strings, numbers, booleans, null), with no external dependency.
+pub mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number.
+        Number(f64),
+        /// A string (escapes decoded minimally).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, key order normalised.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_f64().and_then(|n| {
+                if n.fract() == 0.0 && n >= 0.0 {
+                    Some(n as u64)
+                } else {
+                    None
+                }
+            })
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        lit: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        while let Some(&b) = bytes.get(*pos) {
+            match b {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(&c) => out.push(c as char),
+                        None => return Err("dangling escape".to_owned()),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let ch_len = utf8_len(b);
+                    let end = (*pos + ch_len).min(bytes.len());
+                    out.push_str(
+                        std::str::from_utf8(&bytes[*pos..end]).map_err(|e| e.to_string())?,
+                    );
+                    *pos = end;
+                }
+            }
+        }
+        Err("unterminated string".to_owned())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '{'
+        let mut map = BTreeMap::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}", pos = *pos));
+            }
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(format!("expected `:` at byte {pos}", pos = *pos));
+            }
+            *pos += 1;
+            let value = parse_value(bytes, pos)?;
+            map.insert(key, value);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_roundtrips_through_the_parser() {
+        let doc = bench_json(20, HardwareProfile::pentium_ii_300());
+        assert!(afs_telemetry::json_is_valid(&doc), "valid JSON: {doc}");
+        let parsed = parse_bench_doc(&doc).expect("parse");
+        assert_eq!(parsed.ops, 20);
+        assert_eq!(parsed.strategies.len(), GATE_STRATEGIES.len());
+        for strategy in GATE_STRATEGIES {
+            let s = parsed.strategies.get(strategy.label()).expect("strategy");
+            assert!(s.p99_ns >= s.p50_ns, "percentiles ordered");
+            assert!(s.mean_ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn bench_json_is_deterministic() {
+        let a = bench_json(10, HardwareProfile::pentium_ii_300());
+        let b = bench_json(10, HardwareProfile::pentium_ii_300());
+        assert_eq!(a, b, "virtual-clock measurements are reproducible");
+    }
+
+    #[test]
+    fn compare_passes_identical_documents() {
+        let doc = parse_bench_doc(&bench_json(10, HardwareProfile::pentium_ii_300())).expect("doc");
+        assert!(compare(&doc, &doc, 30.0).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_p99_regressions_and_missing_strategies() {
+        let baseline = parse_bench_doc(
+            r#"{"ops": 10, "strategies": {
+                "DLL": {"mean_ns": 100.0, "p50_ns": 100, "p99_ns": 100},
+                "Thread": {"mean_ns": 200.0, "p50_ns": 200, "p99_ns": 200}
+            }}"#,
+        )
+        .expect("baseline");
+        let current = parse_bench_doc(
+            r#"{"ops": 10, "strategies": {
+                "DLL": {"mean_ns": 140.0, "p50_ns": 140, "p99_ns": 140}
+            }}"#,
+        )
+        .expect("current");
+        let violations = compare(&baseline, &current, 30.0);
+        assert_eq!(violations.len(), 2, "regression + missing: {violations:?}");
+        assert!(violations.iter().any(|v| v.contains("DLL")));
+        assert!(violations.iter().any(|v| v.contains("missing")));
+        // Within threshold passes.
+        assert!(compare(&baseline, &baseline, 30.0).is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_bench_doc("").is_err());
+        assert!(parse_bench_doc("[1,2]").is_err());
+        assert!(parse_bench_doc(r#"{"ops": 5}"#).is_err());
+        assert!(parse_bench_doc(r#"{"ops": 5, "strategies": {}}"#).is_err());
+        assert!(parse_bench_doc(r#"{"ops": 5, "strategies": {"DLL": {"p99_ns": 1}}}"#).is_err());
+    }
+}

@@ -12,7 +12,10 @@
 //! asserts the reproduction claims (ordering, growth, read/write
 //! asymmetry).
 
+pub mod gate;
 pub mod workload;
+
+pub use gate::{bench_json, compare, parse_bench_doc, BenchDoc, StrategyStats};
 
 use std::sync::Arc;
 

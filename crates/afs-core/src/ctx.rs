@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use afs_ipc::{NamedSemaphore, SyncRegistry};
-use afs_net::Network;
+use afs_net::{BreakerConfig, Network, ReliabilityPolicy, RetryPolicy};
 use afs_remote::{DbClient, FileClient, MailClient, QuoteClient, RegistryClient};
 use afs_sim::CostModel;
 use afs_vfs::{VPath, Vfs};
@@ -31,6 +31,58 @@ pub struct SentinelCtx {
     sync: SyncRegistry,
     model: CostModel,
     api: Option<Arc<dyn FileApi>>,
+    degraded: bool,
+    stale: bool,
+    write_queue: Vec<(u64, Vec<u8>)>,
+}
+
+/// Builds the reliability policy requested by a spec's `retry`,
+/// `replicas`, and `breaker.*` configuration keys, if any are present.
+///
+/// * `retry` — attempt count (enables retry with default backoff),
+/// * `retry.deadline_us` / `retry.backoff_us` / `retry.max_backoff_us` —
+///   retry schedule overrides, in microseconds,
+/// * `replicas` — comma-separated fallback services tried in order,
+/// * `breaker.threshold` / `breaker.cooldown_us` — circuit breaker.
+fn reliability_policy(config: &BTreeMap<String, String>) -> Option<ReliabilityPolicy> {
+    let get = |key: &str| config.get(key).map(String::as_str);
+    let get_u64 = |key: &str| get(key).and_then(|v| v.parse::<u64>().ok());
+    if get("retry").is_none() && get("replicas").is_none() && get("breaker.threshold").is_none() {
+        return None;
+    }
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = get_u64("retry") {
+        retry.attempts = n.clamp(1, 64) as u32;
+    }
+    if let Some(us) = get_u64("retry.deadline_us") {
+        retry.deadline_ns = us.saturating_mul(1_000);
+    }
+    if let Some(us) = get_u64("retry.backoff_us") {
+        retry.base_backoff_ns = us.saturating_mul(1_000).max(1);
+    }
+    if let Some(us) = get_u64("retry.max_backoff_us") {
+        retry.max_backoff_ns = us.saturating_mul(1_000).max(retry.base_backoff_ns);
+    }
+    let replicas = get("replicas")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .collect()
+        })
+        .unwrap_or_default();
+    let breaker = get_u64("breaker.threshold").map(|threshold| BreakerConfig {
+        threshold: threshold.clamp(1, u64::from(u32::MAX)) as u32,
+        cooldown_ns: get_u64("breaker.cooldown_us")
+            .map_or(BreakerConfig::default().cooldown_ns, |us| {
+                us.saturating_mul(1_000)
+            }),
+    });
+    Some(ReliabilityPolicy {
+        retry,
+        replicas,
+        breaker,
+    })
 }
 
 impl std::fmt::Debug for SentinelCtx {
@@ -59,6 +111,17 @@ impl SentinelCtx {
             path.file_path(),
             model.clone(),
         );
+        // A spec asking for retry/replicas/breaker gets a policy-carrying
+        // network clone, so every typed client this context hands out runs
+        // the recovery loop transparently.
+        let net = match reliability_policy(spec.config()) {
+            Some(policy) => net.with_policy(policy),
+            None => net,
+        };
+        let degraded = matches!(
+            spec.config().get("degraded").map(String::as_str),
+            Some("true") | Some("1")
+        );
         SentinelCtx {
             path,
             user,
@@ -69,6 +132,9 @@ impl SentinelCtx {
             sync,
             model,
             api: None,
+            degraded,
+            stale: false,
+            write_queue: Vec::new(),
         }
     }
 
@@ -120,6 +186,36 @@ impl SentinelCtx {
     /// The cost model this sentinel charges.
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    // ---- degraded mode --------------------------------------------------------
+
+    /// Whether the spec enabled degraded mode (`degraded=true`): when every
+    /// replica is down, reads are served from the last-good cache (flagged
+    /// stale) and writes are queued for replay on heal.
+    pub fn degraded_enabled(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether this file is currently serving stale data: the remote was
+    /// unreachable and contents came from the last-good cache, or queued
+    /// writes have not replayed yet. Applications query it with
+    /// [`crate::strategy::CTL_QUERY_STALE`].
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    pub(crate) fn set_stale(&mut self, stale: bool) {
+        self.stale = stale;
+    }
+
+    /// Writes queued while the remote was down, in arrival order.
+    pub(crate) fn write_queue(&mut self) -> &mut Vec<(u64, Vec<u8>)> {
+        &mut self.write_queue
+    }
+
+    pub(crate) fn write_queue_len(&self) -> usize {
+        self.write_queue.len()
     }
 
     // ---- configuration ------------------------------------------------------

@@ -185,6 +185,12 @@ pub(crate) trait ActiveOps: Send + Sync {
     fn close(&self) -> Result<(), Win32Error>;
 }
 
+/// Control code answered by the runtime itself (never forwarded to the
+/// sentinel logic): returns one byte, `1` when the file is currently
+/// serving stale data (degraded reads from the last-good cache, or queued
+/// writes awaiting replay), `0` otherwise.
+pub const CTL_QUERY_STALE: u32 = 0xAF00_57A1;
+
 /// Maps sentinel failures to the Win32 codes the application sees.
 pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
     match e {
@@ -255,13 +261,45 @@ pub(crate) fn execute_op(
     payload: &[u8],
     pool: &BufferPool,
 ) -> (OpReply, Option<Vec<u8>>) {
+    // Writes queued while the remote was down replay ahead of the next
+    // command, so a healed remote catches up before new state lands on it.
+    if ctx.degraded_enabled() && ctx.write_queue_len() > 0 {
+        replay_queued_writes(logic, ctx);
+    }
     match op {
         Op::Read { offset, len } => {
             let mut buf = pool.take(len as usize);
             match logic.read(ctx, offset, &mut buf) {
                 Ok(n) => {
+                    if ctx.degraded_enabled() {
+                        // Refresh the last-good cache; a fresh remote read
+                        // with nothing queued means we are current again.
+                        let _ = ctx.cache().write_at(offset, &buf[..n]);
+                        if ctx.write_queue_len() == 0 {
+                            ctx.set_stale(false);
+                        }
+                    }
                     buf.truncate(n);
                     (OpReply::Read { n: n as u32 }, Some(buf))
+                }
+                Err(SentinelError::Net(_))
+                    if ctx.degraded_enabled() && ctx.cache().is_present() =>
+                {
+                    // Every replica is down: serve the last-good bytes and
+                    // flag the handle stale (§6's availability argument,
+                    // extended — the legacy application keeps running).
+                    match ctx.cache().read_at(offset, &mut buf) {
+                        Ok(n) => {
+                            ctx.set_stale(true);
+                            ctx.net().reliability_stats().note_degraded_read();
+                            buf.truncate(n);
+                            (OpReply::Read { n: n as u32 }, Some(buf))
+                        }
+                        Err(e) => {
+                            pool.put(buf);
+                            (OpReply::Failed(e), None)
+                        }
+                    }
                 }
                 Err(e) => {
                     pool.put(buf);
@@ -297,10 +335,28 @@ pub(crate) fn execute_op(
         }
         Op::Write { offset, .. } => match logic.write(ctx, offset, payload) {
             Ok(_) => (OpReply::Done, None),
+            Err(SentinelError::Net(_)) if ctx.degraded_enabled() => {
+                // The remote is down: accept the write into the last-good
+                // cache and queue it for replay on heal.
+                let _ = ctx.cache().write_at(offset, payload);
+                ctx.write_queue().push((offset, payload.to_vec()));
+                ctx.set_stale(true);
+                ctx.net().reliability_stats().note_queued_write();
+                (OpReply::Done, None)
+            }
             Err(e) => (OpReply::Failed(e), None),
         },
         Op::GetSize => match logic.len(ctx) {
             Ok(n) => (OpReply::Size(n), None),
+            Err(SentinelError::Net(_)) if ctx.degraded_enabled() && ctx.cache().is_present() => {
+                match ctx.cache().len() {
+                    Ok(n) => {
+                        ctx.set_stale(true);
+                        (OpReply::Size(n), None)
+                    }
+                    Err(e) => (OpReply::Failed(e), None),
+                }
+            }
             Err(e) => (OpReply::Failed(e), None),
         },
         Op::Flush => match logic.flush(ctx) {
@@ -310,10 +366,16 @@ pub(crate) fn execute_op(
         Op::Control {
             code,
             payload: request,
-        } => match logic.control(ctx, code, &request) {
-            Ok(response) => (OpReply::Control { payload: response }, None),
-            Err(e) => (OpReply::Failed(e), None),
-        },
+        } => {
+            if code == CTL_QUERY_STALE {
+                let payload = vec![u8::from(ctx.is_stale())];
+                return (OpReply::Control { payload }, None);
+            }
+            match logic.control(ctx, code, &request) {
+                Ok(response) => (OpReply::Control { payload: response }, None),
+                Err(e) => (OpReply::Failed(e), None),
+            }
+        }
         Op::Close => {
             let reply = match logic.on_close(ctx) {
                 Ok(()) => OpReply::Done,
@@ -323,6 +385,21 @@ pub(crate) fn execute_op(
             (reply, None)
         }
     }
+}
+
+/// Replays writes queued while the remote was down, in arrival order,
+/// stopping at the first failure (the remote is still down — the rest of
+/// the queue stays, preserving order). Draining the queue clears the
+/// stale flag: the remote has caught up with everything we accepted.
+fn replay_queued_writes(logic: &mut dyn SentinelLogic, ctx: &mut SentinelCtx) {
+    while let Some((offset, data)) = ctx.write_queue().first().cloned() {
+        if logic.write(ctx, offset, &data).is_err() {
+            return;
+        }
+        ctx.write_queue().remove(0);
+        ctx.net().reliability_stats().note_replayed_write();
+    }
+    ctx.set_stale(false);
 }
 
 /// The sentinel dispatch loop shared by the process-plus-control and

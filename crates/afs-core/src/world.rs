@@ -26,6 +26,7 @@ pub struct AfsWorldBuilder {
     profile: HardwareProfile,
     user: String,
     signing_key: Option<u64>,
+    seed: Option<u64>,
 }
 
 impl Default for AfsWorldBuilder {
@@ -34,6 +35,7 @@ impl Default for AfsWorldBuilder {
             profile: HardwareProfile::free(),
             user: "user".to_owned(),
             signing_key: None,
+            seed: None,
         }
     }
 }
@@ -60,11 +62,29 @@ impl AfsWorldBuilder {
         self
     }
 
+    /// Sets the deterministic seed for every random decision in the world
+    /// (fault schedules, retry jitter). When not set, the `AFS_TEST_SEED`
+    /// environment variable is honoured, so CI can sweep seeds without
+    /// code changes; the final fallback is a fixed default.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
     /// Builds the world.
     pub fn build(self) -> AfsWorld {
         let model = CostModel::new(self.profile);
         let vfs = Arc::new(Vfs::new());
         let net = Network::new(model.clone());
+        let seed = self
+            .seed
+            .or_else(|| {
+                std::env::var("AFS_TEST_SEED")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0xAF5_0001);
+        net.set_seed(seed);
         let registry = SentinelRegistry::new();
         crate::world::register_builtin(&registry);
         let sync = SyncRegistry::new();
@@ -89,6 +109,7 @@ impl AfsWorldBuilder {
         register_world_collectors(
             &metrics,
             model.clone(),
+            net.clone(),
             Arc::clone(layer.trace()),
             Arc::clone(layer.telemetry()),
         );
@@ -108,13 +129,41 @@ impl AfsWorldBuilder {
 
 /// Registers the world's standard collectors: cost-model counters, the
 /// per-(strategy, op) trace aggregates, the telemetry latency summaries,
-/// and the shared queue/pool gauges.
+/// the shared queue/pool gauges, and the reliability counters.
 fn register_world_collectors(
     metrics: &MetricsRegistry,
     model: CostModel,
+    net: Network,
     trace: Arc<OpTrace>,
     telemetry: Arc<Telemetry>,
 ) {
+    metrics.register(move |out| {
+        let rel = net.reliability();
+        out.push(Metric::counter("afs_retries_total", rel.retries));
+        out.push(Metric::counter("afs_failovers_total", rel.failovers));
+        out.push(Metric::counter(
+            "afs_breaker_trips_total",
+            rel.breaker_trips,
+        ));
+        out.push(Metric::counter(
+            "afs_breaker_rejections_total",
+            rel.breaker_rejections,
+        ));
+        out.push(Metric::counter(
+            "afs_degraded_reads_total",
+            rel.degraded_reads,
+        ));
+        out.push(Metric::counter(
+            "afs_queued_writes_total",
+            rel.queued_writes,
+        ));
+        out.push(Metric::counter(
+            "afs_replayed_writes_total",
+            rel.replayed_writes,
+        ));
+        let net_stats = net.stats();
+        out.push(Metric::counter("afs_net_dropped_total", net_stats.dropped));
+    });
     metrics.register(move |out| {
         let snap = model.snapshot();
         out.push(Metric::counter("afs_cost_syscalls_total", snap.syscalls));

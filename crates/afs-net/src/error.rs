@@ -18,6 +18,9 @@ pub enum NetError {
     Rejected(String),
     /// The response could not be decoded.
     Malformed(WireError),
+    /// The per-service circuit breaker is open: the call was refused
+    /// locally without touching the network.
+    CircuitOpen(String),
 }
 
 impl fmt::Display for NetError {
@@ -28,6 +31,7 @@ impl fmt::Display for NetError {
             NetError::Partitioned(s) => write!(f, "service partitioned: {s}"),
             NetError::Rejected(msg) => write!(f, "request rejected: {msg}"),
             NetError::Malformed(e) => write!(f, "malformed response: {e}"),
+            NetError::CircuitOpen(s) => write!(f, "circuit breaker open for {s}"),
         }
     }
 }

@@ -13,9 +13,14 @@
 //! * [`wire`] — a small length-prefixed binary codec every service
 //!   protocol in [`afs_remote`](../afs_remote/index.html) is defined in,
 //!   standing in for the FTP/HTTP/POP wire formats the paper mentions.
-//! * [`FaultPlan`] — deterministic fault injection (drop the next N
-//!   messages to a service, or partition a service away) for the failure
+//! * [`FaultPlan`] — deterministic fault injection (drop or flake the next
+//!   N messages, partition a service away or over a scheduled virtual-time
+//!   window, inject seeded latency and probabilistic loss) for the failure
 //!   tests.
+//! * [`reliability`] — retry policies with deterministic exponential
+//!   backoff, replica failover, per-service circuit breakers, and the
+//!   counters the telemetry exports. A [`Network::with_policy`] clone runs
+//!   every call through the recovery loop.
 //!
 //! Services execute inline on the caller's thread; their compute is free,
 //! which matches the paper's measurement focus on the *client-side*
@@ -23,10 +28,15 @@
 
 pub mod error;
 pub mod net;
+pub mod reliability;
 pub mod wire;
 
 pub use error::NetError;
 pub use net::{FaultPlan, Network, NetworkStats, Service};
+pub use reliability::{
+    BreakerConfig, CircuitBreaker, ReliabilityPolicy, ReliabilitySnapshot, ReliabilityStats,
+    RetryPolicy,
+};
 pub use wire::{WireError, WireReader, WireWriter};
 
 /// Result alias for network operations.

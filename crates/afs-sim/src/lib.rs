@@ -47,10 +47,12 @@
 
 pub mod clock;
 pub mod cost;
+pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{ClockGuard, SimTime};
 pub use cost::{Cost, CostModel, CostSnapshot, CrossingKind, HardwareProfile};
+pub use rng::SimRng;
 pub use stats::{Series, Summary};
 pub use trace::{OpKind, OpSummary, OpTrace, TraceRecord, DEFAULT_TRACE_CAPACITY};

@@ -37,6 +37,6 @@ pub use gauges::{GaugesSnapshot, QueueGauges};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use registry::{Metric, MetricValue, MetricsRegistry};
 pub use span::{
-    backend_span, intern, now_ns, Layer, SlowOp, SpanGuard, SpanRecord, Telemetry,
+    backend_span, intern, now_ns, retry_span, Layer, SlowOp, SpanGuard, SpanRecord, Telemetry,
     DEFAULT_SPAN_CAPACITY,
 };

@@ -40,6 +40,9 @@ pub enum Layer {
     Sentinel,
     /// Remote file server, cache store, or other backing-store work.
     Backend,
+    /// Reliability-layer recovery: retry backoff, replica failover, and
+    /// circuit-breaker probing around a remote call.
+    Retry,
 }
 
 impl Layer {
@@ -51,6 +54,7 @@ impl Layer {
             Layer::Transport => "transport",
             Layer::Sentinel => "sentinel",
             Layer::Backend => "backend",
+            Layer::Retry => "retry",
         }
     }
 }
@@ -491,6 +495,16 @@ pub fn backend_span(name: &'static str) -> Option<SpanGuard> {
     let top = FRAMES.with(|frames| frames.borrow().last().map(|f| (Arc::clone(&f.tel), f.span)));
     let (tel, parent) = top?;
     tel.span_with_parent(Layer::Backend, name, "", parent)
+}
+
+/// Opens a [`Layer::Retry`] span parented like [`backend_span`]. The
+/// reliability layer in `afs-net` opens one when a remote call enters
+/// recovery (backoff, failover, breaker probing), so retried operations
+/// are visible in the span tree without any hub plumbed through.
+pub fn retry_span(name: &'static str) -> Option<SpanGuard> {
+    let top = FRAMES.with(|frames| frames.borrow().last().map(|f| (Arc::clone(&f.tel), f.span)));
+    let (tel, parent) = top?;
+    tel.span_with_parent(Layer::Retry, name, "", parent)
 }
 
 static WALL_EPOCH: OnceLock<Instant> = OnceLock::new();

@@ -55,13 +55,16 @@
 pub use afs_core::{
     ActiveFileSystem, ActiveFilesLayer, AfsWorld, AfsWorldBuilder, Backing, CacheStore,
     NullSentinel, ProcessIo, RawProcessSentinel, SentinelCtx, SentinelError, SentinelLogic,
-    SentinelRegistry, SentinelResult, SentinelSpec, Strategy, ACTIVE_EXTENSION,
+    SentinelRegistry, SentinelResult, SentinelSpec, Strategy, ACTIVE_EXTENSION, CTL_QUERY_STALE,
 };
 pub use afs_interpose::{ApiHandle, ApiLayer, CallCounters, CountingLayer, MediatingConnector};
 pub use afs_ipc::{
     BufferPool, ControlChannel, Event, Pipe, ResetMode, SharedBuffer, SyncRegistry, Transport,
 };
-pub use afs_net::{NetError, Network, Service};
+pub use afs_net::{
+    BreakerConfig, CircuitBreaker, FaultPlan, NetError, Network, ReliabilityPolicy,
+    ReliabilitySnapshot, RetryPolicy, Service,
+};
 pub use afs_remote::{
     DbClient, DbServer, FileClient, FileServer, MailClient, MailStore, PopServer, QuoteClient,
     QuoteServer, RegistryClient, RegistryServer, RegistryValue, SmtpServer,

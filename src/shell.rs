@@ -329,6 +329,7 @@ impl Shell {
                     _ => Err(fail("usage: telemetry [on|off|slow <ns>]".into())),
                 }
             }
+            "faults" => self.run_faults(rest).map_err(fail),
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
             "demo" => {
@@ -363,6 +364,91 @@ impl Shell {
                 command: other.to_owned(),
                 message: "unknown command (try `help`)".to_owned(),
             }),
+        }
+    }
+
+    /// The `faults` command: with no arguments, renders the reliability
+    /// counters, circuit-breaker states, and per-service fault summaries;
+    /// with arguments, configures fault injection against one service.
+    fn run_faults(&mut self, rest: &str) -> Result<String, String> {
+        let net = self.world.net();
+        let args: Vec<&str> = rest.split_whitespace().collect();
+        if args.is_empty() {
+            let rel = net.reliability();
+            let mut out = String::new();
+            writeln!(
+                out,
+                "reliability: retries={} failovers={} breaker_trips={} \
+                 breaker_rejections={} degraded_reads={} queued_writes={} \
+                 replayed_writes={}",
+                rel.retries,
+                rel.failovers,
+                rel.breaker_trips,
+                rel.breaker_rejections,
+                rel.degraded_reads,
+                rel.queued_writes,
+                rel.replayed_writes,
+            )
+            .expect("write to string");
+            for (service, state) in net.breaker_states() {
+                writeln!(out, "breaker {service}: {state}").expect("write to string");
+            }
+            for service in net.services() {
+                if let Some(plan) = net.plan(&service) {
+                    writeln!(out, "{service}: {}", plan.describe()).expect("write to string");
+                }
+            }
+            return Ok(out);
+        }
+        let service = args[0];
+        let plan = net
+            .plan(service)
+            .ok_or_else(|| format!("unknown service {service}"))?;
+        let parse = |s: &str| s.parse::<u64>().map_err(|_| format!("bad number {s}"));
+        match &args[1..] {
+            [] => Ok(format!("{service}: {}\n", plan.describe())),
+            ["drop", n] => {
+                plan.drop_next(parse(n)?);
+                Ok(String::new())
+            }
+            ["flaky", n] => {
+                plan.flaky(parse(n)?);
+                Ok(String::new())
+            }
+            ["partition", "on"] => {
+                plan.set_partitioned(true);
+                Ok(String::new())
+            }
+            ["partition", "off"] => {
+                plan.set_partitioned(false);
+                Ok(String::new())
+            }
+            ["window", start, end] => {
+                plan.partition_window(parse(start)?, parse(end)?);
+                Ok(String::new())
+            }
+            ["latency", base] => {
+                plan.latency(parse(base)?, 0);
+                Ok(String::new())
+            }
+            ["latency", base, jitter] => {
+                plan.latency(parse(base)?, parse(jitter)?);
+                Ok(String::new())
+            }
+            ["loss", ppm] => {
+                plan.loss_ppm(parse(ppm)?);
+                Ok(String::new())
+            }
+            ["clear"] => {
+                plan.clear();
+                Ok(String::new())
+            }
+            _ => Err(
+                "usage: faults [<service> [drop <n>|flaky <n>|partition on|off|\
+                      window <start_ns> <end_ns>|latency <base_ns> [jitter_ns]|\
+                      loss <ppm>|clear]]"
+                    .to_owned(),
+            ),
         }
     }
 
@@ -548,6 +634,13 @@ commands:
   spans                                recent span trees across the chain
                                        (interpose > strategy > transport >
                                        sentinel > backend) and slow ops
+  faults                               reliability counters, breaker states,
+                                       and per-service fault summaries
+  faults <service> <fault ...>         inject faults against a service:
+                                       drop <n> | flaky <n> | partition on|off
+                                       window <start_ns> <end_ns>
+                                       latency <base_ns> [jitter_ns]
+                                       loss <ppm> | clear
   metrics [prometheus|json]            export the full metrics snapshot
   telemetry [on|off|slow <ns>]         toggle span/histogram recording or
                                        set the slow-op report threshold
@@ -717,6 +810,33 @@ mod tests {
             spans.contains("slow ops:"),
             "1 ns threshold flags ops: {spans}"
         );
+    }
+
+    #[test]
+    fn faults_command_injects_and_reports() {
+        let mut sh = Shell::new();
+        sh.run("demo").expect("demo");
+        assert!(
+            sh.run("faults ghost partition on").is_err(),
+            "unknown services are rejected"
+        );
+        sh.run("faults files partition on").expect("partition");
+        let status = sh.run("faults").expect("status");
+        assert!(status.contains("files: partitioned"), "summary: {status}");
+        assert!(
+            status.contains("reliability: retries="),
+            "counters: {status}"
+        );
+        sh.run("install /motd.af remote-file dll memory service=files remote=/pub/motd")
+            .expect("install");
+        assert!(sh.run("cat /motd.af").is_err(), "partition surfaces");
+        sh.run("faults files clear").expect("clear");
+        let motd = sh.run("cat /motd.af").expect("healed");
+        assert!(motd.contains("welcome"));
+        assert!(sh
+            .run("faults files")
+            .expect("describe")
+            .contains("healthy"));
     }
 
     #[test]

@@ -21,8 +21,8 @@ fn world_with_server() -> (AfsWorld, Arc<FileServer>, activefiles::Network) {
 
 #[test]
 fn partition_during_open_fails_create_file() {
-    let (world, server, net) = world_with_server();
-    let plan = net.register("files", server as Arc<dyn Service>); // re-register to get a plan
+    let (world, _server, net) = world_with_server();
+    let plan = net.plan("files").expect("plan for registered service");
     world
         .install_active_file(
             "/r.af",
@@ -49,8 +49,8 @@ fn partition_during_open_fails_create_file() {
 
 #[test]
 fn partition_mid_stream_fails_reads_with_network_error() {
-    let (world, server, net) = world_with_server();
-    let plan = net.register("files", server as Arc<dyn Service>);
+    let (world, _server, net) = world_with_server();
+    let plan = net.plan("files").expect("plan for registered service");
     world
         .install_active_file(
             "/m.af",
@@ -76,8 +76,8 @@ fn partition_mid_stream_fails_reads_with_network_error() {
 fn partition_mid_stream_under_control_strategy() {
     // Same failure, but the error must travel sentinel → control reply →
     // application across the process boundary.
-    let (world, server, net) = world_with_server();
-    let plan = net.register("files", server as Arc<dyn Service>);
+    let (world, _server, net) = world_with_server();
+    let plan = net.plan("files").expect("plan for registered service");
     world
         .install_active_file(
             "/m.af",
@@ -103,8 +103,8 @@ fn dropped_write_surfaces_as_sticky_error_on_later_operation() {
     // Writes are issued without waiting (§6): a failed remote update
     // cannot fail the WriteFile that caused it, but it must not vanish —
     // the next synchronous operation reports it.
-    let (world, server, net) = world_with_server();
-    let plan = net.register("files", server as Arc<dyn Service>);
+    let (world, _server, net) = world_with_server();
+    let plan = net.plan("files").expect("plan for registered service");
     world
         .install_active_file(
             "/m.af",
@@ -134,8 +134,8 @@ fn dropped_write_surfaces_as_sticky_error_on_later_operation() {
 
 #[test]
 fn message_loss_counts_are_observable() {
-    let (world, server, net) = world_with_server();
-    let plan = net.register("files", server as Arc<dyn Service>);
+    let (world, _server, net) = world_with_server();
+    let plan = net.plan("files").expect("plan for registered service");
     plan.drop_next(3);
     let client = activefiles::FileClient::new(net.clone(), "files");
     for _ in 0..3 {

@@ -1,0 +1,328 @@
+//! Fault tolerance on the remote path: retries, backoff, replica
+//! failover, circuit breaking, and degraded (stale-cache) operation —
+//! all observed through the plain Win32-shaped file API an unmodified
+//! application uses, and all deterministic under the world's seeded
+//! fault streams and virtual clocks.
+
+use std::sync::Arc;
+
+use activefiles::prelude::*;
+use activefiles::{
+    clock, prometheus_text, BreakerConfig, CostModel, FileClient, FileServer, NetError, Network,
+    ReliabilityPolicy, RetryPolicy, Service, CTL_QUERY_STALE,
+};
+
+const BODY: &[u8] = b"remote data bytes";
+
+/// A world with a seeded `files` server and a policy-bearing mirror
+/// active file at `/m.af`; extra spec keys come from `keys`.
+fn reliable_world(keys: &[(&str, &str)]) -> (AfsWorld, Arc<FileServer>) {
+    let world = AfsWorld::new();
+    register_standard_sentinels(&world);
+    let server = FileServer::new();
+    server.seed("/blob", BODY);
+    world
+        .net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
+    let mut spec = SentinelSpec::new("mirror", Strategy::DllOnly)
+        .backing(Backing::Memory)
+        .with("service", "files")
+        .with("remote", "/blob");
+    for (k, v) in keys {
+        spec = spec.with(k, v);
+    }
+    world.install_active_file("/m.af", &spec).expect("install");
+    (world, server)
+}
+
+#[test]
+fn flaky_remote_heals_invisibly_behind_retries() {
+    let (world, _server) = reliable_world(&[("retry", "4")]);
+    let plan = world.net().plan("files").expect("plan");
+    plan.flaky(2); // two Partitioned failures, then healthy
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 17];
+    assert_eq!(api.read_file(h, &mut buf).expect("read"), BODY.len());
+    assert_eq!(&buf[..], BODY, "the application never saw the failures");
+    api.close_handle(h).expect("close");
+    assert_eq!(
+        world.net().reliability().retries,
+        2,
+        "one backoff wait per flaky failure"
+    );
+}
+
+#[test]
+fn partition_window_heals_within_the_retry_deadline() {
+    // The acceptance scenario: a scheduled partition strictly shorter
+    // than the retry deadline must be invisible to the legacy
+    // application, because backoff consumes virtual time and the window
+    // expires while the transport waits.
+    let (world, _server) = reliable_world(&[("retry", "8")]);
+    let plan = world.net().plan("files").expect("plan");
+    let _g = clock::install(0);
+    plan.partition_window(0, 2_000_000); // down for the first 2 ms
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 17];
+    assert_eq!(api.read_file(h, &mut buf).expect("read"), BODY.len());
+    assert_eq!(&buf[..], BODY);
+    api.close_handle(h).expect("close");
+    let rel = world.net().reliability();
+    assert!(rel.retries > 0, "the partition was ridden out: {rel:?}");
+    assert!(
+        clock::now() >= 2_000_000,
+        "backoff advanced virtual time past the window"
+    );
+}
+
+#[test]
+fn retry_exhaustion_surfaces_a_network_error() {
+    let (world, _server) = reliable_world(&[("retry", "3")]);
+    let plan = world.net().plan("files").expect("plan");
+    plan.set_partitioned(true); // never heals
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open succeeds — no remote traffic yet");
+    let mut buf = [0u8; 8];
+    assert_eq!(
+        api.read_file(h, &mut buf),
+        Err(Win32Error::NetworkError),
+        "after the attempts run out the original error surfaces"
+    );
+    assert_eq!(
+        world.net().reliability().retries,
+        2,
+        "three attempts mean two waits"
+    );
+    plan.set_partitioned(false);
+    api.read_file(h, &mut buf).expect("heals after the fact");
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn failover_prefers_the_first_healthy_replica() {
+    let (world, _primary) = reliable_world(&[("retry", "1"), ("replicas", "files-a,files-b")]);
+    let replica_a = FileServer::new();
+    replica_a.seed("/blob", b"replica A body !!");
+    let replica_b = FileServer::new();
+    replica_b.seed("/blob", b"replica B body !!");
+    world
+        .net()
+        .register("files-a", replica_a as Arc<dyn Service>);
+    world
+        .net()
+        .register("files-b", replica_b as Arc<dyn Service>);
+    world
+        .net()
+        .plan("files")
+        .expect("plan")
+        .set_partitioned(true);
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 17];
+    api.read_file(h, &mut buf).expect("read fails over");
+    assert_eq!(&buf[..], b"replica A body !!", "first healthy replica wins");
+    assert!(world.net().reliability().failovers >= 1);
+
+    // With the first replica also down, the second serves.
+    world
+        .net()
+        .plan("files-a")
+        .expect("plan")
+        .set_partitioned(true);
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("read fails over again");
+    assert_eq!(&buf[..], b"replica B body !!");
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn breaker_trips_open_then_recovers_through_half_open() {
+    let net = Network::new(CostModel::free());
+    let server = FileServer::new();
+    server.seed("/blob", BODY);
+    let plan = net.register("files", server as Arc<dyn Service>);
+    let reliable = net.with_policy(ReliabilityPolicy {
+        retry: RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        },
+        replicas: Vec::new(),
+        breaker: Some(BreakerConfig {
+            threshold: 3,
+            cooldown_ns: 1_000_000,
+        }),
+    });
+    let client = FileClient::new(reliable.clone(), "files");
+    let _g = clock::install(0);
+
+    plan.set_partitioned(true);
+    for _ in 0..3 {
+        assert!(matches!(
+            client.stat("/blob"),
+            Err(NetError::Partitioned(_))
+        ));
+    }
+    assert_eq!(net.reliability().breaker_trips, 1);
+    assert_eq!(net.breaker_states(), vec![("files".to_owned(), "open")]);
+
+    // While open, calls are rejected locally — the partitioned service
+    // is never even consulted.
+    assert!(matches!(
+        client.stat("/blob"),
+        Err(NetError::CircuitOpen(_))
+    ));
+    assert_eq!(net.reliability().breaker_rejections, 1);
+
+    // After the cooldown one probe goes through; its success closes the
+    // breaker for good.
+    plan.set_partitioned(false);
+    clock::advance(2_000_000);
+    client.stat("/blob").expect("half-open probe succeeds");
+    assert_eq!(net.breaker_states(), vec![("files".to_owned(), "closed")]);
+    client.stat("/blob").expect("closed again");
+}
+
+#[test]
+fn degraded_reads_serve_stale_cache_and_flag_it() {
+    let (world, _server) = reliable_world(&[("degraded", "true")]);
+    let plan = world.net().plan("files").expect("plan");
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 17];
+    api.read_file(h, &mut buf)
+        .expect("warm the last-good cache");
+    assert_eq!(&buf[..], BODY);
+    assert_eq!(
+        api.device_io_control(h, CTL_QUERY_STALE, &[]).expect("ctl"),
+        vec![0u8],
+        "fresh while the remote answers"
+    );
+
+    plan.set_partitioned(true);
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    let mut stale_buf = [0u8; 17];
+    api.read_file(h, &mut stale_buf)
+        .expect("degraded read keeps the application running");
+    assert_eq!(&stale_buf[..], BODY, "last-good bytes");
+    assert_eq!(
+        api.device_io_control(h, CTL_QUERY_STALE, &[]).expect("ctl"),
+        vec![1u8],
+        "stale is visible to anyone who asks"
+    );
+    assert!(world.net().reliability().degraded_reads >= 1);
+
+    // Healing makes the next read fresh again.
+    plan.set_partitioned(false);
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("fresh read");
+    assert_eq!(
+        api.device_io_control(h, CTL_QUERY_STALE, &[]).expect("ctl"),
+        vec![0u8]
+    );
+    api.close_handle(h).expect("close");
+}
+
+#[test]
+fn queued_writes_replay_in_order_on_heal() {
+    let (world, _server) = reliable_world(&[("degraded", "true")]);
+    let plan = world.net().plan("files").expect("plan");
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 17];
+    api.read_file(h, &mut buf).expect("warm the cache");
+
+    plan.set_partitioned(true);
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.write_file(h, b"EDIT").expect("accepted while down");
+    assert!(world.net().reliability().queued_writes >= 1);
+    // The local view already reflects the queued write.
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("degraded read-back");
+    assert_eq!(&buf[..4], b"EDIT");
+    assert_eq!(
+        api.device_io_control(h, CTL_QUERY_STALE, &[]).expect("ctl"),
+        vec![1u8]
+    );
+
+    // Heal; the next operation replays the queue before running.
+    plan.set_partitioned(false);
+    api.get_file_size(h).expect("post-heal op");
+    assert!(world.net().reliability().replayed_writes >= 1);
+    assert_eq!(
+        api.device_io_control(h, CTL_QUERY_STALE, &[]).expect("ctl"),
+        vec![0u8],
+        "drained queue clears the stale flag"
+    );
+    api.close_handle(h).expect("close");
+    // The remote caught up with the write made while it was down.
+    let check = FileClient::new(world.net().clone(), "files");
+    assert_eq!(check.get("/blob", 0, 4).expect("remote read"), b"EDIT");
+}
+
+#[test]
+fn reliability_counters_reach_the_prometheus_export() {
+    let (world, _server) = reliable_world(&[("retry", "4")]);
+    world.net().plan("files").expect("plan").flaky(2);
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_only(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; 8];
+    api.read_file(h, &mut buf).expect("read through retries");
+    api.close_handle(h).expect("close");
+    let prom = prometheus_text(&world.metrics().snapshot());
+    for metric in [
+        "afs_retries_total",
+        "afs_failovers_total",
+        "afs_breaker_trips_total",
+        "afs_breaker_rejections_total",
+        "afs_degraded_reads_total",
+        "afs_queued_writes_total",
+        "afs_replayed_writes_total",
+        "afs_net_dropped_total",
+    ] {
+        assert!(prom.contains(metric), "{metric} missing from:\n{prom}");
+    }
+    assert!(
+        prom.contains("afs_retries_total 2"),
+        "retries counted in the export:\n{prom}"
+    );
+}
+
+#[test]
+fn seeded_worlds_reproduce_their_fault_streams() {
+    // The seed-sweep CI job runs the suite under AFS_TEST_SEED; this
+    // checks the property the sweep relies on — same seed, same losses.
+    let observe = |seed: u64| {
+        let net = Network::new(CostModel::free());
+        let server = FileServer::new();
+        server.seed("/blob", BODY);
+        let plan = net.register("files", server as Arc<dyn Service>);
+        net.set_seed(seed);
+        plan.loss_ppm(400_000); // 40% loss
+        let client = FileClient::new(net.clone(), "files");
+        (0..32)
+            .map(|_| u8::from(client.stat("/blob").is_ok()))
+            .collect::<Vec<u8>>()
+    };
+    assert_eq!(observe(7), observe(7), "deterministic for equal seeds");
+    assert_ne!(
+        observe(7),
+        observe(8),
+        "different seeds draw different streams"
+    );
+}

@@ -248,6 +248,35 @@ fn slow_ops_carry_their_ancestry() {
 }
 
 #[test]
+fn exported_span_trace_covers_the_interposition_chain() {
+    // The CI gate formerly validated `figure6 --spans` output with a
+    // python script; this is the same check in-tree. The exported
+    // chrome-trace document must parse, carry complete ("ph": "X") span
+    // events, and cover at least the interpose, strategy, and transport
+    // layers across the four-strategy sweep.
+    let trace = afs_bench::span_trace(20, activefiles::HardwareProfile::pentium_ii_300());
+    assert!(json_is_valid(&trace), "chrome trace parses: {trace}");
+    let root = afs_bench::gate::json::parse(&trace).expect("chrome trace JSON");
+    let events = root.as_array().expect("trace is an event array");
+    let spans: Vec<_> = events
+        .iter()
+        .filter_map(|e| e.as_object())
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .collect();
+    assert!(!spans.is_empty(), "no span events emitted");
+    let layers: std::collections::BTreeSet<&str> = spans
+        .iter()
+        .filter_map(|e| e.get("cat").and_then(|v| v.as_str()))
+        .collect();
+    for required in ["interpose", "strategy", "transport"] {
+        assert!(
+            layers.contains(required),
+            "span layers {layers:?} missing {required}"
+        );
+    }
+}
+
+#[test]
 fn remote_reads_reach_the_backend_layer() {
     let w = AfsWorld::new();
     register_standard_sentinels(&w);
