@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--spans FILE] [--json FILE]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--spans FILE] [--json FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -16,6 +16,9 @@
 //! series; `--profile modern` reruns the sweep with present-day constants
 //! as an ablation; `--csv` emits machine-readable rows
 //! (`panel,direction,strategy,block,mean_us`) for plotting;
+//! `--concurrency` skips the sweep and prints the shared-sentinel
+//! ablation instead: per-write latency and total domain crossings for
+//! 1/2/8/32 concurrent clients, shared sentinel vs one sentinel per open;
 //! `--spans FILE` skips the sweep and instead records a telemetry span
 //! trace of `--ops` reads per strategy, written as chrome://tracing JSON
 //! (open in `chrome://tracing` or Perfetto); `--json FILE` skips the
@@ -37,6 +40,7 @@ fn main() {
     let mut show_trace = false;
     let mut simple_process = false;
     let mut csv = false;
+    let mut concurrency = false;
     let mut spans_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut i = 0;
@@ -58,6 +62,7 @@ fn main() {
                     _ => die("--profile pentium|modern"),
                 };
             }
+            "--concurrency" => concurrency = true,
             "--copies" => show_copies = true,
             "--trace" => show_trace = true,
             "--simple-process" => simple_process = true,
@@ -80,6 +85,11 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+
+    if concurrency {
+        print!("{}", afs_bench::render_concurrency_panel(ops, &profile));
+        return;
     }
 
     if let Some(out) = json_out {

@@ -49,36 +49,61 @@ pub struct BenchDoc {
     pub strategies: BTreeMap<String, StrategyStats>,
 }
 
+/// Client counts the gate tracks from the concurrency ablation. A subset
+/// of [`crate::MUX_CLIENTS`]: the single-client cells pin the no-sharing
+/// baseline cost, the 8-client cells pin the contended behaviour. (The
+/// 32-client sweep stays in `figure6 --concurrency` / `ablation_mux`
+/// where one slow cell does not slow every CI run.)
+pub const GATE_MUX_CLIENTS: [usize; 2] = [1, 8];
+
 /// Measures every gate strategy (memory path, 128-byte sequential reads,
-/// `ops` calls each) and renders the result as JSON.
+/// `ops` calls each) plus the gated concurrency cells (`mux-N-shared` /
+/// `mux-N-private` sequential writes, see [`crate::measure_concurrency`])
+/// and renders the result as JSON.
 pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
     const BLOCK: usize = 128;
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"ops\": {ops},\n  \"profile\": \"{}\",\n  \"strategies\": {{\n",
-        profile.name
-    ));
-    for (i, strategy) in GATE_STRATEGIES.iter().enumerate() {
+    let mut entries: Vec<(String, f64, u64, u64)> = Vec::new();
+    for strategy in GATE_STRATEGIES {
         let m = measure(
             PathKind::Memory,
-            *strategy,
+            strategy,
             Direction::Read,
             BLOCK,
             ops,
             profile.clone(),
         );
         let s = m.series.summarize();
-        out.push_str(&format!(
-            "    \"{}\": {{\"mean_ns\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
-            strategy.label(),
-            s.mean_ns,
+        entries.push((
+            strategy.label().to_owned(),
+            s.mean_ns as f64,
             s.p50_ns,
             s.p99_ns,
-            if i + 1 < GATE_STRATEGIES.len() {
-                ","
-            } else {
-                ""
-            }
+        ));
+    }
+    for clients in GATE_MUX_CLIENTS {
+        for shared in [true, false] {
+            let m = crate::measure_concurrency(clients, shared, ops, profile.clone());
+            let label = format!(
+                "mux-{clients}-{}",
+                if shared { "shared" } else { "private" }
+            );
+            entries.push((
+                label,
+                m.summary.mean_ns as f64,
+                m.summary.p50_ns,
+                m.summary.p99_ns,
+            ));
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"ops\": {ops},\n  \"profile\": \"{}\",\n  \"strategies\": {{\n",
+        profile.name
+    ));
+    for (i, (label, mean, p50, p99)) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{label}\": {{\"mean_ns\": {mean:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     out.push_str("  }\n}\n");
@@ -385,11 +410,22 @@ mod tests {
         assert!(afs_telemetry::json_is_valid(&doc), "valid JSON: {doc}");
         let parsed = parse_bench_doc(&doc).expect("parse");
         assert_eq!(parsed.ops, 20);
-        assert_eq!(parsed.strategies.len(), GATE_STRATEGIES.len());
+        assert_eq!(
+            parsed.strategies.len(),
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len(),
+            "four strategies plus shared/private per gated client count"
+        );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered");
             assert!(s.mean_ns > 0.0);
+        }
+        for clients in GATE_MUX_CLIENTS {
+            for mode in ["shared", "private"] {
+                let label = format!("mux-{clients}-{mode}");
+                let s = parsed.strategies.get(&label).expect("mux cell");
+                assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+            }
         }
     }
 

@@ -13,7 +13,10 @@
 //! [`afs_interpose::MediatingConnector`] at runtime — and securely, so the
 //! application cannot undo it.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
 
 use afs_interpose::ApiLayer;
 use afs_ipc::SyncRegistry;
@@ -29,15 +32,27 @@ use afs_winapi::{
 use crate::ctx::SentinelCtx;
 use crate::registry::SentinelRegistry;
 use crate::spec::{SentinelSpec, Strategy};
+use crate::strategy::mux::SharedSentinel;
 use crate::strategy::{self, ActiveOps, Instruments};
 
 /// Handle-number base for active handles, disjoint from the passive
 /// layer's range so dispatch is unambiguous.
 const ACTIVE_HANDLE_BASE: u64 = 1 << 32;
 
+/// Sharable sentinels keyed by `(path, encoded spec)`: a second open of
+/// the same active file with the same spec attaches a new session instead
+/// of spawning a second sentinel. Weak entries — the sentinel lives
+/// exactly as long as some open handle keeps it alive.
+type SharedMap = Arc<Mutex<HashMap<(String, Vec<u8>), Weak<dyn SharedSentinel>>>>;
+
 struct ActiveEntry {
     ops: Arc<dyn ActiveOps>,
     access: Access,
+    /// Keeps the shared sentinel (if any) alive while this handle is
+    /// open; the registry only holds a `Weak`. Never read — its drop is
+    /// its purpose.
+    #[allow(dead_code)]
+    shared: Option<Arc<dyn SharedSentinel>>,
 }
 
 /// The runtime shared by every [`ActiveFileSystem`] layer instance in one
@@ -56,6 +71,7 @@ pub struct ActiveFileSystem {
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
+    shared: SharedMap,
 }
 
 impl std::fmt::Debug for ActiveFileSystem {
@@ -92,6 +108,7 @@ impl ActiveFileSystem {
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
+            shared: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -99,6 +116,25 @@ impl ActiveFileSystem {
     /// sentinel).
     pub fn open_sentinels(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Live shared sentinels: `(path, sentinel name, strategy label,
+    /// session count)` per entry, for diagnostics (`afsh sessions`).
+    pub fn shared_sentinels(&self) -> Vec<(String, String, &'static str, usize)> {
+        self.shared
+            .lock()
+            .iter()
+            .filter_map(|((path, spec_bytes), weak)| {
+                let shared = weak.upgrade()?;
+                let spec = SentinelSpec::decode(spec_bytes).ok()?;
+                Some((
+                    path.clone(),
+                    spec.name().to_owned(),
+                    spec.strategy().label(),
+                    shared.session_count(),
+                ))
+            })
+            .collect()
     }
 
     /// The per-world observability ring: every operation on every active
@@ -170,6 +206,30 @@ impl ActiveFileSystem {
             }
             Disposition::OpenExisting | Disposition::OpenAlways => {}
         }
+        // Session sharing: a second open of an already-active file joins
+        // the running sentinel as a new session instead of spawning
+        // another one — unless the spec opts out (`share=off`), the
+        // strategy cannot carry commands (§4.1 streams), or the open
+        // truncates the data part (a truncating open must not see, or
+        // feed, the running sentinel's cached state).
+        let sharable = spec.sharing_enabled()
+            && !matches!(spec.strategy(), Strategy::Process)
+            && matches!(
+                disposition,
+                Disposition::OpenExisting | Disposition::OpenAlways
+            );
+        let key = (vpath.file_path().to_string(), spec.encode());
+        if sharable {
+            if let Some(existing) = self.shared.lock().get(&key).and_then(Weak::upgrade) {
+                if let Some(ops) = existing.attach() {
+                    return Ok(self.handles.insert(ActiveEntry {
+                        ops,
+                        access,
+                        shared: Some(existing),
+                    }));
+                }
+            }
+        }
         let mut ctx = SentinelCtx::new(
             vpath.clone(),
             self.user.clone(),
@@ -184,6 +244,57 @@ impl ActiveFileSystem {
         // handle table, so handles interoperate.
         ctx.set_api(Arc::new(Layered(self.clone())));
         let instr = Instruments::new(Arc::clone(&self.telemetry), spec.name());
+        if sharable {
+            // First open (or the previous sentinel terminally closed):
+            // build the shared sentinel *without* holding the registry
+            // lock — its open hook may recursively open other active
+            // files through this same layer.
+            let logic = self
+                .registry
+                .instantiate(&spec)
+                .ok_or(Win32Error::FileNotFound)?;
+            let built: Arc<dyn SharedSentinel> = match spec.strategy() {
+                Strategy::ProcessControl | Strategy::DllThread => strategy::mux::open_shared(
+                    spec.strategy(),
+                    logic,
+                    ctx,
+                    self.model.clone(),
+                    Arc::clone(&self.trace),
+                    instr,
+                )?,
+                Strategy::DllOnly => strategy::dll::open_shared(
+                    logic,
+                    ctx,
+                    self.model.clone(),
+                    Arc::clone(&self.trace),
+                    instr,
+                )?,
+                Strategy::Process => unreachable!("gated by `sharable`"),
+            };
+            let mut map = self.shared.lock();
+            if let Some(existing) = map.get(&key).and_then(Weak::upgrade) {
+                if let Some(ops) = existing.attach() {
+                    // Lost a racing first-open: join theirs. Dropping
+                    // `built` shuts its wire down; a spawned loop sees
+                    // the dead transport and runs its close hook.
+                    drop(map);
+                    return Ok(self.handles.insert(ActiveEntry {
+                        ops,
+                        access,
+                        shared: Some(existing),
+                    }));
+                }
+            }
+            map.retain(|_, weak| weak.strong_count() > 0);
+            map.insert(key, Arc::downgrade(&built));
+            drop(map);
+            let ops = built.attach().ok_or(Win32Error::BrokenPipe)?;
+            return Ok(self.handles.insert(ActiveEntry {
+                ops,
+                access,
+                shared: Some(built),
+            }));
+        }
         let ops: Arc<dyn ActiveOps> = match spec.strategy() {
             Strategy::Process => {
                 // Prefer a hand-written process sentinel; fall back to the
@@ -250,7 +361,11 @@ impl ActiveFileSystem {
                 )?
             }
         };
-        Ok(self.handles.insert(ActiveEntry { ops, access }))
+        Ok(self.handles.insert(ActiveEntry {
+            ops,
+            access,
+            shared: None,
+        }))
     }
 
     fn active(&self, handle: Handle) -> Option<Arc<ActiveEntry>> {
@@ -459,6 +574,7 @@ pub struct ActiveFilesLayer {
     user: String,
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
+    shared: SharedMap,
 }
 
 impl ActiveFilesLayer {
@@ -483,6 +599,7 @@ impl ActiveFilesLayer {
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
+            shared: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -490,6 +607,25 @@ impl ActiveFilesLayer {
     /// [`ActiveFileSystem`] instance this layer wraps.
     pub fn trace(&self) -> &Arc<OpTrace> {
         &self.trace
+    }
+
+    /// Live shared sentinels: `(path, sentinel name, strategy label,
+    /// session count)` per entry, across every instance this layer wraps.
+    pub fn shared_sentinels(&self) -> Vec<(String, String, &'static str, usize)> {
+        self.shared
+            .lock()
+            .iter()
+            .filter_map(|((path, spec_bytes), weak)| {
+                let shared = weak.upgrade()?;
+                let spec = SentinelSpec::decode(spec_bytes).ok()?;
+                Some((
+                    path.clone(),
+                    spec.name().to_owned(),
+                    spec.strategy().label(),
+                    shared.session_count(),
+                ))
+            })
+            .collect()
     }
 
     /// The layer-wide telemetry hub shared by every [`ActiveFileSystem`]
@@ -530,6 +666,7 @@ impl ApiLayer for ActiveFilesLayer {
             user: self.user.clone(),
             signing_key: self.signing_key,
             handles: Arc::clone(&self.handles),
+            shared: Arc::clone(&self.shared),
         }))
     }
 }

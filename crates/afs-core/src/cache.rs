@@ -23,6 +23,22 @@ use afs_vfs::{VPath, Vfs};
 use crate::logic::{SentinelError, SentinelResult};
 use crate::spec::Backing;
 
+/// Largest byte range a cache may address: Rust allocations are capped at
+/// `isize::MAX` bytes, so anything beyond can never be backed.
+const MAX_CACHE_BYTES: u64 = isize::MAX as u64;
+
+/// Resolves `offset + len` as a `usize` range end, rejecting ranges the
+/// address space cannot represent instead of panicking (debug) or wrapping
+/// (release). Applied on every backing so a huge offset reachable via
+/// `seek` fails identically whether the cache is memory or the data part.
+fn range_end(offset: u64, len: usize) -> SentinelResult<usize> {
+    let end = offset
+        .checked_add(len as u64)
+        .filter(|&end| end <= MAX_CACHE_BYTES)
+        .ok_or(SentinelError::InvalidParameter)?;
+    Ok(end as usize)
+}
+
 /// Positioned storage for a sentinel's cached data.
 #[derive(Debug)]
 pub enum CacheStore {
@@ -98,13 +114,15 @@ impl CacheStore {
     ///
     /// # Errors
     ///
-    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`];
+    /// [`SentinelError::InvalidParameter`] when `offset + data.len()`
+    /// cannot be represented (a huge offset reachable via `seek`).
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> SentinelResult<usize> {
         let _bk = backend_span("cache-write");
+        let end = range_end(offset, data.len())?;
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
             CacheStore::Memory { data: buf, model } => {
-                let end = offset as usize + data.len();
                 if buf.len() < end {
                     buf.resize(end, 0);
                 }
@@ -143,12 +161,15 @@ impl CacheStore {
     ///
     /// # Errors
     ///
-    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`].
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`];
+    /// [`SentinelError::InvalidParameter`] when `len` does not fit the
+    /// address space.
     pub fn set_len(&mut self, len: u64) -> SentinelResult<()> {
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
             CacheStore::Memory { data, .. } => {
-                data.resize(len as usize, 0);
+                let len = range_end(len, 0)?;
+                data.resize(len, 0);
                 Ok(())
             }
             CacheStore::Disk { vfs, path, model } => {
@@ -298,6 +319,46 @@ mod tests {
         assert_eq!(store.to_vec().expect("read"), b"012");
         store.set_len(5).expect("extend");
         assert_eq!(store.len().expect("len"), 5);
+    }
+
+    #[test]
+    fn write_at_rejects_offsets_past_the_address_space() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f").expect("path");
+        let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        // offset + len overflows usize: must fail cleanly, not panic/wrap.
+        assert_eq!(
+            store.write_at(u64::MAX, b"x"),
+            Err(SentinelError::InvalidParameter)
+        );
+        // Past the allocation limit without wrapping: still rejected.
+        assert_eq!(
+            store.write_at(isize::MAX as u64, b"xy"),
+            Err(SentinelError::InvalidParameter)
+        );
+        assert_eq!(store.len().expect("len"), 0, "failed writes change nothing");
+    }
+
+    #[test]
+    fn set_len_rejects_unrepresentable_lengths() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f").expect("path");
+        let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        store.write_at(0, b"abc").expect("write");
+        assert_eq!(
+            store.set_len(u64::MAX),
+            Err(SentinelError::InvalidParameter)
+        );
+        assert_eq!(store.len().expect("len"), 3, "failed set_len is a no-op");
+    }
+
+    #[test]
+    fn disk_write_at_rejects_huge_offsets_like_memory() {
+        let (_vfs, mut store, _model) = disk_store();
+        assert_eq!(
+            store.write_at(u64::MAX - 1, b"zz"),
+            Err(SentinelError::InvalidParameter)
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum SentinelError {
     Unsupported,
     /// The sentinel has no cache but a cache operation was attempted.
     NoCache,
+    /// An argument is out of range for the operation (e.g. an offset so
+    /// large that `offset + len` cannot be represented).
+    InvalidParameter,
     /// Access denied by sentinel policy (resource-centric access control,
     /// §7).
     Denied(String),
@@ -41,6 +44,7 @@ impl fmt::Display for SentinelError {
         match self {
             SentinelError::Unsupported => f.write_str("operation unsupported by sentinel"),
             SentinelError::NoCache => f.write_str("sentinel has no cache"),
+            SentinelError::InvalidParameter => f.write_str("parameter out of range"),
             SentinelError::Denied(m) => write!(f, "denied by sentinel: {m}"),
             SentinelError::Net(m) => write!(f, "remote source error: {m}"),
             SentinelError::Vfs(m) => write!(f, "local file error: {m}"),

@@ -169,6 +169,14 @@ impl SentinelSpec {
         &self.config
     }
 
+    /// Whether later opens of the same active file may join its running
+    /// sentinel as additional sessions. Sharing is the default; a spec
+    /// opts out with the config entry `share=off` (every open then gets a
+    /// private sentinel, the paper's literal §2.2 model).
+    pub fn sharing_enabled(&self) -> bool {
+        self.config.get("share").map(String::as_str) != Some("off")
+    }
+
     /// Encodes the spec for storage in the `:active` stream.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
@@ -264,5 +272,13 @@ mod tests {
     #[test]
     fn all_lists_every_strategy() {
         assert_eq!(Strategy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn sharing_defaults_on_and_share_off_opts_out() {
+        let spec = SentinelSpec::new("x", Strategy::DllThread);
+        assert!(spec.sharing_enabled());
+        assert!(!spec.clone().with("share", "off").sharing_enabled());
+        assert!(spec.with("share", "on").sharing_enabled());
     }
 }

@@ -152,6 +152,11 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
     }
 
     fn charge_round_trip(&self) {
+        if self.transport.charges_own_crossings() {
+            // A multiplexing transport charges per transmitted frame —
+            // a coalesced write crosses nothing.
+            return;
+        }
         let crossing = self.transport.crossing();
         for _ in 0..crossing.round_trip_switches() {
             self.model.charge(Cost::Crossing(crossing));
@@ -169,6 +174,27 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
         self.transport
             .recv_reply()
             .map_err(|_| Win32Error::BrokenPipe)
+    }
+
+    /// The traced `GetSize` round trip. Callers must hold `op_lock`
+    /// (parking_lot mutexes are not reentrant, so `seek` cannot simply
+    /// call [`ActiveOps::size`] once it has serialised itself).
+    fn size_locked(&self) -> Result<u64, Win32Error> {
+        self.traced(OpKind::Size, || {
+            let _wire = self.transport_span("round-trip");
+            self.charge_round_trip();
+            let r = (|| {
+                self.transport
+                    .send_cmd(Op::GetSize)
+                    .map_err(|_| Win32Error::BrokenPipe)?;
+                match self.recv_reply() {
+                    Ok(OpReply::Size(n)) => Ok(n),
+                    Ok(OpReply::Failed(e)) => Err(to_win32(&e)),
+                    _ => Err(Win32Error::BrokenPipe),
+                }
+            })();
+            (r, 0)
+        })
     }
 
     /// The command-protocol read shared by `read` and `read_scatter`:
@@ -218,6 +244,15 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
                     len: buf.len() as u32,
                 },
                 |n| {
+                    if n > buf.len() {
+                        // Over-delivery is a protocol violation (same rule
+                        // as `read_scatter`): drain the wire so a shared
+                        // transport stays framed, then fail the op.
+                        let mut scratch = self.pool.take(n);
+                        let _ = self.transport.recv_data_exact(&mut scratch);
+                        self.pool.put(scratch);
+                        return Err(Win32Error::BrokenPipe);
+                    }
                     if n > 0 {
                         self.transport
                             .recv_data_exact(&mut buf[..n])
@@ -285,11 +320,18 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         }
         // Seeks are resolved application-side: commands carry absolute
         // offsets, so moving the pointer costs nothing remote — except
-        // End-relative seeks, which need the size.
+        // End-relative seeks, which need the size. The whole resolve-and-
+        // store runs under `op_lock`: a read/write interleaving between the
+        // base query and the pointer store would make the stored position
+        // stale, silently rewinding the file pointer.
+        let _op = self.op_lock.lock();
         let base: i64 = match method {
             SeekMethod::Begin => 0,
             SeekMethod::Current => *self.pointer.lock() as i64,
-            SeekMethod::End => self.size()? as i64,
+            SeekMethod::End => {
+                self.check_sticky()?;
+                self.size_locked()? as i64
+            }
         };
         let target = base
             .checked_add(offset)
@@ -308,21 +350,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         }
         let _op = self.op_lock.lock();
         self.check_sticky()?;
-        self.traced(OpKind::Size, || {
-            let _wire = self.transport_span("round-trip");
-            self.charge_round_trip();
-            let r = (|| {
-                self.transport
-                    .send_cmd(Op::GetSize)
-                    .map_err(|_| Win32Error::BrokenPipe)?;
-                match self.recv_reply() {
-                    Ok(OpReply::Size(n)) => Ok(n),
-                    Ok(OpReply::Failed(e)) => Err(to_win32(&e)),
-                    _ => Err(Win32Error::BrokenPipe),
-                }
-            })();
-            (r, 0)
-        })
+        self.size_locked()
     }
 
     fn read_scatter(&self, bufs: &mut [&mut [u8]]) -> Result<usize, Win32Error> {
@@ -338,6 +366,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
             self.charge_round_trip();
             let mut pointer = self.pointer.lock();
             let lens: Vec<u32> = bufs.iter().map(|b| b.len() as u32).collect();
+            let requested: usize = bufs.iter().map(|b| b.len()).sum();
             let result = self.command_read(
                 Op::ReadScatter {
                     offset: *pointer,
@@ -356,6 +385,14 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
                     self.transport
                         .recv_data_exact(&mut scratch)
                         .map_err(|_| Win32Error::BrokenPipe)?;
+                    if n > requested {
+                        // Over-delivery is a protocol violation: accepting
+                        // it would silently drop the excess bytes while
+                        // advancing the pointer past what the caller saw.
+                        // The wire is drained (scratch above), the op fails.
+                        self.pool.put(scratch);
+                        return Err(Win32Error::BrokenPipe);
+                    }
                     let mut offset = 0;
                     for buf in bufs.iter_mut() {
                         if offset >= n {
@@ -462,5 +499,119 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
         reap(&self.join);
         let sticky = self.check_sticky();
         result.and(sticky)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afs_sim::HardwareProfile;
+
+    /// A scripted wire that replies `Read { n }` to every command and
+    /// serves however many payload bytes are asked for — a sentinel that
+    /// delivers more than the caller requested.
+    struct OverDeliver {
+        n: u32,
+    }
+
+    impl Transport for OverDeliver {
+        type Cmd = Op;
+        type Reply = OpReply;
+
+        fn crossing(&self) -> CrossingKind {
+            CrossingKind::InterProcess
+        }
+
+        fn supports_control(&self) -> bool {
+            true
+        }
+
+        fn send_cmd(&self, _cmd: Op) -> afs_ipc::Result<()> {
+            Ok(())
+        }
+
+        fn recv_reply(&self) -> afs_ipc::Result<OpReply> {
+            Ok(OpReply::Read { n: self.n })
+        }
+
+        fn send_data(&self, _data: &[u8]) -> afs_ipc::Result<()> {
+            Ok(())
+        }
+
+        fn recv_data(&self, buf: &mut [u8]) -> afs_ipc::Result<usize> {
+            buf.fill(0xAB);
+            Ok(buf.len())
+        }
+
+        fn recv_data_exact(&self, buf: &mut [u8]) -> afs_ipc::Result<usize> {
+            buf.fill(0xAB);
+            Ok(buf.len())
+        }
+
+        fn shutdown(&self) {}
+    }
+
+    fn handle_over(n: u32) -> StrategyHandle<OverDeliver> {
+        let tel = Telemetry::new();
+        let obs = OpObserver {
+            tel: Arc::clone(&tel),
+            scope: Arc::new(AtomicU64::new(0)),
+        };
+        StrategyHandle::new(
+            OverDeliver { n },
+            CostModel::new(HardwareProfile::pentium_ii_300()),
+            Arc::new(OpTrace::new()),
+            "Process",
+            Arc::new(Mutex::new(None)),
+            None,
+            obs,
+        )
+    }
+
+    #[test]
+    fn scatter_over_delivery_is_a_protocol_error() {
+        let _clock = clock::install(0);
+        // 8 bytes requested across two buffers; the sentinel claims 12.
+        let handle = handle_over(12);
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let before = *handle.pointer.lock();
+        let err = handle
+            .read_scatter(&mut [&mut a[..], &mut b[..]])
+            .expect_err("over-delivery must fail");
+        assert_eq!(err, Win32Error::BrokenPipe);
+        assert_eq!(
+            *handle.pointer.lock(),
+            before,
+            "pointer must not advance past a rejected transfer"
+        );
+    }
+
+    #[test]
+    fn scatter_exact_delivery_still_works() {
+        let _clock = clock::install(0);
+        let handle = handle_over(8);
+        let mut a = [0u8; 4];
+        let mut b = [0u8; 4];
+        let n = handle
+            .read_scatter(&mut [&mut a[..], &mut b[..]])
+            .expect("exact delivery");
+        assert_eq!(n, 8);
+        assert_eq!(a, [0xAB; 4]);
+        assert_eq!(b, [0xAB; 4]);
+        assert_eq!(*handle.pointer.lock(), 8);
+    }
+
+    #[test]
+    fn plain_read_over_delivery_cannot_overrun() {
+        let _clock = clock::install(0);
+        // `read` slices its own buffer by the reply count, so an
+        // oversized reply fails before any copy can overrun.
+        let handle = handle_over(64);
+        let mut buf = [0u8; 8];
+        // n=64 > buf.len()=8: the fill closure indexes buf[..n] — guard
+        // rejects rather than panics.
+        let r = handle.read(&mut buf);
+        assert!(r.is_err(), "oversized read reply must not succeed");
     }
 }

@@ -25,6 +25,7 @@
 pub mod control;
 pub mod dll;
 pub(crate) mod handle;
+pub(crate) mod mux;
 pub mod process;
 pub mod thread;
 
@@ -196,6 +197,7 @@ pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
     match e {
         SentinelError::Unsupported => Win32Error::NotSupported,
         SentinelError::NoCache => Win32Error::InvalidParameter,
+        SentinelError::InvalidParameter => Win32Error::InvalidParameter,
         SentinelError::Denied(_) => Win32Error::AccessDenied,
         SentinelError::Net(_) => Win32Error::NetworkError,
         SentinelError::Vfs(_) => Win32Error::AccessDenied,

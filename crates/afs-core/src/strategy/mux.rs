@@ -1,0 +1,455 @@
+//! Shared-sentinel session multiplexing for the wire strategies.
+//!
+//! The paper's §2.2 prescribes one sentinel per open. For N concurrent
+//! opens of the *same* active file that costs N sentinel threads, N
+//! transports, and N incoherent caches. This module keeps the paper's
+//! per-open handle semantics while sharing the machinery: the first open
+//! spawns the sentinel; later opens *attach* as new sessions on the same
+//! [`MuxHub`], each with a private file pointer, private sticky
+//! write-behind error, and private telemetry scope.
+//!
+//! Division of labour:
+//!
+//! * [`OpMux`] teaches the protocol-agnostic hub the wire shape of
+//!   [`Op`]/[`OpReply`] — which commands carry payload, which replies do,
+//!   which command is the terminal close, and when two writes are
+//!   contiguous (the hub coalesces those into one crossing).
+//! * [`MuxLoop`] is the sentinel side: it drains framed commands, executes
+//!   writes immediately at drain time (write-behind — wire order is the
+//!   only cross-session order there is), and queues reply-bearing
+//!   operations per session, servicing the sessions round-robin so one
+//!   chatty client cannot starve the rest.
+//! * [`SharedSentinel`] is what the open path's registry stores: later
+//!   opens call [`SharedSentinel::attach`] to join; `None` means the
+//!   sentinel already ran its terminal close and a fresh one is needed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{Framed, MuxHub, MuxProtocol, PairPort, PairTransport};
+use afs_sim::{CostModel, OpTrace};
+use afs_telemetry::Telemetry;
+use afs_winapi::Win32Error;
+
+use crate::ctx::SentinelCtx;
+use crate::logic::{SentinelError, SentinelLogic};
+use crate::spec::Strategy;
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{
+    execute_op, op_name, spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply,
+    SentinelSide,
+};
+
+/// The wire-shape facts [`MuxHub`] needs about the [`Op`]/[`OpReply`]
+/// protocol.
+pub(crate) struct OpMux;
+
+impl MuxProtocol for OpMux {
+    type Cmd = Op;
+    type Reply = OpReply;
+
+    fn cmd_payload_len(cmd: &Op) -> usize {
+        match cmd {
+            Op::Write { len, .. } => *len as usize,
+            _ => 0,
+        }
+    }
+
+    fn reply_payload_len(reply: &OpReply) -> usize {
+        match reply {
+            OpReply::Read { n } => *n as usize,
+            _ => 0,
+        }
+    }
+
+    fn is_close(cmd: &Op) -> bool {
+        matches!(cmd, Op::Close)
+    }
+
+    fn close_ack() -> OpReply {
+        OpReply::Done
+    }
+
+    fn coalesce(acc: &Op, next: &Op) -> Option<Op> {
+        match (acc, next) {
+            (
+                Op::Write {
+                    offset: o1,
+                    len: l1,
+                },
+                Op::Write {
+                    offset: o2,
+                    len: l2,
+                },
+            ) if o1 + u64::from(*l1) == *o2 => Some(Op::Write {
+                offset: *o1,
+                len: l1 + l2,
+            }),
+            _ => None,
+        }
+    }
+}
+
+type Wire = PairTransport<Framed<Op>, Framed<OpReply>>;
+type WirePort = PairPort<Framed<Op>, Framed<OpReply>>;
+type OpHub = MuxHub<OpMux, Wire>;
+
+/// Per-session sentinel-side state, registered at attach so the dispatch
+/// loop can park write-behind failures and parent spans correctly.
+#[derive(Clone)]
+struct SessionRecord {
+    sticky: Arc<Mutex<Option<SentinelError>>>,
+    side: SentinelSide,
+}
+
+type SessionTable = Arc<Mutex<HashMap<u32, SessionRecord>>>;
+
+/// A running sentinel that later opens of the same `(path, spec)` can
+/// join as additional sessions.
+pub(crate) trait SharedSentinel: Send + Sync {
+    /// Attaches a new session, or `None` once the sentinel has terminally
+    /// closed (the caller then spawns a fresh one).
+    fn attach(&self) -> Option<Arc<dyn ActiveOps>>;
+    /// Live session count, for diagnostics (`afsh sessions`).
+    fn session_count(&self) -> usize;
+}
+
+/// The shared form of the §4.2/§4.3 wire strategies: one sentinel thread,
+/// one transport, many sessions multiplexed over it.
+pub(crate) struct MuxShared {
+    hub: Arc<OpHub>,
+    sessions: SessionTable,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    strategy: &'static str,
+    instr: Instruments,
+}
+
+impl SharedSentinel for MuxShared {
+    fn attach(&self) -> Option<Arc<dyn ActiveOps>> {
+        let session = self.hub.attach()?;
+        let sticky = Arc::new(Mutex::new(None));
+        let scope = Arc::new(AtomicU64::new(0));
+        let record = SessionRecord {
+            sticky: Arc::clone(&sticky),
+            side: self.instr.sentinel_side(self.strategy, Arc::clone(&scope)),
+        };
+        {
+            // Sessions that closed non-terminally never reach the
+            // dispatch loop, so their records are pruned here instead.
+            let live = self.hub.live_sessions();
+            let mut table = self.sessions.lock();
+            table.retain(|id, _| live.contains(id));
+            table.insert(session.session_id(), record);
+        }
+        Some(Arc::new(StrategyHandle::new(
+            session,
+            self.model.clone(),
+            Arc::clone(&self.trace),
+            self.strategy,
+            sticky,
+            // The hub reaps the sentinel when the terminal close is
+            // acknowledged; the handle has nothing to join.
+            None,
+            self.instr.app_side(scope),
+        )))
+    }
+
+    fn session_count(&self) -> usize {
+        self.hub.live_sessions().len()
+    }
+}
+
+/// Builds the shared sentinel for a wire strategy (§4.2 kernel pipes or
+/// §4.3 shared memory): runs the open hook once, spawns the mux dispatch
+/// loop, and returns the [`SharedSentinel`] later opens attach through.
+pub(crate) fn open_shared(
+    strategy: Strategy,
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    instr: Instruments,
+) -> Result<Arc<MuxShared>, Win32Error> {
+    let (label, kernel) = match strategy {
+        Strategy::ProcessControl => ("Process", true),
+        Strategy::DllThread => ("Thread", false),
+        // §4.1 has no command lane to frame; §4.4 shares inline (dll.rs).
+        Strategy::Process | Strategy::DllOnly => return Err(Win32Error::NotSupported),
+    };
+    logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
+    let (transport, port) = if kernel {
+        Wire::kernel_observed(model.clone(), Arc::clone(instr.tel.gauges()))
+    } else {
+        Wire::shared_observed(model.clone(), Arc::clone(instr.tel.gauges()))
+    };
+    let hub = MuxHub::new(
+        transport,
+        model.clone(),
+        Some(Arc::clone(instr.tel.sessions())),
+    );
+    let sessions: SessionTable = Arc::new(Mutex::new(HashMap::new()));
+    let state = MuxLoop {
+        logic,
+        ctx,
+        port,
+        sessions: Arc::clone(&sessions),
+        // Frames from sessions that detached before their staged writes
+        // drained still execute, observed under this fallback scope.
+        fallback: instr.sentinel_side(label, Arc::new(AtomicU64::new(0))),
+        tel: Arc::clone(&instr.tel),
+        queues: HashMap::new(),
+        rotation: VecDeque::new(),
+    };
+    let join = spawn_sentinel(&format!("mux-{}", label.to_lowercase()), move || {
+        state.run();
+    });
+    hub.set_reaper(join);
+    Ok(Arc::new(MuxShared {
+        hub,
+        sessions,
+        model,
+        trace,
+        strategy: label,
+        instr,
+    }))
+}
+
+/// One dispatch step's outcome.
+enum Step {
+    /// Keep going.
+    Continue,
+    /// The application side vanished mid-protocol.
+    WireDead,
+    /// The terminal close was served; the loop is done.
+    Closed,
+}
+
+/// The sentinel side of the multiplexed wire: one thread serving every
+/// session of one shared sentinel.
+struct MuxLoop {
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    port: WirePort,
+    sessions: SessionTable,
+    fallback: SentinelSide,
+    tel: Arc<Telemetry>,
+    /// Reply-bearing operations awaiting service, per session.
+    queues: HashMap<u32, VecDeque<Op>>,
+    /// Round-robin order over sessions with a non-empty queue (each
+    /// session appears at most once).
+    rotation: VecDeque<u32>,
+}
+
+impl MuxLoop {
+    fn record(&self, session: u32) -> Option<SessionRecord> {
+        self.sessions.lock().get(&session).cloned()
+    }
+
+    /// Takes one frame off the wire. Writes execute immediately — they
+    /// are acknowledged eagerly on the application side, and executing in
+    /// wire order is what makes a flushed batch land before the read that
+    /// forced the flush. Everything that owes a reply queues for fair
+    /// servicing instead.
+    fn ingest(&mut self, frame: Framed<Op>) -> Step {
+        let session = frame.session;
+        let op = frame.body;
+        if let Op::Write { len, .. } = op {
+            let rec = self.record(session);
+            let Self {
+                logic,
+                ctx,
+                port,
+                fallback,
+                ..
+            } = self;
+            let mut buf = port.pool().take(len as usize);
+            if len > 0 && port.recv_data_exact(&mut buf).is_err() {
+                port.pool().put(buf);
+                return Step::WireDead;
+            }
+            let side = rec.as_ref().map_or(&*fallback, |r| &r.side);
+            let (reply, _) = side.observe("write", || {
+                execute_op(logic.as_mut(), ctx, op, &buf, port.pool())
+            });
+            port.pool().put(buf);
+            if let OpReply::Failed(e) = reply {
+                if let Some(rec) = rec {
+                    *rec.sticky.lock() = Some(e);
+                }
+            }
+            return Step::Continue;
+        }
+        let queue = self.queues.entry(session).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(session);
+        }
+        queue.push_back(op);
+        Step::Continue
+    }
+
+    /// Serves one queued operation for `session`, mirroring the private
+    /// dispatch loop: a parked write-behind failure pre-empts the next
+    /// synchronous command (Close excepted — it reports via its own
+    /// reply and the handle re-checks sticky afterwards).
+    fn service(&mut self, session: u32, op: Op) -> Step {
+        let rec = self.record(session);
+        if !matches!(op, Op::Close) {
+            if let Some(e) = rec.as_ref().and_then(|r| r.sticky.lock().take()) {
+                let failed = Framed {
+                    session,
+                    body: OpReply::Failed(e),
+                };
+                return if self.port.send_reply(failed).is_err() {
+                    Step::WireDead
+                } else {
+                    Step::Continue
+                };
+            }
+        }
+        let closing = matches!(op, Op::Close);
+        let name = op_name(&op);
+        let Self {
+            logic,
+            ctx,
+            port,
+            fallback,
+            ..
+        } = self;
+        let side = rec.as_ref().map_or(&*fallback, |r| &r.side);
+        let (reply, data) = side.observe(name, || {
+            execute_op(logic.as_mut(), ctx, op, &[], port.pool())
+        });
+        if port
+            .send_reply(Framed {
+                session,
+                body: reply,
+            })
+            .is_err()
+        {
+            return Step::WireDead;
+        }
+        if let Some(data) = data {
+            if !data.is_empty() && port.send_data(&data).is_err() {
+                return Step::WireDead;
+            }
+            port.pool().put(data);
+        }
+        if closing {
+            Step::Closed
+        } else {
+            Step::Continue
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            // Nothing queued: block for the next frame.
+            if self.rotation.is_empty() {
+                match self.port.recv_cmd() {
+                    Ok(frame) => {
+                        if matches!(self.ingest(frame), Step::WireDead) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Fairness needs the whole backlog, not wire arrival order:
+            // drain everything already waiting before picking a session.
+            let mut dead = false;
+            loop {
+                match self.port.try_recv_cmd() {
+                    Ok(Some(frame)) => {
+                        if matches!(self.ingest(frame), Step::WireDead) {
+                            dead = true;
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if dead {
+                break;
+            }
+            let depth: usize = self.queues.values().map(VecDeque::len).sum();
+            self.tel.sessions().note_queue_depth(depth as u64);
+            let Some(session) = self.rotation.pop_front() else {
+                continue;
+            };
+            let Some(op) = self.queues.get_mut(&session).and_then(VecDeque::pop_front) else {
+                continue;
+            };
+            if self.queues.get(&session).is_some_and(|q| !q.is_empty()) {
+                self.rotation.push_back(session);
+            }
+            match self.service(session, op) {
+                Step::Continue => {}
+                Step::WireDead => break,
+                Step::Closed => return,
+            }
+        }
+        // The application vanished without the terminal close (process
+        // killed): still run the close hook, like the private loop.
+        let _ = self.logic.on_close(&mut self.ctx);
+        self.ctx.persist_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mux_payload_lens_match_the_protocol() {
+        assert_eq!(OpMux::cmd_payload_len(&Op::Write { offset: 0, len: 7 }), 7);
+        assert_eq!(OpMux::cmd_payload_len(&Op::Read { offset: 0, len: 7 }), 0);
+        assert_eq!(
+            OpMux::cmd_payload_len(&Op::Control {
+                code: 1,
+                payload: vec![1, 2, 3],
+            }),
+            0,
+            "control payloads ride the command itself, not the data lane"
+        );
+        assert_eq!(OpMux::reply_payload_len(&OpReply::Read { n: 9 }), 9);
+        assert_eq!(OpMux::reply_payload_len(&OpReply::Done), 0);
+        assert_eq!(
+            OpMux::reply_payload_len(&OpReply::Control {
+                payload: vec![1, 2],
+            }),
+            0
+        );
+        assert!(OpMux::is_close(&Op::Close));
+        assert!(!OpMux::is_close(&Op::Flush));
+        assert_eq!(OpMux::close_ack(), OpReply::Done);
+    }
+
+    #[test]
+    fn only_adjacent_writes_coalesce() {
+        let merged = OpMux::coalesce(
+            &Op::Write { offset: 10, len: 4 },
+            &Op::Write { offset: 14, len: 2 },
+        );
+        assert_eq!(merged, Some(Op::Write { offset: 10, len: 6 }));
+        assert_eq!(
+            OpMux::coalesce(
+                &Op::Write { offset: 10, len: 4 },
+                &Op::Write { offset: 15, len: 2 },
+            ),
+            None,
+            "a gap breaks contiguity"
+        );
+        assert_eq!(
+            OpMux::coalesce(&Op::Write { offset: 0, len: 4 }, &Op::GetSize),
+            None
+        );
+    }
+}

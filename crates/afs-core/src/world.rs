@@ -250,6 +250,22 @@ fn register_world_collectors(
             "afs_pool_allocations_total",
             g.pool_allocations,
         ));
+        let s = telemetry.sessions().snapshot();
+        out.push(Metric::gauge("afs_sessions_current", s.sessions));
+        out.push(Metric::gauge("afs_sessions_peak", s.sessions_peak));
+        out.push(Metric::counter("afs_session_attaches_total", s.attaches));
+        out.push(Metric::gauge(
+            "afs_session_queue_depth_peak",
+            s.queue_depth_peak,
+        ));
+        out.push(Metric::counter(
+            "afs_coalesced_writes_total",
+            s.coalesced_writes,
+        ));
+        out.push(Metric::counter(
+            "afs_batch_flushes_total",
+            s.flushed_batches,
+        ));
     });
 }
 
@@ -358,6 +374,13 @@ impl AfsWorld {
     /// Number of live sentinels (open active handles) in this world.
     pub fn open_sentinel_count(&self) -> usize {
         self.layer.open_sentinels()
+    }
+
+    /// Live shared sentinels: `(path, sentinel name, strategy label,
+    /// session count)` per entry. Empty when every open is private
+    /// (`share=off` specs, §4.1 streams) or nothing is open.
+    pub fn shared_sentinels(&self) -> Vec<(String, String, &'static str, usize)> {
+        self.layer.shared_sentinels()
     }
 
     /// Creates an active file at `path`: an empty data part plus the

@@ -36,6 +36,7 @@
 pub mod control;
 pub mod error;
 pub mod event;
+pub mod mux;
 pub mod pipe;
 pub mod pool;
 pub mod shared_buf;
@@ -45,6 +46,7 @@ pub mod transport;
 pub use control::{ControlChannel, ControlReceiver, ControlSender};
 pub use error::IpcError;
 pub use event::{Event, ResetMode};
+pub use mux::{Framed, MuxHub, MuxProtocol, MuxSession, STAGE_CAPACITY};
 pub use pipe::{Pipe, PipeReader, PipeWriter};
 pub use pool::BufferPool;
 pub use shared_buf::SharedBuffer;

@@ -102,6 +102,15 @@ pub trait Transport: Send + Sync {
     /// [`IpcError::Unsupported`].
     fn supports_control(&self) -> bool;
 
+    /// Whether the transport charges its own protection-domain crossings
+    /// as part of `send_cmd`/`send_data`. A multiplexing transport that
+    /// batches adjacent commands must, since an operation's crossing count
+    /// is no longer a per-op constant; callers then skip their own
+    /// round-trip charge.
+    fn charges_own_crossings(&self) -> bool {
+        false
+    }
+
     /// Sends one command to the sentinel.
     fn send_cmd(&self, cmd: Self::Cmd) -> Result<()>;
 
@@ -287,6 +296,17 @@ impl<C: Send + 'static, R: Send + 'static> PairPort<C, R> {
     /// [`IpcError::Closed`] once the application side is gone.
     pub fn recv_cmd(&self) -> Result<C> {
         self.commands.recv()
+    }
+
+    /// Receives the next command if one is already queued; never blocks.
+    /// The multiplexing dispatch loop uses this to drain a burst into its
+    /// per-session queues before picking whom to serve.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Closed`] once the application side is gone.
+    pub fn try_recv_cmd(&self) -> Result<Option<C>> {
+        self.commands.try_recv()
     }
 
     /// Sends a reply back to the application.

@@ -85,9 +85,103 @@ pub struct GaugesSnapshot {
     pub pool_allocations: u64,
 }
 
+/// Live gauges for the shared-sentinel session layer: how many opens are
+/// multiplexed onto shared sentinels, how deep the dispatch queues run,
+/// and how much write traffic the batcher absorbed without a crossing.
+#[derive(Debug, Default)]
+pub struct SessionGauges {
+    sessions: AtomicU64,
+    sessions_peak: AtomicU64,
+    attaches: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    coalesced_writes: AtomicU64,
+    flushed_batches: AtomicU64,
+}
+
+impl SessionGauges {
+    /// Records a session attaching to a shared sentinel; `live` is the
+    /// sentinel's session count afterwards.
+    pub fn attached(&self, live: u64) {
+        self.attaches.fetch_add(1, Ordering::Relaxed);
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        self.sessions_peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records a session detaching (close).
+    pub fn detached(&self) {
+        self.sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records the total queued-op depth observed by a dispatch sweep.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one write absorbed into a session's staged batch (no
+    /// crossing charged).
+    pub fn coalesced_write(&self) {
+        self.coalesced_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one staged batch flushed to the sentinel as a single
+    /// crossing.
+    pub fn flushed_batch(&self) {
+        self.flushed_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            sessions_peak: self.sessions_peak.load(Ordering::Relaxed),
+            attaches: self.attaches.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            coalesced_writes: self.coalesced_writes.load(Ordering::Relaxed),
+            flushed_batches: self.flushed_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SessionGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Sessions currently attached to shared sentinels.
+    pub sessions: u64,
+    /// High-water mark of sessions on any one shared sentinel.
+    pub sessions_peak: u64,
+    /// Total attaches since startup.
+    pub attaches: u64,
+    /// Deepest total queued-op backlog a dispatch sweep has seen.
+    pub queue_depth_peak: u64,
+    /// Writes absorbed into staged batches without a crossing.
+    pub coalesced_writes: u64,
+    /// Staged batches flushed as single crossings.
+    pub flushed_batches: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn session_gauges_track_attach_detach_and_batching() {
+        let g = SessionGauges::default();
+        g.attached(1);
+        g.attached(2);
+        g.detached();
+        g.note_queue_depth(5);
+        g.note_queue_depth(3);
+        g.coalesced_write();
+        g.coalesced_write();
+        g.flushed_batch();
+        let s = g.snapshot();
+        assert_eq!(s.sessions, 1);
+        assert_eq!(s.sessions_peak, 2);
+        assert_eq!(s.attaches, 2);
+        assert_eq!(s.queue_depth_peak, 5);
+        assert_eq!(s.coalesced_writes, 2);
+        assert_eq!(s.flushed_batches, 1);
+    }
 
     #[test]
     fn pipe_gauges_track_depth_and_peak() {

@@ -22,7 +22,7 @@ use std::time::Instant;
 use afs_sim::clock;
 use parking_lot::Mutex;
 
-use crate::gauges::QueueGauges;
+use crate::gauges::{QueueGauges, SessionGauges};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 
 /// Which layer of the interposition chain a span describes.
@@ -175,6 +175,7 @@ pub struct Telemetry {
     open: Mutex<Vec<OpenSpan>>,
     slow: Mutex<Vec<SlowOp>>,
     gauges: Arc<QueueGauges>,
+    sessions: Arc<SessionGauges>,
     strategy_hists: Mutex<StrategyHists>,
     sentinel_hists: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
 }
@@ -196,6 +197,7 @@ impl Telemetry {
             open: Mutex::new(Vec::new()),
             slow: Mutex::new(Vec::new()),
             gauges: Arc::new(QueueGauges::default()),
+            sessions: Arc::new(SessionGauges::default()),
             strategy_hists: Mutex::new(Vec::new()),
             sentinel_hists: Mutex::new(Vec::new()),
         })
@@ -359,6 +361,12 @@ impl Telemetry {
     /// recording is off — gauges are a handful of relaxed atomics.
     pub fn gauges(&self) -> &Arc<QueueGauges> {
         &self.gauges
+    }
+
+    /// The shared-sentinel session gauges fed by the multiplexing layer.
+    /// Always live, like the queue gauges.
+    pub fn sessions(&self) -> &Arc<SessionGauges> {
+        &self.sessions
     }
 
     /// Finds or creates the latency histogram for one (strategy, op) pair.

@@ -330,6 +330,32 @@ impl Shell {
                 }
             }
             "faults" => self.run_faults(rest).map_err(fail),
+            "sessions" => {
+                let shared = self.world.shared_sentinels();
+                let mut out = String::new();
+                if shared.is_empty() {
+                    out.push_str("no shared sentinels\n");
+                } else {
+                    for (path, name, strategy, count) in shared {
+                        writeln!(out, "{path}  {name} ({strategy})  sessions={count}")
+                            .expect("write to string");
+                    }
+                }
+                let s = self.world.telemetry().sessions().snapshot();
+                writeln!(
+                    out,
+                    "current={} peak={} attaches={} queue_depth_peak={} \
+                     coalesced_writes={} batch_flushes={}",
+                    s.sessions,
+                    s.sessions_peak,
+                    s.attaches,
+                    s.queue_depth_peak,
+                    s.coalesced_writes,
+                    s.flushed_batches
+                )
+                .expect("write to string");
+                Ok(out)
+            }
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
             "demo" => {
@@ -641,6 +667,10 @@ commands:
                                        window <start_ns> <end_ns>
                                        latency <base_ns> [jitter_ns]
                                        loss <ppm> | clear
+  sessions                             live shared sentinels with their
+                                       session counts, plus the session
+                                       gauges (attaches, queue depth,
+                                       coalesced writes, batch flushes)
   metrics [prometheus|json]            export the full metrics snapshot
   telemetry [on|off|slow <ns>]         toggle span/histogram recording or
                                        set the slow-op report threshold
@@ -668,6 +698,21 @@ mod tests {
         assert_eq!(sh.run("cat /loud.af").expect("cat"), "QUIET WORDS");
         let stat = sh.run("stat /loud.af").expect("stat");
         assert!(stat.contains("active: uppercase (DLL, disk)"));
+    }
+
+    #[test]
+    fn sessions_reports_shared_sentinels_and_gauges() {
+        let mut sh = Shell::new();
+        sh.run("install /loud.af uppercase dll disk")
+            .expect("install");
+        let idle = sh.run("sessions").expect("sessions");
+        assert!(idle.contains("no shared sentinels"), "{idle}");
+        sh.run("append /loud.af abc").expect("append");
+        let after = sh.run("sessions").expect("sessions");
+        // Each shell command opens and closes, so no sentinel is live
+        // afterwards — but the attach was counted.
+        assert!(after.contains("attaches=1"), "{after}");
+        assert!(after.contains("current=0"), "{after}");
     }
 
     #[test]
