@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--spans FILE] [--json FILE]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--fleet] [--workers M] [--spans FILE] [--json FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -19,6 +19,10 @@
 //! `--concurrency` skips the sweep and prints the shared-sentinel
 //! ablation instead: per-write latency and total domain crossings for
 //! 1/2/8/32 concurrent clients, shared sentinel vs one sentinel per open;
+//! `--fleet` skips the sweep and prints the sharded-executor panel:
+//! per-read latency and executor gauges for 100/1k/10k concurrently-open
+//! active files multiplexed over the bounded worker pool (`--workers M`
+//! pins the pool size; the default is one worker per core);
 //! `--spans FILE` skips the sweep and instead records a telemetry span
 //! trace of `--ops` reads per strategy, written as chrome://tracing JSON
 //! (open in `chrome://tracing` or Perfetto); `--json FILE` skips the
@@ -41,6 +45,8 @@ fn main() {
     let mut simple_process = false;
     let mut csv = false;
     let mut concurrency = false;
+    let mut fleet = false;
+    let mut fleet_workers: Option<usize> = None;
     let mut spans_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut i = 0;
@@ -63,6 +69,15 @@ fn main() {
                 };
             }
             "--concurrency" => concurrency = true,
+            "--fleet" => fleet = true,
+            "--workers" => {
+                i += 1;
+                fleet_workers = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--workers needs a number")),
+                );
+            }
             "--copies" => show_copies = true,
             "--trace" => show_trace = true,
             "--simple-process" => simple_process = true,
@@ -89,6 +104,11 @@ fn main() {
 
     if concurrency {
         print!("{}", afs_bench::render_concurrency_panel(ops, &profile));
+        return;
+    }
+
+    if fleet {
+        print!("{}", afs_bench::render_fleet_panel(&profile, fleet_workers));
         return;
     }
 

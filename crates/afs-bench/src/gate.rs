@@ -56,10 +56,26 @@ pub struct BenchDoc {
 /// where one slow cell does not slow every CI run.)
 pub const GATE_MUX_CLIENTS: [usize; 2] = [1, 8];
 
+/// Concurrent files in the gated fleet cell. Release builds gate the
+/// headline ten-thousand-file point; debug builds (the in-repo test
+/// suite) scale down to one thousand so `cargo test` stays quick — the
+/// label carries the size, so a debug-produced document can never pass
+/// silently against the release baseline.
+pub fn gate_fleet_files() -> usize {
+    if cfg!(debug_assertions) {
+        1_000
+    } else {
+        10_000
+    }
+}
+
 /// Measures every gate strategy (memory path, 128-byte sequential reads,
-/// `ops` calls each) plus the gated concurrency cells (`mux-N-shared` /
-/// `mux-N-private` sequential writes, see [`crate::measure_concurrency`])
-/// and renders the result as JSON.
+/// `ops` calls each), the gated concurrency cells (`mux-N-shared` /
+/// `mux-N-private` sequential writes, see [`crate::measure_concurrency`]),
+/// and the two executor cells — `fleet-Nk` (one read across
+/// [`gate_fleet_files`] concurrently-open files) and `fleet-1-parity`
+/// (one file, `ops` reads, a one-worker pool: the single-sentinel number
+/// the refactor must not move) — and renders the result as JSON.
 pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
     const BLOCK: usize = 128;
     let mut entries: Vec<(String, f64, u64, u64)> = Vec::new();
@@ -94,6 +110,23 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
                 m.summary.p99_ns,
             ));
         }
+    }
+    {
+        let files = gate_fleet_files();
+        let f = crate::measure_fleet(files, 1, None, profile.clone());
+        entries.push((
+            format!("fleet-{}k", files / 1000),
+            f.summary.mean_ns as f64,
+            f.summary.p50_ns,
+            f.summary.p99_ns,
+        ));
+        let p = crate::measure_fleet(1, ops, Some(1), profile.clone());
+        entries.push((
+            "fleet-1-parity".to_owned(),
+            p.summary.mean_ns as f64,
+            p.summary.p50_ns,
+            p.summary.p99_ns,
+        ));
     }
     let mut out = String::new();
     out.push_str(&format!(
@@ -412,8 +445,8 @@ mod tests {
         assert_eq!(parsed.ops, 20);
         assert_eq!(
             parsed.strategies.len(),
-            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len(),
-            "four strategies plus shared/private per gated client count"
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2,
+            "four strategies, shared/private per gated client count, two fleet cells"
         );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
@@ -426,6 +459,11 @@ mod tests {
                 let s = parsed.strategies.get(&label).expect("mux cell");
                 assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
             }
+        }
+        let fleet_label = format!("fleet-{}k", gate_fleet_files() / 1000);
+        for label in [fleet_label.as_str(), "fleet-1-parity"] {
+            let s = parsed.strategies.get(label).expect("fleet cell");
+            assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
         }
     }
 

@@ -498,6 +498,126 @@ pub fn render_concurrency_panel(ops_per_client: usize, profile: &HardwareProfile
     out
 }
 
+/// Fleet sizes swept by `figure6 --fleet` — the headline claim is the
+/// last point: ten thousand concurrent active files on a bounded pool.
+pub const FLEET_SIZES: [usize; 3] = [100, 1_000, 10_000];
+
+/// Block size used by the fleet panel (the Figure 6 midpoint).
+pub const FLEET_BLOCK: usize = 128;
+
+/// One cell of the fleet panel: `files` concurrently-open active files
+/// multiplexed over the bounded sentinel executor.
+#[derive(Debug, Clone)]
+pub struct FleetMeasurement {
+    /// Number of concurrently-open active files.
+    pub files: usize,
+    /// The executor's worker cap (the pool bound `M`).
+    pub worker_cap: usize,
+    /// Per-read virtual latencies across every file.
+    pub summary: afs_sim::Summary,
+    /// Executor gauges sampled while every sentinel was live.
+    pub fleet: afs_telemetry::FleetSnapshot,
+}
+
+/// Runs one fleet cell: installs `files` DLL-thread active files (memory
+/// cache), opens them *all* — every sentinel is registered with the
+/// executor at once — then issues `ops_per_file` sequential 128-byte
+/// reads against each, timing every read under the virtual clock.
+///
+/// `workers` pins the pool bound; `None` uses the world default (one per
+/// core, `AFS_FLEET_WORKERS`). The virtual latencies are identical either
+/// way — the executor schedules real threads, the costs are charged on
+/// virtual clocks — which is exactly what `tests/fleet_equivalence.rs`
+/// asserts.
+pub fn measure_fleet(
+    files: usize,
+    ops_per_file: usize,
+    workers: Option<usize>,
+    profile: HardwareProfile,
+) -> FleetMeasurement {
+    let mut builder = AfsWorld::builder().profile(profile);
+    if let Some(w) = workers {
+        builder = builder.fleet_workers(w);
+    }
+    let world = builder.build();
+    afs_sentinels::register_all(world.sentinels());
+    let _guard = clock::install(0);
+    let api = world.api();
+    let extent = vec![0xA5u8; FLEET_BLOCK * ops_per_file];
+    let mut handles = Vec::with_capacity(files);
+    for idx in 0..files {
+        let path = format!("/fleet/{idx}.af");
+        world
+            .install_active_file(
+                &path,
+                &SentinelSpec::new("mirror", Strategy::DllThread).backing(Backing::Memory),
+            )
+            .expect("install fleet file");
+        world
+            .vfs()
+            .write_stream_replace(&VPath::parse(&path).expect("path"), &extent)
+            .expect("seed data part");
+        handles.push(
+            api.create_file(&path, Access::read_only(), Disposition::OpenExisting)
+                .expect("open fleet file"),
+        );
+    }
+    let mut series = Series::with_capacity(files * ops_per_file);
+    let mut buf = vec![0u8; FLEET_BLOCK];
+    for &h in &handles {
+        for _ in 0..ops_per_file {
+            let start = clock::now();
+            let n = api.read_file(h, &mut buf).expect("fleet read");
+            assert_eq!(n, FLEET_BLOCK, "seeded file must satisfy full blocks");
+            series.push(clock::now() - start);
+        }
+    }
+    // Sample the gauges while every file is still open: `sentinels` is the
+    // concurrent-fleet size, `workers` the pool's actual thread count.
+    let fleet = world.telemetry().fleet().snapshot();
+    for h in handles {
+        api.close_handle(h).expect("close fleet file");
+    }
+    FleetMeasurement {
+        files,
+        worker_cap: world.fleet_workers(),
+        summary: series.summarize(),
+        fleet,
+    }
+}
+
+/// Runs the fleet sweep ([`FLEET_SIZES`], one read per file) and renders
+/// it as the text table `figure6 --fleet` prints. The flat p50/p99
+/// columns against a fixed worker count are the executor's headline:
+/// sentinel count scales without scaling threads.
+pub fn render_fleet_panel(profile: &HardwareProfile, workers: Option<usize>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fleet panel — sharded sentinel executor (Thread strategy, memory cache, \
+         {FLEET_BLOCK}-byte reads, one per file)\n"
+    ));
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>10} {:>9} {:>8} {:>10} {:>8} {:>9}\n",
+        "files", "p50", "p99", "workers", "shards", "sentinels", "steals", "wakeups"
+    ));
+    for files in FLEET_SIZES {
+        let m = measure_fleet(files, 1, workers, profile.clone());
+        out.push_str(&format!(
+            "{:>8} {:>8.1}us {:>8.1}us {:>4}/{:<4} {:>8} {:>10} {:>8} {:>9}\n",
+            m.files,
+            m.summary.p50_ns as f64 / 1_000.0,
+            m.summary.p99_ns as f64 / 1_000.0,
+            m.fleet.workers,
+            m.worker_cap,
+            m.fleet.shards,
+            m.fleet.sentinels,
+            m.fleet.steals,
+            m.fleet.wakeups,
+        ));
+    }
+    out
+}
+
 /// A full panel: mean µs per (strategy, block size), plus the baseline
 /// row.
 #[derive(Debug, Clone)]
@@ -659,6 +779,70 @@ mod tests {
         );
         assert_eq!(t.counters.pipe_copy_bytes, 0);
         assert!(t.counters.memcpy_bytes >= 10 * 256);
+    }
+
+    /// The executor's headline, asserted: a fleet two orders of magnitude
+    /// larger runs on the same bounded pool with a flat p99.
+    #[test]
+    fn fleet_scales_on_a_bounded_pool_with_flat_p99() {
+        const WORKERS: usize = 2;
+        let profile = HardwareProfile::pentium_ii_300();
+        let big_files = gate::gate_fleet_files();
+        let small = measure_fleet(100, 1, Some(WORKERS), profile.clone());
+        let big = measure_fleet(big_files, 1, Some(WORKERS), profile);
+        assert!(
+            big.fleet.workers <= WORKERS as u64,
+            "{} files ran on {} workers (cap {WORKERS})",
+            big.files,
+            big.fleet.workers
+        );
+        assert_eq!(
+            big.fleet.sentinels, big.files as u64,
+            "every file's sentinel was live at once"
+        );
+        assert!(
+            big.summary.p99_ns as f64 <= small.summary.p99_ns as f64 * 1.3,
+            "p99 must stay flat as the fleet grows: {} files {} ns vs 100 files {} ns",
+            big.files,
+            big.summary.p99_ns,
+            small.summary.p99_ns
+        );
+    }
+
+    /// Single-sentinel parity: one file on a one-worker pool costs what
+    /// the plain Thread-strategy cell costs — the refactor moved the
+    /// scheduling, not the charging.
+    #[test]
+    fn fleet_single_sentinel_parity_matches_thread_cell() {
+        const OPS: usize = 100;
+        let profile = HardwareProfile::pentium_ii_300();
+        let thread = measure(
+            PathKind::Memory,
+            Strategy::DllThread,
+            Direction::Read,
+            FLEET_BLOCK,
+            OPS,
+            profile.clone(),
+        )
+        .series
+        .summarize();
+        let parity = measure_fleet(1, OPS, Some(1), profile).summary;
+        let within = |a: u64, b: u64| {
+            let (a, b) = (a as f64, b as f64);
+            (a - b).abs() <= b * 0.05
+        };
+        assert!(
+            within(parity.p99_ns, thread.p99_ns),
+            "parity p99 {} ns vs Thread cell {} ns",
+            parity.p99_ns,
+            thread.p99_ns
+        );
+        assert!(
+            within(parity.p50_ns, thread.p50_ns),
+            "parity p50 {} ns vs Thread cell {} ns",
+            parity.p50_ns,
+            thread.p50_ns
+        );
     }
 
     #[test]

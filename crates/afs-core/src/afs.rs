@@ -32,6 +32,7 @@ use afs_winapi::{
 use crate::ctx::SentinelCtx;
 use crate::registry::SentinelRegistry;
 use crate::spec::{SentinelSpec, Strategy};
+use crate::strategy::executor::{self, FleetShardStat, SentinelExecutor};
 use crate::strategy::mux::SharedSentinel;
 use crate::strategy::{self, ActiveOps, Instruments};
 
@@ -72,6 +73,15 @@ pub struct ActiveFileSystem {
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
     shared: SharedMap,
+    /// The bounded worker pool every §4.2/§4.3 and mux sentinel of this
+    /// runtime is scheduled on. Declared after `handles` so that when the
+    /// last clone drops, closing transports wake their tasks before the
+    /// executor's own teardown drains the stragglers.
+    exec: Arc<SentinelExecutor>,
+    /// `true` on the clone handed to sentinel contexts: opens made
+    /// through it are §3 composition, whose sentinels are pinned off the
+    /// bounded pool (the opener may block a worker waiting on them).
+    nested: bool,
 }
 
 impl std::fmt::Debug for ActiveFileSystem {
@@ -96,6 +106,9 @@ impl ActiveFileSystem {
         model: CostModel,
         user: &str,
     ) -> Self {
+        let telemetry = Telemetry::new();
+        let exec =
+            SentinelExecutor::new(executor::default_workers(), Arc::clone(telemetry.fleet()));
         ActiveFileSystem {
             inner,
             vfs,
@@ -104,11 +117,13 @@ impl ActiveFileSystem {
             sync,
             model,
             trace: Arc::new(OpTrace::new()),
-            telemetry: Telemetry::new(),
+            telemetry,
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
             shared: Arc::new(Mutex::new(HashMap::new())),
+            exec,
+            nested: false,
         }
     }
 
@@ -116,6 +131,29 @@ impl ActiveFileSystem {
     /// sentinel).
     pub fn open_sentinels(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The worker-pool bound M of the sentinel executor.
+    pub fn fleet_workers(&self) -> usize {
+        self.exec.worker_cap()
+    }
+
+    /// Live sentinel tasks registered on the executor (§4.2/§4.3 and mux
+    /// sentinels; §4.1 pumps and §4.4 inline opens are not tasks).
+    pub fn fleet_tasks(&self) -> u64 {
+        self.exec.live()
+    }
+
+    /// Per-shard executor occupancy, for diagnostics (`afsh fleet`).
+    pub fn fleet_shards(&self) -> Vec<FleetShardStat> {
+        self.exec.shard_stats()
+    }
+
+    /// Deterministic executor teardown: joins every worker, then drains
+    /// remaining tasks inline (close hooks still run). The world's drop
+    /// path calls this after clearing the handle table.
+    pub fn fleet_shutdown(&self) {
+        self.exec.shutdown();
     }
 
     /// Live shared sentinels: `(path, sentinel name, strategy label,
@@ -241,9 +279,17 @@ impl ActiveFileSystem {
         );
         // Sentinels see the intercepted API (this layer), so they can
         // open other active files — §3 composition. Clones share the
-        // handle table, so handles interoperate.
-        ctx.set_api(Arc::new(Layered(self.clone())));
-        let instr = Instruments::new(Arc::clone(&self.telemetry), spec.name());
+        // handle table, so handles interoperate. The clone is marked
+        // nested: sentinels it spawns are pinned off the bounded pool.
+        let mut nested_api = self.clone();
+        nested_api.nested = true;
+        ctx.set_api(Arc::new(Layered(nested_api)));
+        let instr = Instruments::new(
+            Arc::clone(&self.telemetry),
+            spec.name(),
+            Arc::clone(&self.exec),
+            self.nested,
+        );
         if sharable {
             // First open (or the previous sentinel terminally closed):
             // build the shared sentinel *without* holding the registry
@@ -575,6 +621,9 @@ pub struct ActiveFilesLayer {
     signing_key: Option<u64>,
     handles: Arc<HandleTable<ActiveEntry>>,
     shared: SharedMap,
+    /// One executor per layer: every [`ActiveFileSystem`] this layer
+    /// wraps schedules its sentinels on the same bounded pool.
+    exec: Arc<SentinelExecutor>,
 }
 
 impl ActiveFilesLayer {
@@ -588,6 +637,9 @@ impl ActiveFilesLayer {
         model: CostModel,
         user: &str,
     ) -> Self {
+        let telemetry = Telemetry::new();
+        let exec =
+            SentinelExecutor::new(executor::default_workers(), Arc::clone(telemetry.fleet()));
         ActiveFilesLayer {
             vfs,
             net,
@@ -595,12 +647,52 @@ impl ActiveFilesLayer {
             sync,
             model,
             trace: Arc::new(OpTrace::new()),
-            telemetry: Telemetry::new(),
+            telemetry,
             user: user.to_owned(),
             signing_key: None,
             handles: Arc::new(HandleTable::with_start(ACTIVE_HANDLE_BASE)),
             shared: Arc::new(Mutex::new(HashMap::new())),
+            exec,
         }
+    }
+
+    /// Rebuilds the sentinel executor with an explicit worker-pool bound
+    /// M. Only meaningful before the first open (the fresh pool spawns its
+    /// workers lazily, so swapping here is free).
+    pub fn with_fleet_workers(mut self, workers: usize) -> Self {
+        self.exec = SentinelExecutor::new(workers, Arc::clone(self.telemetry.fleet()));
+        self
+    }
+
+    /// The worker-pool bound M of the sentinel executor.
+    pub fn fleet_workers(&self) -> usize {
+        self.exec.worker_cap()
+    }
+
+    /// Live sentinel tasks registered on the executor.
+    pub fn fleet_tasks(&self) -> u64 {
+        self.exec.live()
+    }
+
+    /// Per-shard executor occupancy, for diagnostics (`afsh fleet`).
+    pub fn fleet_shards(&self) -> Vec<FleetShardStat> {
+        self.exec.shard_stats()
+    }
+
+    /// Deterministic executor teardown; see
+    /// [`ActiveFileSystem::fleet_shutdown`].
+    pub fn fleet_shutdown(&self) {
+        self.exec.shutdown();
+    }
+
+    /// Deterministic world teardown: drops every still-open active handle
+    /// (closing each transport wakes its sentinel, which runs its close
+    /// hook and retires), then drains the executor. After this returns no
+    /// sentinel task and no fleet worker is live.
+    pub fn quiesce(&self) {
+        drop(self.handles.drain());
+        self.shared.lock().clear();
+        self.exec.shutdown();
     }
 
     /// The layer-wide observability ring shared by every
@@ -667,6 +759,8 @@ impl ApiLayer for ActiveFilesLayer {
             signing_key: self.signing_key,
             handles: Arc::clone(&self.handles),
             shared: Arc::clone(&self.shared),
+            exec: Arc::clone(&self.exec),
+            nested: false,
         }))
     }
 }

@@ -73,6 +73,7 @@ pub use logic::{NullSentinel, SentinelError, SentinelLogic, SentinelResult};
 pub use registry::{LogicFactory, SentinelRegistry};
 pub use security::{check_active_file, sign_active_file, SIGNATURE_STREAM};
 pub use spec::{Backing, SentinelSpec, Strategy};
+pub use strategy::executor::FleetShardStat;
 pub use strategy::process::{ProcessIo, RawProcessSentinel};
 pub use strategy::CTL_QUERY_STALE;
 pub use world::{AfsWorld, AfsWorldBuilder};

@@ -25,13 +25,12 @@ use afs_winapi::Win32Error;
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{
-    dispatch_loop, spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply,
-};
+use crate::strategy::{to_win32, ActiveOps, DispatchTask, Instruments, Op, OpReply, Reaper};
 
 /// Builds the process-plus-control strategy for one open: runs the open
-/// hook, spawns the sentinel "process", wires two data pipes plus the
-/// control channel, and returns the application-side ops.
+/// hook, registers the sentinel "process" as a dispatch task on the
+/// sentinel executor, wires two data pipes plus the control channel, and
+/// returns the application-side ops.
 pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
@@ -48,8 +47,9 @@ pub(crate) fn open(
     let sentinel_sticky = Arc::clone(&sticky);
     let scope = Arc::new(AtomicU64::new(0));
     let side = instr.sentinel_side("Process", Arc::clone(&scope));
-    let join = spawn_sentinel("control", move || {
-        dispatch_loop(logic, ctx, port, sentinel_sticky, side);
+    let done = instr.spawn_task(move |waker| {
+        port.set_wakeup(waker);
+        Box::new(DispatchTask::new(logic, ctx, port, sentinel_sticky, side))
     });
     Ok(Arc::new(StrategyHandle::new(
         transport,
@@ -57,7 +57,7 @@ pub(crate) fn open(
         trace,
         "Process",
         sticky,
-        Some(join),
+        Some(Reaper::Task(done)),
         instr.app_side(scope),
     )))
 }

@@ -18,17 +18,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, Transport};
-use afs_sim::{clock, Cost, CostModel, CrossingKind, OpKind, OpTrace, SimTime, TraceRecord};
+use afs_sim::{clock, Cost, CostModel, CrossingKind, OpKind, OpTrace, TraceRecord};
 use afs_telemetry::{now_ns, LatencyHistogram, Layer, SpanGuard, Telemetry};
 use afs_winapi::{SeekMethod, Win32Error};
 
 use crate::logic::SentinelError;
-use crate::strategy::{reap, to_win32, ActiveOps, Op, OpObserver, OpReply};
+use crate::strategy::{reap, to_win32, ActiveOps, Op, OpObserver, OpReply, Reaper};
 
 /// Every [`OpKind`] in [`op_index`] order, for the per-op histogram cache.
 const OP_KINDS: [OpKind; 7] = [
@@ -63,7 +62,7 @@ pub(crate) struct StrategyHandle<T: Transport<Cmd = Op, Reply = OpReply>> {
     pointer: Mutex<u64>,
     op_lock: Mutex<()>,
     sticky: Arc<Mutex<Option<SentinelError>>>,
-    join: Mutex<Option<JoinHandle<SimTime>>>,
+    reaper: Mutex<Option<Reaper>>,
     /// Scratch buffers for scatter reassembly.
     pool: BufferPool,
     tel: Arc<Telemetry>,
@@ -81,7 +80,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
         trace: Arc<OpTrace>,
         strategy: &'static str,
         sticky: Arc<Mutex<Option<SentinelError>>>,
-        join: Option<JoinHandle<SimTime>>,
+        reaper: Option<Reaper>,
         obs: OpObserver,
     ) -> Self {
         let hists = OP_KINDS.map(|kind| obs.tel.strategy_hist(strategy, kind.label()));
@@ -93,7 +92,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
             pointer: Mutex::new(0),
             op_lock: Mutex::new(()),
             sticky,
-            join: Mutex::new(join),
+            reaper: Mutex::new(reaper),
             pool: BufferPool::new(),
             tel: obs.tel,
             scope: obs.scope,
@@ -477,7 +476,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
                 // reaped.
                 let _wire = self.transport_span("shutdown");
                 self.transport.shutdown();
-                reap(&self.join);
+                reap(&self.reaper);
                 (Ok(()), 0)
             });
         }
@@ -496,7 +495,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> ActiveOps for StrategyHandle<T> {
             };
             (r, 0)
         });
-        reap(&self.join);
+        reap(&self.reaper);
         let sticky = self.check_sticky();
         result.and(sticky)
     }

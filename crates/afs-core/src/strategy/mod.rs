@@ -15,8 +15,9 @@
 //! Since the strategies trade copies and crossings — not semantics — the
 //! whole hot path is unified behind one protocol: the [`Op`]/[`OpReply`]
 //! command set here, executed by [`execute_op`] wherever the sentinel
-//! lives (the [`dispatch_loop`] thread for §4.2/§4.3, inline for §4.4),
-//! and driven application-side by one generic
+//! lives (a poll-driven [`DispatchTask`] on the sharded
+//! [`executor::SentinelExecutor`] for §4.2/§4.3, inline for §4.4), and
+//! driven application-side by one generic
 //! [`StrategyHandle`](handle::StrategyHandle) over an
 //! [`afs_ipc::Transport`]. Per-command payload staging goes through an
 //! [`afs_ipc::BufferPool`] so a settled sentinel allocates nothing per
@@ -24,6 +25,7 @@
 
 pub mod control;
 pub mod dll;
+pub(crate) mod executor;
 pub(crate) mod handle;
 pub(crate) mod mux;
 pub mod process;
@@ -42,20 +44,48 @@ use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
 use crate::logic::{SentinelError, SentinelLogic};
+use crate::strategy::executor::{SentinelPoll, TaskPoll};
 
-/// Telemetry wiring handed to a strategy `open`: the hub plus the interned
-/// name of the sentinel being opened.
+/// Per-open wiring handed to a strategy `open`: the telemetry hub, the
+/// interned name of the sentinel being opened, and the executor its
+/// dispatch task will be scheduled on.
 #[derive(Clone)]
 pub(crate) struct Instruments {
     pub(crate) tel: Arc<Telemetry>,
     pub(crate) sentinel: &'static str,
+    pub(crate) exec: Arc<executor::SentinelExecutor>,
+    /// `true` when this open came through a sentinel's own ctx API (§3
+    /// composition): the new sentinel is pinned to a dedicated thread so
+    /// the opener — which may block a pool worker waiting on it — cannot
+    /// starve it of the bounded pool.
+    pub(crate) pinned: bool,
 }
 
 impl Instruments {
-    pub(crate) fn new(tel: Arc<Telemetry>, sentinel: &str) -> Self {
+    pub(crate) fn new(
+        tel: Arc<Telemetry>,
+        sentinel: &str,
+        exec: Arc<executor::SentinelExecutor>,
+        pinned: bool,
+    ) -> Self {
         Instruments {
             tel,
             sentinel: intern(sentinel),
+            exec,
+            pinned,
+        }
+    }
+
+    /// Registers a sentinel state machine: pooled normally, pinned to a
+    /// dedicated thread for composition opens (see `pinned`).
+    pub(crate) fn spawn_task<F>(&self, build: F) -> Arc<executor::TaskDone>
+    where
+        F: FnOnce(afs_ipc::ChannelWaker) -> Box<dyn executor::SentinelPoll>,
+    {
+        if self.pinned {
+            self.exec.spawn_pinned(build)
+        } else {
+            self.exec.spawn(build)
         }
     }
 
@@ -404,80 +434,126 @@ fn replay_queued_writes(logic: &mut dyn SentinelLogic, ctx: &mut SentinelCtx) {
     ctx.set_stale(false);
 }
 
-/// The sentinel dispatch loop shared by the process-plus-control and
-/// DLL-with-thread strategies ("the thread … runs a dispatch loop using
-/// calls to AF_GetControl", §5.3), draining one [`PairPort`].
+/// The sentinel dispatch state machine shared by the process-plus-control
+/// and DLL-with-thread strategies ("the thread … runs a dispatch loop
+/// using calls to AF_GetControl", §5.3), draining one [`PairPort`].
+///
+/// This is the old blocking dispatch loop refactored into a resumable
+/// [`SentinelPoll`] task: instead of blocking in `recv_cmd` on a dedicated
+/// thread, `poll` drains whatever the command lane holds (with
+/// `recv_cmd`-equivalent cost charging, see [`PairPort::poll_cmd`]) and
+/// yields, so the sentinel executor can park it without a thread. Write
+/// payloads still arrive with a short bounded wait — the application sends
+/// command and payload back-to-back under its op lock.
 ///
 /// Write failures are parked in `sticky` and surfaced on the next
 /// synchronous operation, because writes are acknowledged eagerly
 /// (write-behind, §6). Payloads are staged in the port's buffer pool, so a
-/// settled loop performs no per-command allocation.
-pub(crate) fn dispatch_loop(
-    mut logic: Box<dyn SentinelLogic>,
-    mut ctx: SentinelCtx,
+/// settled sentinel performs no per-command allocation.
+pub(crate) struct DispatchTask {
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
     port: PairPort<Op, OpReply>,
     sticky: Arc<Mutex<Option<SentinelError>>>,
     side: SentinelSide,
-) {
-    loop {
-        let op = match port.recv_cmd() {
-            Ok(c) => c,
-            // The application vanished without Close (process killed);
-            // still run the close hook.
-            Err(_) => {
-                let _ = logic.on_close(&mut ctx);
-                ctx.persist_cache();
-                break;
-            }
-        };
+}
+
+impl DispatchTask {
+    pub(crate) fn new(
+        logic: Box<dyn SentinelLogic>,
+        ctx: SentinelCtx,
+        port: PairPort<Op, OpReply>,
+        sticky: Arc<Mutex<Option<SentinelError>>>,
+        side: SentinelSide,
+    ) -> DispatchTask {
+        DispatchTask {
+            logic,
+            ctx,
+            port,
+            sticky,
+            side,
+        }
+    }
+
+    /// Serves one command; `Ready` when the sentinel should terminate.
+    fn serve(&mut self, op: Op) -> TaskPoll {
         // A parked write-behind failure pre-empts the next synchronous
         // command, so the application learns of it deterministically
         // (commands are processed in order).
         if !matches!(op, Op::Write { .. } | Op::Close) {
-            if let Some(e) = sticky.lock().take() {
-                if port.send_reply(OpReply::Failed(e)).is_err() {
-                    break;
-                }
-                continue;
+            if let Some(e) = self.sticky.lock().take() {
+                return match self.port.send_reply(OpReply::Failed(e)) {
+                    Ok(()) => TaskPoll::Pending,
+                    Err(_) => TaskPoll::Ready,
+                };
             }
         }
+        let (logic, ctx, port) = (self.logic.as_mut(), &mut self.ctx, &self.port);
         match op {
             Op::Write { len, .. } => {
                 let mut buf = port.pool().take(len as usize);
                 if len > 0 && port.recv_data_exact(&mut buf).is_err() {
-                    break;
+                    return TaskPoll::Ready;
                 }
-                let (reply, _) = side.observe("write", || {
-                    execute_op(logic.as_mut(), &mut ctx, op, &buf, port.pool())
-                });
+                let (reply, _) = self
+                    .side
+                    .observe("write", || execute_op(logic, ctx, op, &buf, port.pool()));
                 if let OpReply::Failed(e) = reply {
-                    *sticky.lock() = Some(e);
+                    *self.sticky.lock() = Some(e);
                 }
                 port.pool().put(buf);
+                TaskPoll::Pending
             }
             Op::Close => {
-                let (reply, _) = side.observe("close", || {
-                    execute_op(logic.as_mut(), &mut ctx, op, &[], port.pool())
-                });
+                let (reply, _) = self
+                    .side
+                    .observe("close", || execute_op(logic, ctx, op, &[], port.pool()));
                 let _ = port.send_reply(reply);
-                break;
+                TaskPoll::Ready
             }
             other => {
                 let name = op_name(&other);
-                let (reply, data) = side.observe(name, || {
-                    execute_op(logic.as_mut(), &mut ctx, other, &[], port.pool())
-                });
+                let (reply, data) = self
+                    .side
+                    .observe(name, || execute_op(logic, ctx, other, &[], port.pool()));
                 if port.send_reply(reply).is_err() {
-                    break;
+                    return TaskPoll::Ready;
                 }
                 if let Some(data) = data {
                     if !data.is_empty() && port.send_data(&data).is_err() {
-                        break;
+                        return TaskPoll::Ready;
                     }
                     port.pool().put(data);
                 }
+                TaskPoll::Pending
             }
         }
+    }
+}
+
+impl SentinelPoll for DispatchTask {
+    fn poll(&mut self) -> TaskPoll {
+        loop {
+            let op = match self.port.poll_cmd() {
+                Ok(Some(op)) => op,
+                Ok(None) => return TaskPoll::Pending,
+                // The application vanished without Close (process killed);
+                // still run the close hook.
+                Err(_) => {
+                    let _ = self.logic.on_close(&mut self.ctx);
+                    self.ctx.persist_cache();
+                    return TaskPoll::Ready;
+                }
+            };
+            if let TaskPoll::Ready = self.serve(op) {
+                return TaskPoll::Ready;
+            }
+        }
+    }
+
+    fn abandon(&mut self) {
+        let _ = self.logic.on_close(&mut self.ctx);
+        self.ctx.persist_cache();
     }
 }
 
@@ -505,13 +581,32 @@ where
         .expect("spawn sentinel thread")
 }
 
-/// Joins the sentinel on close and folds its final virtual time into the
-/// closing thread's clock (the application waits for sentinel
-/// termination).
-pub(crate) fn reap(join: &Mutex<Option<JoinHandle<SimTime>>>) {
-    if let Some(handle) = join.lock().take() {
-        if let Ok(final_time) = handle.join() {
-            clock::sync_to(final_time);
+/// What close must wait on for sentinel termination: a dedicated thread's
+/// join handle (§4.1 pumps) or an executor task's completion cell
+/// (§4.2/§4.3 and mux sentinels).
+pub(crate) enum Reaper {
+    /// A dedicated sentinel thread.
+    Thread(JoinHandle<SimTime>),
+    /// A task on the sharded sentinel executor.
+    Task(Arc<executor::TaskDone>),
+}
+
+impl Reaper {
+    /// Blocks until the sentinel has terminated; returns its final virtual
+    /// time.
+    pub(crate) fn wait(self) -> SimTime {
+        match self {
+            Reaper::Thread(join) => join.join().unwrap_or(0),
+            Reaper::Task(done) => done.wait(),
         }
+    }
+}
+
+/// Waits for the sentinel on close and folds its final virtual time into
+/// the closing thread's clock (the application waits for sentinel
+/// termination).
+pub(crate) fn reap(slot: &Mutex<Option<Reaper>>) {
+    if let Some(reaper) = slot.lock().take() {
+        clock::sync_to(reaper.wait());
     }
 }

@@ -37,10 +37,10 @@ use afs_winapi::Win32Error;
 use crate::ctx::SentinelCtx;
 use crate::logic::{SentinelError, SentinelLogic};
 use crate::spec::Strategy;
+use crate::strategy::executor::{SentinelPoll, TaskPoll};
 use crate::strategy::handle::StrategyHandle;
 use crate::strategy::{
-    execute_op, op_name, spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply,
-    SentinelSide,
+    execute_op, op_name, to_win32, ActiveOps, Instruments, Op, OpReply, SentinelSide,
 };
 
 /// The wire-shape facts [`MuxHub`] needs about the [`Op`]/[`OpReply`]
@@ -117,7 +117,7 @@ pub(crate) trait SharedSentinel: Send + Sync {
     fn session_count(&self) -> usize;
 }
 
-/// The shared form of the §4.2/§4.3 wire strategies: one sentinel thread,
+/// The shared form of the §4.2/§4.3 wire strategies: one sentinel task,
 /// one transport, many sessions multiplexed over it.
 pub(crate) struct MuxShared {
     hub: Arc<OpHub>,
@@ -164,8 +164,9 @@ impl SharedSentinel for MuxShared {
 }
 
 /// Builds the shared sentinel for a wire strategy (§4.2 kernel pipes or
-/// §4.3 shared memory): runs the open hook once, spawns the mux dispatch
-/// loop, and returns the [`SharedSentinel`] later opens attach through.
+/// §4.3 shared memory): runs the open hook once, registers the mux
+/// dispatch state machine on the sentinel executor, and returns the
+/// [`SharedSentinel`] later opens attach through.
 pub(crate) fn open_shared(
     strategy: Strategy,
     mut logic: Box<dyn SentinelLogic>,
@@ -204,10 +205,13 @@ pub(crate) fn open_shared(
         queues: HashMap::new(),
         rotation: VecDeque::new(),
     };
-    let join = spawn_sentinel(&format!("mux-{}", label.to_lowercase()), move || {
-        state.run();
+    let done = instr.spawn_task(move |waker| {
+        state.port.set_wakeup(waker);
+        Box::new(state)
     });
-    hub.set_reaper(join);
+    // The hub reaps by waiting on the executor's completion cell, the
+    // task-world stand-in for joining a dedicated sentinel thread.
+    hub.set_reaper(Box::new(move || done.wait()));
     Ok(Arc::new(MuxShared {
         hub,
         sessions,
@@ -228,8 +232,9 @@ enum Step {
     Closed,
 }
 
-/// The sentinel side of the multiplexed wire: one thread serving every
-/// session of one shared sentinel.
+/// The sentinel side of the multiplexed wire: one poll-driven state
+/// machine (scheduled on the sentinel executor) serving every session of
+/// one shared sentinel.
 struct MuxLoop {
     logic: Box<dyn SentinelLogic>,
     ctx: SentinelCtx,
@@ -345,17 +350,37 @@ impl MuxLoop {
         }
     }
 
-    fn run(mut self) {
+    /// The wire-dead epilogue: the application vanished without the
+    /// terminal close (process killed) — still run the close hook, like
+    /// the private loop.
+    fn finish(&mut self) {
+        let _ = self.logic.on_close(&mut self.ctx);
+        self.ctx.persist_cache();
+    }
+}
+
+impl SentinelPoll for MuxLoop {
+    /// One executor quantum: the blocking `recv_cmd` of the old dedicated
+    /// thread becomes `poll_cmd` — same syscall charge when a frame (or
+    /// the closure) is observed, no charge and `Pending` when the lane is
+    /// merely empty — so the mux's virtual timeline is unchanged.
+    fn poll(&mut self) -> TaskPoll {
         loop {
-            // Nothing queued: block for the next frame.
+            // Nothing queued: look for the next frame, parking if the
+            // wire is quiet.
             if self.rotation.is_empty() {
-                match self.port.recv_cmd() {
-                    Ok(frame) => {
+                match self.port.poll_cmd() {
+                    Ok(Some(frame)) => {
                         if matches!(self.ingest(frame), Step::WireDead) {
-                            break;
+                            self.finish();
+                            return TaskPoll::Ready;
                         }
                     }
-                    Err(_) => break,
+                    Ok(None) => return TaskPoll::Pending,
+                    Err(_) => {
+                        self.finish();
+                        return TaskPoll::Ready;
+                    }
                 }
             }
             // Fairness needs the whole backlog, not wire arrival order:
@@ -377,7 +402,8 @@ impl MuxLoop {
                 }
             }
             if dead {
-                break;
+                self.finish();
+                return TaskPoll::Ready;
             }
             let depth: usize = self.queues.values().map(VecDeque::len).sum();
             self.tel.sessions().note_queue_depth(depth as u64);
@@ -392,14 +418,19 @@ impl MuxLoop {
             }
             match self.service(session, op) {
                 Step::Continue => {}
-                Step::WireDead => break,
-                Step::Closed => return,
+                Step::WireDead => {
+                    self.finish();
+                    return TaskPoll::Ready;
+                }
+                // The terminal close already ran the close hook inside
+                // `execute_op`; no epilogue.
+                Step::Closed => return TaskPoll::Ready,
             }
         }
-        // The application vanished without the terminal close (process
-        // killed): still run the close hook, like the private loop.
-        let _ = self.logic.on_close(&mut self.ctx);
-        self.ctx.persist_cache();
+    }
+
+    fn abandon(&mut self) {
+        self.finish();
     }
 }
 

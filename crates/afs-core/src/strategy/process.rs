@@ -36,7 +36,7 @@ use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
 use crate::strategy::{
-    spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply, SentinelSide,
+    spawn_sentinel, to_win32, ActiveOps, Instruments, Op, OpReply, Reaper, SentinelSide,
 };
 
 /// Buffer size of the Figure 2 pump loops (`char buf[1024]`).
@@ -79,7 +79,9 @@ fn wire(
         trace,
         "SimpleProcess",
         Arc::new(Mutex::new(None)),
-        Some(join),
+        // §4.1 streams have no command lane to poll, so the pump pair
+        // keeps dedicated threads; the reaper joins them directly.
+        Some(Reaper::Thread(join)),
         instr.app_side(Arc::new(AtomicU64::new(0))),
     ))
 }

@@ -34,11 +34,13 @@ use afs_sim::{CostModel, OpTrace};
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
 use crate::strategy::handle::StrategyHandle;
-use crate::strategy::{dispatch_loop, spawn_sentinel, ActiveOps, Instruments, Op, OpReply};
+use crate::strategy::{ActiveOps, DispatchTask, Instruments, Op, OpReply, Reaper};
 
-/// Builds the DLL-with-thread strategy for one open: starts the
-/// `SentinelThrdMain` thread inside the "application process" and wires
-/// shared-memory buffers plus user-level control channels.
+/// Builds the DLL-with-thread strategy for one open: registers the
+/// `SentinelThrdMain` state machine with the sentinel executor (the
+/// bounded-pool stand-in for "starts a thread for running the
+/// orchestration routine") and wires shared-memory buffers plus user-level
+/// control channels.
 pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
@@ -57,8 +59,9 @@ pub(crate) fn open(
     let sentinel_sticky = Arc::clone(&sticky);
     let scope = Arc::new(AtomicU64::new(0));
     let side = instr.sentinel_side("Thread", Arc::clone(&scope));
-    let join = spawn_sentinel("thread", move || {
-        dispatch_loop(logic, ctx, port, sentinel_sticky, side);
+    let done = instr.spawn_task(move |waker| {
+        port.set_wakeup(waker);
+        Box::new(DispatchTask::new(logic, ctx, port, sentinel_sticky, side))
     });
     Ok(Arc::new(StrategyHandle::new(
         transport,
@@ -66,7 +69,7 @@ pub(crate) fn open(
         trace,
         "Thread",
         sticky,
-        Some(join),
+        Some(Reaper::Task(done)),
         instr.app_side(scope),
     )))
 }

@@ -27,6 +27,7 @@ pub struct AfsWorldBuilder {
     user: String,
     signing_key: Option<u64>,
     seed: Option<u64>,
+    fleet_workers: Option<usize>,
 }
 
 impl Default for AfsWorldBuilder {
@@ -36,6 +37,7 @@ impl Default for AfsWorldBuilder {
             user: "user".to_owned(),
             signing_key: None,
             seed: None,
+            fleet_workers: None,
         }
     }
 }
@@ -71,6 +73,15 @@ impl AfsWorldBuilder {
         self
     }
 
+    /// Bounds the sentinel executor at `workers` worker threads (the pool
+    /// every §4.2/§4.3 and shared-mux sentinel is multiplexed over). When
+    /// not set, the `AFS_FLEET_WORKERS` environment variable is honoured;
+    /// the final fallback is one worker per core.
+    pub fn fleet_workers(mut self, workers: usize) -> Self {
+        self.fleet_workers = Some(workers);
+        self
+    }
+
     /// Builds the world.
     pub fn build(self) -> AfsWorld {
         let model = CostModel::new(self.profile);
@@ -100,6 +111,9 @@ impl AfsWorldBuilder {
         );
         if let Some(key) = self.signing_key {
             layer = layer.with_signing_key(key);
+        }
+        if let Some(workers) = self.fleet_workers {
+            layer = layer.with_fleet_workers(workers);
         }
         let layer = Arc::new(layer);
         connector
@@ -266,6 +280,21 @@ fn register_world_collectors(
             "afs_batch_flushes_total",
             s.flushed_batches,
         ));
+        let f = telemetry.fleet().snapshot();
+        out.push(Metric::gauge("afs_fleet_sentinels", f.sentinels));
+        out.push(Metric::gauge("afs_fleet_sentinels_peak", f.sentinels_peak));
+        out.push(Metric::counter("afs_fleet_spawned_total", f.spawned));
+        out.push(Metric::counter("afs_fleet_polls_total", f.polls));
+        out.push(Metric::counter("afs_fleet_steals_total", f.steals));
+        out.push(Metric::counter("afs_fleet_wakeups_total", f.wakeups));
+        out.push(Metric::counter("afs_fleet_parks_total", f.parks));
+        out.push(Metric::gauge(
+            "afs_fleet_queue_depth_peak",
+            f.queue_depth_peak,
+        ));
+        out.push(Metric::gauge("afs_fleet_workers", f.workers));
+        out.push(Metric::gauge("afs_fleet_shards", f.shards));
+        out.push(Metric::counter("afs_fleet_abandoned_total", f.abandoned));
     });
 }
 
@@ -383,6 +412,34 @@ impl AfsWorld {
         self.layer.shared_sentinels()
     }
 
+    /// The sentinel executor's worker-pool bound M: every §4.2/§4.3 and
+    /// shared-mux sentinel in this world is multiplexed over at most this
+    /// many threads (see [`AfsWorldBuilder::fleet_workers`]).
+    pub fn fleet_workers(&self) -> usize {
+        self.layer.fleet_workers()
+    }
+
+    /// Live sentinel tasks registered on the executor (§4.1 pump threads
+    /// and §4.4 inline opens are not executor tasks).
+    pub fn fleet_task_count(&self) -> u64 {
+        self.layer.fleet_tasks()
+    }
+
+    /// Per-shard executor occupancy: `(shard, live, queued)` rows for
+    /// diagnostics (`afsh fleet`).
+    pub fn fleet_shards(&self) -> Vec<crate::FleetShardStat> {
+        self.layer.fleet_shards()
+    }
+
+    /// Deterministic quiesce: closes every still-open active handle, waits
+    /// for each sentinel's close hook, then joins the fleet workers. Ran
+    /// automatically on drop; call it explicitly to assert post-conditions
+    /// (no live tasks, no live workers) while telemetry is still
+    /// reachable.
+    pub fn quiesce(&self) {
+        self.layer.quiesce();
+    }
+
     /// Creates an active file at `path`: an empty data part plus the
     /// encoded `spec` in the `:active` stream. Parent directories are
     /// created as needed; an existing file gains the active part.
@@ -429,5 +486,14 @@ impl AfsWorld {
 impl Default for AfsWorld {
     fn default() -> Self {
         AfsWorld::new()
+    }
+}
+
+impl Drop for AfsWorld {
+    fn drop(&mut self) {
+        // Handle table first (dropping transports wakes the sentinels to
+        // run their close hooks), then executor teardown — so worlds never
+        // leak fleet workers or park sentinels forever.
+        self.layer.quiesce();
     }
 }

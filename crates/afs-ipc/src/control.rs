@@ -20,11 +20,31 @@ use afs_sim::{clock, Cost, CostModel, SimTime};
 
 use crate::{IpcError, Result};
 
+/// Callback installed by a poll-driven consumer; invoked whenever the
+/// channel transitions to "something to observe" (a new message, or the
+/// last sender dropping). Fires on the *sender's* thread, so it must be
+/// cheap and must not block on the consumer.
+pub type ChannelWaker = Arc<dyn Fn() + Send + Sync>;
+
+#[derive(Default)]
+struct WakerCell(Option<ChannelWaker>);
+
+impl std::fmt::Debug for WakerCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "WakerCell(set)"
+        } else {
+            "WakerCell(unset)"
+        })
+    }
+}
+
 #[derive(Debug)]
 struct State<T> {
     queue: VecDeque<(T, SimTime)>,
     senders: usize,
     receivers: usize,
+    waker: WakerCell,
 }
 
 /// How sends are charged: over a kernel pipe (process strategies) or via
@@ -74,6 +94,7 @@ impl ControlChannel {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                waker: WakerCell(None),
             }),
             available: Condvar::new(),
         });
@@ -116,6 +137,11 @@ impl<T: Send> ControlSender<T> {
         }
         state.queue.push_back((msg, stamp));
         inner.available.notify_one();
+        let waker = state.waker.0.clone();
+        drop(state);
+        if let Some(wake) = waker {
+            wake();
+        }
         Ok(())
     }
 
@@ -132,8 +158,17 @@ impl<T> Drop for ControlSender<T> {
     fn drop(&mut self) {
         let mut state = self.inner.state.lock();
         state.senders -= 1;
-        if state.senders == 0 {
+        let waker = if state.senders == 0 {
             self.inner.available.notify_all();
+            state.waker.0.clone()
+        } else {
+            None
+        };
+        drop(state);
+        // Closure is an observable event too: a parked poll-driven
+        // consumer must wake to notice the channel died.
+        if let Some(wake) = waker {
+            wake();
         }
     }
 }
@@ -182,6 +217,46 @@ impl<T: Send> ControlReceiver<T> {
             return Err(IpcError::Closed);
         }
         Ok(None)
+    }
+
+    /// Non-blocking receive that charges exactly what [`recv`] would.
+    ///
+    /// The blocking `recv` pays one kernel syscall per call, whether the
+    /// message is already queued or arrives later; an empty poll in the
+    /// executor corresponds to the interval `recv` would have spent
+    /// blocked, which costs nothing. So: observing a message (or channel
+    /// closure) charges the syscall, `Ok(None)` charges nothing. This
+    /// keeps poll-driven sentinels bit-identical in virtual time to the
+    /// dedicated-thread dispatch loop.
+    ///
+    /// [`recv`]: ControlReceiver::recv
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Closed`] once all senders are gone and the queue is
+    /// drained.
+    pub fn poll_recv(&self) -> Result<Option<T>> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock();
+        if state.queue.is_empty() && state.senders > 0 {
+            return Ok(None);
+        }
+        if inner.kind == ChannelKind::Kernel {
+            inner.model.charge(Cost::Syscall);
+        }
+        match state.queue.pop_front() {
+            Some((msg, stamp)) => {
+                clock::sync_to(stamp);
+                Ok(Some(msg))
+            }
+            None => Err(IpcError::Closed),
+        }
+    }
+
+    /// Installs `waker`, invoked on every send and when the last sender
+    /// drops. Replaces any previously installed waker.
+    pub fn set_waker(&self, waker: ChannelWaker) {
+        self.inner.state.lock().waker.0 = Some(waker);
     }
 }
 
@@ -254,6 +329,43 @@ mod tests {
         assert_eq!(rx.recv().expect("recv"), 3);
         drop(tx2);
         assert_eq!(rx.recv(), Err(IpcError::Closed));
+    }
+
+    #[test]
+    fn waker_fires_on_send_and_on_last_sender_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tx, rx) = ControlChannel::new::<u8>(CostModel::free());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let observer = Arc::clone(&fired);
+        rx.set_waker(Arc::new(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        }));
+        tx.send(1).expect("send");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        let tx2 = tx.duplicate();
+        drop(tx);
+        // Not the last sender: no closure wakeup.
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        drop(tx2);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(rx.poll_recv().expect("queued"), Some(1));
+        assert_eq!(rx.poll_recv(), Err(IpcError::Closed));
+    }
+
+    #[test]
+    fn poll_recv_charges_like_recv_only_when_observing() {
+        use afs_sim::Cost;
+        let model = CostModel::new(HardwareProfile::pentium_ii_300());
+        let syscall = model.price(Cost::Syscall);
+        let (tx, rx) = ControlChannel::new::<u8>(model);
+        let _g = clock::install(0);
+        // Empty poll: `recv` would have blocked — nothing charged.
+        assert_eq!(rx.poll_recv().expect("empty"), None);
+        assert_eq!(clock::now(), 0);
+        tx.send(7).expect("send");
+        let before = clock::now();
+        assert_eq!(rx.poll_recv().expect("one"), Some(7));
+        assert_eq!(clock::now() - before, syscall);
     }
 
     #[test]

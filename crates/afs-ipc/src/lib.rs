@@ -43,10 +43,10 @@ pub mod shared_buf;
 pub mod sync;
 pub mod transport;
 
-pub use control::{ControlChannel, ControlReceiver, ControlSender};
+pub use control::{ChannelWaker, ControlChannel, ControlReceiver, ControlSender};
 pub use error::IpcError;
 pub use event::{Event, ResetMode};
-pub use mux::{Framed, MuxHub, MuxProtocol, MuxSession, STAGE_CAPACITY};
+pub use mux::{Framed, MuxHub, MuxProtocol, MuxSession, SentinelReaper, STAGE_CAPACITY};
 pub use pipe::{Pipe, PipeReader, PipeWriter};
 pub use pool::BufferPool;
 pub use shared_buf::SharedBuffer;

@@ -24,7 +24,6 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -118,10 +117,16 @@ where
     recv_ready: Condvar,
     next_session: AtomicU32,
     gauges: Option<Arc<SessionGauges>>,
-    /// The shared sentinel thread; the session that transmits the
-    /// terminal close joins it and folds its final virtual time in.
-    reaper: Mutex<Option<JoinHandle<SimTime>>>,
+    /// Reaps the shared sentinel — joining a dedicated thread or waiting
+    /// on an executor task's completion — and returns its final virtual
+    /// time; the session that transmits the terminal close runs it and
+    /// folds that time in.
+    reaper: Mutex<Option<SentinelReaper>>,
 }
+
+/// Deferred reap of whatever executes the shared sentinel: blocks until
+/// the sentinel has fully terminated and yields its final virtual time.
+pub type SentinelReaper = Box<dyn FnOnce() -> SimTime + Send>;
 
 impl<P, T> MuxHub<P, T>
 where
@@ -151,9 +156,9 @@ where
         })
     }
 
-    /// Registers the sentinel thread the terminal close will reap.
-    pub fn set_reaper(&self, join: JoinHandle<SimTime>) {
-        *self.reaper.lock() = Some(join);
+    /// Registers the reaper the terminal close will run.
+    pub fn set_reaper(&self, reaper: SentinelReaper) {
+        *self.reaper.lock() = Some(reaper);
     }
 
     /// Attaches a new session, or `None` once the hub has closed (the
@@ -195,13 +200,11 @@ where
         self.send.lock().closed
     }
 
-    /// Joins the sentinel thread and synchronises to its final virtual
+    /// Runs the reaper and synchronises to the sentinel's final virtual
     /// time, exactly like a private handle's reap on close.
     fn reap(&self) {
-        if let Some(join) = self.reaper.lock().take() {
-            if let Ok(final_time) = join.join() {
-                clock::sync_to(final_time);
-            }
+        if let Some(reaper) = self.reaper.lock().take() {
+            clock::sync_to(reaper());
         }
     }
 

@@ -309,6 +309,26 @@ impl<C: Send + 'static, R: Send + 'static> PairPort<C, R> {
         self.commands.try_recv()
     }
 
+    /// Non-blocking receive with `recv_cmd`-equivalent charging: the
+    /// kernel-syscall cost is paid when a command (or channel closure) is
+    /// observed, never for an empty poll. This is what a poll-driven
+    /// sentinel drains instead of blocking in `recv_cmd`.
+    ///
+    /// # Errors
+    ///
+    /// [`IpcError::Closed`] once the application side is gone.
+    pub fn poll_cmd(&self) -> Result<Option<C>> {
+        self.commands.poll_recv()
+    }
+
+    /// Installs a readiness waker on the command lane, invoked whenever a
+    /// new command arrives or the application side drops its last sender.
+    /// This is the hook the sentinel executor parks on: an idle sentinel
+    /// is scheduled only when its transport has something to observe.
+    pub fn set_wakeup(&self, waker: crate::ChannelWaker) {
+        self.commands.set_waker(waker);
+    }
+
     /// Sends a reply back to the application.
     pub fn send_reply(&self, reply: R) -> Result<()> {
         self.replies.send(reply)

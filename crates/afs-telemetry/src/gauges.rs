@@ -159,9 +159,173 @@ pub struct SessionSnapshot {
     pub flushed_batches: u64,
 }
 
+/// Live gauges for the sharded sentinel executor: how many sentinel
+/// state machines exist, how hard the bounded worker pool is working, and
+/// how often schedulers had to steal across shards or park.
+#[derive(Debug, Default)]
+pub struct FleetGauges {
+    sentinels: AtomicU64,
+    sentinels_peak: AtomicU64,
+    spawned: AtomicU64,
+    polls: AtomicU64,
+    steals: AtomicU64,
+    wakeups: AtomicU64,
+    parks: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    workers: AtomicU64,
+    shards: AtomicU64,
+    abandoned: AtomicU64,
+    pinned: AtomicU64,
+}
+
+impl FleetGauges {
+    /// Records a sentinel task registered with the executor; `live` is the
+    /// executor's live-task count afterwards.
+    pub fn task_spawned(&self, live: u64) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        self.sentinels.store(live, Ordering::Relaxed);
+        self.sentinels_peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Records a sentinel task retiring (clean close); `live` is the
+    /// executor's live-task count afterwards.
+    pub fn task_retired(&self, live: u64) {
+        self.sentinels.store(live, Ordering::Relaxed);
+    }
+
+    /// Records a sentinel abandoned at executor shutdown (its close hook
+    /// was still run, but no application side remained to reap it).
+    pub fn task_abandoned(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sentinel pinned to a dedicated thread instead of the
+    /// pool (spawned from inside another sentinel — §3 composition).
+    pub fn task_pinned(&self) {
+        self.pinned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one poll of a sentinel state machine by a worker.
+    pub fn poll(&self) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker popping a task from a shard other than its home
+    /// shard.
+    pub fn steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a transport readiness wakeup scheduling an idle sentinel.
+    pub fn wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker parking because every shard queue was empty.
+    pub fn park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the run-queue depth of one shard at enqueue time.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records the number of live worker threads (0 after shutdown).
+    pub fn set_workers(&self, workers: u64) {
+        self.workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Records the executor's shard count.
+    pub fn set_shards(&self, shards: u64) {
+        self.shards.store(shards, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            sentinels: self.sentinels.load(Ordering::Relaxed),
+            sentinels_peak: self.sentinels_peak.load(Ordering::Relaxed),
+            spawned: self.spawned.load(Ordering::Relaxed),
+            polls: self.polls.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            workers: self.workers.load(Ordering::Relaxed),
+            shards: self.shards.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            pinned: self.pinned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`FleetGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Sentinel state machines currently registered with the executor.
+    pub sentinels: u64,
+    /// High-water mark of live sentinels.
+    pub sentinels_peak: u64,
+    /// Total sentinels ever spawned onto the executor.
+    pub spawned: u64,
+    /// Total state-machine polls executed by workers.
+    pub polls: u64,
+    /// Polls served from a non-home shard (work stealing).
+    pub steals: u64,
+    /// Readiness wakeups that scheduled an idle sentinel.
+    pub wakeups: u64,
+    /// Times a worker parked with every shard queue empty.
+    pub parks: u64,
+    /// Deepest run queue any single shard has seen.
+    pub queue_depth_peak: u64,
+    /// Live worker threads (0 before first spawn and after shutdown).
+    pub workers: u64,
+    /// Number of shards (striping width).
+    pub shards: u64,
+    /// Sentinels whose close hook ran at executor shutdown because their
+    /// application side never closed them.
+    pub abandoned: u64,
+    /// Sentinels pinned to dedicated threads (spawned from inside another
+    /// sentinel — §3 composition — so they cannot starve the pool).
+    pub pinned: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_gauges_track_lifecycle_and_scheduling() {
+        let g = FleetGauges::default();
+        g.task_spawned(1);
+        g.task_spawned(2);
+        g.task_retired(1);
+        g.poll();
+        g.poll();
+        g.steal();
+        g.wakeup();
+        g.park();
+        g.note_queue_depth(4);
+        g.note_queue_depth(2);
+        g.set_workers(8);
+        g.set_shards(16);
+        g.task_abandoned();
+        g.task_pinned();
+        let s = g.snapshot();
+        assert_eq!(s.sentinels, 1);
+        assert_eq!(s.sentinels_peak, 2);
+        assert_eq!(s.spawned, 2);
+        assert_eq!(s.polls, 2);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.wakeups, 1);
+        assert_eq!(s.parks, 1);
+        assert_eq!(s.queue_depth_peak, 4);
+        assert_eq!(s.workers, 8);
+        assert_eq!(s.shards, 16);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.pinned, 1);
+    }
 
     #[test]
     fn session_gauges_track_attach_detach_and_batching() {

@@ -33,7 +33,9 @@ mod registry;
 mod span;
 
 pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
-pub use gauges::{GaugesSnapshot, QueueGauges, SessionGauges, SessionSnapshot};
+pub use gauges::{
+    FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges, SessionGauges, SessionSnapshot,
+};
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use registry::{Metric, MetricValue, MetricsRegistry};
 pub use span::{

@@ -22,7 +22,7 @@ use std::time::Instant;
 use afs_sim::clock;
 use parking_lot::Mutex;
 
-use crate::gauges::{QueueGauges, SessionGauges};
+use crate::gauges::{FleetGauges, QueueGauges, SessionGauges};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 
 /// Which layer of the interposition chain a span describes.
@@ -176,6 +176,7 @@ pub struct Telemetry {
     slow: Mutex<Vec<SlowOp>>,
     gauges: Arc<QueueGauges>,
     sessions: Arc<SessionGauges>,
+    fleet: Arc<FleetGauges>,
     strategy_hists: Mutex<StrategyHists>,
     sentinel_hists: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
 }
@@ -198,6 +199,7 @@ impl Telemetry {
             slow: Mutex::new(Vec::new()),
             gauges: Arc::new(QueueGauges::default()),
             sessions: Arc::new(SessionGauges::default()),
+            fleet: Arc::new(FleetGauges::default()),
             strategy_hists: Mutex::new(Vec::new()),
             sentinel_hists: Mutex::new(Vec::new()),
         })
@@ -367,6 +369,12 @@ impl Telemetry {
     /// Always live, like the queue gauges.
     pub fn sessions(&self) -> &Arc<SessionGauges> {
         &self.sessions
+    }
+
+    /// The sentinel-executor fleet gauges fed by the sharded scheduler.
+    /// Always live, like the queue gauges.
+    pub fn fleet(&self) -> &Arc<FleetGauges> {
+        &self.fleet
     }
 
     /// Finds or creates the latency histogram for one (strategy, op) pair.

@@ -100,6 +100,17 @@ impl<T> HandleTable<T> {
             .ok_or(Win32Error::InvalidHandle)
     }
 
+    /// Removes every open handle, returning the abandoned states so the
+    /// caller controls when they drop (world teardown closes all active
+    /// handles before shutting sentinels down).
+    pub fn drain(&self) -> Vec<Arc<T>> {
+        self.entries
+            .lock()
+            .drain()
+            .map(|(_, state)| state)
+            .collect()
+    }
+
     /// Number of open handles.
     pub fn len(&self) -> usize {
         self.entries.lock().len()
@@ -142,6 +153,17 @@ mod tests {
         let h = table.insert(1);
         table.remove(h).expect("first close");
         assert_eq!(table.remove(h), Err(Win32Error::InvalidHandle));
+    }
+
+    #[test]
+    fn drain_empties_the_table_and_returns_states() {
+        let table: HandleTable<u32> = HandleTable::new();
+        table.insert(1);
+        table.insert(2);
+        let states = table.drain();
+        assert_eq!(states.len(), 2);
+        assert!(table.is_empty());
+        assert_eq!(table.get(Handle(16)), Err(Win32Error::InvalidHandle));
     }
 
     #[test]

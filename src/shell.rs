@@ -356,6 +356,45 @@ impl Shell {
                 .expect("write to string");
                 Ok(out)
             }
+            "fleet" => {
+                let mut out = String::new();
+                let f = self.world.telemetry().fleet().snapshot();
+                writeln!(
+                    out,
+                    "workers={}/{} shards={} live_tasks={}",
+                    f.workers,
+                    self.world.fleet_workers(),
+                    f.shards,
+                    self.world.fleet_task_count()
+                )
+                .expect("write to string");
+                for stat in self.world.fleet_shards() {
+                    if stat.live > 0 || stat.queued > 0 {
+                        writeln!(
+                            out,
+                            "shard {:>2}  live={} queued={}",
+                            stat.shard, stat.live, stat.queued
+                        )
+                        .expect("write to string");
+                    }
+                }
+                writeln!(
+                    out,
+                    "spawned={} peak={} polls={} wakeups={} steals={} parks={} \
+                     queue_depth_peak={} pinned={} abandoned={}",
+                    f.spawned,
+                    f.sentinels_peak,
+                    f.polls,
+                    f.wakeups,
+                    f.steals,
+                    f.parks,
+                    f.queue_depth_peak,
+                    f.pinned,
+                    f.abandoned
+                )
+                .expect("write to string");
+                Ok(out)
+            }
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
             "demo" => {
@@ -671,6 +710,9 @@ commands:
                                        session counts, plus the session
                                        gauges (attaches, queue depth,
                                        coalesced writes, batch flushes)
+  fleet                                sentinel-executor status: worker
+                                       pool bound, per-shard occupancy,
+                                       poll/steal/park counters
   metrics [prometheus|json]            export the full metrics snapshot
   telemetry [on|off|slow <ns>]         toggle span/histogram recording or
                                        set the slow-op report threshold
@@ -713,6 +755,23 @@ mod tests {
         // afterwards — but the attach was counted.
         assert!(after.contains("attaches=1"), "{after}");
         assert!(after.contains("current=0"), "{after}");
+    }
+
+    #[test]
+    fn fleet_reports_executor_status() {
+        let mut sh = Shell::new();
+        let idle = sh.run("fleet").expect("fleet");
+        assert!(idle.contains("live_tasks=0"), "{idle}");
+        assert!(idle.contains("spawned=0"), "{idle}");
+        sh.run("install /loud.af uppercase thread memory")
+            .expect("install");
+        sh.run("append /loud.af abc").expect("append");
+        let after = sh.run("fleet").expect("fleet");
+        // Each shell command opens and closes, so the task retired — but
+        // its spawn and polls were counted.
+        assert!(after.contains("live_tasks=0"), "{after}");
+        assert!(!after.contains("spawned=0"), "{after}");
+        assert!(after.contains("workers="), "{after}");
     }
 
     #[test]
