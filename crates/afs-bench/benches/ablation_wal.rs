@@ -1,0 +1,98 @@
+//! Ablation: what durability costs.
+//!
+//! Three cells over the same 128-byte write workload through a null
+//! sentinel (DLL-only, disk backing): the plain non-durable disk cache,
+//! the WAL-backed store at `sync=commit` (one group-committed batch and
+//! fsync barrier per sample), and the recovery cell — cold reopen + redo
+//! replay of a 32-commit WAL. Criterion plots wall time;
+//! the virtual-time per-commit p50/p99 and WAL/fsync counters — the
+//! numbers the gate tracks — are printed once per cell on stderr.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afs_bench::{measure, measure_store, measure_store_recovery, Direction, PathKind, STORE_BLOCK};
+use afs_core::Strategy;
+use afs_sim::HardwareProfile;
+
+const OPS: usize = 128;
+const RECOVERY_COMMITS: usize = 32;
+const RECOVERY_REOPENS: usize = 4;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_wal");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1200));
+
+    // Untimed reference runs surface the virtual-time story.
+    let plain = measure(
+        PathKind::Disk,
+        Strategy::DllOnly,
+        Direction::Write,
+        STORE_BLOCK,
+        OPS,
+        HardwareProfile::pentium_ii_300(),
+    );
+    let plain_summary = plain.series.summarize();
+    eprintln!(
+        "ablation_wal: plain disk write p50 {} ns, p99 {} ns",
+        plain_summary.p50_ns, plain_summary.p99_ns
+    );
+    let durable = measure_store(OPS, HardwareProfile::pentium_ii_300());
+    eprintln!(
+        "ablation_wal: durable commit p50 {} ns, p99 {} ns \
+         ({} WAL appends, {} bytes, {} fsyncs, {} commits)",
+        durable.summary.p50_ns,
+        durable.summary.p99_ns,
+        durable.store.wal_appends,
+        durable.store.wal_bytes,
+        durable.store.fsyncs,
+        durable.store.commits
+    );
+    let recovery = measure_store_recovery(
+        RECOVERY_COMMITS,
+        RECOVERY_REOPENS,
+        HardwareProfile::pentium_ii_300(),
+    );
+    eprintln!(
+        "ablation_wal: recovery of {} commits p50 {} ns ({} records replayed)",
+        RECOVERY_COMMITS, recovery.summary.p50_ns, recovery.store.recovered_records
+    );
+
+    group.bench_function(BenchmarkId::from_parameter("plain-disk"), |b| {
+        b.iter(|| {
+            measure(
+                PathKind::Disk,
+                Strategy::DllOnly,
+                Direction::Write,
+                STORE_BLOCK,
+                OPS,
+                HardwareProfile::pentium_ii_300(),
+            )
+            .series
+            .summarize()
+            .p99_ns
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("wal-commit"), |b| {
+        b.iter(|| {
+            measure_store(OPS, HardwareProfile::pentium_ii_300())
+                .summary
+                .p99_ns
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("recovery"), |b| {
+        b.iter(|| {
+            measure_store_recovery(
+                RECOVERY_COMMITS,
+                RECOVERY_REOPENS,
+                HardwareProfile::pentium_ii_300(),
+            )
+            .summary
+            .p99_ns
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

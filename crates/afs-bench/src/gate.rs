@@ -56,6 +56,16 @@ pub struct BenchDoc {
 /// where one slow cell does not slow every CI run.)
 pub const GATE_MUX_CLIENTS: [usize; 2] = [1, 8];
 
+/// Committed WAL batches behind the `store-recovery` cell: enough that
+/// redo replay dominates the reopen, small enough to keep CI quick.
+pub const STORE_RECOVERY_COMMITS: usize = 32;
+
+/// Cold reopens sampled by the `store-recovery` cell. Every reopen
+/// replays the same WAL under a fresh virtual clock, so the summary is
+/// identical for any count ≥ 1; a handful guards against accidental
+/// statefulness.
+pub const STORE_RECOVERY_REOPENS: usize = 8;
+
 /// Concurrent files in the gated fleet cell. Release builds gate the
 /// headline ten-thousand-file point; debug builds (the in-repo test
 /// suite) scale down to one thousand so `cargo test` stays quick — the
@@ -75,7 +85,11 @@ pub fn gate_fleet_files() -> usize {
 /// and the two executor cells — `fleet-Nk` (one read across
 /// [`gate_fleet_files`] concurrently-open files) and `fleet-1-parity`
 /// (one file, `ops` reads, a one-worker pool: the single-sentinel number
-/// the refactor must not move) — and renders the result as JSON.
+/// the refactor must not move) — plus the two durable-store cells:
+/// `store-durable` (per-committed-write latency through a WAL-backed
+/// null sentinel, [`crate::measure_store`]) and `store-recovery` (cold
+/// reopen + redo replay, [`crate::measure_store_recovery`]) — and
+/// renders the result as JSON.
 pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
     const BLOCK: usize = 128;
     let mut entries: Vec<(String, f64, u64, u64)> = Vec::new();
@@ -126,6 +140,26 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             p.summary.mean_ns as f64,
             p.summary.p50_ns,
             p.summary.p99_ns,
+        ));
+    }
+    {
+        let d = crate::measure_store(ops, profile.clone());
+        entries.push((
+            "store-durable".to_owned(),
+            d.summary.mean_ns as f64,
+            d.summary.p50_ns,
+            d.summary.p99_ns,
+        ));
+        let r = crate::measure_store_recovery(
+            STORE_RECOVERY_COMMITS,
+            STORE_RECOVERY_REOPENS,
+            profile.clone(),
+        );
+        entries.push((
+            "store-recovery".to_owned(),
+            r.summary.mean_ns as f64,
+            r.summary.p50_ns,
+            r.summary.p99_ns,
         ));
     }
     let mut out = String::new();
@@ -445,8 +479,9 @@ mod tests {
         assert_eq!(parsed.ops, 20);
         assert_eq!(
             parsed.strategies.len(),
-            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2,
-            "four strategies, shared/private per gated client count, two fleet cells"
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 2,
+            "four strategies, shared/private per gated client count, two fleet cells, \
+             two store cells"
         );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
@@ -464,6 +499,11 @@ mod tests {
         for label in [fleet_label.as_str(), "fleet-1-parity"] {
             let s = parsed.strategies.get(label).expect("fleet cell");
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+        }
+        for label in ["store-durable", "store-recovery"] {
+            let s = parsed.strategies.get(label).expect("store cell");
+            assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+            assert!(s.mean_ns > 0.0, "durability must cost virtual time");
         }
     }
 

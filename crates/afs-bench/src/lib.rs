@@ -618,6 +618,113 @@ pub fn render_fleet_panel(profile: &HardwareProfile, workers: Option<usize>) -> 
     out
 }
 
+/// Block size of the durable-store cells.
+pub const STORE_BLOCK: usize = 128;
+
+/// One measured durable-store cell: per-commit (or per-recovery) virtual
+/// latencies plus the store gauges after the run.
+#[derive(Debug, Clone)]
+pub struct StoreMeasurement {
+    /// Per-sample virtual latencies.
+    pub summary: afs_sim::Summary,
+    /// WAL/fsync/checkpoint counters accumulated over the run.
+    pub store: afs_telemetry::StoreSnapshot,
+}
+
+fn durable_null_spec() -> SentinelSpec {
+    SentinelSpec::new("null", Strategy::DllOnly)
+        .backing(Backing::Disk)
+        .with("durable", "on")
+        .with("sync", "commit")
+        .with("checkpoint_pages", "0")
+}
+
+/// The `store-durable` cell: `ops` committed 128-byte writes through a
+/// WAL-backed null sentinel (DLL-only, disk backing, `sync=commit`).
+/// Every sample is one write + one flush, i.e. one group-committed WAL
+/// batch with its fsync barrier — the §4 cost model charging durability
+/// honestly.
+pub fn measure_store(ops: usize, profile: HardwareProfile) -> StoreMeasurement {
+    let world = AfsWorld::builder().profile(profile).build();
+    let file = "/store.af";
+    world
+        .install_active_file(file, &durable_null_spec())
+        .expect("install durable file");
+    let _guard = clock::install(0);
+    let api = world.api();
+    let h = api
+        .create_file(file, Access::read_write(), Disposition::OpenExisting)
+        .expect("open durable file");
+    let mut series = Series::with_capacity(ops);
+    let buf = vec![0xA5u8; STORE_BLOCK];
+    for _ in 0..ops {
+        let start = clock::now();
+        let n = api.write_file(h, &buf).expect("durable write");
+        assert_eq!(n, STORE_BLOCK);
+        api.flush_file_buffers(h).expect("commit");
+        series.push(clock::now() - start);
+    }
+    api.close_handle(h).expect("close");
+    StoreMeasurement {
+        summary: series.summarize(),
+        store: world.telemetry().store().snapshot(),
+    }
+}
+
+/// The `store-recovery` cell: virtual time to reopen a durable active
+/// file whose WAL holds `commits` committed batches — spec decode,
+/// sentinel instantiation, WAL scan, and redo replay, measured over
+/// `reopens` cold opens of fresh worlds sharing the surviving disk.
+pub fn measure_store_recovery(
+    commits: usize,
+    reopens: usize,
+    profile: HardwareProfile,
+) -> StoreMeasurement {
+    let vfs = Arc::new(afs_vfs::Vfs::new());
+    let file = "/recover.af";
+    {
+        let world = AfsWorld::builder()
+            .profile(profile.clone())
+            .vfs(Arc::clone(&vfs))
+            .build();
+        world
+            .install_active_file(file, &durable_null_spec())
+            .expect("install durable file");
+        let _guard = clock::install(0);
+        let api = world.api();
+        let h = api
+            .create_file(file, Access::read_write(), Disposition::OpenExisting)
+            .expect("open durable file");
+        let buf = vec![0x5Au8; STORE_BLOCK];
+        for _ in 0..commits {
+            api.write_file(h, &buf).expect("durable write");
+            api.flush_file_buffers(h).expect("commit");
+        }
+        api.close_handle(h).expect("close");
+    }
+    let mut series = Series::with_capacity(reopens);
+    let mut store = afs_telemetry::StoreSnapshot::default();
+    for _ in 0..reopens {
+        let world = AfsWorld::builder()
+            .profile(profile.clone())
+            .vfs(Arc::clone(&vfs))
+            .build();
+        let _guard = clock::install(0);
+        let api = world.api();
+        let start = clock::now();
+        let h = api
+            .create_file(file, Access::read_only(), Disposition::OpenExisting)
+            .expect("reopen durable file");
+        series.push(clock::now() - start);
+        api.close_handle(h).expect("close");
+        store = world.telemetry().store().snapshot();
+    }
+    StoreMeasurement {
+        summary: series.summarize(),
+        store,
+    }
+}
+
 /// A full panel: mean µs per (strategy, block size), plus the baseline
 /// row.
 #[derive(Debug, Clone)]

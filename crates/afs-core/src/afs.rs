@@ -217,6 +217,13 @@ impl ActiveFileSystem {
         access: Access,
         disposition: Disposition,
     ) -> ApiResult<Handle> {
+        // A spec smuggled past `install_active_file` (written straight
+        // into the `:active` stream) is validated again here: unknown
+        // keys for a declaring sentinel fail the open.
+        if let Err(e) = self.registry.validate_spec(&spec) {
+            eprintln!("afs: refusing to open {}: {e}", vpath.file_path());
+            return Err(Win32Error::InvalidParameter);
+        }
         // Access control: opening is "predicated upon access to the
         // passive file components" (§2.3).
         let meta = self.vfs.stat(&vpath.file_path())?;
@@ -241,6 +248,21 @@ impl ActiveFileSystem {
                 // Directory-level dispositions act on the passive data
                 // part; the active part is untouched.
                 self.vfs.write_stream_replace(&vpath.file_path(), &[])?;
+                // A truncating open of a durable file also resets the
+                // store streams — otherwise recovery would resurrect the
+                // truncated-away state.
+                if matches!(
+                    spec.config().get("durable").map(String::as_str),
+                    Some("on") | Some("true") | Some("1")
+                ) {
+                    let file = vpath.file_path();
+                    let _ = self
+                        .vfs
+                        .delete_stream(&file.with_stream(afs_store::PAGES_STREAM));
+                    let _ = self
+                        .vfs
+                        .delete_stream(&file.with_stream(afs_store::WAL_STREAM));
+                }
             }
             Disposition::OpenExisting | Disposition::OpenAlways => {}
         }
@@ -276,7 +298,9 @@ impl ActiveFileSystem {
             self.net.clone(),
             self.sync.clone(),
             self.model.clone(),
-        );
+            Arc::clone(self.telemetry.store()),
+        )
+        .map_err(|e| strategy::to_win32(&e))?;
         // Sentinels see the intercepted API (this layer), so they can
         // open other active files — §3 composition. Clones share the
         // handle table, so handles interoperate. The clone is marked

@@ -2,26 +2,44 @@
 //!
 //! "The data file associated with an active file acts as a local cache"
 //! (§2.2). A [`CacheStore`] gives sentinel logic positioned read/write
-//! over whichever backing the spec selects, and charges the cost model for
-//! the medium:
+//! over whichever backing the spec selects, dispatching through the
+//! [`StoreBackend`] trait so the paths are interchangeable:
 //!
-//! * [`Backing::Disk`] — the data part of the active file, charged one
-//!   disk access plus per-byte transfer (the simulated VFS is
-//!   memory-resident, so the disk's cost lives here, at the point where
-//!   the prototype's NTFS file would really be hit);
-//! * [`Backing::Memory`] — a buffer inside the sentinel, charged a
-//!   user-level memcpy;
+//! * [`Backing::Disk`] — the data part of the active file
+//!   ([`afs_store::VfsBackend`]), charged one disk access plus per-byte
+//!   transfer (the simulated VFS is memory-resident, so the disk's cost
+//!   lives here, at the point where the prototype's NTFS file would
+//!   really be hit);
+//! * [`Backing::Memory`] — a buffer inside the sentinel
+//!   ([`afs_store::MemBackend`]), charged a user-level memcpy;
+//! * `durable=on` — a WAL-backed page store over the file's
+//!   `store.pages`/`store.wal` streams ([`afs_store::DurableBackend`]):
+//!   memory-speed reads, group-committed writes, crash-exact recovery;
 //! * [`Backing::None`] — no cache: every access is a sentinel-logic
 //!   decision (usually a remote call), and cache operations fail.
 
 use std::sync::Arc;
 
-use afs_sim::{Cost, CostModel};
-use afs_telemetry::backend_span;
+use afs_sim::CostModel;
+use afs_store::{
+    BackendKind, CheckpointReport, DurableBackend, MemBackend, RecoveryReport, StoreBackend,
+    StoreError, StoreOptions, StoreStats, SyncMode, VfsBackend,
+};
+use afs_telemetry::{backend_span, StoreGauges};
 use afs_vfs::{VPath, Vfs};
 
 use crate::logic::{SentinelError, SentinelResult};
 use crate::spec::Backing;
+
+impl From<StoreError> for SentinelError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::InvalidParameter => SentinelError::InvalidParameter,
+            StoreError::Io(msg) => SentinelError::Vfs(msg),
+            StoreError::Corrupt(msg) => SentinelError::Other(format!("store corrupt: {msg}")),
+        }
+    }
+}
 
 /// Largest byte range a cache may address: Rust allocations are capped at
 /// `isize::MAX` bytes, so anything beyond can never be backed.
@@ -44,22 +62,9 @@ fn range_end(offset: u64, len: usize) -> SentinelResult<usize> {
 pub enum CacheStore {
     /// No cache (Figure 5, path 1).
     None,
-    /// In-memory cache (path 3).
-    Memory {
-        /// The cached bytes.
-        data: Vec<u8>,
-        /// Model charged per access.
-        model: CostModel,
-    },
-    /// On-disk cache in the active file's data part (path 2).
-    Disk {
-        /// The file system holding the data part.
-        vfs: Arc<Vfs>,
-        /// Path of the data part (default stream).
-        path: VPath,
-        /// Model charged per access.
-        model: CostModel,
-    },
+    /// A cache dispatching through a [`StoreBackend`] (memory, disk, or
+    /// the durable page store).
+    Backed(Box<dyn StoreBackend>),
 }
 
 impl CacheStore {
@@ -72,15 +77,40 @@ impl CacheStore {
                 // pre-populated active file reads the same under every
                 // backing.
                 let data = vfs.read_stream_to_end(&path).unwrap_or_default();
-                CacheStore::Memory { data, model }
+                CacheStore::Backed(Box::new(MemBackend::new(data, model)))
             }
-            Backing::Disk => CacheStore::Disk { vfs, path, model },
+            Backing::Disk => CacheStore::Backed(Box::new(VfsBackend::new(vfs, path, model))),
         }
+    }
+
+    /// Builds the durable WAL-backed store (`durable=on`), recovering any
+    /// committed state from the file's `store.pages`/`store.wal` streams.
+    ///
+    /// # Errors
+    ///
+    /// Store open/recovery errors.
+    pub(crate) fn new_durable(
+        vfs: Arc<Vfs>,
+        path: &VPath,
+        model: CostModel,
+        opts: StoreOptions,
+        gauges: Arc<StoreGauges>,
+    ) -> SentinelResult<(Self, RecoveryReport)> {
+        let (backend, report) = DurableBackend::open(vfs, path, opts, model, gauges)?;
+        Ok((CacheStore::Backed(Box::new(backend)), report))
     }
 
     /// `true` if a cache exists.
     pub fn is_present(&self) -> bool {
         !matches!(self, CacheStore::None)
+    }
+
+    /// Which backing this cache runs on, if any.
+    pub fn kind(&self) -> Option<BackendKind> {
+        match self {
+            CacheStore::None => None,
+            CacheStore::Backed(b) => Some(b.kind()),
+        }
     }
 
     /// Reads at `offset` into `buf`, returning bytes read (0 at end).
@@ -92,20 +122,7 @@ impl CacheStore {
         let _bk = backend_span("cache-read");
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
-            CacheStore::Memory { data, model } => {
-                let start = (offset as usize).min(data.len());
-                let n = buf.len().min(data.len() - start);
-                buf[..n].copy_from_slice(&data[start..start + n]);
-                model.charge(Cost::Memcpy { bytes: n });
-                Ok(n)
-            }
-            CacheStore::Disk { vfs, path, model } => {
-                model.charge(Cost::Syscall);
-                model.charge(Cost::DiskAccess);
-                let n = vfs.read_stream(path, offset, buf)?;
-                model.charge(Cost::DiskReadBytes { bytes: n });
-                Ok(n)
-            }
+            CacheStore::Backed(b) => Ok(b.read_at(offset, buf)?),
         }
     }
 
@@ -119,23 +136,10 @@ impl CacheStore {
     /// cannot be represented (a huge offset reachable via `seek`).
     pub fn write_at(&mut self, offset: u64, data: &[u8]) -> SentinelResult<usize> {
         let _bk = backend_span("cache-write");
-        let end = range_end(offset, data.len())?;
+        let _end = range_end(offset, data.len())?;
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
-            CacheStore::Memory { data: buf, model } => {
-                if buf.len() < end {
-                    buf.resize(end, 0);
-                }
-                buf[offset as usize..end].copy_from_slice(data);
-                model.charge(Cost::Memcpy { bytes: data.len() });
-                Ok(data.len())
-            }
-            CacheStore::Disk { vfs, path, model } => {
-                model.charge(Cost::Syscall);
-                let n = vfs.write_stream(path, offset, data)?;
-                model.charge(Cost::DiskWriteBytes { bytes: n });
-                Ok(n)
-            }
+            CacheStore::Backed(b) => Ok(b.write_at(offset, data)?),
         }
     }
 
@@ -147,8 +151,7 @@ impl CacheStore {
     pub fn len(&self) -> SentinelResult<u64> {
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
-            CacheStore::Memory { data, .. } => Ok(data.len() as u64),
-            CacheStore::Disk { vfs, path, .. } => Ok(vfs.stream_len(path)?),
+            CacheStore::Backed(b) => Ok(b.len()?),
         }
     }
 
@@ -167,16 +170,7 @@ impl CacheStore {
     pub fn set_len(&mut self, len: u64) -> SentinelResult<()> {
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
-            CacheStore::Memory { data, .. } => {
-                let len = range_end(len, 0)?;
-                data.resize(len, 0);
-                Ok(())
-            }
-            CacheStore::Disk { vfs, path, model } => {
-                model.charge(Cost::Syscall);
-                vfs.set_stream_len(path, len)?;
-                Ok(())
-            }
+            CacheStore::Backed(b) => Ok(b.set_len(len)?),
         }
     }
 
@@ -189,22 +183,7 @@ impl CacheStore {
         let _bk = backend_span("cache-replace");
         match self {
             CacheStore::None => Err(SentinelError::NoCache),
-            CacheStore::Memory { data, model } => {
-                data.clear();
-                data.extend_from_slice(contents);
-                model.charge(Cost::Memcpy {
-                    bytes: contents.len(),
-                });
-                Ok(())
-            }
-            CacheStore::Disk { vfs, path, model } => {
-                model.charge(Cost::Syscall);
-                vfs.write_stream_replace(path, contents)?;
-                model.charge(Cost::DiskWriteBytes {
-                    bytes: contents.len(),
-                });
-                Ok(())
-            }
+            CacheStore::Backed(b) => Ok(b.replace(contents)?),
         }
     }
 
@@ -221,12 +200,61 @@ impl CacheStore {
         Ok(out)
     }
 
+    /// Commits buffered state to the durable medium (a WAL group commit);
+    /// a no-op for non-durable backings.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] when the backing is [`Backing::None`];
+    /// medium errors.
+    pub fn flush(&mut self) -> SentinelResult<()> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Backed(b) => Ok(b.flush()?),
+        }
+    }
+
+    /// Checkpoints the durable store.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::NoCache`] without a cache;
+    /// [`SentinelError::Unsupported`] for non-durable backings; medium
+    /// errors.
+    pub fn checkpoint(&mut self) -> SentinelResult<CheckpointReport> {
+        match self {
+            CacheStore::None => Err(SentinelError::NoCache),
+            CacheStore::Backed(b) => match b.checkpoint() {
+                None => Err(SentinelError::Unsupported),
+                Some(r) => Ok(r?),
+            },
+        }
+    }
+
+    /// Durable-store counters, when the backing has them.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        match self {
+            CacheStore::None => None,
+            CacheStore::Backed(b) => b.store_stats(),
+        }
+    }
+
+    /// Switches the durable store's sync mode; `false` when the backing
+    /// has none.
+    pub fn set_sync_mode(&mut self, sync: SyncMode) -> bool {
+        match self {
+            CacheStore::None => false,
+            CacheStore::Backed(b) => b.set_sync_mode(sync),
+        }
+    }
+
     /// On close, memory caches are written back to the data part so the
     /// cached state persists across opens ("writing it to the data part",
-    /// §2.2). Disk caches are already the data part; `None` does nothing.
+    /// §2.2); the durable store commits and mirrors. Disk caches are
+    /// already the data part; `None` does nothing.
     pub(crate) fn persist(&mut self, vfs: &Vfs, path: &VPath) {
-        if let CacheStore::Memory { data, .. } = self {
-            let _ = vfs.write_stream_replace(path, data);
+        if let CacheStore::Backed(b) = self {
+            b.persist(vfs, path);
         }
     }
 }
@@ -251,6 +279,7 @@ mod tests {
         let path = VPath::parse("/f").expect("path");
         let mut store = CacheStore::new(Backing::None, vfs, path, CostModel::free());
         assert!(!store.is_present());
+        assert_eq!(store.kind(), None);
         let mut buf = [0u8; 4];
         assert_eq!(store.read_at(0, &mut buf), Err(SentinelError::NoCache));
         assert_eq!(store.write_at(0, b"x"), Err(SentinelError::NoCache));
@@ -262,6 +291,7 @@ mod tests {
         let vfs = Arc::new(Vfs::new());
         let path = VPath::parse("/f").expect("path");
         let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        assert_eq!(store.kind(), Some(BackendKind::Memory));
         store.write_at(2, b"xy").expect("write");
         assert_eq!(store.len().expect("len"), 4);
         let mut buf = [0u8; 4];
@@ -282,6 +312,7 @@ mod tests {
     #[test]
     fn disk_store_hits_the_data_part_and_charges_disk() {
         let (vfs, mut store, model) = disk_store();
+        assert_eq!(store.kind(), Some(BackendKind::Disk));
         store.write_at(0, b"persisted").expect("write");
         assert_eq!(
             vfs.read_stream_to_end(&VPath::parse("/f.af").expect("p"))
@@ -368,5 +399,51 @@ mod tests {
         store.replace(b"new").expect("replace");
         assert_eq!(store.to_vec().expect("read"), b"new");
         assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn durable_store_survives_reopen_and_checkpoints() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/d.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        let opts = StoreOptions {
+            checkpoint_pages: 0,
+            ..StoreOptions::default()
+        };
+        let gauges = Arc::new(StoreGauges::default());
+        let (mut store, report) = CacheStore::new_durable(
+            Arc::clone(&vfs),
+            &path,
+            CostModel::free(),
+            opts,
+            Arc::clone(&gauges),
+        )
+        .expect("open");
+        assert!(report.fresh);
+        assert_eq!(store.kind(), Some(BackendKind::Durable));
+        store.write_at(0, b"durable").expect("write");
+        store.flush().expect("commit");
+        let stats = store.store_stats().expect("stats");
+        assert_eq!(stats.commits, 1);
+        let cp = store.checkpoint().expect("checkpoint");
+        assert!(cp.pages_written >= 1);
+        drop(store); // crash
+        let (mut store2, report2) =
+            CacheStore::new_durable(Arc::clone(&vfs), &path, CostModel::free(), opts, gauges)
+                .expect("reopen");
+        assert!(!report2.fresh);
+        assert_eq!(store2.to_vec().expect("read"), b"durable");
+        assert!(store2.set_sync_mode(SyncMode::Always));
+    }
+
+    #[test]
+    fn non_durable_backings_reject_checkpoint() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/f").expect("path");
+        let mut store = CacheStore::new(Backing::Memory, vfs, path, CostModel::free());
+        assert_eq!(store.checkpoint(), Err(SentinelError::Unsupported));
+        assert!(store.store_stats().is_none());
+        assert!(!store.set_sync_mode(SyncMode::Off));
+        assert!(store.flush().is_ok(), "flush is a no-op, not an error");
     }
 }

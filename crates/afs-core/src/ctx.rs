@@ -13,6 +13,8 @@ use afs_ipc::{NamedSemaphore, SyncRegistry};
 use afs_net::{BreakerConfig, Network, ReliabilityPolicy, RetryPolicy};
 use afs_remote::{DbClient, FileClient, MailClient, QuoteClient, RegistryClient};
 use afs_sim::CostModel;
+use afs_store::{StoreOptions, SyncMode};
+use afs_telemetry::StoreGauges;
 use afs_vfs::{VPath, Vfs};
 use afs_winapi::FileApi;
 
@@ -85,6 +87,50 @@ fn reliability_policy(config: &BTreeMap<String, String>) -> Option<ReliabilityPo
     })
 }
 
+/// Parses the spec's durability keys into [`StoreOptions`], or `None`
+/// when `durable` is absent/off.
+///
+/// * `durable` — `on`/`true`/`1` selects the WAL-backed page store,
+/// * `sync` — `always`/`commit`/`off` durability mode,
+/// * `checkpoint_pages` — auto-checkpoint threshold in pages (0 disables),
+/// * `page_size` — checkpoint granularity in bytes (must be non-zero).
+///
+/// # Errors
+///
+/// [`SentinelError::InvalidParameter`] for unparsable values — a typo'd
+/// sync mode must fail the open, not silently run non-durable.
+fn durable_store_options(
+    config: &BTreeMap<String, String>,
+) -> SentinelResult<Option<StoreOptions>> {
+    let on = matches!(
+        config.get("durable").map(String::as_str),
+        Some("on") | Some("true") | Some("1")
+    );
+    if !on {
+        if let Some(v) = config.get("durable") {
+            if !matches!(v.as_str(), "off" | "false" | "0") {
+                return Err(SentinelError::InvalidParameter);
+            }
+        }
+        return Ok(None);
+    }
+    let mut opts = StoreOptions::default();
+    if let Some(s) = config.get("sync") {
+        opts.sync = SyncMode::parse(s).ok_or(SentinelError::InvalidParameter)?;
+    }
+    if let Some(n) = config.get("checkpoint_pages") {
+        opts.checkpoint_pages = n.parse().map_err(|_| SentinelError::InvalidParameter)?;
+    }
+    if let Some(n) = config.get("page_size") {
+        opts.page_size = n
+            .parse()
+            .ok()
+            .filter(|&p: &u32| p > 0)
+            .ok_or(SentinelError::InvalidParameter)?;
+    }
+    Ok(Some(opts))
+}
+
 impl std::fmt::Debug for SentinelCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SentinelCtx")
@@ -96,6 +142,7 @@ impl std::fmt::Debug for SentinelCtx {
 }
 
 impl SentinelCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         path: VPath,
         user: String,
@@ -104,13 +151,31 @@ impl SentinelCtx {
         net: Network,
         sync: SyncRegistry,
         model: CostModel,
-    ) -> Self {
-        let cache = CacheStore::new(
-            spec.backing_kind(),
-            Arc::clone(&vfs),
-            path.file_path(),
-            model.clone(),
-        );
+        store_gauges: Arc<StoreGauges>,
+    ) -> SentinelResult<Self> {
+        let cache = match durable_store_options(spec.config())? {
+            Some(opts) => {
+                // `durable=on` needs *some* cache to make durable; a
+                // no-cache spec asking for durability is a contradiction.
+                if spec.backing_kind() == crate::spec::Backing::None {
+                    return Err(SentinelError::InvalidParameter);
+                }
+                CacheStore::new_durable(
+                    Arc::clone(&vfs),
+                    &path.file_path(),
+                    model.clone(),
+                    opts,
+                    store_gauges,
+                )?
+                .0
+            }
+            None => CacheStore::new(
+                spec.backing_kind(),
+                Arc::clone(&vfs),
+                path.file_path(),
+                model.clone(),
+            ),
+        };
         // A spec asking for retry/replicas/breaker gets a policy-carrying
         // network clone, so every typed client this context hands out runs
         // the recovery loop transparently.
@@ -122,7 +187,7 @@ impl SentinelCtx {
             spec.config().get("degraded").map(String::as_str),
             Some("true") | Some("1")
         );
-        SentinelCtx {
+        Ok(SentinelCtx {
             path,
             user,
             config: spec.config().clone(),
@@ -135,7 +200,7 @@ impl SentinelCtx {
             degraded,
             stale: false,
             write_queue: Vec::new(),
-        }
+        })
     }
 
     pub(crate) fn set_api(&mut self, api: Arc<dyn FileApi>) {
@@ -324,7 +389,9 @@ mod tests {
             Network::new(CostModel::free()),
             SyncRegistry::new(),
             CostModel::free(),
+            Arc::new(StoreGauges::default()),
         )
+        .expect("ctx")
     }
 
     #[test]
@@ -344,10 +411,66 @@ mod tests {
 
     #[test]
     fn cache_matches_backing() {
+        use afs_store::BackendKind;
         let c = ctx(SentinelSpec::new("x", Strategy::DllOnly).backing(Backing::Memory));
-        assert!(matches!(c.cache, CacheStore::Memory { .. }));
+        assert_eq!(c.cache.kind(), Some(BackendKind::Memory));
         let c = ctx(SentinelSpec::new("x", Strategy::DllOnly));
-        assert!(matches!(c.cache, CacheStore::None));
+        assert_eq!(c.cache.kind(), None);
+        let c = ctx(SentinelSpec::new("x", Strategy::DllOnly)
+            .backing(Backing::Memory)
+            .with("durable", "on"));
+        assert_eq!(c.cache.kind(), Some(BackendKind::Durable));
+    }
+
+    #[test]
+    fn durable_spec_keys_are_validated() {
+        let vfs = Arc::new(Vfs::new());
+        let path = VPath::parse("/t.af").expect("path");
+        vfs.create_file(&path).expect("create");
+        let build = |spec: SentinelSpec| {
+            SentinelCtx::new(
+                path.clone(),
+                "tester".to_owned(),
+                &spec,
+                Arc::clone(&vfs),
+                Network::new(CostModel::free()),
+                SyncRegistry::new(),
+                CostModel::free(),
+                Arc::new(StoreGauges::default()),
+            )
+        };
+        // A typo'd sync mode fails loudly, not silently non-durable.
+        let bad_sync = SentinelSpec::new("x", Strategy::DllOnly)
+            .backing(Backing::Memory)
+            .with("durable", "on")
+            .with("sync", "sometimes");
+        assert!(matches!(
+            build(bad_sync).err(),
+            Some(SentinelError::InvalidParameter)
+        ));
+        // durable with no cache at all is a contradiction.
+        let no_cache = SentinelSpec::new("x", Strategy::DllOnly).with("durable", "on");
+        assert!(matches!(
+            build(no_cache).err(),
+            Some(SentinelError::InvalidParameter)
+        ));
+        // A garbage durable value is neither on nor off.
+        let garbage = SentinelSpec::new("x", Strategy::DllOnly)
+            .backing(Backing::Memory)
+            .with("durable", "maybe");
+        assert!(matches!(
+            build(garbage).err(),
+            Some(SentinelError::InvalidParameter)
+        ));
+        // Zero page size can never checkpoint.
+        let zero_page = SentinelSpec::new("x", Strategy::DllOnly)
+            .backing(Backing::Memory)
+            .with("durable", "on")
+            .with("page_size", "0");
+        assert!(matches!(
+            build(zero_page).err(),
+            Some(SentinelError::InvalidParameter)
+        ));
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Central validation of the runtime's environment knobs.
+//!
+//! Two knobs steer every world: `AFS_TEST_SEED` (the deterministic seed
+//! CI sweeps) and `AFS_FLEET_WORKERS` (the executor's worker-pool bound).
+//! Before this module they were parsed ad hoc with silent fallbacks — a
+//! CI job exporting `AFS_TEST_SEED=0x21` or `AFS_FLEET_WORKERS=0` ran
+//! quietly with a *different* configuration than it asked for. Malformed
+//! values are now clamped to a documented default **and reported loudly
+//! on stderr at startup**, so a typo'd matrix entry is visible in the
+//! job log instead of silently sweeping one seed eight times.
+//!
+//! The policy is clamp-and-warn rather than abort: a world must still
+//! come up under a hostile environment (tests run with arbitrary inherited
+//! env), but never silently.
+
+use std::fmt;
+
+/// The seed used when `AFS_TEST_SEED` is unset or malformed.
+pub const DEFAULT_SEED: u64 = 0xAF5_0001;
+
+/// Environment variable naming the deterministic world seed.
+pub const ENV_TEST_SEED: &str = "AFS_TEST_SEED";
+
+/// Environment variable bounding the fleet executor's worker pool.
+pub const ENV_FLEET_WORKERS: &str = "AFS_FLEET_WORKERS";
+
+/// The outcome of validating one knob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnobOutcome<T> {
+    /// The variable was not set; the default applies silently.
+    Unset(T),
+    /// The variable parsed cleanly.
+    Valid(T),
+    /// The variable was set but unusable; `used` is the documented clamp.
+    Clamped {
+        /// The raw value found in the environment.
+        raw: String,
+        /// The value actually used.
+        used: T,
+        /// Why the raw value was rejected.
+        reason: String,
+    },
+}
+
+impl<T: Copy> KnobOutcome<T> {
+    /// The value a world should run with.
+    pub fn value(&self) -> T {
+        match self {
+            KnobOutcome::Unset(v) | KnobOutcome::Valid(v) => *v,
+            KnobOutcome::Clamped { used, .. } => *used,
+        }
+    }
+
+    /// `true` when the environment value was rejected.
+    pub fn clamped(&self) -> bool {
+        matches!(self, KnobOutcome::Clamped { .. })
+    }
+}
+
+impl<T: fmt::Display> KnobOutcome<T> {
+    fn warn(&self, var: &str) {
+        if let KnobOutcome::Clamped { raw, used, reason } = self {
+            eprintln!("afs: ignoring {var}={raw:?} ({reason}); using {used}");
+        }
+    }
+}
+
+/// Validates a raw `AFS_TEST_SEED` value. Accepts a decimal `u64`;
+/// anything else (including hex like `0x21`, which `u64::from_str`
+/// rejects) clamps to [`DEFAULT_SEED`].
+pub fn validate_test_seed(raw: Option<&str>) -> KnobOutcome<u64> {
+    let Some(raw) = raw else {
+        return KnobOutcome::Unset(DEFAULT_SEED);
+    };
+    match raw.trim().parse::<u64>() {
+        Ok(seed) => KnobOutcome::Valid(seed),
+        Err(e) => KnobOutcome::Clamped {
+            raw: raw.to_owned(),
+            used: DEFAULT_SEED,
+            reason: format!("not a decimal u64: {e}"),
+        },
+    }
+}
+
+/// Validates a raw `AFS_FLEET_WORKERS` value against `cores` (the
+/// fallback worker count). `0` asks for an empty pool — every sentinel
+/// would hang — and clamps to 1; garbage clamps to `cores`.
+pub fn validate_fleet_workers(raw: Option<&str>, cores: usize) -> KnobOutcome<usize> {
+    let Some(raw) = raw else {
+        return KnobOutcome::Unset(cores);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => KnobOutcome::Clamped {
+            raw: raw.to_owned(),
+            used: 1,
+            reason: "a zero-worker pool can never run a sentinel".to_owned(),
+        },
+        Ok(n) => KnobOutcome::Valid(n),
+        Err(e) => KnobOutcome::Clamped {
+            raw: raw.to_owned(),
+            used: cores,
+            reason: format!("not a positive integer: {e}"),
+        },
+    }
+}
+
+/// Reads and validates `AFS_TEST_SEED`, warning on stderr if clamped.
+pub(crate) fn test_seed_from_env() -> u64 {
+    let raw = std::env::var(ENV_TEST_SEED).ok();
+    let outcome = validate_test_seed(raw.as_deref());
+    outcome.warn(ENV_TEST_SEED);
+    outcome.value()
+}
+
+/// Reads and validates `AFS_FLEET_WORKERS`, warning on stderr if clamped.
+pub(crate) fn fleet_workers_from_env(cores: usize) -> usize {
+    let raw = std::env::var(ENV_FLEET_WORKERS).ok();
+    let outcome = validate_fleet_workers(raw.as_deref(), cores);
+    outcome.warn(ENV_FLEET_WORKERS);
+    outcome.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_knobs_use_defaults_silently() {
+        assert_eq!(validate_test_seed(None), KnobOutcome::Unset(DEFAULT_SEED));
+        assert_eq!(validate_fleet_workers(None, 8), KnobOutcome::Unset(8));
+    }
+
+    #[test]
+    fn valid_knobs_parse() {
+        assert_eq!(validate_test_seed(Some("21")), KnobOutcome::Valid(21));
+        assert_eq!(validate_test_seed(Some(" 34 ")), KnobOutcome::Valid(34));
+        assert_eq!(validate_fleet_workers(Some("4"), 8), KnobOutcome::Valid(4));
+    }
+
+    #[test]
+    fn zero_fleet_workers_clamps_to_one() {
+        let outcome = validate_fleet_workers(Some("0"), 8);
+        assert!(outcome.clamped());
+        assert_eq!(
+            outcome.value(),
+            1,
+            "an empty pool would hang every sentinel"
+        );
+    }
+
+    #[test]
+    fn garbage_fleet_workers_clamps_to_cores() {
+        for raw in ["lots", "-3", "2.5", ""] {
+            let outcome = validate_fleet_workers(Some(raw), 6);
+            assert!(outcome.clamped(), "{raw:?} must be rejected");
+            assert_eq!(outcome.value(), 6);
+        }
+    }
+
+    #[test]
+    fn malformed_seed_clamps_to_default_with_reason() {
+        for raw in ["0x21", "seed", "-1", "1e9", ""] {
+            let outcome = validate_test_seed(Some(raw));
+            assert!(outcome.clamped(), "{raw:?} must be rejected");
+            assert_eq!(outcome.value(), DEFAULT_SEED);
+            let KnobOutcome::Clamped { reason, .. } = outcome else {
+                unreachable!()
+            };
+            assert!(!reason.is_empty());
+        }
+    }
+}

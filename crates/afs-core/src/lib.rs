@@ -59,6 +59,7 @@
 mod afs;
 mod cache;
 mod ctx;
+pub mod env;
 mod logic;
 mod registry;
 pub mod security;
@@ -69,13 +70,14 @@ mod world;
 pub use afs::{ActiveFileSystem, ActiveFilesLayer};
 pub use cache::CacheStore;
 pub use ctx::SentinelCtx;
+pub use env::{validate_fleet_workers, validate_test_seed, KnobOutcome, DEFAULT_SEED};
 pub use logic::{NullSentinel, SentinelError, SentinelLogic, SentinelResult};
 pub use registry::{LogicFactory, SentinelRegistry};
 pub use security::{check_active_file, sign_active_file, SIGNATURE_STREAM};
 pub use spec::{Backing, SentinelSpec, Strategy};
 pub use strategy::executor::FleetShardStat;
 pub use strategy::process::{ProcessIo, RawProcessSentinel};
-pub use strategy::CTL_QUERY_STALE;
+pub use strategy::{CTL_QUERY_STALE, CTL_STORE_CHECKPOINT, CTL_STORE_STATS, CTL_STORE_SYNC};
 pub use world::{AfsWorld, AfsWorldBuilder};
 
 /// The file extension conventionally used for active files, checked by the

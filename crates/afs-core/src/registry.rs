@@ -12,7 +12,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::logic::SentinelLogic;
-use crate::spec::SentinelSpec;
+use crate::spec::{SentinelSpec, SpecKeyError, RUNTIME_CONFIG_KEYS};
 use crate::strategy::process::RawProcessSentinel;
 
 /// A factory producing one sentinel-logic instance per open.
@@ -29,6 +29,11 @@ pub type RawFactory =
 struct Entries {
     logic: HashMap<String, LogicFactory>,
     raw: HashMap<String, RawFactory>,
+    /// Sentinel name → the config keys it declares. Names absent from
+    /// this map accept any key (the permissive legacy behaviour for
+    /// hand-registered test sentinels); names present reject unknown
+    /// keys at install/open time, so a typo'd key fails loudly.
+    declared: HashMap<String, Vec<String>>,
 }
 
 /// Name → sentinel-program registry. Cloning shares the registry.
@@ -63,6 +68,56 @@ impl SentinelRegistry {
             .write()
             .logic
             .insert(name.to_owned(), Arc::new(factory));
+    }
+
+    /// Registers a sentinel together with the configuration keys it
+    /// understands. Specs naming this sentinel are then validated: any
+    /// config key that is neither in `keys` nor a
+    /// [`RUNTIME_CONFIG_KEYS`] entry fails [`Self::validate_spec`] with
+    /// an error naming the key.
+    pub fn register_with_keys<F>(&self, name: &str, keys: &[&str], factory: F)
+    where
+        F: Fn(&SentinelSpec) -> Box<dyn SentinelLogic> + Send + Sync + 'static,
+    {
+        let mut e = self.entries.write();
+        e.logic.insert(name.to_owned(), Arc::new(factory));
+        e.declared.insert(
+            name.to_owned(),
+            keys.iter().map(|&k| k.to_owned()).collect(),
+        );
+    }
+
+    /// The keys declared for `name`, or `None` when the sentinel is
+    /// permissive (registered without a declaration).
+    pub fn declared_keys(&self, name: &str) -> Option<Vec<String>> {
+        self.entries.read().declared.get(name).cloned()
+    }
+
+    /// Checks every config key of `spec` against the sentinel's declared
+    /// keys (plus the runtime's own). Permissive sentinels pass
+    /// unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecKeyError`] naming the first unknown key.
+    pub fn validate_spec(&self, spec: &SentinelSpec) -> Result<(), SpecKeyError> {
+        let Some(declared) = self.declared_keys(spec.name()) else {
+            return Ok(());
+        };
+        for key in spec.config().keys() {
+            if RUNTIME_CONFIG_KEYS.contains(&key.as_str()) || declared.iter().any(|k| k == key) {
+                continue;
+            }
+            let mut known: Vec<String> = RUNTIME_CONFIG_KEYS
+                .iter()
+                .map(|&k| k.to_owned())
+                .chain(declared.iter().cloned())
+                .collect();
+            known.sort();
+            known.dedup();
+            return Err(SpecKeyError::new(key, spec.name(), known));
+        }
+        Ok(())
     }
 
     /// Registers a hand-written process sentinel (Figure 2 style) under
@@ -150,6 +205,38 @@ mod tests {
         reg.register("b", |_| Box::new(NullSentinel::new()));
         reg.register("a", |_| Box::new(NullSentinel::new()));
         assert_eq!(reg.names(), vec!["a".to_owned(), "b".to_owned()]);
+    }
+
+    #[test]
+    fn declared_keys_reject_typos_naming_the_key() {
+        let reg = SentinelRegistry::new();
+        reg.register_with_keys("strict", &["service"], |_| Box::new(NullSentinel::new()));
+        // Declared and runtime keys pass.
+        let ok = SentinelSpec::new("strict", Strategy::DllOnly)
+            .with("service", "files")
+            .with("durable", "on")
+            .with("share", "off");
+        assert!(reg.validate_spec(&ok).is_ok());
+        // The classic typo is caught, and the error names the key.
+        let typo = SentinelSpec::new("strict", Strategy::DllOnly).with("durabel", "on");
+        let err = reg.validate_spec(&typo).expect_err("typo must be rejected");
+        assert_eq!(err.key(), "durabel");
+        assert!(err.to_string().contains("`durabel`"), "{err}");
+        assert!(err.to_string().contains("strict"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_sentinels_stay_permissive() {
+        let reg = SentinelRegistry::new();
+        reg.register("loose", |_| Box::new(NullSentinel::new()));
+        let spec = SentinelSpec::new("loose", Strategy::DllOnly).with("anything", "goes");
+        assert!(reg.validate_spec(&spec).is_ok());
+        assert!(reg.declared_keys("loose").is_none());
+        assert_eq!(
+            reg.declared_keys("ghost"),
+            None,
+            "unknown names validate permissively too"
+        );
     }
 
     #[test]

@@ -116,6 +116,65 @@ impl Backing {
     }
 }
 
+/// Configuration keys interpreted by the runtime itself (sharing,
+/// access control, reliability, degraded mode, durability). Every
+/// sentinel accepts these in addition to its own declared keys.
+pub const RUNTIME_CONFIG_KEYS: &[&str] = &[
+    "share",
+    "allow_users",
+    "degraded",
+    "durable",
+    "sync",
+    "checkpoint_pages",
+    "page_size",
+    "retry",
+    "retry.deadline_us",
+    "retry.backoff_us",
+    "retry.max_backoff_us",
+    "replicas",
+    "breaker.threshold",
+    "breaker.cooldown_us",
+];
+
+/// A spec carried a configuration key its sentinel does not declare —
+/// almost always a typo (`durabel=on`), which would otherwise be
+/// silently ignored and run with different behaviour than asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecKeyError {
+    key: String,
+    sentinel: String,
+    known: Vec<String>,
+}
+
+impl SpecKeyError {
+    pub(crate) fn new(key: &str, sentinel: &str, known: Vec<String>) -> Self {
+        SpecKeyError {
+            key: key.to_owned(),
+            sentinel: sentinel.to_owned(),
+            known,
+        }
+    }
+
+    /// The offending key, verbatim.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl std::fmt::Display for SpecKeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown config key `{}` for sentinel `{}` (known keys: {})",
+            self.key,
+            self.sentinel,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for SpecKeyError {}
+
 /// The serialisable description of an active file's behaviour.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SentinelSpec {

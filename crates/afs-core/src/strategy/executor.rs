@@ -47,14 +47,11 @@ pub(crate) fn in_sentinel_context() -> bool {
 
 /// Default worker-pool bound M: the `AFS_FLEET_WORKERS` environment
 /// variable when set to a positive integer, else one worker per core.
+/// Malformed or zero values clamp (with a stderr warning) instead of
+/// being silently ignored — see [`crate::env`].
 pub(crate) fn default_workers() -> usize {
-    std::env::var("AFS_FLEET_WORKERS")
-        .ok()
-        .and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
-        })
+    let cores = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    crate::env::fleet_workers_from_env(cores)
 }
 
 /// Outcome of one sentinel poll.

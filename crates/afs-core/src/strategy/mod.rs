@@ -222,6 +222,26 @@ pub(crate) trait ActiveOps: Send + Sync {
 /// writes awaiting replay), `0` otherwise.
 pub const CTL_QUERY_STALE: u32 = 0xAF00_57A1;
 
+/// Runtime control (pragma-style, never forwarded to sentinel logic):
+/// checkpoints the durable store now. Replies with a text payload
+/// `pages_written=<n> wal_truncated_bytes=<n>`. Fails with
+/// `NotSupported` when the cache is not durable.
+pub const CTL_STORE_CHECKPOINT: u32 = 0xAF00_57C1;
+
+/// Runtime control: returns the durable store's counters as a text
+/// payload of space-separated `key=value` pairs (`wal_appends`,
+/// `wal_bytes`, `fsyncs`, `commits`, `checkpoints`, `staged`, `wal_len`,
+/// `content_len`, `recovered`, `torn`, `sync`). Fails with
+/// `NotSupported` when the cache is not durable.
+pub const CTL_STORE_STATS: u32 = 0xAF00_57C2;
+
+/// Runtime control: switches the durable store's sync mode. The request
+/// payload is `always`, `commit`, or `off`; the reply echoes the new
+/// mode. This is the consistency knob: `always` is strictest,
+/// `off` trades the fsync barrier for speed (recovery still never
+/// corrupts — it drops the torn tail).
+pub const CTL_STORE_SYNC: u32 = 0xAF00_57C3;
+
 /// Maps sentinel failures to the Win32 codes the application sees.
 pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
     match e {
@@ -392,7 +412,13 @@ pub(crate) fn execute_op(
             Err(e) => (OpReply::Failed(e), None),
         },
         Op::Flush => match logic.flush(ctx) {
-            Ok(()) => (OpReply::Done, None),
+            // `FlushFileBuffers` is the group-commit point of a durable
+            // cache: after the logic's own flush, seal the staged WAL
+            // batch.
+            Ok(()) => match flush_durable_cache(ctx) {
+                Ok(()) => (OpReply::Done, None),
+                Err(e) => (OpReply::Failed(e), None),
+            },
             Err(e) => (OpReply::Failed(e), None),
         },
         Op::Control {
@@ -402,6 +428,9 @@ pub(crate) fn execute_op(
             if code == CTL_QUERY_STALE {
                 let payload = vec![u8::from(ctx.is_stale())];
                 return (OpReply::Control { payload }, None);
+            }
+            if let Some(reply) = store_control(ctx, code, &request) {
+                return (reply, None);
             }
             match logic.control(ctx, code, &request) {
                 Ok(response) => (OpReply::Control { payload: response }, None),
@@ -416,6 +445,70 @@ pub(crate) fn execute_op(
             ctx.persist_cache();
             (reply, None)
         }
+    }
+}
+
+/// Group-commits a durable cache; a no-op for every other backing.
+fn flush_durable_cache(ctx: &mut SentinelCtx) -> Result<(), SentinelError> {
+    if ctx.cache().kind() == Some(afs_store::BackendKind::Durable) {
+        ctx.cache().flush()?;
+    }
+    Ok(())
+}
+
+/// Answers the `CTL_STORE_*` runtime controls, or `None` for any other
+/// code (which then forwards to the sentinel logic as usual).
+fn store_control(ctx: &mut SentinelCtx, code: u32, request: &[u8]) -> Option<OpReply> {
+    match code {
+        CTL_STORE_CHECKPOINT => Some(match ctx.cache().checkpoint() {
+            Ok(report) => OpReply::Control {
+                payload: format!(
+                    "pages_written={} wal_truncated_bytes={}",
+                    report.pages_written, report.wal_truncated_bytes
+                )
+                .into_bytes(),
+            },
+            Err(e) => OpReply::Failed(e),
+        }),
+        CTL_STORE_STATS => Some(match ctx.cache().store_stats() {
+            Some(s) => OpReply::Control {
+                payload: format!(
+                    "wal_appends={} wal_bytes={} fsyncs={} commits={} checkpoints={} \
+                     staged={} wal_len={} content_len={} recovered={} torn={} sync={}",
+                    s.wal_appends,
+                    s.wal_bytes,
+                    s.fsyncs,
+                    s.commits,
+                    s.checkpoints,
+                    s.staged_records,
+                    s.wal_len,
+                    s.content_len,
+                    s.recovered_records,
+                    s.torn_detected,
+                    s.sync.label()
+                )
+                .into_bytes(),
+            },
+            None => OpReply::Failed(SentinelError::Unsupported),
+        }),
+        CTL_STORE_SYNC => Some({
+            let mode = std::str::from_utf8(request)
+                .ok()
+                .and_then(afs_store::SyncMode::parse);
+            match mode {
+                None => OpReply::Failed(SentinelError::InvalidParameter),
+                Some(mode) => {
+                    if ctx.cache().set_sync_mode(mode) {
+                        OpReply::Control {
+                            payload: mode.label().as_bytes().to_vec(),
+                        }
+                    } else {
+                        OpReply::Failed(SentinelError::Unsupported)
+                    }
+                }
+            }
+        }),
+        _ => None,
     }
 }
 

@@ -28,6 +28,7 @@ pub struct AfsWorldBuilder {
     signing_key: Option<u64>,
     seed: Option<u64>,
     fleet_workers: Option<usize>,
+    vfs: Option<Arc<Vfs>>,
 }
 
 impl Default for AfsWorldBuilder {
@@ -38,6 +39,7 @@ impl Default for AfsWorldBuilder {
             signing_key: None,
             seed: None,
             fleet_workers: None,
+            vfs: None,
         }
     }
 }
@@ -82,19 +84,24 @@ impl AfsWorldBuilder {
         self
     }
 
+    /// Reuses an existing file system instead of creating a fresh one —
+    /// "the disk that survives the crash". Durability tests build a
+    /// world, crash it (drop), and rebuild another over the same `vfs` to
+    /// exercise recovery of active files' `store.*` streams.
+    pub fn vfs(mut self, vfs: Arc<Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
     /// Builds the world.
     pub fn build(self) -> AfsWorld {
         let model = CostModel::new(self.profile);
-        let vfs = Arc::new(Vfs::new());
+        let vfs = self.vfs.unwrap_or_else(|| Arc::new(Vfs::new()));
         let net = Network::new(model.clone());
-        let seed = self
-            .seed
-            .or_else(|| {
-                std::env::var("AFS_TEST_SEED")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-            })
-            .unwrap_or(0xAF5_0001);
+        // An explicit builder seed wins; otherwise `AFS_TEST_SEED` is
+        // validated centrally — malformed values clamp to the default
+        // with a stderr warning rather than being silently ignored.
+        let seed = self.seed.unwrap_or_else(crate::env::test_seed_from_env);
         net.set_seed(seed);
         let registry = SentinelRegistry::new();
         crate::world::register_builtin(&registry);
@@ -295,6 +302,26 @@ fn register_world_collectors(
         out.push(Metric::gauge("afs_fleet_workers", f.workers));
         out.push(Metric::gauge("afs_fleet_shards", f.shards));
         out.push(Metric::counter("afs_fleet_abandoned_total", f.abandoned));
+        let st = telemetry.store().snapshot();
+        out.push(Metric::counter(
+            "afs_store_wal_appends_total",
+            st.wal_appends,
+        ));
+        out.push(Metric::counter("afs_store_wal_bytes_total", st.wal_bytes));
+        out.push(Metric::counter("afs_store_fsyncs_total", st.fsyncs));
+        out.push(Metric::counter("afs_store_commits_total", st.commits));
+        out.push(Metric::counter(
+            "afs_store_checkpoints_total",
+            st.checkpoints,
+        ));
+        out.push(Metric::counter(
+            "afs_store_recovered_records_total",
+            st.recovered_records,
+        ));
+        out.push(Metric::counter(
+            "afs_store_torn_detected_total",
+            st.torn_detected,
+        ));
     });
 }
 
@@ -322,7 +349,9 @@ impl std::fmt::Debug for AfsWorld {
 
 /// Registers the sentinels every world knows out of the box.
 fn register_builtin(registry: &SentinelRegistry) {
-    registry.register("null", |_| Box::new(crate::logic::NullSentinel::new()));
+    // The null sentinel has no keys of its own — only the runtime keys
+    // (share, durable, sync, …) apply, and anything else is a typo.
+    registry.register_with_keys("null", &[], |_| Box::new(crate::logic::NullSentinel::new()));
 }
 
 impl AfsWorld {
@@ -448,6 +477,13 @@ impl AfsWorld {
     ///
     /// [`Win32Error`] on invalid paths or VFS failures.
     pub fn install_active_file(&self, path: &str, spec: &SentinelSpec) -> Result<(), Win32Error> {
+        // Reject specs carrying keys the sentinel does not declare — a
+        // typo like `durabel=on` must fail here, loudly, not run with
+        // silently different behaviour.
+        if let Err(e) = self.registry.validate_spec(spec) {
+            eprintln!("afs: rejecting active file {path}: {e}");
+            return Err(Win32Error::InvalidParameter);
+        }
         let vpath = VPath::parse(path)?;
         if let Some(parent) = vpath.parent() {
             self.vfs.create_dir_all(&parent)?;

@@ -5,6 +5,8 @@
 //! of these sources include other local or remote files, databases,
 //! network connections, or even other processes."
 
+use std::collections::BTreeMap;
+
 use afs_core::{SentinelCtx, SentinelError, SentinelLogic, SentinelRegistry, SentinelResult};
 use afs_remote::RegistryValue;
 
@@ -402,14 +404,480 @@ impl SentinelLogic for RegistryFileSentinel {
     }
 }
 
-/// Registers `remote-file`, `merge`, `inbox`, `stock-ticker`, and
-/// `registry-file`.
+/// Control code: get (empty payload) or set (comma-separated payload)
+/// the table schema of a [`TableSentinel`].
+pub const CTL_SQL_SCHEMA: u32 = 0xAF00_5C01;
+/// Control code: install a new query (the payload, `select … [where …]`)
+/// on a [`TableSentinel`] and return its rendered result.
+pub const CTL_SQL_QUERY: u32 = 0xAF00_5C02;
+/// Control code: count rows of a [`TableSentinel`]; an optional payload
+/// `<col> <op> <value>` counts only matching rows.
+pub const CTL_SQL_COUNT: u32 = 0xAF00_5C03;
+
+/// A comparison in the predicate mini-language of [`TableSentinel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredOp {
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Contains,
+}
+
+impl PredOp {
+    fn parse(tok: &str) -> Option<PredOp> {
+        Some(match tok {
+            "=" | "==" => PredOp::Eq,
+            "!=" | "<>" => PredOp::Ne,
+            "<" => PredOp::Lt,
+            ">" => PredOp::Gt,
+            "<=" => PredOp::Le,
+            ">=" => PredOp::Ge,
+            "contains" => PredOp::Contains,
+            _ => return None,
+        })
+    }
+
+    /// Compares numerically when both sides parse as numbers, else
+    /// lexicographically — the usual "schemaless SQL" affordance.
+    fn matches(self, lhs: &str, rhs: &str) -> bool {
+        use std::cmp::Ordering;
+        let ord = match (lhs.parse::<f64>(), rhs.parse::<f64>()) {
+            (Ok(a), Ok(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            _ => lhs.cmp(rhs),
+        };
+        match self {
+            PredOp::Eq => ord == Ordering::Equal,
+            PredOp::Ne => ord != Ordering::Equal,
+            PredOp::Lt => ord == Ordering::Less,
+            PredOp::Gt => ord == Ordering::Greater,
+            PredOp::Le => ord != Ordering::Greater,
+            PredOp::Ge => ord != Ordering::Less,
+            PredOp::Contains => lhs.contains(rhs),
+        }
+    }
+}
+
+/// A parsed `select` statement: optional projection and optional
+/// single-comparison predicate.
+#[derive(Debug, Clone)]
+struct Query {
+    /// `None` = `select *`.
+    cols: Option<Vec<String>>,
+    predicate: Option<(String, PredOp, String)>,
+}
+
+impl Query {
+    fn select_all() -> Self {
+        Query {
+            cols: None,
+            predicate: None,
+        }
+    }
+}
+
+/// Strips optional single quotes so values may contain spaces.
+fn unquote(v: &str) -> &str {
+    v.strip_prefix('\'')
+        .and_then(|v| v.strip_suffix('\''))
+        .unwrap_or(v)
+}
+
+/// Parses `<col> <op> <value>` (value may be single-quoted).
+fn parse_predicate(text: &str) -> SentinelResult<(String, PredOp, String)> {
+    let text = text.trim();
+    let (col, rest) = text
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| SentinelError::Other(format!("bad predicate: `{text}`")))?;
+    let rest = rest.trim_start();
+    let (op_tok, value) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| SentinelError::Other(format!("bad predicate: `{text}`")))?;
+    let op = PredOp::parse(op_tok)
+        .ok_or_else(|| SentinelError::Other(format!("unknown operator `{op_tok}`")))?;
+    Ok((col.to_owned(), op, unquote(value.trim()).to_owned()))
+}
+
+/// Parses `select <cols|*> [where <col> <op> <value>]`.
+fn parse_query(text: &str) -> SentinelResult<Query> {
+    let text = text.trim();
+    let rest = text
+        .strip_prefix("select ")
+        .or_else(|| text.strip_prefix("SELECT "))
+        .ok_or_else(|| SentinelError::Other(format!("query must start with `select`: `{text}`")))?
+        .trim_start();
+    let (proj, predicate) = match rest.find(" where ").or_else(|| rest.find(" WHERE ")) {
+        Some(i) => (&rest[..i], Some(parse_predicate(&rest[i + 7..])?)),
+        None => (rest, None),
+    };
+    let proj = proj.trim();
+    let cols = if proj == "*" {
+        None
+    } else {
+        let cols: Vec<String> = proj
+            .split(',')
+            .map(|c| c.trim().to_owned())
+            .filter(|c| !c.is_empty())
+            .collect();
+        if cols.is_empty() {
+            return Err(SentinelError::Other("empty projection".into()));
+        }
+        Some(cols)
+    };
+    Ok(Query { cols, predicate })
+}
+
+/// Escapes a cell for the tab-separated persisted/rendered forms.
+fn escape_cell(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unescape_cell(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The SQL-queryable aggregate table (§3 "databases" as a source, taken
+/// literally): the active file *is* a table. Writing CSV lines upserts
+/// rows keyed by the first schema column; reading renders the current
+/// query's result; pragma-style [`SentinelLogic::control`] codes expose
+/// schema ([`CTL_SQL_SCHEMA`]), ad-hoc queries ([`CTL_SQL_QUERY`]) and
+/// row counts ([`CTL_SQL_COUNT`]). Rows live in the sentinel's cache, so
+/// a spec with `durable=on` gets a WAL-backed table that survives crash
+/// and reopen; the runtime's `CTL_STORE_*` codes then checkpoint it and
+/// tune its sync mode.
+///
+/// Configuration: `schema` (comma-separated column names; the first is
+/// the primary key), `query` (initial query; default `select *`).
+pub struct TableSentinel {
+    schema: Vec<String>,
+    rows: BTreeMap<String, Vec<String>>,
+    query: Query,
+    pending: String,
+}
+
+impl TableSentinel {
+    /// Creates the sentinel; schema is loaded on open.
+    pub fn new() -> Self {
+        TableSentinel {
+            schema: Vec::new(),
+            rows: BTreeMap::new(),
+            query: Query::select_all(),
+            pending: String::new(),
+        }
+    }
+
+    /// Serialises schema + rows into the cache, which is where durability
+    /// (if configured) lives.
+    fn persist(&self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .schema
+                .iter()
+                .map(|c| escape_cell(c))
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
+        out.push('\n');
+        for row in self.rows.values() {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape_cell(c))
+                    .collect::<Vec<_>>()
+                    .join("\t"),
+            );
+            out.push('\n');
+        }
+        ctx.cache().replace(out.as_bytes())
+    }
+
+    /// Loads schema + rows from the cache image; `true` if it held a table.
+    fn load(&mut self, image: &[u8]) -> bool {
+        let text = String::from_utf8_lossy(image);
+        let mut lines = text.lines();
+        let Some(header) = lines.next() else {
+            return false;
+        };
+        let schema: Vec<String> = header.split('\t').map(unescape_cell).collect();
+        if schema.is_empty() || schema.iter().any(String::is_empty) {
+            return false;
+        }
+        let mut rows = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut row: Vec<String> = line.split('\t').map(unescape_cell).collect();
+            row.resize(schema.len(), String::new());
+            rows.insert(row[0].clone(), row);
+        }
+        self.schema = schema;
+        self.rows = rows;
+        true
+    }
+
+    fn col_index(&self, name: &str) -> SentinelResult<usize> {
+        self.schema
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| SentinelError::Other(format!("unknown column `{name}`")))
+    }
+
+    fn row_matches(&self, row: &[String], pred: &Option<(String, PredOp, String)>) -> bool {
+        match pred {
+            None => true,
+            Some((col, op, value)) => match self.col_index(col) {
+                Ok(i) => op.matches(&row[i], value),
+                Err(_) => false,
+            },
+        }
+    }
+
+    /// Renders the current query over the current rows: a header line of
+    /// projected column names, then one TSV line per matching row.
+    fn render(&self) -> SentinelResult<String> {
+        let indices: Vec<usize> = match &self.query.cols {
+            None => (0..self.schema.len()).collect(),
+            Some(cols) => cols
+                .iter()
+                .map(|c| self.col_index(c))
+                .collect::<SentinelResult<_>>()?,
+        };
+        if let Some((col, _, _)) = &self.query.predicate {
+            self.col_index(col)?;
+        }
+        let mut out = String::new();
+        out.push_str(
+            &indices
+                .iter()
+                .map(|&i| escape_cell(&self.schema[i]))
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
+        out.push('\n');
+        for row in self.rows.values() {
+            if !self.row_matches(row, &self.query.predicate) {
+                continue;
+            }
+            out.push_str(
+                &indices
+                    .iter()
+                    .map(|&i| escape_cell(&row[i]))
+                    .collect::<Vec<_>>()
+                    .join("\t"),
+            );
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Upserts one CSV line; blank lines are ignored.
+    fn upsert_line(&mut self, line: &str) -> SentinelResult<()> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(());
+        }
+        let mut row: Vec<String> = line
+            .split(',')
+            .map(|v| unquote(v.trim()).to_owned())
+            .collect();
+        if row.len() > self.schema.len() {
+            return Err(SentinelError::Other(format!(
+                "row has {} values but schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        row.resize(self.schema.len(), String::new());
+        if row[0].is_empty() {
+            return Err(SentinelError::Other("empty primary key".into()));
+        }
+        self.rows.insert(row[0].clone(), row);
+        Ok(())
+    }
+
+    fn drain_pending(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        let mut changed = false;
+        while let Some(i) = self.pending.find('\n') {
+            let line: String = self.pending.drain(..=i).collect();
+            self.upsert_line(&line)?;
+            changed = true;
+        }
+        if changed {
+            self.persist(ctx)?;
+        }
+        Ok(())
+    }
+
+    fn set_schema(&mut self, ctx: &mut SentinelCtx, text: &str) -> SentinelResult<()> {
+        let schema: Vec<String> = text
+            .split(',')
+            .map(|c| c.trim().to_owned())
+            .filter(|c| !c.is_empty())
+            .collect();
+        if schema.is_empty() {
+            return Err(SentinelError::Other("empty schema".into()));
+        }
+        if !self.rows.is_empty() && schema != self.schema {
+            return Err(SentinelError::Other(
+                "cannot change the schema of a non-empty table".into(),
+            ));
+        }
+        self.schema = schema;
+        self.persist(ctx)
+    }
+}
+
+impl Default for TableSentinel {
+    fn default() -> Self {
+        TableSentinel::new()
+    }
+}
+
+impl SentinelLogic for TableSentinel {
+    fn on_open(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        if ctx.cache().kind().is_none() {
+            return Err(SentinelError::Other(
+                "table sentinel requires a cache backing".into(),
+            ));
+        }
+        // A persisted table (possibly recovered from the WAL) wins over
+        // the spec: the data outlives any one open.
+        let image = ctx.cache().to_vec()?;
+        if !image.is_empty() && self.load(&image) {
+            // Loaded from the cache.
+        } else {
+            let schema = ctx.require_str("schema")?.to_owned();
+            self.set_schema(ctx, &schema)?;
+        }
+        if let Some(q) = ctx.config_str("query") {
+            self.query = parse_query(q)?;
+        }
+        Ok(())
+    }
+
+    fn read(
+        &mut self,
+        _ctx: &mut SentinelCtx,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> SentinelResult<usize> {
+        let rendered = self.render()?;
+        let bytes = rendered.as_bytes();
+        let start = (offset as usize).min(bytes.len());
+        let n = buf.len().min(bytes.len() - start);
+        buf[..n].copy_from_slice(&bytes[start..start + n]);
+        Ok(n)
+    }
+
+    fn write(&mut self, ctx: &mut SentinelCtx, _offset: u64, data: &[u8]) -> SentinelResult<usize> {
+        // Writes are row upserts, not byte edits: the offset is ignored
+        // and the payload is buffered until a full CSV line arrives.
+        self.pending.push_str(&String::from_utf8_lossy(data));
+        self.drain_pending(ctx)?;
+        Ok(data.len())
+    }
+
+    fn len(&mut self, _ctx: &mut SentinelCtx) -> SentinelResult<u64> {
+        Ok(self.render()?.len() as u64)
+    }
+
+    fn control(
+        &mut self,
+        ctx: &mut SentinelCtx,
+        code: u32,
+        payload: &[u8],
+    ) -> SentinelResult<Vec<u8>> {
+        let text = String::from_utf8_lossy(payload).into_owned();
+        match code {
+            CTL_SQL_SCHEMA => {
+                if !text.trim().is_empty() {
+                    self.set_schema(ctx, &text)?;
+                }
+                Ok(self.schema.join(",").into_bytes())
+            }
+            CTL_SQL_QUERY => {
+                self.query = parse_query(&text)?;
+                Ok(self.render()?.into_bytes())
+            }
+            CTL_SQL_COUNT => {
+                let pred = if text.trim().is_empty() {
+                    None
+                } else {
+                    Some(parse_predicate(&text)?)
+                };
+                if let Some((col, _, _)) = &pred {
+                    self.col_index(col)?;
+                }
+                let n = self
+                    .rows
+                    .values()
+                    .filter(|row| self.row_matches(row, &pred))
+                    .count();
+                Ok(n.to_string().into_bytes())
+            }
+            _ => Err(SentinelError::Unsupported),
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        // A trailing unterminated line is committed on flush/close so
+        // `write; close` never loses the last row.
+        if !self.pending.trim().is_empty() {
+            let line = std::mem::take(&mut self.pending);
+            self.upsert_line(&line)?;
+            self.persist(ctx)?;
+        } else {
+            self.pending.clear();
+        }
+        Ok(())
+    }
+
+    fn on_close(&mut self, ctx: &mut SentinelCtx) -> SentinelResult<()> {
+        self.flush(ctx)
+    }
+}
+
+/// Registers `remote-file`, `merge`, `inbox`, `stock-ticker`,
+/// `registry-file`, and `table` — each with its declared configuration
+/// keys, so a typo'd key is rejected at open time.
 pub fn register(registry: &SentinelRegistry) {
-    registry.register("remote-file", |_| Box::new(RemoteFileSentinel::new()));
-    registry.register("merge", |_| Box::new(MergeSentinel::new()));
-    registry.register("inbox", |_| Box::new(InboxSentinel::new()));
-    registry.register("stock-ticker", |_| Box::new(StockTickerSentinel::new()));
-    registry.register("registry-file", |_| Box::new(RegistryFileSentinel::new()));
+    registry.register_with_keys("remote-file", &["service", "remote", "writeback"], |_| {
+        Box::new(RemoteFileSentinel::new())
+    });
+    registry.register_with_keys("merge", &["service", "remotes", "separator"], |_| {
+        Box::new(MergeSentinel::new())
+    });
+    registry.register_with_keys("inbox", &["servers", "user", "delete"], |_| {
+        Box::new(InboxSentinel::new())
+    });
+    registry.register_with_keys("stock-ticker", &["service", "symbols"], |_| {
+        Box::new(StockTickerSentinel::new())
+    });
+    registry.register_with_keys("registry-file", &["service", "key"], |_| {
+        Box::new(RegistryFileSentinel::new())
+    });
+    registry.register_with_keys("table", &["schema", "query"], |_| {
+        Box::new(TableSentinel::new())
+    });
 }
 
 #[cfg(test)]
@@ -631,6 +1099,129 @@ mod tests {
             None,
             "removed line deletes the value"
         );
+    }
+
+    #[test]
+    fn table_upserts_and_queries() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/quotes.tbl",
+                &SentinelSpec::new("table", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("schema", "sym, price, qty"),
+            )
+            .expect("install");
+        write_active(&world, "/quotes.tbl", b"ACME,110,5\nINIT,90,2\n");
+        // Upsert: same primary key replaces the row.
+        write_active(&world, "/quotes.tbl", b"ACME,120,7\n");
+        let text = String::from_utf8(read_active(&world, "/quotes.tbl")).expect("utf8");
+        assert_eq!(text, "sym\tprice\tqty\nACME\t120\t7\nINIT\t90\t2\n");
+
+        use afs_winapi::{Access, Disposition, FileApi};
+        let api = world.api();
+        let h = api
+            .create_file(
+                "/quotes.tbl",
+                Access::read_write(),
+                Disposition::OpenExisting,
+            )
+            .expect("open");
+        // Pragma lane: schema introspection, ad-hoc query, counting.
+        let schema = api
+            .device_io_control(h, CTL_SQL_SCHEMA, b"")
+            .expect("schema");
+        assert_eq!(schema, b"sym,price,qty");
+        let result = api
+            .device_io_control(h, CTL_SQL_QUERY, b"select sym,price where price > 100")
+            .expect("query");
+        assert_eq!(result, b"sym\tprice\nACME\t120\n");
+        let n = api
+            .device_io_control(h, CTL_SQL_COUNT, b"qty >= 2")
+            .expect("count");
+        assert_eq!(n, b"2");
+        // The installed query shapes plain reads on this handle too.
+        let mut buf = [0u8; 64];
+        let read = api.read_file(h, &mut buf).expect("read");
+        assert_eq!(&buf[..read], b"sym\tprice\nACME\t120\n");
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn table_rejects_bad_queries_and_schema_changes() {
+        let world = test_world();
+        world
+            .install_active_file(
+                "/t.tbl",
+                &SentinelSpec::new("table", Strategy::DllOnly)
+                    .backing(Backing::Memory)
+                    .with("schema", "k,v"),
+            )
+            .expect("install");
+        write_active(&world, "/t.tbl", b"a,1\n");
+        use afs_winapi::{Access, Disposition, FileApi, Win32Error};
+        let api = world.api();
+        let h = api
+            .create_file("/t.tbl", Access::read_write(), Disposition::OpenExisting)
+            .expect("open");
+        assert_eq!(
+            api.device_io_control(h, CTL_SQL_QUERY, b"drop table students"),
+            Err(Win32Error::InvalidParameter),
+            "non-select statements are rejected"
+        );
+        assert_eq!(
+            api.device_io_control(h, CTL_SQL_QUERY, b"select nope"),
+            Err(Win32Error::InvalidParameter),
+            "unknown projection column is rejected"
+        );
+        assert_eq!(
+            api.device_io_control(h, CTL_SQL_SCHEMA, b"a,b,c"),
+            Err(Win32Error::InvalidParameter),
+            "schema of a non-empty table cannot change"
+        );
+        api.close_handle(h).expect("close");
+    }
+
+    #[test]
+    fn table_survives_reopen_durably_with_checkpoint_pragma() {
+        use afs_core::CTL_STORE_CHECKPOINT;
+        use afs_winapi::{Access, Disposition, FileApi};
+        let vfs = Arc::new(afs_vfs::Vfs::new());
+        let spec = SentinelSpec::new("table", Strategy::DllOnly)
+            .backing(Backing::Disk)
+            .with("schema", "host,state")
+            .with("durable", "on")
+            .with("sync", "commit");
+        {
+            let world = afs_core::AfsWorld::builder().vfs(Arc::clone(&vfs)).build();
+            crate::register_all(world.sentinels());
+            world
+                .install_active_file("/fleet.tbl", &spec)
+                .expect("install");
+            write_active(&world, "/fleet.tbl", b"web1,up\nweb2,down\n");
+            // Runtime pragma: checkpoint the WAL into the pages area.
+            let api = world.api();
+            let h = api
+                .create_file(
+                    "/fleet.tbl",
+                    Access::read_write(),
+                    Disposition::OpenExisting,
+                )
+                .expect("open");
+            let reply = api
+                .device_io_control(h, CTL_STORE_CHECKPOINT, b"")
+                .expect("checkpoint");
+            let text = String::from_utf8(reply).expect("utf8");
+            assert!(text.contains("pages_written="), "{text}");
+            api.close_handle(h).expect("close");
+        }
+        // The world (all sentinels, caches, handles) is gone; only the
+        // disk remains. A new world over the same vfs recovers the table.
+        let world = afs_core::AfsWorld::builder().vfs(vfs).build();
+        crate::register_all(world.sentinels());
+        write_active(&world, "/fleet.tbl", b"web2,up\n");
+        let text = String::from_utf8(read_active(&world, "/fleet.tbl")).expect("utf8");
+        assert_eq!(text, "host\tstate\nweb1\tup\nweb2\tup\n");
     }
 
     #[test]

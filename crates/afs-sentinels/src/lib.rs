@@ -6,7 +6,7 @@
 //! |------------------|------------------------------------------------------------------------|
 //! | Data generation  | [`generate::RandomGenSentinel`], [`generate::SequenceSentinel`]        |
 //! | I/O filtering    | [`filter::UppercaseSentinel`], [`filter::Rot13Sentinel`], [`filter::LineEndingSentinel`], [`compress::CompressSentinel`], [`cipher::XorCipherSentinel`] |
-//! | Aggregation      | [`aggregate::RemoteFileSentinel`], [`aggregate::MergeSentinel`], [`aggregate::InboxSentinel`], [`aggregate::StockTickerSentinel`], [`aggregate::RegistryFileSentinel`], [`mirror::MirrorSentinel`], [`consistency::LiveQuerySentinel`] |
+//! | Aggregation      | [`aggregate::RemoteFileSentinel`], [`aggregate::MergeSentinel`], [`aggregate::InboxSentinel`], [`aggregate::StockTickerSentinel`], [`aggregate::RegistryFileSentinel`], [`aggregate::TableSentinel`], [`mirror::MirrorSentinel`], [`consistency::LiveQuerySentinel`] |
 //! | Distribution     | [`distribute::OutboxSentinel`], [`distribute::FanOutSentinel`], [`distribute::NotifySentinel`] |
 //! | Logging/locking  | [`logging::SharedLogSentinel`], [`logging::AccessLogSentinel`]         |
 //!
@@ -31,9 +31,9 @@ use afs_core::SentinelRegistry;
 ///
 /// Names: `random`, `sequence`, `uppercase`, `lowercase`, `rot13`,
 /// `line-ending`, `compress`, `xor-cipher`, `remote-file`, `merge`,
-/// `inbox`, `stock-ticker`, `registry-file`, `mirror`, `live-query`,
-/// `outbox`, `fan-out`, `notify`, `shared-log`, `access-log`, `quota`,
-/// `checksum`, `relay`.
+/// `inbox`, `stock-ticker`, `registry-file`, `table`, `mirror`,
+/// `live-query`, `outbox`, `fan-out`, `notify`, `shared-log`,
+/// `access-log`, `quota`, `checksum`, `relay`.
 pub fn register_all(registry: &SentinelRegistry) {
     generate::register(registry);
     filter::register(registry);
@@ -111,6 +111,7 @@ mod tests {
             "inbox",
             "stock-ticker",
             "registry-file",
+            "table",
             "mirror",
             "live-query",
             "outbox",

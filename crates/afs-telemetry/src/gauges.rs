@@ -291,9 +291,108 @@ pub struct FleetSnapshot {
     pub pinned: u64,
 }
 
+/// Live gauges for the durable page store: WAL traffic, commit/fsync
+/// cadence, checkpoints, and what recovery found on reopen.
+#[derive(Debug, Default)]
+pub struct StoreGauges {
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    commits: AtomicU64,
+    checkpoints: AtomicU64,
+    recovered_records: AtomicU64,
+    torn_detected: AtomicU64,
+}
+
+impl StoreGauges {
+    /// Records one WAL record appended, `bytes` long on the medium.
+    pub fn wal_append(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one fsync barrier issued against the durable medium.
+    pub fn fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one committed WAL batch (group commit).
+    pub fn commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint (dirty pages written, WAL truncated).
+    pub fn checkpoint(&self) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `records` WAL records replayed by redo recovery on reopen.
+    pub fn recovered(&self, records: u64) {
+        self.recovered_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Records one torn (incomplete or checksum-failing) WAL tail detected
+    /// and discarded by recovery.
+    pub fn torn(&self) {
+        self.torn_detected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            recovered_records: self.recovered_records.load(Ordering::Relaxed),
+            torn_detected: self.torn_detected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`StoreGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Bytes of WAL records appended to the medium.
+    pub wal_bytes: u64,
+    /// fsync barriers issued.
+    pub fsyncs: u64,
+    /// WAL batches committed (group commits).
+    pub commits: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// WAL records replayed by redo recovery across reopens.
+    pub recovered_records: u64,
+    /// Torn WAL tails detected via checksum and discarded.
+    pub torn_detected: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn store_gauges_track_wal_and_recovery() {
+        let g = StoreGauges::default();
+        g.wal_append(32);
+        g.wal_append(16);
+        g.fsync();
+        g.commit();
+        g.checkpoint();
+        g.recovered(5);
+        g.torn();
+        let s = g.snapshot();
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_bytes, 48);
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.recovered_records, 5);
+        assert_eq!(s.torn_detected, 1);
+    }
 
     #[test]
     fn fleet_gauges_track_lifecycle_and_scheduling() {

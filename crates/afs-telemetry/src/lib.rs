@@ -35,6 +35,7 @@ mod span;
 pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
 pub use gauges::{
     FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges, SessionGauges, SessionSnapshot,
+    StoreGauges, StoreSnapshot,
 };
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use registry::{Metric, MetricValue, MetricsRegistry};

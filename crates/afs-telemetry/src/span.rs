@@ -22,7 +22,7 @@ use std::time::Instant;
 use afs_sim::clock;
 use parking_lot::Mutex;
 
-use crate::gauges::{FleetGauges, QueueGauges, SessionGauges};
+use crate::gauges::{FleetGauges, QueueGauges, SessionGauges, StoreGauges};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 
 /// Which layer of the interposition chain a span describes.
@@ -177,6 +177,7 @@ pub struct Telemetry {
     gauges: Arc<QueueGauges>,
     sessions: Arc<SessionGauges>,
     fleet: Arc<FleetGauges>,
+    store: Arc<StoreGauges>,
     strategy_hists: Mutex<StrategyHists>,
     sentinel_hists: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
 }
@@ -200,6 +201,7 @@ impl Telemetry {
             gauges: Arc::new(QueueGauges::default()),
             sessions: Arc::new(SessionGauges::default()),
             fleet: Arc::new(FleetGauges::default()),
+            store: Arc::new(StoreGauges::default()),
             strategy_hists: Mutex::new(Vec::new()),
             sentinel_hists: Mutex::new(Vec::new()),
         })
@@ -375,6 +377,12 @@ impl Telemetry {
     /// Always live, like the queue gauges.
     pub fn fleet(&self) -> &Arc<FleetGauges> {
         &self.fleet
+    }
+
+    /// The durable page-store gauges fed by WAL-backed caches. Always
+    /// live, like the queue gauges.
+    pub fn store(&self) -> &Arc<StoreGauges> {
+        &self.store
     }
 
     /// Finds or creates the latency histogram for one (strategy, op) pair.

@@ -12,7 +12,10 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use afs_core::{AfsWorld, Backing, SentinelSpec, Strategy};
+use afs_core::{
+    AfsWorld, Backing, SentinelSpec, Strategy, CTL_STORE_CHECKPOINT, CTL_STORE_STATS,
+    CTL_STORE_SYNC,
+};
 use afs_interpose::{CallCounters, CountingLayer};
 use afs_net::Service;
 use afs_remote::{FileServer, MailStore, PopServer, QuoteServer, SmtpServer};
@@ -330,6 +333,7 @@ impl Shell {
                 }
             }
             "faults" => self.run_faults(rest).map_err(fail),
+            "store" => self.run_store(rest).map_err(fail),
             "sessions" => {
                 let shared = self.world.shared_sentinels();
                 let mut out = String::new();
@@ -430,6 +434,39 @@ impl Shell {
                 message: "unknown command (try `help`)".to_owned(),
             }),
         }
+    }
+
+    /// The `store` command: pragma-style controls against a durable
+    /// active file. `checkpoint`, `stats`, and `sync <mode>` map onto
+    /// the runtime `CTL_STORE_*` control codes; a non-durable file
+    /// answers with the same `NotSupported` the application would see.
+    fn run_store(&mut self, rest: &str) -> Result<String, String> {
+        const USAGE: &str = "usage: store <path> checkpoint|stats|sync <always|commit|off>";
+        let args: Vec<&str> = rest.split_whitespace().collect();
+        let (path, op) = match args.as_slice() {
+            [path, op @ ..] if !op.is_empty() => (*path, op),
+            _ => return Err(USAGE.to_owned()),
+        };
+        let (code, payload): (u32, &[u8]) = match *op {
+            ["checkpoint"] => (CTL_STORE_CHECKPOINT, b""),
+            ["stats"] => (CTL_STORE_STATS, b""),
+            ["sync", mode] => (CTL_STORE_SYNC, mode.as_bytes()),
+            _ => return Err(USAGE.to_owned()),
+        };
+        let h = self
+            .api
+            .create_file(path, Access::read_write(), Disposition::OpenExisting)
+            .map_err(|e| e.to_string())?;
+        // Close even when the control fails — the handle must not leak.
+        let reply = self.api.device_io_control(h, code, payload);
+        let closed = self.api.close_handle(h);
+        let reply = reply.map_err(|e| e.to_string())?;
+        closed.map_err(|e| e.to_string())?;
+        let mut text = String::from_utf8_lossy(&reply).into_owned();
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        Ok(text)
     }
 
     /// The `faults` command: with no arguments, renders the reliability
@@ -706,6 +743,11 @@ commands:
                                        window <start_ns> <end_ns>
                                        latency <base_ns> [jitter_ns]
                                        loss <ppm> | clear
+  store <path> checkpoint              fold the WAL into pages now
+  store <path> stats                   durable-store counters (WAL appends,
+                                       fsyncs, commits, recovery outcome)
+  store <path> sync <always|commit|off>
+                                       switch the durability/speed knob
   sessions                             live shared sentinels with their
                                        session counts, plus the session
                                        gauges (attaches, queue depth,
@@ -729,6 +771,26 @@ mod tests {
         let mut sh = Shell::new();
         sh.run("write /hello.txt hi there").expect("write");
         assert_eq!(sh.run("cat /hello.txt").expect("cat"), "hi there");
+    }
+
+    #[test]
+    fn store_command_drives_the_durable_controls() {
+        let mut sh = Shell::new();
+        sh.run("install /ledger.af null dll disk durable=on sync=commit")
+            .expect("install");
+        sh.run("write /ledger.af committed state").expect("write");
+        let stats = sh.run("store /ledger.af stats").expect("stats");
+        assert!(stats.contains("commits="), "stats: {stats}");
+        assert!(stats.contains("torn=false"), "stats: {stats}");
+        let ckpt = sh.run("store /ledger.af checkpoint").expect("checkpoint");
+        assert!(ckpt.contains("pages_written="), "checkpoint: {ckpt}");
+        let sync = sh.run("store /ledger.af sync off").expect("sync");
+        assert!(sync.contains("off"), "sync: {sync}");
+        // A passive file answers NotSupported, surfaced as an error.
+        sh.run("write /plain.txt hello").expect("write");
+        assert!(sh.run("store /plain.txt stats").is_err());
+        assert!(sh.run("store /ledger.af sync sometimes").is_err());
+        assert!(sh.run("store").is_err());
     }
 
     #[test]
