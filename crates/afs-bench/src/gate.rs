@@ -143,6 +143,15 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
         ));
     }
     {
+        let t = crate::measure_trace_ablation(ops, profile.clone());
+        entries.push((
+            "ablation_trace".to_owned(),
+            t.traced.mean_ns as f64,
+            t.traced.p50_ns,
+            t.traced.p99_ns,
+        ));
+    }
+    {
         let d = crate::measure_store(ops, profile.clone());
         entries.push((
             "store-durable".to_owned(),
@@ -479,9 +488,9 @@ mod tests {
         assert_eq!(parsed.ops, 20);
         assert_eq!(
             parsed.strategies.len(),
-            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 2,
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 1 + 2,
             "four strategies, shared/private per gated client count, two fleet cells, \
-             two store cells"
+             the trace ablation, two store cells"
         );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
@@ -500,11 +509,37 @@ mod tests {
             let s = parsed.strategies.get(label).expect("fleet cell");
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
         }
+        let t = parsed.strategies.get("ablation_trace").expect("trace cell");
+        assert!(
+            t.p99_ns >= t.p50_ns,
+            "percentiles ordered for ablation_trace"
+        );
         for label in ["store-durable", "store-recovery"] {
             let s = parsed.strategies.get(label).expect("store cell");
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
             assert!(s.mean_ns > 0.0, "durability must cost virtual time");
         }
+    }
+
+    #[test]
+    fn trace_ablation_is_free() {
+        // The acceptance bound is <= 5% p99 overhead with zero extra §4
+        // charges; in virtual time the two must in fact coincide, because
+        // spans, slow-op scans, SLO windows, and flight rings charge the
+        // cost model nothing — the 5% headroom is for the day that stops
+        // being true, so the gate fails loudly rather than drifting.
+        let a = crate::measure_trace_ablation(50, HardwareProfile::pentium_ii_300());
+        assert!(a.charges_match, "tracing charged the §4 cost model");
+        assert!(
+            a.traced.p99_ns as f64 <= a.base.p99_ns as f64 * 1.05,
+            "instrumented p99 {} ns exceeds dark p99 {} ns by more than 5%",
+            a.traced.p99_ns,
+            a.base.p99_ns
+        );
+        assert_eq!(
+            a.traced.p50_ns, a.base.p50_ns,
+            "identical charges must mean identical virtual medians"
+        );
     }
 
     #[test]

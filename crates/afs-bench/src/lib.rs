@@ -231,6 +231,65 @@ pub fn span_trace(ops: usize, profile: HardwareProfile) -> String {
     afs_telemetry::chrome_trace(&groups)
 }
 
+/// The tracing-overhead ablation: the same cell measured dark and fully
+/// instrumented, plus whether the §4 charge deltas matched bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct TraceAblation {
+    /// Telemetry disabled — the dark baseline.
+    pub base: afs_sim::Summary,
+    /// Telemetry enabled (spans, slow-op scan, SLO windows, flight rings).
+    pub traced: afs_sim::Summary,
+    /// Whether both runs charged the cost model identically. Tracing is
+    /// observability, not work: any divergence is a §4 accounting bug.
+    pub charges_match: bool,
+}
+
+/// Measures the observability tax: one gate cell (memory path,
+/// DLL-with-thread, 128-byte sequential reads) run dark, then re-run with
+/// telemetry fully on — span capture, slow-op scanning, a declared SLO,
+/// and the flight-recorder rings all active. Because latency is virtual
+/// time and spans charge nothing, the two summaries must agree; the
+/// `ablation_trace` gate cell pins the instrumented number.
+pub fn measure_trace_ablation(ops: usize, profile: HardwareProfile) -> TraceAblation {
+    const BLOCK: usize = 128;
+    let run = |instrumented: bool| {
+        let world = AfsWorld::builder().profile(profile.clone()).build();
+        afs_sentinels::register_all(world.sentinels());
+        let file = "/bench.af";
+        let mut spec = SentinelSpec::new("mirror", Strategy::DllThread).backing(Backing::Memory);
+        if instrumented {
+            // Everything the observability layer can switch on at once:
+            // spans, a slow-op threshold low enough to scan every op, and
+            // a declared SLO so the burn-rate windows tick per operation.
+            spec = spec
+                .with("slo_p99_us", "1000")
+                .with("slo_err_ppm", "100000");
+        }
+        world
+            .install_active_file(file, &spec)
+            .expect("install mirror");
+        world
+            .vfs()
+            .write_stream_replace(
+                &VPath::parse(file).expect("path"),
+                &vec![0xA5u8; BLOCK * ops],
+            )
+            .expect("seed data part");
+        if instrumented {
+            world.telemetry().set_enabled(true);
+            world.telemetry().set_slow_threshold_ns(1);
+        }
+        run_cell(&world, file, Direction::Read, BLOCK, ops)
+    };
+    let base = run(false);
+    let traced = run(true);
+    TraceAblation {
+        charges_match: base.counters == traced.counters,
+        base: base.series.summarize(),
+        traced: traced.series.summarize(),
+    }
+}
+
 /// Drives `ops` operations of `block` bytes against an already-built
 /// world's active file, timing each under a fresh virtual clock.
 fn run_cell(

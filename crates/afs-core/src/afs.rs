@@ -22,7 +22,7 @@ use afs_interpose::ApiLayer;
 use afs_ipc::SyncRegistry;
 use afs_net::Network;
 use afs_sim::{CostModel, OpTrace};
-use afs_telemetry::{Layer, SpanGuard, Telemetry};
+use afs_telemetry::{Layer, SloSpec, SpanGuard, Telemetry};
 use afs_vfs::{VPath, Vfs, ACTIVE_STREAM};
 use afs_winapi::{
     Access, ApiResult, DelegateFileApi, Disposition, FileApi, FileInformation, Handle, HandleTable,
@@ -308,11 +308,24 @@ impl ActiveFileSystem {
         let mut nested_api = self.clone();
         nested_api.nested = true;
         ctx.set_api(Arc::new(Layered(nested_api)));
+        // Service-level objectives: spec keys declare the targets, the
+        // telemetry hub tracks burn rates per file. Garbage values fail
+        // the open loudly rather than silently running unmonitored.
+        let slo_spec = parse_slo_spec(&spec, &vpath)?;
+        let slo = if slo_spec.is_declared() {
+            Some(
+                self.telemetry
+                    .slo_register(&vpath.file_path().to_string(), spec.name(), slo_spec),
+            )
+        } else {
+            None
+        };
         let instr = Instruments::new(
             Arc::clone(&self.telemetry),
             spec.name(),
             Arc::clone(&self.exec),
             self.nested,
+            slo,
         );
         if sharable {
             // First open (or the previous sentinel terminally closed):
@@ -628,6 +641,40 @@ impl DelegateFileApi for ActiveFileSystem {
             None => self.delegate().device_io_control(handle, code, input),
         }
     }
+}
+
+/// Parses the optional SLO spec keys: `slo_p99_us` (latency target,
+/// microseconds) and `slo_err_ppm` (error budget, parts per million).
+/// Garbage values fail the open — an unparseable objective silently
+/// dropped would run the file unmonitored while the operator believes
+/// otherwise.
+fn parse_slo_spec(spec: &SentinelSpec, vpath: &VPath) -> ApiResult<SloSpec> {
+    let mut out = SloSpec::default();
+    if let Some(v) = spec.config().get("slo_p99_us") {
+        match v.trim().parse::<u64>() {
+            Ok(us) if us > 0 => out.p99_ns = Some(us.saturating_mul(1_000)),
+            _ => {
+                eprintln!(
+                    "afs: refusing to open {}: bad slo_p99_us `{v}` (want positive integer microseconds)",
+                    vpath.file_path()
+                );
+                return Err(Win32Error::InvalidParameter);
+            }
+        }
+    }
+    if let Some(v) = spec.config().get("slo_err_ppm") {
+        match v.trim().parse::<u32>() {
+            Ok(ppm) if ppm <= 1_000_000 => out.err_ppm = Some(ppm),
+            _ => {
+                eprintln!(
+                    "afs: refusing to open {}: bad slo_err_ppm `{v}` (want 0..=1000000)",
+                    vpath.file_path()
+                );
+                return Err(Win32Error::InvalidParameter);
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// The installable interception layer carrying an [`ActiveFileSystem`]

@@ -134,6 +134,8 @@ pub const RUNTIME_CONFIG_KEYS: &[&str] = &[
     "replicas",
     "breaker.threshold",
     "breaker.cooldown_us",
+    "slo_p99_us",
+    "slo_err_ppm",
 ];
 
 /// A spec carried a configuration key its sentinel does not declare —

@@ -15,14 +15,13 @@
 //! it. Its [`CrossingKind::None`] boundary makes the handle charge zero
 //! crossings, so the §4.4 cost profile falls out of the wiring.
 
-use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, IpcError, Transport};
 use afs_sim::{CostModel, CrossingKind, OpTrace};
-use afs_telemetry::SessionGauges;
+use afs_telemetry::{SessionGauges, SpanScope};
 use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
@@ -164,7 +163,7 @@ pub(crate) fn open(
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
     let sticky = Arc::new(Mutex::new(None));
-    let scope = Arc::new(AtomicU64::new(0));
+    let scope = Arc::new(SpanScope::default());
     let transport = InlineTransport {
         state: Mutex::new(InlineState {
             logic,
@@ -351,7 +350,7 @@ impl SharedSentinel for InlineShared {
             self.gauges.attached(core.live as u64);
         }
         let sticky = Arc::new(Mutex::new(None));
-        let scope = Arc::new(AtomicU64::new(0));
+        let scope = Arc::new(SpanScope::default());
         let session = InlineSession {
             shared: me,
             staging: Mutex::new(SessionStaging {

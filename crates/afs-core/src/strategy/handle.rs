@@ -16,14 +16,13 @@
 //! *later* operation's record — per-op write costs are eventual, while
 //! totals stay exact.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, Transport};
 use afs_sim::{clock, Cost, CostModel, CrossingKind, OpKind, OpTrace, TraceRecord};
-use afs_telemetry::{now_ns, LatencyHistogram, Layer, SpanGuard, Telemetry};
+use afs_telemetry::{now_ns, LatencyHistogram, Layer, SloTracker, SpanGuard, SpanScope, Telemetry};
 use afs_winapi::{SeekMethod, Win32Error};
 
 use crate::logic::SentinelError;
@@ -66,9 +65,12 @@ pub(crate) struct StrategyHandle<T: Transport<Cmd = Op, Reply = OpReply>> {
     /// Scratch buffers for scatter reassembly.
     pool: BufferPool,
     tel: Arc<Telemetry>,
-    /// Publishes the in-flight strategy-span id so the sentinel thread can
-    /// parent its spans to the op it is serving.
-    scope: Arc<AtomicU64>,
+    /// Publishes the in-flight op's trace context so the sentinel task can
+    /// parent (and trace) its spans to the op it is serving, no matter
+    /// which executor worker polls it.
+    scope: Arc<SpanScope>,
+    /// The file's SLO tracker, when objectives are declared in the spec.
+    slo: Option<Arc<SloTracker>>,
     /// Per-(strategy, op) latency histograms, resolved once at open.
     hists: [Arc<LatencyHistogram>; 7],
 }
@@ -96,6 +98,7 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
             pool: BufferPool::new(),
             tel: obs.tel,
             scope: obs.scope,
+            slo: obs.slo,
             hists,
         }
     }
@@ -125,22 +128,28 @@ impl<T: Transport<Cmd = Op, Reply = OpReply>> StrategyHandle<T> {
                 .tel
                 .span_tagged(Layer::Strategy, op.label(), self.strategy);
             if let Some(sp) = &span {
-                self.scope.store(sp.id(), Ordering::Relaxed);
+                self.scope.publish(sp.context());
             }
             tel_started = now_ns();
         }
         let started = clock::now();
         let before = self.model.snapshot();
         let (result, bytes) = f();
+        let elapsed_ns = clock::now().saturating_sub(started);
         let delta = self.model.snapshot().since(&before);
         self.trace.record(TraceRecord {
             strategy: self.strategy,
             op,
             bytes,
-            elapsed_ns: clock::now().saturating_sub(started),
+            elapsed_ns,
             crossings: delta.process_switches + delta.thread_switches,
             copies: delta.copies,
         });
+        if let Some(slo) = &self.slo {
+            // Virtual elapsed time, so burn rates are exact under the sim
+            // clock and objectives survive telemetry being off.
+            slo.record(elapsed_ns, result.is_err());
+        }
         if tel_on {
             self.hists[op_index(op)].record(now_ns().saturating_sub(tel_started));
             if let Some(sp) = span.as_mut() {
@@ -554,7 +563,8 @@ mod tests {
         let tel = Telemetry::new();
         let obs = OpObserver {
             tel: Arc::clone(&tel),
-            scope: Arc::new(AtomicU64::new(0)),
+            scope: Arc::new(SpanScope::default()),
+            slo: None,
         };
         StrategyHandle::new(
             OverDeliver { n },

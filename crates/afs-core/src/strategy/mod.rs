@@ -31,7 +31,6 @@ pub(crate) mod mux;
 pub mod process;
 pub mod thread;
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -39,7 +38,9 @@ use parking_lot::Mutex;
 
 use afs_ipc::{BufferPool, PairPort};
 use afs_sim::{clock, SimTime};
-use afs_telemetry::{intern, now_ns, LatencyHistogram, Layer, Telemetry};
+use afs_telemetry::{
+    intern, now_ns, LatencyHistogram, Layer, SentinelStats, SloTracker, SpanScope, Telemetry,
+};
 use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
@@ -59,6 +60,10 @@ pub(crate) struct Instruments {
     /// the opener — which may block a pool worker waiting on it — cannot
     /// starve it of the bounded pool.
     pub(crate) pinned: bool,
+    /// The file's SLO tracker when the spec declares objectives
+    /// (`slo_p99_us=` / `slo_err_ppm=`); the strategy handle records every
+    /// op into it.
+    pub(crate) slo: Option<Arc<SloTracker>>,
 }
 
 impl Instruments {
@@ -67,12 +72,14 @@ impl Instruments {
         sentinel: &str,
         exec: Arc<executor::SentinelExecutor>,
         pinned: bool,
+        slo: Option<Arc<SloTracker>>,
     ) -> Self {
         Instruments {
             tel,
             sentinel: intern(sentinel),
             exec,
             pinned,
+            slo,
         }
     }
 
@@ -90,12 +97,13 @@ impl Instruments {
     }
 
     /// The application-side observation bundle for the strategy handle.
-    /// `scope` is the shared cell the handle publishes the in-flight
-    /// strategy-span id in.
-    pub(crate) fn app_side(&self, scope: Arc<AtomicU64>) -> OpObserver {
+    /// `scope` is the shared cell the handle publishes the in-flight op's
+    /// trace context in.
+    pub(crate) fn app_side(&self, scope: Arc<SpanScope>) -> OpObserver {
         OpObserver {
             tel: Arc::clone(&self.tel),
             scope,
+            slo: self.slo.clone(),
         }
     }
 
@@ -104,13 +112,15 @@ impl Instruments {
     pub(crate) fn sentinel_side(
         &self,
         strategy: &'static str,
-        scope: Arc<AtomicU64>,
+        scope: Arc<SpanScope>,
     ) -> SentinelSide {
         SentinelSide {
             hist: self.tel.sentinel_hist(self.sentinel),
+            stats: self.tel.sentinel_stats(self.sentinel),
             tel: Arc::clone(&self.tel),
             scope,
             strategy,
+            note: "",
         }
     }
 }
@@ -118,31 +128,53 @@ impl Instruments {
 /// Application-side telemetry for one [`StrategyHandle`](handle::StrategyHandle).
 pub(crate) struct OpObserver {
     pub(crate) tel: Arc<Telemetry>,
-    pub(crate) scope: Arc<AtomicU64>,
+    pub(crate) scope: Arc<SpanScope>,
+    pub(crate) slo: Option<Arc<SloTracker>>,
 }
 
 /// Sentinel-side telemetry: span creation (parented across threads via the
-/// shared scope cell) plus the per-sentinel latency histogram.
+/// shared scope cell), the per-sentinel latency histogram, and the
+/// per-sentinel resource counters.
 #[derive(Clone)]
 pub(crate) struct SentinelSide {
     tel: Arc<Telemetry>,
     hist: Arc<LatencyHistogram>,
-    scope: Arc<AtomicU64>,
+    stats: Arc<SentinelStats>,
+    scope: Arc<SpanScope>,
     strategy: &'static str,
+    /// Annotation applied to every span this side opens; the mux layer
+    /// sets `"session=<id> file=<path>"` so slow-op ancestry and traces
+    /// name the owning session.
+    note: &'static str,
 }
 
 impl SentinelSide {
+    /// Returns this side with `note` (interned) annotating every span it
+    /// opens.
+    pub(crate) fn with_note(mut self, note: &'static str) -> SentinelSide {
+        self.note = note;
+        self
+    }
+
+    /// The per-sentinel resource counters this side feeds.
+    pub(crate) fn stats(&self) -> &Arc<SentinelStats> {
+        &self.stats
+    }
+
     /// Runs one sentinel-side op execution under a [`Layer::Sentinel`] span
     /// parented to the application's in-flight strategy span, recording the
-    /// execution latency in the per-sentinel histogram.
+    /// execution latency in the per-sentinel histogram. The parent (and
+    /// trace) come from the scope *cell*, not the polling thread's own
+    /// span stack, so a task migrated across executor workers by
+    /// work-stealing still re-parents to the originating op.
     pub(crate) fn observe<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
         if !self.tel.enabled() {
             return f();
         }
-        let parent = self.scope.load(Ordering::Relaxed);
+        let ctx = self.scope.load();
         let _span = self
             .tel
-            .span_with_parent(Layer::Sentinel, name, self.strategy, parent);
+            .span_in_context(Layer::Sentinel, name, self.strategy, ctx, self.note);
         let started = now_ns();
         let result = f();
         self.hist.record(now_ns().saturating_sub(started));
@@ -156,7 +188,10 @@ impl SentinelSide {
         if !self.tel.enabled() {
             return f();
         }
-        let _span = self.tel.span_tagged(Layer::Sentinel, name, self.strategy);
+        let mut span = self.tel.span_tagged(Layer::Sentinel, name, self.strategy);
+        if let Some(span) = span.as_mut() {
+            span.set_note(self.note);
+        }
         let started = now_ns();
         let result = f();
         self.hist.record(now_ns().saturating_sub(started));
@@ -342,6 +377,7 @@ pub(crate) fn execute_op(
                     // extended — the legacy application keeps running).
                     match ctx.cache().read_at(offset, &mut buf) {
                         Ok(n) => {
+                            note_degraded_entry(ctx, "read");
                             ctx.set_stale(true);
                             ctx.net().reliability_stats().note_degraded_read();
                             buf.truncate(n);
@@ -392,6 +428,7 @@ pub(crate) fn execute_op(
                 // cache and queue it for replay on heal.
                 let _ = ctx.cache().write_at(offset, payload);
                 ctx.write_queue().push((offset, payload.to_vec()));
+                note_degraded_entry(ctx, "write");
                 ctx.set_stale(true);
                 ctx.net().reliability_stats().note_queued_write();
                 (OpReply::Done, None)
@@ -403,6 +440,7 @@ pub(crate) fn execute_op(
             Err(SentinelError::Net(_)) if ctx.degraded_enabled() && ctx.cache().is_present() => {
                 match ctx.cache().len() {
                     Ok(n) => {
+                        note_degraded_entry(ctx, "size");
                         ctx.set_stale(true);
                         (OpReply::Size(n), None)
                     }
@@ -445,6 +483,16 @@ pub(crate) fn execute_op(
             ctx.persist_cache();
             (reply, None)
         }
+    }
+}
+
+/// Fires the `degraded_enter` flight-recorder trigger on the transition
+/// into stale service (not on every degraded op). The recorder is reached
+/// through the open sentinel span's hub; with telemetry disabled there is
+/// no open span and this is a no-op.
+fn note_degraded_entry(ctx: &SentinelCtx, op: &str) {
+    if !ctx.is_stale() {
+        afs_telemetry::flight_trigger("degraded_enter", format!("path={} op={op}", ctx.path()));
     }
 }
 
@@ -591,6 +639,8 @@ impl DispatchTask {
                 let (reply, _) = self
                     .side
                     .observe("write", || execute_op(logic, ctx, op, &buf, port.pool()));
+                let failed = matches!(reply, OpReply::Failed(_));
+                self.side.stats().op(len as u64, 0, failed);
                 if let OpReply::Failed(e) = reply {
                     *self.sticky.lock() = Some(e);
                 }
@@ -601,6 +651,9 @@ impl DispatchTask {
                 let (reply, _) = self
                     .side
                     .observe("close", || execute_op(logic, ctx, op, &[], port.pool()));
+                self.side
+                    .stats()
+                    .op(0, 0, matches!(reply, OpReply::Failed(_)));
                 let _ = port.send_reply(reply);
                 TaskPoll::Ready
             }
@@ -609,6 +662,10 @@ impl DispatchTask {
                 let (reply, data) = self
                     .side
                     .observe(name, || execute_op(logic, ctx, other, &[], port.pool()));
+                let bytes_out = data.as_ref().map_or(0, |d| d.len() as u64);
+                self.side
+                    .stats()
+                    .op(0, bytes_out, matches!(reply, OpReply::Failed(_)));
                 if port.send_reply(reply).is_err() {
                     return TaskPoll::Ready;
                 }
@@ -626,10 +683,16 @@ impl DispatchTask {
 
 impl SentinelPoll for DispatchTask {
     fn poll(&mut self) -> TaskPoll {
+        // Commands served back-to-back in one poll were queued together:
+        // the run length is this task's observed backlog depth.
+        let mut drained = 0u64;
         loop {
             let op = match self.port.poll_cmd() {
                 Ok(Some(op)) => op,
-                Ok(None) => return TaskPoll::Pending,
+                Ok(None) => {
+                    self.side.stats().note_queue_depth(drained);
+                    return TaskPoll::Pending;
+                }
                 // The application vanished without Close (process killed);
                 // still run the close hook.
                 Err(_) => {
@@ -638,6 +701,7 @@ impl SentinelPoll for DispatchTask {
                     return TaskPoll::Ready;
                 }
             };
+            drained += 1;
             if let TaskPoll::Ready = self.serve(op) {
                 return TaskPoll::Ready;
             }

@@ -24,14 +24,14 @@
 //!   sentinel already ran its terminal close and a fresh one is needed.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::AtomicU64;
+
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use afs_ipc::{Framed, MuxHub, MuxProtocol, PairPort, PairTransport};
 use afs_sim::{CostModel, OpTrace};
-use afs_telemetry::Telemetry;
+use afs_telemetry::{intern, SpanScope, Telemetry};
 use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
@@ -125,6 +125,8 @@ pub(crate) struct MuxShared {
     model: CostModel,
     trace: Arc<OpTrace>,
     strategy: &'static str,
+    /// Interned data-part path, for the per-session span note.
+    file: &'static str,
     instr: Instruments,
 }
 
@@ -132,10 +134,21 @@ impl SharedSentinel for MuxShared {
     fn attach(&self) -> Option<Arc<dyn ActiveOps>> {
         let session = self.hub.attach()?;
         let sticky = Arc::new(Mutex::new(None));
-        let scope = Arc::new(AtomicU64::new(0));
+        let scope = Arc::new(SpanScope::default());
+        // Every sentinel-side span of this session carries the owning
+        // session id and file, so slow-op ancestry and trace dumps name
+        // which of the multiplexed clients an op belongs to.
+        let note = intern(&format!(
+            "session={} file={}",
+            session.session_id(),
+            self.file
+        ));
         let record = SessionRecord {
             sticky: Arc::clone(&sticky),
-            side: self.instr.sentinel_side(self.strategy, Arc::clone(&scope)),
+            side: self
+                .instr
+                .sentinel_side(self.strategy, Arc::clone(&scope))
+                .with_note(note),
         };
         {
             // Sessions that closed non-terminally never reach the
@@ -182,6 +195,7 @@ pub(crate) fn open_shared(
         Strategy::Process | Strategy::DllOnly => return Err(Win32Error::NotSupported),
     };
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
+    let file = intern(&ctx.path().file_path().to_string());
     let (transport, port) = if kernel {
         Wire::kernel_observed(model.clone(), Arc::clone(instr.tel.gauges()))
     } else {
@@ -200,7 +214,7 @@ pub(crate) fn open_shared(
         sessions: Arc::clone(&sessions),
         // Frames from sessions that detached before their staged writes
         // drained still execute, observed under this fallback scope.
-        fallback: instr.sentinel_side(label, Arc::new(AtomicU64::new(0))),
+        fallback: instr.sentinel_side(label, Arc::new(SpanScope::default())),
         tel: Arc::clone(&instr.tel),
         queues: HashMap::new(),
         rotation: VecDeque::new(),
@@ -218,6 +232,7 @@ pub(crate) fn open_shared(
         model,
         trace,
         strategy: label,
+        file,
         instr,
     }))
 }
@@ -280,6 +295,8 @@ impl MuxLoop {
             let (reply, _) = side.observe("write", || {
                 execute_op(logic.as_mut(), ctx, op, &buf, port.pool())
             });
+            side.stats()
+                .op(u64::from(len), 0, matches!(reply, OpReply::Failed(_)));
             port.pool().put(buf);
             if let OpReply::Failed(e) = reply {
                 if let Some(rec) = rec {
@@ -328,6 +345,11 @@ impl MuxLoop {
         let (reply, data) = side.observe(name, || {
             execute_op(logic.as_mut(), ctx, op, &[], port.pool())
         });
+        side.stats().op(
+            0,
+            data.as_ref().map_or(0, |d| d.len() as u64),
+            matches!(reply, OpReply::Failed(_)),
+        );
         if port
             .send_reply(Framed {
                 session,
@@ -407,6 +429,7 @@ impl SentinelPoll for MuxLoop {
             }
             let depth: usize = self.queues.values().map(VecDeque::len).sum();
             self.tel.sessions().note_queue_depth(depth as u64);
+            self.fallback.stats().note_queue_depth(depth as u64);
             let Some(session) = self.rotation.pop_front() else {
                 continue;
             };

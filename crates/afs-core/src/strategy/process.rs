@@ -23,13 +23,13 @@
 //!
 //! [`StrategyHandle`]: crate::strategy::handle::StrategyHandle
 
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use afs_ipc::{PipeReader, PipeWriter, StreamTransport};
 use afs_sim::{CostModel, OpTrace};
+use afs_telemetry::SpanScope;
 use afs_winapi::Win32Error;
 
 use crate::ctx::SentinelCtx;
@@ -82,7 +82,7 @@ fn wire(
         // §4.1 streams have no command lane to poll, so the pump pair
         // keeps dedicated threads; the reaper joins them directly.
         Some(Reaper::Thread(join)),
-        instr.app_side(Arc::new(AtomicU64::new(0))),
+        instr.app_side(Arc::new(SpanScope::default())),
     ))
 }
 
@@ -113,7 +113,7 @@ pub(crate) fn open_logic(
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
     // The pump's streaming chunks are not tied to any single application
     // op, so its spans are roots and the scope cell goes unused.
-    let side = instr.sentinel_side("SimpleProcess", Arc::new(AtomicU64::new(0)));
+    let side = instr.sentinel_side("SimpleProcess", Arc::new(SpanScope::default()));
     Ok(wire(model, trace, &instr, move |stdin, stdout| {
         pump(logic, ctx, stdin, stdout, side);
     }))

@@ -23,13 +23,13 @@
 //!
 //! [`SharedBuffer::send`]: afs_ipc::SharedBuffer::send
 
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use afs_ipc::PairTransport;
 use afs_sim::{CostModel, OpTrace};
+use afs_telemetry::SpanScope;
 
 use crate::ctx::SentinelCtx;
 use crate::logic::SentinelLogic;
@@ -57,7 +57,7 @@ pub(crate) fn open(
     );
     let sticky = Arc::new(Mutex::new(None));
     let sentinel_sticky = Arc::clone(&sticky);
-    let scope = Arc::new(AtomicU64::new(0));
+    let scope = Arc::new(SpanScope::default());
     let side = instr.sentinel_side("Thread", Arc::clone(&scope));
     let done = instr.spawn_task(move |waker| {
         port.set_wakeup(waker);

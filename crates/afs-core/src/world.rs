@@ -322,6 +322,66 @@ fn register_world_collectors(
             "afs_store_torn_detected_total",
             st.torn_detected,
         ));
+        out.push(Metric::counter(
+            "afs_flight_triggers_total",
+            telemetry.flight().trigger_count(),
+        ));
+        out.push(Metric::gauge(
+            "afs_flight_bundles",
+            telemetry.flight().bundles().len() as u64,
+        ));
+        for slo in telemetry.slo_trackers() {
+            let s = slo.snapshot();
+            let tag = |m: Metric| m.label("file", s.file).label("sentinel", s.sentinel);
+            out.push(tag(Metric::counter("afs_slo_ops_total", s.ops)));
+            out.push(tag(Metric::counter("afs_slo_errors_total", s.errors)));
+            out.push(tag(Metric::counter(
+                "afs_slo_latency_breaches_total",
+                s.lat_breaches,
+            )));
+            if let Some(p99) = s.spec.p99_ns {
+                out.push(tag(Metric::gauge("afs_slo_latency_target_ns", p99)));
+            }
+            if let Some(ppm) = s.spec.err_ppm {
+                out.push(tag(Metric::gauge(
+                    "afs_slo_error_budget_ppm",
+                    u64::from(ppm),
+                )));
+            }
+            for (window, rates) in [("short", &s.short), ("long", &s.long)] {
+                out.push(
+                    tag(Metric::gauge(
+                        "afs_slo_latency_burn_milli",
+                        rates.latency_milli,
+                    ))
+                    .label("window", window),
+                );
+                out.push(
+                    tag(Metric::gauge("afs_slo_error_burn_milli", rates.error_milli))
+                        .label("window", window),
+                );
+            }
+        }
+        for (sentinel, stats) in telemetry.sentinel_stats_snapshots() {
+            let tag = |m: Metric| m.label("sentinel", sentinel);
+            out.push(tag(Metric::counter("afs_sentinel_ops_total", stats.ops)));
+            out.push(tag(Metric::counter(
+                "afs_sentinel_errors_total",
+                stats.errors,
+            )));
+            out.push(tag(Metric::counter(
+                "afs_sentinel_bytes_in_total",
+                stats.bytes_in,
+            )));
+            out.push(tag(Metric::counter(
+                "afs_sentinel_bytes_out_total",
+                stats.bytes_out,
+            )));
+            out.push(tag(Metric::gauge(
+                "afs_sentinel_queue_depth_peak",
+                stats.queue_depth_peak,
+            )));
+        }
     });
 }
 
@@ -417,6 +477,58 @@ impl AfsWorld {
     /// to export it.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The post-mortem bundle: every frozen flight-recorder bundle plus
+    /// the live context an operator needs to read them — the full metrics
+    /// snapshot (cost model, store, fleet, SLO burn rates), per-service
+    /// fault-plan state, and circuit-breaker states — as one JSON
+    /// document (`afsh dump`).
+    pub fn flight_dump(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let telemetry = self.telemetry();
+        let flight = afs_telemetry::flight_bundles_json(&telemetry.flight().bundles());
+        let metrics = afs_telemetry::json_snapshot(&self.metrics.snapshot());
+        let faults: Vec<String> = self
+            .net
+            .services()
+            .into_iter()
+            .filter_map(|name| {
+                let plan = self.net.plan(&name)?;
+                Some(format!(
+                    "{{\"service\":\"{}\",\"state\":\"{}\"}}",
+                    esc(&name),
+                    esc(&plan.describe())
+                ))
+            })
+            .collect();
+        let breakers: Vec<String> = self
+            .net
+            .breaker_states()
+            .into_iter()
+            .map(|(name, state)| {
+                format!("{{\"service\":\"{}\",\"state\":\"{state}\"}}", esc(&name))
+            })
+            .collect();
+        format!(
+            "{{\"flight\":{flight},\"metrics\":{metrics},\"faults\":[{}],\"breakers\":[{}]}}",
+            faults.join(","),
+            breakers.join(",")
+        )
     }
 
     /// The interception manager (for tests that install extra layers).

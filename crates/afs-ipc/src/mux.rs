@@ -310,6 +310,9 @@ where
         if s.live.is_empty() {
             s.closed = true;
             closing.store(true, Ordering::SeqCst);
+            if let Some(g) = &self.gauges {
+                g.terminal_close();
+            }
             self.transmit_locked(session, cmd, &[])
         } else {
             drop(s);

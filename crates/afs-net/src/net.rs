@@ -8,7 +8,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use afs_sim::{clock, Cost, CostModel, SimRng};
-use afs_telemetry::{now_ns, retry_span};
+use afs_telemetry::{flight_note, flight_trigger, intern, now_ns, retry_span_noted};
 
 use crate::reliability::{
     CircuitBreaker, ReliabilityPolicy, ReliabilitySnapshot, ReliabilityStats,
@@ -437,6 +437,11 @@ impl Network {
             .on_failure(now_ns());
         if tripped {
             self.rel.stats.note_breaker_trip();
+            drop(map);
+            // A breaker opening is a post-mortem moment: freeze the recent
+            // spans and event rings while the failing op is still in
+            // flight, so the bundle contains its causal trace.
+            flight_trigger("breaker_open", format!("service={name}"));
         }
     }
 
@@ -468,6 +473,11 @@ impl Network {
             for candidate in &candidates {
                 if !self.breaker_allow(policy, candidate) {
                     self.rel.stats.note_breaker_rejection();
+                    // The local refusal is part of the op's causal story:
+                    // an annotated zero-work child span records it in the
+                    // trace.
+                    drop(retry_span_noted("breaker-reject", "cause=breaker_open"));
+                    flight_note("net", format!("breaker_reject service={candidate}"));
                     last_err = Some(NetError::CircuitOpen((*candidate).to_owned()));
                     continue;
                 }
@@ -476,6 +486,14 @@ impl Network {
                         self.breaker_success(policy, candidate);
                         if *candidate != service {
                             self.rel.stats.note_failover();
+                            let _sp = retry_span_noted(
+                                "failover",
+                                intern(&format!("cause=failover replica={candidate}")),
+                            );
+                            flight_note(
+                                "net",
+                                format!("failover service={service} replica={candidate}"),
+                            );
                         }
                         return Ok(value);
                     }
@@ -500,7 +518,7 @@ impl Network {
                 }
                 if !span_opened {
                     span_opened = true;
-                    span = retry_span("retry");
+                    span = retry_span_noted("retry", "cause=backoff");
                 }
                 clock::advance(wait);
                 self.rel.stats.note_retry();

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use crate::flight::FlightBundle;
 use crate::registry::{Metric, MetricValue};
 use crate::span::SpanRecord;
 
@@ -27,38 +28,87 @@ fn escape_json(s: &str, out: &mut String) {
     }
 }
 
+/// Escapes a Prometheus label *value*: backslash, double quote, and both
+/// line terminators. CR has no defined exposition escape, so it borrows
+/// the `\r` spelling — line integrity beats round-tripping a control
+/// character nothing should contain.
+fn escape_prom_value(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Coerces a metric or label name into the exposition grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`; labels may not use `:`). Invalid bytes
+/// become `_` — an adversarial name degrades, it never corrupts a line.
+fn sanitize_name(name: &str, is_label: bool) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = match c {
+            'a'..='z' | 'A'..='Z' | '_' => true,
+            ':' => !is_label,
+            '0'..='9' => i > 0,
+            _ => false,
+        };
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
 fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
-    let mut parts: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| {
-            let mut escaped = String::new();
-            escape_json(v, &mut escaped);
-            format!("{k}=\"{escaped}\"")
-        })
-        .collect();
+    let mut parts: Vec<(String, String)> = Vec::new();
+    for (k, v) in labels {
+        let key = sanitize_name(k, true);
+        // Duplicate label names (possibly via sanitisation collision)
+        // would make the block unparseable; first occurrence wins.
+        if parts.iter().any(|(existing, _)| *existing == key) {
+            continue;
+        }
+        let mut escaped = String::new();
+        escape_prom_value(v, &mut escaped);
+        parts.push((key, escaped));
+    }
     if let Some((k, v)) = extra {
-        parts.push(format!("{k}=\"{v}\""));
+        parts.push((sanitize_name(k, true), v.to_owned()));
     }
     if parts.is_empty() {
         String::new()
     } else {
-        format!("{{{}}}", parts.join(","))
+        let rendered: Vec<String> = parts.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", rendered.join(","))
     }
 }
 
 /// Renders metrics in Prometheus text exposition format. Summaries become
 /// `quantile`-labelled samples plus `_count`, `_sum`, and `_max` series.
+/// Names are sanitised, label values escaped, and exact-duplicate series
+/// (same name and label set) dropped after the first — adversarial inputs
+/// degrade into valid exposition text instead of corrupting it.
 pub fn prometheus_text(metrics: &[Metric]) -> String {
     let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    let emit = |out: &mut String, seen: &mut Vec<String>, series: String, value: String| {
+        if seen.contains(&series) {
+            return;
+        }
+        let _ = writeln!(out, "{series} {value}");
+        seen.push(series);
+    };
     for metric in metrics {
+        let name = sanitize_name(&metric.name, false);
         match &metric.value {
             MetricValue::Counter(v) | MetricValue::Gauge(v) => {
-                let _ = writeln!(
-                    out,
-                    "{}{} {v}",
-                    metric.name,
-                    label_block(&metric.labels, None)
-                );
+                let series = format!("{name}{}", label_block(&metric.labels, None));
+                emit(&mut out, &mut seen, series, v.to_string());
             }
             MetricValue::Summary(snap) => {
                 for (q, v) in [
@@ -66,21 +116,97 @@ pub fn prometheus_text(metrics: &[Metric]) -> String {
                     ("0.9", snap.p90_ns()),
                     ("0.99", snap.p99_ns()),
                 ] {
-                    let _ = writeln!(
-                        out,
-                        "{}{} {v}",
-                        metric.name,
+                    let series = format!(
+                        "{name}{}",
                         label_block(&metric.labels, Some(("quantile", q)))
                     );
+                    emit(&mut out, &mut seen, series, v.to_string());
                 }
                 let plain = label_block(&metric.labels, None);
-                let _ = writeln!(out, "{}_count{plain} {}", metric.name, snap.count);
-                let _ = writeln!(out, "{}_sum{plain} {}", metric.name, snap.sum_ns);
-                let _ = writeln!(out, "{}_max{plain} {}", metric.name, snap.max_ns);
+                for (suffix, v) in [
+                    ("_count", snap.count),
+                    ("_sum", snap.sum_ns),
+                    ("_max", snap.max_ns),
+                ] {
+                    emit(
+                        &mut out,
+                        &mut seen,
+                        format!("{name}{suffix}{plain}"),
+                        v.to_string(),
+                    );
+                }
             }
         }
     }
     out
+}
+
+/// Validity check for Prometheus text exposition output: every non-empty,
+/// non-comment line must be `name[{labels}] value` with a grammatical
+/// name, well-formed quoted/escaped label values, and a numeric value.
+/// The test-side counterpart of the hardening in [`prometheus_text`].
+pub fn prometheus_is_valid(text: &str) -> bool {
+    text.lines().all(prom_line_is_valid)
+}
+
+fn prom_line_is_valid(line: &str) -> bool {
+    if line.is_empty() || line.starts_with('#') {
+        return true;
+    }
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let name_ok = |b: u8, first: bool| {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || (!first && b.is_ascii_digit())
+    };
+    while pos < bytes.len() && name_ok(bytes[pos], pos == 0) {
+        pos += 1;
+    }
+    if pos == 0 {
+        return false;
+    }
+    if bytes.get(pos) == Some(&b'{') {
+        pos += 1;
+        if bytes.get(pos) != Some(&b'}') {
+            loop {
+                let start = pos;
+                while pos < bytes.len() && name_ok(bytes[pos], pos == start) {
+                    pos += 1;
+                }
+                if pos == start || bytes.get(pos) != Some(&b'=') {
+                    return false;
+                }
+                pos += 1;
+                if bytes.get(pos) != Some(&b'"') {
+                    return false;
+                }
+                pos += 1;
+                loop {
+                    match bytes.get(pos) {
+                        Some(b'"') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(b'\\') => match bytes.get(pos + 1) {
+                            Some(b'\\' | b'"' | b'n' | b'r') => pos += 2,
+                            _ => return false,
+                        },
+                        Some(b'\n') | None => return false,
+                        Some(_) => pos += 1,
+                    }
+                }
+                match bytes.get(pos) {
+                    Some(b',') => pos += 1,
+                    Some(b'}') => break,
+                    _ => return false,
+                }
+            }
+        }
+        pos += 1; // consume '}'
+    }
+    if bytes.get(pos) != Some(&b' ') {
+        return false;
+    }
+    line[pos + 1..].parse::<f64>().is_ok()
 }
 
 /// Renders metrics as a JSON object: `{"metrics": [...]}`.
@@ -93,11 +219,20 @@ pub fn json_snapshot(metrics: &[Metric]) -> String {
         out.push_str("{\"name\":\"");
         escape_json(&metric.name, &mut out);
         out.push_str("\",\"labels\":{");
-        for (j, (k, v)) in metric.labels.iter().enumerate() {
-            if j > 0 {
+        let mut emitted: Vec<&'static str> = Vec::new();
+        for (k, v) in metric.labels.iter() {
+            // A duplicated label key would shadow in any JSON consumer;
+            // first occurrence wins, matching the Prometheus exporter.
+            if emitted.contains(k) {
+                continue;
+            }
+            if !emitted.is_empty() {
                 out.push(',');
             }
-            let _ = write!(out, "\"{k}\":\"");
+            emitted.push(k);
+            out.push('"');
+            escape_json(k, &mut out);
+            out.push_str("\":\"");
             escape_json(v, &mut out);
             out.push('"');
         }
@@ -150,19 +285,101 @@ pub fn chrome_trace(groups: &[(&str, Vec<SpanRecord>)]) -> String {
             escape_json(span.name, &mut out);
             let _ = write!(
                 out,
-                "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"strategy\":\"",
+                "\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{pid},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"trace\":{},\"strategy\":\"",
                 span.layer.label(),
                 span.start as f64 / 1_000.0,
                 span.duration_ns() as f64 / 1_000.0,
                 span.thread,
                 span.id,
-                span.parent
+                span.parent,
+                span.trace
             );
             escape_json(span.strategy, &mut out);
+            out.push_str("\",\"note\":\"");
+            escape_json(span.note, &mut out);
             let _ = write!(out, "\",\"bytes\":{}}}}}", span.bytes);
         }
     }
     out.push(']');
+    out
+}
+
+fn span_record_json(span: &SpanRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"id\":{},\"parent\":{},\"trace\":{},\"layer\":\"{}\",\"name\":\"",
+        span.id,
+        span.parent,
+        span.trace,
+        span.layer.label()
+    );
+    escape_json(span.name, out);
+    out.push_str("\",\"strategy\":\"");
+    escape_json(span.strategy, out);
+    out.push_str("\",\"note\":\"");
+    escape_json(span.note, out);
+    let _ = write!(
+        out,
+        "\",\"start_ns\":{},\"end_ns\":{},\"bytes\":{},\"thread\":{}}}",
+        span.start, span.end, span.bytes, span.thread
+    );
+}
+
+/// Renders flight-recorder bundles as a JSON object: `{"bundles":[...]}`.
+/// Each bundle carries its trigger cause/detail, the frozen recent spans,
+/// the open (in-flight) span chain, and the subsystem event rings — the
+/// schema `afsh dump` and `AfsWorld::flight_dump` artifacts embed (see
+/// `docs/OBSERVABILITY.md`).
+pub fn flight_bundles_json(bundles: &[FlightBundle]) -> String {
+    let mut out = String::from("{\"bundles\":[");
+    for (i, bundle) in bundles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_ns\":{},\"cause\":\"",
+            bundle.seq, bundle.at_ns
+        );
+        escape_json(bundle.cause, &mut out);
+        out.push_str("\",\"detail\":\"");
+        escape_json(&bundle.detail, &mut out);
+        out.push_str("\",\"spans\":[");
+        for (j, span) in bundle.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            span_record_json(span, &mut out);
+        }
+        out.push_str("],\"open\":[");
+        for (j, open) in bundle.open.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"parent\":{},\"trace\":{},\"name\":\"",
+                open.id, open.parent, open.trace
+            );
+            escape_json(open.name, &mut out);
+            out.push_str("\",\"note\":\"");
+            escape_json(open.note, &mut out);
+            out.push_str("\"}");
+        }
+        out.push_str("],\"events\":[");
+        for (j, event) in bundle.events.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"at_ns\":{},\"subsystem\":\"", event.at_ns);
+            escape_json(event.subsystem, &mut out);
+            out.push_str("\",\"message\":\"");
+            escape_json(&event.message, &mut out);
+            out.push_str("\"}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
     out
 }
 
@@ -341,9 +558,11 @@ mod tests {
         SpanRecord {
             id,
             parent,
+            trace: 1,
             layer: Layer::Strategy,
             name: "read",
             strategy: "Process",
+            note: "",
             start: 1_000,
             end: 5_500,
             bytes: 512,
@@ -415,5 +634,136 @@ mod tests {
     fn chrome_trace_of_empty_groups_is_valid() {
         assert!(json_is_valid(&chrome_trace(&[])));
         assert!(json_is_valid(&chrome_trace(&[("x", Vec::new())])));
+    }
+
+    #[test]
+    fn chrome_trace_carries_trace_and_note_args() {
+        let mut span = sample_span(9, 3);
+        span.trace = 7;
+        span.note = "cause=breaker_open";
+        let json = chrome_trace(&[("Thread", vec![span])]);
+        assert!(json_is_valid(&json), "invalid JSON: {json}");
+        assert!(json.contains("\"trace\":7"));
+        assert!(json.contains("\"note\":\"cause=breaker_open\""));
+    }
+
+    /// Adversarial corpus shared by the exporter-hardening tests: every
+    /// value class the satellite names (newlines, quotes, backslashes,
+    /// non-ASCII UTF-8, control bytes, grammar-breaking names).
+    const HOSTILE: &[&str] = &[
+        "plain",
+        "with\nnewline",
+        "with\r\nboth",
+        "quo\"te",
+        "back\\slash",
+        "tab\there",
+        "ünïcodé 文件 🚀",
+        "}injected=\"1\"} 9",
+        "a{b=\"c\"}",
+        "",
+        "\u{1}\u{2}\u{3}",
+        "9starts-with-digit",
+    ];
+
+    #[test]
+    fn prometheus_text_survives_hostile_values() {
+        for name in HOSTILE {
+            for value in HOSTILE {
+                let metrics = vec![
+                    Metric::counter(*name, 1).label("file", *value),
+                    Metric::gauge(*name, 2).label("file", *value),
+                ];
+                let text = prometheus_text(&metrics);
+                assert!(
+                    prometheus_is_valid(&text),
+                    "invalid exposition for name={name:?} value={value:?}:\n{text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_text_escapes_rather_than_breaks_lines() {
+        let metrics = vec![Metric::counter("evil", 1).label("v", "line1\nline2\"quoted\"\\end")];
+        let text = prometheus_text(&metrics);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("v=\"line1\\nline2\\\"quoted\\\"\\\\end\""));
+    }
+
+    #[test]
+    fn prometheus_text_sanitizes_names_and_dedupes_duplicates() {
+        let metrics = vec![
+            Metric::counter("bad name{x=\"1\"}", 1),
+            Metric::counter("dup_total", 1).label("k", "v"),
+            Metric::counter("dup_total", 999).label("k", "v"),
+            Metric::counter("dup_labels", 1)
+                .label("k", "first")
+                .label("k", "second"),
+        ];
+        let text = prometheus_text(&metrics);
+        assert!(prometheus_is_valid(&text), "invalid:\n{text}");
+        assert!(text.contains("bad_name_x__1__ 1"));
+        // Duplicate series: first sample wins, second dropped.
+        assert_eq!(text.matches("dup_total").count(), 1);
+        assert!(text.contains("dup_total{k=\"v\"} 1"));
+        // Duplicate label key: first occurrence wins.
+        assert!(text.contains("dup_labels{k=\"first\"} 1"));
+        assert!(!text.contains("second"));
+    }
+
+    #[test]
+    fn prometheus_validator_rejects_malformed_lines() {
+        assert!(!prometheus_is_valid("no value"));
+        assert!(!prometheus_is_valid("name{unterminated=\"x} 1"));
+        assert!(!prometheus_is_valid("name{k=\"v\"} not-a-number"));
+        assert!(!prometheus_is_valid("{k=\"v\"} 1"));
+        assert!(!prometheus_is_valid("name{k=\"bad\\q\"} 1"));
+        assert!(prometheus_is_valid("name{k=\"v\"} 1\nplain 2\n# comment"));
+    }
+
+    #[test]
+    fn json_snapshot_survives_hostile_values() {
+        for name in HOSTILE {
+            for value in HOSTILE {
+                let metrics = vec![
+                    Metric::counter(*name, 1).label("file", *value),
+                    Metric::summary(*name, LatencyHistogram::new().snapshot())
+                        .label("file", *value),
+                ];
+                let json = json_snapshot(&metrics);
+                assert!(
+                    json_is_valid(&json),
+                    "invalid JSON for name={name:?} value={value:?}:\n{json}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_snapshot_dedupes_duplicate_label_keys() {
+        let metrics = vec![Metric::counter("m", 1).label("k", "a").label("k", "b")];
+        let json = json_snapshot(&metrics);
+        assert!(json_is_valid(&json));
+        assert_eq!(json.matches("\"k\":").count(), 1);
+        assert!(json.contains("\"k\":\"a\""));
+    }
+
+    #[test]
+    fn chrome_trace_survives_hostile_group_labels() {
+        for label in HOSTILE {
+            let json = chrome_trace(&[(*label, vec![sample_span(1, 0)])]);
+            assert!(json_is_valid(&json), "invalid JSON for label={label:?}");
+        }
+    }
+
+    #[test]
+    fn flight_bundles_render_as_valid_json() {
+        let fr = crate::flight::FlightRecorder::new();
+        fr.note("net", "breaker opened service=\"fs\"\nline2".to_owned());
+        fr.trigger_basic("breaker_open", "service=fs ünïcode".to_owned());
+        let json = flight_bundles_json(&fr.bundles());
+        assert!(json_is_valid(&json), "invalid JSON: {json}");
+        assert!(json.contains("\"cause\":\"breaker_open\""));
+        assert!(json.contains("\"subsystem\":\"net\""));
     }
 }

@@ -4,6 +4,11 @@
 //! update them unconditionally, independent of span recording.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::flight::FlightRecorder;
 
 /// Live depth/throughput gauges for pipes, shared buffers, and buffer
 /// pools.
@@ -96,6 +101,10 @@ pub struct SessionGauges {
     queue_depth_peak: AtomicU64,
     coalesced_writes: AtomicU64,
     flushed_batches: AtomicU64,
+    /// Flight recorder the session lifecycle feeds, when attached. The
+    /// mux hub lives in `afs-ipc` below the telemetry hub, so the hook is
+    /// injected here rather than reached through [`crate::Telemetry`].
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl SessionGauges {
@@ -105,11 +114,33 @@ impl SessionGauges {
         self.attaches.fetch_add(1, Ordering::Relaxed);
         self.sessions.fetch_add(1, Ordering::Relaxed);
         self.sessions_peak.fetch_max(live, Ordering::Relaxed);
+        if let Some(flight) = self.flight.lock().as_ref() {
+            flight.note("ipc", format!("session_attach live={live}"));
+        }
     }
 
     /// Records a session detaching (close).
     pub fn detached(&self) {
-        self.sessions.fetch_sub(1, Ordering::Relaxed);
+        let left = self
+            .sessions
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        if let Some(flight) = self.flight.lock().as_ref() {
+            flight.note("ipc", format!("session_detach live={left}"));
+        }
+    }
+
+    /// Records the last session's terminal close going out: the shared
+    /// sentinel is shutting down.
+    pub fn terminal_close(&self) {
+        if let Some(flight) = self.flight.lock().as_ref() {
+            flight.note("ipc", "mux_terminal_close".to_owned());
+        }
+    }
+
+    /// Attaches the flight recorder the session lifecycle should feed.
+    pub fn set_flight(&self, flight: Arc<FlightRecorder>) {
+        *self.flight.lock() = Some(flight);
     }
 
     /// Records the total queued-op depth observed by a dispatch sweep.
@@ -291,6 +322,67 @@ pub struct FleetSnapshot {
     pub pinned: u64,
 }
 
+/// Per-sentinel resource accounting: the substrate quota throttling will
+/// enforce against (ROADMAP sandboxing item). Fed by the sentinel-side
+/// dispatch paths; always live, like the queue gauges.
+#[derive(Debug, Default)]
+pub struct SentinelStats {
+    ops: AtomicU64,
+    errors: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    queue_depth_peak: AtomicU64,
+}
+
+impl SentinelStats {
+    /// Records one op dispatched to the sentinel, with the payload bytes
+    /// it carried in (writes) and out (reads), and whether it errored.
+    pub fn op(&self, bytes_in: u64, bytes_out: u64, is_err: bool) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        if bytes_in > 0 {
+            self.bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        }
+        if bytes_out > 0 {
+            self.bytes_out.fetch_add(bytes_out, Ordering::Relaxed);
+        }
+        if is_err {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the sentinel's queued-op depth observed by a dispatch
+    /// sweep.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Copies out the current counters.
+    pub fn snapshot(&self) -> SentinelStatsSnapshot {
+        SentinelStatsSnapshot {
+            ops: self.ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SentinelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SentinelStatsSnapshot {
+    /// Ops dispatched to the sentinel.
+    pub ops: u64,
+    /// Ops that returned an error.
+    pub errors: u64,
+    /// Payload bytes carried into the sentinel (writes).
+    pub bytes_in: u64,
+    /// Payload bytes carried out of the sentinel (reads).
+    pub bytes_out: u64,
+    /// Deepest queued-op backlog a dispatch sweep has seen.
+    pub queue_depth_peak: u64,
+}
+
 /// Live gauges for the durable page store: WAL traffic, commit/fsync
 /// cadence, checkpoints, and what recovery found on reopen.
 #[derive(Debug, Default)]
@@ -302,6 +394,7 @@ pub struct StoreGauges {
     checkpoints: AtomicU64,
     recovered_records: AtomicU64,
     torn_detected: AtomicU64,
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl StoreGauges {
@@ -332,9 +425,20 @@ impl StoreGauges {
     }
 
     /// Records one torn (incomplete or checksum-failing) WAL tail detected
-    /// and discarded by recovery.
+    /// and discarded by recovery. A flight-recorder trigger when one is
+    /// attached — torn tails are exactly the post-mortem moment.
     pub fn torn(&self) {
-        self.torn_detected.fetch_add(1, Ordering::Relaxed);
+        let total = self.torn_detected.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(flight) = self.flight.lock().as_ref() {
+            flight.trigger_basic("torn_tail", format!("torn_detected_total={total}"));
+        }
+    }
+
+    /// Attaches the flight recorder torn-tail detection should trigger.
+    /// The store layer never sees the telemetry hub; the hub wires this up
+    /// at construction.
+    pub fn set_flight(&self, flight: Arc<FlightRecorder>) {
+        *self.flight.lock() = Some(flight);
     }
 
     /// Copies out the current gauge values.

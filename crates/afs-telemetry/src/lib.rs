@@ -19,6 +19,16 @@
 //! * **Exporters** ([`prometheus_text`], [`json_snapshot`],
 //!   [`chrome_trace`]) — text metrics plus `trace_event` JSON loadable in
 //!   `chrome://tracing` / Perfetto.
+//! * **Trace context** ([`TraceContext`], [`SpanScope`]) — a propagated
+//!   (trace id, parent span, sampling bit) triple that crosses mux
+//!   sessions, executor poll/steal boundaries, and RPC recovery, so one
+//!   causal trace covers interpose → strategy → executor → net → backend.
+//! * **Flight recorder** ([`FlightRecorder`]) — always-on bounded event
+//!   rings; breaker-open / degraded-entry / torn-tail / slow-op triggers
+//!   freeze post-mortem [`FlightBundle`]s (`afsh dump`).
+//! * **SLO burn rates** ([`SloTracker`]) — per-file latency/error
+//!   objectives from spec keys, multi-window burn evaluation in virtual
+//!   time, plus per-sentinel resource accounting ([`SentinelStats`]).
 //!
 //! Telemetry is **off by default** and adds no allocation to the per-op hot
 //! path: a single relaxed atomic load gates span creation, and the span
@@ -27,19 +37,26 @@
 #![warn(missing_docs)]
 
 mod export;
+mod flight;
 mod gauges;
 mod hist;
 mod registry;
+mod slo;
 mod span;
 
-pub use export::{chrome_trace, json_is_valid, json_snapshot, prometheus_text};
+pub use export::{
+    chrome_trace, flight_bundles_json, json_is_valid, json_snapshot, prometheus_is_valid,
+    prometheus_text,
+};
+pub use flight::{FlightBundle, FlightEvent, FlightRecorder, PendingSpan};
 pub use gauges::{
-    FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges, SessionGauges, SessionSnapshot,
-    StoreGauges, StoreSnapshot,
+    FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges, SentinelStats, SentinelStatsSnapshot,
+    SessionGauges, SessionSnapshot, StoreGauges, StoreSnapshot,
 };
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use registry::{Metric, MetricValue, MetricsRegistry};
+pub use slo::{BurnRates, SloSnapshot, SloSpec, SloTracker};
 pub use span::{
-    backend_span, intern, now_ns, retry_span, Layer, SlowOp, SpanGuard, SpanRecord, Telemetry,
-    DEFAULT_SPAN_CAPACITY,
+    backend_span, flight_note, flight_trigger, intern, now_ns, retry_span, retry_span_noted, Layer,
+    SlowOp, SpanGuard, SpanRecord, SpanScope, Telemetry, TraceContext, DEFAULT_SPAN_CAPACITY,
 };

@@ -1,0 +1,305 @@
+//! SLO burn-rate monitoring in virtual time.
+//!
+//! An active file declares objectives in its `SentinelSpec` config:
+//! `slo_p99_us=<µs>` (latency target — at most 1% of ops may exceed it)
+//! and `slo_err_ppm=<ppm>` (error budget — allowed error fraction in
+//! parts per million). The strategy handle records every op's latency and
+//! outcome into the file's [`SloTracker`]; the tracker keeps exact
+//! cumulative counters plus a bucketed sliding window over the virtual
+//! clock, and evaluates **burn rate** — observed bad fraction divided by
+//! the allowed fraction — over a short and a long window. A burn rate of
+//! 1000 (milli-scaled) means the budget is being consumed exactly as
+//! fast as allowed; sustained values far above that on *both* windows are
+//! the classic page-worthy signal. Exported as `afs_slo_*` metrics and
+//! rendered by `afsh slo`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::span::now_ns;
+
+/// Virtual-time width of one window bucket: 100µs.
+const BUCKET_NS: u64 = 100_000;
+
+/// Buckets retained (ring length): 256 buckets = 25.6ms of history.
+const BUCKETS: usize = 256;
+
+/// Short burn-rate window: 10 buckets = 1ms of virtual time.
+const SHORT_BUCKETS: u64 = 10;
+
+/// Long burn-rate window: 100 buckets = 10ms of virtual time.
+const LONG_BUCKETS: u64 = 100;
+
+/// Fraction of ops allowed over the latency target (1%).
+const LATENCY_BUDGET: f64 = 0.01;
+
+/// Declared objectives for one active file. Both dimensions are optional;
+/// a dimension without a target never burns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloSpec {
+    /// Latency target in nanoseconds: at most 1% of ops may take longer.
+    pub p99_ns: Option<u64>,
+    /// Error budget: allowed error fraction, parts per million.
+    pub err_ppm: Option<u32>,
+}
+
+impl SloSpec {
+    /// Whether any objective is declared.
+    pub fn is_declared(&self) -> bool {
+        self.p99_ns.is_some() || self.err_ppm.is_some()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    /// Which absolute bucket index this slot currently holds.
+    epoch: u64,
+    ops: u64,
+    errors: u64,
+    lat_bad: u64,
+}
+
+/// Burn rates over one window, milli-scaled (1000 = burning exactly at
+/// budget).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BurnRates {
+    /// Latency burn: (fraction over target / 1%) × 1000.
+    pub latency_milli: u64,
+    /// Error burn: (error fraction / budget fraction) × 1000.
+    pub error_milli: u64,
+    /// Ops observed in the window.
+    pub ops: u64,
+}
+
+/// Point-in-time view of one tracker, for exporters and the shell.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSnapshot {
+    /// Active-file path (interned).
+    pub file: &'static str,
+    /// Sentinel serving the file (interned).
+    pub sentinel: &'static str,
+    /// Declared objectives.
+    pub spec: SloSpec,
+    /// Cumulative ops recorded.
+    pub ops: u64,
+    /// Cumulative errors recorded.
+    pub errors: u64,
+    /// Cumulative ops over the latency target.
+    pub lat_breaches: u64,
+    /// Burn over the short (1ms virtual) window.
+    pub short: BurnRates,
+    /// Burn over the long (10ms virtual) window.
+    pub long: BurnRates,
+}
+
+/// Tracks one file's objectives: exact cumulative counters plus the
+/// windowed bucket ring. Recording is lock-free on the cumulative path
+/// and takes one short mutex for the window bucket.
+#[derive(Debug)]
+pub struct SloTracker {
+    file: &'static str,
+    sentinel: &'static str,
+    spec: SloSpec,
+    ops: AtomicU64,
+    errors: AtomicU64,
+    lat_breaches: AtomicU64,
+    window: Mutex<[Bucket; BUCKETS]>,
+}
+
+impl SloTracker {
+    /// Creates a tracker for `file` (both names must be interned).
+    pub fn new(file: &'static str, sentinel: &'static str, spec: SloSpec) -> Self {
+        SloTracker {
+            file,
+            sentinel,
+            spec,
+            ops: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            lat_breaches: AtomicU64::new(0),
+            window: Mutex::new([Bucket::default(); BUCKETS]),
+        }
+    }
+
+    /// The tracked file path (interned — comparable by pointer).
+    pub fn file(&self) -> &'static str {
+        self.file
+    }
+
+    /// The sentinel serving the file.
+    pub fn sentinel(&self) -> &'static str {
+        self.sentinel
+    }
+
+    /// The declared objectives.
+    pub fn spec(&self) -> SloSpec {
+        self.spec
+    }
+
+    /// Records one finished op: its latency and whether it errored.
+    pub fn record(&self, latency_ns: u64, is_err: bool) {
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        let lat_bad = match self.spec.p99_ns {
+            Some(target) => latency_ns > target,
+            None => false,
+        };
+        if lat_bad {
+            self.lat_breaches.fetch_add(1, Ordering::Relaxed);
+        }
+        if is_err {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let epoch = now_ns() / BUCKET_NS;
+        let slot = (epoch % BUCKETS as u64) as usize;
+        let mut window = self.window.lock();
+        let bucket = &mut window[slot];
+        if bucket.epoch != epoch {
+            *bucket = Bucket {
+                epoch,
+                ..Bucket::default()
+            };
+        }
+        bucket.ops += 1;
+        if lat_bad {
+            bucket.lat_bad += 1;
+        }
+        if is_err {
+            bucket.errors += 1;
+        }
+    }
+
+    fn burn_over(&self, window: &[Bucket; BUCKETS], now_epoch: u64, span: u64) -> BurnRates {
+        let oldest = now_epoch.saturating_sub(span.saturating_sub(1));
+        let (mut ops, mut errors, mut lat_bad) = (0u64, 0u64, 0u64);
+        for b in window.iter() {
+            if b.ops > 0 && b.epoch >= oldest && b.epoch <= now_epoch {
+                ops += b.ops;
+                errors += b.errors;
+                lat_bad += b.lat_bad;
+            }
+        }
+        if ops == 0 {
+            return BurnRates::default();
+        }
+        let latency_milli = match self.spec.p99_ns {
+            Some(_) => {
+                let bad_frac = lat_bad as f64 / ops as f64;
+                (bad_frac / LATENCY_BUDGET * 1000.0) as u64
+            }
+            None => 0,
+        };
+        let error_milli = match self.spec.err_ppm {
+            Some(ppm) => {
+                let allowed = (ppm.max(1)) as f64 / 1_000_000.0;
+                let err_frac = errors as f64 / ops as f64;
+                (err_frac / allowed * 1000.0) as u64
+            }
+            None => 0,
+        };
+        BurnRates {
+            latency_milli,
+            error_milli,
+            ops,
+        }
+    }
+
+    /// Snapshots cumulative counters and both windows' burn rates,
+    /// evaluated at the current (virtual) time.
+    pub fn snapshot(&self) -> SloSnapshot {
+        let now_epoch = now_ns() / BUCKET_NS;
+        let window = self.window.lock();
+        SloSnapshot {
+            file: self.file,
+            sentinel: self.sentinel,
+            spec: self.spec,
+            ops: self.ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            lat_breaches: self.lat_breaches.load(Ordering::Relaxed),
+            short: self.burn_over(&window, now_epoch, SHORT_BUCKETS),
+            long: self.burn_over(&window, now_epoch, LONG_BUCKETS),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::intern;
+
+    fn tracker(p99_ns: Option<u64>, err_ppm: Option<u32>) -> SloTracker {
+        SloTracker::new(
+            intern("/slo-test.af"),
+            intern("null"),
+            SloSpec { p99_ns, err_ppm },
+        )
+    }
+
+    #[test]
+    fn latency_burn_scales_with_breach_fraction() {
+        let _clock = afs_sim::clock::install(0);
+        let t = tracker(Some(1_000), None);
+        // 2 of 100 ops over target = 2% bad; budget 1% → burn 2000 milli.
+        for i in 0..100u64 {
+            t.record(if i < 2 { 5_000 } else { 100 }, false);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.ops, 100);
+        assert_eq!(snap.lat_breaches, 2);
+        assert_eq!(snap.short.latency_milli, 2000);
+        assert_eq!(snap.long.latency_milli, 2000);
+        assert_eq!(snap.short.error_milli, 0);
+    }
+
+    #[test]
+    fn error_burn_uses_declared_budget() {
+        let _clock = afs_sim::clock::install(0);
+        // Budget 10_000 ppm = 1%; 1 error in 10 ops = 10% → burn 10000.
+        let t = tracker(None, Some(10_000));
+        for i in 0..10u64 {
+            t.record(100, i == 0);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.short.error_milli, 10_000);
+        assert_eq!(snap.short.latency_milli, 0);
+    }
+
+    #[test]
+    fn windows_age_out_in_virtual_time() {
+        let _clock = afs_sim::clock::install(0);
+        let t = tracker(Some(1_000), None);
+        t.record(5_000, false); // breach at t=0
+                                // Advance past the short window but stay inside the long one.
+        afs_sim::clock::advance(SHORT_BUCKETS * BUCKET_NS + BUCKET_NS);
+        t.record(100, false);
+        let snap = t.snapshot();
+        assert_eq!(snap.short.ops, 1);
+        assert_eq!(snap.short.latency_milli, 0);
+        assert_eq!(snap.long.ops, 2);
+        assert!(snap.long.latency_milli > 0);
+        // Advance past the long window too: old breach fully aged out.
+        afs_sim::clock::advance(LONG_BUCKETS * BUCKET_NS);
+        t.record(100, false);
+        let snap = t.snapshot();
+        assert_eq!(snap.long.latency_milli, 0);
+        // Cumulative counters never age.
+        assert_eq!(snap.lat_breaches, 1);
+        assert_eq!(snap.ops, 3);
+    }
+
+    #[test]
+    fn undeclared_dimensions_never_burn() {
+        let _clock = afs_sim::clock::install(0);
+        let t = tracker(None, None);
+        t.record(u64::MAX, true);
+        let snap = t.snapshot();
+        assert_eq!(snap.short, BurnRates::default().with_ops(1));
+    }
+
+    impl BurnRates {
+        fn with_ops(mut self, ops: u64) -> Self {
+            self.ops = ops;
+            self
+        }
+    }
+}

@@ -7,12 +7,20 @@
 //!   parents to the innermost open span created by the *same* `Telemetry`
 //!   instance. This covers interpose → strategy → transport nesting on the
 //!   application thread, and the inline §4.4 sentinel.
-//! * **Cross thread** — the strategy handle publishes the current strategy
-//!   span id in a shared scope cell ([`Telemetry::span_with_parent`] then
-//!   parents the sentinel-side span to it). Write-behind means a
+//! * **Cross thread** — the strategy handle publishes the current
+//!   [`TraceContext`] (trace id + strategy span id) in a shared
+//!   [`SpanScope`] cell; the sentinel side opens its span with
+//!   [`Telemetry::span_in_context`], re-parenting to the originating op
+//!   no matter which executor worker polls the task. Write-behind means a
 //!   sentinel-side write span can *outlive* its parent; parentage is
 //!   attribution there, strict containment is only guaranteed for
 //!   synchronous reads (see `docs/OBSERVABILITY.md`).
+//!
+//! Every span belongs to a **trace**: a root span mints the trace id (its
+//! own span id), and children inherit it through frames, scope cells, or
+//! an explicit [`TraceContext`], so one causal trace covers interpose →
+//! strategy → executor poll → net RPC → remote backend even across retry,
+//! failover, and work-stealing boundaries.
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,8 +30,12 @@ use std::time::Instant;
 use afs_sim::clock;
 use parking_lot::Mutex;
 
-use crate::gauges::{FleetGauges, QueueGauges, SessionGauges, StoreGauges};
+use crate::flight::FlightRecorder;
+use crate::gauges::{
+    FleetGauges, QueueGauges, SentinelStats, SentinelStatsSnapshot, SessionGauges, StoreGauges,
+};
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
+use crate::slo::{SloSpec, SloTracker};
 
 /// Which layer of the interposition chain a span describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -59,6 +71,66 @@ impl Layer {
     }
 }
 
+/// Propagated causal context: which trace an operation belongs to, which
+/// span should parent the next child, and whether the trace is sampled.
+/// This is what crosses session, executor, and RPC boundaries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id — the root span's own id (0 = no active trace).
+    pub trace: u64,
+    /// Span id a child opened under this context parents to.
+    pub parent: u64,
+    /// Sampling bit: `false` means carriers may drop the context.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Whether the context carries an active, sampled trace.
+    pub fn is_active(&self) -> bool {
+        self.sampled && self.trace != 0
+    }
+}
+
+/// Cross-thread propagation cell: the application-side handle publishes
+/// the in-flight op's [`TraceContext`] here, and the sentinel side reads
+/// it to parent (and trace) its spans. One cell per session/handle — a
+/// task migrated across executor workers by work-stealing still reads its
+/// *own* cell, so sentinel-side spans re-parent to the originating op,
+/// never to whatever the worker thread happens to be running.
+///
+/// The two fields are separate atomics; a torn read is impossible in
+/// practice because the owning handle serialises its ops under `op_lock`
+/// (trace is stored before parent, and loaded after).
+#[derive(Debug, Default)]
+pub struct SpanScope {
+    span: AtomicU64,
+    trace: AtomicU64,
+}
+
+impl SpanScope {
+    /// Publishes the context children should adopt.
+    pub fn publish(&self, ctx: TraceContext) {
+        self.trace.store(ctx.trace, Ordering::Release);
+        self.span.store(ctx.parent, Ordering::Release);
+    }
+
+    /// Reads the current context (unsampled when nothing is published).
+    pub fn load(&self) -> TraceContext {
+        let parent = self.span.load(Ordering::Acquire);
+        TraceContext {
+            trace: self.trace.load(Ordering::Acquire),
+            parent,
+            sampled: parent != 0,
+        }
+    }
+
+    /// Clears the published context.
+    pub fn clear(&self) {
+        self.span.store(0, Ordering::Release);
+        self.trace.store(0, Ordering::Release);
+    }
+}
+
 /// One finished span.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -66,12 +138,19 @@ pub struct SpanRecord {
     pub id: u64,
     /// Parent span id, or 0 for a root.
     pub parent: u64,
+    /// Trace id: the root span's own id, shared by every span in the
+    /// causal chain (equals `id` for roots).
+    pub trace: u64,
     /// Layer of the chain this span covers.
     pub layer: Layer,
     /// Operation or site name (e.g. `"ReadFile"`, `"read"`, `"round-trip"`).
     pub name: &'static str,
     /// Strategy label when known (`"Process"`, `"Thread"`, ...), else `""`.
     pub strategy: &'static str,
+    /// Annotation (interned), e.g. `"cause=breaker_open"` on a rejection
+    /// span or `"session=3 file=/t.af"` on a mux sentinel span; `""` when
+    /// unannotated.
+    pub note: &'static str,
     /// Start timestamp, ns (virtual when a sim clock is installed).
     pub start: u64,
     /// End timestamp, ns.
@@ -151,12 +230,15 @@ impl SpanRing {
     }
 }
 
-/// An in-flight span, tracked so slow-op reports can render ancestry.
+/// An in-flight span, tracked so slow-op reports can render ancestry and
+/// flight-recorder bundles can include the not-yet-finished chain.
 #[derive(Debug, Clone, Copy)]
-struct OpenSpan {
-    id: u64,
-    parent: u64,
-    name: &'static str,
+pub(crate) struct OpenSpan {
+    pub(crate) id: u64,
+    pub(crate) parent: u64,
+    pub(crate) trace: u64,
+    pub(crate) name: &'static str,
+    pub(crate) note: &'static str,
 }
 
 /// Interned `(strategy, op)` keys to their shared histograms.
@@ -178,6 +260,9 @@ pub struct Telemetry {
     sessions: Arc<SessionGauges>,
     fleet: Arc<FleetGauges>,
     store: Arc<StoreGauges>,
+    flight: Arc<FlightRecorder>,
+    slos: Mutex<Vec<Arc<SloTracker>>>,
+    sentinel_stats: Mutex<Vec<(&'static str, Arc<SentinelStats>)>>,
     strategy_hists: Mutex<StrategyHists>,
     sentinel_hists: Mutex<Vec<(&'static str, Arc<LatencyHistogram>)>>,
 }
@@ -190,6 +275,14 @@ impl Telemetry {
 
     /// Creates a disabled hub retaining up to `capacity` recent spans.
     pub fn with_span_capacity(capacity: usize) -> Arc<Self> {
+        let flight = Arc::new(FlightRecorder::new());
+        let store = Arc::new(StoreGauges::default());
+        // Torn-tail detection in the durable store is a flight-recorder
+        // trigger even though afs-store never sees the hub; likewise the
+        // afs-ipc mux hub's session lifecycle feeds the `ipc` event ring.
+        store.set_flight(Arc::clone(&flight));
+        let sessions = Arc::new(SessionGauges::default());
+        sessions.set_flight(Arc::clone(&flight));
         Arc::new(Telemetry {
             enabled: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
@@ -199,9 +292,12 @@ impl Telemetry {
             open: Mutex::new(Vec::new()),
             slow: Mutex::new(Vec::new()),
             gauges: Arc::new(QueueGauges::default()),
-            sessions: Arc::new(SessionGauges::default()),
+            sessions,
             fleet: Arc::new(FleetGauges::default()),
-            store: Arc::new(StoreGauges::default()),
+            store,
+            flight,
+            slos: Mutex::new(Vec::new()),
+            sentinel_stats: Mutex::new(Vec::new()),
             strategy_hists: Mutex::new(Vec::new()),
             sentinel_hists: Mutex::new(Vec::new()),
         })
@@ -235,7 +331,7 @@ impl Telemetry {
     /// created by this hub (a root if there is none). Returns `None` when
     /// telemetry is disabled.
     pub fn span(self: &Arc<Self>, layer: Layer, name: &'static str) -> Option<SpanGuard> {
-        self.begin(layer, name, "", None)
+        self.begin(layer, name, "", "", None)
     }
 
     /// Like [`Telemetry::span`] but tags the span with a strategy label.
@@ -245,12 +341,13 @@ impl Telemetry {
         name: &'static str,
         strategy: &'static str,
     ) -> Option<SpanGuard> {
-        self.begin(layer, name, strategy, None)
+        self.begin(layer, name, strategy, "", None)
     }
 
-    /// Opens a span with an explicit parent id (0 for a root). Used for
-    /// cross-thread parenting: the sentinel side parents to the strategy
-    /// span id published by the application-side handle.
+    /// Opens a span with an explicit parent id (0 for a root). The trace
+    /// id is recovered from the open-span table when the parent is still
+    /// in flight, so legacy callers keep causal continuity; prefer
+    /// [`Telemetry::span_in_context`] where a [`TraceContext`] is at hand.
     pub fn span_with_parent(
         self: &Arc<Self>,
         layer: Layer,
@@ -258,7 +355,42 @@ impl Telemetry {
         strategy: &'static str,
         parent: u64,
     ) -> Option<SpanGuard> {
-        self.begin(layer, name, strategy, Some(parent))
+        let trace = if parent == 0 {
+            0
+        } else {
+            self.open
+                .lock()
+                .iter()
+                .find(|o| o.id == parent)
+                .map_or(0, |o| o.trace)
+        };
+        self.begin(
+            layer,
+            name,
+            strategy,
+            "",
+            Some(TraceContext {
+                trace,
+                parent,
+                sampled: true,
+            }),
+        )
+    }
+
+    /// Opens a span under an explicit propagated [`TraceContext`] — the
+    /// cross-boundary form used by sentinel-side execution (context read
+    /// from a [`SpanScope`] cell) and RPC recovery. `note` annotates the
+    /// span (`""` for none); an unsampled context still records, as a new
+    /// root.
+    pub fn span_in_context(
+        self: &Arc<Self>,
+        layer: Layer,
+        name: &'static str,
+        strategy: &'static str,
+        ctx: TraceContext,
+        note: &'static str,
+    ) -> Option<SpanGuard> {
+        self.begin(layer, name, strategy, note, Some(ctx))
     }
 
     fn begin(
@@ -266,18 +398,32 @@ impl Telemetry {
         layer: Layer,
         name: &'static str,
         strategy: &'static str,
-        parent: Option<u64>,
+        note: &'static str,
+        ctx: Option<TraceContext>,
     ) -> Option<SpanGuard> {
         if !self.enabled() {
             return None;
         }
-        let parent = parent.unwrap_or_else(|| current_parent(self));
+        let (parent, inherited) = match ctx {
+            Some(ctx) => (ctx.parent, ctx.trace),
+            None => current_context(self).map_or((0, 0), |c| (c.parent, c.trace)),
+        };
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.open.lock().push(OpenSpan { id, parent, name });
+        // A root (or a span whose parent's trace is unknown) mints the
+        // trace: the trace id IS the root span's id.
+        let trace = if inherited != 0 { inherited } else { id };
+        self.open.lock().push(OpenSpan {
+            id,
+            parent,
+            trace,
+            name,
+            note,
+        });
         FRAMES.with(|frames| {
             frames.borrow_mut().push(Frame {
                 tel: Arc::clone(self),
                 span: id,
+                trace,
             })
         });
         Some(SpanGuard {
@@ -285,9 +431,11 @@ impl Telemetry {
             record: SpanRecord {
                 id,
                 parent,
+                trace,
                 layer,
                 name,
                 strategy,
+                note,
                 start: now_ns(),
                 end: 0,
                 bytes: 0,
@@ -307,11 +455,30 @@ impl Telemetry {
         let slow = self.slow_ns.load(Ordering::Relaxed);
         if slow > 0 && record.duration_ns() >= slow {
             self.note_slow(record);
+            self.flight_trigger(
+                "slow_op",
+                format!(
+                    "name={} trace={} duration_ns={}",
+                    record.name,
+                    record.trace,
+                    record.duration_ns()
+                ),
+            );
+        }
+    }
+
+    /// Renders one ancestry entry: the span name, with its annotation in
+    /// brackets when present (`read[session=3 file=/t.af]`).
+    fn chain_entry(name: &str, note: &str) -> String {
+        if note.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{name}[{note}]")
         }
     }
 
     fn note_slow(&self, record: SpanRecord) {
-        let mut chain = vec![record.name.to_owned()];
+        let mut chain = vec![Self::chain_entry(record.name, record.note)];
         {
             let open = self.open.lock();
             let mut parent = record.parent;
@@ -319,7 +486,7 @@ impl Telemetry {
             while parent != 0 && hops < 16 {
                 match open.iter().find(|o| o.id == parent) {
                     Some(anc) => {
-                        chain.push(anc.name.to_owned());
+                        chain.push(Self::chain_entry(anc.name, anc.note));
                         parent = anc.parent;
                     }
                     None => {
@@ -383,6 +550,69 @@ impl Telemetry {
     /// live, like the queue gauges.
     pub fn store(&self) -> &Arc<StoreGauges> {
         &self.store
+    }
+
+    /// The always-on flight recorder: bounded per-subsystem event rings
+    /// plus the post-mortem bundles captured on trigger.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Fires a flight-recorder trigger, capturing the recent finished
+    /// spans and the in-flight open chain into a post-mortem bundle.
+    /// `cause` is one of the documented trigger kinds (`breaker_open`,
+    /// `degraded_enter`, `torn_tail`, `slow_op`).
+    pub fn flight_trigger(&self, cause: &'static str, detail: String) {
+        let spans = self.ring.lock().snapshot();
+        let open = self.open.lock().clone();
+        self.flight.trigger(cause, detail, spans, &open);
+    }
+
+    /// Registers (or finds) the SLO tracker for one active file. `file`
+    /// and `sentinel` are interned; `spec` is ignored for an existing
+    /// registration (first open wins).
+    pub fn slo_register(&self, file: &str, sentinel: &str, spec: SloSpec) -> Arc<SloTracker> {
+        let file = intern(file);
+        let mut slos = self.slos.lock();
+        if let Some(t) = slos.iter().find(|t| t.file() == file) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(SloTracker::new(file, intern(sentinel), spec));
+        slos.push(Arc::clone(&t));
+        t
+    }
+
+    /// Every registered SLO tracker, sorted by file path.
+    pub fn slo_trackers(&self) -> Vec<Arc<SloTracker>> {
+        let mut out: Vec<_> = self.slos.lock().iter().map(Arc::clone).collect();
+        out.sort_by(|a, b| a.file().cmp(b.file()));
+        out
+    }
+
+    /// Finds or creates the per-sentinel resource-accounting counters
+    /// (ops, bytes in/out, errors, queue-depth peak) — the substrate
+    /// quota throttling enforces against.
+    pub fn sentinel_stats(&self, name: &str) -> Arc<SentinelStats> {
+        let name = intern(name);
+        let mut stats = self.sentinel_stats.lock();
+        if let Some((_, s)) = stats.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(SentinelStats::default());
+        stats.push((name, Arc::clone(&s)));
+        s
+    }
+
+    /// Snapshots every per-sentinel resource counter set, sorted by name.
+    pub fn sentinel_stats_snapshots(&self) -> Vec<(&'static str, SentinelStatsSnapshot)> {
+        let mut out: Vec<_> = self
+            .sentinel_stats
+            .lock()
+            .iter()
+            .map(|(name, s)| (*name, s.snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
     }
 
     /// Finds or creates the latency histogram for one (strategy, op) pair.
@@ -459,9 +689,29 @@ impl SpanGuard {
         self.record.id
     }
 
+    /// The trace id this span belongs to.
+    pub fn trace(&self) -> u64 {
+        self.record.trace
+    }
+
+    /// The [`TraceContext`] a child of this span should adopt — what the
+    /// strategy handle publishes into its [`SpanScope`] cell.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace: self.record.trace,
+            parent: self.record.id,
+            sampled: true,
+        }
+    }
+
     /// Attributes payload bytes to the span.
     pub fn set_bytes(&mut self, bytes: u64) {
         self.record.bytes = bytes;
+    }
+
+    /// Annotates the span (interned string), e.g. `"cause=breaker_open"`.
+    pub fn set_note(&mut self, note: &'static str) {
+        self.record.note = note;
     }
 }
 
@@ -481,6 +731,7 @@ impl Drop for SpanGuard {
 struct Frame {
     tel: Arc<Telemetry>,
     span: u64,
+    trace: u64,
 }
 
 thread_local! {
@@ -499,15 +750,38 @@ fn thread_id() -> u64 {
     })
 }
 
-fn current_parent(tel: &Arc<Telemetry>) -> u64 {
+/// The innermost open frame on this thread created by `tel`, as the
+/// [`TraceContext`] a new child of it should adopt.
+fn current_context(tel: &Arc<Telemetry>) -> Option<TraceContext> {
     FRAMES.with(|frames| {
         frames
             .borrow()
             .iter()
             .rev()
             .find(|f| Arc::ptr_eq(&f.tel, tel))
-            .map(|f| f.span)
-            .unwrap_or(0)
+            .map(|f| TraceContext {
+                trace: f.trace,
+                parent: f.span,
+                sampled: true,
+            })
+    })
+}
+
+/// The innermost open frame on this thread from *any* hub: the hub plus
+/// the context a child should adopt. This is how layers with no hub
+/// reference (afs-net, afs-store) join the caller's trace.
+fn top_frame() -> Option<(Arc<Telemetry>, TraceContext)> {
+    FRAMES.with(|frames| {
+        frames.borrow().last().map(|f| {
+            (
+                Arc::clone(&f.tel),
+                TraceContext {
+                    trace: f.trace,
+                    parent: f.span,
+                    sampled: true,
+                },
+            )
+        })
     })
 }
 
@@ -516,9 +790,8 @@ fn current_parent(tel: &Arc<Telemetry>) -> u64 {
 /// allocates nothing) when no span is open — which is also the
 /// telemetry-disabled case, so backend code can call this unconditionally.
 pub fn backend_span(name: &'static str) -> Option<SpanGuard> {
-    let top = FRAMES.with(|frames| frames.borrow().last().map(|f| (Arc::clone(&f.tel), f.span)));
-    let (tel, parent) = top?;
-    tel.span_with_parent(Layer::Backend, name, "", parent)
+    let (tel, ctx) = top_frame()?;
+    tel.span_in_context(Layer::Backend, name, "", ctx, "")
 }
 
 /// Opens a [`Layer::Retry`] span parented like [`backend_span`]. The
@@ -526,9 +799,33 @@ pub fn backend_span(name: &'static str) -> Option<SpanGuard> {
 /// recovery (backoff, failover, breaker probing), so retried operations
 /// are visible in the span tree without any hub plumbed through.
 pub fn retry_span(name: &'static str) -> Option<SpanGuard> {
-    let top = FRAMES.with(|frames| frames.borrow().last().map(|f| (Arc::clone(&f.tel), f.span)));
-    let (tel, parent) = top?;
-    tel.span_with_parent(Layer::Retry, name, "", parent)
+    let (tel, ctx) = top_frame()?;
+    tel.span_in_context(Layer::Retry, name, "", ctx, "")
+}
+
+/// Like [`retry_span`], but annotated at creation: the recovery loop
+/// marks rejection, backoff, and failover spans with a `cause=` note.
+pub fn retry_span_noted(name: &'static str, note: &'static str) -> Option<SpanGuard> {
+    let (tel, ctx) = top_frame()?;
+    tel.span_in_context(Layer::Retry, name, "", ctx, note)
+}
+
+/// Records a flight-recorder event against the hub of the innermost open
+/// span on this thread. A no-op when no span is open (which is also the
+/// telemetry-disabled case), so any layer can call it unconditionally.
+pub fn flight_note(subsystem: &'static str, message: String) {
+    if let Some((tel, _)) = top_frame() {
+        tel.flight().note(subsystem, message);
+    }
+}
+
+/// Fires a flight-recorder trigger against the hub of the innermost open
+/// span on this thread (see [`Telemetry::flight_trigger`]). A no-op when
+/// no span is open, like [`flight_note`].
+pub fn flight_trigger(cause: &'static str, detail: String) {
+    if let Some((tel, _)) = top_frame() {
+        tel.flight_trigger(cause, detail);
+    }
 }
 
 static WALL_EPOCH: OnceLock<Instant> = OnceLock::new();

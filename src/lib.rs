@@ -74,9 +74,10 @@ pub use afs_sim::{
     Summary, TraceRecord,
 };
 pub use afs_telemetry::{
-    chrome_trace, json_is_valid, json_snapshot, prometheus_text, GaugesSnapshot, HistogramSnapshot,
-    LatencyHistogram, Layer, Metric, MetricValue, MetricsRegistry, QueueGauges, SlowOp, SpanRecord,
-    Telemetry,
+    chrome_trace, flight_bundles_json, json_is_valid, json_snapshot, prometheus_is_valid,
+    prometheus_text, BurnRates, FlightBundle, FlightEvent, FlightRecorder, GaugesSnapshot,
+    HistogramSnapshot, LatencyHistogram, Layer, Metric, MetricValue, MetricsRegistry, QueueGauges,
+    SentinelStatsSnapshot, SloSnapshot, SloSpec, SlowOp, SpanRecord, Telemetry, TraceContext,
 };
 pub use afs_vfs::{VPath, Vfs, VfsError};
 pub use afs_winapi::{

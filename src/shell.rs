@@ -295,17 +295,28 @@ impl Shell {
                 Ok(out)
             }
             "top" => Ok(self.render_top()),
-            "spans" => Ok(self.render_spans()),
+            "spans" => match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
+                [] => Ok(self.render_spans()),
+                ["--trace", id] => {
+                    let id: u64 = id
+                        .parse()
+                        .map_err(|_| fail("spans --trace <decimal trace id>".into()))?;
+                    Ok(self.render_trace(id))
+                }
+                _ => Err(fail("usage: spans [--trace <id>]".into())),
+            },
             "metrics" => {
                 let snapshot = self.world.metrics().snapshot();
                 match rest {
                     "" | "prometheus" => Ok(prometheus_text(&snapshot)),
-                    "json" => Ok(json_snapshot(&snapshot)),
+                    "json" | "--json" => Ok(json_snapshot(&snapshot)),
                     other => Err(fail(format!(
                         "unknown format {other} (want prometheus|json)"
                     ))),
                 }
             }
+            "slo" => Ok(self.render_slo()),
+            "dump" => Ok(self.world.flight_dump() + "\n"),
             "telemetry" => {
                 let tel = self.world.telemetry();
                 match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
@@ -660,6 +671,92 @@ impl Shell {
         out
     }
 
+    /// Renders `spans --trace <id>`: only the spans of one causal trace,
+    /// as parent-linked trees.
+    fn render_trace(&self, trace: u64) -> String {
+        let tel = self.world.telemetry();
+        let spans: Vec<SpanRecord> = tel
+            .spans()
+            .into_iter()
+            .filter(|s| s.trace == trace)
+            .collect();
+        if spans.is_empty() {
+            return format!("no spans recorded for trace {trace}\n");
+        }
+        let mut out = String::new();
+        writeln!(out, "trace {trace} ({} spans):", spans.len()).expect("write to string");
+        // Roots of the filtered set: spans whose parent is outside it
+        // (normally just the interpose root with parent 0).
+        let roots: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| !spans.iter().any(|p| p.id == s.parent))
+            .collect();
+        for root in roots {
+            render_span_tree(&mut out, &spans, root, 1);
+        }
+        out
+    }
+
+    /// Renders the `slo` view: declared objectives, cumulative counters,
+    /// and short/long-window burn rates per tracked file, then the
+    /// per-sentinel resource accounting.
+    fn render_slo(&self) -> String {
+        let tel = self.world.telemetry();
+        let trackers = tel.slo_trackers();
+        let mut out = String::new();
+        if trackers.is_empty() {
+            out.push_str("no SLOs declared (spec keys slo_p99_us= / slo_err_ppm=)\n");
+        } else {
+            writeln!(
+                out,
+                "{:<24} {:<12} {:>8} {:>7} {:>8} {:>11} {:>11}",
+                "file", "sentinel", "ops", "errors", "lat_bad", "burn(short)", "burn(long)"
+            )
+            .expect("write to string");
+            for tracker in trackers {
+                let s = tracker.snapshot();
+                let burn = |r: &afs_telemetry::BurnRates| {
+                    format!(
+                        "{:.2}/{:.2}",
+                        r.latency_milli as f64 / 1000.0,
+                        r.error_milli as f64 / 1000.0
+                    )
+                };
+                writeln!(
+                    out,
+                    "{:<24} {:<12} {:>8} {:>7} {:>8} {:>11} {:>11}",
+                    s.file,
+                    s.sentinel,
+                    s.ops,
+                    s.errors,
+                    s.lat_breaches,
+                    burn(&s.short),
+                    burn(&s.long),
+                )
+                .expect("write to string");
+            }
+            out.push_str("(burn is latency/error, 1.00 = exactly at budget)\n");
+        }
+        let stats = tel.sentinel_stats_snapshots();
+        if !stats.is_empty() {
+            writeln!(
+                out,
+                "\n{:<14} {:>8} {:>7} {:>12} {:>12} {:>10}",
+                "sentinel", "ops", "errors", "bytes_in", "bytes_out", "queue_peak"
+            )
+            .expect("write to string");
+            for (name, s) in stats {
+                writeln!(
+                    out,
+                    "{name:<14} {:>8} {:>7} {:>12} {:>12} {:>10}",
+                    s.ops, s.errors, s.bytes_in, s.bytes_out, s.queue_depth_peak,
+                )
+                .expect("write to string");
+            }
+        }
+        out
+    }
+
     /// Runs a multi-line script, concatenating outputs. Stops at the
     /// first error.
     ///
@@ -736,6 +833,12 @@ commands:
   spans                                recent span trees across the chain
                                        (interpose > strategy > transport >
                                        sentinel > backend) and slow ops
+  spans --trace <id>                   only the spans of one causal trace
+  slo                                  declared objectives with burn rates
+                                       and per-sentinel resource accounting
+  dump                                 flight-recorder post-mortem bundles
+                                       plus metrics/fault/breaker state, as
+                                       one JSON document
   faults                               reliability counters, breaker states,
                                        and per-service fault summaries
   faults <service> <fault ...>         inject faults against a service:

@@ -248,6 +248,64 @@ fn slow_ops_carry_their_ancestry() {
 }
 
 #[test]
+fn slow_ops_across_mux_sessions_name_their_session_and_file() {
+    // Two concurrent opens of one shared (mux) active file are two
+    // sessions over one sentinel; a slow-op report must say *which*
+    // session and file the slow sentinel work belonged to, rendered as a
+    // `name[session=N file=...]` hop in the ancestry chain.
+    let (w, file) = world_with(Strategy::DllThread);
+    w.telemetry().set_enabled(true);
+    w.telemetry().set_slow_threshold_ns(1);
+    let api = w.api();
+    let h1 = api
+        .create_file(file, Access::read_only(), Disposition::OpenExisting)
+        .expect("open session 1");
+    let h2 = api
+        .create_file(file, Access::read_only(), Disposition::OpenExisting)
+        .expect("open session 2");
+    let mut buf = [0u8; 8];
+    api.read_file(h1, &mut buf).expect("read 1");
+    api.read_file(h2, &mut buf).expect("read 2");
+    api.close_handle(h1).expect("close 1");
+    api.close_handle(h2).expect("close 2");
+
+    let slow = w.telemetry().slow_ops();
+    let tagged: Vec<&str> = slow
+        .iter()
+        .map(|s| s.ancestry.as_str())
+        .filter(|a| a.contains("session="))
+        .collect();
+    assert!(
+        !tagged.is_empty(),
+        "mux sentinel spans carry session notes: {slow:#?}"
+    );
+    let file_tag = format!("file={file}");
+    assert!(
+        tagged.iter().all(|a| a.contains(&file_tag)),
+        "every session-tagged report names the owning file: {tagged:#?}"
+    );
+    let sessions: std::collections::BTreeSet<&str> = tagged
+        .iter()
+        .filter_map(|a| {
+            let rest = &a[a.find("session=")? + "session=".len()..];
+            Some(rest.split([' ', ']']).next().unwrap_or(rest))
+        })
+        .collect();
+    assert!(
+        sessions.len() >= 2,
+        "both sessions show up in the slow-op reports: {sessions:?}"
+    );
+    // The shared sentinel's resource accounting saw the ops too.
+    assert!(
+        w.telemetry()
+            .sentinel_stats_snapshots()
+            .iter()
+            .any(|(name, s)| *name == "null" && s.ops > 0),
+        "per-sentinel stats counted the mux traffic"
+    );
+}
+
+#[test]
 fn exported_span_trace_covers_the_interposition_chain() {
     // The CI gate formerly validated `figure6 --spans` output with a
     // python script; this is the same check in-tree. The exported
