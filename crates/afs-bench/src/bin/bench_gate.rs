@@ -1,21 +1,76 @@
 //! The CI bench-regression gate.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--threshold-pct N]
+//! bench_gate <baseline.json> <current.json> [--threshold-pct N] [--summary FILE]
 //! ```
 //!
 //! Both files are `figure6 --json` documents. Exits non-zero if any
 //! strategy's p99 latency in the current run exceeds the baseline's by
 //! more than the threshold (default 30%), or if a baseline strategy is
-//! missing from the current run.
+//! missing from the current run. `--summary FILE` appends the per-cell
+//! comparison as a GitHub-flavoured markdown table — CI points it at
+//! `$GITHUB_STEP_SUMMARY` so the deltas render on the run page.
 
+use std::io::Write;
 use std::process::ExitCode;
 
-use afs_bench::{compare, parse_bench_doc};
+use afs_bench::{compare, parse_bench_doc, BenchDoc};
+
+/// Renders the gate comparison as a markdown table: one row per cell in
+/// the current run, with the baseline p99, the delta against it, and a
+/// pass/fail column at the gate threshold.
+fn markdown_summary(baseline: &BenchDoc, current: &BenchDoc, threshold_pct: f64) -> String {
+    let mut out = String::new();
+    out.push_str("## Bench gate\n\n");
+    out.push_str(&format!(
+        "Threshold: p99 within +{threshold_pct}% of baseline ({} ops per cell).\n\n",
+        current.ops
+    ));
+    out.push_str("| cell | baseline p99 (ns) | current p99 (ns) | delta | status |\n");
+    out.push_str("|---|---:|---:|---:|---|\n");
+    for (label, cur) in &current.strategies {
+        match baseline.strategies.get(label) {
+            Some(base) => {
+                let delta_pct = if base.p99_ns == 0 {
+                    0.0
+                } else {
+                    (cur.p99_ns as f64 - base.p99_ns as f64) / base.p99_ns as f64 * 100.0
+                };
+                let status = if delta_pct > threshold_pct {
+                    "❌ regression"
+                } else {
+                    "✅"
+                };
+                out.push_str(&format!(
+                    "| {label} | {} | {} | {delta_pct:+.1}% | {status} |\n",
+                    base.p99_ns, cur.p99_ns
+                ));
+            }
+            None => {
+                out.push_str(&format!(
+                    "| {label} | — | {} | — | 🆕 no baseline |\n",
+                    cur.p99_ns
+                ));
+            }
+        }
+    }
+    for (label, base) in &baseline.strategies {
+        if !current.strategies.contains_key(label) {
+            out.push_str(&format!(
+                "| {label} | {} | — | — | ❌ missing from current run |\n",
+                base.p99_ns
+            ));
+        }
+    }
+    out.push('\n');
+    out
+}
 
 fn die(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
-    eprintln!("usage: bench_gate <baseline.json> <current.json> [--threshold-pct N]");
+    eprintln!(
+        "usage: bench_gate <baseline.json> <current.json> [--threshold-pct N] [--summary FILE]"
+    );
     ExitCode::from(2)
 }
 
@@ -23,6 +78,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold_pct = 30.0f64;
+    let mut summary_path: Option<String> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -31,6 +87,12 @@ fn main() -> ExitCode {
                     return die("--threshold-pct needs a numeric value");
                 };
                 threshold_pct = value;
+            }
+            "--summary" => {
+                let Some(value) = iter.next() else {
+                    return die("--summary needs an output path");
+                };
+                summary_path = Some(value.clone());
             }
             other if other.starts_with("--") => {
                 return die(&format!("unknown flag {other}"));
@@ -56,6 +118,19 @@ fn main() -> ExitCode {
     };
 
     let violations = compare(&baseline, &current, threshold_pct);
+    if let Some(path) = summary_path {
+        // Append rather than truncate: $GITHUB_STEP_SUMMARY accumulates
+        // sections from every step in the job.
+        let table = markdown_summary(&baseline, &current, threshold_pct);
+        let write = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(table.as_bytes()));
+        if let Err(e) = write {
+            return die(&format!("cannot write summary {path}: {e}"));
+        }
+    }
     for (label, cur) in &current.strategies {
         match baseline.strategies.get(label) {
             Some(base) => println!(

@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--fleet] [--workers M] [--spans FILE] [--json FILE]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--fleet] [--workers M] [--batch] [--spans FILE] [--json FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -23,6 +23,10 @@
 //! per-read latency and executor gauges for 100/1k/10k concurrently-open
 //! active files multiplexed over the bounded worker pool (`--workers M`
 //! pins the pool size; the default is one worker per core);
+//! `--batch` skips the sweep and prints the ring-batching ablation:
+//! latency and protection-domain crossings per op for the same
+//! sequential-read cell run unbatched and over the submission/completion
+//! ring (`batch=on`, see `docs/BATCHING.md`);
 //! `--spans FILE` skips the sweep and instead records a telemetry span
 //! trace of `--ops` reads per strategy, written as chrome://tracing JSON
 //! (open in `chrome://tracing` or Perfetto); `--json FILE` skips the
@@ -46,6 +50,7 @@ fn main() {
     let mut csv = false;
     let mut concurrency = false;
     let mut fleet = false;
+    let mut batch = false;
     let mut fleet_workers: Option<usize> = None;
     let mut spans_out: Option<String> = None;
     let mut json_out: Option<String> = None;
@@ -70,6 +75,7 @@ fn main() {
             }
             "--concurrency" => concurrency = true,
             "--fleet" => fleet = true,
+            "--batch" => batch = true,
             "--workers" => {
                 i += 1;
                 fleet_workers = Some(
@@ -109,6 +115,11 @@ fn main() {
 
     if fleet {
         print!("{}", afs_bench::render_fleet_panel(&profile, fleet_workers));
+        return;
+    }
+
+    if batch {
+        print!("{}", afs_bench::render_batch_panel(ops, &profile));
         return;
     }
 

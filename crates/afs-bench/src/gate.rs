@@ -88,11 +88,19 @@ pub fn gate_fleet_files() -> usize {
 /// the refactor must not move) — plus the two durable-store cells:
 /// `store-durable` (per-committed-write latency through a WAL-backed
 /// null sentinel, [`crate::measure_store`]) and `store-recovery` (cold
-/// reopen + redo replay, [`crate::measure_store_recovery`]) — and
-/// renders the result as JSON.
+/// reopen + redo replay, [`crate::measure_store_recovery`]) — and the
+/// two batching cells, `ablation_batch-off` / `ablation_batch-on`
+/// ([`crate::measure_batch_ablation`]: the same sequential-read cell
+/// over the plain transport and over the submission/completion ring,
+/// each carrying its crossings-per-op) — and renders the result as
+/// JSON. Panics if the batched and unbatched transcripts diverge, so
+/// the gate proves equivalence on every run.
 pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
     const BLOCK: usize = 128;
-    let mut entries: Vec<(String, f64, u64, u64)> = Vec::new();
+    // (label, mean, p50, p99, crossings-per-op). The crossings column is
+    // only rendered for the batching cells; the gate compares p99 and
+    // treats extra fields as informational.
+    let mut entries: Vec<(String, f64, u64, u64, Option<f64>)> = Vec::new();
     for strategy in GATE_STRATEGIES {
         let m = measure(
             PathKind::Memory,
@@ -108,6 +116,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             s.mean_ns as f64,
             s.p50_ns,
             s.p99_ns,
+            None,
         ));
     }
     for clients in GATE_MUX_CLIENTS {
@@ -122,6 +131,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
                 m.summary.mean_ns as f64,
                 m.summary.p50_ns,
                 m.summary.p99_ns,
+                None,
             ));
         }
     }
@@ -133,6 +143,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             f.summary.mean_ns as f64,
             f.summary.p50_ns,
             f.summary.p99_ns,
+            None,
         ));
         let p = crate::measure_fleet(1, ops, Some(1), profile.clone());
         entries.push((
@@ -140,6 +151,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             p.summary.mean_ns as f64,
             p.summary.p50_ns,
             p.summary.p99_ns,
+            None,
         ));
     }
     {
@@ -149,6 +161,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             t.traced.mean_ns as f64,
             t.traced.p50_ns,
             t.traced.p99_ns,
+            None,
         ));
     }
     {
@@ -158,6 +171,7 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             d.summary.mean_ns as f64,
             d.summary.p50_ns,
             d.summary.p99_ns,
+            None,
         ));
         let r = crate::measure_store_recovery(
             STORE_RECOVERY_COMMITS,
@@ -169,6 +183,28 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             r.summary.mean_ns as f64,
             r.summary.p50_ns,
             r.summary.p99_ns,
+            None,
+        ));
+    }
+    {
+        let b = crate::measure_batch_ablation(ops, profile.clone());
+        assert!(
+            b.transcripts_match,
+            "batched and unbatched reads must return identical transcripts"
+        );
+        entries.push((
+            "ablation_batch-off".to_owned(),
+            b.unbatched.mean_ns as f64,
+            b.unbatched.p50_ns,
+            b.unbatched.p99_ns,
+            Some(b.crossings_per_op_unbatched),
+        ));
+        entries.push((
+            "ablation_batch-on".to_owned(),
+            b.batched.mean_ns as f64,
+            b.batched.p50_ns,
+            b.batched.p99_ns,
+            Some(b.crossings_per_op_batched),
         ));
     }
     let mut out = String::new();
@@ -176,9 +212,12 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
         "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"ops\": {ops},\n  \"profile\": \"{}\",\n  \"strategies\": {{\n",
         profile.name
     ));
-    for (i, (label, mean, p50, p99)) in entries.iter().enumerate() {
+    for (i, (label, mean, p50, p99, cross)) in entries.iter().enumerate() {
+        let extra = cross
+            .map(|c| format!(", \"crossings_per_op\": {c:.2}"))
+            .unwrap_or_default();
         out.push_str(&format!(
-            "    \"{label}\": {{\"mean_ns\": {mean:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}}}{}\n",
+            "    \"{label}\": {{\"mean_ns\": {mean:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}{extra}}}{}\n",
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
@@ -488,9 +527,9 @@ mod tests {
         assert_eq!(parsed.ops, 20);
         assert_eq!(
             parsed.strategies.len(),
-            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 1 + 2,
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 1 + 2 + 2,
             "four strategies, shared/private per gated client count, two fleet cells, \
-             the trace ablation, two store cells"
+             the trace ablation, two store cells, two batching cells"
         );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
@@ -519,6 +558,30 @@ mod tests {
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
             assert!(s.mean_ns > 0.0, "durability must cost virtual time");
         }
+        for label in ["ablation_batch-off", "ablation_batch-on"] {
+            let s = parsed.strategies.get(label).expect("batch cell");
+            assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+        }
+    }
+
+    /// The tentpole claim, asserted at gate granularity: the ring cuts
+    /// protection-domain crossings per sequential read by about the ring
+    /// depth, without changing what the reads return.
+    #[test]
+    fn batch_ablation_cuts_crossings_by_about_ring_depth() {
+        let a = crate::measure_batch_ablation(64, HardwareProfile::pentium_ii_300());
+        assert!(
+            a.transcripts_match,
+            "batched reads returned different bytes"
+        );
+        let reduction = a.crossings_per_op_unbatched / a.crossings_per_op_batched.max(f64::EPSILON);
+        assert!(
+            reduction >= crate::BATCH_RING_DEPTH as f64 * 0.75,
+            "crossings/op {:.2} -> {:.2} is only a {reduction:.1}x drop (ring depth {})",
+            a.crossings_per_op_unbatched,
+            a.crossings_per_op_batched,
+            crate::BATCH_RING_DEPTH
+        );
     }
 
     #[test]

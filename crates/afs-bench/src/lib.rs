@@ -290,6 +290,129 @@ pub fn measure_trace_ablation(ops: usize, profile: HardwareProfile) -> TraceAbla
     }
 }
 
+/// Block size used by the batching ablation (the Figure 6 midpoint).
+pub const BATCH_BLOCK: usize = 128;
+
+/// Ring depth used by the batching ablation and the `ablation_batch`
+/// gate cells.
+pub const BATCH_RING_DEPTH: usize = 8;
+
+/// The ring-batching ablation: the same sequential-read cell measured
+/// unbatched and with `batch=on`, plus the crossing counts the ring
+/// exists to cut and the transcript-equivalence verdict.
+#[derive(Debug, Clone)]
+pub struct BatchAblation {
+    /// Plain Thread-strategy cell — one round trip per read.
+    pub unbatched: afs_sim::Summary,
+    /// Ring-batched cell — one doorbell plus one round trip per
+    /// [`BATCH_RING_DEPTH`] reads, readahead filling the ring.
+    pub batched: afs_sim::Summary,
+    /// Protection-domain crossings (process plus thread switches) per
+    /// operation, unbatched.
+    pub crossings_per_op_unbatched: f64,
+    /// Crossings per operation, batched — the ~K× smaller number.
+    pub crossings_per_op_batched: f64,
+    /// Whether both runs returned byte-identical data for every read.
+    /// Batching is a transport optimisation, not a semantic change: any
+    /// divergence is a ring bug.
+    pub transcripts_match: bool,
+}
+
+/// Measures the batching ablation: one gate cell (memory path,
+/// DLL-with-thread, [`BATCH_BLOCK`]-byte sequential reads) run over the
+/// plain pair transport, then re-run with `batch=on` /
+/// `ring_depth=`[`BATCH_RING_DEPTH`] so the boundary is a
+/// submission/completion ring. The seeded extent carries a varying byte
+/// pattern so the transcript comparison catches offset errors, not just
+/// length errors.
+pub fn measure_batch_ablation(ops: usize, profile: HardwareProfile) -> BatchAblation {
+    let seed: Vec<u8> = (0..BATCH_BLOCK * ops).map(|i| (i % 251) as u8).collect();
+    let run = |batched: bool| {
+        let world = AfsWorld::builder().profile(profile.clone()).build();
+        afs_sentinels::register_all(world.sentinels());
+        let file = "/bench.af";
+        let mut spec = SentinelSpec::new("mirror", Strategy::DllThread).backing(Backing::Memory);
+        if batched {
+            spec = spec
+                .with("batch", "on")
+                .with("ring_depth", &BATCH_RING_DEPTH.to_string());
+        }
+        world
+            .install_active_file(file, &spec)
+            .expect("install mirror");
+        world
+            .vfs()
+            .write_stream_replace(&VPath::parse(file).expect("path"), &seed)
+            .expect("seed data part");
+        let model = world.model().clone();
+        let _guard = clock::install(0);
+        let api = world.api();
+        let h = api
+            .create_file(file, Access::read_only(), Disposition::OpenExisting)
+            .expect("open bench file");
+        let before = model.snapshot();
+        let mut series = Series::with_capacity(ops);
+        let mut transcript = Vec::with_capacity(BATCH_BLOCK * ops);
+        let mut buf = vec![0u8; BATCH_BLOCK];
+        for _ in 0..ops {
+            let start = clock::now();
+            let n = api.read_file(h, &mut buf).expect("read");
+            series.push(clock::now() - start);
+            assert_eq!(n, BATCH_BLOCK, "seeded file must satisfy full blocks");
+            transcript.extend_from_slice(&buf[..n]);
+        }
+        let counters = model.snapshot().since(&before);
+        api.close_handle(h).expect("close");
+        (series.summarize(), counters, transcript)
+    };
+    let (unbatched, uc, ut) = run(false);
+    let (batched, bc, bt) = run(true);
+    let per_op =
+        |c: &CostSnapshot| (c.process_switches + c.thread_switches) as f64 / ops.max(1) as f64;
+    BatchAblation {
+        crossings_per_op_unbatched: per_op(&uc),
+        crossings_per_op_batched: per_op(&bc),
+        transcripts_match: ut == bt,
+        unbatched,
+        batched,
+    }
+}
+
+/// Runs the batching ablation and renders it as the text table `figure6
+/// --batch` prints.
+pub fn render_batch_panel(ops: usize, profile: &HardwareProfile) -> String {
+    let a = measure_batch_ablation(ops, profile.clone());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Batching ablation — submission/completion ring vs per-op round trips \
+         (Thread strategy, memory cache, {BATCH_BLOCK}-byte sequential reads, \
+         ring_depth={BATCH_RING_DEPTH}, {ops} ops)\n"
+    ));
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}\n",
+        "mode", "mean", "p50", "p99", "crossings/op"
+    ));
+    for (label, s, cross) in [
+        ("unbatched", &a.unbatched, a.crossings_per_op_unbatched),
+        ("batched", &a.batched, a.crossings_per_op_batched),
+    ] {
+        out.push_str(&format!(
+            "{:>10} {:>10.1}us {:>10.1}us {:>10.1}us {:>14.2}\n",
+            label,
+            s.mean_ns as f64 / 1_000.0,
+            s.p50_ns as f64 / 1_000.0,
+            s.p99_ns as f64 / 1_000.0,
+            cross,
+        ));
+    }
+    out.push_str(&format!(
+        "transcripts match: {}; crossing reduction: {:.1}x\n",
+        if a.transcripts_match { "yes" } else { "NO" },
+        a.crossings_per_op_unbatched / a.crossings_per_op_batched.max(f64::EPSILON),
+    ));
+    out
+}
+
 /// Drives `ops` operations of `block` bytes against an already-built
 /// world's active file, timing each under a fresh virtual clock.
 fn run_cell(

@@ -224,6 +224,10 @@ impl ActiveFileSystem {
             eprintln!("afs: refusing to open {}: {e}", vpath.file_path());
             return Err(Win32Error::InvalidParameter);
         }
+        // Ring batching: `batch=on` + `ring_depth=K` wire the §4.2/§4.3
+        // boundary as a submission/completion ring. Validated up front so
+        // a garbage value fails every open, not just the first.
+        let batch = parse_batch_spec(&spec, &vpath)?;
         // Access control: opening is "predicated upon access to the
         // passive file components" (§2.3).
         let meta = self.vfs.stat(&vpath.file_path())?;
@@ -272,7 +276,11 @@ impl ActiveFileSystem {
         // strategy cannot carry commands (§4.1 streams), or the open
         // truncates the data part (a truncating open must not see, or
         // feed, the running sentinel's cached state).
+        // Batched opens always get a private sentinel: the ring driver
+        // stages writes and speculates reads application-side, which
+        // would break cross-session read-your-writes on a shared wire.
         let sharable = spec.sharing_enabled()
+            && batch.is_none()
             && !matches!(spec.strategy(), Strategy::Process)
             && matches!(
                 disposition,
@@ -415,6 +423,7 @@ impl ActiveFileSystem {
                     self.model.clone(),
                     Arc::clone(&self.trace),
                     instr,
+                    batch,
                 )?
             }
             Strategy::DllThread => {
@@ -428,6 +437,7 @@ impl ActiveFileSystem {
                     self.model.clone(),
                     Arc::clone(&self.trace),
                     instr,
+                    batch,
                 )?
             }
             Strategy::DllOnly => {
@@ -675,6 +685,59 @@ fn parse_slo_spec(spec: &SentinelSpec, vpath: &VPath) -> ApiResult<SloSpec> {
         }
     }
     Ok(out)
+}
+
+/// Default submission-ring depth for `batch=on` opens that do not set
+/// `ring_depth=` explicitly.
+const DEFAULT_RING_DEPTH: usize = 8;
+
+/// Parses the ring-batching spec keys: `batch` (`on`/`off`) and
+/// `ring_depth` (positive integer K). Returns the ring depth for batched
+/// opens, `None` for unbatched ones. Garbage values — and `ring_depth`
+/// without `batch=on`, or a zero depth — fail the open with
+/// `InvalidParameter`, matching the registry's unknown-key rejection.
+///
+/// Strategies without a §4.2/§4.3 wire (`Process` streams, `DllOnly`
+/// inline calls) accept `batch=on` as a documented no-op, so one spec
+/// can be compared across all four strategies.
+fn parse_batch_spec(spec: &SentinelSpec, vpath: &VPath) -> ApiResult<Option<usize>> {
+    let enabled = match spec.config().get("batch").map(String::as_str) {
+        None => false,
+        Some("on") => true,
+        Some("off") => false,
+        Some(v) => {
+            eprintln!(
+                "afs: refusing to open {}: bad batch `{v}` (want on|off)",
+                vpath.file_path()
+            );
+            return Err(Win32Error::InvalidParameter);
+        }
+    };
+    let depth = match spec.config().get("ring_depth") {
+        None => None,
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(k) if k > 0 => Some(k),
+            _ => {
+                eprintln!(
+                    "afs: refusing to open {}: bad ring_depth `{v}` (want positive integer)",
+                    vpath.file_path()
+                );
+                return Err(Win32Error::InvalidParameter);
+            }
+        },
+    };
+    match (enabled, depth) {
+        (true, Some(k)) => Ok(Some(k)),
+        (true, None) => Ok(Some(DEFAULT_RING_DEPTH)),
+        (false, Some(_)) => {
+            eprintln!(
+                "afs: refusing to open {}: ring_depth without batch=on",
+                vpath.file_path()
+            );
+            Err(Win32Error::InvalidParameter)
+        }
+        (false, None) => Ok(None),
+    }
 }
 
 /// The installable interception layer carrying an [`ActiveFileSystem`]

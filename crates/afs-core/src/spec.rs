@@ -117,8 +117,9 @@ impl Backing {
 }
 
 /// Configuration keys interpreted by the runtime itself (sharing,
-/// access control, reliability, degraded mode, durability). Every
-/// sentinel accepts these in addition to its own declared keys.
+/// access control, reliability, degraded mode, durability, ring
+/// batching). Every sentinel accepts these in addition to its own
+/// declared keys.
 pub const RUNTIME_CONFIG_KEYS: &[&str] = &[
     "share",
     "allow_users",
@@ -136,6 +137,8 @@ pub const RUNTIME_CONFIG_KEYS: &[&str] = &[
     "breaker.cooldown_us",
     "slo_p99_us",
     "slo_err_ppm",
+    "batch",
+    "ring_depth",
 ];
 
 /// A spec carried a configuration key its sentinel does not declare —

@@ -1,0 +1,547 @@
+//! Handle-side batching over submission/completion rings (`batch=on`).
+//!
+//! The §4.2/§4.3 wirings cross the protection boundary twice per
+//! operation. With `batch=on` / `ring_depth=K` in the spec, the same
+//! [`StrategyHandle`] drives a [`RingDriver`] instead of a
+//! [`PairTransport`](afs_ipc::PairTransport): operations are staged into
+//! an [`afs_ipc::RingPair`] submission ring and the boundary is crossed
+//! once per *batch* — 1 crossing + K dispatches, in the cost model's
+//! terms. Three populations fill a batch:
+//!
+//! * **Coalesced writes** — write-behind staging merges adjacent writes
+//!   into one submission entry with no window cap (beyond the mux
+//!   layer's adjacent-only 64 KiB coalescing) and flushes when the ring
+//!   depth is reached or a synchronous op needs ordering.
+//! * **Readahead** — a demand read that misses the speculative cache
+//!   submits itself plus sequential speculative reads to fill the batch;
+//!   later sequential reads are served from harvested completions with
+//!   zero new crossings.
+//! * **Scatter/gather spans** — `ReadFileScatter` rides the ring as one
+//!   entry, flushing staged writes ahead of itself in the same crossing.
+//!
+//! The sentinel side ([`RingDispatchTask`]) drains the ring in
+//! submission order through the shared [`execute_op`] and completes
+//! out of order through the completion index, so batched and unbatched
+//! execution stay transcript-equivalent: every application-visible
+//! result — data bytes, error codes, write-behind error surfacing via
+//! the sticky slot — is the same either way. Speculative reads assume
+//! read-idempotent sentinel logic (see docs/BATCHING.md), which is why
+//! batching is opt-in per file.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_ipc::{BufferPool, Cqe, IpcError, RingPair, RingPort, RingTransport, Sqe, Transport};
+use afs_sim::{CostModel, CrossingKind, OpTrace};
+use afs_telemetry::{Layer, RingGauges, SpanScope, Telemetry};
+use afs_winapi::Win32Error;
+
+use crate::ctx::SentinelCtx;
+use crate::logic::{SentinelError, SentinelLogic};
+use crate::strategy::executor::{SentinelPoll, TaskPoll};
+use crate::strategy::handle::StrategyHandle;
+use crate::strategy::{
+    execute_op, op_name, take_sticky_preemption, to_win32, ActiveOps, Instruments, Op, OpReply,
+    Reaper, SentinelSide,
+};
+
+/// Builds the batched variant of the DLL-with-thread strategy (§4.3
+/// substrate: user-level ring, thread switches).
+pub(crate) fn open_shared(
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    instr: Instruments,
+    depth: usize,
+) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    let gauges = Arc::clone(instr.tel.rings());
+    let (ring, port) = RingPair::shared_observed(model.clone(), depth, gauges);
+    open_over(logic, ctx, model, trace, instr, "Thread", ring, port)
+}
+
+/// Builds the batched variant of the process-plus-control strategy (§4.2
+/// substrate: kernel doorbell, process switches).
+pub(crate) fn open_kernel(
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    instr: Instruments,
+    depth: usize,
+) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    let gauges = Arc::clone(instr.tel.rings());
+    let (ring, port) = RingPair::kernel_observed(model.clone(), depth, gauges);
+    open_over(logic, ctx, model, trace, instr, "Process", ring, port)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn open_over(
+    mut logic: Box<dyn SentinelLogic>,
+    mut ctx: SentinelCtx,
+    model: CostModel,
+    trace: Arc<OpTrace>,
+    instr: Instruments,
+    strategy: &'static str,
+    ring: RingTransport<Op, OpReply>,
+    port: RingPort<Op, OpReply>,
+) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
+    let sticky = Arc::new(Mutex::new(None));
+    let sentinel_sticky = Arc::clone(&sticky);
+    let scope = Arc::new(SpanScope::default());
+    let side = instr.sentinel_side(strategy, Arc::clone(&scope));
+    let done = instr.spawn_task(move |waker| {
+        port.set_wakeup(waker);
+        Box::new(RingDispatchTask::new(
+            logic,
+            ctx,
+            port,
+            sentinel_sticky,
+            side,
+        ))
+    });
+    let driver = RingDriver::new(
+        ring,
+        Arc::clone(&instr.tel),
+        strategy,
+        Arc::clone(instr.tel.rings()),
+    );
+    Ok(Arc::new(StrategyHandle::new(
+        driver,
+        model,
+        trace,
+        strategy,
+        sticky,
+        Some(Reaper::Task(done)),
+        instr.app_side(scope),
+    )))
+}
+
+/// Mutable staging state of one [`RingDriver`], serialised by the
+/// strategy handle's op lock (and a mutex here, for `&self` methods).
+#[derive(Debug, Default)]
+struct DriverState {
+    /// Next submission id (monotonic; completions key off it).
+    next_id: u64,
+    /// Write-behind submissions staged since the last doorbell.
+    staged: Vec<Sqe<Op>>,
+    /// A `Write` command waiting for its payload (`send_cmd` then
+    /// `send_data`, back to back under the handle's op lock).
+    pending_write: Option<Op>,
+    /// The staged reply the handle's next `recv_reply` returns.
+    reply: Option<OpReply>,
+    /// Staged outbound bytes the handle's next `recv_data*` drains.
+    outbound: Vec<u8>,
+    outbound_pos: usize,
+    /// Harvested speculative reads: `(offset, len)` → produced bytes.
+    cache: HashMap<(u64, u32), Vec<u8>>,
+    /// Speculative reads in flight: `(id, offset, len, epoch)`.
+    inflight: Vec<(u64, u64, u32, u64)>,
+    /// Bumped by anything that can change file contents; speculative
+    /// results from an older epoch are discarded at harvest.
+    epoch: u64,
+}
+
+/// The application side of a batched wiring: an [`afs_ipc::Transport`]
+/// whose command lane stages into a submission ring. Crossing charges
+/// happen in [`RingTransport::submit`] — once per batch — so
+/// `charges_own_crossings` tells the strategy handle to skip its own
+/// per-op round-trip charge.
+pub(crate) struct RingDriver {
+    ring: RingTransport<Op, OpReply>,
+    state: Mutex<DriverState>,
+    tel: Arc<Telemetry>,
+    strategy: &'static str,
+    gauges: Arc<RingGauges>,
+}
+
+impl RingDriver {
+    fn new(
+        ring: RingTransport<Op, OpReply>,
+        tel: Arc<Telemetry>,
+        strategy: &'static str,
+        gauges: Arc<RingGauges>,
+    ) -> Self {
+        RingDriver {
+            ring,
+            state: Mutex::new(DriverState::default()),
+            tel,
+            strategy,
+            gauges,
+        }
+    }
+
+    fn next_id(state: &mut DriverState) -> u64 {
+        state.next_id += 1;
+        state.next_id
+    }
+
+    /// Rings the doorbell for `batch` under a transport-layer span (which
+    /// nests under the in-flight op's strategy span on this thread).
+    fn submit(&self, batch: Vec<Sqe<Op>>) -> afs_ipc::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut span = self
+            .tel
+            .span_tagged(Layer::Transport, "batch-submit", self.strategy);
+        if let Some(sp) = span.as_mut() {
+            sp.set_bytes(batch.len() as u64);
+        }
+        self.ring.submit(batch)
+    }
+
+    /// Stages one write submission, merging it into the previous staged
+    /// write when byte-adjacent (no window cap), and flushes the staged
+    /// batch once it reaches the ring depth.
+    fn stage_write(
+        &self,
+        state: &mut DriverState,
+        offset: u64,
+        payload: Vec<u8>,
+    ) -> afs_ipc::Result<()> {
+        // Contents are changing: speculative results issued before this
+        // write no longer reflect the file the unbatched wiring would
+        // read.
+        state.epoch += 1;
+        state.cache.clear();
+        let coalesced = match state.staged.last_mut() {
+            Some(Sqe {
+                cmd: Op::Write { offset: o, len },
+                payload: Some(buf),
+                ..
+            }) if *o + u64::from(*len) == offset => {
+                buf.extend_from_slice(&payload);
+                *len += payload.len() as u32;
+                true
+            }
+            _ => false,
+        };
+        if !coalesced {
+            let id = Self::next_id(state);
+            state.staged.push(Sqe {
+                id,
+                cmd: Op::Write {
+                    offset,
+                    len: payload.len() as u32,
+                },
+                payload: Some(payload),
+            });
+        }
+        if state.staged.len() >= self.ring.depth() {
+            let batch = std::mem::take(&mut state.staged);
+            self.submit(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Harvests any speculative completions that have landed, filling the
+    /// readahead cache with current-epoch results.
+    fn harvest(&self, state: &mut DriverState) -> afs_ipc::Result<()> {
+        let inflight = std::mem::take(&mut state.inflight);
+        for (id, offset, len, epoch) in inflight {
+            match self.ring.try_complete(id)? {
+                None => state.inflight.push((id, offset, len, epoch)),
+                Some(Cqe {
+                    reply: OpReply::Read { .. },
+                    data,
+                    ..
+                }) if epoch == state.epoch => {
+                    state.cache.insert((offset, len), data.unwrap_or_default());
+                }
+                // Stale epoch or a speculative failure: the unbatched
+                // wiring never issued this read, so its outcome must not
+                // become application-visible.
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Serves a demand read: from the readahead cache when the exact span
+    /// was speculated (zero new crossings), otherwise with one batch of
+    /// staged writes + the demand read + sequential speculative reads.
+    fn demand_read(&self, state: &mut DriverState, offset: u64, len: u32) -> afs_ipc::Result<()> {
+        self.harvest(state)?;
+        if let Some(data) = state.cache.remove(&(offset, len)) {
+            self.gauges.readahead_hit();
+            state.reply = Some(OpReply::Read {
+                n: data.len() as u32,
+            });
+            state.outbound = data;
+            state.outbound_pos = 0;
+            return Ok(());
+        }
+        let mut batch = std::mem::take(&mut state.staged);
+        let demand = Self::next_id(state);
+        batch.push(Sqe {
+            id: demand,
+            cmd: Op::Read { offset, len },
+            payload: None,
+        });
+        let mut speculative = Vec::new();
+        if len > 0 {
+            let mut next = offset + u64::from(len);
+            while batch.len() < self.ring.depth() {
+                let id = Self::next_id(state);
+                batch.push(Sqe {
+                    id,
+                    cmd: Op::Read { offset: next, len },
+                    payload: None,
+                });
+                speculative.push((id, next, len, state.epoch));
+                next += u64::from(len);
+            }
+        }
+        self.submit(batch)?;
+        state.inflight.extend(speculative);
+        let cqe = self.ring.complete(demand)?;
+        state.reply = Some(cqe.reply);
+        state.outbound = cqe.data.unwrap_or_default();
+        state.outbound_pos = 0;
+        Ok(())
+    }
+
+    /// Runs one synchronous command through the ring: staged writes flush
+    /// ahead of it in the same crossing, and the caller's reply (plus any
+    /// produced bytes) is staged for `recv_reply`/`recv_data*`.
+    fn sync_roundtrip(&self, state: &mut DriverState, op: Op) -> afs_ipc::Result<()> {
+        if matches!(op, Op::Control { .. } | Op::ReadScatter { .. } | Op::Flush) {
+            // Controls can mutate sentinel state; scatter reads advance
+            // shared context; flush seals durable batches. All invalidate
+            // speculation.
+            state.epoch += 1;
+            state.cache.clear();
+        }
+        let mut batch = std::mem::take(&mut state.staged);
+        let id = Self::next_id(state);
+        batch.push(Sqe {
+            id,
+            cmd: op,
+            payload: None,
+        });
+        self.submit(batch)?;
+        let cqe = self.ring.complete(id)?;
+        state.reply = Some(cqe.reply);
+        state.outbound = cqe.data.unwrap_or_default();
+        state.outbound_pos = 0;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for RingDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingDriver")
+            .field("strategy", &self.strategy)
+            .field("depth", &self.ring.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for RingDriver {
+    type Cmd = Op;
+    type Reply = OpReply;
+
+    fn crossing(&self) -> CrossingKind {
+        self.ring.crossing()
+    }
+
+    fn supports_control(&self) -> bool {
+        true
+    }
+
+    fn charges_own_crossings(&self) -> bool {
+        true
+    }
+
+    fn ring_depth(&self) -> Option<usize> {
+        Some(self.ring.depth())
+    }
+
+    fn send_cmd(&self, cmd: Op) -> afs_ipc::Result<()> {
+        let mut state = self.state.lock();
+        match cmd {
+            Op::Write { len, .. } if len > 0 => {
+                // Payload follows via `send_data` under the same op lock.
+                state.pending_write = Some(cmd);
+                Ok(())
+            }
+            Op::Write { offset, .. } => self.stage_write(&mut state, offset, Vec::new()),
+            Op::Read { offset, len } => self.demand_read(&mut state, offset, len),
+            op => self.sync_roundtrip(&mut state, op),
+        }
+    }
+
+    fn recv_reply(&self) -> afs_ipc::Result<OpReply> {
+        self.state.lock().reply.take().ok_or(IpcError::Closed)
+    }
+
+    fn send_data(&self, data: &[u8]) -> afs_ipc::Result<()> {
+        let mut state = self.state.lock();
+        match state.pending_write.take() {
+            Some(Op::Write { offset, .. }) => self.stage_write(&mut state, offset, data.to_vec()),
+            _ => Err(IpcError::Closed),
+        }
+    }
+
+    fn recv_data(&self, buf: &mut [u8]) -> afs_ipc::Result<usize> {
+        self.recv_data_exact(buf)
+    }
+
+    fn recv_data_exact(&self, buf: &mut [u8]) -> afs_ipc::Result<usize> {
+        let mut state = self.state.lock();
+        let available = state.outbound.len() - state.outbound_pos;
+        let n = buf.len().min(available);
+        let start = state.outbound_pos;
+        buf[..n].copy_from_slice(&state.outbound[start..start + n]);
+        state.outbound_pos += n;
+        if state.outbound_pos == state.outbound.len() {
+            state.outbound = Vec::new();
+            state.outbound_pos = 0;
+        }
+        Ok(n)
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock();
+        let batch = std::mem::take(&mut state.staged);
+        let _ = self.submit(batch);
+        self.ring.shutdown();
+    }
+}
+
+/// The sentinel side of a batched wiring: [`DispatchTask`]'s protocol —
+/// sticky write-behind failures, shared [`execute_op`] semantics, stats
+/// and spans — draining a [`RingPort`] instead of a
+/// [`PairPort`](afs_ipc::PairPort) and completing through the index.
+///
+/// [`DispatchTask`]: crate::strategy::DispatchTask
+pub(crate) struct RingDispatchTask {
+    logic: Box<dyn SentinelLogic>,
+    ctx: SentinelCtx,
+    port: RingPort<Op, OpReply>,
+    pool: BufferPool,
+    sticky: Arc<Mutex<Option<SentinelError>>>,
+    side: SentinelSide,
+}
+
+impl RingDispatchTask {
+    pub(crate) fn new(
+        logic: Box<dyn SentinelLogic>,
+        ctx: SentinelCtx,
+        port: RingPort<Op, OpReply>,
+        sticky: Arc<Mutex<Option<SentinelError>>>,
+        side: SentinelSide,
+    ) -> RingDispatchTask {
+        RingDispatchTask {
+            logic,
+            ctx,
+            port,
+            pool: BufferPool::new(),
+            sticky,
+            side,
+        }
+    }
+
+    /// Serves one submission; `Ready` when the sentinel should terminate.
+    fn serve(&mut self, sqe: Sqe<Op>) -> TaskPoll {
+        // Same rule as the unbatched dispatch loop: a parked write-behind
+        // failure pre-empts the next synchronous command. Submissions are
+        // drained in order and staged writes precede the demand op in
+        // every batch, so the pre-emption lands on the op the unbatched
+        // wiring would have failed.
+        if let Some(e) = take_sticky_preemption(&self.sticky, &sqe.cmd) {
+            return match self.port.post(Cqe {
+                id: sqe.id,
+                reply: OpReply::Failed(e),
+                data: None,
+            }) {
+                Ok(()) => TaskPoll::Pending,
+                Err(_) => TaskPoll::Ready,
+            };
+        }
+        let (logic, ctx) = (self.logic.as_mut(), &mut self.ctx);
+        match sqe.cmd {
+            Op::Write { offset, len } => {
+                let payload = sqe.payload.unwrap_or_default();
+                let (reply, _) = self.side.observe("write", || {
+                    execute_op(logic, ctx, Op::Write { offset, len }, &payload, &self.pool)
+                });
+                let failed = matches!(reply, OpReply::Failed(_));
+                self.side.stats().op(u64::from(len), 0, failed);
+                if let OpReply::Failed(e) = reply {
+                    *self.sticky.lock() = Some(e);
+                }
+                // Writes are acknowledged eagerly (write-behind): no
+                // completion entry, same as the unbatched loop's silence.
+                TaskPoll::Pending
+            }
+            Op::Close => {
+                let (reply, _) = self.side.observe("close", || {
+                    execute_op(logic, ctx, Op::Close, &[], &self.pool)
+                });
+                self.side
+                    .stats()
+                    .op(0, 0, matches!(reply, OpReply::Failed(_)));
+                let _ = self.port.post(Cqe {
+                    id: sqe.id,
+                    reply,
+                    data: None,
+                });
+                TaskPoll::Ready
+            }
+            cmd => {
+                let name = op_name(&cmd);
+                let (reply, data) = self
+                    .side
+                    .observe(name, || execute_op(logic, ctx, cmd, &[], &self.pool));
+                let bytes_out = data.as_ref().map_or(0, |d| d.len() as u64);
+                self.side
+                    .stats()
+                    .op(0, bytes_out, matches!(reply, OpReply::Failed(_)));
+                match self.port.post(Cqe {
+                    id: sqe.id,
+                    reply,
+                    data,
+                }) {
+                    Ok(()) => TaskPoll::Pending,
+                    Err(_) => TaskPoll::Ready,
+                }
+            }
+        }
+    }
+}
+
+impl SentinelPoll for RingDispatchTask {
+    fn poll(&mut self) -> TaskPoll {
+        let mut drained = 0u64;
+        loop {
+            let sqe = match self.port.poll_sqe() {
+                Ok(Some(sqe)) => sqe,
+                Ok(None) => {
+                    self.side.stats().note_queue_depth(drained);
+                    return TaskPoll::Pending;
+                }
+                // The application vanished without Close; still run the
+                // close hook.
+                Err(_) => {
+                    let _ = self.logic.on_close(&mut self.ctx);
+                    self.ctx.persist_cache();
+                    return TaskPoll::Ready;
+                }
+            };
+            drained += 1;
+            if let TaskPoll::Ready = self.serve(sqe) {
+                return TaskPoll::Ready;
+            }
+        }
+    }
+
+    fn abandon(&mut self) {
+        let _ = self.logic.on_close(&mut self.ctx);
+        self.ctx.persist_cache();
+    }
+}

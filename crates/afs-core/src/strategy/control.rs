@@ -30,14 +30,20 @@ use crate::strategy::{to_win32, ActiveOps, DispatchTask, Instruments, Op, OpRepl
 /// Builds the process-plus-control strategy for one open: runs the open
 /// hook, registers the sentinel "process" as a dispatch task on the
 /// sentinel executor, wires two data pipes plus the control channel, and
-/// returns the application-side ops.
+/// returns the application-side ops. With `batch = Some(depth)` the
+/// boundary is wired as a submission/completion ring instead — one
+/// kernel doorbell per batch (see [`crate::strategy::batch`]).
 pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
     instr: Instruments,
+    batch: Option<usize>,
 ) -> Result<Arc<dyn ActiveOps>, Win32Error> {
+    if let Some(depth) = batch {
+        return crate::strategy::batch::open_kernel(logic, ctx, model, trace, instr, depth);
+    }
     logic.on_open(&mut ctx).map_err(|e| to_win32(&e))?;
     let (transport, port) = PairTransport::<Op, OpReply>::kernel_observed(
         model.clone(),

@@ -23,6 +23,7 @@
 //! [`afs_ipc::BufferPool`] so a settled sentinel allocates nothing per
 //! operation.
 
+pub(crate) mod batch;
 pub mod control;
 pub mod dll;
 pub(crate) mod executor;
@@ -276,6 +277,24 @@ pub const CTL_STORE_STATS: u32 = 0xAF00_57C2;
 /// `off` trades the fsync barrier for speed (recovery still never
 /// corrupts — it drops the torn tail).
 pub const CTL_STORE_SYNC: u32 = 0xAF00_57C3;
+
+/// Takes the parked write-behind failure when `op` is a synchronous
+/// command it should pre-empt. Writes never pre-empt (they are the ops
+/// that *park* failures) and Close reports through its own reply, with
+/// the handle re-checking sticky afterwards. Shared by every sentinel
+/// drain path — [`DispatchTask`], the mux loop, and the ring drain — so
+/// batched, multiplexed, and private dispatch surface write-behind
+/// failures under one rule.
+pub(crate) fn take_sticky_preemption(
+    sticky: &Mutex<Option<SentinelError>>,
+    op: &Op,
+) -> Option<SentinelError> {
+    if matches!(op, Op::Write { .. } | Op::Close) {
+        None
+    } else {
+        sticky.lock().take()
+    }
+}
 
 /// Maps sentinel failures to the Win32 codes the application sees.
 pub(crate) fn to_win32(e: &SentinelError) -> Win32Error {
@@ -621,13 +640,11 @@ impl DispatchTask {
         // A parked write-behind failure pre-empts the next synchronous
         // command, so the application learns of it deterministically
         // (commands are processed in order).
-        if !matches!(op, Op::Write { .. } | Op::Close) {
-            if let Some(e) = self.sticky.lock().take() {
-                return match self.port.send_reply(OpReply::Failed(e)) {
-                    Ok(()) => TaskPoll::Pending,
-                    Err(_) => TaskPoll::Ready,
-                };
-            }
+        if let Some(e) = take_sticky_preemption(&self.sticky, &op) {
+            return match self.port.send_reply(OpReply::Failed(e)) {
+                Ok(()) => TaskPoll::Pending,
+                Err(_) => TaskPoll::Ready,
+            };
         }
         let (logic, ctx, port) = (self.logic.as_mut(), &mut self.ctx, &self.port);
         match op {

@@ -40,7 +40,8 @@ use crate::spec::Strategy;
 use crate::strategy::executor::{SentinelPoll, TaskPoll};
 use crate::strategy::handle::StrategyHandle;
 use crate::strategy::{
-    execute_op, op_name, to_win32, ActiveOps, Instruments, Op, OpReply, SentinelSide,
+    execute_op, op_name, take_sticky_preemption, to_win32, ActiveOps, Instruments, Op, OpReply,
+    SentinelSide,
 };
 
 /// The wire-shape facts [`MuxHub`] needs about the [`Op`]/[`OpReply`]
@@ -319,18 +320,19 @@ impl MuxLoop {
     /// reply and the handle re-checks sticky afterwards).
     fn service(&mut self, session: u32, op: Op) -> Step {
         let rec = self.record(session);
-        if !matches!(op, Op::Close) {
-            if let Some(e) = rec.as_ref().and_then(|r| r.sticky.lock().take()) {
-                let failed = Framed {
-                    session,
-                    body: OpReply::Failed(e),
-                };
-                return if self.port.send_reply(failed).is_err() {
-                    Step::WireDead
-                } else {
-                    Step::Continue
-                };
-            }
+        if let Some(e) = rec
+            .as_ref()
+            .and_then(|r| take_sticky_preemption(&r.sticky, &op))
+        {
+            let failed = Framed {
+                session,
+                body: OpReply::Failed(e),
+            };
+            return if self.port.send_reply(failed).is_err() {
+                Step::WireDead
+            } else {
+                Step::Continue
+            };
         }
         let closing = matches!(op, Op::Close);
         let name = op_name(&op);

@@ -40,14 +40,20 @@ use crate::strategy::{ActiveOps, DispatchTask, Instruments, Op, OpReply, Reaper}
 /// `SentinelThrdMain` state machine with the sentinel executor (the
 /// bounded-pool stand-in for "starts a thread for running the
 /// orchestration routine") and wires shared-memory buffers plus user-level
-/// control channels.
+/// control channels. With `batch = Some(depth)` the same substrate is
+/// wired as a submission/completion ring instead — one crossing per batch
+/// (see [`crate::strategy::batch`]).
 pub(crate) fn open(
     mut logic: Box<dyn SentinelLogic>,
     mut ctx: SentinelCtx,
     model: CostModel,
     trace: Arc<OpTrace>,
     instr: Instruments,
+    batch: Option<usize>,
 ) -> Result<Arc<dyn ActiveOps>, afs_winapi::Win32Error> {
+    if let Some(depth) = batch {
+        return crate::strategy::batch::open_shared(logic, ctx, model, trace, instr, depth);
+    }
     logic
         .on_open(&mut ctx)
         .map_err(|e| crate::strategy::to_win32(&e))?;

@@ -322,6 +322,25 @@ fn register_world_collectors(
             "afs_store_torn_detected_total",
             st.torn_detected,
         ));
+        let rg = telemetry.rings().snapshot();
+        out.push(Metric::counter("afs_ring_batches_total", rg.batches));
+        out.push(Metric::counter(
+            "afs_ring_ops_submitted_total",
+            rg.ops_submitted,
+        ));
+        out.push(Metric::gauge("afs_ring_occupancy_peak", rg.occupancy_peak));
+        out.push(Metric::counter(
+            "afs_ring_completions_total",
+            rg.completions,
+        ));
+        out.push(Metric::counter(
+            "afs_ring_completions_out_of_order_total",
+            rg.completions_out_of_order,
+        ));
+        out.push(Metric::counter(
+            "afs_ring_readahead_hits_total",
+            rg.readahead_hits,
+        ));
         out.push(Metric::counter(
             "afs_flight_triggers_total",
             telemetry.flight().trigger_count(),

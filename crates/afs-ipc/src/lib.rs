@@ -25,7 +25,9 @@
 //!
 //! On top of the primitives, [`transport::Transport`] packages one
 //! strategy's complete wiring (typed command/reply lanes plus a data lane)
-//! behind a single trait, and [`pool::BufferPool`] recycles the staging
+//! behind a single trait, [`ring::RingPair`] adds io_uring-style
+//! submission/completion rings that cross the boundary once per *batch*
+//! instead of once per op, and [`pool::BufferPool`] recycles the staging
 //! buffers all of them use, so the hot path settles into a steady state
 //! with no per-operation allocation.
 //!
@@ -39,6 +41,7 @@ pub mod event;
 pub mod mux;
 pub mod pipe;
 pub mod pool;
+pub mod ring;
 pub mod shared_buf;
 pub mod sync;
 pub mod transport;
@@ -49,6 +52,7 @@ pub use event::{Event, ResetMode};
 pub use mux::{Framed, MuxHub, MuxProtocol, MuxSession, SentinelReaper, STAGE_CAPACITY};
 pub use pipe::{Pipe, PipeReader, PipeWriter};
 pub use pool::BufferPool;
+pub use ring::{Cqe, RingPair, RingPort, RingTransport, Sqe};
 pub use shared_buf::SharedBuffer;
 pub use sync::{NamedSemaphore, SyncRegistry};
 pub use transport::{DataRx, DataTx, PairPort, PairTransport, StreamTransport, Transport};

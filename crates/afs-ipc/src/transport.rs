@@ -111,6 +111,13 @@ pub trait Transport: Send + Sync {
         false
     }
 
+    /// The submission-ring depth when the wiring batches commands over a
+    /// [`ring::RingPair`](crate::ring::RingPair) — the K of "1 crossing +
+    /// K dispatches". `None` for unbatched wirings that cross per op.
+    fn ring_depth(&self) -> Option<usize> {
+        None
+    }
+
     /// Sends one command to the sentinel.
     fn send_cmd(&self, cmd: Self::Cmd) -> Result<()>;
 

@@ -383,6 +383,76 @@ pub struct SentinelStatsSnapshot {
     pub queue_depth_peak: u64,
 }
 
+/// Live gauges for submission/completion rings: batch sizes, ring
+/// occupancy, completion ordering, and readahead effectiveness. Fed by
+/// the ring transports and the handle-side batching policy; always live,
+/// like the queue gauges.
+#[derive(Debug, Default)]
+pub struct RingGauges {
+    batches: AtomicU64,
+    ops_submitted: AtomicU64,
+    occupancy_peak: AtomicU64,
+    completions: AtomicU64,
+    completions_out_of_order: AtomicU64,
+    readahead_hits: AtomicU64,
+}
+
+impl RingGauges {
+    /// Records one doorbell ring carrying `ops` submissions; `occupancy`
+    /// is the submission-ring depth right after the batch landed.
+    pub fn batch_submitted(&self, ops: u64, occupancy: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.ops_submitted.fetch_add(ops, Ordering::Relaxed);
+        self.occupancy_peak.fetch_max(occupancy, Ordering::Relaxed);
+    }
+
+    /// Records one completion posted; `out_of_order` when its id is lower
+    /// than one already posted (completed out of submission order).
+    pub fn completed(&self, out_of_order: bool) {
+        self.completions.fetch_add(1, Ordering::Relaxed);
+        if out_of_order {
+            self.completions_out_of_order
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a read served from a harvested speculative (readahead)
+    /// completion without a new crossing.
+    pub fn readahead_hit(&self) {
+        self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> RingSnapshot {
+        RingSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            ops_submitted: self.ops_submitted.load(Ordering::Relaxed),
+            occupancy_peak: self.occupancy_peak.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            completions_out_of_order: self.completions_out_of_order.load(Ordering::Relaxed),
+            readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`RingGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Doorbell rings (one per submitted batch).
+    pub batches: u64,
+    /// Total operations carried by those batches.
+    pub ops_submitted: u64,
+    /// Deepest submission-ring occupancy observed at submit time.
+    pub occupancy_peak: u64,
+    /// Completions posted.
+    pub completions: u64,
+    /// Completions posted out of submission order.
+    pub completions_out_of_order: u64,
+    /// Reads served from harvested readahead completions (zero new
+    /// crossings).
+    pub readahead_hits: u64,
+}
+
 /// Live gauges for the durable page store: WAL traffic, commit/fsync
 /// cadence, checkpoints, and what recovery found on reopen.
 #[derive(Debug, Default)]
@@ -548,6 +618,24 @@ mod tests {
         assert_eq!(s.queue_depth_peak, 5);
         assert_eq!(s.coalesced_writes, 2);
         assert_eq!(s.flushed_batches, 1);
+    }
+
+    #[test]
+    fn ring_gauges_track_batches_ordering_and_readahead() {
+        let g = RingGauges::default();
+        g.batch_submitted(8, 8);
+        g.batch_submitted(4, 6);
+        g.completed(false);
+        g.completed(true);
+        g.completed(true);
+        g.readahead_hit();
+        let s = g.snapshot();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.ops_submitted, 12);
+        assert_eq!(s.occupancy_peak, 8);
+        assert_eq!(s.completions, 3);
+        assert_eq!(s.completions_out_of_order, 2);
+        assert_eq!(s.readahead_hits, 1);
     }
 
     #[test]

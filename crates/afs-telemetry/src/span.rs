@@ -32,7 +32,8 @@ use parking_lot::Mutex;
 
 use crate::flight::FlightRecorder;
 use crate::gauges::{
-    FleetGauges, QueueGauges, SentinelStats, SentinelStatsSnapshot, SessionGauges, StoreGauges,
+    FleetGauges, QueueGauges, RingGauges, SentinelStats, SentinelStatsSnapshot, SessionGauges,
+    StoreGauges,
 };
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use crate::slo::{SloSpec, SloTracker};
@@ -260,6 +261,7 @@ pub struct Telemetry {
     sessions: Arc<SessionGauges>,
     fleet: Arc<FleetGauges>,
     store: Arc<StoreGauges>,
+    rings: Arc<RingGauges>,
     flight: Arc<FlightRecorder>,
     slos: Mutex<Vec<Arc<SloTracker>>>,
     sentinel_stats: Mutex<Vec<(&'static str, Arc<SentinelStats>)>>,
@@ -295,6 +297,7 @@ impl Telemetry {
             sessions,
             fleet: Arc::new(FleetGauges::default()),
             store,
+            rings: Arc::new(RingGauges::default()),
             flight,
             slos: Mutex::new(Vec::new()),
             sentinel_stats: Mutex::new(Vec::new()),
@@ -550,6 +553,12 @@ impl Telemetry {
     /// live, like the queue gauges.
     pub fn store(&self) -> &Arc<StoreGauges> {
         &self.store
+    }
+
+    /// The submission/completion-ring gauges fed by the batching
+    /// transports. Always live, like the queue gauges.
+    pub fn rings(&self) -> &Arc<RingGauges> {
+        &self.rings
     }
 
     /// The always-on flight recorder: bounded per-subsystem event rings
