@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--fleet] [--workers M] [--batch] [--spans FILE] [--json FILE]
+//! figure6 [--ops N] [--profile pentium|modern] [--copies] [--trace] [--simple-process] [--concurrency] [--fleet] [--workers M] [--batch] [--cluster] [--spans FILE] [--json FILE]
 //! ```
 //!
 //! `--copies` appends the per-operation accounting table (syscalls,
@@ -27,6 +27,10 @@
 //! latency and protection-domain crossings per op for the same
 //! sequential-read cell run unbatched and over the submission/completion
 //! ring (`batch=on`, see `docs/BATCHING.md`);
+//! `--cluster` skips the sweep and prints the replicated-cluster panel:
+//! per-op latency and fleet gauges for zipfian client sessions swept
+//! 1k → 100k → 1M over the consistent-hash fleet, plus the node-join
+//! rebalance line (see `docs/CLUSTER.md`);
 //! `--spans FILE` skips the sweep and instead records a telemetry span
 //! trace of `--ops` reads per strategy, written as chrome://tracing JSON
 //! (open in `chrome://tracing` or Perfetto); `--json FILE` skips the
@@ -51,6 +55,7 @@ fn main() {
     let mut concurrency = false;
     let mut fleet = false;
     let mut batch = false;
+    let mut cluster = false;
     let mut fleet_workers: Option<usize> = None;
     let mut spans_out: Option<String> = None;
     let mut json_out: Option<String> = None;
@@ -76,6 +81,7 @@ fn main() {
             "--concurrency" => concurrency = true,
             "--fleet" => fleet = true,
             "--batch" => batch = true,
+            "--cluster" => cluster = true,
             "--workers" => {
                 i += 1;
                 fleet_workers = Some(
@@ -120,6 +126,11 @@ fn main() {
 
     if batch {
         print!("{}", afs_bench::render_batch_panel(ops, &profile));
+        return;
+    }
+
+    if cluster {
+        print!("{}", afs_bench::render_cluster_panel(&profile));
         return;
     }
 

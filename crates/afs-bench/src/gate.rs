@@ -92,9 +92,16 @@ pub fn gate_fleet_files() -> usize {
 /// two batching cells, `ablation_batch-off` / `ablation_batch-on`
 /// ([`crate::measure_batch_ablation`]: the same sequential-read cell
 /// over the plain transport and over the submission/completion ring,
-/// each carrying its crossings-per-op) — and renders the result as
-/// JSON. Panics if the batched and unbatched transcripts diverge, so
-/// the gate proves equivalence on every run.
+/// each carrying its crossings-per-op) — and the three cluster cells:
+/// `cluster-100k` / `cluster-1m` (zipfian sessions over the replicated
+/// fleet at the gated counts, see [`crate::measure_cluster`]; debug
+/// builds scale to `cluster-1k` / `cluster-10k`) and
+/// `cluster-rebalance` (post-join reads through a membership change,
+/// [`crate::measure_cluster_rebalance`]) — and renders the result as
+/// JSON. Panics if the batched and unbatched transcripts diverge, if
+/// the cluster p99 is not flat across the session counts, or if a node
+/// join moves more than `1/N + 5%` of the keys, so the gate proves
+/// those claims on every run.
 pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
     const BLOCK: usize = 128;
     // (label, mean, p50, p99, crossings-per-op). The crossings column is
@@ -184,6 +191,52 @@ pub fn bench_json(ops: usize, profile: HardwareProfile) -> String {
             r.summary.p50_ns,
             r.summary.p99_ns,
             None,
+        ));
+    }
+    {
+        // The cluster cells: per-op latency over the replicated fleet at
+        // the two gated session counts, plus the rebalance cell. The
+        // `crossings_per_op` column carries network messages per op
+        // (RPCs + replication casts) — the cluster's boundary-crossing
+        // count. Three claims are asserted on every gate run: p99 stays
+        // flat (within 10%) from 1k sessions to the largest gated count,
+        // a node join moves at most `1/N + 5%` of the primaries, and
+        // every key stays readable at its session's read-your-writes
+        // floor through the join (measure_cluster_rebalance panics
+        // otherwise).
+        let reference = crate::measure_cluster(1_000, profile.clone());
+        for clients in crate::gate_cluster_clients() {
+            let c = crate::measure_cluster(clients, profile.clone());
+            assert!(
+                (c.summary.p99_ns as f64 - reference.summary.p99_ns as f64).abs()
+                    <= reference.summary.p99_ns as f64 * 0.10,
+                "cluster p99 must stay flat at a fixed fleet size: \
+                 {clients} clients {} ns vs 1k clients {} ns",
+                c.summary.p99_ns,
+                reference.summary.p99_ns
+            );
+            entries.push((
+                crate::cluster_cell_label(clients),
+                c.summary.mean_ns as f64,
+                c.summary.p50_ns,
+                c.summary.p99_ns,
+                Some(c.messages_per_op),
+            ));
+        }
+        let r = crate::measure_cluster_rebalance(crate::CLUSTER_REBALANCE_KEYS, profile.clone());
+        assert!(
+            (r.moved as f64) <= r.moved_limit,
+            "node join moved {} of {} keys, over the 1/N + 5% bound {:.1}",
+            r.moved,
+            r.keys,
+            r.moved_limit
+        );
+        entries.push((
+            "cluster-rebalance".to_owned(),
+            r.summary.mean_ns as f64,
+            r.summary.p50_ns,
+            r.summary.p99_ns,
+            Some(r.messages_per_op),
         ));
     }
     {
@@ -527,9 +580,9 @@ mod tests {
         assert_eq!(parsed.ops, 20);
         assert_eq!(
             parsed.strategies.len(),
-            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 1 + 2 + 2,
+            GATE_STRATEGIES.len() + 2 * GATE_MUX_CLIENTS.len() + 2 + 1 + 2 + 2 + 3,
             "four strategies, shared/private per gated client count, two fleet cells, \
-             the trace ablation, two store cells, two batching cells"
+             the trace ablation, two store cells, two batching cells, three cluster cells"
         );
         for strategy in GATE_STRATEGIES {
             let s = parsed.strategies.get(strategy.label()).expect("strategy");
@@ -561,6 +614,16 @@ mod tests {
         for label in ["ablation_batch-off", "ablation_batch-on"] {
             let s = parsed.strategies.get(label).expect("batch cell");
             assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+        }
+        let mut cluster_labels: Vec<String> = crate::gate_cluster_clients()
+            .iter()
+            .map(|&c| crate::cluster_cell_label(c))
+            .collect();
+        cluster_labels.push("cluster-rebalance".to_owned());
+        for label in &cluster_labels {
+            let s = parsed.strategies.get(label.as_str()).expect("cluster cell");
+            assert!(s.p99_ns >= s.p50_ns, "percentiles ordered for {label}");
+            assert!(s.mean_ns > 0.0, "cluster ops must cost virtual time");
         }
     }
 

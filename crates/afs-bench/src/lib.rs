@@ -12,9 +12,15 @@
 //! asserts the reproduction claims (ordering, growth, read/write
 //! asymmetry).
 
+pub mod cluster;
 pub mod gate;
 pub mod workload;
 
+pub use cluster::{
+    cluster_cell_label, cluster_panel_clients, gate_cluster_clients, measure_cluster,
+    measure_cluster_rebalance, render_cluster_panel, ClusterMeasurement, RebalanceMeasurement,
+    CLUSTER_BLOCK, CLUSTER_COPIES, CLUSTER_FILES, CLUSTER_FLEET, CLUSTER_REBALANCE_KEYS,
+};
 pub use gate::{bench_json, compare, parse_bench_doc, BenchDoc, StrategyStats};
 
 use std::sync::Arc;

@@ -8,11 +8,55 @@
 //! that need "an application-shaped" op stream.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use afs_core::Strategy;
 use afs_sim::{clock, HardwareProfile};
 use afs_winapi::{Access, Disposition, FileApi, SeekMethod};
+
+/// Zipfian popularity sampler: rank `i` (0-based, most popular first) is
+/// drawn with probability proportional to `1 / (i + 1)^theta`. Backed by
+/// a precomputed CDF and inverse-transform sampling, so a draw is one
+/// uniform variate plus a binary search. `theta = 0.99` is the classic
+/// YCSB skew; `theta = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler over `items` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is zero.
+    pub fn new(items: usize, theta: f64) -> Zipf {
+        assert!(items > 0, "zipf needs at least one item");
+        let mut cdf = Vec::with_capacity(items);
+        let mut total = 0.0;
+        for rank in 0..items {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn items(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..items`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        // A uniform variate in [0, 1) from the top 53 bits of one raw
+        // word (the vendored rand stub has no float sampling).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
 
 /// One operation of a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +172,38 @@ pub fn replay_virtual_time(
 mod tests {
     use super::*;
     use crate::PathKind;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed_to_the_head() {
+        let zipf = Zipf::new(64, 0.99);
+        let draw = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..2000).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same stream");
+        let samples = draw(7);
+        assert!(samples.iter().all(|&r| r < 64), "ranks stay in range");
+        let head = samples.iter().filter(|&&r| r == 0).count();
+        // Uniform would give ~31 hits on rank 0 out of 2000; zipf(0.99)
+        // concentrates over 10% of the mass there.
+        assert!(head > 150, "rank 0 drew only {head} of 2000");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (rank, &count) in counts.iter().enumerate() {
+            assert!(
+                (700..1300).contains(&count),
+                "rank {rank} drew {count} of 4000 under theta=0"
+            );
+        }
+    }
 
     #[test]
     fn traces_are_deterministic_per_seed() {

@@ -7,6 +7,7 @@
 //! local file system, and the named-synchronisation namespace.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use afs_ipc::{NamedSemaphore, SyncRegistry};
@@ -35,7 +36,10 @@ pub struct SentinelCtx {
     api: Option<Arc<dyn FileApi>>,
     degraded: bool,
     stale: bool,
+    stale_since_ns: Option<u64>,
+    staleness_budget_ns: Option<u64>,
     write_queue: Vec<(u64, Vec<u8>)>,
+    heal_gen: Arc<AtomicU64>,
 }
 
 /// Builds the reliability policy requested by a spec's `retry`,
@@ -187,6 +191,17 @@ impl SentinelCtx {
             spec.config().get("degraded").map(String::as_str),
             Some("true") | Some("1")
         );
+        // `staleness_ms=` tightens degraded mode from stale-allowed to
+        // bounded-staleness: a degraded read older than the bound fails
+        // instead of serving last-good bytes. Garbage fails the open.
+        let staleness_budget_ns = match spec.config().get("staleness_ms") {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| SentinelError::InvalidParameter)?
+                    .saturating_mul(1_000_000),
+            ),
+            None => None,
+        };
         Ok(SentinelCtx {
             path,
             user,
@@ -199,7 +214,10 @@ impl SentinelCtx {
             api: None,
             degraded,
             stale: false,
+            stale_since_ns: None,
+            staleness_budget_ns,
             write_queue: Vec::new(),
+            heal_gen: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -271,7 +289,23 @@ impl SentinelCtx {
     }
 
     pub(crate) fn set_stale(&mut self, stale: bool) {
+        if stale && !self.stale {
+            self.stale_since_ns = Some(afs_sim::clock::now());
+        } else if !stale {
+            self.stale_since_ns = None;
+        }
         self.stale = stale;
+    }
+
+    /// The `staleness_ms=` bound in nanoseconds, if the spec set one.
+    /// Whether a degraded read right now would exceed the spec's
+    /// `staleness_ms=` bound: the handle has been serving last-good data
+    /// for longer than the budget allows.
+    pub(crate) fn staleness_exceeded(&self) -> bool {
+        match (self.staleness_budget_ns, self.stale_since_ns) {
+            (Some(budget), Some(since)) => afs_sim::clock::now().saturating_sub(since) > budget,
+            _ => false,
+        }
     }
 
     /// Writes queued while the remote was down, in arrival order.
@@ -281,6 +315,18 @@ impl SentinelCtx {
 
     pub(crate) fn write_queue_len(&self) -> usize {
         self.write_queue.len()
+    }
+
+    /// The heal generation: bumped at the start of every queued-write
+    /// replay so speculative readahead staged before the replay can be
+    /// invalidated by the batched-ring driver (see
+    /// [`crate::strategy`]'s `replay_queued_writes` and `batch.rs`).
+    pub(crate) fn heal_generation(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.heal_gen)
+    }
+
+    pub(crate) fn bump_heal_generation(&self) {
+        self.heal_gen.fetch_add(1, Ordering::SeqCst);
     }
 
     // ---- configuration ------------------------------------------------------

@@ -135,6 +135,7 @@ pub const RUNTIME_CONFIG_KEYS: &[&str] = &[
     "replicas",
     "breaker.threshold",
     "breaker.cooldown_us",
+    "staleness_ms",
     "slo_p99_us",
     "slo_err_ppm",
     "batch",

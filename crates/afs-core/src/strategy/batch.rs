@@ -29,6 +29,7 @@
 //! batching is opt-in per file.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -93,6 +94,10 @@ fn open_over(
     let sentinel_sticky = Arc::clone(&sticky);
     let scope = Arc::new(SpanScope::default());
     let side = instr.sentinel_side(strategy, Arc::clone(&scope));
+    // The driver watches the ctx's heal generation: a queued-write replay
+    // on the sentinel side bumps it, and the driver retires its
+    // speculative-cache epoch in response (see `sync_heal_generation`).
+    let heal_gen = ctx.heal_generation();
     let done = instr.spawn_task(move |waker| {
         port.set_wakeup(waker);
         Box::new(RingDispatchTask::new(
@@ -108,6 +113,7 @@ fn open_over(
         Arc::clone(&instr.tel),
         strategy,
         Arc::clone(instr.tel.rings()),
+        heal_gen,
     );
     Ok(Arc::new(StrategyHandle::new(
         driver,
@@ -143,6 +149,10 @@ struct DriverState {
     /// Bumped by anything that can change file contents; speculative
     /// results from an older epoch are discarded at harvest.
     epoch: u64,
+    /// Last observed value of the sentinel ctx's heal generation; a
+    /// change means a queued-write replay ran and everything speculated
+    /// before it is invalid.
+    heal_seen: u64,
 }
 
 /// The application side of a batched wiring: an [`afs_ipc::Transport`]
@@ -156,6 +166,7 @@ pub(crate) struct RingDriver {
     tel: Arc<Telemetry>,
     strategy: &'static str,
     gauges: Arc<RingGauges>,
+    heal_gen: Arc<AtomicU64>,
 }
 
 impl RingDriver {
@@ -164,6 +175,7 @@ impl RingDriver {
         tel: Arc<Telemetry>,
         strategy: &'static str,
         gauges: Arc<RingGauges>,
+        heal_gen: Arc<AtomicU64>,
     ) -> Self {
         RingDriver {
             ring,
@@ -171,12 +183,26 @@ impl RingDriver {
             tel,
             strategy,
             gauges,
+            heal_gen,
         }
     }
 
     fn next_id(state: &mut DriverState) -> u64 {
         state.next_id += 1;
         state.next_id
+    }
+
+    /// Retires the speculative epoch when a queued-write replay has run
+    /// since this driver last looked: replay rewrites remote state, so any
+    /// readahead staged before it (cached *or* still in flight) describes
+    /// the pre-replay file and must never reach the application.
+    fn sync_heal_generation(&self, state: &mut DriverState) {
+        let gen = self.heal_gen.load(Ordering::SeqCst);
+        if gen != state.heal_seen {
+            state.heal_seen = gen;
+            state.epoch += 1;
+            state.cache.clear();
+        }
     }
 
     /// Rings the doorbell for `batch` under a transport-layer span (which
@@ -265,6 +291,7 @@ impl RingDriver {
     /// was speculated (zero new crossings), otherwise with one batch of
     /// staged writes + the demand read + sequential speculative reads.
     fn demand_read(&self, state: &mut DriverState, offset: u64, len: u32) -> afs_ipc::Result<()> {
+        self.sync_heal_generation(state);
         self.harvest(state)?;
         if let Some(data) = state.cache.remove(&(offset, len)) {
             self.gauges.readahead_hit();
@@ -309,6 +336,7 @@ impl RingDriver {
     /// ahead of it in the same crossing, and the caller's reply (plus any
     /// produced bytes) is staged for `recv_reply`/`recv_data*`.
     fn sync_roundtrip(&self, state: &mut DriverState, op: Op) -> afs_ipc::Result<()> {
+        self.sync_heal_generation(state);
         if matches!(op, Op::Control { .. } | Op::ReadScatter { .. } | Op::Flush) {
             // Controls can mutate sentinel state; scatter reads advance
             // shared context; flush seals durable batches. All invalidate

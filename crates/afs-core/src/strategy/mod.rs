@@ -389,7 +389,9 @@ pub(crate) fn execute_op(
                     (OpReply::Read { n: n as u32 }, Some(buf))
                 }
                 Err(SentinelError::Net(_))
-                    if ctx.degraded_enabled() && ctx.cache().is_present() =>
+                    if ctx.degraded_enabled()
+                        && ctx.cache().is_present()
+                        && !ctx.staleness_exceeded() =>
                 {
                     // Every replica is down: serve the last-good bytes and
                     // flag the handle stale (§6's availability argument,
@@ -456,7 +458,11 @@ pub(crate) fn execute_op(
         },
         Op::GetSize => match logic.len(ctx) {
             Ok(n) => (OpReply::Size(n), None),
-            Err(SentinelError::Net(_)) if ctx.degraded_enabled() && ctx.cache().is_present() => {
+            Err(SentinelError::Net(_))
+                if ctx.degraded_enabled()
+                    && ctx.cache().is_present()
+                    && !ctx.staleness_exceeded() =>
+            {
                 match ctx.cache().len() {
                     Ok(n) => {
                         note_degraded_entry(ctx, "size");
@@ -584,6 +590,12 @@ fn store_control(ctx: &mut SentinelCtx, code: u32, request: &[u8]) -> Option<OpR
 /// the queue stays, preserving order). Draining the queue clears the
 /// stale flag: the remote has caught up with everything we accepted.
 fn replay_queued_writes(logic: &mut dyn SentinelLogic, ctx: &mut SentinelCtx) {
+    // Replay is about to mutate remote state: any speculative readahead
+    // the batched-ring driver staged before this point describes the
+    // pre-replay world and must not be harvested afterwards. Bumping the
+    // heal generation makes the driver retire its completion-cache epoch
+    // (and drop queued speculative reads) before serving anything else.
+    ctx.bump_heal_generation();
     while let Some((offset, data)) = ctx.write_queue().first().cloned() {
         if logic.write(ctx, offset, &data).is_err() {
             return;

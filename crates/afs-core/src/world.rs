@@ -341,6 +341,34 @@ fn register_world_collectors(
             "afs_ring_readahead_hits_total",
             rg.readahead_hits,
         ));
+        let cl = telemetry.cluster().snapshot();
+        out.push(Metric::counter("afs_cluster_writes_total", cl.writes));
+        out.push(Metric::counter(
+            "afs_cluster_replications_total",
+            cl.replications,
+        ));
+        out.push(Metric::counter(
+            "afs_cluster_replication_failures_total",
+            cl.replication_failures,
+        ));
+        out.push(Metric::counter("afs_cluster_reads_total", cl.reads));
+        out.push(Metric::counter(
+            "afs_cluster_read_failovers_total",
+            cl.read_failovers,
+        ));
+        out.push(Metric::counter(
+            "afs_cluster_stale_waits_total",
+            cl.stale_waits,
+        ));
+        out.push(Metric::counter(
+            "afs_cluster_stale_rejects_total",
+            cl.stale_rejects,
+        ));
+        out.push(Metric::gauge("afs_cluster_nodes", cl.nodes));
+        out.push(Metric::counter(
+            "afs_cluster_rebalances_total",
+            cl.rebalances,
+        ));
         out.push(Metric::counter(
             "afs_flight_triggers_total",
             telemetry.flight().trigger_count(),

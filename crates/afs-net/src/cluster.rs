@@ -1,0 +1,342 @@
+//! Membership and placement for a replicated active-file cluster.
+//!
+//! The paper's sentinels talk to one remote service per file. To run the
+//! same files against a *fleet* of services, something has to decide
+//! which service owns which path — and keep that decision stable as the
+//! fleet grows or shrinks, or every membership change would invalidate
+//! every client's routing.
+//!
+//! [`HashRing`] is the classic consistent-hash answer: each node is
+//! hashed onto a ring at [`HashRing::DEFAULT_VNODES`] points, a key is
+//! owned by the first node point at or after its own hash, and a
+//! membership change only reassigns the keys adjacent to the points that
+//! appeared or vanished — in expectation `1/N` of the keyspace for a
+//! join of an `N+1`-th node, never a full reshuffle. [`Placement`] wraps
+//! the ring with a replication factor and answers the routing question
+//! the cluster client actually asks: `owners(path)` → the primary
+//! followed by the replicas, each a distinct node, in deterministic
+//! order.
+//!
+//! Everything here is pure data — hashing is an in-tree FNV-1a, so
+//! placement is bit-identical across runs, processes, and the seed
+//! sweep's seeds.
+
+use std::collections::BTreeMap;
+
+/// 64-bit FNV-1a with a SplitMix64-style finalizer: tiny,
+/// dependency-free, and stable across platforms — placement must be
+/// reproducible, not cryptographic. The finalizer matters: raw FNV of
+/// short, similar strings ("files-1#0", "files-1#1", …) clusters in the
+/// high bits, and ring placement keys off the whole word.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut state: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state ^= state >> 30;
+    state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    state ^= state >> 27;
+    state = state.wrapping_mul(0x94D0_49BB_1331_11EB);
+    state ^ (state >> 31)
+}
+
+/// A consistent-hash ring over named service nodes.
+///
+/// Nodes are placed at `vnodes` points each (virtual nodes smooth the
+/// per-node load to within a few percent of uniform); a key belongs to
+/// the first node point clockwise from the key's hash.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// Ring points: hash → owning node. `BTreeMap` gives the clockwise
+    /// walk for free via `range(..)`.
+    points: BTreeMap<u64, String>,
+    /// Virtual-node count used for every member.
+    vnodes: usize,
+    /// Member names in insertion-independent (sorted) order.
+    nodes: Vec<String>,
+}
+
+impl HashRing {
+    /// Virtual nodes per member when none is specified: enough to keep
+    /// per-node share within ~10% of uniform at small fleet sizes.
+    pub const DEFAULT_VNODES: usize = 64;
+
+    /// Creates an empty ring with `vnodes` points per member (clamped to
+    /// at least 1).
+    pub fn new(vnodes: usize) -> HashRing {
+        HashRing {
+            points: BTreeMap::new(),
+            vnodes: vnodes.max(1),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The member names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a member; a duplicate name is a no-op.
+    pub fn add_node(&mut self, name: &str) {
+        if self.nodes.iter().any(|n| n == name) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            let point = fnv1a(format!("{name}#{v}").as_bytes());
+            // A hash collision between distinct nodes' points would make
+            // placement insertion-order dependent; resolve it
+            // deterministically by name so it is not.
+            match self.points.get(&point) {
+                Some(existing) if existing.as_str() <= name => {}
+                _ => {
+                    self.points.insert(point, name.to_owned());
+                }
+            }
+        }
+        self.nodes.push(name.to_owned());
+        self.nodes.sort();
+    }
+
+    /// Removes a member; an unknown name is a no-op.
+    pub fn remove_node(&mut self, name: &str) {
+        let Some(idx) = self.nodes.iter().position(|n| n == name) else {
+            return;
+        };
+        self.nodes.remove(idx);
+        self.points.retain(|_, n| n != name);
+        // Re-add collision-displaced points of the surviving members.
+        let survivors = self.nodes.clone();
+        for node in survivors {
+            for v in 0..self.vnodes {
+                let point = fnv1a(format!("{node}#{v}").as_bytes());
+                self.points.entry(point).or_insert_with(|| node.clone());
+            }
+        }
+    }
+
+    /// The first `count` *distinct* members clockwise from `key`'s hash:
+    /// the primary first, then the failover/replica order. Returns fewer
+    /// than `count` when the fleet is smaller than that.
+    pub fn owners(&self, key: &str, count: usize) -> Vec<String> {
+        if self.nodes.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let want = count.min(self.nodes.len());
+        let start = fnv1a(key.as_bytes());
+        let mut out: Vec<String> = Vec::with_capacity(want);
+        for (_, node) in self.points.range(start..).chain(self.points.range(..start)) {
+            if !out.iter().any(|n| n == node) {
+                out.push(node.clone());
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The single owner of `key`, when the ring is non-empty.
+    pub fn primary(&self, key: &str) -> Option<String> {
+        self.owners(key, 1).into_iter().next()
+    }
+}
+
+/// Replica-aware placement: a [`HashRing`] plus a replication factor.
+///
+/// `owners(path)` answers the cluster client's routing question — writes
+/// go to the first entry (the primary) and replicate to the rest; reads
+/// try the entries in order.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    ring: HashRing,
+    copies: usize,
+}
+
+impl Placement {
+    /// Creates an empty placement keeping `copies` total copies of every
+    /// file (primary included; clamped to at least 1), with the default
+    /// virtual-node count.
+    pub fn new(copies: usize) -> Placement {
+        Placement {
+            ring: HashRing::new(HashRing::DEFAULT_VNODES),
+            copies: copies.max(1),
+        }
+    }
+
+    /// Total copies kept per file (primary included).
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// The member names, sorted.
+    pub fn nodes(&self) -> &[String] {
+        self.ring.nodes()
+    }
+
+    /// Adds a member service to the fleet.
+    pub fn add_node(&mut self, name: &str) {
+        self.ring.add_node(name);
+    }
+
+    /// Removes a member service from the fleet.
+    pub fn remove_node(&mut self, name: &str) {
+        self.ring.remove_node(name);
+    }
+
+    /// `[primary, replica, ...]` for `path` — distinct nodes, at most
+    /// [`copies`](Placement::copies), deterministic for a given
+    /// membership.
+    pub fn owners(&self, path: &str) -> Vec<String> {
+        self.ring.owners(path, self.copies)
+    }
+
+    /// The primary for `path`, when the fleet is non-empty.
+    pub fn primary(&self, path: &str) -> Option<String> {
+        self.ring.primary(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> HashRing {
+        let mut ring = HashRing::new(HashRing::DEFAULT_VNODES);
+        for i in 0..n {
+            ring.add_node(&format!("files-{i}"));
+        }
+        ring
+    }
+
+    fn keys(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("/data/file-{i}.af")).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let mut a = HashRing::new(32);
+        for n in ["beta", "alpha", "gamma"] {
+            a.add_node(n);
+        }
+        let mut b = HashRing::new(32);
+        for n in ["gamma", "beta", "alpha"] {
+            b.add_node(n);
+        }
+        for key in keys(200) {
+            assert_eq!(a.owners(&key, 2), b.owners(&key, 2), "{key}");
+        }
+    }
+
+    #[test]
+    fn owners_are_distinct_and_led_by_the_primary() {
+        let ring = fleet(5);
+        for key in keys(100) {
+            let owners = ring.owners(&key, 3);
+            assert_eq!(owners.len(), 3);
+            assert_eq!(owners[0], ring.primary(&key).expect("primary"));
+            let mut dedup = owners.clone();
+            dedup.dedup();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "{key}: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn small_fleets_return_every_node() {
+        let ring = fleet(2);
+        assert_eq!(ring.owners("/x", 3).len(), 2);
+        assert!(HashRing::new(8).owners("/x", 3).is_empty());
+        assert_eq!(HashRing::new(8).primary("/x"), None);
+    }
+
+    #[test]
+    fn join_moves_at_most_its_fair_share_of_keys() {
+        // The consistency bound the cluster gate also asserts: adding an
+        // (N+1)-th node reassigns at most 1/(N+1) of keys, plus slack for
+        // virtual-node variance.
+        let keys = keys(10_000);
+        for n in [2usize, 4, 8] {
+            let before = fleet(n);
+            let mut after = before.clone();
+            after.add_node("files-new");
+            let moved = keys
+                .iter()
+                .filter(|k| before.primary(k) != after.primary(k))
+                .count();
+            let bound = keys.len() / (n + 1) + keys.len() / 20;
+            assert!(
+                moved <= bound,
+                "N={n}: moved {moved} of {} (bound {bound})",
+                keys.len()
+            );
+            // And every moved key moved *to* the joiner, not between
+            // incumbents.
+            for k in &keys {
+                if before.primary(k) != after.primary(k) {
+                    assert_eq!(after.primary(k).as_deref(), Some("files-new"), "{k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leave_reassigns_only_the_leavers_keys() {
+        let before = fleet(5);
+        let mut after = before.clone();
+        after.remove_node("files-2");
+        for key in keys(2_000) {
+            let was = before.primary(&key).expect("primary");
+            if was != "files-2" {
+                assert_eq!(after.primary(&key).as_deref(), Some(was.as_str()), "{key}");
+            } else {
+                assert_ne!(after.primary(&key).as_deref(), Some("files-2"));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_load_evenly() {
+        let ring = fleet(4);
+        let mut counts = std::collections::BTreeMap::new();
+        let total = 8_000usize;
+        for key in keys(total) {
+            *counts
+                .entry(ring.primary(&key).expect("primary"))
+                .or_insert(0usize) += 1;
+        }
+        for (node, count) in counts {
+            let share = count as f64 / total as f64;
+            assert!(
+                (share - 0.25).abs() < 0.10,
+                "{node} owns {share:.3} of the keyspace"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_wraps_the_ring_with_a_replication_factor() {
+        let mut placement = Placement::new(3);
+        assert_eq!(placement.copies(), 3);
+        for i in 0..5 {
+            placement.add_node(&format!("files-{i}"));
+        }
+        let owners = placement.owners("/data/x.af");
+        assert_eq!(owners.len(), 3);
+        assert_eq!(owners[0], placement.primary("/data/x.af").expect("primary"));
+        placement.remove_node(&owners[0]);
+        assert_eq!(placement.nodes().len(), 4);
+        assert_ne!(placement.owners("/data/x.af")[0], owners[0]);
+    }
+}

@@ -17,6 +17,9 @@
 //!   N messages, partition a service away or over a scheduled virtual-time
 //!   window, inject seeded latency and probabilistic loss) for the failure
 //!   tests.
+//! * [`cluster`] — consistent-hash membership and replica-aware
+//!   placement for running active files against a fleet of services
+//!   instead of a single one.
 //! * [`reliability`] — retry policies with deterministic exponential
 //!   backoff, replica failover, per-service circuit breakers, and the
 //!   counters the telemetry exports. A [`Network::with_policy`] clone runs
@@ -26,11 +29,13 @@
 //! which matches the paper's measurement focus on the *client-side*
 //! overheads of reaching them.
 
+pub mod cluster;
 pub mod error;
 pub mod net;
 pub mod reliability;
 pub mod wire;
 
+pub use cluster::{HashRing, Placement};
 pub use error::NetError;
 pub use net::{FaultPlan, Network, NetworkStats, Service};
 pub use reliability::{

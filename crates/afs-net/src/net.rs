@@ -501,7 +501,14 @@ impl Network {
                         self.breaker_failure(policy, candidate);
                         last_err = Some(err);
                     }
-                    Err(err) => return Err(err),
+                    Err(err) => {
+                        // An application-level rejection means the service
+                        // answered: the transport is healthy, so a half-open
+                        // probe resolves (and the failure streak resets)
+                        // rather than staying in flight forever.
+                        self.breaker_success(policy, candidate);
+                        return Err(err);
+                    }
                 }
             }
             if attempt + 1 < attempts {

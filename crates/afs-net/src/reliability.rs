@@ -80,8 +80,10 @@ pub struct ReliabilityPolicy {
 /// * **closed** — calls flow; consecutive failures count up.
 /// * **open** — calls are refused locally ([`crate::NetError::CircuitOpen`])
 ///   until the cooldown elapses.
-/// * **half-open** — one probe is allowed through; success closes the
-///   breaker, failure re-opens it.
+/// * **half-open** — exactly **one** probe is allowed through; while it is
+///   in flight every other caller is refused, so a recovering service never
+///   sees a thundering herd the instant the cooldown elapses. The probe's
+///   success closes the breaker, its failure re-opens it.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     config: BreakerConfig,
@@ -90,9 +92,18 @@ pub struct CircuitBreaker {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum BreakerState {
-    Closed { failures: u32 },
-    Open { until_ns: u64 },
-    HalfOpen,
+    Closed {
+        failures: u32,
+    },
+    Open {
+        until_ns: u64,
+    },
+    /// `probing` is set while the single admitted probe is in flight;
+    /// further callers are refused until `on_success`/`on_failure`
+    /// resolves it.
+    HalfOpen {
+        probing: bool,
+    },
 }
 
 impl CircuitBreaker {
@@ -105,13 +116,21 @@ impl CircuitBreaker {
     }
 
     /// Whether a call may proceed at time `now_ns`. An open breaker whose
-    /// cooldown has elapsed transitions to half-open and admits the probe.
+    /// cooldown has elapsed transitions to half-open and admits **one**
+    /// probe; until that probe resolves every further caller is refused.
     pub fn allow(&mut self, now_ns: u64) -> bool {
         match self.state {
-            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Closed { .. } => true,
+            BreakerState::HalfOpen { probing } => {
+                if probing {
+                    return false;
+                }
+                self.state = BreakerState::HalfOpen { probing: true };
+                true
+            }
             BreakerState::Open { until_ns } => {
                 if now_ns >= until_ns {
-                    self.state = BreakerState::HalfOpen;
+                    self.state = BreakerState::HalfOpen { probing: true };
                     true
                 } else {
                     false
@@ -141,7 +160,7 @@ impl CircuitBreaker {
                     false
                 }
             }
-            BreakerState::HalfOpen => {
+            BreakerState::HalfOpen { .. } => {
                 self.state = BreakerState::Open {
                     until_ns: now_ns.saturating_add(self.config.cooldown_ns),
                 };
@@ -156,7 +175,7 @@ impl CircuitBreaker {
         match self.state {
             BreakerState::Closed { .. } => "closed",
             BreakerState::Open { .. } => "open",
-            BreakerState::HalfOpen => "half-open",
+            BreakerState::HalfOpen { .. } => "half-open",
         }
     }
 }
@@ -278,6 +297,31 @@ mod tests {
         assert_eq!(b.state_label(), "open");
         assert!(!b.allow(200), "new cooldown counted from the re-trip");
         assert!(b.allow(250));
+    }
+
+    #[test]
+    fn halfopen_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(cfg(1, 100));
+        assert!(b.on_failure(0), "trips open");
+        assert!(b.allow(100), "cooldown elapsed admits the probe");
+        assert_eq!(b.state_label(), "half-open");
+        assert!(!b.allow(100), "second caller refused while probing");
+        assert!(!b.allow(500), "still refused however late it arrives");
+        b.on_success();
+        assert_eq!(b.state_label(), "closed");
+        assert!(b.allow(500), "closed again after the probe resolves");
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_rearms_the_next_window() {
+        let mut b = CircuitBreaker::new(cfg(1, 100));
+        assert!(b.on_failure(0));
+        assert!(b.allow(100), "first probe");
+        assert!(!b.allow(100), "concurrent caller refused");
+        assert!(b.on_failure(100), "probe failure re-trips");
+        assert!(!b.allow(150), "back in cooldown");
+        assert!(b.allow(200), "next window admits a fresh probe");
+        assert!(!b.allow(200), "and again only one");
     }
 
     #[test]

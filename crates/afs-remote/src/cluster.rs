@@ -1,0 +1,383 @@
+//! The replica-aware cluster client: one [`FileClient`]-shaped surface
+//! over a fleet of [`FileServer`](crate::FileServer)s.
+//!
+//! Placement comes from a consistent-hash [`Placement`]: every path has
+//! a primary and `copies - 1` replicas, stable under membership churn.
+//! The write path is **primary-ack with asynchronous replication**: the
+//! write round-trips to the primary (which allocates the replication
+//! sequence number by bumping the file version) and fans out to the
+//! replicas as fire-and-forget casts carrying that sequence. The client
+//! remembers the last sequence it was acknowledged per path, so reads
+//! are **read-your-writes**: a read walks the owners in placement order
+//! and only accepts a copy whose version has caught up to the session's
+//! sequence.
+//!
+//! When every reachable owner is behind — a replica missed a cast and
+//! the primary then failed — the `staleness_ms` budget decides the
+//! outcome: the reader burns virtual time in bounded waits, re-polling
+//! the owners, and surfaces an error once the budget is spent. This
+//! tightens the single-service degraded mode's "stale allowed" into
+//! *bounded* staleness: the application never observes data older than
+//! its own acknowledged writes plus the configured bound.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afs_net::{cluster::Placement, NetError, Network};
+use afs_telemetry::ClusterGauges;
+
+use crate::file_server::FileClient;
+
+/// How long one bounded-staleness wait round burns before re-polling
+/// the owners (virtual time).
+const STALE_WAIT_STEP_NS: u64 = 1_000_000; // 1 ms
+
+/// Whether an error means "try the next owner" (transport-level fault)
+/// rather than "the service answered no".
+fn failover_worthy(err: &NetError) -> bool {
+    matches!(
+        err,
+        NetError::Dropped(_)
+            | NetError::Partitioned(_)
+            | NetError::ServiceNotFound(_)
+            | NetError::CircuitOpen(_)
+    )
+}
+
+/// A fleet-routing file client: consistent-hash placement, primary-ack
+/// writes with async replication, and bounded-staleness
+/// read-your-writes reads.
+pub struct ClusterClient {
+    net: Network,
+    placement: Mutex<Placement>,
+    /// Read-your-writes floor: per path, the highest replication
+    /// sequence this session has been acknowledged.
+    acked: Mutex<HashMap<String, u64>>,
+    /// Bounded-staleness budget for reads (`None`: a lagging fleet is
+    /// surfaced immediately).
+    staleness_budget_ns: Option<u64>,
+    gauges: Arc<ClusterGauges>,
+}
+
+impl ClusterClient {
+    /// Creates a client over `net` keeping `copies` total copies per
+    /// file. `staleness_ms` bounds how long a read may wait for a
+    /// lagging owner to catch up to the session's own writes.
+    pub fn new(net: Network, copies: usize, staleness_ms: Option<u64>) -> ClusterClient {
+        ClusterClient {
+            net,
+            placement: Mutex::new(Placement::new(copies)),
+            acked: Mutex::new(HashMap::new()),
+            staleness_budget_ns: staleness_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            gauges: Arc::new(ClusterGauges::default()),
+        }
+    }
+
+    /// Shares `gauges` as the client's metrics sink (e.g. the world
+    /// telemetry hub's cluster gauges).
+    pub fn with_gauges(mut self, gauges: Arc<ClusterGauges>) -> ClusterClient {
+        self.gauges = gauges;
+        self
+    }
+
+    /// The gauges this client feeds.
+    pub fn gauges(&self) -> &Arc<ClusterGauges> {
+        &self.gauges
+    }
+
+    /// Adds a member service to the fleet (placement rebalances
+    /// deterministically; at most `1/N` of keys move).
+    pub fn add_node(&self, name: &str) {
+        let mut placement = self.placement.lock();
+        placement.add_node(name);
+        self.gauges.membership(placement.nodes().len() as u64);
+    }
+
+    /// Removes a member service from the fleet.
+    pub fn remove_node(&self, name: &str) {
+        let mut placement = self.placement.lock();
+        placement.remove_node(name);
+        self.gauges.membership(placement.nodes().len() as u64);
+    }
+
+    /// The current owner list for `path`: `[primary, replicas...]`.
+    pub fn owners(&self, path: &str) -> Vec<String> {
+        self.placement.lock().owners(path)
+    }
+
+    /// The session's read-your-writes floor for `path` (0 when this
+    /// session has not written it).
+    pub fn acked_seq(&self, path: &str) -> u64 {
+        *self.acked.lock().get(path).unwrap_or(&0)
+    }
+
+    fn client_for(&self, node: &str) -> FileClient {
+        FileClient::new(self.net.clone(), node)
+    }
+
+    /// Writes `data` at `offset`: acknowledged by the first reachable
+    /// owner in placement order (normally the primary), then fanned out
+    /// to the remaining owners as replication casts carrying the
+    /// acknowledged sequence. Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// The last owner's transport fault when none is reachable, or the
+    /// acking owner's rejection.
+    pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<u64> {
+        let owners = self.owners(path);
+        if owners.is_empty() {
+            return Err(NetError::ServiceNotFound("empty cluster".to_owned()));
+        }
+        let mut last_err = None;
+        for (idx, owner) in owners.iter().enumerate() {
+            match self.client_for(owner).put_acked(path, offset, data) {
+                Ok((n, seq)) => {
+                    let mut acked = self.acked.lock();
+                    let floor = acked.entry(path.to_owned()).or_insert(0);
+                    *floor = (*floor).max(seq);
+                    drop(acked);
+                    let mut failed = 0u64;
+                    let others = owners
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != idx)
+                        .map(|(_, o)| o);
+                    let mut fanned = 0u64;
+                    for other in others {
+                        fanned += 1;
+                        if self
+                            .client_for(other)
+                            .replicate(path, offset, seq, data)
+                            .is_err()
+                        {
+                            failed += 1;
+                        }
+                    }
+                    self.gauges.write(fanned, failed);
+                    return Ok(n);
+                }
+                Err(e) if failover_worthy(&e) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one owner attempted"))
+    }
+
+    /// Reads up to `len` bytes at `offset` from the first owner (in
+    /// placement order) whose copy has caught up to this session's
+    /// acknowledged writes, waiting out replication lag within the
+    /// staleness budget.
+    ///
+    /// # Errors
+    ///
+    /// A transport fault when no owner is reachable; [`NetError::
+    /// Rejected`] when reachable owners stayed behind the session's
+    /// sequence past the staleness budget.
+    pub fn read(&self, path: &str, offset: u64, len: usize) -> afs_net::Result<Vec<u8>> {
+        let required = self.acked_seq(path);
+        let mut budget = self.staleness_budget_ns.unwrap_or(0);
+        loop {
+            let owners = self.owners(path);
+            if owners.is_empty() {
+                return Err(NetError::ServiceNotFound("empty cluster".to_owned()));
+            }
+            let mut last_err = None;
+            let mut behind = 0usize;
+            for (idx, owner) in owners.iter().enumerate() {
+                let client = self.client_for(owner);
+                match client.stat(path) {
+                    Ok(stat) if stat.version >= required => {
+                        let data = client.get(path, offset, len)?;
+                        self.gauges.read(idx != 0);
+                        return Ok(data);
+                    }
+                    Ok(_) => behind += 1,
+                    // A rejection with a non-zero floor means this owner
+                    // has no copy yet (it just joined and replication has
+                    // not caught it up) — that is lag, not a hard error.
+                    Err(NetError::Rejected(_)) if required > 0 => behind += 1,
+                    Err(e) if failover_worthy(&e) => last_err = Some(e),
+                    Err(e) => return Err(e),
+                }
+            }
+            if behind == 0 {
+                // Nothing answered at all: a transport problem, not a
+                // staleness problem.
+                return Err(last_err.expect("owners existed"));
+            }
+            // Every reachable owner is behind the session's writes. Burn
+            // bounded-staleness budget and re-poll; once it is spent the
+            // lag becomes the application's problem — bounded, never
+            // silent.
+            if budget < STALE_WAIT_STEP_NS {
+                self.gauges.stale_reject();
+                return Err(NetError::Rejected(format!(
+                    "staleness bound exceeded for {path}: no replica at seq {required}"
+                )));
+            }
+            budget -= STALE_WAIT_STEP_NS;
+            self.gauges.stale_wait();
+            afs_sim::clock::advance(STALE_WAIT_STEP_NS);
+        }
+    }
+
+    /// Length and version of the freshest reachable copy of `path`,
+    /// walking owners in placement order.
+    ///
+    /// # Errors
+    ///
+    /// A transport fault when no owner is reachable.
+    pub fn stat(&self, path: &str) -> afs_net::Result<crate::RemoteStat> {
+        let owners = self.owners(path);
+        if owners.is_empty() {
+            return Err(NetError::ServiceNotFound("empty cluster".to_owned()));
+        }
+        let mut best: Option<crate::RemoteStat> = None;
+        let mut last_err = None;
+        for owner in &owners {
+            match self.client_for(owner).stat(path) {
+                Ok(stat) => {
+                    best = Some(match best {
+                        Some(b) if b.version >= stat.version => b,
+                        _ => stat,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match best {
+            Some(stat) => Ok(stat),
+            None => Err(last_err.expect("owners existed")),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("nodes", &self.placement.lock().nodes().len())
+            .field("copies", &self.placement.lock().copies())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileServer;
+    use afs_net::Service;
+    use afs_sim::CostModel;
+
+    fn fleet(n: usize) -> (Network, Vec<Arc<FileServer>>, ClusterClient) {
+        let net = Network::new(CostModel::free());
+        let mut servers = Vec::new();
+        let client = ClusterClient::new(net.clone(), 2, Some(10));
+        for i in 0..n {
+            let name = format!("files-{i}");
+            let server = FileServer::new();
+            net.register(&name, Arc::clone(&server) as Arc<dyn Service>);
+            client.add_node(&name);
+            servers.push(server);
+        }
+        (net, servers, client)
+    }
+
+    #[test]
+    fn write_acks_on_primary_and_replicates() {
+        let (_net, servers, client) = fleet(3);
+        let path = "/data/a.af";
+        client.write(path, 0, b"hello").expect("write");
+        assert_eq!(client.acked_seq(path), 1);
+        let owners = client.owners(path);
+        assert_eq!(owners.len(), 2);
+        // Both owners hold the bytes at the same version; the third
+        // server holds nothing.
+        let by_name = |name: &str| {
+            servers[name
+                .strip_prefix("files-")
+                .and_then(|s| s.parse::<usize>().ok())
+                .expect("node index")]
+            .clone()
+        };
+        for owner in &owners {
+            assert_eq!(by_name(owner).version(path), 1, "{owner}");
+        }
+        let outsiders: Vec<_> = (0..3)
+            .map(|i| format!("files-{i}"))
+            .filter(|n| !owners.contains(n))
+            .collect();
+        for outsider in outsiders {
+            assert_eq!(by_name(&outsider).version(path), 0, "{outsider}");
+        }
+        assert_eq!(client.read(path, 0, 5).expect("read"), b"hello");
+        let snap = client.gauges().snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.replications, 1);
+        assert_eq!(snap.reads, 1);
+        assert_eq!(snap.read_failovers, 0);
+    }
+
+    #[test]
+    fn read_your_writes_survives_primary_failure() {
+        let (net, _servers, client) = fleet(3);
+        let path = "/data/b.af";
+        client.write(path, 0, b"durable").expect("write");
+        let primary = client.owners(path)[0].clone();
+        net.plan(&primary).expect("plan").set_partitioned(true);
+        // The replica acknowledged the same sequence, so the session's
+        // floor is satisfied by the failover copy.
+        assert_eq!(client.read(path, 0, 7).expect("failover read"), b"durable");
+        assert!(client.gauges().snapshot().read_failovers >= 1);
+    }
+
+    #[test]
+    fn lagging_replica_is_rejected_within_the_budget() {
+        let _clock = afs_sim::clock::install(0);
+        let (net, _servers, client) = fleet(3);
+        let path = "/data/c.af";
+        client.write(path, 0, b"v1").expect("warm");
+        let owners = client.owners(path);
+        // The replica misses the next write's cast, then the primary
+        // dies: every reachable copy is behind the session's ack.
+        net.plan(&owners[1]).expect("plan").drop_next(1);
+        client
+            .write(path, 0, b"v2")
+            .expect("write acked by primary");
+        assert_eq!(client.acked_seq(path), 2);
+        net.plan(&owners[0]).expect("plan").set_partitioned(true);
+        let err = client.read(path, 0, 2).expect_err("bounded staleness");
+        assert!(matches!(err, NetError::Rejected(_)), "{err:?}");
+        let snap = client.gauges().snapshot();
+        assert!(snap.stale_waits >= 1, "{snap:?}");
+        assert_eq!(snap.stale_rejects, 1);
+        // The budget was burned in virtual time, not wall-clock.
+        assert!(afs_sim::clock::now() >= 10_000_000);
+    }
+
+    #[test]
+    fn membership_change_keeps_files_readable() {
+        let (net, _servers, client) = fleet(3);
+        let paths: Vec<String> = (0..40).map(|i| format!("/data/m{i}.af")).collect();
+        for path in &paths {
+            client.write(path, 0, path.as_bytes()).expect("seed");
+        }
+        let joiner = FileServer::new();
+        net.register("files-3", joiner as Arc<dyn Service>);
+        client.add_node("files-3");
+        // Keys that moved to the joiner read through replicas (their old
+        // primary is still an owner or holds the only copy); nothing is
+        // lost, reads stay within the session's floor.
+        for path in &paths {
+            let got = client.read(path, 0, path.len());
+            // A key whose *entire* owner set rotated away from the old
+            // copies would be unreadable; with copies=2 and one joiner
+            // at most one owner slot changes, so the old primary or old
+            // replica is still in the set.
+            assert_eq!(got.expect("read"), path.as_bytes(), "{path}");
+        }
+        assert_eq!(client.gauges().snapshot().rebalances, 4);
+    }
+}

@@ -25,6 +25,8 @@ const OP_STAT: u8 = 4;
 const OP_LIST: u8 = 5;
 const OP_DELETE: u8 = 6;
 const OP_REPLACE: u8 = 7;
+const OP_PUT_ACK: u8 = 8;
+const OP_REPL: u8 = 9;
 
 /// Largest single GET transfer the server satisfies (1 MiB).
 pub const MAX_TRANSFER: usize = 1 << 20;
@@ -85,8 +87,21 @@ impl FileServer {
         *self.versions.lock().get(path).unwrap_or(&0)
     }
 
-    fn bump(&self, path: &str) {
-        *self.versions.lock().entry(path.to_owned()).or_insert(0) += 1;
+    fn bump(&self, path: &str) -> u64 {
+        let mut versions = self.versions.lock();
+        let v = versions.entry(path.to_owned()).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    /// Raises a path's version to at least `seq` (replication apply: the
+    /// primary allocated the sequence number, replicas catch up to it;
+    /// `max` keeps out-of-order casts idempotent).
+    fn bump_to(&self, path: &str, seq: u64) -> u64 {
+        let mut versions = self.versions.lock();
+        let v = versions.entry(path.to_owned()).or_insert(0);
+        *v = (*v).max(seq);
+        *v
     }
 
     fn parse(path: &str) -> Result<VPath, String> {
@@ -145,6 +160,53 @@ impl FileServer {
                         self.bump(&path);
                         ok_response(|w| {
                             w.u64(n as u64);
+                        })
+                    }
+                    Err(e) => err_response(&e),
+                }
+            }
+            OP_PUT_ACK => {
+                // A cluster primary write: same mutation as OP_PUT, but
+                // the acknowledgement carries the new version — the
+                // replication sequence number the writer fans out to the
+                // replicas and remembers for read-your-writes.
+                let path = r.str()?.to_owned();
+                let offset = r.u64()?;
+                let data = r.bytes()?.to_vec();
+                match Self::parse(&path).and_then(|vp| {
+                    self.ensure_file(&vp)?;
+                    self.vfs
+                        .write_stream(&vp, offset, &data)
+                        .map_err(|e| e.to_string())
+                }) {
+                    Ok(n) => {
+                        let seq = self.bump(&path);
+                        ok_response(|w| {
+                            w.u64(n as u64).u64(seq);
+                        })
+                    }
+                    Err(e) => err_response(&e),
+                }
+            }
+            OP_REPL => {
+                // Replication apply: the write plus the primary's
+                // sequence number. The version catches *up* to the seq
+                // (never past it), so re-delivered or out-of-order casts
+                // are idempotent.
+                let path = r.str()?.to_owned();
+                let offset = r.u64()?;
+                let seq = r.u64()?;
+                let data = r.bytes()?.to_vec();
+                match Self::parse(&path).and_then(|vp| {
+                    self.ensure_file(&vp)?;
+                    self.vfs
+                        .write_stream(&vp, offset, &data)
+                        .map_err(|e| e.to_string())
+                }) {
+                    Ok(_) => {
+                        let version = self.bump_to(&path, seq);
+                        ok_response(|w| {
+                            w.u64(version);
                         })
                     }
                     Err(e) => err_response(&e),
@@ -318,6 +380,37 @@ impl FileClient {
         let resp = self.net.rpc(&self.service, &w.finish())?;
         let mut r = check_status(&resp)?;
         Ok(r.u64()?)
+    }
+
+    /// Writes `data` at `offset` like [`FileClient::put`], but the
+    /// acknowledgement also returns the file's new version — the
+    /// replication sequence number a cluster writer fans out to replicas
+    /// via [`FileClient::replicate`]. Returns `(bytes_written, seq)`.
+    ///
+    /// # Errors
+    ///
+    /// Network faults or server rejection.
+    pub fn put_acked(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<(u64, u64)> {
+        let _bk = backend_span("remote-put-acked");
+        let mut w = WireWriter::new();
+        w.u8(OP_PUT_ACK).str(path).u64(offset).bytes(data);
+        let resp = self.net.rpc(&self.service, &w.finish())?;
+        let mut r = check_status(&resp)?;
+        Ok((r.u64()?, r.u64()?))
+    }
+
+    /// Fans a primary-acknowledged write out to a replica without
+    /// waiting: the replica applies the bytes and raises its version to
+    /// `seq`. Fire-and-forget, like [`FileClient::put_async`].
+    ///
+    /// # Errors
+    ///
+    /// Only local faults (unknown service, injected drops).
+    pub fn replicate(&self, path: &str, offset: u64, seq: u64, data: &[u8]) -> afs_net::Result<()> {
+        let _bk = backend_span("remote-replicate");
+        let mut w = WireWriter::new();
+        w.u8(OP_REPL).str(path).u64(offset).u64(seq).bytes(data);
+        self.net.cast(&self.service, &w.finish())
     }
 
     /// Streams `data` at `offset` without waiting for acknowledgement —
@@ -504,6 +597,32 @@ mod tests {
                 .expect("read"),
             b"fire-and-forget"
         );
+    }
+
+    #[test]
+    fn put_acked_returns_the_replication_seq() {
+        let (server, client) = setup();
+        let (n, seq) = client.put_acked("/c/x", 0, b"v1").expect("put-ack");
+        assert_eq!((n, seq), (2, 1));
+        let (_, seq) = client.put_acked("/c/x", 0, b"v2").expect("put-ack");
+        assert_eq!(seq, 2);
+        assert_eq!(server.version("/c/x"), 2);
+    }
+
+    #[test]
+    fn replicate_applies_bytes_and_catches_version_up() {
+        let (server, client) = setup();
+        client
+            .replicate("/c/y", 0, 7, b"from primary")
+            .expect("repl");
+        assert_eq!(server.version("/c/y"), 7);
+        assert_eq!(client.get_all("/c/y").expect("get"), b"from primary");
+        // Re-delivery and stale casts are idempotent: version never
+        // regresses.
+        client
+            .replicate("/c/y", 0, 3, b"older write!")
+            .expect("repl");
+        assert_eq!(server.version("/c/y"), 7);
     }
 
     #[test]

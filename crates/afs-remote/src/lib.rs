@@ -26,12 +26,14 @@
 //! Servers are deterministic (the quote feed is a seeded random walk) so
 //! experiments replay exactly.
 
+pub mod cluster;
 pub mod db;
 pub mod file_server;
 pub mod mail;
 pub mod quotes;
 pub mod registry;
 
+pub use cluster::ClusterClient;
 pub use db::{DbClient, DbEvent, DbOp, DbServer};
 pub use file_server::{FileClient, FileServer, RemoteStat};
 pub use mail::{MailClient, MailStore, Message, PopServer, SmtpServer};

@@ -544,9 +544,128 @@ pub struct StoreSnapshot {
     pub torn_detected: u64,
 }
 
+/// Live gauges for the replicated active-file cluster: write fan-out,
+/// read routing (primary hits vs failovers), membership churn, and
+/// staleness-bound rejections. Fed by the cluster client; always live,
+/// like the queue gauges.
+#[derive(Debug, Default)]
+pub struct ClusterGauges {
+    writes: AtomicU64,
+    replications: AtomicU64,
+    replication_failures: AtomicU64,
+    reads: AtomicU64,
+    read_failovers: AtomicU64,
+    stale_waits: AtomicU64,
+    stale_rejects: AtomicU64,
+    nodes: AtomicU64,
+    rebalances: AtomicU64,
+}
+
+impl ClusterGauges {
+    /// Records one primary-acknowledged write plus how many replica
+    /// casts it fanned out (`replicas`) and how many of those casts
+    /// failed locally (`failed`).
+    pub fn write(&self, replicas: u64, failed: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.replications.fetch_add(replicas, Ordering::Relaxed);
+        self.replication_failures
+            .fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Records one read; `failover` when it was served by a node other
+    /// than the placement primary.
+    pub fn read(&self, failover: bool) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        if failover {
+            self.read_failovers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one bounded-staleness wait round (every owner answered
+    /// behind the session's required sequence; the reader burned budget
+    /// and retried).
+    pub fn stale_wait(&self) {
+        self.stale_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read rejected because no owner caught up within the
+    /// staleness budget.
+    pub fn stale_reject(&self) {
+        self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the fleet size after a membership change, counting the
+    /// change as one rebalance.
+    pub fn membership(&self, nodes: u64) {
+        self.nodes.store(nodes, Ordering::Relaxed);
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies out the current gauge values.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            replications: self.replications.load(Ordering::Relaxed),
+            replication_failures: self.replication_failures.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            read_failovers: self.read_failovers.load(Ordering::Relaxed),
+            stale_waits: self.stale_waits.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ClusterGauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Primary-acknowledged writes.
+    pub writes: u64,
+    /// Replica casts fanned out by those writes.
+    pub replications: u64,
+    /// Replica casts that failed locally (dropped, partitioned).
+    pub replication_failures: u64,
+    /// Reads routed through the placement.
+    pub reads: u64,
+    /// Reads served by a node other than the placement primary.
+    pub read_failovers: u64,
+    /// Bounded-staleness wait rounds (budget burned, read retried).
+    pub stale_waits: u64,
+    /// Reads rejected with every owner behind the staleness budget.
+    pub stale_rejects: u64,
+    /// Current fleet size.
+    pub nodes: u64,
+    /// Membership changes applied.
+    pub rebalances: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cluster_gauges_track_writes_reads_and_membership() {
+        let g = ClusterGauges::default();
+        g.write(2, 1);
+        g.write(2, 0);
+        g.read(false);
+        g.read(true);
+        g.stale_wait();
+        g.stale_reject();
+        g.membership(3);
+        g.membership(4);
+        let s = g.snapshot();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.replications, 4);
+        assert_eq!(s.replication_failures, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.read_failovers, 1);
+        assert_eq!(s.stale_waits, 1);
+        assert_eq!(s.stale_rejects, 1);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.rebalances, 2);
+    }
 
     #[test]
     fn store_gauges_track_wal_and_recovery() {

@@ -50,9 +50,9 @@ pub use export::{
 };
 pub use flight::{FlightBundle, FlightEvent, FlightRecorder, PendingSpan};
 pub use gauges::{
-    FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges, RingGauges, RingSnapshot,
-    SentinelStats, SentinelStatsSnapshot, SessionGauges, SessionSnapshot, StoreGauges,
-    StoreSnapshot,
+    ClusterGauges, ClusterSnapshot, FleetGauges, FleetSnapshot, GaugesSnapshot, QueueGauges,
+    RingGauges, RingSnapshot, SentinelStats, SentinelStatsSnapshot, SessionGauges, SessionSnapshot,
+    StoreGauges, StoreSnapshot,
 };
 pub use hist::{HistogramSnapshot, LatencyHistogram, HIST_BUCKETS};
 pub use registry::{Metric, MetricValue, MetricsRegistry};

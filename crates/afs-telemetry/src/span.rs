@@ -32,8 +32,8 @@ use parking_lot::Mutex;
 
 use crate::flight::FlightRecorder;
 use crate::gauges::{
-    FleetGauges, QueueGauges, RingGauges, SentinelStats, SentinelStatsSnapshot, SessionGauges,
-    StoreGauges,
+    ClusterGauges, FleetGauges, QueueGauges, RingGauges, SentinelStats, SentinelStatsSnapshot,
+    SessionGauges, StoreGauges,
 };
 use crate::hist::{HistogramSnapshot, LatencyHistogram};
 use crate::slo::{SloSpec, SloTracker};
@@ -262,6 +262,7 @@ pub struct Telemetry {
     fleet: Arc<FleetGauges>,
     store: Arc<StoreGauges>,
     rings: Arc<RingGauges>,
+    cluster: Arc<ClusterGauges>,
     flight: Arc<FlightRecorder>,
     slos: Mutex<Vec<Arc<SloTracker>>>,
     sentinel_stats: Mutex<Vec<(&'static str, Arc<SentinelStats>)>>,
@@ -298,6 +299,7 @@ impl Telemetry {
             fleet: Arc::new(FleetGauges::default()),
             store,
             rings: Arc::new(RingGauges::default()),
+            cluster: Arc::new(ClusterGauges::default()),
             flight,
             slos: Mutex::new(Vec::new()),
             sentinel_stats: Mutex::new(Vec::new()),
@@ -559,6 +561,12 @@ impl Telemetry {
     /// transports. Always live, like the queue gauges.
     pub fn rings(&self) -> &Arc<RingGauges> {
         &self.rings
+    }
+
+    /// The replicated-cluster gauges fed by the cluster client. Always
+    /// live, like the queue gauges.
+    pub fn cluster(&self) -> &Arc<ClusterGauges> {
+        &self.cluster
     }
 
     /// The always-on flight recorder: bounded per-subsystem event rings

@@ -66,8 +66,8 @@ pub use afs_net::{
     ReliabilitySnapshot, RetryPolicy, Service,
 };
 pub use afs_remote::{
-    DbClient, DbServer, FileClient, FileServer, MailClient, MailStore, PopServer, QuoteClient,
-    QuoteServer, RegistryClient, RegistryServer, RegistryValue, SmtpServer,
+    ClusterClient, DbClient, DbServer, FileClient, FileServer, MailClient, MailStore, PopServer,
+    QuoteClient, QuoteServer, RegistryClient, RegistryServer, RegistryValue, SmtpServer,
 };
 pub use afs_sim::{
     clock, Cost, CostModel, CrossingKind, HardwareProfile, OpKind, OpSummary, OpTrace, Series,

@@ -410,6 +410,25 @@ impl Shell {
                 .expect("write to string");
                 Ok(out)
             }
+            "cluster" => {
+                let c = self.world.telemetry().cluster().snapshot();
+                let mut out = String::new();
+                writeln!(out, "nodes={} rebalances={}", c.nodes, c.rebalances)
+                    .expect("write to string");
+                writeln!(
+                    out,
+                    "writes={} replications={} replication_failures={}",
+                    c.writes, c.replications, c.replication_failures
+                )
+                .expect("write to string");
+                writeln!(
+                    out,
+                    "reads={} failovers={} stale_waits={} stale_rejects={}",
+                    c.reads, c.read_failovers, c.stale_waits, c.stale_rejects
+                )
+                .expect("write to string");
+                Ok(out)
+            }
             "sentinels" => Ok(self.world.sentinels().names().join("\n") + "\n"),
             "services" => Ok(self.world.net().services().join("\n") + "\n"),
             "demo" => {
@@ -858,6 +877,10 @@ commands:
   fleet                                sentinel-executor status: worker
                                        pool bound, per-shard occupancy,
                                        poll/steal/park counters
+  cluster                              replicated-fleet gauges: membership,
+                                       primary-ack writes/replications,
+                                       read failovers, bounded-staleness
+                                       waits and rejections
   metrics [prometheus|json]            export the full metrics snapshot
   telemetry [on|off|slow <ns>]         toggle span/histogram recording or
                                        set the slow-op report threshold
@@ -920,6 +943,31 @@ mod tests {
         // afterwards — but the attach was counted.
         assert!(after.contains("attaches=1"), "{after}");
         assert!(after.contains("current=0"), "{after}");
+    }
+
+    #[test]
+    fn cluster_reports_fleet_gauges() {
+        use afs_remote::ClusterClient;
+        let mut sh = Shell::new();
+        let idle = sh.run("cluster").expect("cluster");
+        assert!(idle.contains("nodes=0"), "{idle}");
+        assert!(idle.contains("writes=0"), "{idle}");
+        // Drive a small replicated fleet feeding the world's hub gauges —
+        // what the command then reports.
+        let net = sh.world.net().clone();
+        let client = ClusterClient::new(net.clone(), 2, Some(5))
+            .with_gauges(Arc::clone(sh.world.telemetry().cluster()));
+        for i in 0..2 {
+            let name = format!("files-{i}");
+            net.register(&name, FileServer::new() as Arc<dyn Service>);
+            client.add_node(&name);
+        }
+        client.write("/k.af", 0, b"bytes").expect("write");
+        client.read("/k.af", 0, 5).expect("read");
+        let after = sh.run("cluster").expect("cluster");
+        assert!(after.contains("nodes=2"), "{after}");
+        assert!(after.contains("writes=1 replications=1"), "{after}");
+        assert!(after.contains("reads=1 failovers=0"), "{after}");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use activefiles::prelude::*;
-use activefiles::{clock, VPath};
+use activefiles::{clock, FileClient, FileServer, Service, VPath};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -106,6 +106,92 @@ fn run_script(world: &AfsWorld, idx: usize, seed: u64) -> Vec<Vec<u8>> {
     }
     api.close_handle(h).expect("close");
     log
+}
+
+/// Regression test: a queued-write replay on heal must retire the
+/// batched ring's speculative-cache epoch.
+///
+/// While a partition is up, degraded mode serves speculative readahead
+/// from the last-good cache — those completions describe the pre-replay
+/// file. If the remote changes while the partition is up and the heal
+/// then replays the queued writes, a driver that kept its old epoch
+/// would serve the stale speculation to the first post-heal read. The
+/// ring drains submissions in order, so waiting on any synchronous op
+/// proves every earlier speculative read has produced its (stale)
+/// completion — no wall-clock races.
+#[test]
+fn post_heal_reads_never_observe_pre_replay_speculation() {
+    const HALF: usize = 64;
+    let _clock = clock::install(0);
+    let world = AfsWorld::new();
+    activefiles::register_standard_sentinels(&world);
+    let server = FileServer::new();
+    let v1: Vec<u8> = [vec![b'A'; HALF], vec![b'B'; HALF]].concat();
+    server.seed("/blob", &v1);
+    world
+        .net()
+        .register("files", Arc::clone(&server) as Arc<dyn Service>);
+    let spec = SentinelSpec::new("mirror", Strategy::DllThread)
+        .backing(Backing::Memory)
+        .with("service", "files")
+        .with("remote", "/blob")
+        .with("degraded", "true")
+        .with("batch", "on")
+        .with("ring_depth", "3");
+    world.install_active_file("/m.af", &spec).expect("install");
+
+    let api = world.api();
+    let h = api
+        .create_file("/m.af", Access::read_write(), Disposition::OpenExisting)
+        .expect("open");
+    let mut buf = [0u8; HALF];
+
+    // Warm both halves (reads refresh the last-good cache as they go).
+    assert_eq!(api.read_file(h, &mut buf).expect("warm front"), HALF);
+    assert_eq!(&buf[..], &v1[..HALF]);
+    assert_eq!(api.read_file(h, &mut buf).expect("warm back"), HALF);
+    assert_eq!(&buf[..], &v1[HALF..]);
+
+    // Partition, then write: the write is accepted locally and queued
+    // for replay. The demand read it flushes with drags a speculative
+    // read of the back half into the same batch — served stale from
+    // the last-good cache because the remote is down.
+    let plan = world.net().plan("files").expect("plan");
+    plan.set_partitioned(true);
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.write_file(h, b"EDIT").expect("queued while down");
+    api.set_file_pointer(h, 0, SeekMethod::Begin).expect("seek");
+    api.read_file(h, &mut buf).expect("degraded demand read");
+    assert_eq!(&buf[..4], b"EDIT", "local view reflects the queued write");
+    // A synchronous op (GetSize stages no speculation of its own)
+    // completes only after the in-order drain has served the
+    // speculative read above, so its stale completion has landed.
+    api.get_file_size(h).expect("degraded size");
+    assert!(world.net().reliability().queued_writes >= 1);
+
+    // The remote's back half changes while the partition is still up,
+    // then the network heals and the next op replays the queue.
+    let v2: Vec<u8> = [vec![b'A'; HALF], vec![b'C'; HALF]].concat();
+    server.seed("/blob", &v2);
+    plan.set_partitioned(false);
+    api.get_file_size(h)
+        .expect("post-heal op replays the queue");
+    assert!(world.net().reliability().replayed_writes >= 1);
+
+    // The first post-heal read of the back half must come from the
+    // healed remote, not from the pre-replay speculative completion.
+    api.set_file_pointer(h, HALF as i64, SeekMethod::Begin)
+        .expect("seek");
+    assert_eq!(api.read_file(h, &mut buf).expect("post-heal read"), HALF);
+    assert_eq!(
+        &buf[..],
+        &v2[HALF..],
+        "replay must retire the ring's speculative epoch"
+    );
+    api.close_handle(h).expect("close");
+    // And the replayed write reached the remote.
+    let check = FileClient::new(world.net().clone(), "files");
+    assert_eq!(check.get("/blob", 0, 4).expect("remote read"), b"EDIT");
 }
 
 #[test]

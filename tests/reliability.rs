@@ -304,6 +304,121 @@ fn reliability_counters_reach_the_prometheus_export() {
 }
 
 #[test]
+fn halfopen_window_admits_exactly_one_concurrent_probe() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Barrier, Condvar, Mutex};
+
+    // A service that counts the calls reaching it and holds each one open
+    // until released, so the half-open probe is verifiably *in flight*
+    // while the rest of the herd races the breaker.
+    struct Gate {
+        calls: AtomicU64,
+        held: Mutex<bool>,
+        cv: Condvar,
+    }
+    impl Gate {
+        fn release(&self) {
+            *self.held.lock().expect("lock") = false;
+            self.cv.notify_all();
+        }
+    }
+    impl Service for Gate {
+        fn handle(&self, _request: &[u8]) -> Result<Vec<u8>, NetError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let mut held = self.held.lock().expect("lock");
+            while *held {
+                held = self.cv.wait(held).expect("wait");
+            }
+            Ok(Vec::new())
+        }
+    }
+
+    let net = Network::new(CostModel::free());
+    let gate = Arc::new(Gate {
+        calls: AtomicU64::new(0),
+        held: Mutex::new(true),
+        cv: Condvar::new(),
+    });
+    let plan = net.register("svc", Arc::clone(&gate) as Arc<dyn Service>);
+    let reliable = net.with_policy(ReliabilityPolicy {
+        retry: RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        },
+        replicas: Vec::new(),
+        breaker: Some(BreakerConfig {
+            threshold: 1,
+            cooldown_ns: 1_000,
+        }),
+    });
+
+    // Trip the breaker; the partitioned call never reaches the service.
+    let _g = clock::install(0);
+    plan.set_partitioned(true);
+    assert!(reliable.rpc("svc", b"x").is_err());
+    plan.set_partitioned(false);
+
+    // Seeded herd size so the CI sweep varies the contention shape.
+    let seed: u64 = std::env::var("AFS_TEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let herd = 4 + (seed % 5) as usize;
+
+    let rejections_before = net.reliability().breaker_rejections;
+    let barrier = Arc::new(Barrier::new(herd + 1));
+    let mut joins = Vec::new();
+    for _ in 0..herd {
+        let reliable = reliable.clone();
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            // Each caller's virtual clock sits past the cooldown, so every
+            // one of them is racing for the half-open window.
+            let _g = clock::install(2_000);
+            barrier.wait();
+            reliable.rpc("svc", b"x")
+        }));
+    }
+    barrier.wait();
+
+    // Exactly one caller wins the probe slot and blocks inside the
+    // service; everyone else must be refused locally while it is out.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while net.reliability().breaker_rejections - rejections_before < herd as u64 - 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "herd never finished racing the half-open window"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        gate.calls.load(Ordering::SeqCst),
+        1,
+        "exactly one RPC reached the recovering service"
+    );
+    gate.release();
+
+    let results: Vec<_> = joins.into_iter().map(|j| j.join().expect("join")).collect();
+    assert_eq!(
+        results.iter().filter(|r| r.is_ok()).count(),
+        1,
+        "one probe succeeded"
+    );
+    assert_eq!(
+        results
+            .iter()
+            .filter(|r| matches!(r, Err(NetError::CircuitOpen(_))))
+            .count(),
+        herd - 1,
+        "the rest were refused without touching the wire"
+    );
+    // The successful probe closed the breaker for everyone.
+    assert_eq!(net.breaker_states(), vec![("svc".to_owned(), "closed")]);
+    reliable.rpc("svc", b"x").expect("closed after the probe");
+    assert_eq!(gate.calls.load(Ordering::SeqCst), 2);
+}
+
+#[test]
 fn seeded_worlds_reproduce_their_fault_streams() {
     // The seed-sweep CI job runs the suite under AFS_TEST_SEED; this
     // checks the property the sweep relies on — same seed, same losses.
