@@ -83,7 +83,9 @@ pub struct ReliabilityPolicy {
 /// * **half-open** — exactly **one** probe is allowed through; while it is
 ///   in flight every other caller is refused, so a recovering service never
 ///   sees a thundering herd the instant the cooldown elapses. The probe's
-///   success closes the breaker, its failure re-opens it.
+///   success closes the breaker, its failure re-opens it. A probe that
+///   stays unresolved for a full cooldown is presumed lost and a fresh
+///   probe is admitted — a vanished caller cannot wedge the breaker.
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     config: BreakerConfig,
@@ -98,11 +100,13 @@ enum BreakerState {
     Open {
         until_ns: u64,
     },
-    /// `probing` is set while the single admitted probe is in flight;
-    /// further callers are refused until `on_success`/`on_failure`
-    /// resolves it.
+    /// One probe is in flight, admitted at `probe_started_ns`; further
+    /// callers are refused until `on_success`/`on_failure` resolves it.
+    /// A probe silent for a full cooldown is presumed lost (its caller
+    /// panicked, or bypassed the resolve contract) and a fresh probe is
+    /// admitted, so a wedged probe can never refuse callers forever.
     HalfOpen {
-        probing: bool,
+        probe_started_ns: u64,
     },
 }
 
@@ -118,19 +122,26 @@ impl CircuitBreaker {
     /// Whether a call may proceed at time `now_ns`. An open breaker whose
     /// cooldown has elapsed transitions to half-open and admits **one**
     /// probe; until that probe resolves every further caller is refused.
+    /// A probe unresolved for a full cooldown is presumed lost and its
+    /// slot re-armed, so a caller that dies without resolving cannot
+    /// wedge the breaker permanently.
     pub fn allow(&mut self, now_ns: u64) -> bool {
         match self.state {
             BreakerState::Closed { .. } => true,
-            BreakerState::HalfOpen { probing } => {
-                if probing {
+            BreakerState::HalfOpen { probe_started_ns } => {
+                if now_ns < probe_started_ns.saturating_add(self.config.cooldown_ns) {
                     return false;
                 }
-                self.state = BreakerState::HalfOpen { probing: true };
+                self.state = BreakerState::HalfOpen {
+                    probe_started_ns: now_ns,
+                };
                 true
             }
             BreakerState::Open { until_ns } => {
                 if now_ns >= until_ns {
-                    self.state = BreakerState::HalfOpen { probing: true };
+                    self.state = BreakerState::HalfOpen {
+                        probe_started_ns: now_ns,
+                    };
                     true
                 } else {
                     false
@@ -306,10 +317,25 @@ mod tests {
         assert!(b.allow(100), "cooldown elapsed admits the probe");
         assert_eq!(b.state_label(), "half-open");
         assert!(!b.allow(100), "second caller refused while probing");
-        assert!(!b.allow(500), "still refused however late it arrives");
+        assert!(!b.allow(199), "still refused within the probe deadline");
         b.on_success();
         assert_eq!(b.state_label(), "closed");
         assert!(b.allow(500), "closed again after the probe resolves");
+    }
+
+    #[test]
+    fn stalled_probe_rearms_after_a_cooldown() {
+        let mut b = CircuitBreaker::new(cfg(1, 100));
+        assert!(b.on_failure(0));
+        assert!(b.allow(100), "first probe admitted");
+        // The probe's caller vanishes without resolving it: after a
+        // cooldown of silence the slot re-arms instead of refusing
+        // every caller forever.
+        assert!(!b.allow(199), "slot held while the probe is live");
+        assert!(b.allow(200), "stalled probe presumed lost, fresh probe");
+        assert!(!b.allow(250), "and again only one in flight");
+        b.on_success();
+        assert_eq!(b.state_label(), "closed");
     }
 
     #[test]

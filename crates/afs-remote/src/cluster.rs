@@ -6,7 +6,11 @@
 //! The write path is **primary-ack with asynchronous replication**: the
 //! write round-trips to the primary (which allocates the replication
 //! sequence number by bumping the file version) and fans out to the
-//! replicas as fire-and-forget casts carrying that sequence. The client
+//! replicas as fire-and-forget casts carrying that sequence. Replicas
+//! apply casts strictly in sequence order — a copy's version never
+//! claims writes whose bytes it does not hold — and an ack carries the
+//! session's floor, so an owner that missed casts refuses to allocate
+//! a sequence (no split-brain re-issue across failover). The client
 //! remembers the last sequence it was acknowledged per path, so reads
 //! are **read-your-writes**: a read walks the owners in placement order
 //! and only accepts a copy whose version has caught up to the session's
@@ -117,23 +121,29 @@ impl ClusterClient {
         FileClient::new(self.net.clone(), node)
     }
 
-    /// Writes `data` at `offset`: acknowledged by the first reachable
-    /// owner in placement order (normally the primary), then fanned out
-    /// to the remaining owners as replication casts carrying the
-    /// acknowledged sequence. Returns bytes written.
+    /// Writes `data` at `offset`: acknowledged by the first owner in
+    /// placement order (normally the primary) whose copy has caught up
+    /// to this session's acknowledged floor, then fanned out to the
+    /// remaining owners as replication casts carrying the acknowledged
+    /// sequence. Sending the floor with the ack keeps sequence
+    /// allocation monotonic across failover: an owner behind the floor
+    /// refuses (it would re-issue an already-acknowledged sequence) and
+    /// the write moves on to a caught-up owner. Returns bytes written.
     ///
     /// # Errors
     ///
-    /// The last owner's transport fault when none is reachable, or the
-    /// acking owner's rejection.
+    /// The last owner's transport fault when none is reachable, or
+    /// [`NetError::Rejected`] when every reachable owner is behind the
+    /// session's floor.
     pub fn write(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<u64> {
         let owners = self.owners(path);
         if owners.is_empty() {
             return Err(NetError::ServiceNotFound("empty cluster".to_owned()));
         }
+        let floor = self.acked_seq(path);
         let mut last_err = None;
         for (idx, owner) in owners.iter().enumerate() {
-            match self.client_for(owner).put_acked(path, offset, data) {
+            match self.client_for(owner).put_acked(path, offset, data, floor) {
                 Ok((n, seq)) => {
                     let mut acked = self.acked.lock();
                     let floor = acked.entry(path.to_owned()).or_insert(0);
@@ -159,7 +169,12 @@ impl ClusterClient {
                     self.gauges.write(fanned, failed);
                     return Ok(n);
                 }
-                Err(e) if failover_worthy(&e) => last_err = Some(e),
+                // A rejection here is a lagging copy refusing to
+                // allocate a sequence behind the session's floor —
+                // failover-worthy, like a transport fault.
+                Err(e) if failover_worthy(&e) || matches!(e, NetError::Rejected(_)) => {
+                    last_err = Some(e);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -185,28 +200,49 @@ impl ClusterClient {
                 return Err(NetError::ServiceNotFound("empty cluster".to_owned()));
             }
             let mut last_err = None;
+            let mut missing = None;
             let mut behind = 0usize;
             for (idx, owner) in owners.iter().enumerate() {
                 let client = self.client_for(owner);
                 match client.stat(path) {
                     Ok(stat) if stat.version >= required => {
-                        let data = client.get(path, offset, len)?;
-                        self.gauges.read(idx != 0);
-                        return Ok(data);
+                        // The stat said fresh, but the get itself can
+                        // still hit a transport fault (the owner died
+                        // in between): fail over to the remaining
+                        // owners like any other fault.
+                        match client.get(path, offset, len) {
+                            Ok(data) => {
+                                self.gauges.read(idx != 0);
+                                return Ok(data);
+                            }
+                            Err(e) if failover_worthy(&e) => last_err = Some(e),
+                            Err(e) => return Err(e),
+                        }
                     }
                     Ok(_) => behind += 1,
-                    // A rejection with a non-zero floor means this owner
-                    // has no copy yet (it just joined and replication has
-                    // not caught it up) — that is lag, not a hard error.
-                    Err(NetError::Rejected(_)) if required > 0 => behind += 1,
+                    // A rejected stat means this owner holds no copy.
+                    // With a non-zero floor that is replication lag (a
+                    // joiner the casts have not caught up) — wait for
+                    // it. With no floor the file may simply live on a
+                    // later owner (written by another session): keep
+                    // walking, and only surface the rejection if no
+                    // owner serves the read.
+                    Err(e @ NetError::Rejected(_)) => {
+                        if required > 0 {
+                            behind += 1;
+                        } else {
+                            missing = Some(e);
+                        }
+                    }
                     Err(e) if failover_worthy(&e) => last_err = Some(e),
                     Err(e) => return Err(e),
                 }
             }
             if behind == 0 {
-                // Nothing answered at all: a transport problem, not a
-                // staleness problem.
-                return Err(last_err.expect("owners existed"));
+                // No owner is lagging: the failure is a transport fault
+                // or a genuinely absent file, not staleness — surface
+                // it rather than burning the staleness budget.
+                return Err(last_err.or(missing).expect("owners existed"));
             }
             // Every reachable owner is behind the session's writes. Burn
             // bounded-staleness budget and re-poll; once it is spent the
@@ -355,6 +391,116 @@ mod tests {
         assert_eq!(snap.stale_rejects, 1);
         // The budget was burned in virtual time, not wall-clock.
         assert!(afs_sim::clock::now() >= 10_000_000);
+    }
+
+    #[test]
+    fn write_failover_never_acks_on_a_lagging_replica() {
+        let (net, _servers, client) = fleet(3);
+        let path = "/data/s.af";
+        client.write(path, 0, b"w1").expect("w1");
+        let owners = client.owners(path);
+        // The replica misses the second write's cast, then the primary
+        // partitions: the only reachable owner is behind the floor.
+        net.plan(&owners[1]).expect("plan").drop_next(1);
+        client.write(path, 0, b"w2").expect("w2");
+        assert_eq!(client.acked_seq(path), 2);
+        net.plan(&owners[0]).expect("plan").set_partitioned(true);
+        // A failover ack on the laggard would re-issue seq 2 — a
+        // sequence the session already holds — so the write must fail
+        // rather than split the sequence space.
+        let err = client
+            .write(path, 0, b"w3")
+            .expect_err("lagging ack refused");
+        assert!(matches!(err, NetError::Rejected(_)), "{err:?}");
+        assert_eq!(client.acked_seq(path), 2, "floor unmoved by the failure");
+    }
+
+    #[test]
+    fn write_fails_over_to_a_caught_up_replica() {
+        let (net, _servers, client) = fleet(3);
+        let path = "/data/t.af";
+        client.write(path, 0, b"w1").expect("w1");
+        let owners = client.owners(path);
+        net.plan(&owners[0]).expect("plan").set_partitioned(true);
+        // The replica holds seq 1 = the session's floor, so it may
+        // allocate seq 2 and acknowledge.
+        client.write(path, 0, b"w2").expect("failover write");
+        assert_eq!(client.acked_seq(path), 2);
+        assert_eq!(client.read(path, 0, 2).expect("read"), b"w2");
+    }
+
+    #[test]
+    fn read_fails_over_when_the_get_itself_faults() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        // Wraps a file server, failing the next OP_GET (op byte 1)
+        // with a transport fault — the owner "dies" between the stat
+        // and the get.
+        struct GetFlaky {
+            inner: Arc<FileServer>,
+            fail_next_get: Arc<AtomicBool>,
+        }
+        impl Service for GetFlaky {
+            fn handle(&self, request: &[u8]) -> afs_net::Result<Vec<u8>> {
+                if request.first() == Some(&1) && self.fail_next_get.swap(false, Ordering::SeqCst) {
+                    return Err(NetError::Dropped("get lost in flight".to_owned()));
+                }
+                self.inner.handle(request)
+            }
+        }
+
+        let net = Network::new(CostModel::free());
+        let fail_next_get = Arc::new(AtomicBool::new(false));
+        let client = ClusterClient::new(net.clone(), 2, Some(10));
+        for i in 0..3 {
+            let wrapped = GetFlaky {
+                inner: FileServer::new(),
+                fail_next_get: Arc::clone(&fail_next_get),
+            };
+            net.register(&format!("files-{i}"), Arc::new(wrapped) as Arc<dyn Service>);
+            client.add_node(&format!("files-{i}"));
+        }
+        let path = "/data/g.af";
+        client.write(path, 0, b"payload").expect("write");
+        fail_next_get.store(true, Ordering::SeqCst);
+        // The primary's stat answers fresh, then its get faults: the
+        // read must fail over to the replica, not surface the fault.
+        assert_eq!(client.read(path, 0, 7).expect("read"), b"payload");
+        assert!(client.gauges().snapshot().read_failovers >= 1);
+    }
+
+    #[test]
+    fn fresh_session_read_walks_past_owners_without_a_copy() {
+        let (net, _servers, client) = fleet(3);
+        let paths: Vec<String> = (0..64).map(|i| format!("/data/j{i}.af")).collect();
+        for path in &paths {
+            client.write(path, 0, b"seeded").expect("write");
+        }
+        let joiner = FileServer::new();
+        net.register("files-3", joiner as Arc<dyn Service>);
+        client.add_node("files-3");
+        let moved = paths
+            .iter()
+            .find(|p| client.owners(p)[0] == "files-3")
+            .expect("some path's primary moved to the joiner");
+        // A session that never wrote the path (floor 0) reads it: the
+        // new primary holds no copy and rejects the stat — the walk
+        // must continue to the owner that has the bytes instead of
+        // surfacing the joiner's rejection.
+        let fresh = ClusterClient::new(net.clone(), 2, Some(10));
+        for i in 0..4 {
+            fresh.add_node(&format!("files-{i}"));
+        }
+        assert_eq!(
+            fresh.read(moved, 0, 6).expect("read via replica"),
+            b"seeded"
+        );
+        assert!(fresh.gauges().snapshot().read_failovers >= 1);
+        // A path no owner holds still rejects promptly — absence is
+        // not staleness, no budget is burned.
+        let err = fresh.read("/data/never.af", 0, 4).expect_err("absent");
+        assert!(matches!(err, NetError::Rejected(_)), "{err:?}");
+        assert_eq!(fresh.gauges().snapshot().stale_waits, 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! consistency-tracking sentinels can detect remote updates — the ability
 //! the paper's intermediary approach lacks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -31,6 +31,15 @@ const OP_REPL: u8 = 9;
 /// Largest single GET transfer the server satisfies (1 MiB).
 pub const MAX_TRANSFER: usize = 1 << 20;
 
+/// Most replication casts held back per path waiting for a sequence
+/// gap to fill. Beyond this the newest cast is dropped — safe, because
+/// the copy simply stays behind and reads detect that via the version.
+const MAX_PENDING_REPL: usize = 256;
+
+/// Held-back replication casts for one path: sequence → `(offset,
+/// bytes)`, drained in order as the gaps fill in.
+type PendingCasts = BTreeMap<u64, (u64, Vec<u8>)>;
+
 /// Remote file metadata returned by [`FileClient::stat`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemoteStat {
@@ -44,6 +53,10 @@ pub struct RemoteStat {
 pub struct FileServer {
     vfs: Arc<Vfs>,
     versions: Mutex<HashMap<String, u64>>,
+    /// Replication casts that arrived ahead of a sequence gap, held
+    /// back until the missing sequences fill in ([`MAX_PENDING_REPL`]
+    /// per path).
+    pending_repl: Mutex<HashMap<String, PendingCasts>>,
 }
 
 impl FileServer {
@@ -52,6 +65,7 @@ impl FileServer {
         Arc::new(FileServer {
             vfs: Arc::new(Vfs::new()),
             versions: Mutex::new(HashMap::new()),
+            pending_repl: Mutex::new(HashMap::new()),
         })
     }
 
@@ -94,14 +108,37 @@ impl FileServer {
         *v
     }
 
-    /// Raises a path's version to at least `seq` (replication apply: the
-    /// primary allocated the sequence number, replicas catch up to it;
-    /// `max` keeps out-of-order casts idempotent).
-    fn bump_to(&self, path: &str, seq: u64) -> u64 {
+    /// Applies one replication cast. Bytes apply **only in sequence
+    /// order**: a stale or re-delivered cast (`seq <= version`) is
+    /// skipped entirely (old bytes never overwrite newer ones), and a
+    /// cast that arrived ahead of a gap is held back until the missing
+    /// sequences fill in. The version therefore never advances past the
+    /// writes this copy actually holds — the invariant the cluster's
+    /// read-your-writes floor check relies on: `version >= floor`
+    /// implies every acknowledged write up to `floor` is present.
+    fn apply_repl(&self, path: &str, offset: u64, seq: u64, data: Vec<u8>) -> Result<u64, String> {
+        let vpath = Self::parse(path)?;
         let mut versions = self.versions.lock();
         let v = versions.entry(path.to_owned()).or_insert(0);
-        *v = (*v).max(seq);
-        *v
+        if seq <= *v {
+            return Ok(*v);
+        }
+        let mut pending = self.pending_repl.lock();
+        let queue = pending.entry(path.to_owned()).or_default();
+        if queue.len() < MAX_PENDING_REPL || queue.contains_key(&seq) {
+            queue.insert(seq, (offset, data));
+        }
+        while let Some((off, bytes)) = queue.remove(&(*v + 1)) {
+            self.ensure_file(&vpath)?;
+            self.vfs
+                .write_stream(&vpath, off, &bytes)
+                .map_err(|e| e.to_string())?;
+            *v += 1;
+        }
+        if queue.is_empty() {
+            pending.remove(path);
+        }
+        Ok(*v)
     }
 
     fn parse(path: &str) -> Result<VPath, String> {
@@ -167,48 +204,53 @@ impl FileServer {
             }
             OP_PUT_ACK => {
                 // A cluster primary write: same mutation as OP_PUT, but
-                // the acknowledgement carries the new version — the
+                // the request carries the session's acknowledged floor
+                // and the acknowledgement carries the new version — the
                 // replication sequence number the writer fans out to the
-                // replicas and remembers for read-your-writes.
+                // replicas and remembers for read-your-writes. A copy
+                // behind the floor refuses the ack: letting a laggard
+                // allocate a sequence would collide with sequences
+                // already acknowledged elsewhere (split-brain) and would
+                // acknowledge a copy missing earlier acked writes.
                 let path = r.str()?.to_owned();
                 let offset = r.u64()?;
+                let floor = r.u64()?;
                 let data = r.bytes()?.to_vec();
                 match Self::parse(&path).and_then(|vp| {
-                    self.ensure_file(&vp)?;
-                    self.vfs
-                        .write_stream(&vp, offset, &data)
-                        .map_err(|e| e.to_string())
-                }) {
-                    Ok(n) => {
-                        let seq = self.bump(&path);
-                        ok_response(|w| {
-                            w.u64(n as u64).u64(seq);
-                        })
+                    let mut versions = self.versions.lock();
+                    let v = versions.entry(path.clone()).or_insert(0);
+                    if *v < floor {
+                        return Err(format!(
+                            "copy at version {v} is behind session floor {floor}"
+                        ));
                     }
+                    self.ensure_file(&vp)?;
+                    let n = self
+                        .vfs
+                        .write_stream(&vp, offset, &data)
+                        .map_err(|e| e.to_string())?;
+                    *v += 1;
+                    Ok((n, *v))
+                }) {
+                    Ok((n, seq)) => ok_response(|w| {
+                        w.u64(n as u64).u64(seq);
+                    }),
                     Err(e) => err_response(&e),
                 }
             }
             OP_REPL => {
                 // Replication apply: the write plus the primary's
-                // sequence number. The version catches *up* to the seq
-                // (never past it), so re-delivered or out-of-order casts
-                // are idempotent.
+                // sequence number, applied strictly in sequence order
+                // (stale casts skipped, gap casts held back) — see
+                // [`FileServer::apply_repl`].
                 let path = r.str()?.to_owned();
                 let offset = r.u64()?;
                 let seq = r.u64()?;
                 let data = r.bytes()?.to_vec();
-                match Self::parse(&path).and_then(|vp| {
-                    self.ensure_file(&vp)?;
-                    self.vfs
-                        .write_stream(&vp, offset, &data)
-                        .map_err(|e| e.to_string())
-                }) {
-                    Ok(_) => {
-                        let version = self.bump_to(&path, seq);
-                        ok_response(|w| {
-                            w.u64(version);
-                        })
-                    }
+                match self.apply_repl(&path, offset, seq, data) {
+                    Ok(version) => ok_response(|w| {
+                        w.u64(version);
+                    }),
                     Err(e) => err_response(&e),
                 }
             }
@@ -300,6 +342,7 @@ impl Default for FileServer {
         FileServer {
             vfs: Arc::new(Vfs::new()),
             versions: Mutex::new(HashMap::new()),
+            pending_repl: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -385,23 +428,40 @@ impl FileClient {
     /// Writes `data` at `offset` like [`FileClient::put`], but the
     /// acknowledgement also returns the file's new version — the
     /// replication sequence number a cluster writer fans out to replicas
-    /// via [`FileClient::replicate`]. Returns `(bytes_written, seq)`.
+    /// via [`FileClient::replicate`]. `floor` is the session's highest
+    /// previously acknowledged sequence for the path: a server whose
+    /// copy is behind it refuses the ack (it missed replicated writes
+    /// and must not allocate a colliding sequence), so the returned
+    /// sequence is always `> floor`. Returns `(bytes_written, seq)`.
     ///
     /// # Errors
     ///
-    /// Network faults or server rejection.
-    pub fn put_acked(&self, path: &str, offset: u64, data: &[u8]) -> afs_net::Result<(u64, u64)> {
+    /// Network faults, or [`NetError::Rejected`] when this server's
+    /// copy is behind `floor`.
+    pub fn put_acked(
+        &self,
+        path: &str,
+        offset: u64,
+        data: &[u8],
+        floor: u64,
+    ) -> afs_net::Result<(u64, u64)> {
         let _bk = backend_span("remote-put-acked");
         let mut w = WireWriter::new();
-        w.u8(OP_PUT_ACK).str(path).u64(offset).bytes(data);
+        w.u8(OP_PUT_ACK)
+            .str(path)
+            .u64(offset)
+            .u64(floor)
+            .bytes(data);
         let resp = self.net.rpc(&self.service, &w.finish())?;
         let mut r = check_status(&resp)?;
         Ok((r.u64()?, r.u64()?))
     }
 
     /// Fans a primary-acknowledged write out to a replica without
-    /// waiting: the replica applies the bytes and raises its version to
-    /// `seq`. Fire-and-forget, like [`FileClient::put_async`].
+    /// waiting: the replica applies the bytes in sequence order (stale
+    /// casts skipped, gap casts held until the missing sequences
+    /// arrive) and its version tracks the highest contiguously applied
+    /// sequence. Fire-and-forget, like [`FileClient::put_async`].
     ///
     /// # Errors
     ///
@@ -602,27 +662,63 @@ mod tests {
     #[test]
     fn put_acked_returns_the_replication_seq() {
         let (server, client) = setup();
-        let (n, seq) = client.put_acked("/c/x", 0, b"v1").expect("put-ack");
+        let (n, seq) = client.put_acked("/c/x", 0, b"v1", 0).expect("put-ack");
         assert_eq!((n, seq), (2, 1));
-        let (_, seq) = client.put_acked("/c/x", 0, b"v2").expect("put-ack");
+        let (_, seq) = client.put_acked("/c/x", 0, b"v2", 1).expect("put-ack");
         assert_eq!(seq, 2);
         assert_eq!(server.version("/c/x"), 2);
     }
 
     #[test]
-    fn replicate_applies_bytes_and_catches_version_up() {
+    fn put_acked_refuses_a_copy_behind_the_floor() {
         let (server, client) = setup();
-        client
-            .replicate("/c/y", 0, 7, b"from primary")
-            .expect("repl");
-        assert_eq!(server.version("/c/y"), 7);
-        assert_eq!(client.get_all("/c/y").expect("get"), b"from primary");
-        // Re-delivery and stale casts are idempotent: version never
-        // regresses.
-        client
-            .replicate("/c/y", 0, 3, b"older write!")
-            .expect("repl");
-        assert_eq!(server.version("/c/y"), 7);
+        client.put_acked("/c/f", 0, b"v1", 0).expect("put-ack");
+        // A session acked seq 3 elsewhere; this copy only holds seq 1.
+        // Acking here would allocate seq 2 — a sequence the session
+        // already holds — so the server must refuse.
+        let err = client
+            .put_acked("/c/f", 0, b"v4", 3)
+            .expect_err("behind floor");
+        assert!(matches!(err, NetError::Rejected(_)), "{err:?}");
+        assert_eq!(server.version("/c/f"), 1, "no sequence allocated");
+        assert_eq!(client.get_all("/c/f").expect("get"), b"v1");
+    }
+
+    #[test]
+    fn replicate_applies_in_sequence_order() {
+        let (server, client) = setup();
+        client.replicate("/c/y", 0, 1, b"fresh").expect("repl");
+        assert_eq!(server.version("/c/y"), 1);
+        assert_eq!(client.get_all("/c/y").expect("get"), b"fresh");
+        // A stale or re-delivered cast is skipped entirely: neither
+        // the version nor the bytes regress.
+        client.replicate("/c/y", 0, 1, b"dup!!").expect("repl");
+        assert_eq!(server.version("/c/y"), 1);
+        assert_eq!(client.get_all("/c/y").expect("get"), b"fresh");
+    }
+
+    #[test]
+    fn gap_casts_are_held_until_the_sequence_fills_in() {
+        let (server, client) = setup();
+        // Seq 2 arrives before seq 1: the version must not claim a
+        // write whose bytes this copy does not hold yet.
+        client.replicate("/c/z", 3, 2, b"bbb").expect("repl");
+        assert_eq!(server.version("/c/z"), 0);
+        client.replicate("/c/z", 0, 1, b"aaa").expect("repl");
+        assert_eq!(server.version("/c/z"), 2);
+        assert_eq!(client.get_all("/c/z").expect("get"), b"aaabbb");
+    }
+
+    #[test]
+    fn a_missed_cast_keeps_the_version_behind() {
+        let (server, client) = setup();
+        client.replicate("/c/w", 0, 1, b"one").expect("repl");
+        // Seq 2 was dropped in flight; seq 3 arrives. The version must
+        // stay at 1 — advancing to 3 would make a read-your-writes
+        // floor check accept a copy missing write 2's bytes.
+        client.replicate("/c/w", 0, 3, b"three").expect("repl");
+        assert_eq!(server.version("/c/w"), 1);
+        assert_eq!(client.get_all("/c/w").expect("get"), b"one");
     }
 
     #[test]
